@@ -1,0 +1,229 @@
+//! Asymptotic model fitting.
+//!
+//! The experiments measure convergence steps `T(n)` over a geometric sweep of
+//! population sizes and compare the growth against the bounds of Table 1.
+//! [`fit_power_law`] fits `T(n) = c · n^a` by least squares on log-log scale;
+//! [`fit_models`] additionally fits `T(n) = c · n^a · (log₂ n)^b` for
+//! `b ∈ {0, 1, 2, 3}` and ranks the models by residual error, which is how
+//! `EXPERIMENTS.md` decides whether a measured curve looks like `n²`,
+//! `n² log n` or `n³`.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted scaling model `T(n) = c · n^a · (log₂ n)^b`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScalingModel {
+    /// The fixed logarithmic degree `b`.
+    pub log_degree: u32,
+    /// The fitted polynomial exponent `a`.
+    pub exponent: f64,
+    /// The fitted constant `c`.
+    pub constant: f64,
+    /// Mean squared residual in log space.
+    pub residual: f64,
+}
+
+impl ScalingModel {
+    /// Predicted value at `n`.
+    pub fn predict(&self, n: f64) -> f64 {
+        self.constant * n.powf(self.exponent) * n.log2().powi(self.log_degree as i32)
+    }
+
+    /// Human-readable formula, e.g. `"3.1e0 * n^2.03 * (log n)^1"`.
+    pub fn formula(&self) -> String {
+        if self.log_degree == 0 {
+            format!("{:.2e} * n^{:.2}", self.constant, self.exponent)
+        } else {
+            format!(
+                "{:.2e} * n^{:.2} * (log n)^{}",
+                self.constant, self.exponent, self.log_degree
+            )
+        }
+    }
+}
+
+/// The result of fitting several candidate models to the same data.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FitResult {
+    /// All fitted models, sorted by increasing residual (best first).
+    pub models: Vec<ScalingModel>,
+}
+
+impl FitResult {
+    /// The best-fitting model.
+    pub fn best(&self) -> &ScalingModel {
+        &self.models[0]
+    }
+}
+
+/// Fits `y = c · x^a` by ordinary least squares on `(ln x, ln y)`.
+///
+/// Returns `(a, c)`.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given or if any coordinate is not
+/// strictly positive.
+pub fn fit_power_law(points: &[(f64, f64)]) -> (f64, f64) {
+    let model = fit_with_log_degree(points, 0);
+    (model.exponent, model.constant)
+}
+
+/// Fits `y = c · x^a · (log₂ x)^b` for the fixed `b = log_degree`.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given, if any coordinate is not
+/// strictly positive, or if `log_degree > 0` and some `x ≤ 2` (where
+/// `log₂ x ≤ 1` makes the model degenerate).
+pub fn fit_with_log_degree(points: &[(f64, f64)], log_degree: u32) -> ScalingModel {
+    assert!(points.len() >= 2, "need at least two points to fit");
+    // Transform: ln(y / (log2 x)^b) = ln c + a ln x.
+    let transformed: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            assert!(x > 0.0 && y > 0.0, "coordinates must be positive");
+            if log_degree > 0 {
+                assert!(x > 2.0, "x must exceed 2 for logarithmic models");
+            }
+            let denom = if log_degree == 0 {
+                1.0
+            } else {
+                x.log2().powi(log_degree as i32)
+            };
+            (x.ln(), (y / denom).ln())
+        })
+        .collect();
+    let n = transformed.len() as f64;
+    let sx: f64 = transformed.iter().map(|p| p.0).sum();
+    let sy: f64 = transformed.iter().map(|p| p.1).sum();
+    let sxx: f64 = transformed.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = transformed.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(
+        denom.abs() > 1e-12,
+        "x values must not be all identical for a regression"
+    );
+    let a = (n * sxy - sx * sy) / denom;
+    let ln_c = (sy - a * sx) / n;
+    let residual = transformed
+        .iter()
+        .map(|&(lx, ly)| {
+            let pred = ln_c + a * lx;
+            (ly - pred).powi(2)
+        })
+        .sum::<f64>()
+        / n;
+    ScalingModel {
+        log_degree,
+        exponent: a,
+        constant: ln_c.exp(),
+        residual,
+    }
+}
+
+/// Fits the models `c·n^a·(log n)^b` for `b ∈ {0, 1, 2, 3}` and returns them
+/// sorted by residual (best first).
+pub fn fit_models(points: &[(f64, f64)]) -> FitResult {
+    let mut models: Vec<ScalingModel> = (0..=3)
+        .map(|b| fit_with_log_degree(points, b))
+        .collect();
+    models.sort_by(|a, b| a.residual.partial_cmp(&b.residual).expect("finite residuals"));
+    FitResult { models }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(f: impl Fn(f64) -> f64) -> Vec<(f64, f64)> {
+        [8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0]
+            .iter()
+            .map(|&n| (n, f(n)))
+            .collect()
+    }
+
+    #[test]
+    fn recovers_a_pure_power_law() {
+        let pts = synth(|n| 3.5 * n.powf(2.0));
+        let (a, c) = fit_power_law(&pts);
+        assert!((a - 2.0).abs() < 1e-9, "a = {a}");
+        assert!((c - 3.5).abs() < 1e-6, "c = {c}");
+    }
+
+    #[test]
+    fn recovers_a_cubic_law() {
+        let pts = synth(|n| 0.1 * n.powf(3.0));
+        let (a, _) = fit_power_law(&pts);
+        assert!((a - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_selection_prefers_the_true_logarithmic_degree() {
+        // Pure n^2.
+        let fit = fit_models(&synth(|n| 2.0 * n * n));
+        assert_eq!(fit.best().log_degree, 0);
+        assert!((fit.best().exponent - 2.0).abs() < 1e-6);
+
+        // n^2 log n.
+        let fit = fit_models(&synth(|n| 2.0 * n * n * n.log2()));
+        assert_eq!(fit.best().log_degree, 1);
+        assert!((fit.best().exponent - 2.0).abs() < 1e-6);
+
+        // n^2 log^2 n.
+        let fit = fit_models(&synth(|n| 0.5 * n * n * n.log2() * n.log2()));
+        assert_eq!(fit.best().log_degree, 2);
+        assert!((fit.best().exponent - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noisy_quadratic_still_yields_an_exponent_near_two() {
+        // Multiplicative noise of ±20% must not push the exponent far off.
+        let noise = [1.1, 0.9, 1.2, 0.85, 1.05, 0.95, 1.15];
+        let pts: Vec<(f64, f64)> = [8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0]
+            .iter()
+            .zip(noise.iter())
+            .map(|(&n, &eps)| (n, 4.0 * n * n * eps))
+            .collect();
+        let (a, _) = fit_power_law(&pts);
+        assert!((a - 2.0).abs() < 0.15, "a = {a}");
+    }
+
+    #[test]
+    fn prediction_and_formula() {
+        let m = ScalingModel {
+            log_degree: 1,
+            exponent: 2.0,
+            constant: 1.5,
+            residual: 0.0,
+        };
+        assert!((m.predict(16.0) - 1.5 * 256.0 * 4.0).abs() < 1e-9);
+        assert!(m.formula().contains("log n"));
+        let m0 = ScalingModel {
+            log_degree: 0,
+            exponent: 3.0,
+            constant: 2.0,
+            residual: 0.0,
+        };
+        assert!(!m0.formula().contains("log"));
+        assert!((m0.predict(10.0) - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn fitting_one_point_panics() {
+        fit_power_law(&[(4.0, 4.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn fitting_nonpositive_data_panics() {
+        fit_power_law(&[(4.0, 0.0), (8.0, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not be all identical")]
+    fn identical_x_values_panic() {
+        fit_power_law(&[(4.0, 1.0), (4.0, 2.0)]);
+    }
+}

@@ -1,0 +1,30 @@
+//! # analysis
+//!
+//! Statistics and model-fitting utilities for the experiment harness:
+//!
+//! * [`summary`] — descriptive statistics (mean, median, quantiles,
+//!   confidence intervals) over convergence-time samples;
+//! * [`fit`] — least-squares fits of `T(n) = c · n^a · (log n)^b` on log-log
+//!   scale, used to compare the measured scaling of each protocol against the
+//!   bounds claimed in Table 1;
+//! * [`lottery`] — the lottery game of Definition 3.8 and Monte-Carlo checks
+//!   of the tail bounds of Lemmas 3.9 and 3.10;
+//! * [`table`] — plain-text/markdown table rendering for the experiment
+//!   binaries;
+//! * [`series`] — `(n, value)` data series with CSV export.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fit;
+pub mod lottery;
+pub mod series;
+pub mod summary;
+pub mod table;
+
+pub use fit::{fit_models, fit_power_law, FitResult, ScalingModel};
+pub use lottery::LotteryGame;
+pub use series::Series;
+pub use summary::Summary;
+pub use table::Table;

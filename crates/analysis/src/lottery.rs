@@ -1,0 +1,182 @@
+//! The lottery game of Definition 3.8 and the tail bounds of Lemmas 3.9/3.10.
+//!
+//! The mode-determination machinery of `P_PL` (Algorithm 4) rests on the
+//! *lottery game*: a player flips fair coins; a round ends at the first tail
+//! or after `k` consecutive heads, and the player wins the round in the
+//! latter case.  `W_LG(k, ℓ)` is the number of rounds won within the first
+//! `ℓ` flips.  The protocol wins a round exactly when an agent has `ψ`
+//! consecutive interactions without interacting with its right neighbour,
+//! which is what drives both the clock increments and the TTL decrements of
+//! resetting signals.
+//!
+//! * Lemma 3.9: `Pr(W_LG(k, 4ck·2^k) ≤ 8ck) ≥ 1 − 2^{−ck}` — wins are rare.
+//! * Lemma 3.10: `Pr(W_LG(k, 64ck·2^k) ≥ 16ck) ≥ 1 − 2^{−ck}` — but not too
+//!   rare.
+//!
+//! [`LotteryGame`] simulates the game so experiment E6 can compare the
+//! empirical win counts against both bounds.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A simulator for the lottery game with parameter `k`.
+#[derive(Clone, Debug)]
+pub struct LotteryGame {
+    k: u32,
+    rng: ChaCha8Rng,
+}
+
+impl LotteryGame {
+    /// Creates a game with win threshold `k` (consecutive heads needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: u32, seed: u64) -> Self {
+        assert!(k >= 1, "k must be positive");
+        LotteryGame {
+            k,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// The win threshold `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Simulates `flips` coin flips and returns `W_LG(k, flips)`: the number
+    /// of completed winning rounds.
+    pub fn wins_in(&mut self, flips: u64) -> u64 {
+        let mut wins = 0u64;
+        let mut streak = 0u32;
+        for _ in 0..flips {
+            if self.rng.gen_bool(0.5) {
+                streak += 1;
+                if streak == self.k {
+                    wins += 1;
+                    streak = 0;
+                }
+            } else {
+                streak = 0;
+            }
+        }
+        wins
+    }
+
+    /// The exact per-round win probability `2^{-k}`.
+    pub fn round_win_probability(&self) -> f64 {
+        0.5f64.powi(self.k as i32)
+    }
+
+    /// The number of flips used by Lemma 3.9: `4ck·2^k`.
+    pub fn lemma_3_9_flips(&self, c: u64) -> u64 {
+        4 * c * self.k as u64 * (1u64 << self.k)
+    }
+
+    /// The win bound of Lemma 3.9: `8ck`.
+    pub fn lemma_3_9_bound(&self, c: u64) -> u64 {
+        8 * c * self.k as u64
+    }
+
+    /// The number of flips used by Lemma 3.10: `64ck·2^k`.
+    pub fn lemma_3_10_flips(&self, c: u64) -> u64 {
+        64 * c * self.k as u64 * (1u64 << self.k)
+    }
+
+    /// The win bound of Lemma 3.10: `16ck`.
+    pub fn lemma_3_10_bound(&self, c: u64) -> u64 {
+        16 * c * self.k as u64
+    }
+
+    /// Runs `trials` independent experiments of `flips` flips each and
+    /// returns the fraction of experiments whose win count satisfies
+    /// `predicate`.
+    pub fn estimate<F: Fn(u64) -> bool>(&mut self, flips: u64, trials: u64, predicate: F) -> f64 {
+        let mut ok = 0u64;
+        for _ in 0..trials {
+            if predicate(self.wins_in(flips)) {
+                ok += 1;
+            }
+        }
+        ok as f64 / trials as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameters_and_formulas() {
+        let g = LotteryGame::new(4, 0);
+        assert_eq!(g.k(), 4);
+        assert_eq!(g.round_win_probability(), 1.0 / 16.0);
+        assert_eq!(g.lemma_3_9_flips(2), 4 * 2 * 4 * 16);
+        assert_eq!(g.lemma_3_9_bound(2), 64);
+        assert_eq!(g.lemma_3_10_flips(1), 64 * 4 * 16);
+        assert_eq!(g.lemma_3_10_bound(1), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_is_rejected() {
+        LotteryGame::new(0, 0);
+    }
+
+    #[test]
+    fn k_one_wins_roughly_half_the_flips() {
+        let mut g = LotteryGame::new(1, 7);
+        let wins = g.wins_in(100_000);
+        assert!((wins as f64 - 50_000.0).abs() < 2_000.0, "wins = {wins}");
+    }
+
+    #[test]
+    fn win_frequency_matches_renewal_theory() {
+        // The expected number of flips per completed round is 2(2^k − 1)/ ...
+        // rather than deriving the exact renewal rate, check the win count is
+        // within a factor of two of flips · 2^{-k} / 2 (each round uses at
+        // most k flips and at least 1, and wins happen with prob 2^{-k} per
+        // round).
+        let k = 5;
+        let mut g = LotteryGame::new(k, 3);
+        let flips = 400_000u64;
+        let wins = g.wins_in(flips);
+        let per_round = g.round_win_probability();
+        let upper = flips as f64 * per_round; // at least one flip per round
+        let lower = flips as f64 / k as f64 * per_round / 2.0;
+        assert!(
+            (wins as f64) < upper * 1.5 && (wins as f64) > lower,
+            "wins = {wins}, expected between {lower} and {upper}"
+        );
+    }
+
+    #[test]
+    fn lemma_3_9_upper_tail_holds_empirically() {
+        // Pr(W ≤ 8ck) should be at least 1 − 2^{-ck}; with k = 4, c = 1 the
+        // bound is 1 − 1/16 ≈ 0.94.  Empirically the event probability is
+        // much higher; just check it clears the bound.
+        let mut g = LotteryGame::new(4, 11);
+        let flips = g.lemma_3_9_flips(1);
+        let bound = g.lemma_3_9_bound(1);
+        let frac = g.estimate(flips, 400, |w| w <= bound);
+        assert!(frac >= 1.0 - 1.0 / 16.0, "fraction = {frac}");
+    }
+
+    #[test]
+    fn lemma_3_10_lower_tail_holds_empirically() {
+        let mut g = LotteryGame::new(4, 13);
+        let flips = g.lemma_3_10_flips(1);
+        let bound = g.lemma_3_10_bound(1);
+        let frac = g.estimate(flips, 300, |w| w >= bound);
+        assert!(frac >= 1.0 - 1.0 / 16.0, "fraction = {frac}");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = LotteryGame::new(3, 42).wins_in(10_000);
+        let b = LotteryGame::new(3, 42).wins_in(10_000);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,167 @@
+//! `(x, y)` data series with CSV export, used by the experiment binaries to
+//! emit figure data.
+
+use serde::{Deserialize, Serialize};
+
+/// A named data series.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The points, in insertion order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Renders a CSV with one `x` column and one `y` column per series.
+    /// All series must share the same `x` values in the same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series disagree on their `x` values.
+    pub fn to_csv(series: &[Series], x_label: &str) -> String {
+        let mut out = String::new();
+        out.push_str(x_label);
+        for s in series {
+            out.push(',');
+            out.push_str(&s.name);
+        }
+        out.push('\n');
+        if series.is_empty() {
+            return out;
+        }
+        let rows = series[0].points.len();
+        for s in series {
+            assert_eq!(s.points.len(), rows, "series lengths differ");
+        }
+        for row in 0..rows {
+            let x = series[0].points[row].0;
+            for s in series {
+                assert!(
+                    (s.points[row].0 - x).abs() < 1e-9,
+                    "series x values differ at row {row}"
+                );
+            }
+            out.push_str(&format!("{x}"));
+            for s in series {
+                out.push_str(&format!(",{}", s.points[row].1));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a simple log-log ASCII sketch of the series (one row per
+    /// point), useful for eyeballing scaling behaviour in terminal output.
+    pub fn ascii_sketch(&self) -> String {
+        let mut out = format!("# {}\n", self.name);
+        let max_y = self
+            .points
+            .iter()
+            .map(|p| p.1)
+            .fold(f64::MIN, f64::max)
+            .max(1.0);
+        for &(x, y) in &self.points {
+            let width = ((y.max(1.0).ln() / max_y.ln()) * 50.0).round() as usize;
+            out.push_str(&format!("{:>10.0} | {}  {:.3e}\n", x, "#".repeat(width), y));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_accessors() {
+        let mut s = Series::new("steps");
+        assert!(s.is_empty());
+        s.push(8.0, 100.0);
+        s.push(16.0, 420.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.name(), "steps");
+        assert_eq!(s.points()[1], (16.0, 420.0));
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut a = Series::new("ppl");
+        let mut b = Series::new("yokota");
+        for &n in &[8.0, 16.0] {
+            a.push(n, n * n);
+            b.push(n, n * n * 2.0);
+        }
+        let csv = Series::to_csv(&[a, b], "n");
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "n,ppl,yokota");
+        assert_eq!(lines[1], "8,64,128");
+        assert_eq!(lines[2], "16,256,512");
+    }
+
+    #[test]
+    fn empty_csv_has_only_a_header() {
+        let csv = Series::to_csv(&[], "n");
+        assert_eq!(csv, "n\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "series lengths differ")]
+    fn mismatched_lengths_panic() {
+        let mut a = Series::new("a");
+        a.push(1.0, 1.0);
+        let b = Series::new("b");
+        Series::to_csv(&[a, b], "n");
+    }
+
+    #[test]
+    #[should_panic(expected = "x values differ")]
+    fn mismatched_x_values_panic() {
+        let mut a = Series::new("a");
+        a.push(1.0, 1.0);
+        let mut b = Series::new("b");
+        b.push(2.0, 1.0);
+        Series::to_csv(&[a, b], "n");
+    }
+
+    #[test]
+    fn ascii_sketch_contains_every_point() {
+        let mut s = Series::new("sketch");
+        s.push(8.0, 10.0);
+        s.push(16.0, 1000.0);
+        let sketch = s.ascii_sketch();
+        assert!(sketch.contains("# sketch"));
+        assert_eq!(sketch.lines().count(), 3);
+    }
+}

@@ -1,0 +1,147 @@
+//! Descriptive statistics over samples of convergence measurements.
+
+use serde::{Deserialize, Serialize};
+
+/// Descriptive statistics of a sample.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (unbiased, `n-1` denominator).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (average of the two middle order statistics for even counts).
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample.
+    ///
+    /// Returns `None` for an empty sample.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
+        };
+        Some(Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            median,
+            max: sorted[count - 1],
+        })
+    }
+
+    /// The standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev / (self.count as f64).sqrt()
+        }
+    }
+
+    /// A normal-approximation 95% confidence interval for the mean,
+    /// `(lower, upper)`.
+    pub fn ci95(&self) -> (f64, f64) {
+        let half = 1.96 * self.std_error();
+        (self.mean - half, self.mean + half)
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) of a sample using nearest-rank
+    /// interpolation.
+    pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
+        if samples.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3e} median={:.3e} sd={:.3e} min={:.3e} max={:.3e}",
+            self.count, self.mean, self.median, self.std_dev, self.min, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_has_no_summary() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::quantile(&[], 0.5).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[5.0]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.std_error(), 0.0);
+    }
+
+    #[test]
+    fn known_statistics() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.138089935299395).abs() < 1e-9);
+        assert_eq!(s.median, 4.5);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        let (lo, hi) = s.ci95();
+        assert!(lo < s.mean && s.mean < hi);
+        assert!(s.to_string().contains("mean"));
+    }
+
+    #[test]
+    fn median_of_odd_sample_is_middle_element() {
+        let s = Summary::of(&[9.0, 1.0, 5.0]).unwrap();
+        assert_eq!(s.median, 5.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(Summary::quantile(&data, 0.0), Some(1.0));
+        assert_eq!(Summary::quantile(&data, 1.0), Some(5.0));
+        assert_eq!(Summary::quantile(&data, 0.5), Some(3.0));
+        assert_eq!(Summary::quantile(&data, 0.25), Some(2.0));
+        assert_eq!(Summary::quantile(&data, 0.1), Some(1.4));
+        assert_eq!(Summary::quantile(&data, 1.5), None);
+    }
+}

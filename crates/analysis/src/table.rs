@@ -1,0 +1,141 @@
+//! Plain-text / markdown table rendering for the experiment binaries.
+
+/// A simple column-aligned table builder.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's length differs from the header's.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} does not match {} columns",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("### {}\n\n", self.title));
+        }
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}|\n",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Renders the table as column-aligned plain text.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("== {} ==\n", self.title));
+        }
+        out.push_str(&render_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Convergence", &["protocol", "n", "steps"]);
+        t.push_row(vec!["P_PL".into(), "64".into(), "1.2e6".into()]);
+        t.push_row(vec!["[28]".into(), "64".into(), "4.1e5".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### Convergence"));
+        assert!(md.contains("| protocol | n | steps |"));
+        assert!(md.contains("|---|---|---|"));
+        assert!(md.contains("| P_PL | 64 | 1.2e6 |"));
+        assert_eq!(md.lines().count(), 6);
+    }
+
+    #[test]
+    fn text_rendering_aligns_columns() {
+        let txt = sample().to_text();
+        assert!(txt.contains("== Convergence =="));
+        let lines: Vec<&str> = txt.lines().collect();
+        // Header and the two data rows start their second column at the same
+        // offset.
+        let pos = |line: &str| line.find("64").or_else(|| line.find('n')).unwrap();
+        assert_eq!(pos(lines[3]), pos(lines[4]));
+    }
+
+    #[test]
+    fn row_count() {
+        assert_eq!(sample().num_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn wrong_width_rows_are_rejected() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn untitled_tables_omit_the_heading() {
+        let t = Table::new("", &["a"]);
+        assert!(!t.to_markdown().contains("###"));
+        assert!(!t.to_text().contains("=="));
+    }
+}

@@ -1,0 +1,32 @@
+//! # ssle-baselines
+//!
+//! Baseline self-stabilizing leader-election protocols for rings, used to
+//! reproduce the comparison of Table 1 of the paper:
+//!
+//! | row | protocol | assumption | convergence | #states | module |
+//! |-----|----------|-----------|-------------|---------|--------|
+//! | [5]  | Angluin, Aspnes, Fischer, Jiang 2008 | `n` not a multiple of a given `k` | `Θ(n³)` | `O(1)` | [`angluin_mod_k`] |
+//! | [15] | Fischer, Jiang 2006 | oracle `Ω?` | `Θ(n³)` | `O(1)` | [`fischer_jiang`] |
+//! | [11] | Chen, Chen 2019 | none | exponential | `O(1)` | [`thue_morse`] (utilities + analysis only) |
+//! | [28] | Yokota, Sudo, Masuzawa 2021 | knowledge `ψ` | `Θ(n²)` | `O(n)` | [`yokota_linear`] |
+//! | this work | Yokota, Sudo, Ooshita, Masuzawa 2023 | knowledge `ψ` | `O(n² log n)` | `polylog(n)` | `ssle-core` |
+//!
+//! The original papers give prose-level protocol descriptions; the versions
+//! here are **shape-faithful reconstructions** (same assumptions, same state
+//! complexity class, same qualitative mechanism), not transition-table
+//! transcriptions.  Known deviations are documented on each module and in
+//! `DESIGN.md` §4; `EXPERIMENTS.md` reports the exponents actually measured
+//! for the reconstructions next to the bounds claimed by the original papers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod angluin_mod_k;
+pub mod fischer_jiang;
+pub mod thue_morse;
+pub mod yokota_linear;
+
+pub use angluin_mod_k::{AngluinModK, ModKState};
+pub use fischer_jiang::{FischerJiang, FjState};
+pub use yokota_linear::{YokotaLinear, YokotaState};

@@ -1,0 +1,154 @@
+//! Baseline [11]: Chen, Chen 2019 — constant-state SS-LE on general rings
+//! with super-exponential expected convergence time.
+//!
+//! The Chen–Chen protocol embeds a prefix of the **Thue–Morse string** on the
+//! ring; the string is *cube-free* (it contains no factor `www`), so a safe
+//! configuration with a leader never exhibits a cube, while a leaderless ring
+//! necessarily repeats its length-`n` window and therefore contains one —
+//! detecting a cube is how the absence of a leader is discovered
+//! (Section 3.1 of the 2023 paper).
+//!
+//! Reimplementing the full constant-state cube-detection machinery is out of
+//! scope (its super-exponential running time also makes it impossible to
+//! benchmark beyond toy sizes); Table 1's row for [11] is therefore reported
+//! analytically by the harness rather than measured (see `DESIGN.md` §4 and
+//! `EXPERIMENTS.md`).  This module provides the combinatorial substrate the
+//! protocol rests on — Thue–Morse generation and cube detection — together
+//! with tests of the properties the argument uses.
+
+/// The first `len` symbols of the Thue–Morse string `t(i) = parity of the
+/// number of 1-bits of i`.
+pub fn thue_morse_prefix(len: usize) -> Vec<bool> {
+    (0..len).map(|i| (i.count_ones() % 2) == 1).collect()
+}
+
+/// Returns the starting index of a *cube* `www` (a non-empty factor repeated
+/// three times consecutively) in `s`, or `None` if `s` is cube-free.
+pub fn find_cube(s: &[bool]) -> Option<(usize, usize)> {
+    let n = s.len();
+    for w in 1..=n / 3 {
+        for start in 0..=(n - 3 * w) {
+            let first = &s[start..start + w];
+            if first == &s[start + w..start + 2 * w] && first == &s[start + 2 * w..start + 3 * w] {
+                return Some((start, w));
+            }
+        }
+    }
+    None
+}
+
+/// Returns `true` if `s` contains no cube.
+pub fn is_cube_free(s: &[bool]) -> bool {
+    find_cube(s).is_none()
+}
+
+/// Returns the starting index and period of a cube in the *circular* word
+/// `s` (reading up to three full turns), or `None`.
+///
+/// This is the leaderless situation on a ring: the window of length `n`
+/// repeats forever, so the circular word always contains a cube of period
+/// `n` — and often much shorter ones.  The Chen–Chen detector looks for
+/// exactly these.
+pub fn find_circular_cube(s: &[bool]) -> Option<(usize, usize)> {
+    let n = s.len();
+    if n == 0 {
+        return None;
+    }
+    let tripled: Vec<bool> = s.iter().chain(s.iter()).chain(s.iter()).copied().collect();
+    for w in 1..=n {
+        for start in 0..n {
+            if start + 3 * w > tripled.len() {
+                break;
+            }
+            let first = &tripled[start..start + w];
+            if first == &tripled[start + w..start + 2 * w]
+                && first == &tripled[start + 2 * w..start + 3 * w]
+            {
+                return Some((start, w));
+            }
+        }
+    }
+    None
+}
+
+/// The analytic Table 1 row for [11]: `O(1)` states.  (Eight states suffice
+/// for the published protocol's agents; we report the order of magnitude
+/// rather than an exact count because we do not reimplement the transition
+/// table.)
+pub fn states_per_agent_order() -> u128 {
+    8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thue_morse_prefix_matches_known_values() {
+        // 0 1 1 0 1 0 0 1 1 0 0 1 0 1 1 0 ...
+        let expected = [
+            false, true, true, false, true, false, false, true, true, false, false, true, false,
+            true, true, false,
+        ];
+        assert_eq!(thue_morse_prefix(16), expected);
+        assert_eq!(thue_morse_prefix(0).len(), 0);
+    }
+
+    #[test]
+    fn thue_morse_prefixes_are_cube_free() {
+        // The classical theorem (Thue 1912) the Chen–Chen detector relies on.
+        for len in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
+            let s = thue_morse_prefix(len);
+            assert!(is_cube_free(&s), "length {len} prefix contains a cube");
+        }
+    }
+
+    #[test]
+    fn explicit_cubes_are_found() {
+        // 000
+        let s = [false, false, false];
+        assert_eq!(find_cube(&s), Some((0, 1)));
+        // 010101 = (01)^3
+        let s = [false, true, false, true, false, true];
+        assert_eq!(find_cube(&s), Some((0, 2)));
+        // A cube hidden in the middle.
+        let mut v = thue_morse_prefix(10);
+        v.extend_from_slice(&[true, true, true]);
+        v.extend_from_slice(&thue_morse_prefix(5));
+        let (start, w) = find_cube(&v).expect("cube must be found");
+        assert_eq!(w, 1);
+        assert!(start >= 9 && start <= 10, "start = {start}");
+    }
+
+    #[test]
+    fn near_cubes_are_not_reported() {
+        // 0101 1010: squares but no cubes.
+        let s = [false, true, false, true, true, false, true, false];
+        assert!(is_cube_free(&s));
+    }
+
+    #[test]
+    fn circular_reading_always_finds_a_cube_for_short_leaderless_windows() {
+        // On a leaderless ring the length-n window repeats, so the circular
+        // word contains a cube even when the linear window is cube-free —
+        // this is exactly the Lemma-3.2-style argument of [11].
+        for n in 1..64usize {
+            let window = thue_morse_prefix(n);
+            assert!(
+                find_circular_cube(&window).is_some(),
+                "no circular cube for n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn circular_cube_of_the_trivial_window() {
+        assert_eq!(find_circular_cube(&[]), None);
+        assert_eq!(find_circular_cube(&[true]), Some((0, 1)));
+    }
+
+    #[test]
+    fn state_order_is_constant() {
+        assert_eq!(states_per_agent_order(), 8);
+    }
+}

@@ -1,0 +1,354 @@
+//! Baseline [28]: Yokota, Sudo, Masuzawa 2021 — time-optimal SS-LE on rings
+//! with `Θ(n²)` convergence and `O(n)` states.
+//!
+//! The 2021 protocol detects the absence of a leader "in a naive way using
+//! `O(n)` states, given knowledge `N = n + O(n)`: each agent computes the
+//! distance from the nearest left leader and detects the absence of a leader
+//! when the computed distance is `N` or larger" (Section 3.1 of the 2023
+//! paper).  Leader elimination is the same bullets-and-shields war that the
+//! 2023 paper reuses verbatim as `EliminateLeaders()` (Algorithm 5).
+//!
+//! This module reconstructs exactly that: an exact distance counter capped at
+//! `N` plus Algorithm 5.  Its per-agent state count is `Θ(N) = Θ(n)` and its
+//! convergence time is `Θ(n²)` — the row of Table 1 labelled [28].
+
+use population::{LeaderElection, Protocol};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use ssle_core::state::bullet;
+
+/// Per-agent state of the `O(n)`-state baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct YokotaState {
+    /// Output variable: `true` iff the agent outputs `L`.
+    pub leader: bool,
+    /// Exact distance to the nearest left leader, capped at `N`.
+    pub dist: u32,
+    /// Bullet carried by this agent (`0` none, `1` dummy, `2` live).
+    pub bullet: u8,
+    /// Whether the agent is shielded.
+    pub shield: bool,
+    /// Whether the agent carries a bullet-absence signal.
+    pub signal_b: bool,
+}
+
+impl YokotaState {
+    /// A clean follower.
+    pub fn follower() -> Self {
+        YokotaState {
+            leader: false,
+            dist: 0,
+            bullet: bullet::NONE,
+            shield: false,
+            signal_b: false,
+        }
+    }
+
+    /// A clean (shielded) leader.
+    pub fn leader() -> Self {
+        YokotaState {
+            leader: true,
+            shield: true,
+            ..YokotaState::follower()
+        }
+    }
+
+    /// The "create a leader" assignment, identical to the 2023 protocol's
+    /// Lines 6/18: become a shielded leader and fire a live bullet.
+    pub fn become_leader(&mut self) {
+        self.leader = true;
+        self.bullet = bullet::LIVE;
+        self.shield = true;
+        self.signal_b = false;
+    }
+
+    /// Samples a state uniformly from the whole state space (for arbitrary
+    /// initial configurations).
+    pub fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, cap: u32) -> Self {
+        YokotaState {
+            leader: rng.gen(),
+            dist: rng.gen_range(0..=cap),
+            bullet: rng.gen_range(0..=2),
+            shield: rng.gen(),
+            signal_b: rng.gen(),
+        }
+    }
+}
+
+/// The `O(n)`-state, `Θ(n²)`-time baseline protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct YokotaLinear {
+    cap: u32,
+}
+
+impl YokotaLinear {
+    /// Creates the protocol with distance cap `N` (the knowledge
+    /// `N = n + O(n)`; any `N ≥ n` is valid, and `N = n` is used by the
+    /// experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap < 2`.
+    pub fn new(cap: u32) -> Self {
+        assert!(cap >= 2, "the distance cap N must be at least 2");
+        YokotaLinear { cap }
+    }
+
+    /// The canonical parameters for a ring of `n` agents: `N = n`.
+    pub fn for_ring(n: usize) -> Self {
+        YokotaLinear::new(n as u32)
+    }
+
+    /// The distance cap `N`.
+    pub fn cap(&self) -> u32 {
+        self.cap
+    }
+
+    /// Exact number of states per agent: `2 (leader) × (N+1) (dist) × 3
+    /// (bullet) × 2 (shield) × 2 (signal_B)` — the `Θ(n)` entry of Table 1.
+    pub fn states_per_agent(&self) -> u128 {
+        2 * (self.cap as u128 + 1) * 3 * 2 * 2
+    }
+
+    /// Algorithm 5 (`EliminateLeaders`), shared with the 2023 protocol.
+    fn eliminate(l: &mut YokotaState, r: &mut YokotaState) {
+        if l.leader && l.signal_b {
+            l.bullet = bullet::LIVE;
+            l.shield = true;
+            l.signal_b = false;
+        }
+        if r.leader && r.signal_b {
+            r.bullet = bullet::DUMMY;
+            r.shield = false;
+            r.signal_b = false;
+        }
+        if l.bullet > bullet::NONE && r.leader {
+            if l.bullet == bullet::LIVE && !r.shield {
+                r.leader = false;
+            }
+            l.bullet = bullet::NONE;
+        } else if l.bullet > bullet::NONE {
+            if r.bullet == bullet::NONE {
+                r.bullet = l.bullet;
+            }
+            l.bullet = bullet::NONE;
+            r.signal_b = false;
+        }
+        l.signal_b = l.signal_b || r.signal_b || r.leader;
+    }
+}
+
+impl Protocol for YokotaLinear {
+    type State = YokotaState;
+
+    fn interact(&self, l: &mut YokotaState, r: &mut YokotaState) {
+        // CreateLeader, O(n)-state version: exact distance propagation with
+        // detection at the cap.
+        if r.leader {
+            r.dist = 0;
+        } else {
+            r.dist = (l.dist + 1).min(self.cap);
+            if r.dist == self.cap {
+                // The nearest left leader would be at distance >= N >= n:
+                // impossible on a ring of n agents that has a leader.
+                r.become_leader();
+                r.dist = 0;
+            }
+        }
+        Self::eliminate(l, r);
+    }
+
+    fn name(&self) -> &'static str {
+        "[28] Yokota et al. 2021 (O(n) states)"
+    }
+}
+
+impl LeaderElection for YokotaLinear {
+    fn is_leader(&self, state: &YokotaState) -> bool {
+        state.leader
+    }
+}
+
+/// Structural safe-configuration check used to measure convergence: exactly
+/// one leader, every agent's `dist` equals its true distance to the nearest
+/// left leader (capped at `N`), and every live bullet is peaceful (its
+/// nearest left leader is shielded and no bullet-absence signal lies
+/// between).  From such a configuration the protocol never creates another
+/// leader (all distances stay below `N`) and never kills the last one.
+pub fn is_safe(config: &population::Configuration<YokotaState>, cap: u32) -> bool {
+    let n = config.len();
+    let leaders: Vec<usize> = config.indices_where(|s| s.leader);
+    if leaders.len() != 1 {
+        return false;
+    }
+    let leader = leaders[0];
+    // Correct (capped) distances.
+    let dist_ok = (0..n).all(|i| {
+        let true_dist = ((i + n - leader) % n) as u32;
+        config[i].dist == true_dist.min(cap)
+    });
+    if !dist_ok {
+        return false;
+    }
+    // n must be below the cap for the distances to stay below N forever.
+    if n as u32 > cap {
+        return false;
+    }
+    // Peaceful live bullets.
+    (0..n).all(|i| {
+        if config[i].bullet != bullet::LIVE {
+            return true;
+        }
+        let d = (i + n - leader) % n;
+        config[leader].shield && (0..=d).all(|j| !config[(i + n - j) % n].signal_b)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use population::{Configuration, DirectedRing, Simulation};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn safe_config(n: usize, leader: usize) -> Configuration<YokotaState> {
+        Configuration::from_fn(n, |i| {
+            let mut s = if i == leader {
+                YokotaState::leader()
+            } else {
+                YokotaState::follower()
+            };
+            s.dist = ((i + n - leader) % n) as u32;
+            s
+        })
+    }
+
+    #[test]
+    fn constructor_and_state_count() {
+        let p = YokotaLinear::for_ring(100);
+        assert_eq!(p.cap(), 100);
+        assert_eq!(p.states_per_agent(), 2 * 101 * 3 * 2 * 2);
+        assert!(Protocol::name(&p).contains("[28]"));
+        assert!(p.is_leader(&YokotaState::leader()));
+        assert!(!p.is_leader(&YokotaState::follower()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_cap_is_rejected() {
+        YokotaLinear::new(1);
+    }
+
+    #[test]
+    fn distance_propagates_and_detection_fires_at_the_cap() {
+        let p = YokotaLinear::new(5);
+        let mut l = YokotaState::follower();
+        let mut r = YokotaState::follower();
+        l.dist = 2;
+        p.interact(&mut l, &mut r);
+        assert_eq!(r.dist, 3);
+        assert!(!r.leader);
+        // At the cap the responder concludes there is no leader and becomes
+        // one itself.
+        let mut l = YokotaState::follower();
+        let mut r = YokotaState::follower();
+        l.dist = 4;
+        p.interact(&mut l, &mut r);
+        assert!(r.leader);
+        assert_eq!(r.dist, 0);
+        assert_eq!(r.bullet, bullet::LIVE);
+        assert!(r.shield);
+    }
+
+    #[test]
+    fn leader_responder_resets_distance() {
+        let p = YokotaLinear::new(8);
+        let mut l = YokotaState::follower();
+        l.dist = 7;
+        let mut r = YokotaState::leader();
+        r.dist = 3;
+        p.interact(&mut l, &mut r);
+        assert_eq!(r.dist, 0);
+        assert!(r.leader);
+    }
+
+    #[test]
+    fn safe_configurations_are_recognised_and_closed() {
+        let n = 16;
+        let protocol = YokotaLinear::for_ring(n);
+        let config = safe_config(n, 5);
+        assert!(is_safe(&config, protocol.cap()));
+        let mut sim = Simulation::new(protocol, DirectedRing::new(n).unwrap(), config, 3);
+        for _ in 0..40 {
+            sim.run_steps(5_000);
+            assert!(is_safe(sim.config(), protocol.cap()));
+            assert_eq!(sim.protocol().leader_indices(sim.config().states()), vec![5]);
+        }
+    }
+
+    #[test]
+    fn broken_configurations_are_rejected_by_the_checker() {
+        let n = 8;
+        let cap = 8;
+        let mut c = safe_config(n, 0);
+        c[3].dist = 7;
+        assert!(!is_safe(&c, cap));
+        let mut c = safe_config(n, 0);
+        c[4].leader = true;
+        assert!(!is_safe(&c, cap));
+        let c = Configuration::uniform(n, YokotaState::follower());
+        assert!(!is_safe(&c, cap));
+        // A cap smaller than n can never be safe.
+        assert!(!is_safe(&safe_config(n, 0), 4));
+    }
+
+    #[test]
+    fn converges_from_all_followers_and_all_leaders() {
+        for (name, init) in [
+            ("followers", YokotaState::follower()),
+            ("leaders", YokotaState::leader()),
+        ] {
+            let n = 16;
+            let protocol = YokotaLinear::for_ring(n);
+            let cap = protocol.cap();
+            let config = Configuration::uniform(n, init);
+            let mut sim = Simulation::new(protocol, DirectedRing::new(n).unwrap(), config, 7);
+            let report = sim.run_until(
+                |_p, c: &Configuration<YokotaState>| is_safe(c, cap),
+                (n * n) as u64,
+                20_000_000,
+            );
+            assert!(report.converged(), "did not converge from all-{name}");
+        }
+    }
+
+    #[test]
+    fn converges_from_uniformly_random_configurations() {
+        let n = 24;
+        let protocol = YokotaLinear::for_ring(n);
+        let cap = protocol.cap();
+        for seed in 0..3u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let config = Configuration::from_fn(n, |_| YokotaState::sample_uniform(&mut rng, cap));
+            let mut sim =
+                Simulation::new(protocol, DirectedRing::new(n).unwrap(), config, seed + 50);
+            let report = sim.run_until(
+                |_p, c: &Configuration<YokotaState>| is_safe(c, cap),
+                (n * n) as u64,
+                40_000_000,
+            );
+            assert!(report.converged(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn uniform_sampling_respects_the_cap() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..1000 {
+            let s = YokotaState::sample_uniform(&mut rng, 9);
+            assert!(s.dist <= 9);
+            assert!(s.bullet <= 2);
+        }
+    }
+}

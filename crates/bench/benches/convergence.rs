@@ -1,0 +1,33 @@
+//! Criterion benchmark: end-to-end convergence of each measurable protocol on
+//! small rings (the wall-clock cost of one full convergence trial).  The
+//! asymptotic reproduction lives in the experiment binaries; this bench
+//! tracks simulator performance regressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssle_bench::{run_trial, ProtocolKind};
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convergence_trial");
+    group.sample_size(10);
+    for kind in ProtocolKind::ALL {
+        for n in [16usize, 32] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name().replace(' ', "_"), n),
+                &n,
+                |b, &n| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        let report = run_trial(kind, n, seed);
+                        assert!(report.converged());
+                        report.convergence_step()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

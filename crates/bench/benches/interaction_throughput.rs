@@ -1,0 +1,41 @@
+//! Criterion benchmark: raw interaction throughput of the simulator for each
+//! protocol (steps per second on a fixed ring), which bounds how large an `n`
+//! the experiment binaries can sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use population::{Configuration, DirectedRing, Simulation};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use ssle_baselines::{YokotaLinear, YokotaState};
+use ssle_core::{init, InitialCondition, Params, Ppl};
+
+const STEPS: u64 = 20_000;
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interaction_throughput");
+    group.throughput(Throughput::Elements(STEPS));
+
+    for n in [64usize, 256] {
+        group.bench_with_input(BenchmarkId::new("ppl", n), &n, |b, &n| {
+            let params = Params::for_ring(n);
+            let config = init::generate(InitialCondition::UniformRandom, n, &params, 1);
+            let mut sim =
+                Simulation::new(Ppl::new(params), DirectedRing::new(n).unwrap(), config, 1);
+            b.iter(|| sim.run_steps(STEPS));
+        });
+
+        group.bench_with_input(BenchmarkId::new("yokota_linear", n), &n, |b, &n| {
+            let protocol = YokotaLinear::for_ring(n);
+            let cap = protocol.cap();
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            let config =
+                Configuration::from_fn(n, |_| YokotaState::sample_uniform(&mut rng, cap));
+            let mut sim = Simulation::new(protocol, DirectedRing::new(n).unwrap(), config, 2);
+            b.iter(|| sim.run_steps(STEPS));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

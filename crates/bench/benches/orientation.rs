@@ -1,0 +1,42 @@
+//! Criterion benchmark: ring-orientation (`P_OR`) convergence on small
+//! undirected rings, plus the two-hop-colouring substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use population::{Configuration, Simulation, UndirectedRing};
+use ssle_core::coloring::oracle_two_hop_coloring;
+use ssle_core::orientation::{is_oriented, random_orientation_config, OrState, Por};
+
+fn bench_orientation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orientation");
+    group.sample_size(10);
+    for n in [16usize, 48] {
+        group.bench_with_input(BenchmarkId::new("por_convergence", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut sim = Simulation::new(
+                    Por::new(),
+                    UndirectedRing::new(n).unwrap(),
+                    random_orientation_config(n, seed),
+                    seed,
+                );
+                let report = sim.run_until(
+                    |_p, c: &Configuration<OrState>| is_oriented(c),
+                    (n * n) as u64,
+                    20_000_000,
+                );
+                assert!(report.converged());
+                report.convergence_step()
+            })
+        });
+    }
+    for n in [256usize, 4096] {
+        group.bench_with_input(BenchmarkId::new("oracle_two_hop_coloring", n), &n, |b, &n| {
+            b.iter(|| oracle_two_hop_coloring(n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orientation);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion benchmark: cost of the structural safe-configuration checkers
+//! (`S_PL`, `C_DL`, perfection), which the convergence experiments evaluate
+//! periodically — their cost determines the usable check interval.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssle_core::{in_c_dl, in_s_pl, is_perfect, perfect_configuration, Params};
+
+fn bench_safety(c: &mut Criterion) {
+    let mut group = c.benchmark_group("safety_checks");
+    for n in [64usize, 256, 1024] {
+        let params = Params::for_ring(n);
+        let config = perfect_configuration(n, &params, n / 3, 5);
+        group.bench_with_input(BenchmarkId::new("in_s_pl", n), &n, |b, _| {
+            b.iter(|| in_s_pl(&config, &params))
+        });
+        group.bench_with_input(BenchmarkId::new("in_c_dl", n), &n, |b, _| {
+            b.iter(|| in_c_dl(&config, &params))
+        });
+        group.bench_with_input(BenchmarkId::new("is_perfect", n), &n, |b, _| {
+            b.iter(|| is_perfect(&config, &params))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_safety);
+criterion_main!(benches);

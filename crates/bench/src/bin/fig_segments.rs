@@ -1,0 +1,73 @@
+//! Experiment E4 — reproduces **Figure 1**: the segment-ID embedding on the
+//! ring.  Prints (a)/(b)-style perfect configurations with a leader for two
+//! ring sizes, validates conditions (1) and (2), and reproduces the
+//! (c)-style leaderless configuration whose segment IDs necessarily violate
+//! condition (2) (Lemma 3.2).
+
+use analysis::Table;
+use population::Configuration;
+use ssle_core::segments::{
+    borders, dist_consistent, is_perfect, leaderless_configuration, perfect_configuration,
+    segment_id, segments,
+};
+use ssle_core::{Params, PplState};
+
+fn describe(config: &Configuration<PplState>, params: &Params, title: &str) {
+    println!("## {title}\n");
+    let mut table = Table::new(
+        "",
+        &["segment", "start agent", "length", "ID ι(S)", "starts at leader?", "followed by leader?"],
+    );
+    let segs = segments(config, params);
+    let n = config.len();
+    for (i, seg) in segs.iter().enumerate() {
+        let next_border = (seg.start + seg.len) % n;
+        table.push_row(vec![
+            format!("S_{i}"),
+            format!("u{}", seg.start),
+            seg.len.to_string(),
+            segment_id(config, seg).to_string(),
+            config[seg.start].leader.to_string(),
+            config[next_border].leader.to_string(),
+        ]);
+    }
+    println!("{}", table.to_markdown());
+    println!(
+        "borders: {:?}   condition (1) holds: {}   perfect: {}\n",
+        borders(config, params),
+        dist_consistent(config, params),
+        is_perfect(config, params)
+    );
+}
+
+fn main() {
+    println!("# Figure 1 reproduction: segment-ID embedding\n");
+
+    // (a)/(b): perfect configurations with one leader.
+    for (n, leader_at, first_id) in [(16usize, 0usize, 8u64), (22, 5, 8)] {
+        let params = Params::for_ring(n);
+        let config = perfect_configuration(n, &params, leader_at, first_id);
+        describe(
+            &config,
+            &params,
+            &format!("(a/b-style) perfect configuration, n = {n}, ψ = {}, leader at u{leader_at}", params.psi()),
+        );
+        assert!(is_perfect(&config, &params));
+    }
+
+    // (c): a leaderless ring with consistent distances must violate the
+    // segment-ID chain somewhere (Lemma 3.2).
+    let params = Params::new(7, 7 * 8);
+    let n = 28;
+    let config = leaderless_configuration(n, &params, 8).expect("2ψ divides n");
+    describe(
+        &config,
+        &params,
+        &format!("(c-style) leaderless configuration, n = {n}, ψ = 7 (compare Figure 1(c))"),
+    );
+    assert!(!is_perfect(&config, &params));
+    println!(
+        "Lemma 3.2 check: the leaderless configuration is NOT perfect — some segment's ID\n\
+         fails ι(S_{{i+1}}) = ι(S_i) + 1 (mod 2^ψ), which is what the detection mode finds."
+    );
+}

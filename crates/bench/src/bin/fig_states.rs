@@ -1,0 +1,80 @@
+//! Experiment E3 — the "#states" column of Table 1 as a function of `n`:
+//! exact per-agent state counts (and the equivalent number of bits) for every
+//! protocol, showing the `O(1)` / `polylog(n)` / `O(n)` growth classes.
+
+use analysis::{Series, Table};
+use ssle_bench::ProtocolKind;
+use ssle_core::Params;
+
+fn bits(states: u128) -> u32 {
+    128 - (states.max(1) - 1).leading_zeros()
+}
+
+fn main() {
+    println!("# Figure: per-agent state counts (Table 1, #states column)\n");
+
+    let sizes: Vec<usize> = (4..=20).map(|e| 1usize << e).collect();
+    let mut table = Table::new(
+        "Exact per-agent state count of each implementation",
+        &[
+            "n",
+            "[5] / [15] (O(1))",
+            "[11] (O(1))",
+            "this work (polylog)",
+            "this work, paper constants",
+            "[28] (O(n))",
+            "bits: this work",
+            "bits: [28]",
+        ],
+    );
+
+    let mut ppl_series = Series::new("ppl_states");
+    let mut yokota_series = Series::new("yokota_states");
+
+    for &n in &sizes {
+        let ppl = ProtocolKind::Ppl.states_per_agent(n);
+        let ppl_paper = ProtocolKind::PplPaperConstants.states_per_agent(n);
+        let yokota = ProtocolKind::Yokota.states_per_agent(n);
+        let fj = ProtocolKind::FischerJiang.states_per_agent(n);
+        let cc = ssle_baselines::thue_morse::states_per_agent_order();
+        table.push_row(vec![
+            n.to_string(),
+            fj.to_string(),
+            cc.to_string(),
+            ppl.to_string(),
+            ppl_paper.to_string(),
+            yokota.to_string(),
+            bits(ppl).to_string(),
+            bits(yokota).to_string(),
+        ]);
+        ppl_series.push(n as f64, ppl as f64);
+        yokota_series.push(n as f64, yokota as f64);
+    }
+
+    println!("{}", table.to_markdown());
+
+    // Growth-class check: squaring n multiplies the polylog count by a
+    // bounded factor but the linear count by ~n.
+    let p16 = ProtocolKind::Ppl.states_per_agent(1 << 8);
+    let p32 = ProtocolKind::Ppl.states_per_agent(1 << 16);
+    let y16 = ProtocolKind::Yokota.states_per_agent(1 << 8);
+    let y32 = ProtocolKind::Yokota.states_per_agent(1 << 16);
+    println!(
+        "Growth when n goes from 2^8 to 2^16:  this work ×{:.1}  (polylog),  [28] ×{:.1}  (linear).",
+        p32 as f64 / p16 as f64,
+        y32 as f64 / y16 as f64
+    );
+    println!(
+        "Note: because the polylog bound has degree 6 in log n (two tokens, two\n\
+         Θ(log n) counters, ...), its absolute count exceeds the O(n) baseline's for\n\
+         every practically simulable n; Table 1 compares asymptotic classes, and the\n\
+         growth factors above are the empirical signature of those classes.\n"
+    );
+    println!(
+        "Knowledge parameters: psi(n) = ceil(log2 n), kappa_max = 8*psi (default) or 32*psi (paper).\n\
+         Example: n = 1024 gives psi = {}, trajectory length {} moves.",
+        Params::for_ring(1024).psi(),
+        Params::for_ring(1024).trajectory_length()
+    );
+    println!("\nCSV:\n{}", Series::to_csv(&[ppl_series, yokota_series], "n"));
+}

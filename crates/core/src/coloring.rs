@@ -1,0 +1,338 @@
+//! Two-hop colouring substrate for the ring-orientation protocol (Section 5).
+//!
+//! Definition 5.1 (i) requires `u_i.color ≠ u_{i+2}.color` for every `i`
+//! (*two-hop colouring*): it lets every agent distinguish its two neighbours
+//! by colour, which is what `P_OR` (Algorithm 6) builds on.  The paper defers
+//! the colouring itself to the self-stabilizing two-hop colouring protocol of
+//! Sudo et al. [24] and presents `P_OR` *under the assumption* that the
+//! colouring and each agent's memory of its neighbours' colours (`c1`, `c2`)
+//! are already correct.
+//!
+//! This module provides two substrates (see `DESIGN.md` §4 for the
+//! substitution notes):
+//!
+//! * [`oracle_two_hop_coloring`] — a correct colouring assigned directly by
+//!   the harness, matching the paper's "without loss of generality"
+//!   assumption.  This is what the Section 5 experiments use.
+//! * [`TwoHopColoring`] — a best-effort randomized self-stabilizing two-hop
+//!   colouring protocol based on a bit-handshake: neighbours that share a
+//!   colour collide in their common neighbour's handshake slot and eventually
+//!   desynchronise, which triggers a recolouring.  It converges empirically
+//!   on rings but is *not* the protocol of [24] and carries no proof.
+
+use population::Protocol;
+use serde::{Deserialize, Serialize};
+
+/// Number of colours used by the default palettes.  Three colours suffice for
+/// a two-hop colouring of any ring (the distance-2 graph of a cycle is a
+/// union of at most two cycles); we keep a fourth as slack for the
+/// self-stabilizing protocol's random recolouring.
+pub const DEFAULT_COLORS: u8 = 4;
+
+/// A correct two-hop colouring of the ring `u_0, ..., u_{n-1}`:
+/// `color[i] != color[(i+2) % n]` for every `i`.
+///
+/// The distance-2 graph of an `n`-cycle is one `n`-cycle (odd `n`) or two
+/// `n/2`-cycles (even `n`); each is properly coloured with 2 colours, plus a
+/// third at the wrap-around when the cycle length is odd.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn oracle_two_hop_coloring(n: usize) -> Vec<u8> {
+    assert!(n >= 2, "ring must have at least two agents");
+    let mut colors = vec![0u8; n];
+    if n % 2 == 0 {
+        // Two disjoint distance-2 cycles: even indices and odd indices.
+        color_cycle(&mut colors, (0..n).step_by(2).collect());
+        color_cycle(&mut colors, (1..n).step_by(2).collect());
+    } else {
+        // One distance-2 cycle visiting 0, 2, 4, ..., 1, 3, ...
+        let mut order = Vec::with_capacity(n);
+        let mut i = 0usize;
+        for _ in 0..n {
+            order.push(i);
+            i = (i + 2) % n;
+        }
+        color_cycle(&mut colors, order);
+    }
+    colors
+}
+
+/// Properly 2/3-colours the cycle given by `order` (consecutive entries are
+/// adjacent, and the last wraps to the first).
+fn color_cycle(colors: &mut [u8], order: Vec<usize>) {
+    let m = order.len();
+    for (k, &idx) in order.iter().enumerate() {
+        colors[idx] = (k % 2) as u8;
+    }
+    if m % 2 == 1 && m > 1 {
+        // Odd cycle: the last vertex needs a third colour.
+        colors[order[m - 1]] = 2;
+    }
+}
+
+/// Returns `true` if `colors` is a valid two-hop colouring of the ring.
+pub fn is_two_hop_coloring(colors: &[u8]) -> bool {
+    let n = colors.len();
+    if n < 2 {
+        return true;
+    }
+    (0..n).all(|i| n <= 2 || colors[i] != colors[(i + 2) % n])
+}
+
+/// Returns `true` if, additionally, every agent's two neighbours have
+/// distinct colours (equivalent to the two-hop condition on rings with
+/// `n ≥ 3`; stated separately because it is the property `P_OR` actually
+/// uses).
+pub fn neighbors_distinguishable(colors: &[u8]) -> bool {
+    let n = colors.len();
+    if n <= 2 {
+        return n == 2 && true;
+    }
+    (0..n).all(|i| colors[(i + n - 1) % n] != colors[(i + 1) % n])
+}
+
+/// Per-colour handshake slot of the self-stabilizing colouring protocol.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Slot {
+    /// The neighbour colour this slot tracks.
+    pub color: u8,
+    /// The shared handshake bit.
+    pub bit: bool,
+    /// Whether the slot is in use.
+    pub used: bool,
+}
+
+/// Per-agent state of the best-effort self-stabilizing two-hop colouring
+/// protocol.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ColoringState {
+    /// The agent's own colour.
+    pub color: u8,
+    /// Handshake slots, one per distinct neighbour colour (degree ≤ 2).
+    pub slots: [Slot; 2],
+    /// A free-running counter providing pseudo-randomness for recolouring
+    /// (driven by the random scheduler's interleaving).
+    pub wheel: u8,
+}
+
+impl ColoringState {
+    /// Creates a state with the given colour and empty slots.
+    pub fn new(color: u8) -> Self {
+        ColoringState {
+            color,
+            slots: [Slot::default(); 2],
+            wheel: 0,
+        }
+    }
+
+    fn slot_for(&mut self, color: u8) -> Option<&mut Slot> {
+        self.slots.iter_mut().find(|s| s.used && s.color == color)
+    }
+
+    fn ensure_slot(&mut self, color: u8) -> &mut Slot {
+        if let Some(idx) = self
+            .slots
+            .iter()
+            .position(|s| s.used && s.color == color)
+        {
+            return &mut self.slots[idx];
+        }
+        // Allocate: prefer an unused slot, otherwise evict the second one.
+        let idx = self.slots.iter().position(|s| !s.used).unwrap_or(1);
+        self.slots[idx] = Slot {
+            color,
+            bit: false,
+            used: true,
+        };
+        &mut self.slots[idx]
+    }
+
+    fn forget_all(&mut self) {
+        self.slots = [Slot::default(); 2];
+    }
+}
+
+/// Best-effort randomized self-stabilizing two-hop colouring protocol for
+/// rings (a stand-in for [24]; see the module docs).
+///
+/// Invariant targeted: every agent's two neighbours have distinct colours.
+/// Mechanism: each pair of (agent, neighbour-colour) maintains a shared
+/// handshake bit that both sides toggle in lock-step.  If two distinct
+/// neighbours share a colour they hit the same slot of their common
+/// neighbour, the lock-step breaks with constant probability per interaction,
+/// the mismatch is detected, and the responder recolours pseudo-randomly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TwoHopColoring {
+    /// Number of colours in the palette (must be ≥ 3; ≥ 4 recommended).
+    pub num_colors: u8,
+}
+
+impl TwoHopColoring {
+    /// Creates the protocol with the given palette size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_colors < 3`.
+    pub fn new(num_colors: u8) -> Self {
+        assert!(num_colors >= 3, "need at least 3 colours on a ring");
+        TwoHopColoring { num_colors }
+    }
+}
+
+impl Default for TwoHopColoring {
+    fn default() -> Self {
+        TwoHopColoring::new(DEFAULT_COLORS)
+    }
+}
+
+impl Protocol for TwoHopColoring {
+    type State = ColoringState;
+
+    fn interact(&self, u: &mut ColoringState, v: &mut ColoringState) {
+        u.wheel = u.wheel.wrapping_add(1);
+        v.wheel = v.wheel.wrapping_add(3);
+        // Clamp colours into the palette (self-stabilization: arbitrary
+        // initial values).
+        u.color %= self.num_colors;
+        v.color %= self.num_colors;
+
+        let u_has = u.slot_for(v.color).map(|s| s.bit);
+        let v_has = v.slot_for(u.color).map(|s| s.bit);
+        match (u_has, v_has) {
+            (Some(ub), Some(vb)) => {
+                if ub != vb {
+                    // Handshake broken: either the colouring is genuinely
+                    // conflicting or the initial bits were adversarial.
+                    // Recolour the responder and restart both handshakes.
+                    v.color = (v.color + 1 + (v.wheel ^ u.wheel) % (self.num_colors - 1))
+                        % self.num_colors;
+                    u.forget_all();
+                    v.forget_all();
+                } else {
+                    // Lock-step toggle.
+                    let nb = !ub;
+                    if let Some(s) = u.slot_for(v.color) {
+                        s.bit = nb;
+                    }
+                    if let Some(s) = v.slot_for(u.color) {
+                        s.bit = nb;
+                    }
+                }
+            }
+            _ => {
+                // First meeting (for this colour pair) since a reset:
+                // synchronise both bits to false.
+                u.ensure_slot(v.color).bit = false;
+                v.ensure_slot(u.color).bit = false;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "two-hop coloring (handshake, stand-in for [24])"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use population::{Configuration, Simulation, UndirectedRing};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn oracle_coloring_is_valid_for_all_small_rings() {
+        for n in 2..200 {
+            let colors = oracle_two_hop_coloring(n);
+            assert_eq!(colors.len(), n);
+            assert!(is_two_hop_coloring(&colors), "n = {n}: {colors:?}");
+            if n >= 3 {
+                assert!(neighbors_distinguishable(&colors), "n = {n}");
+            }
+            assert!(colors.iter().all(|&c| c < 3));
+        }
+    }
+
+    #[test]
+    fn two_hop_validation_detects_violations() {
+        assert!(is_two_hop_coloring(&[0, 1, 1, 0])); // i and i+2 differ
+        assert!(!is_two_hop_coloring(&[0, 1, 0, 1])); // 0 and 2 collide
+        assert!(!neighbors_distinguishable(&[0, 1, 1, 1, 0, 1])); // nbrs of 0 are both 1
+    }
+
+    #[test]
+    fn slots_allocate_and_evict() {
+        let mut s = ColoringState::new(0);
+        s.ensure_slot(1).bit = true;
+        s.ensure_slot(2).bit = false;
+        assert!(s.slot_for(1).is_some());
+        assert!(s.slot_for(2).is_some());
+        assert!(s.slot_for(3).is_none());
+        // Third colour evicts the second slot.
+        s.ensure_slot(3);
+        assert!(s.slot_for(3).is_some());
+        assert!(s.slot_for(1).is_some());
+        assert!(s.slot_for(2).is_none());
+        s.forget_all();
+        assert!(s.slot_for(1).is_none());
+    }
+
+    #[test]
+    fn handshake_keeps_a_correct_coloring_stable() {
+        // Start from the oracle colouring with clean slots: the protocol must
+        // never recolour anyone.
+        let n = 17;
+        let colors = oracle_two_hop_coloring(n);
+        let config =
+            Configuration::from_fn(n, |i| ColoringState::new(colors[i]));
+        let protocol = TwoHopColoring::default();
+        let mut sim = Simulation::new(protocol, UndirectedRing::new(n).unwrap(), config, 5);
+        sim.run_steps(200_000);
+        let now: Vec<u8> = sim.config().states().iter().map(|s| s.color).collect();
+        assert_eq!(now, colors, "a valid colouring must be left untouched");
+    }
+
+    #[test]
+    fn handshake_recovers_a_two_hop_coloring_from_random_colors() {
+        let n = 24;
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let protocol = TwoHopColoring::default();
+        let config = Configuration::from_fn(n, |_| {
+            let mut s = ColoringState::new(rng.gen_range(0..DEFAULT_COLORS));
+            s.slots[0] = Slot {
+                color: rng.gen_range(0..DEFAULT_COLORS),
+                bit: rng.gen(),
+                used: rng.gen(),
+            };
+            s.wheel = rng.gen();
+            s
+        });
+        let mut sim = Simulation::new(protocol, UndirectedRing::new(n).unwrap(), config, 13);
+        let report = sim.run_until(
+            |_p, c: &Configuration<ColoringState>| {
+                let colors: Vec<u8> = c.states().iter().map(|s| s.color).collect();
+                neighbors_distinguishable(&colors)
+            },
+            1_000,
+            40_000_000,
+        );
+        assert!(
+            report.converged(),
+            "the handshake colouring protocol did not reach a two-hop colouring"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn too_few_colors_is_rejected() {
+        TwoHopColoring::new(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two agents")]
+    fn oracle_rejects_singleton() {
+        oracle_two_hop_coloring(1);
+    }
+}

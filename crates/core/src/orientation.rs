@@ -1,0 +1,367 @@
+//! The self-stabilizing ring-orientation protocol `P_OR` (Section 5,
+//! Algorithm 6).
+//!
+//! `P_PL` assumes a *directed* ring.  Section 5 removes the assumption: on an
+//! undirected ring where a two-hop colouring is available (so each agent can
+//! tell its two neighbours apart and remembers their colours in `c1`, `c2`),
+//! `P_OR` gives all agents a common sense of direction using only `O(1)`
+//! states and `O(n² log n)` steps w.h.p. (Theorem 5.2).
+//!
+//! Each agent points at one neighbour (`dir` holds that neighbour's colour).
+//! Runs of agents pointing the same way form *segments*; where two segments
+//! face each other their *heads* fight, the winner's direction advances by
+//! one agent, and the `strong` flag (carried by a head that just won) makes a
+//! winning segment keep winning so the number of segments halves every
+//! `O(n²)` steps w.h.p.
+//!
+//! A configuration is safe (Definition 5.1) when (i) the colouring is a
+//! two-hop colouring, (ii) all agents point clockwise or all point
+//! counter-clockwise, and (iii) outputs never change again.
+
+use population::{Configuration, Protocol};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::coloring::oracle_two_hop_coloring;
+
+/// Per-agent state of `P_OR`.
+///
+/// `color`, `c1` and `c2` are *input* variables (Algorithm 6): the agent's
+/// own colour and the colours of its two neighbours, provided by the two-hop
+/// colouring substrate.  `P_OR` only ever writes `dir` and `strong`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OrState {
+    /// The agent's own colour.
+    pub color: u8,
+    /// Colour of one neighbour.
+    pub c1: u8,
+    /// Colour of the other neighbour.
+    pub c2: u8,
+    /// Output: the colour of the neighbour this agent points at.
+    pub dir: u8,
+    /// Whether this agent is a *strong* head.
+    pub strong: bool,
+}
+
+impl OrState {
+    /// The unique neighbour colour different from `other` — the paper's
+    /// "the unique c ∈ {c1, c2} such that c ≠ v.color".  Falls back to `c1`
+    /// if both neighbour colours equal `other` (possible only under a broken
+    /// colouring; the orientation protocol then still makes progress once the
+    /// colouring substrate repairs itself).
+    pub fn other_neighbor_color(&self, other: u8) -> u8 {
+        if self.c1 != other {
+            self.c1
+        } else {
+            self.c2
+        }
+    }
+}
+
+/// The ring-orientation protocol `P_OR` (Algorithm 6).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Por;
+
+impl Por {
+    /// Creates the protocol.
+    pub fn new() -> Self {
+        Por
+    }
+}
+
+impl Protocol for Por {
+    type State = OrState;
+
+    fn interact(&self, u: &mut OrState, v: &mut OrState) {
+        if u.dir == v.color && v.dir == u.color {
+            // Line 63: the two heads point at each other — a battle front.
+            if !u.strong && v.strong {
+                // Lines 64–66: the strong responder wins; the initiator flips
+                // to the winner's direction and becomes the new (strong) head
+                // of the winning segment.
+                u.dir = u.other_neighbor_color(v.color);
+                u.strong = true;
+                v.strong = false;
+            } else {
+                // Lines 67–69: otherwise the initiator wins (strong beats
+                // weak, ties go to the initiator, and a weak-weak initiator
+                // win promotes the new head to strong).
+                v.dir = v.other_neighbor_color(u.color);
+                u.strong = false;
+                v.strong = true;
+            }
+        } else if u.dir == v.color {
+            // Lines 70–71: `u` points at `v` but `v` points away: `u` is a
+            // non-head and loses any strength.
+            u.strong = false;
+        } else if v.dir == u.color {
+            // Lines 72–73: symmetric case.
+            v.strong = false;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "P_OR (ring orientation)"
+    }
+}
+
+/// Builds the `OrState` configuration for a ring of `n` agents with the
+/// oracle two-hop colouring, correct neighbour memories, and `dir`/`strong`
+/// chosen arbitrarily (uniformly at random) — the adversarial part of the
+/// initial configuration that `P_OR` must repair.
+pub fn random_orientation_config(n: usize, seed: u64) -> Configuration<OrState> {
+    let colors = oracle_two_hop_coloring(n);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Configuration::from_fn(n, |i| {
+        let left = colors[(i + n - 1) % n];
+        let right = colors[(i + 1) % n];
+        OrState {
+            color: colors[i],
+            c1: left,
+            c2: right,
+            dir: if rng.gen_bool(0.5) { left } else { right },
+            strong: rng.gen(),
+        }
+    })
+}
+
+/// Builds a fully clockwise-oriented configuration (every agent points at its
+/// right neighbour) — a safe configuration used by closure tests.
+pub fn oriented_config(n: usize, clockwise: bool) -> Configuration<OrState> {
+    let colors = oracle_two_hop_coloring(n);
+    Configuration::from_fn(n, |i| {
+        let left = colors[(i + n - 1) % n];
+        let right = colors[(i + 1) % n];
+        OrState {
+            color: colors[i],
+            c1: left,
+            c2: right,
+            dir: if clockwise { right } else { left },
+            strong: false,
+        }
+    })
+}
+
+/// Returns `true` iff the configuration satisfies condition (ii) of
+/// Definition 5.1: every agent points at its clockwise neighbour, or every
+/// agent points at its counter-clockwise neighbour.
+pub fn is_oriented(config: &Configuration<OrState>) -> bool {
+    let n = config.len();
+    let all_clockwise = (0..n).all(|i| config[i].dir == config.right_of(i).color);
+    let all_counter = (0..n).all(|i| config[i].dir == config.left_of(i).color);
+    all_clockwise || all_counter
+}
+
+/// Number of *battle fronts*: adjacent pairs pointing at each other.  The
+/// orientation is complete exactly when this reaches zero (on a ring the
+/// number of facing fronts equals the number of back-to-back fronts, and both
+/// vanish together).
+pub fn facing_fronts(config: &Configuration<OrState>) -> usize {
+    let n = config.len();
+    (0..n)
+        .filter(|&i| {
+            let u = &config[i];
+            let v = config.right_of(i);
+            u.dir == v.color && v.dir == u.color
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use population::{Simulation, UndirectedRing};
+
+    #[test]
+    fn oriented_configurations_are_recognised() {
+        for n in [3usize, 4, 7, 12, 33] {
+            assert!(is_oriented(&oriented_config(n, true)), "clockwise n={n}");
+            assert!(is_oriented(&oriented_config(n, false)), "ccw n={n}");
+            assert_eq!(facing_fronts(&oriented_config(n, true)), 0);
+        }
+    }
+
+    #[test]
+    fn misoriented_configurations_are_rejected() {
+        let mut c = oriented_config(8, true);
+        // Flip one agent to point left.
+        let left = c.left_of(3).color;
+        c[3].dir = left;
+        assert!(!is_oriented(&c));
+        assert!(facing_fronts(&c) >= 1);
+    }
+
+    #[test]
+    fn other_neighbor_color_picks_the_non_matching_side() {
+        let s = OrState {
+            color: 0,
+            c1: 1,
+            c2: 2,
+            dir: 1,
+            strong: false,
+        };
+        assert_eq!(s.other_neighbor_color(1), 2);
+        assert_eq!(s.other_neighbor_color(2), 1);
+        // Degenerate (broken colouring): falls back to c1.
+        let broken = OrState {
+            color: 0,
+            c1: 1,
+            c2: 1,
+            dir: 1,
+            strong: false,
+        };
+        assert_eq!(broken.other_neighbor_color(1), 1);
+    }
+
+    #[test]
+    fn battle_front_resolution_follows_the_strength_rules() {
+        let protocol = Por::new();
+        // Build a small front by hand: u points at v (colour 1) and v points
+        // at u (colour 0).
+        let base_u = OrState {
+            color: 0,
+            c1: 2,
+            c2: 1,
+            dir: 1,
+            strong: false,
+        };
+        let base_v = OrState {
+            color: 1,
+            c1: 0,
+            c2: 2,
+            dir: 0,
+            strong: false,
+        };
+
+        // Weak initiator vs strong responder: responder's segment wins; the
+        // initiator flips and becomes the new strong head.
+        let (mut u, mut v) = (base_u, base_v);
+        v.strong = true;
+        protocol.interact(&mut u, &mut v);
+        assert_eq!(u.dir, 2, "initiator now points away from the responder");
+        assert!(u.strong);
+        assert!(!v.strong);
+
+        // Strong initiator vs weak responder: initiator wins.
+        let (mut u, mut v) = (base_u, base_v);
+        u.strong = true;
+        protocol.interact(&mut u, &mut v);
+        assert_eq!(v.dir, 2, "responder now points away from the initiator");
+        assert!(v.strong);
+        assert!(!u.strong);
+        assert_eq!(u.dir, 1, "the winner's own direction is unchanged");
+
+        // Both strong: initiator wins (tie-break).
+        let (mut u, mut v) = (base_u, base_v);
+        u.strong = true;
+        v.strong = true;
+        protocol.interact(&mut u, &mut v);
+        assert_eq!(v.dir, 2);
+        assert!(v.strong && !u.strong);
+
+        // Both weak: initiator wins and the new head becomes strong.
+        let (mut u, mut v) = (base_u, base_v);
+        protocol.interact(&mut u, &mut v);
+        assert_eq!(v.dir, 2);
+        assert!(v.strong && !u.strong);
+    }
+
+    #[test]
+    fn non_head_agents_lose_strength() {
+        let protocol = Por::new();
+        // u points at v, v points away from u: u is a non-head.
+        let mut u = OrState {
+            color: 0,
+            c1: 2,
+            c2: 1,
+            dir: 1,
+            strong: true,
+        };
+        let mut v = OrState {
+            color: 1,
+            c1: 0,
+            c2: 2,
+            dir: 2,
+            strong: true,
+        };
+        protocol.interact(&mut u, &mut v);
+        assert!(!u.strong, "Lines 70–71");
+        assert!(v.strong, "v is not affected");
+        assert_eq!(u.dir, 1);
+        assert_eq!(v.dir, 2);
+
+        // Symmetric case: v points at u, u points away.
+        let mut u = OrState {
+            color: 0,
+            c1: 2,
+            c2: 1,
+            dir: 2,
+            strong: true,
+        };
+        let mut v = OrState {
+            color: 1,
+            c1: 0,
+            c2: 2,
+            dir: 0,
+            strong: true,
+        };
+        protocol.interact(&mut u, &mut v);
+        assert!(!v.strong, "Lines 72–73");
+        assert!(u.strong);
+    }
+
+    #[test]
+    fn already_oriented_rings_never_change_direction() {
+        // Closure (condition (iii) of Definition 5.1): from an oriented
+        // configuration no agent ever changes its output.
+        let n = 16;
+        let protocol = Por::new();
+        let config = oriented_config(n, true);
+        let reference: Vec<u8> = config.states().iter().map(|s| s.dir).collect();
+        let mut sim = Simulation::new(protocol, UndirectedRing::new(n).unwrap(), config, 3);
+        sim.run_steps(200_000);
+        let now: Vec<u8> = sim.config().states().iter().map(|s| s.dir).collect();
+        assert_eq!(now, reference);
+        assert!(is_oriented(sim.config()));
+    }
+
+    #[test]
+    fn random_orientations_converge_to_a_global_orientation() {
+        for (n, seed) in [(8usize, 1u64), (16, 2), (24, 3)] {
+            let protocol = Por::new();
+            let config = random_orientation_config(n, seed);
+            let mut sim =
+                Simulation::new(protocol, UndirectedRing::new(n).unwrap(), config, seed ^ 0xABCD);
+            let report = sim.run_until(
+                |_p, c: &Configuration<OrState>| is_oriented(c),
+                (n * n) as u64,
+                80_000_000,
+            );
+            assert!(report.converged(), "n = {n}, seed = {seed}");
+            // Once oriented, the direction never changes again.
+            let reference: Vec<u8> = sim.config().states().iter().map(|s| s.dir).collect();
+            sim.run_steps(100_000);
+            let now: Vec<u8> = sim.config().states().iter().map(|s| s.dir).collect();
+            assert_eq!(now, reference, "orientation changed after convergence");
+        }
+    }
+
+    #[test]
+    fn fronts_never_increase_along_an_execution() {
+        // The number of segments (hence fronts) is monotonically
+        // non-increasing (Section 5).
+        let n = 20;
+        let protocol = Por::new();
+        let config = random_orientation_config(n, 9);
+        let mut sim = Simulation::new(protocol, UndirectedRing::new(n).unwrap(), config, 17);
+        let mut last = facing_fronts(sim.config());
+        for _ in 0..200 {
+            sim.run_steps(500);
+            let now = facing_fronts(sim.config());
+            assert!(now <= last, "fronts increased from {last} to {now}");
+            last = now;
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Protocol parameters.
+//!
+//! The protocol `P_PL` is parameterised by the common knowledge
+//! `ψ = ⌈log₂ n⌉ + O(1)` (Section 2) and by `κ_max = c₁ψ = Θ(log n)`
+//! (Section 3.3), the ceiling of the mode-determination clock.  The paper's
+//! analysis assumes `c₁ ≥ 32`; smaller values of `c₁` still yield a correct
+//! (self-stabilizing) protocol but weaken the w.h.p. guarantee that all
+//! agents stay in construction mode long enough, which in the worst case only
+//! costs extra leader create/eliminate cycles.  The default here uses
+//! `c₁ = 8` to keep simulations fast; [`Params::paper_constants`] restores
+//! the paper's `c₁ = 32`.
+
+use serde::{Deserialize, Serialize};
+
+/// Default multiplier `c₁` in `κ_max = c₁ · ψ` used by [`Params::for_ring`].
+pub const DEFAULT_KAPPA_FACTOR: u32 = 8;
+
+/// Multiplier `c₁` assumed by the paper's analysis (Section 3.3).
+pub const PAPER_KAPPA_FACTOR: u32 = 32;
+
+/// The knowledge parameters shared by every agent of `P_PL`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Params {
+    psi: u32,
+    kappa_max: u32,
+}
+
+impl Params {
+    /// Creates parameters from an explicit `ψ` and `κ_max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `psi < 2` (the paper assumes `ψ ≥ 2`; `ψ = 1` implies
+    /// `n = 2`, solved trivially) or if `kappa_max < psi`.
+    pub fn new(psi: u32, kappa_max: u32) -> Self {
+        assert!(psi >= 2, "psi must be at least 2 (the paper assumes ψ ≥ 2)");
+        assert!(
+            kappa_max >= psi,
+            "kappa_max must be at least psi (κ_max = Θ(ψ) with factor ≥ 1)"
+        );
+        Params { psi, kappa_max }
+    }
+
+    /// The canonical parameters for a ring of `n` agents:
+    /// `ψ = max(2, ⌈log₂ n⌉)` and `κ_max = c₁ψ` with the default `c₁`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn for_ring(n: usize) -> Self {
+        Self::for_ring_with_factor(n, DEFAULT_KAPPA_FACTOR)
+    }
+
+    /// Like [`Params::for_ring`] but with the paper's `c₁ = 32`.
+    pub fn paper_constants(n: usize) -> Self {
+        Self::for_ring_with_factor(n, PAPER_KAPPA_FACTOR)
+    }
+
+    /// The canonical parameters with an explicit `c₁` factor (clamped to at
+    /// least 1), used by the `κ_max` ablation experiment (E10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn for_ring_with_factor(n: usize, kappa_factor: u32) -> Self {
+        assert!(n >= 2, "population size must be at least 2");
+        let psi = ceil_log2(n).max(2);
+        let kappa_max = psi * kappa_factor.max(1);
+        Params { psi, kappa_max }
+    }
+
+    /// The knowledge `ψ`.
+    pub fn psi(&self) -> u32 {
+        self.psi
+    }
+
+    /// The clock ceiling `κ_max`.
+    pub fn kappa_max(&self) -> u32 {
+        self.kappa_max
+    }
+
+    /// `2ψ`, the modulus of the `dist` variable.
+    pub fn two_psi(&self) -> u32 {
+        2 * self.psi
+    }
+
+    /// `2^ψ`, the modulus of segment IDs.  The knowledge requirement
+    /// `2^ψ ≥ n` is what makes Lemma 3.2 work.
+    pub fn id_modulus(&self) -> u64 {
+        1u64 << self.psi
+    }
+
+    /// Returns `true` if these parameters are valid knowledge for a ring of
+    /// `n` agents, i.e. `2^ψ ≥ n`.
+    pub fn valid_for(&self, n: usize) -> bool {
+        self.id_modulus() >= n as u64
+    }
+
+    /// The number of segments `ζ = ⌈n/ψ⌉` of a ring of `n` agents carved
+    /// into segments of length `ψ` (Section 3.2).
+    pub fn num_segments(&self, n: usize) -> usize {
+        n.div_ceil(self.psi as usize)
+    }
+
+    /// The length of a token's full trajectory,
+    /// `(ψ + ψ − 1)(ψ − 1) + ψ = 2ψ² − 2ψ + 1` moves (Definition 3.4).
+    pub fn trajectory_length(&self) -> u64 {
+        let psi = self.psi as u64;
+        2 * psi * psi - 2 * psi + 1
+    }
+
+    /// The exact number of states an agent of `P_PL` can be in under these
+    /// parameters (the product of all variable domains of Algorithm 1).
+    ///
+    /// This is the quantity reported in the "#states" column of Table 1:
+    /// it is `polylog(n)` because every factor is `O(log n)` or `O(log² n)`.
+    pub fn states_per_agent(&self) -> u128 {
+        let psi = self.psi as u128;
+        let kappa = self.kappa_max as u128;
+        let leader = 2u128;
+        let b = 2u128;
+        let dist = 2 * psi;
+        let last = 2u128;
+        // token ∈ {⊥} ∪ (([-ψ+1,-1] ∪ [1,ψ]) × {0,1} × {0,1})
+        let token = 1 + (2 * psi - 1) * 4;
+        let mode = 2u128;
+        let clock = kappa + 1;
+        let hits = psi + 1;
+        let signal_r = kappa + 1;
+        let bullet = 3u128;
+        let shield = 2u128;
+        let signal_b = 2u128;
+        leader * b * dist * last * token * token * mode * clock * hits * signal_r * bullet * shield * signal_b
+    }
+
+    /// Like [`Params::states_per_agent`] but counting `mode` as derived from
+    /// `clock` (Lines 49–50 make `mode` a function of `clock`), i.e. the
+    /// minimal encoding an implementation would actually store.
+    pub fn states_per_agent_minimal(&self) -> u128 {
+        self.states_per_agent() / 2
+    }
+
+    /// Number of bits needed to encode one agent state,
+    /// `⌈log₂(states_per_agent)⌉` — the `O(log log n)`-bits figure quoted in
+    /// the introduction is per *variable*; the whole state needs
+    /// `Θ(log log n · log log n)`-ish bits dominated by the two tokens.
+    pub fn bits_per_agent(&self) -> u32 {
+        128 - (self.states_per_agent().max(1) - 1).leading_zeros()
+    }
+}
+
+/// `⌈log₂ n⌉` for `n ≥ 1`.
+pub fn ceil_log2(n: usize) -> u32 {
+    assert!(n >= 1, "log of zero");
+    if n == 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_matches_definition() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn for_ring_satisfies_knowledge_requirement() {
+        for n in 2..300 {
+            let p = Params::for_ring(n);
+            assert!(p.valid_for(n), "2^psi must be >= n for n = {n}");
+            assert!(p.psi() >= 2);
+            assert_eq!(p.kappa_max(), p.psi() * DEFAULT_KAPPA_FACTOR);
+            assert_eq!(p.two_psi(), 2 * p.psi());
+        }
+    }
+
+    #[test]
+    fn paper_constants_use_factor_32() {
+        let p = Params::paper_constants(100);
+        assert_eq!(p.kappa_max(), 32 * p.psi());
+        let q = Params::for_ring_with_factor(100, 5);
+        assert_eq!(q.kappa_max(), 5 * q.psi());
+        // Factor 0 is clamped to 1.
+        let r = Params::for_ring_with_factor(100, 0);
+        assert_eq!(r.kappa_max(), r.psi());
+    }
+
+    #[test]
+    fn tiny_rings_get_psi_two() {
+        assert_eq!(Params::for_ring(2).psi(), 2);
+        assert_eq!(Params::for_ring(3).psi(), 2);
+        assert_eq!(Params::for_ring(4).psi(), 2);
+        assert_eq!(Params::for_ring(5).psi(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn ring_of_one_is_rejected() {
+        Params::for_ring(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "psi must be at least 2")]
+    fn psi_one_is_rejected() {
+        Params::new(1, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "kappa_max must be at least psi")]
+    fn kappa_below_psi_is_rejected() {
+        Params::new(4, 3);
+    }
+
+    #[test]
+    fn segment_count_matches_ceiling_division() {
+        let p = Params::new(3, 24);
+        assert_eq!(p.num_segments(9), 3);
+        assert_eq!(p.num_segments(10), 4);
+        assert_eq!(p.num_segments(8), 3);
+        assert_eq!(p.num_segments(3), 1);
+    }
+
+    #[test]
+    fn trajectory_length_formula() {
+        // (ψ + ψ − 1)(ψ − 1) + ψ = 2ψ² − 2ψ + 1
+        for psi in 2..12u32 {
+            let p = Params::new(psi, 32 * psi);
+            let expected = (2 * psi as u64 - 1) * (psi as u64 - 1) + psi as u64;
+            assert_eq!(p.trajectory_length(), expected);
+        }
+        assert_eq!(Params::new(4, 32).trajectory_length(), 25);
+    }
+
+    #[test]
+    fn state_count_is_polylogarithmic() {
+        // The state count is a polynomial of bounded degree in ψ = Θ(log n):
+        // doubling ψ must multiply the count by at most 2^7 (the actual
+        // degree is 6), whereas any polynomial in n would square it.
+        let small = Params::for_ring(16).states_per_agent();
+        let s20 = Params::new(20, 160).states_per_agent();
+        let s40 = Params::new(40, 320).states_per_agent();
+        assert!(s20 > small);
+        assert!(s40 > s20);
+        assert!(s40 < s20 * 128, "state count grows faster than polylog: {s20} -> {s40}");
+        // ... and it is astronomically below the O(n)-state baseline's count
+        // once n is large: compare against n for n = 2^128 (psi = 128).
+        let s128 = Params::new(128, 1024).states_per_agent();
+        assert!(s128 < u128::MAX, "still representable");
+        assert!(s128 < 1u128 << 70, "polylog count stays tiny relative to n = 2^128");
+        // Minimal encoding halves the count (mode is derived from clock).
+        let p = Params::for_ring(64);
+        assert_eq!(p.states_per_agent_minimal() * 2, p.states_per_agent());
+        assert!(p.bits_per_agent() > 0);
+        assert!(p.bits_per_agent() < 80);
+    }
+
+    #[test]
+    fn id_modulus_is_power_of_two() {
+        let p = Params::new(7, 56);
+        assert_eq!(p.id_modulus(), 128);
+        assert!(p.valid_for(128));
+        assert!(!p.valid_for(129));
+    }
+}

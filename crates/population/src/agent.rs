@@ -1,0 +1,190 @@
+//! Agent identity.
+//!
+//! Agents in the population-protocol model are *anonymous*: the protocol
+//! itself can never observe an identifier.  The simulator, however, needs a
+//! way to index agents in configurations, interaction graphs and traces.
+//! [`AgentId`] is that index.  It is deliberately a thin newtype around
+//! `usize` so it can never leak into protocol state by accident (protocol
+//! states are defined in protocol crates and have no access to it).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of an agent within a population.
+///
+/// On a directed ring of `n` agents the paper names the agents
+/// `u_0, u_1, ..., u_{n-1}` with arcs `(u_i, u_{i+1 mod n})`.  `AgentId(i)`
+/// corresponds to `u_i`.  The identity is only visible to the simulator and
+/// to analysis code, never to the protocol transition function.
+///
+/// # Examples
+///
+/// ```
+/// use population::agent::AgentId;
+///
+/// let a = AgentId::new(3);
+/// assert_eq!(a.index(), 3);
+/// assert_eq!(a.clockwise_neighbor(8).index(), 4);
+/// assert_eq!(AgentId::new(7).clockwise_neighbor(8).index(), 0);
+/// assert_eq!(AgentId::new(0).counter_clockwise_neighbor(8).index(), 7);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AgentId(usize);
+
+impl AgentId {
+    /// Creates an agent id from a raw index.
+    pub const fn new(index: usize) -> Self {
+        AgentId(index)
+    }
+
+    /// Returns the raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// The agent `u_{i+1 mod n}`: the *right* (clockwise) neighbour on a ring
+    /// of `n` agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn clockwise_neighbor(self, n: usize) -> Self {
+        assert!(n > 0, "ring size must be positive");
+        AgentId((self.0 + 1) % n)
+    }
+
+    /// The agent `u_{i-1 mod n}`: the *left* (counter-clockwise) neighbour on
+    /// a ring of `n` agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn counter_clockwise_neighbor(self, n: usize) -> Self {
+        assert!(n > 0, "ring size must be positive");
+        AgentId((self.0 + n - 1) % n)
+    }
+
+    /// Clockwise distance from `self` to `other` on a ring of `n` agents
+    /// (the number of clockwise hops needed to reach `other`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use population::agent::AgentId;
+    /// assert_eq!(AgentId::new(2).clockwise_distance_to(AgentId::new(5), 8), 3);
+    /// assert_eq!(AgentId::new(5).clockwise_distance_to(AgentId::new(2), 8), 5);
+    /// assert_eq!(AgentId::new(5).clockwise_distance_to(AgentId::new(5), 8), 0);
+    /// ```
+    pub fn clockwise_distance_to(self, other: AgentId, n: usize) -> usize {
+        assert!(n > 0, "ring size must be positive");
+        (other.0 + n - self.0 % n) % n
+    }
+}
+
+impl From<usize> for AgentId {
+    fn from(index: usize) -> Self {
+        AgentId(index)
+    }
+}
+
+impl From<AgentId> for usize {
+    fn from(id: AgentId) -> usize {
+        id.0
+    }
+}
+
+impl fmt::Debug for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_index_round_trip() {
+        for i in 0..100 {
+            assert_eq!(AgentId::new(i).index(), i);
+            assert_eq!(usize::from(AgentId::from(i)), i);
+        }
+    }
+
+    #[test]
+    fn clockwise_neighbor_wraps() {
+        let n = 5;
+        assert_eq!(AgentId::new(0).clockwise_neighbor(n), AgentId::new(1));
+        assert_eq!(AgentId::new(4).clockwise_neighbor(n), AgentId::new(0));
+    }
+
+    #[test]
+    fn counter_clockwise_neighbor_wraps() {
+        let n = 5;
+        assert_eq!(
+            AgentId::new(0).counter_clockwise_neighbor(n),
+            AgentId::new(4)
+        );
+        assert_eq!(
+            AgentId::new(3).counter_clockwise_neighbor(n),
+            AgentId::new(2)
+        );
+    }
+
+    #[test]
+    fn neighbors_are_inverse_of_each_other() {
+        let n = 17;
+        for i in 0..n {
+            let a = AgentId::new(i);
+            assert_eq!(a.clockwise_neighbor(n).counter_clockwise_neighbor(n), a);
+            assert_eq!(a.counter_clockwise_neighbor(n).clockwise_neighbor(n), a);
+        }
+    }
+
+    #[test]
+    fn clockwise_distance_properties() {
+        let n = 9;
+        for i in 0..n {
+            for j in 0..n {
+                let a = AgentId::new(i);
+                let b = AgentId::new(j);
+                let d = a.clockwise_distance_to(b, n);
+                assert!(d < n);
+                // Walking d clockwise hops from a reaches b.
+                let mut cur = a;
+                for _ in 0..d {
+                    cur = cur.clockwise_neighbor(n);
+                }
+                assert_eq!(cur, b);
+                // Distances there and back sum to 0 or n.
+                let back = b.clockwise_distance_to(a, n);
+                assert!(d + back == 0 || d + back == n);
+            }
+        }
+    }
+
+    #[test]
+    fn display_and_debug_match_paper_notation() {
+        assert_eq!(format!("{}", AgentId::new(7)), "u7");
+        assert_eq!(format!("{:?}", AgentId::new(7)), "u7");
+    }
+
+    #[test]
+    #[should_panic(expected = "ring size must be positive")]
+    fn neighbor_of_empty_ring_panics() {
+        AgentId::new(0).clockwise_neighbor(0);
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(AgentId::new(1) < AgentId::new(2));
+        assert_eq!(AgentId::new(3).max(AgentId::new(5)), AgentId::new(5));
+    }
+}

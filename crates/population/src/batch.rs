@@ -1,0 +1,330 @@
+//! Parallel batch execution of convergence trials.
+//!
+//! Convergence-time experiments repeat many independent trials per population
+//! size.  [`BatchRunner`] distributes trials over worker threads (each trial
+//! is seeded independently, so results are reproducible regardless of the
+//! thread count) and [`BatchSummary`] aggregates per-`n` statistics.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::convergence::ConvergenceReport;
+
+/// A single trial: a population size and an RNG seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Trial {
+    /// Population size.
+    pub n: usize,
+    /// RNG seed (drives both the initial configuration and the scheduler).
+    pub seed: u64,
+}
+
+impl Trial {
+    /// Creates a trial.
+    pub fn new(n: usize, seed: u64) -> Self {
+        Trial { n, seed }
+    }
+
+    /// Builds the standard trial grid: `trials_per_n` seeds for every `n`.
+    pub fn grid(sizes: &[usize], trials_per_n: usize, base_seed: u64) -> Vec<Trial> {
+        let mut out = Vec::with_capacity(sizes.len() * trials_per_n);
+        for (si, &n) in sizes.iter().enumerate() {
+            for t in 0..trials_per_n {
+                out.push(Trial::new(n, base_seed ^ ((si as u64) << 32) ^ t as u64));
+            }
+        }
+        out
+    }
+}
+
+/// Result of one trial.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrialOutcome {
+    /// The trial parameters.
+    pub trial: Trial,
+    /// The convergence report returned by the per-trial closure.
+    pub report: ConvergenceReport,
+}
+
+/// Aggregated outcomes for a single population size.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BatchSummary {
+    /// The population size shared by all outcomes in this summary.
+    pub n: usize,
+    /// Per-trial outcomes.
+    pub outcomes: Vec<TrialOutcome>,
+}
+
+impl BatchSummary {
+    /// Convergence steps of the trials that converged, as `f64`s.
+    pub fn convergence_steps(&self) -> Vec<f64> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.report.converged_at)
+            .map(|s| s as f64)
+            .collect()
+    }
+
+    /// Fraction of trials that converged within their step budget.
+    pub fn converged_fraction(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes
+            .iter()
+            .filter(|o| o.report.converged())
+            .count() as f64
+            / self.outcomes.len() as f64
+    }
+
+    /// Mean convergence steps over the converged trials.
+    pub fn mean_steps(&self) -> Option<f64> {
+        let steps = self.convergence_steps();
+        if steps.is_empty() {
+            None
+        } else {
+            Some(steps.iter().sum::<f64>() / steps.len() as f64)
+        }
+    }
+
+    /// Median convergence steps over the converged trials.
+    pub fn median_steps(&self) -> Option<f64> {
+        let mut steps = self.convergence_steps();
+        if steps.is_empty() {
+            return None;
+        }
+        steps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mid = steps.len() / 2;
+        Some(if steps.len() % 2 == 1 {
+            steps[mid]
+        } else {
+            (steps[mid - 1] + steps[mid]) / 2.0
+        })
+    }
+
+    /// Maximum convergence steps over the converged trials.
+    pub fn max_steps(&self) -> Option<f64> {
+        self.convergence_steps()
+            .into_iter()
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
+    }
+}
+
+/// Runs trials in parallel over a fixed-size thread pool.
+#[derive(Clone, Debug)]
+pub struct BatchRunner {
+    num_threads: usize,
+}
+
+impl Default for BatchRunner {
+    fn default() -> Self {
+        BatchRunner::new()
+    }
+}
+
+impl BatchRunner {
+    /// Creates a runner using all available parallelism.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        BatchRunner {
+            num_threads: threads,
+        }
+    }
+
+    /// Creates a runner with an explicit thread count (minimum 1).
+    pub fn with_threads(num_threads: usize) -> Self {
+        BatchRunner {
+            num_threads: num_threads.max(1),
+        }
+    }
+
+    /// The number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs every trial through `run_one`, in parallel, and returns the
+    /// outcomes ordered exactly like the input trials.
+    pub fn run<F>(&self, trials: &[Trial], run_one: F) -> Vec<TrialOutcome>
+    where
+        F: Fn(Trial) -> ConvergenceReport + Send + Sync,
+    {
+        if trials.is_empty() {
+            return Vec::new();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<TrialOutcome>>> = Mutex::new(vec![None; trials.len()]);
+        let workers = self.num_threads.min(trials.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= trials.len() {
+                        break;
+                    }
+                    let trial = trials[idx];
+                    let report = run_one(trial);
+                    let outcome = TrialOutcome { trial, report };
+                    results.lock().unwrap()[idx] = Some(outcome);
+                });
+            }
+        });
+        results
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|o| o.expect("every trial must produce an outcome"))
+            .collect()
+    }
+
+    /// Runs all trials and groups the outcomes by population size, preserving
+    /// the order in which sizes first appear in the trial list.
+    pub fn run_grouped<F>(&self, trials: &[Trial], run_one: F) -> Vec<BatchSummary>
+    where
+        F: Fn(Trial) -> ConvergenceReport + Send + Sync,
+    {
+        let outcomes = self.run(trials, run_one);
+        let mut order: Vec<usize> = Vec::new();
+        for t in trials {
+            if !order.contains(&t.n) {
+                order.push(t.n);
+            }
+        }
+        order
+            .into_iter()
+            .map(|n| BatchSummary {
+                n,
+                outcomes: outcomes
+                    .iter()
+                    .filter(|o| o.trial.n == n)
+                    .cloned()
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_report(converged_at: Option<u64>) -> ConvergenceReport {
+        ConvergenceReport {
+            converged_at,
+            steps_executed: converged_at.unwrap_or(1000),
+            max_steps: 1000,
+            check_interval: 1,
+            criterion: "test".into(),
+        }
+    }
+
+    #[test]
+    fn trial_grid_covers_all_sizes_with_distinct_seeds() {
+        let trials = Trial::grid(&[8, 16, 32], 5, 42);
+        assert_eq!(trials.len(), 15);
+        let mut seeds: Vec<u64> = trials.iter().map(|t| t.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 15, "seeds must all be distinct");
+        assert_eq!(trials.iter().filter(|t| t.n == 16).count(), 5);
+    }
+
+    #[test]
+    fn runner_preserves_trial_order() {
+        let trials: Vec<Trial> = (0..50).map(|i| Trial::new(4, i)).collect();
+        let runner = BatchRunner::with_threads(4);
+        assert_eq!(runner.num_threads(), 4);
+        let outcomes = runner.run(&trials, |t| fake_report(Some(t.seed * 10)));
+        assert_eq!(outcomes.len(), 50);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.trial.seed, i as u64);
+            assert_eq!(o.report.converged_at, Some(i as u64 * 10));
+        }
+    }
+
+    #[test]
+    fn empty_trial_list_is_fine() {
+        let runner = BatchRunner::with_threads(2);
+        let outcomes = runner.run(&[], |_| fake_report(None));
+        assert!(outcomes.is_empty());
+    }
+
+    #[test]
+    fn grouping_by_population_size() {
+        let trials = Trial::grid(&[8, 16], 3, 0);
+        let runner = BatchRunner::with_threads(2);
+        let groups = runner.run_grouped(&trials, |t| fake_report(Some(t.n as u64 * 100)));
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].n, 8);
+        assert_eq!(groups[1].n, 16);
+        assert_eq!(groups[0].outcomes.len(), 3);
+        assert_eq!(groups[0].mean_steps(), Some(800.0));
+        assert_eq!(groups[1].median_steps(), Some(1600.0));
+        assert_eq!(groups[1].max_steps(), Some(1600.0));
+        assert_eq!(groups[0].converged_fraction(), 1.0);
+    }
+
+    #[test]
+    fn summary_statistics_handle_non_convergence() {
+        let summary = BatchSummary {
+            n: 8,
+            outcomes: vec![
+                TrialOutcome {
+                    trial: Trial::new(8, 0),
+                    report: fake_report(None),
+                },
+                TrialOutcome {
+                    trial: Trial::new(8, 1),
+                    report: fake_report(Some(100)),
+                },
+                TrialOutcome {
+                    trial: Trial::new(8, 2),
+                    report: fake_report(Some(300)),
+                },
+            ],
+        };
+        assert_eq!(summary.converged_fraction(), 2.0 / 3.0);
+        assert_eq!(summary.mean_steps(), Some(200.0));
+        assert_eq!(summary.median_steps(), Some(200.0));
+        let empty = BatchSummary {
+            n: 4,
+            outcomes: vec![],
+        };
+        assert_eq!(empty.converged_fraction(), 0.0);
+        assert_eq!(empty.mean_steps(), None);
+        assert_eq!(empty.median_steps(), None);
+        assert_eq!(empty.max_steps(), None);
+    }
+
+    #[test]
+    fn default_runner_uses_at_least_one_thread() {
+        assert!(BatchRunner::default().num_threads() >= 1);
+        assert_eq!(BatchRunner::with_threads(0).num_threads(), 1);
+    }
+
+    #[test]
+    fn median_of_odd_number_of_trials() {
+        let summary = BatchSummary {
+            n: 8,
+            outcomes: vec![
+                TrialOutcome {
+                    trial: Trial::new(8, 0),
+                    report: fake_report(Some(10)),
+                },
+                TrialOutcome {
+                    trial: Trial::new(8, 1),
+                    report: fake_report(Some(1000)),
+                },
+                TrialOutcome {
+                    trial: Trial::new(8, 2),
+                    report: fake_report(Some(20)),
+                },
+            ],
+        };
+        assert_eq!(summary.median_steps(), Some(20.0));
+    }
+}

@@ -1,0 +1,300 @@
+//! Configurations: the global state of a population.
+//!
+//! A configuration `C : V → Q` assigns a protocol state to every agent
+//! (Section 2 of the paper).  [`Configuration`] is a thin, index-addressed
+//! wrapper over `Vec<S>` with ring-aware helpers (left/right neighbour
+//! lookups) used heavily by the structural safe-configuration checkers in
+//! `ssle-core`.
+
+use std::fmt;
+
+use crate::agent::AgentId;
+
+/// The global state of a population: one protocol state per agent.
+///
+/// Agents are indexed `0..n`; on a ring, index `i` is the paper's agent
+/// `u_i`, its *left* neighbour is `u_{i-1 mod n}` and its *right* neighbour
+/// is `u_{i+1 mod n}`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Configuration<S> {
+    states: Vec<S>,
+}
+
+impl<S> Configuration<S> {
+    /// Builds a configuration directly from a vector of states.
+    pub fn from_states(states: Vec<S>) -> Self {
+        Configuration { states }
+    }
+
+    /// Number of agents.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns `true` if the population is empty (only possible for
+    /// artificially constructed configurations; simulations require `n >= 2`).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Immutable view of all states, indexed by agent.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Mutable view of all states, indexed by agent.
+    pub fn states_mut(&mut self) -> &mut [S] {
+        &mut self.states
+    }
+
+    /// Consumes the configuration and returns the underlying vector.
+    pub fn into_states(self) -> Vec<S> {
+        self.states
+    }
+
+    /// State of agent `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn state(&self, id: AgentId) -> &S {
+        &self.states[id.index()]
+    }
+
+    /// Mutable state of agent `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn state_mut(&mut self, id: AgentId) -> &mut S {
+        &mut self.states[id.index()]
+    }
+
+    /// State of the agent at raw index `i`.
+    pub fn get(&self, i: usize) -> Option<&S> {
+        self.states.get(i)
+    }
+
+    /// State of agent `u_{i mod n}` — convenient for the paper's "indices are
+    /// taken modulo n" convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is empty.
+    pub fn get_mod(&self, i: usize) -> &S {
+        assert!(!self.states.is_empty(), "configuration is empty");
+        &self.states[i % self.states.len()]
+    }
+
+    /// State of the left (counter-clockwise) neighbour of agent `i` on the
+    /// ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is empty.
+    pub fn left_of(&self, i: usize) -> &S {
+        let n = self.states.len();
+        assert!(n > 0, "configuration is empty");
+        &self.states[(i + n - 1) % n]
+    }
+
+    /// State of the right (clockwise) neighbour of agent `i` on the ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is empty.
+    pub fn right_of(&self, i: usize) -> &S {
+        let n = self.states.len();
+        assert!(n > 0, "configuration is empty");
+        &self.states[(i + 1) % n]
+    }
+
+    /// Iterates over `(AgentId, &state)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (AgentId, &S)> {
+        self.states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (AgentId::new(i), s))
+    }
+
+    /// Applies a function to every state in place.
+    pub fn map_in_place<F: FnMut(usize, &mut S)>(&mut self, mut f: F) {
+        for (i, s) in self.states.iter_mut().enumerate() {
+            f(i, s);
+        }
+    }
+
+    /// Counts the agents whose state satisfies a predicate.
+    pub fn count_where<F: Fn(&S) -> bool>(&self, pred: F) -> usize {
+        self.states.iter().filter(|s| pred(s)).count()
+    }
+
+    /// Returns the indices of the agents whose state satisfies a predicate.
+    pub fn indices_where<F: Fn(&S) -> bool>(&self, pred: F) -> Vec<usize> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| if pred(s) { Some(i) } else { None })
+            .collect()
+    }
+
+    /// Rotates the configuration so that the agent currently at index
+    /// `new_zero` becomes agent 0.  This implements the paper's recurring
+    /// "we assume without loss of generality that `u_0` is the unique leader"
+    /// device, used by tests and by the safe-configuration checkers.
+    pub fn rotated(&self, new_zero: usize) -> Self
+    where
+        S: Clone,
+    {
+        let n = self.states.len();
+        if n == 0 {
+            return Configuration { states: Vec::new() };
+        }
+        let mut states = Vec::with_capacity(n);
+        for i in 0..n {
+            states.push(self.states[(new_zero + i) % n].clone());
+        }
+        Configuration { states }
+    }
+}
+
+impl<S: Clone> Configuration<S> {
+    /// Builds a configuration where every agent has the same state.
+    pub fn uniform(n: usize, state: S) -> Self {
+        Configuration {
+            states: vec![state; n],
+        }
+    }
+}
+
+impl<S> Configuration<S> {
+    /// Builds a configuration from a function of the agent index.
+    pub fn from_fn<F: FnMut(usize) -> S>(n: usize, mut f: F) -> Self {
+        Configuration {
+            states: (0..n).map(|i| f(i)).collect(),
+        }
+    }
+}
+
+impl<S: fmt::Debug> fmt::Debug for Configuration<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Configuration")
+            .field("n", &self.states.len())
+            .field("states", &self.states)
+            .finish()
+    }
+}
+
+impl<S> From<Vec<S>> for Configuration<S> {
+    fn from(states: Vec<S>) -> Self {
+        Configuration { states }
+    }
+}
+
+impl<S> FromIterator<S> for Configuration<S> {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        Configuration {
+            states: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<S> std::ops::Index<usize> for Configuration<S> {
+    type Output = S;
+    fn index(&self, i: usize) -> &S {
+        &self.states[i]
+    }
+}
+
+impl<S> std::ops::IndexMut<usize> for Configuration<S> {
+    fn index_mut(&mut self, i: usize) -> &mut S {
+        &mut self.states[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_and_from_fn() {
+        let c = Configuration::uniform(4, 7u32);
+        assert_eq!(c.len(), 4);
+        assert!(c.states().iter().all(|&x| x == 7));
+
+        let d = Configuration::from_fn(5, |i| i * i);
+        assert_eq!(d.states(), &[0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn neighbour_lookups_wrap_around() {
+        let c = Configuration::from_states(vec![10, 20, 30, 40]);
+        assert_eq!(*c.left_of(0), 40);
+        assert_eq!(*c.right_of(3), 10);
+        assert_eq!(*c.left_of(2), 20);
+        assert_eq!(*c.right_of(2), 40);
+        assert_eq!(*c.get_mod(6), 30);
+    }
+
+    #[test]
+    fn rotation_relabels_agents() {
+        let c = Configuration::from_states(vec![0, 1, 2, 3, 4]);
+        let r = c.rotated(3);
+        assert_eq!(r.states(), &[3, 4, 0, 1, 2]);
+        // Rotating by 0 and by n are identities.
+        assert_eq!(c.rotated(0).states(), c.states());
+        assert_eq!(c.rotated(5).states(), c.states());
+    }
+
+    #[test]
+    fn rotation_preserves_ring_adjacency() {
+        let c = Configuration::from_states(vec![0, 1, 2, 3, 4, 5]);
+        let r = c.rotated(2);
+        // The right neighbour of any value must be the same in both.
+        for i in 0..c.len() {
+            let v = c[i];
+            let pos_in_r = r.states().iter().position(|&x| x == v).unwrap();
+            assert_eq!(*c.right_of(i), *r.right_of(pos_in_r));
+        }
+    }
+
+    #[test]
+    fn counting_and_filtering() {
+        let c = Configuration::from_states(vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(c.count_where(|&x| x % 2 == 0), 3);
+        assert_eq!(c.indices_where(|&x| x > 4), vec![4, 5]);
+    }
+
+    #[test]
+    fn map_in_place_and_indexing() {
+        let mut c = Configuration::from_states(vec![1, 2, 3]);
+        c.map_in_place(|i, s| *s += i as i32);
+        assert_eq!(c.states(), &[1, 3, 5]);
+        c[0] = 9;
+        assert_eq!(c[0], 9);
+        assert_eq!(*c.state(AgentId::new(0)), 9);
+        *c.state_mut(AgentId::new(1)) = 11;
+        assert_eq!(c[1], 11);
+    }
+
+    #[test]
+    fn iterators_and_conversions() {
+        let c: Configuration<u8> = (0..4u8).collect();
+        assert_eq!(c.len(), 4);
+        let pairs: Vec<_> = c.iter().map(|(a, &s)| (a.index(), s)).collect();
+        assert_eq!(pairs, vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
+        let v = c.into_states();
+        assert_eq!(v, vec![0, 1, 2, 3]);
+        let c2: Configuration<u8> = Configuration::from(vec![9, 9]);
+        assert_eq!(c2.len(), 2);
+        assert!(!c2.is_empty());
+        assert!(Configuration::<u8>::from_states(vec![]).is_empty());
+    }
+
+    #[test]
+    fn get_is_checked() {
+        let c = Configuration::from_states(vec![1, 2, 3]);
+        assert_eq!(c.get(2), Some(&3));
+        assert_eq!(c.get(3), None);
+    }
+}

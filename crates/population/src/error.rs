@@ -1,0 +1,145 @@
+//! Error types for the simulation substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, PopulationError>;
+
+/// Errors produced by the simulation substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PopulationError {
+    /// The population is too small for the requested operation.  The paper
+    /// assumes `n >= 2` throughout (Section 2).
+    PopulationTooSmall {
+        /// The requested number of agents.
+        requested: usize,
+        /// The minimum number of agents required.
+        minimum: usize,
+    },
+    /// A configuration's length does not match the interaction graph's number
+    /// of agents.
+    ConfigurationSizeMismatch {
+        /// Number of states in the configuration.
+        configuration: usize,
+        /// Number of agents in the interaction graph.
+        graph: usize,
+    },
+    /// An interaction referenced an agent index outside the population.
+    AgentOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The population size.
+        population: usize,
+    },
+    /// An interaction was requested along a pair that is not an arc of the
+    /// interaction graph.
+    NotAnArc {
+        /// Initiator index.
+        initiator: usize,
+        /// Responder index.
+        responder: usize,
+    },
+    /// A deterministic scheduler ran out of scheduled interactions.
+    ScheduleExhausted {
+        /// The number of interactions that were available.
+        available: u64,
+    },
+    /// An arbitrary graph was given an empty arc set, which cannot drive a
+    /// random scheduler.
+    EmptyArcSet,
+}
+
+impl fmt::Display for PopulationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PopulationError::PopulationTooSmall { requested, minimum } => write!(
+                f,
+                "population of {requested} agents is too small (need at least {minimum})"
+            ),
+            PopulationError::ConfigurationSizeMismatch {
+                configuration,
+                graph,
+            } => write!(
+                f,
+                "configuration has {configuration} states but the graph has {graph} agents"
+            ),
+            PopulationError::AgentOutOfRange { index, population } => write!(
+                f,
+                "agent index {index} is out of range for a population of {population}"
+            ),
+            PopulationError::NotAnArc {
+                initiator,
+                responder,
+            } => write!(
+                f,
+                "pair ({initiator}, {responder}) is not an arc of the interaction graph"
+            ),
+            PopulationError::ScheduleExhausted { available } => write!(
+                f,
+                "deterministic schedule exhausted after {available} interactions"
+            ),
+            PopulationError::EmptyArcSet => write!(f, "interaction graph has no arcs"),
+        }
+    }
+}
+
+impl Error for PopulationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(PopulationError, &str)> = vec![
+            (
+                PopulationError::PopulationTooSmall {
+                    requested: 1,
+                    minimum: 2,
+                },
+                "too small",
+            ),
+            (
+                PopulationError::ConfigurationSizeMismatch {
+                    configuration: 3,
+                    graph: 4,
+                },
+                "3 states",
+            ),
+            (
+                PopulationError::AgentOutOfRange {
+                    index: 9,
+                    population: 4,
+                },
+                "out of range",
+            ),
+            (
+                PopulationError::NotAnArc {
+                    initiator: 0,
+                    responder: 2,
+                },
+                "not an arc",
+            ),
+            (
+                PopulationError::ScheduleExhausted { available: 10 },
+                "exhausted",
+            ),
+            (PopulationError::EmptyArcSet, "no arcs"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(
+                msg.contains(needle),
+                "message {msg:?} should contain {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<PopulationError>();
+    }
+}

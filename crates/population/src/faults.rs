@@ -1,0 +1,144 @@
+//! Fault injection.
+//!
+//! Self-stabilization promises recovery from *any* transient fault: after an
+//! arbitrary corruption of agent memory, the protocol re-converges to a safe
+//! configuration.  [`FaultInjector`] corrupts a configuration in controlled
+//! ways so that the recovery experiments (E11 in `DESIGN.md`) can measure
+//! re-convergence time as a function of the number of corrupted agents.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::config::Configuration;
+
+/// The kind of corruption to apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Replace the states of `count` randomly chosen agents using the
+    /// supplied corruption function.
+    CorruptRandomAgents {
+        /// Number of agents to corrupt.
+        count: usize,
+    },
+    /// Replace the states of the `count` agents starting at `start`
+    /// (a contiguous clockwise block) — models a localized burst fault.
+    CorruptBlock {
+        /// Index of the first corrupted agent.
+        start: usize,
+        /// Number of agents to corrupt.
+        count: usize,
+    },
+    /// Corrupt every agent.
+    CorruptAll,
+}
+
+/// Applies [`FaultKind`]s to configurations using a protocol-supplied
+/// corruption function.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    rng: ChaCha8Rng,
+}
+
+impl FaultInjector {
+    /// Creates a fault injector from a seed.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Applies a fault to `config`.  `corrupt` receives the RNG and the index
+    /// of the agent being corrupted and must return its new (arbitrary)
+    /// state.  Returns the indices of the corrupted agents.
+    pub fn inject<S, F>(
+        &mut self,
+        config: &mut Configuration<S>,
+        kind: FaultKind,
+        mut corrupt: F,
+    ) -> Vec<usize>
+    where
+        F: FnMut(&mut ChaCha8Rng, usize) -> S,
+    {
+        let n = config.len();
+        let targets: Vec<usize> = match kind {
+            FaultKind::CorruptRandomAgents { count } => {
+                let mut all: Vec<usize> = (0..n).collect();
+                all.shuffle(&mut self.rng);
+                all.truncate(count.min(n));
+                all
+            }
+            FaultKind::CorruptBlock { start, count } => {
+                (0..count.min(n)).map(|k| (start + k) % n).collect()
+            }
+            FaultKind::CorruptAll => (0..n).collect(),
+        };
+        for &i in &targets {
+            let new_state = corrupt(&mut self.rng, i);
+            config[i] = new_state;
+        }
+        targets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn corrupt_random_agents_changes_exactly_count_states() {
+        let mut config = Configuration::uniform(20, 0u32);
+        let mut inj = FaultInjector::new(1);
+        let targets = inj.inject(&mut config, FaultKind::CorruptRandomAgents { count: 5 }, |_, _| 99);
+        assert_eq!(targets.len(), 5);
+        assert_eq!(config.count_where(|&x| x == 99), 5);
+        // Targets are distinct.
+        let mut t = targets.clone();
+        t.sort_unstable();
+        t.dedup();
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn corrupt_block_wraps_around_the_ring() {
+        let mut config = Configuration::uniform(6, 0u32);
+        let mut inj = FaultInjector::new(2);
+        let targets = inj.inject(&mut config, FaultKind::CorruptBlock { start: 4, count: 4 }, |_, i| i as u32 + 100);
+        assert_eq!(targets, vec![4, 5, 0, 1]);
+        assert_eq!(config[4], 104);
+        assert_eq!(config[0], 100);
+        assert_eq!(config[2], 0);
+    }
+
+    #[test]
+    fn corrupt_all_touches_every_agent() {
+        let mut config = Configuration::uniform(8, 0u32);
+        let mut inj = FaultInjector::new(3);
+        let targets = inj.inject(&mut config, FaultKind::CorruptAll, |rng, _| rng.gen_range(1..5));
+        assert_eq!(targets.len(), 8);
+        assert!(config.states().iter().all(|&x| x >= 1 && x < 5));
+    }
+
+    #[test]
+    fn count_larger_than_population_is_clamped() {
+        let mut config = Configuration::uniform(4, 0u32);
+        let mut inj = FaultInjector::new(4);
+        let targets = inj.inject(
+            &mut config,
+            FaultKind::CorruptRandomAgents { count: 100 },
+            |_, _| 1,
+        );
+        assert_eq!(targets.len(), 4);
+    }
+
+    #[test]
+    fn injection_is_deterministic_for_a_seed() {
+        let mut a = Configuration::uniform(16, 0u32);
+        let mut b = Configuration::uniform(16, 0u32);
+        let ta = FaultInjector::new(7).inject(&mut a, FaultKind::CorruptRandomAgents { count: 6 }, |rng, _| rng.gen());
+        let tb = FaultInjector::new(7).inject(&mut b, FaultKind::CorruptRandomAgents { count: 6 }, |rng, _| rng.gen());
+        assert_eq!(ta, tb);
+        assert_eq!(a.states(), b.states());
+    }
+}

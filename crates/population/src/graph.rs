@@ -1,0 +1,474 @@
+//! Interaction graphs.
+//!
+//! A population is a weakly connected digraph `G(V, E)`; an arc `(u, v) ∈ E`
+//! means that `u` can interact with `v` with `u` as the initiator and `v` as
+//! the responder (Section 2).  The paper's main protocol runs on the
+//! **directed ring** `E = {(u_i, u_{i+1 mod n})}`; the ring-orientation
+//! protocol of Section 5 runs on the **undirected ring** which contains both
+//! arc directions.  Complete graphs and arbitrary arc sets are provided for
+//! tests and for contrasting topologies.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::agent::AgentId;
+use crate::error::{PopulationError, Result};
+use crate::schedule::Interaction;
+
+/// A set of possible interactions between agents.
+///
+/// The uniformly random scheduler samples one arc uniformly at random per
+/// step via [`InteractionGraph::sample`]; for the standard topologies this is
+/// O(1) and allocation-free.
+pub trait InteractionGraph: Clone + Send + Sync {
+    /// Number of agents in the population.
+    fn num_agents(&self) -> usize;
+
+    /// Number of arcs (ordered pairs that may interact).
+    fn num_arcs(&self) -> usize;
+
+    /// Returns `true` iff `(initiator, responder)` is an arc.
+    fn is_arc(&self, initiator: usize, responder: usize) -> bool;
+
+    /// Samples an arc uniformly at random.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Interaction;
+
+    /// Enumerates all arcs.  Used by exhaustive tests and by analysis code;
+    /// the default implementation is quadratic and should be overridden when
+    /// a cheaper enumeration exists.
+    fn arcs(&self) -> Vec<Interaction> {
+        let n = self.num_agents();
+        let mut out = Vec::with_capacity(self.num_arcs());
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && self.is_arc(i, j) {
+                    out.push(Interaction::new(i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// A short human-readable description used in reports.
+    fn describe(&self) -> String;
+}
+
+/// The directed ring `V = {u_0, ..., u_{n-1}}`,
+/// `E = {(u_i, u_{i+1 mod n})}` — the topology of the paper's Sections 2–4.
+///
+/// # Examples
+///
+/// ```
+/// use population::graph::{DirectedRing, InteractionGraph};
+///
+/// let ring = DirectedRing::new(8).unwrap();
+/// assert_eq!(ring.num_agents(), 8);
+/// assert_eq!(ring.num_arcs(), 8);
+/// assert!(ring.is_arc(3, 4));
+/// assert!(ring.is_arc(7, 0));
+/// assert!(!ring.is_arc(4, 3));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirectedRing {
+    n: usize,
+}
+
+impl DirectedRing {
+    /// Creates a directed ring of `n >= 2` agents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopulationError::PopulationTooSmall`] if `n < 2`.
+    pub fn new(n: usize) -> Result<Self> {
+        if n < 2 {
+            return Err(PopulationError::PopulationTooSmall {
+                requested: n,
+                minimum: 2,
+            });
+        }
+        Ok(DirectedRing { n })
+    }
+
+    /// The ring size `n`.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always `false`: rings have at least two agents.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The arc `e_i = (u_i, u_{i+1 mod n})` (the paper's notation).
+    pub fn arc(&self, i: usize) -> Interaction {
+        Interaction::new(i % self.n, (i + 1) % self.n)
+    }
+}
+
+impl InteractionGraph for DirectedRing {
+    fn num_agents(&self) -> usize {
+        self.n
+    }
+
+    fn num_arcs(&self) -> usize {
+        self.n
+    }
+
+    fn is_arc(&self, initiator: usize, responder: usize) -> bool {
+        initiator < self.n && responder == (initiator + 1) % self.n
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Interaction {
+        let i = rng.gen_range(0..self.n);
+        Interaction::new(i, (i + 1) % self.n)
+    }
+
+    fn arcs(&self) -> Vec<Interaction> {
+        (0..self.n).map(|i| self.arc(i)).collect()
+    }
+
+    fn describe(&self) -> String {
+        format!("directed ring, n = {}", self.n)
+    }
+}
+
+/// The undirected ring: both `(u_i, u_{i+1})` and `(u_{i+1}, u_i)` are arcs
+/// for every `i`.  This is the topology of Section 5 (ring orientation),
+/// where the initiator/responder roles provide the protocol's only source of
+/// symmetry breaking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UndirectedRing {
+    n: usize,
+}
+
+impl UndirectedRing {
+    /// Creates an undirected ring of `n >= 2` agents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopulationError::PopulationTooSmall`] if `n < 2`.
+    pub fn new(n: usize) -> Result<Self> {
+        if n < 2 {
+            return Err(PopulationError::PopulationTooSmall {
+                requested: n,
+                minimum: 2,
+            });
+        }
+        Ok(UndirectedRing { n })
+    }
+
+    /// The ring size `n`.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always `false`: rings have at least two agents.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl InteractionGraph for UndirectedRing {
+    fn num_agents(&self) -> usize {
+        self.n
+    }
+
+    fn num_arcs(&self) -> usize {
+        2 * self.n
+    }
+
+    fn is_arc(&self, initiator: usize, responder: usize) -> bool {
+        if initiator >= self.n || responder >= self.n {
+            return false;
+        }
+        responder == (initiator + 1) % self.n || initiator == (responder + 1) % self.n
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Interaction {
+        let i = rng.gen_range(0..self.n);
+        let right = rng.gen_bool(0.5);
+        if right {
+            Interaction::new(i, (i + 1) % self.n)
+        } else {
+            Interaction::new((i + 1) % self.n, i)
+        }
+    }
+
+    fn arcs(&self) -> Vec<Interaction> {
+        let mut out = Vec::with_capacity(2 * self.n);
+        for i in 0..self.n {
+            out.push(Interaction::new(i, (i + 1) % self.n));
+            out.push(Interaction::new((i + 1) % self.n, i));
+        }
+        out
+    }
+
+    fn describe(&self) -> String {
+        format!("undirected ring, n = {}", self.n)
+    }
+}
+
+/// The complete interaction graph: every ordered pair of distinct agents is
+/// an arc.  Not used by the paper's protocol (SS-LE is impossible on complete
+/// graphs without extra assumptions) but useful for substrate tests and for
+/// contrasting experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompleteGraph {
+    n: usize,
+}
+
+impl CompleteGraph {
+    /// Creates a complete graph over `n >= 2` agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "complete graph needs at least 2 agents");
+        CompleteGraph { n }
+    }
+}
+
+impl InteractionGraph for CompleteGraph {
+    fn num_agents(&self) -> usize {
+        self.n
+    }
+
+    fn num_arcs(&self) -> usize {
+        self.n * (self.n - 1)
+    }
+
+    fn is_arc(&self, initiator: usize, responder: usize) -> bool {
+        initiator != responder && initiator < self.n && responder < self.n
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Interaction {
+        let i = rng.gen_range(0..self.n);
+        let mut j = rng.gen_range(0..self.n - 1);
+        if j >= i {
+            j += 1;
+        }
+        Interaction::new(i, j)
+    }
+
+    fn describe(&self) -> String {
+        format!("complete graph, n = {}", self.n)
+    }
+}
+
+/// An arbitrary interaction graph given by an explicit arc list.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArbitraryGraph {
+    n: usize,
+    arcs: Vec<Interaction>,
+}
+
+impl ArbitraryGraph {
+    /// Creates a graph over `n` agents with the given arcs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n < 2`, if the arc list is empty, or if any arc
+    /// references an agent outside `0..n`.
+    pub fn new(n: usize, arcs: Vec<Interaction>) -> Result<Self> {
+        if n < 2 {
+            return Err(PopulationError::PopulationTooSmall {
+                requested: n,
+                minimum: 2,
+            });
+        }
+        if arcs.is_empty() {
+            return Err(PopulationError::EmptyArcSet);
+        }
+        for a in &arcs {
+            if a.initiator().index() >= n || a.responder().index() >= n {
+                return Err(PopulationError::AgentOutOfRange {
+                    index: a.initiator().index().max(a.responder().index()),
+                    population: n,
+                });
+            }
+        }
+        Ok(ArbitraryGraph { n, arcs })
+    }
+
+    /// Builds the arbitrary-graph representation of a directed ring; useful
+    /// for testing that the two representations behave identically.
+    pub fn directed_ring(n: usize) -> Result<Self> {
+        let ring = DirectedRing::new(n)?;
+        ArbitraryGraph::new(n, ring.arcs())
+    }
+}
+
+impl InteractionGraph for ArbitraryGraph {
+    fn num_agents(&self) -> usize {
+        self.n
+    }
+
+    fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    fn is_arc(&self, initiator: usize, responder: usize) -> bool {
+        let probe = Interaction::new(initiator, responder);
+        self.arcs.contains(&probe)
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Interaction {
+        self.arcs[rng.gen_range(0..self.arcs.len())]
+    }
+
+    fn arcs(&self) -> Vec<Interaction> {
+        self.arcs.clone()
+    }
+
+    fn describe(&self) -> String {
+        format!("arbitrary graph, n = {}, |E| = {}", self.n, self.arcs.len())
+    }
+}
+
+/// Convenience helper: the pair of ring neighbours of agent `i` on a ring of
+/// `n` agents, as `(left, right)`.
+pub fn ring_neighbors(i: usize, n: usize) -> (AgentId, AgentId) {
+    let a = AgentId::new(i % n);
+    (a.counter_clockwise_neighbor(n), a.clockwise_neighbor(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(0xDEADBEEF)
+    }
+
+    #[test]
+    fn directed_ring_arcs_are_the_paper_arcs() {
+        let ring = DirectedRing::new(5).unwrap();
+        let arcs = ring.arcs();
+        assert_eq!(arcs.len(), 5);
+        for (i, a) in arcs.iter().enumerate() {
+            assert_eq!(a.initiator().index(), i);
+            assert_eq!(a.responder().index(), (i + 1) % 5);
+        }
+        assert_eq!(ring.arc(4), Interaction::new(4, 0));
+        assert_eq!(ring.arc(7), Interaction::new(2, 3));
+        assert!(ring.describe().contains("directed ring"));
+        assert_eq!(ring.len(), 5);
+        assert!(!ring.is_empty());
+    }
+
+    #[test]
+    fn ring_rejects_tiny_populations() {
+        assert!(DirectedRing::new(0).is_err());
+        assert!(DirectedRing::new(1).is_err());
+        assert!(UndirectedRing::new(1).is_err());
+        assert!(DirectedRing::new(2).is_ok());
+    }
+
+    #[test]
+    fn directed_ring_sampling_is_roughly_uniform() {
+        let ring = DirectedRing::new(4).unwrap();
+        let mut rng = rng();
+        let mut counts = [0usize; 4];
+        let trials = 40_000;
+        for _ in 0..trials {
+            let arc = ring.sample(&mut rng);
+            assert!(ring.is_arc(arc.initiator().index(), arc.responder().index()));
+            counts[arc.initiator().index()] += 1;
+        }
+        let expected = trials as f64 / 4.0;
+        for &c in &counts {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.1,
+                "count {c} deviates from uniform expectation {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn undirected_ring_has_both_directions() {
+        let ring = UndirectedRing::new(6).unwrap();
+        assert_eq!(ring.num_arcs(), 12);
+        assert!(ring.is_arc(2, 3));
+        assert!(ring.is_arc(3, 2));
+        assert!(ring.is_arc(5, 0));
+        assert!(ring.is_arc(0, 5));
+        assert!(!ring.is_arc(0, 2));
+        assert_eq!(ring.arcs().len(), 12);
+        assert_eq!(ring.len(), 6);
+        assert!(!ring.is_empty());
+        assert!(ring.describe().contains("undirected"));
+    }
+
+    #[test]
+    fn undirected_ring_samples_both_roles() {
+        let ring = UndirectedRing::new(3).unwrap();
+        let mut rng = rng();
+        let mut forward = 0usize;
+        let mut backward = 0usize;
+        for _ in 0..10_000 {
+            let arc = ring.sample(&mut rng);
+            let i = arc.initiator().index();
+            let j = arc.responder().index();
+            assert!(ring.is_arc(i, j));
+            if j == (i + 1) % 3 {
+                forward += 1;
+            } else {
+                backward += 1;
+            }
+        }
+        assert!(forward > 4000 && backward > 4000, "{forward} vs {backward}");
+    }
+
+    #[test]
+    fn complete_graph_counts_and_membership() {
+        let g = CompleteGraph::new(5);
+        assert_eq!(g.num_arcs(), 20);
+        assert_eq!(g.arcs().len(), 20);
+        assert!(g.is_arc(0, 4));
+        assert!(!g.is_arc(2, 2));
+        let mut rng = rng();
+        for _ in 0..1000 {
+            let arc = g.sample(&mut rng);
+            assert_ne!(arc.initiator(), arc.responder());
+        }
+        assert!(g.describe().contains("complete"));
+    }
+
+    #[test]
+    fn arbitrary_graph_validation() {
+        assert!(ArbitraryGraph::new(1, vec![Interaction::new(0, 1)]).is_err());
+        assert!(ArbitraryGraph::new(3, vec![]).is_err());
+        assert!(ArbitraryGraph::new(3, vec![Interaction::new(0, 7)]).is_err());
+        let g = ArbitraryGraph::new(3, vec![Interaction::new(0, 1), Interaction::new(1, 2)]).unwrap();
+        assert!(g.is_arc(0, 1));
+        assert!(!g.is_arc(2, 0));
+        assert_eq!(g.num_arcs(), 2);
+        assert!(g.describe().contains("arbitrary"));
+    }
+
+    #[test]
+    fn arbitrary_ring_matches_directed_ring() {
+        let a = ArbitraryGraph::directed_ring(7).unwrap();
+        let b = DirectedRing::new(7).unwrap();
+        assert_eq!(a.arcs(), b.arcs());
+        assert_eq!(a.num_agents(), b.num_agents());
+        for i in 0..7 {
+            for j in 0..7 {
+                assert_eq!(a.is_arc(i, j), b.is_arc(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn ring_neighbors_helper() {
+        let (l, r) = ring_neighbors(0, 6);
+        assert_eq!(l.index(), 5);
+        assert_eq!(r.index(), 1);
+        let (l, r) = ring_neighbors(5, 6);
+        assert_eq!(l.index(), 4);
+        assert_eq!(r.index(), 0);
+    }
+}

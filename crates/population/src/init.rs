@@ -1,0 +1,203 @@
+//! Initial-configuration generators.
+//!
+//! A self-stabilizing protocol must converge from *every* configuration, so
+//! experiments sample initial configurations adversarially.  An
+//! [`Initializer`] produces configurations for a given population size from a
+//! seed; protocol crates implement it for their state types (uniform random
+//! over the reachable state space, "no leader with consistent distances",
+//! "all agents are leaders", and so on).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::config::Configuration;
+
+/// A family of initial configurations, parameterised by population size and
+/// seed.
+pub trait Initializer<S>: Send + Sync {
+    /// A short name used in experiment reports.
+    fn name(&self) -> &str;
+
+    /// Produces an initial configuration of `n` agents.
+    fn generate(&self, n: usize, seed: u64) -> Configuration<S>;
+}
+
+/// Initializer producing the same state for every agent.
+#[derive(Clone, Debug)]
+pub struct UniformInit<S> {
+    name: String,
+    state: S,
+}
+
+impl<S: Clone> UniformInit<S> {
+    /// Creates a uniform initializer with the given per-agent state.
+    pub fn new(name: impl Into<String>, state: S) -> Self {
+        UniformInit {
+            name: name.into(),
+            state,
+        }
+    }
+}
+
+impl<S: Clone + Send + Sync> Initializer<S> for UniformInit<S> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn generate(&self, n: usize, _seed: u64) -> Configuration<S> {
+        Configuration::uniform(n, self.state.clone())
+    }
+}
+
+/// Initializer defined by a closure `(n, rng) -> Configuration`.
+pub struct FnInit<S, F> {
+    name: String,
+    f: F,
+    _marker: std::marker::PhantomData<fn() -> S>,
+}
+
+impl<S, F> std::fmt::Debug for FnInit<S, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnInit").field("name", &self.name).finish()
+    }
+}
+
+impl<S, F> FnInit<S, F>
+where
+    F: Fn(usize, &mut ChaCha8Rng) -> Configuration<S> + Send + Sync,
+{
+    /// Creates a closure-backed initializer.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnInit {
+            name: name.into(),
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<S, F> Initializer<S> for FnInit<S, F>
+where
+    S: Send + Sync,
+    F: Fn(usize, &mut ChaCha8Rng) -> Configuration<S> + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn generate(&self, n: usize, seed: u64) -> Configuration<S> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (self.f)(n, &mut rng)
+    }
+}
+
+/// Samples each agent's state independently from a per-agent sampling
+/// function.  This is the generic "arbitrary configuration" generator used by
+/// self-stabilization experiments; protocol crates supply the per-state
+/// sampler that covers their whole state space.
+pub struct IndependentInit<S, F> {
+    name: String,
+    sample: F,
+    _marker: std::marker::PhantomData<fn() -> S>,
+}
+
+impl<S, F> std::fmt::Debug for IndependentInit<S, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndependentInit")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl<S, F> IndependentInit<S, F>
+where
+    F: Fn(&mut ChaCha8Rng) -> S + Send + Sync,
+{
+    /// Creates an initializer that samples every agent state independently.
+    pub fn new(name: impl Into<String>, sample: F) -> Self {
+        IndependentInit {
+            name: name.into(),
+            sample,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<S, F> Initializer<S> for IndependentInit<S, F>
+where
+    S: Send + Sync,
+    F: Fn(&mut ChaCha8Rng) -> S + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn generate(&self, n: usize, seed: u64) -> Configuration<S> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Configuration::from_fn(n, |_| (self.sample)(&mut rng))
+    }
+}
+
+/// Helper: sample a `usize` uniformly from `0..bound` (bound >= 1).
+pub fn sample_below<R: Rng + ?Sized>(rng: &mut R, bound: usize) -> usize {
+    assert!(bound >= 1, "bound must be positive");
+    rng.gen_range(0..bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_init_produces_identical_states() {
+        let init = UniformInit::new("all-7", 7u32);
+        let c = init.generate(5, 123);
+        assert_eq!(c.len(), 5);
+        assert!(c.states().iter().all(|&x| x == 7));
+        assert_eq!(init.name(), "all-7");
+    }
+
+    #[test]
+    fn fn_init_uses_seeded_rng_deterministically() {
+        let init = FnInit::new("random-bits", |n, rng: &mut ChaCha8Rng| {
+            Configuration::from_fn(n, |_| rng.gen::<bool>())
+        });
+        let a = init.generate(64, 42);
+        let b = init.generate(64, 42);
+        let c = init.generate(64, 43);
+        assert_eq!(a.states(), b.states());
+        assert_ne!(a.states(), c.states());
+        assert_eq!(init.name(), "random-bits");
+        assert!(format!("{init:?}").contains("random-bits"));
+    }
+
+    #[test]
+    fn independent_init_samples_every_agent() {
+        let init = IndependentInit::new("uniform-u8", |rng: &mut ChaCha8Rng| rng.gen::<u8>());
+        let c = init.generate(256, 7);
+        assert_eq!(c.len(), 256);
+        // With 256 samples of a u8 we expect many distinct values.
+        let mut distinct: Vec<u8> = c.states().to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() > 50);
+        assert!(format!("{init:?}").contains("uniform-u8"));
+    }
+
+    #[test]
+    fn sample_below_is_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..1000 {
+            assert!(sample_below(&mut rng, 7) < 7);
+        }
+        assert_eq!(sample_below(&mut rng, 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn sample_below_zero_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        sample_below(&mut rng, 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Population-protocol simulation substrate.
+//!
+//! This crate implements the computational model of Section 2 of the paper
+//! *"A Near Time-optimal Population Protocol for Self-stabilizing Leader
+//! Election on Rings with a Poly-logarithmic Number of States"*
+//! (Yokota, Sudo, Ooshita, Masuzawa; PODC 2023):
+//!
+//! * a **population** is a weakly connected digraph whose nodes are anonymous
+//!   finite-state agents and whose arcs are the possible pairwise
+//!   interactions ([`graph`]);
+//! * a **protocol** is a deterministic pairwise transition function together
+//!   with an output map ([`protocol::Protocol`]);
+//! * a **configuration** maps every agent to a state ([`config::Configuration`]);
+//! * the **uniformly random scheduler** picks one arc uniformly at random at
+//!   every step ([`scheduler::RandomScheduler`]); deterministic sequence
+//!   schedulers reproduce the `seq_R`/`seq_L` interaction sequences used in
+//!   the paper's proofs ([`schedule`]);
+//! * the **execution engine** ([`simulation::Simulation`]) advances a
+//!   configuration under a scheduler, measures convergence against arbitrary
+//!   criteria ([`convergence`]), records traces ([`trace`]), injects faults
+//!   ([`faults`]) and runs batches of trials in parallel ([`batch`]).
+//!
+//! The crate is protocol-agnostic: the paper's protocol `P_PL` and the
+//! baseline protocols live in the `ssle-core` and `ssle-baselines` crates and
+//! only depend on the abstractions defined here.
+//!
+//! # Quick example
+//!
+//! ```
+//! use population::prelude::*;
+//!
+//! /// A toy (non-self-stabilizing) leader election: every agent starts as a
+//! /// leader and a leader meeting another leader demotes the responder.
+//! #[derive(Clone, Debug)]
+//! struct Fratricide;
+//!
+//! impl Protocol for Fratricide {
+//!     type State = bool; // true = leader
+//!     fn interact(&self, initiator: &mut bool, responder: &mut bool) {
+//!         if *initiator && *responder {
+//!             *responder = false;
+//!         }
+//!     }
+//! }
+//!
+//! impl LeaderElection for Fratricide {
+//!     fn is_leader(&self, state: &bool) -> bool {
+//!         *state
+//!     }
+//! }
+//!
+//! let graph = CompleteGraph::new(8);
+//! let config = Configuration::uniform(8, true);
+//! let mut sim = Simulation::new(Fratricide, graph, config, 42);
+//! let report = sim.run_until(
+//!     |p: &Fratricide, c: &Configuration<bool>| p.count_leaders(c.states()) == 1,
+//!     1,
+//!     100_000,
+//! );
+//! assert!(report.converged());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod agent;
+pub mod batch;
+pub mod config;
+pub mod convergence;
+pub mod error;
+pub mod faults;
+pub mod graph;
+pub mod init;
+pub mod protocol;
+pub mod schedule;
+pub mod scheduler;
+pub mod simulation;
+pub mod stats;
+pub mod trace;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::agent::AgentId;
+    pub use crate::batch::{BatchRunner, BatchSummary, Trial, TrialOutcome};
+    pub use crate::config::Configuration;
+    pub use crate::convergence::{ConvergenceReport, Criterion, StableOutputs};
+    pub use crate::error::{PopulationError, Result};
+    pub use crate::faults::{FaultInjector, FaultKind};
+    pub use crate::graph::{
+        ArbitraryGraph, CompleteGraph, DirectedRing, InteractionGraph, UndirectedRing,
+    };
+    pub use crate::init::Initializer;
+    pub use crate::protocol::{LeaderElection, LeaderOutput, Protocol};
+    pub use crate::schedule::{Interaction, InteractionSeq};
+    pub use crate::scheduler::{RandomScheduler, Scheduler, SequenceScheduler};
+    pub use crate::simulation::Simulation;
+    pub use crate::stats::RunStats;
+    pub use crate::trace::{Event, Trace};
+}
+
+pub use prelude::*;

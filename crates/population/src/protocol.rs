@@ -1,0 +1,211 @@
+//! The protocol abstraction.
+//!
+//! A population protocol `P(Q, Y, T, π_out)` (Section 2 of the paper) is a
+//! finite set of states `Q`, an output alphabet `Y`, a deterministic
+//! transition function `T : Q × Q → Q × Q` applied to (initiator, responder)
+//! pairs, and an output function `π_out : Q → Y`.
+//!
+//! [`Protocol`] captures `Q` (the associated `State` type) and `T`
+//! ([`Protocol::interact`]).  The output function is modelled by the
+//! refinement traits: [`LeaderElection`] for protocols whose output alphabet
+//! is `{L, F}` and, for other problems (ring orientation, colouring), by
+//! protocol-specific inspection functions in their own crates.
+
+use crate::config::Configuration;
+
+/// Output alphabet of a leader-election protocol: `L` (leader) or `F`
+/// (follower).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LeaderOutput {
+    /// The agent outputs `L`.
+    Leader,
+    /// The agent outputs `F`.
+    Follower,
+}
+
+impl std::fmt::Display for LeaderOutput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LeaderOutput::Leader => write!(f, "L"),
+            LeaderOutput::Follower => write!(f, "F"),
+        }
+    }
+}
+
+/// A population protocol: a deterministic pairwise transition function over a
+/// finite state space.
+///
+/// Protocols must be deterministic — all randomness in the model comes from
+/// the uniformly random scheduler, exactly as in the paper.  The transition
+/// is expressed as an in-place update of the `(initiator, responder)` pair,
+/// which is both allocation-free for large state structs and a natural
+/// transliteration of the paper's pseudocode (which mutates `l` and `r`).
+///
+/// Implementations should be cheap to clone; the batch runner clones the
+/// protocol into worker threads.
+pub trait Protocol: Clone + Send + Sync {
+    /// The per-agent state type (the finite set `Q`).
+    type State: Clone + PartialEq + std::fmt::Debug + Send + Sync;
+
+    /// The transition function `T`.
+    ///
+    /// `initiator` is the paper's `l` (the left agent of a directed-ring arc)
+    /// and `responder` is `r` (the right agent).  On non-ring graphs the
+    /// roles are simply the arc's tail and head.
+    fn interact(&self, initiator: &mut Self::State, responder: &mut Self::State);
+
+    /// An environment hook invoked by the simulation once per step *before*
+    /// the scheduled interaction, with mutable access to the whole
+    /// configuration.
+    ///
+    /// The default implementation does nothing.  This hook exists solely to
+    /// model *oracles* such as Fischer–Jiang's `Ω?` eventual leader detector:
+    /// the oracle observes the global configuration and feeds a flag back
+    /// into agent states.  Protocols that do not use an oracle (including the
+    /// paper's `P_PL`) must leave this as the no-op default so that the
+    /// simulated model is the plain population-protocol model.
+    fn environment(&self, _states: &mut [Self::State]) {}
+
+    /// Returns `true` if this protocol overrides [`Protocol::environment`]
+    /// with a non-trivial oracle.  Used by reporting code to label oracle
+    /// assumptions in generated tables.
+    fn uses_oracle(&self) -> bool {
+        false
+    }
+
+    /// A short human-readable protocol name used in generated tables.
+    fn name(&self) -> &'static str {
+        std::any::type_name::<Self>()
+    }
+}
+
+/// A protocol solving leader election: its output function maps every state
+/// to `L` or `F`.
+pub trait LeaderElection: Protocol {
+    /// The output function restricted to the leader bit: returns `true` iff
+    /// the state outputs `L`.
+    fn is_leader(&self, state: &Self::State) -> bool;
+
+    /// The output `π_out(q)` of a state.
+    fn output(&self, state: &Self::State) -> LeaderOutput {
+        if self.is_leader(state) {
+            LeaderOutput::Leader
+        } else {
+            LeaderOutput::Follower
+        }
+    }
+
+    /// Counts the number of agents outputting `L` in a slice of states.
+    fn count_leaders(&self, states: &[Self::State]) -> usize {
+        states.iter().filter(|s| self.is_leader(s)).count()
+    }
+
+    /// Returns the indices of the agents outputting `L`.
+    fn leader_indices(&self, states: &[Self::State]) -> Vec<usize> {
+        states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| if self.is_leader(s) { Some(i) } else { None })
+            .collect()
+    }
+
+    /// Returns `true` iff exactly one agent outputs `L`.
+    fn has_unique_leader(&self, states: &[Self::State]) -> bool {
+        let mut seen = false;
+        for s in states {
+            if self.is_leader(s) {
+                if seen {
+                    return false;
+                }
+                seen = true;
+            }
+        }
+        seen
+    }
+
+    /// Counts leaders in a full configuration.
+    fn count_leaders_in(&self, config: &Configuration<Self::State>) -> usize {
+        self.count_leaders(config.states())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal protocol used to exercise the default trait methods.
+    #[derive(Clone, Debug)]
+    struct Toggle;
+
+    impl Protocol for Toggle {
+        type State = bool;
+        fn interact(&self, initiator: &mut bool, responder: &mut bool) {
+            // The initiator absorbs the responder's leadership.
+            if *responder {
+                *responder = false;
+                *initiator = true;
+            }
+        }
+        fn name(&self) -> &'static str {
+            "toggle"
+        }
+    }
+
+    impl LeaderElection for Toggle {
+        fn is_leader(&self, state: &bool) -> bool {
+            *state
+        }
+    }
+
+    #[test]
+    fn leader_output_display() {
+        assert_eq!(LeaderOutput::Leader.to_string(), "L");
+        assert_eq!(LeaderOutput::Follower.to_string(), "F");
+        assert!(LeaderOutput::Leader < LeaderOutput::Follower || LeaderOutput::Leader != LeaderOutput::Follower);
+    }
+
+    #[test]
+    fn default_output_follows_is_leader() {
+        let p = Toggle;
+        assert_eq!(p.output(&true), LeaderOutput::Leader);
+        assert_eq!(p.output(&false), LeaderOutput::Follower);
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let p = Toggle;
+        let states = vec![true, false, true, false, false];
+        assert_eq!(p.count_leaders(&states), 2);
+        assert_eq!(p.leader_indices(&states), vec![0, 2]);
+        assert!(!p.has_unique_leader(&states));
+        assert!(p.has_unique_leader(&[false, true, false]));
+        assert!(!p.has_unique_leader(&[false, false]));
+    }
+
+    #[test]
+    fn default_environment_is_noop_and_reports_no_oracle() {
+        let p = Toggle;
+        let mut states = vec![true, false];
+        p.environment(&mut states);
+        assert_eq!(states, vec![true, false]);
+        assert!(!p.uses_oracle());
+        assert_eq!(p.name(), "toggle");
+    }
+
+    #[test]
+    fn count_leaders_in_configuration() {
+        let p = Toggle;
+        let config = Configuration::from_states(vec![true, true, false]);
+        assert_eq!(p.count_leaders_in(&config), 2);
+    }
+
+    #[test]
+    fn transition_moves_leadership_to_initiator() {
+        let p = Toggle;
+        let mut a = false;
+        let mut b = true;
+        p.interact(&mut a, &mut b);
+        assert!(a);
+        assert!(!b);
+    }
+}

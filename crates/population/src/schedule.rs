@@ -1,0 +1,283 @@
+//! Interactions and deterministic interaction sequences.
+//!
+//! The paper's proofs repeatedly reason about specific *interaction
+//! sequences*: `seq_R(i, j) = e_i, e_{i+1}, ..., e_{i+j-1}` (a clockwise
+//! sweep) and `seq_L(i, j) = e_{i-1}, e_{i-2}, ..., e_{i-j}` (a
+//! counter-clockwise sweep), their concatenation `s · s'` and repetition
+//! `s^i` (Section 2).  [`InteractionSeq`] provides exactly these operations,
+//! which lets deterministic tests replay the schedules used in the proofs of
+//! Lemmas 3.5, 4.9 and 4.12 and check the claimed post-conditions exactly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::agent::AgentId;
+
+/// A single interaction: an ordered pair (initiator, responder).
+///
+/// On a directed ring, `e_i` denotes the interaction `(u_i, u_{i+1})`; use
+/// [`Interaction::ring_arc`] to build it from the index `i`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interaction {
+    initiator: AgentId,
+    responder: AgentId,
+}
+
+impl Interaction {
+    /// Creates an interaction from raw indices.
+    pub fn new(initiator: usize, responder: usize) -> Self {
+        Interaction {
+            initiator: AgentId::new(initiator),
+            responder: AgentId::new(responder),
+        }
+    }
+
+    /// The paper's arc `e_i = (u_i, u_{i+1 mod n})` on a ring of `n` agents.
+    pub fn ring_arc(i: usize, n: usize) -> Self {
+        Interaction::new(i % n, (i + 1) % n)
+    }
+
+    /// The initiator (the paper's `l`, the left agent on a ring arc).
+    pub fn initiator(&self) -> AgentId {
+        self.initiator
+    }
+
+    /// The responder (the paper's `r`, the right agent on a ring arc).
+    pub fn responder(&self) -> AgentId {
+        self.responder
+    }
+}
+
+impl std::fmt::Display for Interaction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.initiator, self.responder)
+    }
+}
+
+/// A finite sequence of interactions with the concatenation and repetition
+/// operators of Section 2.
+#[derive(Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct InteractionSeq {
+    interactions: Vec<Interaction>,
+}
+
+impl InteractionSeq {
+    /// The empty sequence.
+    pub fn new() -> Self {
+        InteractionSeq {
+            interactions: Vec::new(),
+        }
+    }
+
+    /// Builds a sequence from explicit interactions.
+    pub fn from_interactions(interactions: Vec<Interaction>) -> Self {
+        InteractionSeq { interactions }
+    }
+
+    /// `seq_R(i, j) = e_i, e_{i+1}, ..., e_{i+j-1}`: a clockwise sweep of `j`
+    /// consecutive ring arcs starting at `e_i` on a ring of `n` agents.
+    pub fn seq_r(i: usize, j: usize, n: usize) -> Self {
+        let interactions = (0..j).map(|k| Interaction::ring_arc(i + k, n)).collect();
+        InteractionSeq { interactions }
+    }
+
+    /// `seq_L(i, j) = e_{i-1}, e_{i-2}, ..., e_{i-j}`: a counter-clockwise
+    /// sweep of `j` consecutive ring arcs ending at `e_{i-j}` on a ring of
+    /// `n` agents.
+    pub fn seq_l(i: usize, j: usize, n: usize) -> Self {
+        let interactions = (1..=j)
+            .map(|k| Interaction::ring_arc(i + n * k - k, n))
+            .collect();
+        InteractionSeq { interactions }
+    }
+
+    /// The length (number of interactions) of the sequence.
+    pub fn len(&self) -> usize {
+        self.interactions.len()
+    }
+
+    /// Returns `true` if the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.interactions.is_empty()
+    }
+
+    /// The underlying slice of interactions, in order.
+    pub fn interactions(&self) -> &[Interaction] {
+        &self.interactions
+    }
+
+    /// Concatenation `self · other`.
+    pub fn concat(mut self, other: &InteractionSeq) -> Self {
+        self.interactions.extend_from_slice(&other.interactions);
+        self
+    }
+
+    /// Repetition `self^times` (the paper's `s^i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `times == 0`; the paper only defines `s^i` for `i >= 1`.
+    pub fn repeat(&self, times: usize) -> Self {
+        assert!(times >= 1, "repetition count must be at least 1");
+        let mut interactions = Vec::with_capacity(self.interactions.len() * times);
+        for _ in 0..times {
+            interactions.extend_from_slice(&self.interactions);
+        }
+        InteractionSeq { interactions }
+    }
+
+    /// Iterates over the interactions.
+    pub fn iter(&self) -> impl Iterator<Item = &Interaction> {
+        self.interactions.iter()
+    }
+
+    /// The schedule used by Lemma 3.5 / Section 3.2 to drive one token
+    /// through its full trajectory across the segment pair starting at agent
+    /// `k`:  `(seq_R(k, 2ψ−1) · seq_L(k+2ψ−1, 2ψ−1))^{2ψ}`.
+    pub fn token_trajectory_schedule(k: usize, psi: usize, n: usize) -> Self {
+        let right = InteractionSeq::seq_r(k, 2 * psi - 1, n);
+        let left = InteractionSeq::seq_l(k + 2 * psi - 1, 2 * psi - 1, n);
+        right.concat(&left).repeat(2 * psi)
+    }
+
+    /// The full-ring double sweep `seq_R(i, n) · seq_L(i, n)` used throughout
+    /// Section 3.2 to propagate `dist` and `last`.
+    pub fn full_ring_sweep(i: usize, n: usize) -> Self {
+        InteractionSeq::seq_r(i, n, n).concat(&InteractionSeq::seq_l(i, n, n))
+    }
+}
+
+impl IntoIterator for InteractionSeq {
+    type Item = Interaction;
+    type IntoIter = std::vec::IntoIter<Interaction>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.interactions.into_iter()
+    }
+}
+
+impl FromIterator<Interaction> for InteractionSeq {
+    fn from_iter<I: IntoIterator<Item = Interaction>>(iter: I) -> Self {
+        InteractionSeq {
+            interactions: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Interaction> for InteractionSeq {
+    fn extend<I: IntoIterator<Item = Interaction>>(&mut self, iter: I) {
+        self.interactions.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_arc_wraps() {
+        assert_eq!(Interaction::ring_arc(5, 6), Interaction::new(5, 0));
+        assert_eq!(Interaction::ring_arc(9, 6), Interaction::new(3, 4));
+        let e = Interaction::new(2, 3);
+        assert_eq!(e.initiator().index(), 2);
+        assert_eq!(e.responder().index(), 3);
+        assert_eq!(e.to_string(), "(u2, u3)");
+    }
+
+    #[test]
+    fn seq_r_matches_definition() {
+        // seq_R(i, j) = e_i, e_{i+1}, ..., e_{i+j-1}
+        let n = 8;
+        let s = InteractionSeq::seq_r(6, 4, n);
+        let expected: Vec<_> = [6, 7, 0, 1].iter().map(|&i| Interaction::ring_arc(i, n)).collect();
+        assert_eq!(s.interactions(), expected.as_slice());
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn seq_l_matches_definition() {
+        // seq_L(i, j) = e_{i-1}, e_{i-2}, ..., e_{i-j}
+        let n = 8;
+        let s = InteractionSeq::seq_l(2, 4, n);
+        let expected: Vec<_> = [1usize, 0, 7, 6]
+            .iter()
+            .map(|&i| Interaction::ring_arc(i, n))
+            .collect();
+        assert_eq!(s.interactions(), expected.as_slice());
+    }
+
+    #[test]
+    fn seq_r_of_length_n_covers_every_arc_once() {
+        let n = 10;
+        let s = InteractionSeq::seq_r(3, n, n);
+        assert_eq!(s.len(), n);
+        let mut seen = vec![0usize; n];
+        for e in s.iter() {
+            seen[e.initiator().index()] += 1;
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn seq_l_of_length_n_covers_every_arc_once() {
+        let n = 10;
+        let s = InteractionSeq::seq_l(3, n, n);
+        assert_eq!(s.len(), n);
+        let mut seen = vec![0usize; n];
+        for e in s.iter() {
+            seen[e.initiator().index()] += 1;
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn concat_and_repeat() {
+        let n = 4;
+        let a = InteractionSeq::seq_r(0, 2, n);
+        let b = InteractionSeq::seq_l(0, 1, n);
+        let c = a.clone().concat(&b);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.interactions()[2], Interaction::ring_arc(3, n));
+        let r = c.repeat(3);
+        assert_eq!(r.len(), 9);
+        assert_eq!(&r.interactions()[0..3], c.interactions());
+        assert_eq!(&r.interactions()[6..9], c.interactions());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn repeat_zero_panics() {
+        InteractionSeq::seq_r(0, 1, 4).repeat(0);
+    }
+
+    #[test]
+    fn empty_sequence_behaviour() {
+        let s = InteractionSeq::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        let t: InteractionSeq = std::iter::empty().collect();
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn trajectory_schedule_has_expected_length() {
+        // (seq_R(k, 2ψ−1) · seq_L(·, 2ψ−1))^{2ψ} has length (4ψ−2)·2ψ.
+        let psi = 4;
+        let n = 32;
+        let s = InteractionSeq::token_trajectory_schedule(0, psi, n);
+        assert_eq!(s.len(), (4 * psi - 2) * 2 * psi);
+    }
+
+    #[test]
+    fn full_ring_sweep_length() {
+        let s = InteractionSeq::full_ring_sweep(2, 9);
+        assert_eq!(s.len(), 18);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut s: InteractionSeq = (0..3).map(|i| Interaction::ring_arc(i, 5)).collect();
+        s.extend([Interaction::ring_arc(3, 5)]);
+        assert_eq!(s.len(), 4);
+        let v: Vec<Interaction> = s.into_iter().collect();
+        assert_eq!(v.len(), 4);
+    }
+}

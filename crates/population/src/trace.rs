@@ -1,0 +1,218 @@
+//! Execution traces.
+//!
+//! A [`Trace`] records interesting events of a run — interactions, leader-set
+//! changes, convergence — so that experiments like the Figure 2 token
+//! trajectory and the Lemma 3.11 signal-lifetime measurement can be expressed
+//! as post-processing over the trace instead of ad-hoc instrumentation inside
+//! protocols.
+
+use serde::{Deserialize, Serialize};
+
+use crate::schedule::Interaction;
+
+/// A single recorded event.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// An interaction happened at the given step.
+    Interaction {
+        /// Step index (0-based).
+        step: u64,
+        /// The scheduled interaction.
+        interaction: Interaction,
+    },
+    /// The set of leaders changed at the given step.
+    LeaderSetChanged {
+        /// Step index at which the change was observed.
+        step: u64,
+        /// Indices of the agents outputting `L` after the step.
+        leaders: Vec<usize>,
+    },
+    /// A convergence criterion was satisfied for the first time.
+    Converged {
+        /// Step index of the first passing check.
+        step: u64,
+        /// Name of the criterion that passed.
+        criterion: String,
+    },
+    /// Free-form annotation emitted by experiments.
+    Annotation {
+        /// Step index of the annotation.
+        step: u64,
+        /// Annotation text.
+        text: String,
+    },
+}
+
+impl Event {
+    /// The step at which the event occurred.
+    pub fn step(&self) -> u64 {
+        match self {
+            Event::Interaction { step, .. }
+            | Event::LeaderSetChanged { step, .. }
+            | Event::Converged { step, .. }
+            | Event::Annotation { step, .. } => *step,
+        }
+    }
+}
+
+/// An append-only sequence of [`Event`]s.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<Event>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates an enabled, empty trace.
+    pub fn new() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Creates a disabled trace: all `record` calls are ignored.  Simulations
+    /// default to a disabled trace so that tracing costs nothing unless asked
+    /// for.
+    pub fn disabled() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Returns `true` if recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn record(&mut self, event: Event) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// All recorded events, in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Clears all recorded events (keeps the enabled flag).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// The steps at which the leader set changed.
+    pub fn leader_change_steps(&self) -> Vec<u64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::LeaderSetChanged { step, .. } => Some(*step),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The last step at which the leader set changed, if any.
+    pub fn last_leader_change(&self) -> Option<u64> {
+        self.leader_change_steps().last().copied()
+    }
+
+    /// The first convergence event, if any, as `(step, criterion)`.
+    pub fn first_convergence(&self) -> Option<(u64, &str)> {
+        self.events.iter().find_map(|e| match e {
+            Event::Converged { step, criterion } => Some((*step, criterion.as_str())),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        assert!(!t.is_enabled());
+        t.record(Event::Annotation {
+            step: 0,
+            text: "x".into(),
+        });
+        assert!(t.is_empty());
+        t.set_enabled(true);
+        t.record(Event::Annotation {
+            step: 1,
+            text: "y".into(),
+        });
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn leader_change_queries() {
+        let mut t = Trace::new();
+        t.record(Event::Interaction {
+            step: 0,
+            interaction: Interaction::new(0, 1),
+        });
+        t.record(Event::LeaderSetChanged {
+            step: 3,
+            leaders: vec![1],
+        });
+        t.record(Event::LeaderSetChanged {
+            step: 9,
+            leaders: vec![2],
+        });
+        t.record(Event::Converged {
+            step: 12,
+            criterion: "unique-leader".into(),
+        });
+        assert_eq!(t.leader_change_steps(), vec![3, 9]);
+        assert_eq!(t.last_leader_change(), Some(9));
+        assert_eq!(t.first_convergence(), Some((12, "unique-leader")));
+        assert_eq!(t.events()[0].step(), 0);
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.is_enabled());
+    }
+
+    #[test]
+    fn event_step_accessor_covers_all_variants() {
+        let events = [
+            Event::Interaction {
+                step: 1,
+                interaction: Interaction::new(0, 1),
+            },
+            Event::LeaderSetChanged {
+                step: 2,
+                leaders: vec![],
+            },
+            Event::Converged {
+                step: 3,
+                criterion: "c".into(),
+            },
+            Event::Annotation {
+                step: 4,
+                text: "t".into(),
+            },
+        ];
+        let steps: Vec<u64> = events.iter().map(|e| e.step()).collect();
+        assert_eq!(steps, vec![1, 2, 3, 4]);
+    }
+}

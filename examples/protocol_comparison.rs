@@ -1,0 +1,108 @@
+//! Protocol comparison: run `P_PL` and the Table 1 baselines side by side on
+//! the same ring sizes and print a miniature version of Table 1 (convergence
+//! steps and state counts).
+//!
+//! ```text
+//! cargo run --release --example protocol_comparison [max_n]
+//! ```
+
+use ring_ssle::prelude::*;
+use ring_ssle::ssle_baselines::angluin_mod_k::{has_unique_defect, ModKState};
+use ring_ssle::ssle_baselines::fischer_jiang::{has_stable_unique_leader, FjState};
+use ring_ssle::ssle_baselines::yokota_linear::{is_safe as yokota_safe, YokotaState};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let max_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(64);
+    let sizes: Vec<usize> = [16usize, 32, 64, 128]
+        .into_iter()
+        .filter(|&n| n <= max_n)
+        .collect();
+    let trials = 5u64;
+
+    let mut table = Table::new(
+        "Mean convergence steps from uniformly random configurations",
+        &["n", "P_PL (this work)", "[28] O(n)-state", "[15] oracle", "[5] mod-k"],
+    );
+
+    for &n in &sizes {
+        let mut row = vec![n.to_string()];
+
+        // P_PL.
+        let params = Params::for_ring(n);
+        let mut steps = Vec::new();
+        for seed in 0..trials {
+            let config =
+                ring_ssle::ssle_core::init::generate(InitialCondition::UniformRandom, n, &params, seed);
+            let mut sim =
+                Simulation::new(Ppl::new(params), DirectedRing::new(n).unwrap(), config, seed);
+            let r = sim.run_until(|_p, c| in_s_pl(c, &params), (n * n / 4) as u64, 1_000_000_000);
+            steps.push(r.convergence_step() as f64);
+        }
+        row.push(format!("{:.2e}", Summary::of(&steps).unwrap().mean));
+
+        // [28] Yokota.
+        let protocol = YokotaLinear::for_ring(n);
+        let cap = protocol.cap();
+        let mut steps = Vec::new();
+        for seed in 0..trials {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let config = Configuration::from_fn(n, |_| YokotaState::sample_uniform(&mut rng, cap));
+            let mut sim = Simulation::new(protocol, DirectedRing::new(n).unwrap(), config, seed);
+            let r = sim.run_until(
+                |_p, c: &Configuration<YokotaState>| yokota_safe(c, cap),
+                (n * n / 4) as u64,
+                1_000_000_000,
+            );
+            steps.push(r.convergence_step() as f64);
+        }
+        row.push(format!("{:.2e}", Summary::of(&steps).unwrap().mean));
+
+        // [15] Fischer-Jiang with the ideal oracle.
+        let protocol = FischerJiang::new();
+        let mut steps = Vec::new();
+        for seed in 0..trials {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let config = Configuration::from_fn(n, |_| FjState::sample_uniform(&mut rng));
+            let mut sim = Simulation::new(protocol, DirectedRing::new(n).unwrap(), config, seed);
+            let r = sim.run_until(
+                |_p, c: &Configuration<FjState>| has_stable_unique_leader(c),
+                (n * n / 4) as u64,
+                1_000_000_000,
+            );
+            steps.push(r.convergence_step() as f64);
+        }
+        row.push(format!("{:.2e}", Summary::of(&steps).unwrap().mean));
+
+        // [5] Angluin et al. with the smallest k not dividing n.
+        let k = (2u8..=64).find(|&k| n % k as usize != 0).unwrap();
+        let protocol = AngluinModK::new(k);
+        let mut steps = Vec::new();
+        for seed in 0..trials {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let config = Configuration::from_fn(n, |_| ModKState::sample_uniform(&mut rng, k));
+            let mut sim = Simulation::new(protocol, DirectedRing::new(n).unwrap(), config, seed);
+            let r = sim.run_until(
+                |_p, c: &Configuration<ModKState>| has_unique_defect(c, k),
+                (n * n / 4) as u64,
+                2_000_000_000,
+            );
+            steps.push(r.convergence_step() as f64);
+        }
+        row.push(format!("{:.2e}", Summary::of(&steps).unwrap().mean));
+
+        table.push_row(row);
+    }
+
+    println!("{}", table.to_text());
+    println!("State counts at n = 64:");
+    println!("  P_PL            : {}", Params::for_ring(64).states_per_agent());
+    println!("  [28] O(n)-state : {}", YokotaLinear::for_ring(64).states_per_agent());
+    println!("  [15] oracle     : {}", FischerJiang::new().states_per_agent());
+    println!("  [5]  mod-k      : {}", AngluinModK::new(3).states_per_agent());
+    println!("\nFor the full Table 1 reproduction run: cargo run --release -p ssle-bench --bin table1");
+}

@@ -1,0 +1,70 @@
+//! Quickstart: elect a leader on a directed ring with `P_PL`, starting from
+//! an arbitrary (uniformly random) configuration, and watch it reach the safe
+//! set `S_PL`.
+//!
+//! ```text
+//! cargo run --release --example quickstart [n] [seed]
+//! ```
+
+use ring_ssle::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(64);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+
+    let params = Params::for_ring(n);
+    println!(
+        "ring of n = {n} agents, knowledge psi = {}, kappa_max = {}, {} states per agent",
+        params.psi(),
+        params.kappa_max(),
+        params.states_per_agent()
+    );
+
+    // An arbitrary initial configuration: every variable of every agent is
+    // sampled uniformly from its domain — the self-stabilization setting.
+    let config = ring_ssle::ssle_core::init::generate(InitialCondition::UniformRandom, n, &params, seed);
+    let initial_leaders = config.count_where(|s| s.leader);
+    println!("initial configuration: {initial_leaders} agents already call themselves leader");
+
+    let mut sim = Simulation::new(
+        Ppl::new(params),
+        DirectedRing::new(n).expect("n >= 2"),
+        config,
+        seed,
+    );
+
+    // Run until the configuration is in S_PL (Definition 4.6): exactly one
+    // leader, a perfect segment-ID embedding, and only valid, correct tokens.
+    // S_PL is closed, so from that point the leader can never change.
+    let report = sim.run_until(
+        |_p, c| in_s_pl(c, &params),
+        (n * n / 4) as u64,
+        1_000_000_000,
+    );
+
+    match report.converged_at {
+        Some(step) => {
+            println!(
+                "reached a safe configuration after {step} steps ({:.1} parallel time, {:.2} × n² log₂ n)",
+                step as f64 / n as f64,
+                step as f64 / ((n * n) as f64 * (n as f64).log2()),
+            );
+        }
+        None => {
+            println!("did not converge within the step budget — try a larger budget");
+            return;
+        }
+    }
+
+    let leader = sim
+        .protocol()
+        .leader_indices(sim.config().states());
+    println!("elected leader: agent u{}", leader[0]);
+
+    // Closure: keep running and verify nothing changes.
+    sim.run_steps(500_000);
+    let later = sim.protocol().leader_indices(sim.config().states());
+    assert_eq!(leader, later, "the leader must never change after convergence");
+    println!("after 500000 more steps the leader is still u{} — closure holds", later[0]);
+}

@@ -1,0 +1,146 @@
+//! Integration tests for the Section 5 stack (two-hop colouring + ring
+//! orientation) and cross-checks between the baselines and `P_PL`.
+
+use ring_ssle::prelude::*;
+use ring_ssle::ssle_baselines::yokota_linear::{is_safe as yokota_safe, YokotaState};
+use ring_ssle::ssle_core::coloring::{
+    is_two_hop_coloring, neighbors_distinguishable, oracle_two_hop_coloring, ColoringState,
+    TwoHopColoring,
+};
+use ring_ssle::ssle_core::orientation::{
+    is_oriented, oriented_config, random_orientation_config, OrState, Por,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn orientation_then_election_pipeline() {
+    // The Section 5 composition: orient the undirected ring, then elect a
+    // leader on the induced directed ring.
+    let n = 20;
+    let colors = oracle_two_hop_coloring(n);
+    assert!(is_two_hop_coloring(&colors));
+    assert!(neighbors_distinguishable(&colors));
+
+    let mut orientation = Simulation::new(
+        Por::new(),
+        UndirectedRing::new(n).unwrap(),
+        random_orientation_config(n, 3),
+        3,
+    );
+    let report = orientation.run_until(
+        |_p, c: &Configuration<OrState>| is_oriented(c),
+        (n * n / 4) as u64,
+        200_000_000,
+    );
+    assert!(report.converged(), "P_OR must orient the ring");
+
+    let params = Params::for_ring(n);
+    let config = ring_ssle::ssle_core::init::generate(InitialCondition::UniformRandom, n, &params, 4);
+    let mut election = Simulation::new(
+        Ppl::new(params),
+        DirectedRing::new(n).unwrap(),
+        config,
+        4,
+    );
+    let report = election.run_until(|_p, c| in_s_pl(c, &params), (n * n / 4) as u64, 1_000_000_000);
+    assert!(report.converged());
+    assert_eq!(election.count_leaders(), 1);
+}
+
+#[test]
+fn orientation_safe_configurations_are_closed_in_both_directions() {
+    for clockwise in [true, false] {
+        let n = 18;
+        let config = oriented_config(n, clockwise);
+        assert!(is_oriented(&config));
+        let reference: Vec<u8> = config.states().iter().map(|s| s.dir).collect();
+        let mut sim = Simulation::new(Por::new(), UndirectedRing::new(n).unwrap(), config, 8);
+        sim.run_steps(150_000);
+        let now: Vec<u8> = sim.config().states().iter().map(|s| s.dir).collect();
+        assert_eq!(now, reference, "clockwise = {clockwise}");
+    }
+}
+
+#[test]
+fn handshake_coloring_feeds_the_orientation_protocol() {
+    // End-to-end over the self-stabilizing colouring stand-in: first reach a
+    // colouring where each agent's neighbours are distinguishable, then check
+    // that colouring is a legal input for P_OR (every agent can name "the
+    // other neighbour").
+    let n = 15;
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    use rand::Rng;
+    let config = Configuration::from_fn(n, |_| ColoringState::new(rng.gen_range(0..4)));
+    let mut sim = Simulation::new(
+        TwoHopColoring::default(),
+        UndirectedRing::new(n).unwrap(),
+        config,
+        6,
+    );
+    let report = sim.run_until(
+        |_p, c: &Configuration<ColoringState>| {
+            let colors: Vec<u8> = c.states().iter().map(|s| s.color).collect();
+            neighbors_distinguishable(&colors)
+        },
+        (n * n) as u64,
+        100_000_000,
+    );
+    assert!(report.converged(), "colouring stand-in did not stabilize");
+    let colors: Vec<u8> = sim.config().states().iter().map(|s| s.color).collect();
+    for i in 0..n {
+        let left = colors[(i + n - 1) % n];
+        let right = colors[(i + 1) % n];
+        assert_ne!(left, right, "agent {i} cannot tell its neighbours apart");
+    }
+}
+
+#[test]
+fn ppl_and_yokota_agree_on_what_a_converged_ring_looks_like() {
+    // Both protocols end with exactly one leader and stable outputs; their
+    // structural safe sets are different, but the externally visible outcome
+    // (one leader forever) is the same.
+    let n = 16;
+
+    let params = Params::for_ring(n);
+    let config = ring_ssle::ssle_core::init::generate(InitialCondition::AllLeaders, n, &params, 5);
+    let mut ppl = Simulation::new(Ppl::new(params), DirectedRing::new(n).unwrap(), config, 5);
+    ppl.run_until(|_p, c| in_s_pl(c, &params), (n * n / 4) as u64, 1_000_000_000);
+
+    let baseline = YokotaLinear::for_ring(n);
+    let cap = baseline.cap();
+    let config = Configuration::uniform(n, YokotaState::leader());
+    let mut yok = Simulation::new(baseline, DirectedRing::new(n).unwrap(), config, 5);
+    yok.run_until(
+        |_p, c: &Configuration<YokotaState>| yokota_safe(c, cap),
+        (n * n / 4) as u64,
+        1_000_000_000,
+    );
+
+    assert_eq!(ppl.count_leaders(), 1);
+    assert_eq!(yok.count_leaders(), 1);
+
+    // Both stay at one leader over a long closure window.
+    ppl.run_steps(100_000);
+    yok.run_steps(100_000);
+    assert_eq!(ppl.count_leaders(), 1);
+    assert_eq!(yok.count_leaders(), 1);
+}
+
+#[test]
+fn state_count_accounting_matches_the_claimed_classes() {
+    // P_PL: polylog — squaring n multiplies the count by far less than n.
+    let p1 = Params::for_ring(1 << 10).states_per_agent();
+    let p2 = Params::for_ring(1 << 20).states_per_agent();
+    assert!(p2 / p1 < 1 << 10);
+    // [28]: linear — squaring n multiplies the count by about n.
+    let y1 = YokotaLinear::for_ring(1 << 10).states_per_agent();
+    let y2 = YokotaLinear::for_ring(1 << 20).states_per_agent();
+    assert!(y2 / y1 > 1 << 9);
+    // [15], [5]: constant.
+    assert_eq!(
+        FischerJiang::new().states_per_agent(),
+        FischerJiang::new().states_per_agent()
+    );
+    assert_eq!(AngluinModK::new(2).states_per_agent(), 4);
+}

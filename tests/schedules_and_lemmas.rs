@@ -1,0 +1,169 @@
+//! Integration tests that replay the deterministic interaction schedules used
+//! in the paper's proofs and check the claimed post-conditions.
+
+use ring_ssle::population::InteractionSeq;
+use ring_ssle::prelude::*;
+use ring_ssle::ssle_core::segments::{dist_consistent, segment_id, segments};
+
+/// Section 3.2: after `seq_R(i, n) · seq_L(i, n)` with a unique leader `u_i`
+/// and all agents in construction mode, condition (1) holds and the `last`
+/// flags mark exactly the last segment.
+#[test]
+fn full_ring_sweep_repairs_dist_and_last() {
+    let n = 20;
+    let params = Params::for_ring(n);
+    // Start from a configuration whose dist/last are garbage but which has a
+    // single clean leader at u3 and whose clocks are all zero (construction
+    // mode).
+    let mut config = Configuration::uniform(n, PplState::follower());
+    config.map_in_place(|i, s| {
+        s.dist = (i as u32 * 5 + 3) % params.two_psi();
+        s.last = i % 3 == 0;
+    });
+    config[3] = PplState::leader();
+    let mut sim = Simulation::new(
+        Ppl::new(params),
+        DirectedRing::new(n).unwrap(),
+        config,
+        0,
+    );
+    sim.apply_sequence(&InteractionSeq::full_ring_sweep(3, n));
+    assert!(
+        dist_consistent(sim.config(), &params),
+        "condition (1) must hold after seq_R · seq_L from the leader"
+    );
+    // The last flags mark the last segment (relative to the leader at u3).
+    let zeta = params.num_segments(n);
+    let psi = params.psi() as usize;
+    for i in 0..n {
+        let k = (i + n - 3) % n;
+        assert_eq!(
+            sim.config()[i].last,
+            k >= psi * (zeta - 1),
+            "agent {i} (distance {k})"
+        );
+    }
+}
+
+/// Lemma 3.5 / Section 3.2: the token schedule across one segment pair
+/// rewrites the second segment's ID to the first's plus one.
+#[test]
+fn token_schedule_rebuilds_the_segment_id_chain() {
+    let psi = 4u32;
+    let params = Params::new(psi, 8 * psi);
+    let n = 16;
+    for scramble in 0..4u64 {
+        let mut config = perfect_configuration(n, &params, 0, 9);
+        config.map_in_place(|i, s| {
+            s.token_b = None;
+            s.token_w = None;
+            if (psi as usize..2 * psi as usize).contains(&i) {
+                s.b = (i as u64 + scramble) % 2 == 0;
+            }
+        });
+        let mut sim = Simulation::new(
+            Ppl::new(params),
+            DirectedRing::new(n).unwrap(),
+            config,
+            scramble,
+        );
+        sim.apply_sequence(&InteractionSeq::token_trajectory_schedule(0, psi as usize, n));
+        let segs = segments(sim.config(), &params);
+        let id0 = segment_id(sim.config(), &segs[0]);
+        let id1 = segment_id(sim.config(), &segs[1]);
+        assert_eq!(
+            id1,
+            (id0 + 1) % params.id_modulus(),
+            "scramble {scramble}: segment chain not rebuilt"
+        );
+    }
+}
+
+/// Section 3.2 (detection): in detection mode with no leader, a distance
+/// inconsistency is turned into a new leader as soon as the offending arc
+/// fires.
+#[test]
+fn detection_mode_turns_a_dist_violation_into_a_leader() {
+    let n = 12;
+    let params = Params::for_ring(n);
+    let mut config = Configuration::uniform(n, PplState::follower());
+    // Leaderless, everyone in detection mode, consistent distances except
+    // between u5 and u6.
+    config.map_in_place(|i, s| {
+        s.dist = (i as u32) % params.two_psi();
+        s.clock = params.kappa_max();
+        s.mode = Mode::Detect;
+    });
+    config[6].dist = (config[6].dist + 3) % params.two_psi();
+    let mut sim = Simulation::new(
+        Ppl::new(params),
+        DirectedRing::new(n).unwrap(),
+        config,
+        0,
+    );
+    assert_eq!(sim.count_leaders(), 0);
+    sim.apply(population::Interaction::new(5, 6));
+    assert_eq!(sim.count_leaders(), 1, "the violation at u6 must create a leader");
+    assert!(sim.config()[6].leader);
+    assert!(sim.config()[6].shield, "a new leader is born shielded (Line 6)");
+}
+
+/// Lemma 2.3 sanity check: a fixed interaction sequence of length ℓ occurs
+/// within about nℓ random steps on average.
+#[test]
+fn random_scheduler_realises_sequences_at_the_expected_rate() {
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use ring_ssle::population::{RandomScheduler, Scheduler};
+
+    let n = 16;
+    let ring = DirectedRing::new(n).unwrap();
+    let target = InteractionSeq::seq_r(0, n, n);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let mut sched = RandomScheduler::new();
+    let trials = 40;
+    let mut total_steps = 0u64;
+    for _ in 0..trials {
+        let mut cursor = 0usize;
+        let mut steps = 0u64;
+        while cursor < target.len() {
+            let e = sched.next_interaction(&ring, &mut rng).unwrap();
+            steps += 1;
+            if e == target.interactions()[cursor] {
+                cursor += 1;
+            }
+        }
+        total_steps += steps;
+    }
+    let mean = total_steps as f64 / trials as f64;
+    let expected = (n * n) as f64; // n · ℓ with ℓ = n
+    assert!(
+        mean > expected * 0.6 && mean < expected * 1.6,
+        "mean steps {mean} too far from the nℓ = {expected} expectation"
+    );
+}
+
+/// The elimination war never kills the last leader: from a two-leader
+/// configuration the population reaches exactly one leader, never zero,
+/// across many seeds.
+#[test]
+fn elimination_never_reaches_zero_leaders() {
+    let n = 14;
+    let params = Params::for_ring(n);
+    for seed in 0..10u64 {
+        let mut config = perfect_configuration(n, &params, 0, 1);
+        // Plant a second clean leader halfway round.
+        config[n / 2].become_leader();
+        let mut sim = Simulation::new(
+            Ppl::new(params),
+            DirectedRing::new(n).unwrap(),
+            config,
+            seed,
+        );
+        for _ in 0..200 {
+            sim.run_steps(500);
+            assert!(sim.count_leaders() >= 1, "seed {seed}: all leaders were killed");
+        }
+        assert_eq!(sim.count_leaders(), 1, "seed {seed}: elimination did not finish");
+    }
+}
