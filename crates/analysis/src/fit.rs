@@ -125,10 +125,12 @@ pub fn fit_with_log_degree(points: &[(f64, f64)], log_degree: u32) -> ScalingMod
 /// Fits the models `c·n^a·(log n)^b` for `b ∈ {0, 1, 2, 3}` and returns them
 /// sorted by residual (best first).
 pub fn fit_models(points: &[(f64, f64)]) -> FitResult {
-    let mut models: Vec<ScalingModel> = (0..=3)
-        .map(|b| fit_with_log_degree(points, b))
-        .collect();
-    models.sort_by(|a, b| a.residual.partial_cmp(&b.residual).expect("finite residuals"));
+    let mut models: Vec<ScalingModel> = (0..=3).map(|b| fit_with_log_degree(points, b)).collect();
+    models.sort_by(|a, b| {
+        a.residual
+            .partial_cmp(&b.residual)
+            .expect("finite residuals")
+    });
     FitResult { models }
 }
 

@@ -90,7 +90,7 @@ impl AngluinModK {
     /// Returns `true` if the protocol's assumption holds for a ring of `n`
     /// agents (`k ∤ n`).
     pub fn assumption_holds(&self, n: usize) -> bool {
-        n % self.k as usize != 0
+        !n.is_multiple_of(self.k as usize)
     }
 
     /// Exact number of states per agent: `2k` — the `O(1)` entry of Table 1.

@@ -214,7 +214,10 @@ mod tests {
         let mut states = vec![FjState::follower(); 5];
         p.environment(&mut states);
         assert!(states.iter().all(|s| s.oracle_no_leader));
-        assert!(states.iter().all(|s| s.may_fire), "no bullets: everyone cleared to fire");
+        assert!(
+            states.iter().all(|s| s.may_fire),
+            "no bullets: everyone cleared to fire"
+        );
         states[2].leader = true;
         states[3].bullet = bullet::DUMMY;
         states.iter_mut().for_each(|s| s.may_fire = false);
@@ -258,7 +261,10 @@ mod tests {
         p.interact(&mut l, &mut r);
         assert!(r.leader);
         assert_eq!(l.bullet, bullet::NONE);
-        assert!(!r.may_fire, "permission comes from the oracle, not from bullet arrival");
+        assert!(
+            !r.may_fire,
+            "permission comes from the oracle, not from bullet arrival"
+        );
     }
 
     #[test]
@@ -295,15 +301,15 @@ mod tests {
         let n = 16;
         let p = FischerJiang::new();
         let initials: Vec<(&str, Configuration<FjState>)> = vec![
-            ("all-followers", Configuration::uniform(n, FjState::follower())),
-            ("all-leaders", Configuration::uniform(n, FjState::leader())),
             (
-                "random",
-                {
-                    let mut rng = ChaCha8Rng::seed_from_u64(5);
-                    Configuration::from_fn(n, |_| FjState::sample_uniform(&mut rng))
-                },
+                "all-followers",
+                Configuration::uniform(n, FjState::follower()),
             ),
+            ("all-leaders", Configuration::uniform(n, FjState::leader())),
+            ("random", {
+                let mut rng = ChaCha8Rng::seed_from_u64(5);
+                Configuration::from_fn(n, |_| FjState::sample_uniform(&mut rng))
+            }),
         ];
         for (name, config) in initials {
             let mut sim = Simulation::new(p, DirectedRing::new(n).unwrap(), config, 9);

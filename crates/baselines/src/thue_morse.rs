@@ -117,7 +117,7 @@ mod tests {
         v.extend_from_slice(&thue_morse_prefix(5));
         let (start, w) = find_cube(&v).expect("cube must be found");
         assert_eq!(w, 1);
-        assert!(start >= 9 && start <= 10, "start = {start}");
+        assert!((9..=10).contains(&start), "start = {start}");
     }
 
     #[test]

@@ -283,7 +283,10 @@ mod tests {
         for _ in 0..40 {
             sim.run_steps(5_000);
             assert!(is_safe(sim.config(), protocol.cap()));
-            assert_eq!(sim.protocol().leader_indices(sim.config().states()), vec![5]);
+            assert_eq!(
+                sim.protocol().leader_indices(sim.config().states()),
+                vec![5]
+            );
         }
     }
 

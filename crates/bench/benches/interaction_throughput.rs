@@ -28,8 +28,7 @@ fn bench_throughput(c: &mut Criterion) {
             let protocol = YokotaLinear::for_ring(n);
             let cap = protocol.cap();
             let mut rng = ChaCha8Rng::seed_from_u64(2);
-            let config =
-                Configuration::from_fn(n, |_| YokotaState::sample_uniform(&mut rng, cap));
+            let config = Configuration::from_fn(n, |_| YokotaState::sample_uniform(&mut rng, cap));
             let mut sim = Simulation::new(protocol, DirectedRing::new(n).unwrap(), config, 2);
             b.iter(|| sim.run_steps(STEPS));
         });

@@ -7,11 +7,15 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn bench_lottery(c: &mut Criterion) {
     let mut group = c.benchmark_group("lottery_game");
     for k in [4u32, 8] {
-        group.bench_with_input(BenchmarkId::new("wins_in_lemma_3_9_flips", k), &k, |b, &k| {
-            let mut game = LotteryGame::new(k, 1);
-            let flips = game.lemma_3_9_flips(1);
-            b.iter(|| game.wins_in(flips))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("wins_in_lemma_3_9_flips", k),
+            &k,
+            |b, &k| {
+                let mut game = LotteryGame::new(k, 1);
+                let flips = game.lemma_3_9_flips(1);
+                b.iter(|| game.wins_in(flips))
+            },
+        );
     }
     group.finish();
 }

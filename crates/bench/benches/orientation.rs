@@ -31,9 +31,11 @@ fn bench_orientation(c: &mut Criterion) {
         });
     }
     for n in [256usize, 4096] {
-        group.bench_with_input(BenchmarkId::new("oracle_two_hop_coloring", n), &n, |b, &n| {
-            b.iter(|| oracle_two_hop_coloring(n))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("oracle_two_hop_coloring", n),
+            &n,
+            |b, &n| b.iter(|| oracle_two_hop_coloring(n)),
+        );
     }
     group.finish();
 }

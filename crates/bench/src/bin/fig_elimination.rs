@@ -20,8 +20,7 @@ fn main() {
         let params = Params::for_ring(t.n);
         let protocol = Ppl::new(params);
         let config = init::generate(InitialCondition::AllLeaders, t.n, &params, t.seed);
-        let mut sim =
-            Simulation::new(protocol, DirectedRing::new(t.n).unwrap(), config, t.seed);
+        let mut sim = Simulation::new(protocol, DirectedRing::new(t.n).unwrap(), config, t.seed);
         sim.run_until(
             |p: &Ppl, c: &Configuration<PplState>| p.has_unique_leader(c.states()),
             check_interval(t.n),
@@ -48,7 +47,10 @@ fn main() {
     }
     println!("{}", table.to_markdown());
     if points.len() >= 3 {
-        println!("best fit: {}   ([28] proves Θ(n^2))\n", fit_models(&points).best().formula());
+        println!(
+            "best fit: {}   ([28] proves Θ(n^2))\n",
+            fit_models(&points).best().formula()
+        );
     }
 
     // Leader-count decay trajectory for one representative size.

@@ -11,13 +11,17 @@
 use analysis::{Summary, Table};
 use population::{BatchRunner, Configuration, DirectedRing, LeaderElection, Simulation, Trial};
 use ssle_bench::check_interval;
-use ssle_core::{init, in_s_pl, InitialCondition, Mode, Params, Ppl, PplState};
+use ssle_core::{in_s_pl, init, InitialCondition, Mode, Params, Ppl, PplState};
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let n = if full { 64 } else { 32 };
     let trials = if full { 8 } else { 4 };
-    let factors: &[u32] = if full { &[2, 4, 8, 16, 32] } else { &[2, 4, 8, 16] };
+    let factors: &[u32] = if full {
+        &[2, 4, 8, 16, 32]
+    } else {
+        &[2, 4, 8, 16]
+    };
 
     println!("# κ_max ablation (κ_max = c₁ψ), n = {n}\n");
 
@@ -40,7 +44,8 @@ fn main() {
         let grid = Trial::grid(&[n], trials, 0xAB1A + factor as u64);
         let summaries = runner.run_grouped(&grid, |t: Trial| {
             let protocol = Ppl::new(params);
-            let config = init::generate(InitialCondition::LeaderlessConsistent, t.n, &params, t.seed);
+            let config =
+                init::generate(InitialCondition::LeaderlessConsistent, t.n, &params, t.seed);
             let mut sim =
                 Simulation::new(protocol, DirectedRing::new(t.n).unwrap(), config, t.seed);
             sim.run_until(

@@ -6,7 +6,11 @@ use analysis::{LotteryGame, Table};
 
 fn main() {
     println!("# Lottery-game tail bounds (Lemmas 3.9 and 3.10)\n");
-    let trials = if std::env::args().any(|a| a == "--full") { 2000 } else { 400 };
+    let trials = if std::env::args().any(|a| a == "--full") {
+        2000
+    } else {
+        400
+    };
 
     let mut table = Table::new(
         format!("Empirical tail probabilities ({trials} Monte-Carlo trials per row)"),

@@ -46,7 +46,7 @@ fn main() {
     }
     println!("{}", table.to_markdown());
     if points.len() >= 3 {
-        let best = fit_models(&points).best().clone();
+        let best = *fit_models(&points).best();
         println!(
             "best fit: {}   (Lemma 3.7 predicts O(n^2 log n))\n",
             best.formula()
@@ -57,7 +57,12 @@ fn main() {
     println!("## Construction-mode stability with a unique leader (Lemma 3.6)\n");
     let mut hold_table = Table::new(
         "",
-        &["n", "steps simulated", "max clock observed", "agents that ever reached Detect"],
+        &[
+            "n",
+            "steps simulated",
+            "max clock observed",
+            "agents that ever reached Detect",
+        ],
     );
     for &n in sizes.iter().take(4) {
         let params = Params::for_ring(n);
@@ -96,7 +101,11 @@ fn main() {
     println!("## Resetting-signal lifetime without a leader (Lemma 3.11)\n");
     let mut life_table = Table::new(
         "",
-        &["n", "mean steps until all signals gone", "steps / (n^2 κ_max)"],
+        &[
+            "n",
+            "mean steps until all signals gone",
+            "steps / (n^2 κ_max)",
+        ],
     );
     for &n in sizes.iter().take(4) {
         let params = Params::for_ring(n);

@@ -31,7 +31,13 @@ fn main() {
 
     let mut table = Table::new(
         "Steps for P_OR to orient the ring (random initial orientation, oracle colouring)",
-        &["n", "mean steps", "median", "steps / n^2", "steps / (n^2 log2 n)"],
+        &[
+            "n",
+            "mean steps",
+            "median",
+            "steps / n^2",
+            "steps / (n^2 log2 n)",
+        ],
     );
     let mut points = Vec::new();
     for s in &summaries {
@@ -67,7 +73,10 @@ fn main() {
     let mut decay = Table::new("", &["steps", "facing fronts"]);
     let chunk = (n as u64).pow(2) / 2;
     for i in 0..20 {
-        decay.push_row(vec![(i as u64 * chunk).to_string(), facing_fronts(sim.config()).to_string()]);
+        decay.push_row(vec![
+            (i as u64 * chunk).to_string(),
+            facing_fronts(sim.config()).to_string(),
+        ]);
         if is_oriented(sim.config()) {
             break;
         }

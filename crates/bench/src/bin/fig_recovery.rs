@@ -5,8 +5,8 @@
 
 use analysis::{Summary, Table};
 use population::{
-    BatchRunner, Configuration, DirectedRing, FaultInjector, FaultKind, LeaderElection,
-    Simulation, Trial,
+    BatchRunner, Configuration, DirectedRing, FaultInjector, FaultKind, LeaderElection, Simulation,
+    Trial,
 };
 use ssle_bench::{check_interval, full_mode, step_budget};
 use ssle_core::{in_s_pl, perfect_configuration, Params, Ppl, PplState};
@@ -42,7 +42,13 @@ fn main() {
 
     let mut table = Table::new(
         "Steps to re-enter S_PL after a transient fault",
-        &["corrupted agents f", "mean steps", "median", "max", "converged"],
+        &[
+            "corrupted agents f",
+            "mean steps",
+            "median",
+            "max",
+            "converged",
+        ],
     );
 
     for &faults in &fault_counts {

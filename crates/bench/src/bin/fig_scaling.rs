@@ -20,7 +20,14 @@ fn main() {
 
     let mut table = Table::new(
         "Convergence steps of P_PL to S_PL (uniform-random initial configurations)",
-        &["n", "mean steps", "median", "max", "steps / n^2", "steps / (n^2 log2 n)"],
+        &[
+            "n",
+            "mean steps",
+            "median",
+            "max",
+            "steps / n^2",
+            "steps / (n^2 log2 n)",
+        ],
     );
     let mut series = Series::new("mean_steps");
 
@@ -111,7 +118,10 @@ fn main() {
     }
     println!("{}", worst_table.to_markdown());
     if worst_series.len() >= 3 {
-        println!("best fit: {}\n", fit_models(worst_series.points()).best().formula());
+        println!(
+            "best fit: {}\n",
+            fit_models(worst_series.points()).best().formula()
+        );
     }
 
     println!(

@@ -16,7 +16,14 @@ fn describe(config: &Configuration<PplState>, params: &Params, title: &str) {
     println!("## {title}\n");
     let mut table = Table::new(
         "",
-        &["segment", "start agent", "length", "ID ι(S)", "starts at leader?", "followed by leader?"],
+        &[
+            "segment",
+            "start agent",
+            "length",
+            "ID ι(S)",
+            "starts at leader?",
+            "followed by leader?",
+        ],
     );
     let segs = segments(config, params);
     let n = config.len();
@@ -50,7 +57,10 @@ fn main() {
         describe(
             &config,
             &params,
-            &format!("(a/b-style) perfect configuration, n = {n}, ψ = {}, leader at u{leader_at}", params.psi()),
+            &format!(
+                "(a/b-style) perfect configuration, n = {n}, ψ = {}, leader at u{leader_at}",
+                params.psi()
+            ),
         );
         assert!(is_perfect(&config, &params));
     }

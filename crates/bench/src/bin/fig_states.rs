@@ -76,5 +76,8 @@ fn main() {
         Params::for_ring(1024).psi(),
         Params::for_ring(1024).trajectory_length()
     );
-    println!("\nCSV:\n{}", Series::to_csv(&[ppl_series, yokota_series], "n"));
+    println!(
+        "\nCSV:\n{}",
+        Series::to_csv(&[ppl_series, yokota_series], "n")
+    );
 }

@@ -119,7 +119,7 @@ impl ProtocolKind {
 /// baseline [5]).
 pub fn pick_k(n: usize) -> u8 {
     (2u8..=64)
-        .find(|&k| n % k as usize != 0)
+        .find(|&k| !n.is_multiple_of(k as usize))
         .expect("some k <= 64 never divides n for n >= 2")
 }
 
@@ -148,7 +148,12 @@ pub fn run_ppl_trial(
 ) -> ConvergenceReport {
     let protocol = Ppl::new(params);
     let config = init::generate(condition, n, &params, seed);
-    let mut sim = Simulation::new(protocol, DirectedRing::new(n).expect("n >= 2"), config, seed);
+    let mut sim = Simulation::new(
+        protocol,
+        DirectedRing::new(n).expect("n >= 2"),
+        config,
+        seed,
+    );
     sim.run_until(
         |_p, c: &Configuration<PplState>| in_s_pl(c, &params),
         check_interval(n),
@@ -163,7 +168,12 @@ pub fn run_yokota_trial(n: usize, seed: u64, max_steps: u64) -> ConvergenceRepor
     let cap = protocol.cap();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let config = Configuration::from_fn(n, |_| YokotaState::sample_uniform(&mut rng, cap));
-    let mut sim = Simulation::new(protocol, DirectedRing::new(n).expect("n >= 2"), config, seed);
+    let mut sim = Simulation::new(
+        protocol,
+        DirectedRing::new(n).expect("n >= 2"),
+        config,
+        seed,
+    );
     sim.run_until(
         |_p, c: &Configuration<YokotaState>| yokota_is_safe(c, cap),
         check_interval(n),
@@ -178,7 +188,12 @@ pub fn run_fischer_jiang_trial(n: usize, seed: u64, max_steps: u64) -> Convergen
     let protocol = FischerJiang::new();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let config = Configuration::from_fn(n, |_| FjState::sample_uniform(&mut rng));
-    let mut sim = Simulation::new(protocol, DirectedRing::new(n).expect("n >= 2"), config, seed);
+    let mut sim = Simulation::new(
+        protocol,
+        DirectedRing::new(n).expect("n >= 2"),
+        config,
+        seed,
+    );
     sim.run_until(
         |_p, c: &Configuration<FjState>| has_stable_unique_leader(c),
         check_interval(n),
@@ -193,7 +208,12 @@ pub fn run_angluin_trial(n: usize, seed: u64, max_steps: u64) -> ConvergenceRepo
     let protocol = AngluinModK::new(k);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let config = Configuration::from_fn(n, |_| ModKState::sample_uniform(&mut rng, k));
-    let mut sim = Simulation::new(protocol, DirectedRing::new(n).expect("n >= 2"), config, seed);
+    let mut sim = Simulation::new(
+        protocol,
+        DirectedRing::new(n).expect("n >= 2"),
+        config,
+        seed,
+    );
     sim.run_until(
         |_p, c: &Configuration<ModKState>| has_unique_defect(c, k),
         check_interval(n),
@@ -234,7 +254,12 @@ pub fn run_trial(kind: ProtocolKind, n: usize, seed: u64) -> ConvergenceReport {
 
 /// Runs `trials_per_n` trials of `kind` for every size in `sizes`, in
 /// parallel, and returns one summary per size.
-pub fn sweep(kind: ProtocolKind, sizes: &[usize], trials_per_n: usize, base_seed: u64) -> Vec<BatchSummary> {
+pub fn sweep(
+    kind: ProtocolKind,
+    sizes: &[usize],
+    trials_per_n: usize,
+    base_seed: u64,
+) -> Vec<BatchSummary> {
     let trials = Trial::grid(sizes, trials_per_n, base_seed);
     BatchRunner::new().run_grouped(&trials, |t: Trial| run_trial(kind, t.n, t.seed))
 }
@@ -283,7 +308,12 @@ pub fn leader_count_trajectory(
     let params = Params::for_ring(n);
     let protocol = Ppl::new(params);
     let config = init::generate(condition, n, &params, seed);
-    let mut sim = Simulation::new(protocol, DirectedRing::new(n).expect("n >= 2"), config, seed);
+    let mut sim = Simulation::new(
+        protocol,
+        DirectedRing::new(n).expect("n >= 2"),
+        config,
+        seed,
+    );
     let mut out = vec![(0u64, sim.count_leaders())];
     let mut done = 0u64;
     while done < total_steps {
@@ -305,7 +335,12 @@ pub fn steps_until_all_detect(n: usize, seed: u64, max_steps: u64) -> Convergenc
     // All followers, clocks zero, no signals: the pure mode-determination
     // race of Lemma 3.7.
     let config = Configuration::uniform(n, PplState::follower());
-    let mut sim = Simulation::new(protocol, DirectedRing::new(n).expect("n >= 2"), config, seed);
+    let mut sim = Simulation::new(
+        protocol,
+        DirectedRing::new(n).expect("n >= 2"),
+        config,
+        seed,
+    );
     sim.run_until(
         |p: &Ppl, c: &Configuration<PplState>| {
             c.states()
@@ -343,10 +378,16 @@ mod tests {
         let ppl_small = ProtocolKind::Ppl.states_per_agent(1 << 8);
         let ppl_large = ProtocolKind::Ppl.states_per_agent(1 << 16);
         assert!(ppl_large > ppl_small);
-        assert!(ppl_large < ppl_small * 128, "polylog growth when n is squared");
+        assert!(
+            ppl_large < ppl_small * 128,
+            "polylog growth when n is squared"
+        );
         let yok_small = ProtocolKind::Yokota.states_per_agent(1 << 8);
         let yok_large = ProtocolKind::Yokota.states_per_agent(1 << 16);
-        assert!(yok_large > yok_small * 128, "linear growth when n is squared");
+        assert!(
+            yok_large > yok_small * 128,
+            "linear growth when n is squared"
+        );
         assert!(fj_large < ppl_large);
     }
 
@@ -380,7 +421,11 @@ mod tests {
         let n = 12;
         for kind in ProtocolKind::ALL {
             let report = run_trial(kind, n, 3);
-            assert!(report.converged(), "{} did not converge at n = {n}", kind.name());
+            assert!(
+                report.converged(),
+                "{} did not converge at n = {n}",
+                kind.name()
+            );
         }
     }
 
@@ -397,7 +442,10 @@ mod tests {
     #[test]
     fn mean_points_skip_unconverged_sizes() {
         let summaries = vec![
-            BatchSummary { n: 8, outcomes: vec![] },
+            BatchSummary {
+                n: 8,
+                outcomes: vec![],
+            },
             BatchSummary {
                 n: 16,
                 outcomes: vec![population::TrialOutcome {

@@ -42,7 +42,7 @@ pub const DEFAULT_COLORS: u8 = 4;
 pub fn oracle_two_hop_coloring(n: usize) -> Vec<u8> {
     assert!(n >= 2, "ring must have at least two agents");
     let mut colors = vec![0u8; n];
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         // Two disjoint distance-2 cycles: even indices and odd indices.
         color_cycle(&mut colors, (0..n).step_by(2).collect());
         color_cycle(&mut colors, (1..n).step_by(2).collect());
@@ -88,7 +88,7 @@ pub fn is_two_hop_coloring(colors: &[u8]) -> bool {
 pub fn neighbors_distinguishable(colors: &[u8]) -> bool {
     let n = colors.len();
     if n <= 2 {
-        return n == 2 && true;
+        return n == 2;
     }
     (0..n).all(|i| colors[(i + n - 1) % n] != colors[(i + 1) % n])
 }
@@ -132,11 +132,7 @@ impl ColoringState {
     }
 
     fn ensure_slot(&mut self, color: u8) -> &mut Slot {
-        if let Some(idx) = self
-            .slots
-            .iter()
-            .position(|s| s.used && s.color == color)
-        {
+        if let Some(idx) = self.slots.iter().position(|s| s.used && s.color == color) {
             return &mut self.slots[idx];
         }
         // Allocate: prefer an unused slot, otherwise evict the second one.
@@ -285,8 +281,7 @@ mod tests {
         // never recolour anyone.
         let n = 17;
         let colors = oracle_two_hop_coloring(n);
-        let config =
-            Configuration::from_fn(n, |i| ColoringState::new(colors[i]));
+        let config = Configuration::from_fn(n, |i| ColoringState::new(colors[i]));
         let protocol = TwoHopColoring::default();
         let mut sim = Simulation::new(protocol, UndirectedRing::new(n).unwrap(), config, 5);
         sim.run_steps(200_000);

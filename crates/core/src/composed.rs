@@ -105,7 +105,11 @@ impl LeaderElection for Composed {
 /// An arbitrary initial configuration for the composed protocol on a ring of
 /// `n` agents: the oracle two-hop colouring with random directions and
 /// strengths underneath, and uniformly random `P_PL` states on top.
-pub fn random_combined_config(n: usize, params: &Params, seed: u64) -> Configuration<CombinedState> {
+pub fn random_combined_config(
+    n: usize,
+    params: &Params,
+    seed: u64,
+) -> Configuration<CombinedState> {
     let orientation = random_orientation_config(n, seed);
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x00C0_FFEE);
     Configuration::from_fn(n, |i| CombinedState {

@@ -418,7 +418,10 @@ mod tests {
         r.dist = 3;
         create_leader(&p, &mut l, &mut r);
         assert_eq!(r.dist, 0, "Line 4: tmp = 0 for a leader responder");
-        assert!(l.last, "Line 9: left neighbour of a leader is in the last segment");
+        assert!(
+            l.last,
+            "Line 9: left neighbour of a leader is in the last segment"
+        );
     }
 
     #[test]
@@ -459,8 +462,8 @@ mod tests {
         l.last = true;
         l.dist = 3;
         r.dist = 4; // border (ψ), not a leader
-        // Put r in Detect mode so Line 8 does not overwrite r.dist and hide
-        // the case we want (dist stays a border value).
+                    // Put r in Detect mode so Line 8 does not overwrite r.dist and hide
+                    // the case we want (dist stays a border value).
         r.mode = Mode::Detect;
         r.clock = p.kappa_max();
         create_leader(&p, &mut l, &mut r);
@@ -501,10 +504,12 @@ mod tests {
         move_token(&p, &mut l, &mut r, TokenKind::Black);
         // Lines 12–13, then Lines 23–25 relay it to r immediately because
         // its offset is ψ ≥ 2.
-        let t = r.token_b.expect("token should have been created and relayed");
+        let t = r
+            .token_b
+            .expect("token should have been created and relayed");
         assert_eq!(t.target_offset, p.psi() as i32 - 1);
-        assert_eq!(t.value, false, "value = 1 − b");
-        assert_eq!(t.carry, true, "carry = b");
+        assert!(!t.value, "value = 1 − b");
+        assert!(t.carry, "carry = b");
         assert!(l.token_b.is_none());
     }
 
@@ -548,8 +553,8 @@ mod tests {
         assert!(r.b, "Lines 19–20 copy b' into the target");
         let t = r.token_b.expect("token turned around");
         assert_eq!(t.target_offset, 1 - p.psi() as i32, "Line 21");
-        assert_eq!(t.value, true);
-        assert_eq!(t.carry, true);
+        assert!(t.value);
+        assert!(t.carry);
         assert!(l.token_b.is_none());
     }
 
@@ -594,7 +599,7 @@ mod tests {
         assert!(l.token_b.is_none());
         let t = r.token_b.unwrap();
         assert_eq!(t.target_offset, 2, "Lines 23–25");
-        assert_eq!(t.value, true);
+        assert!(t.value);
     }
 
     #[test]
@@ -609,8 +614,8 @@ mod tests {
         assert!(r.token_b.is_none());
         let t = l.token_b.unwrap();
         assert_eq!(t.target_offset, -2, "Lines 29–31");
-        assert_eq!(t.value, true);
-        assert_eq!(t.carry, true);
+        assert!(t.value);
+        assert!(t.carry);
     }
 
     #[test]
@@ -627,8 +632,8 @@ mod tests {
         assert!(r.token_b.is_none());
         let t = l.token_b.unwrap();
         assert_eq!(t.target_offset, 4, "Line 27 restarts at ψ");
-        assert_eq!(t.value, false, "1 − l.b with l.b = 1");
-        assert_eq!(t.carry, true, "carry = l.b");
+        assert!(!t.value, "1 − l.b with l.b = 1");
+        assert!(t.carry, "carry = l.b");
 
         // Carry clear: (b', b'') = (l.b, 0).
         let mut l2 = PplState::follower();
@@ -639,8 +644,8 @@ mod tests {
         r2.token_b = Some(Token::new(-1, false, false, 4));
         move_token(&p, &mut l2, &mut r2, TokenKind::Black);
         let t2 = l2.token_b.unwrap();
-        assert_eq!(t2.value, true);
-        assert_eq!(t2.carry, false);
+        assert!(t2.value);
+        assert!(!t2.carry);
     }
 
     #[test]
@@ -703,7 +708,10 @@ mod tests {
         l.token_b = Some(Token::new(1, true, false, 4));
         move_token(&p, &mut l, &mut r, TokenKind::Black);
         assert!(r.b, "the final bit is still written");
-        assert!(r.token_b.is_none(), "the token does not survive the final destination");
+        assert!(
+            r.token_b.is_none(),
+            "the token does not survive the final destination"
+        );
         assert!(l.token_b.is_none());
     }
 
@@ -782,7 +790,10 @@ mod tests {
         assert_eq!(l.bullet, bullet::NONE);
         assert_eq!(r.bullet, bullet::DUMMY);
         assert!(!r.signal_b, "Line 61");
-        assert!(!l.signal_b, "the erased signal does not propagate (Line 62 sees r.signal_B = 0)");
+        assert!(
+            !l.signal_b,
+            "the erased signal does not propagate (Line 62 sees r.signal_B = 0)"
+        );
     }
 
     #[test]

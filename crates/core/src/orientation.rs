@@ -332,8 +332,12 @@ mod tests {
         for (n, seed) in [(8usize, 1u64), (16, 2), (24, 3)] {
             let protocol = Por::new();
             let config = random_orientation_config(n, seed);
-            let mut sim =
-                Simulation::new(protocol, UndirectedRing::new(n).unwrap(), config, seed ^ 0xABCD);
+            let mut sim = Simulation::new(
+                protocol,
+                UndirectedRing::new(n).unwrap(),
+                config,
+                seed ^ 0xABCD,
+            );
             let report = sim.run_until(
                 |_p, c: &Configuration<OrState>| is_oriented(c),
                 (n * n) as u64,

@@ -130,7 +130,19 @@ impl Params {
         let bullet = 3u128;
         let shield = 2u128;
         let signal_b = 2u128;
-        leader * b * dist * last * token * token * mode * clock * hits * signal_r * bullet * shield * signal_b
+        leader
+            * b
+            * dist
+            * last
+            * token
+            * token
+            * mode
+            * clock
+            * hits
+            * signal_r
+            * bullet
+            * shield
+            * signal_b
     }
 
     /// Like [`Params::states_per_agent`] but counting `mode` as derived from
@@ -254,12 +266,18 @@ mod tests {
         let s40 = Params::new(40, 320).states_per_agent();
         assert!(s20 > small);
         assert!(s40 > s20);
-        assert!(s40 < s20 * 128, "state count grows faster than polylog: {s20} -> {s40}");
+        assert!(
+            s40 < s20 * 128,
+            "state count grows faster than polylog: {s20} -> {s40}"
+        );
         // ... and it is astronomically below the O(n)-state baseline's count
         // once n is large: compare against n for n = 2^128 (psi = 128).
         let s128 = Params::new(128, 1024).states_per_agent();
         assert!(s128 < u128::MAX, "still representable");
-        assert!(s128 < 1u128 << 70, "polylog count stays tiny relative to n = 2^128");
+        assert!(
+            s128 < 1u128 << 70,
+            "polylog count stays tiny relative to n = 2^128"
+        );
         // Minimal encoding halves the count (mode is derived from clock).
         let p = Params::for_ring(64);
         assert_eq!(p.states_per_agent_minimal() * 2, p.states_per_agent());

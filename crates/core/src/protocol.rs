@@ -129,8 +129,7 @@ mod tests {
         let protocol = Ppl::for_ring(n);
         let params = *protocol.params();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let config =
-            Configuration::from_fn(n, |_| PplState::sample_uniform(&mut rng, &params));
+        let config = Configuration::from_fn(n, |_| PplState::sample_uniform(&mut rng, &params));
         let mut sim = sim_from(n, config, 5);
         for _ in 0..200 {
             sim.run_steps(100);
@@ -180,13 +179,14 @@ mod tests {
         assert!(report.converged());
         // The unique leader then persists (spot-check closure over a long
         // suffix; the full structural safety argument lives in safety.rs).
-        let leader_before = sim
-            .protocol()
-            .leader_indices(sim.config().states());
+        let leader_before = sim.protocol().leader_indices(sim.config().states());
         sim.run_steps(200_000);
         assert_eq!(sim.count_leaders(), 1);
         let leader_after = sim.protocol().leader_indices(sim.config().states());
-        assert_eq!(leader_before, leader_after, "the elected leader must not change");
+        assert_eq!(
+            leader_before, leader_after,
+            "the elected leader must not change"
+        );
     }
 
     #[test]
@@ -196,15 +196,17 @@ mod tests {
         let params = *protocol.params();
         for seed in 0..3u64 {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let config =
-                Configuration::from_fn(n, |_| PplState::sample_uniform(&mut rng, &params));
+            let config = Configuration::from_fn(n, |_| PplState::sample_uniform(&mut rng, &params));
             let mut sim = sim_from(n, config, seed.wrapping_add(100));
             let report = sim.run_until(
                 |p: &Ppl, c: &Configuration<PplState>| p.has_unique_leader(c.states()),
                 1_000,
                 80_000_000,
             );
-            assert!(report.converged(), "seed {seed} did not reach a unique leader");
+            assert!(
+                report.converged(),
+                "seed {seed} did not reach a unique leader"
+            );
         }
     }
 

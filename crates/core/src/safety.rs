@@ -154,7 +154,10 @@ pub fn all_tokens_valid_and_correct(config: &Configuration<PplState>, params: &P
 /// Segment-ID condition of `S_PL`: with the leader relabelled as `u_0` and
 /// the canonical segments `S_i = u_{iψ}, ..., u_{iψ+ψ−1}`,
 /// `ι(S_{i+1}) = ι(S_i) + 1 (mod 2^ψ)` holds for every `i ∈ [0, ζ−3]`.
-pub fn canonical_segment_ids_consecutive(config: &Configuration<PplState>, params: &Params) -> bool {
+pub fn canonical_segment_ids_consecutive(
+    config: &Configuration<PplState>,
+    params: &Params,
+) -> bool {
     let Some(leader) = unique_leader(config) else {
         return false;
     };

@@ -176,9 +176,13 @@ pub fn perfect_configuration(
 /// are consistent but whose segment IDs cannot all be consecutive.  Returns
 /// `None` unless `2ψ` divides `n` (otherwise a leaderless ring cannot even
 /// have consistent distances).
-pub fn leaderless_configuration(n: usize, params: &Params, first_id: u64) -> Option<Configuration<PplState>> {
+pub fn leaderless_configuration(
+    n: usize,
+    params: &Params,
+    first_id: u64,
+) -> Option<Configuration<PplState>> {
     let psi = params.psi() as usize;
-    if n % (2 * psi) != 0 {
+    if !n.is_multiple_of(2 * psi) {
         return None;
     }
     let modulus = params.id_modulus();
@@ -327,7 +331,15 @@ mod tests {
         // For (n, ψ) pairs with valid knowledge (2^ψ ≥ n) and 2ψ | n (so a
         // leaderless ring *can* have consistent distances), the segment IDs
         // must still violate condition (2): Lemma 3.2.
-        for (n, psi) in [(6usize, 3u32), (8, 4), (16, 4), (20, 5), (30, 5), (48, 6), (60, 6)] {
+        for (n, psi) in [
+            (6usize, 3u32),
+            (8, 4),
+            (16, 4),
+            (20, 5),
+            (30, 5),
+            (48, 6),
+            (60, 6),
+        ] {
             let p = Params::new(psi, 8 * psi);
             assert!(p.valid_for(n), "test setup: knowledge must be valid");
             for first_id in [0u64, 3, 11] {

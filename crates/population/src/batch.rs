@@ -306,6 +306,59 @@ mod tests {
         assert_eq!(BatchRunner::with_threads(0).num_threads(), 1);
     }
 
+    /// A deterministic stand-in for a real per-trial simulation: the outcome
+    /// depends only on the trial's `(n, seed)`, like a seeded `Simulation`.
+    fn seeded_report(t: Trial) -> ConvergenceReport {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(t.seed ^ ((t.n as u64) << 17));
+        let steps: u64 = rng.gen_range(1..10_000);
+        fake_report(if steps.is_multiple_of(7) {
+            None
+        } else {
+            Some(steps)
+        })
+    }
+
+    #[test]
+    fn outcomes_are_seed_deterministic_regardless_of_thread_count() {
+        let trials = Trial::grid(&[8, 16, 32], 20, 99);
+        let serial = BatchRunner::with_threads(1).run(&trials, seeded_report);
+        for threads in [2, 3, 8, 64] {
+            let parallel = BatchRunner::with_threads(threads).run(&trials, seeded_report);
+            assert_eq!(
+                serial, parallel,
+                "outcomes changed with {threads} worker threads"
+            );
+        }
+    }
+
+    #[test]
+    fn grouped_aggregation_matches_a_serial_run() {
+        let trials = Trial::grid(&[8, 16], 10, 7);
+        let groups = BatchRunner::with_threads(4).run_grouped(&trials, seeded_report);
+
+        // Aggregate the same trials by hand, without the runner.
+        for group in &groups {
+            let expected: Vec<TrialOutcome> = trials
+                .iter()
+                .filter(|t| t.n == group.n)
+                .map(|&t| TrialOutcome {
+                    trial: t,
+                    report: seeded_report(t),
+                })
+                .collect();
+            assert_eq!(group.outcomes, expected);
+            let expected_steps: Vec<f64> = expected
+                .iter()
+                .filter_map(|o| o.report.converged_at)
+                .map(|s| s as f64)
+                .collect();
+            assert_eq!(group.convergence_steps(), expected_steps);
+            let expected_mean = expected_steps.iter().sum::<f64>() / expected_steps.len() as f64;
+            assert_eq!(group.mean_steps(), Some(expected_mean));
+        }
+    }
+
     #[test]
     fn median_of_odd_number_of_trials() {
         let summary = BatchSummary {

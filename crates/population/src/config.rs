@@ -169,9 +169,9 @@ impl<S: Clone> Configuration<S> {
 
 impl<S> Configuration<S> {
     /// Builds a configuration from a function of the agent index.
-    pub fn from_fn<F: FnMut(usize) -> S>(n: usize, mut f: F) -> Self {
+    pub fn from_fn<F: FnMut(usize) -> S>(n: usize, f: F) -> Self {
         Configuration {
-            states: (0..n).map(|i| f(i)).collect(),
+            states: (0..n).map(f).collect(),
         }
     }
 }

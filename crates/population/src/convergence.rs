@@ -55,7 +55,9 @@ pub struct Predicate<P: Protocol, F> {
 
 impl<P: Protocol, F> std::fmt::Debug for Predicate<P, F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Predicate").field("name", &self.name).finish()
+        f.debug_struct("Predicate")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -261,7 +263,10 @@ mod tests {
 
     #[test]
     fn stable_convergence_estimation() {
-        assert_eq!(estimate_stable_convergence(&[5, 100], 10_200, 10_000), Some(100));
+        assert_eq!(
+            estimate_stable_convergence(&[5, 100], 10_200, 10_000),
+            Some(100)
+        );
         assert_eq!(estimate_stable_convergence(&[5, 100], 5_000, 10_000), None);
         // Never changed: converged at step 0 once the window has elapsed.
         assert_eq!(estimate_stable_convergence(&[], 10_000, 10_000), Some(0));

@@ -90,7 +90,11 @@ mod tests {
     fn corrupt_random_agents_changes_exactly_count_states() {
         let mut config = Configuration::uniform(20, 0u32);
         let mut inj = FaultInjector::new(1);
-        let targets = inj.inject(&mut config, FaultKind::CorruptRandomAgents { count: 5 }, |_, _| 99);
+        let targets = inj.inject(
+            &mut config,
+            FaultKind::CorruptRandomAgents { count: 5 },
+            |_, _| 99,
+        );
         assert_eq!(targets.len(), 5);
         assert_eq!(config.count_where(|&x| x == 99), 5);
         // Targets are distinct.
@@ -104,7 +108,11 @@ mod tests {
     fn corrupt_block_wraps_around_the_ring() {
         let mut config = Configuration::uniform(6, 0u32);
         let mut inj = FaultInjector::new(2);
-        let targets = inj.inject(&mut config, FaultKind::CorruptBlock { start: 4, count: 4 }, |_, i| i as u32 + 100);
+        let targets = inj.inject(
+            &mut config,
+            FaultKind::CorruptBlock { start: 4, count: 4 },
+            |_, i| i as u32 + 100,
+        );
         assert_eq!(targets, vec![4, 5, 0, 1]);
         assert_eq!(config[4], 104);
         assert_eq!(config[0], 100);
@@ -115,9 +123,11 @@ mod tests {
     fn corrupt_all_touches_every_agent() {
         let mut config = Configuration::uniform(8, 0u32);
         let mut inj = FaultInjector::new(3);
-        let targets = inj.inject(&mut config, FaultKind::CorruptAll, |rng, _| rng.gen_range(1..5));
+        let targets = inj.inject(&mut config, FaultKind::CorruptAll, |rng, _| {
+            rng.gen_range(1..5)
+        });
         assert_eq!(targets.len(), 8);
-        assert!(config.states().iter().all(|&x| x >= 1 && x < 5));
+        assert!(config.states().iter().all(|&x| (1..5).contains(&x)));
     }
 
     #[test]
@@ -136,8 +146,16 @@ mod tests {
     fn injection_is_deterministic_for_a_seed() {
         let mut a = Configuration::uniform(16, 0u32);
         let mut b = Configuration::uniform(16, 0u32);
-        let ta = FaultInjector::new(7).inject(&mut a, FaultKind::CorruptRandomAgents { count: 6 }, |rng, _| rng.gen());
-        let tb = FaultInjector::new(7).inject(&mut b, FaultKind::CorruptRandomAgents { count: 6 }, |rng, _| rng.gen());
+        let ta = FaultInjector::new(7).inject(
+            &mut a,
+            FaultKind::CorruptRandomAgents { count: 6 },
+            |rng, _| rng.gen(),
+        );
+        let tb = FaultInjector::new(7).inject(
+            &mut b,
+            FaultKind::CorruptRandomAgents { count: 6 },
+            |rng, _| rng.gen(),
+        );
         assert_eq!(ta, tb);
         assert_eq!(a.states(), b.states());
     }

@@ -442,7 +442,8 @@ mod tests {
         assert!(ArbitraryGraph::new(1, vec![Interaction::new(0, 1)]).is_err());
         assert!(ArbitraryGraph::new(3, vec![]).is_err());
         assert!(ArbitraryGraph::new(3, vec![Interaction::new(0, 7)]).is_err());
-        let g = ArbitraryGraph::new(3, vec![Interaction::new(0, 1), Interaction::new(1, 2)]).unwrap();
+        let g =
+            ArbitraryGraph::new(3, vec![Interaction::new(0, 1), Interaction::new(1, 2)]).unwrap();
         assert!(g.is_arc(0, 1));
         assert!(!g.is_arc(2, 0));
         assert_eq!(g.num_arcs(), 2);

@@ -161,7 +161,10 @@ mod tests {
     fn leader_output_display() {
         assert_eq!(LeaderOutput::Leader.to_string(), "L");
         assert_eq!(LeaderOutput::Follower.to_string(), "F");
-        assert!(LeaderOutput::Leader < LeaderOutput::Follower || LeaderOutput::Leader != LeaderOutput::Follower);
+        assert!(
+            LeaderOutput::Leader < LeaderOutput::Follower
+                || LeaderOutput::Leader != LeaderOutput::Follower
+        );
     }
 
     #[test]

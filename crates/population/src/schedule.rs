@@ -187,7 +187,10 @@ mod tests {
         // seq_R(i, j) = e_i, e_{i+1}, ..., e_{i+j-1}
         let n = 8;
         let s = InteractionSeq::seq_r(6, 4, n);
-        let expected: Vec<_> = [6, 7, 0, 1].iter().map(|&i| Interaction::ring_arc(i, n)).collect();
+        let expected: Vec<_> = [6, 7, 0, 1]
+            .iter()
+            .map(|&i| Interaction::ring_arc(i, n))
+            .collect();
         assert_eq!(s.interactions(), expected.as_slice());
         assert_eq!(s.len(), 4);
     }

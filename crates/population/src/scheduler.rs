@@ -159,12 +159,15 @@ mod tests {
         let ring = DirectedRing::new(8).unwrap();
         let mut sched = RandomScheduler::new();
         let mut rng = ChaCha8Rng::seed_from_u64(7);
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         for _ in 0..2000 {
             let e = sched.next_interaction(&ring, &mut rng).unwrap();
             seen[e.initiator().index()] = true;
         }
-        assert!(seen.iter().all(|&b| b), "every arc should be scheduled eventually");
+        assert!(
+            seen.iter().all(|&b| b),
+            "every arc should be scheduled eventually"
+        );
     }
 
     #[test]
@@ -181,7 +184,10 @@ mod tests {
         assert!(sched.is_exhausted());
         assert_eq!(sched.dispensed(), 4);
         let err = sched.next_interaction(&ring, &mut rng).unwrap_err();
-        assert!(matches!(err, PopulationError::ScheduleExhausted { available: 4 }));
+        assert!(matches!(
+            err,
+            PopulationError::ScheduleExhausted { available: 4 }
+        ));
     }
 
     #[test]

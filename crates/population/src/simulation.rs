@@ -140,12 +140,15 @@ impl<P: Protocol, G: InteractionGraph> Simulation<P, G> {
     /// # Errors
     ///
     /// Propagates scheduler errors (e.g. an exhausted deterministic schedule).
-    pub fn step_with_scheduler<S: Scheduler<G>>(&mut self, scheduler: &mut S) -> Result<Interaction> {
+    pub fn step_with_scheduler<S: Scheduler<G>>(
+        &mut self,
+        scheduler: &mut S,
+    ) -> Result<Interaction> {
         let interaction = scheduler.next_interaction(&self.graph, &mut self.rng)?;
-        if !self
-            .graph
-            .is_arc(interaction.initiator().index(), interaction.responder().index())
-        {
+        if !self.graph.is_arc(
+            interaction.initiator().index(),
+            interaction.responder().index(),
+        ) {
             return Err(PopulationError::NotAnArc {
                 initiator: interaction.initiator().index(),
                 responder: interaction.responder().index(),
@@ -212,7 +215,12 @@ impl<P: Protocol, G: InteractionGraph> Simulation<P, G> {
     /// The returned report gives the step count *of this simulation* at the
     /// first passing check.  Because checks are periodic, the reported value
     /// over-estimates the true convergence step by at most `check_interval`.
-    pub fn run_until<F>(&mut self, predicate: F, check_interval: u64, max_steps: u64) -> ConvergenceReport
+    pub fn run_until<F>(
+        &mut self,
+        predicate: F,
+        check_interval: u64,
+        max_steps: u64,
+    ) -> ConvergenceReport
     where
         F: Fn(&P, &Configuration<P::State>) -> bool,
     {
@@ -256,7 +264,12 @@ impl<P: Protocol, G: InteractionGraph> Simulation<P, G> {
     }
 
     /// Like [`Simulation::run_until`] but driven by a named [`Criterion`].
-    pub fn run_criterion<C>(&mut self, criterion: &C, check_interval: u64, max_steps: u64) -> ConvergenceReport
+    pub fn run_criterion<C>(
+        &mut self,
+        criterion: &C,
+        check_interval: u64,
+        max_steps: u64,
+    ) -> ConvergenceReport
     where
         C: Criterion<P>,
     {
@@ -429,9 +442,10 @@ mod tests {
         let g = DirectedRing::new(4).unwrap();
         let mut sim = Simulation::new(Broadcast, g, Configuration::uniform(4, 0u32), 5);
         // (0, 2) is not an arc of the directed ring.
-        let mut bad = SequenceScheduler::new(InteractionSeq::from_interactions(vec![
-            Interaction::new(0, 2),
-        ]));
+        let mut bad =
+            SequenceScheduler::new(InteractionSeq::from_interactions(vec![Interaction::new(
+                0, 2,
+            )]));
         let err = sim.step_with_scheduler(&mut bad).unwrap_err();
         assert!(matches!(err, PopulationError::NotAnArc { .. }));
     }

@@ -74,12 +74,20 @@ impl RunStats {
     /// ("it requires Θ(n log n) steps in expectation to let every node have
     /// an interaction at least once").
     pub fn min_interactions(&self) -> u64 {
-        self.interactions_per_agent.iter().copied().min().unwrap_or(0)
+        self.interactions_per_agent
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(0)
     }
 
     /// The largest per-agent interaction count.
     pub fn max_interactions(&self) -> u64 {
-        self.interactions_per_agent.iter().copied().max().unwrap_or(0)
+        self.interactions_per_agent
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// Resets all counters, keeping the population size.

@@ -30,7 +30,10 @@ fn main() {
     let mut injector = FaultInjector::new(7);
     let corrupted = injector.inject(
         sim.config_mut(),
-        FaultKind::CorruptBlock { start: n / 2, count: faults },
+        FaultKind::CorruptBlock {
+            start: n / 2,
+            count: faults,
+        },
         |rng, _| PplState::sample_uniform(rng, &params),
     );
     println!("corrupted agents: {corrupted:?}");
@@ -41,7 +44,9 @@ fn main() {
     );
 
     let report = sim.run_until(|_p, c| in_s_pl(c, &params), (n * n / 4) as u64, 500_000_000);
-    let step = report.converged_at.expect("self-stabilization guarantees recovery");
+    let step = report
+        .converged_at
+        .expect("self-stabilization guarantees recovery");
     println!(
         "re-converged to a safe configuration after {step} more steps ({:.2} × n² log₂ n)",
         step as f64 / ((n * n) as f64 * (n as f64).log2())

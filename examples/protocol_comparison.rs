@@ -6,12 +6,12 @@
 //! cargo run --release --example protocol_comparison [max_n]
 //! ```
 
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use ring_ssle::prelude::*;
 use ring_ssle::ssle_baselines::angluin_mod_k::{has_unique_defect, ModKState};
 use ring_ssle::ssle_baselines::fischer_jiang::{has_stable_unique_leader, FjState};
 use ring_ssle::ssle_baselines::yokota_linear::{is_safe as yokota_safe, YokotaState};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 fn main() {
     let max_n: usize = std::env::args()
@@ -26,7 +26,13 @@ fn main() {
 
     let mut table = Table::new(
         "Mean convergence steps from uniformly random configurations",
-        &["n", "P_PL (this work)", "[28] O(n)-state", "[15] oracle", "[5] mod-k"],
+        &[
+            "n",
+            "P_PL (this work)",
+            "[28] O(n)-state",
+            "[15] oracle",
+            "[5] mod-k",
+        ],
     );
 
     for &n in &sizes {
@@ -36,11 +42,23 @@ fn main() {
         let params = Params::for_ring(n);
         let mut steps = Vec::new();
         for seed in 0..trials {
-            let config =
-                ring_ssle::ssle_core::init::generate(InitialCondition::UniformRandom, n, &params, seed);
-            let mut sim =
-                Simulation::new(Ppl::new(params), DirectedRing::new(n).unwrap(), config, seed);
-            let r = sim.run_until(|_p, c| in_s_pl(c, &params), (n * n / 4) as u64, 1_000_000_000);
+            let config = ring_ssle::ssle_core::init::generate(
+                InitialCondition::UniformRandom,
+                n,
+                &params,
+                seed,
+            );
+            let mut sim = Simulation::new(
+                Ppl::new(params),
+                DirectedRing::new(n).unwrap(),
+                config,
+                seed,
+            );
+            let r = sim.run_until(
+                |_p, c| in_s_pl(c, &params),
+                (n * n / 4) as u64,
+                1_000_000_000,
+            );
             steps.push(r.convergence_step() as f64);
         }
         row.push(format!("{:.2e}", Summary::of(&steps).unwrap().mean));
@@ -100,9 +118,23 @@ fn main() {
 
     println!("{}", table.to_text());
     println!("State counts at n = 64:");
-    println!("  P_PL            : {}", Params::for_ring(64).states_per_agent());
-    println!("  [28] O(n)-state : {}", YokotaLinear::for_ring(64).states_per_agent());
-    println!("  [15] oracle     : {}", FischerJiang::new().states_per_agent());
-    println!("  [5]  mod-k      : {}", AngluinModK::new(3).states_per_agent());
-    println!("\nFor the full Table 1 reproduction run: cargo run --release -p ssle-bench --bin table1");
+    println!(
+        "  P_PL            : {}",
+        Params::for_ring(64).states_per_agent()
+    );
+    println!(
+        "  [28] O(n)-state : {}",
+        YokotaLinear::for_ring(64).states_per_agent()
+    );
+    println!(
+        "  [15] oracle     : {}",
+        FischerJiang::new().states_per_agent()
+    );
+    println!(
+        "  [5]  mod-k      : {}",
+        AngluinModK::new(3).states_per_agent()
+    );
+    println!(
+        "\nFor the full Table 1 reproduction run: cargo run --release -p ssle-bench --bin table1"
+    );
 }

@@ -23,7 +23,8 @@ fn main() {
 
     // An arbitrary initial configuration: every variable of every agent is
     // sampled uniformly from its domain — the self-stabilization setting.
-    let config = ring_ssle::ssle_core::init::generate(InitialCondition::UniformRandom, n, &params, seed);
+    let config =
+        ring_ssle::ssle_core::init::generate(InitialCondition::UniformRandom, n, &params, seed);
     let initial_leaders = config.count_where(|s| s.leader);
     println!("initial configuration: {initial_leaders} agents already call themselves leader");
 
@@ -57,14 +58,18 @@ fn main() {
         }
     }
 
-    let leader = sim
-        .protocol()
-        .leader_indices(sim.config().states());
+    let leader = sim.protocol().leader_indices(sim.config().states());
     println!("elected leader: agent u{}", leader[0]);
 
     // Closure: keep running and verify nothing changes.
     sim.run_steps(500_000);
     let later = sim.protocol().leader_indices(sim.config().states());
-    assert_eq!(leader, later, "the leader must never change after convergence");
-    println!("after 500000 more steps the leader is still u{} — closure holds", later[0]);
+    assert_eq!(
+        leader, later,
+        "the leader must never change after convergence"
+    );
+    println!(
+        "after 500000 more steps the leader is still u{} — closure holds",
+        later[0]
+    );
 }

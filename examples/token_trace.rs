@@ -7,8 +7,8 @@
 //! cargo run --release --example token_trace
 //! ```
 
-use ring_ssle::prelude::*;
 use ring_ssle::population::InteractionSeq;
+use ring_ssle::prelude::*;
 use ring_ssle::ssle_core::segments::{segment_id, segments};
 use ring_ssle::ssle_core::tokens::trajectory_positions;
 
@@ -17,8 +17,14 @@ fn main() {
     let params = Params::new(psi, 8 * psi);
     let n = 16;
 
-    println!("ψ = {psi}: a token's full trajectory has {} moves (2ψ² − 2ψ + 1)", params.trajectory_length());
-    println!("analytic zig-zag over the segment pair: {:?}\n", trajectory_positions(&params));
+    println!(
+        "ψ = {psi}: a token's full trajectory has {} moves (2ψ² − 2ψ + 1)",
+        params.trajectory_length()
+    );
+    println!(
+        "analytic zig-zag over the segment pair: {:?}\n",
+        trajectory_positions(&params)
+    );
 
     // A perfect configuration with the leader at u0, but scramble the second
     // segment's bits so the construction machinery has work to do.
@@ -56,15 +62,14 @@ fn main() {
             .config()
             .iter()
             .filter_map(|(id, s)| {
-                s.token_b.filter(|_| id.index() < 2 * psi as usize).map(|t| {
-                    format!(
-                        "{}: offset {:+}, value {}, carry {}",
-                        id,
-                        t.target_offset,
-                        t.value as u8,
-                        t.carry as u8
-                    )
-                })
+                s.token_b
+                    .filter(|_| id.index() < 2 * psi as usize)
+                    .map(|t| {
+                        format!(
+                            "{}: offset {:+}, value {}, carry {}",
+                            id, t.target_offset, t.value as u8, t.carry as u8
+                        )
+                    })
             })
             .collect();
         println!("after sweep {round:2}: black tokens in (S_0, S_1): {tokens:?}");

@@ -27,7 +27,10 @@ fn main() {
     // self-stabilizing stand-in).
     let colors = oracle_two_hop_coloring(n);
     assert!(is_two_hop_coloring(&colors));
-    println!("two-hop colouring of the {n}-ring uses {} colours", colors.iter().max().unwrap() + 1);
+    println!(
+        "two-hop colouring of the {n}-ring uses {} colours",
+        colors.iter().max().unwrap() + 1
+    );
 
     // Phase 1: ring orientation with P_OR on the undirected ring.
     let mut sim = Simulation::new(
@@ -51,7 +54,14 @@ fn main() {
     // at their clockwise neighbour.
     let oriented = sim.config();
     let clockwise = (0..n).all(|i| oriented[i].dir == oriented.right_of(i).color);
-    println!("agreed direction: {}", if clockwise { "clockwise" } else { "counter-clockwise" });
+    println!(
+        "agreed direction: {}",
+        if clockwise {
+            "clockwise"
+        } else {
+            "counter-clockwise"
+        }
+    );
 
     // Phase 2: leader election on the ring, directed according to the agreed
     // orientation.
@@ -64,7 +74,11 @@ fn main() {
         config,
         11,
     );
-    let report = le.run_until(|_p, c| in_s_pl(c, &params), (n * n / 4) as u64, 1_000_000_000);
+    let report = le.run_until(
+        |_p, c| in_s_pl(c, &params),
+        (n * n / 4) as u64,
+        1_000_000_000,
+    );
     println!(
         "leader elected after {} further steps; leader = u{}",
         report.convergence_step(),

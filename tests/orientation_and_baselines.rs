@@ -1,6 +1,8 @@
 //! Integration tests for the Section 5 stack (two-hop colouring + ring
 //! orientation) and cross-checks between the baselines and `P_PL`.
 
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use ring_ssle::prelude::*;
 use ring_ssle::ssle_baselines::yokota_linear::{is_safe as yokota_safe, YokotaState};
 use ring_ssle::ssle_core::coloring::{
@@ -10,8 +12,6 @@ use ring_ssle::ssle_core::coloring::{
 use ring_ssle::ssle_core::orientation::{
     is_oriented, oriented_config, random_orientation_config, OrState, Por,
 };
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 #[test]
 fn orientation_then_election_pipeline() {
@@ -36,14 +36,14 @@ fn orientation_then_election_pipeline() {
     assert!(report.converged(), "P_OR must orient the ring");
 
     let params = Params::for_ring(n);
-    let config = ring_ssle::ssle_core::init::generate(InitialCondition::UniformRandom, n, &params, 4);
-    let mut election = Simulation::new(
-        Ppl::new(params),
-        DirectedRing::new(n).unwrap(),
-        config,
-        4,
+    let config =
+        ring_ssle::ssle_core::init::generate(InitialCondition::UniformRandom, n, &params, 4);
+    let mut election = Simulation::new(Ppl::new(params), DirectedRing::new(n).unwrap(), config, 4);
+    let report = election.run_until(
+        |_p, c| in_s_pl(c, &params),
+        (n * n / 4) as u64,
+        1_000_000_000,
     );
-    let report = election.run_until(|_p, c| in_s_pl(c, &params), (n * n / 4) as u64, 1_000_000_000);
     assert!(report.converged());
     assert_eq!(election.count_leaders(), 1);
 }
@@ -105,7 +105,11 @@ fn ppl_and_yokota_agree_on_what_a_converged_ring_looks_like() {
     let params = Params::for_ring(n);
     let config = ring_ssle::ssle_core::init::generate(InitialCondition::AllLeaders, n, &params, 5);
     let mut ppl = Simulation::new(Ppl::new(params), DirectedRing::new(n).unwrap(), config, 5);
-    ppl.run_until(|_p, c| in_s_pl(c, &params), (n * n / 4) as u64, 1_000_000_000);
+    ppl.run_until(
+        |_p, c| in_s_pl(c, &params),
+        (n * n / 4) as u64,
+        1_000_000_000,
+    );
 
     let baseline = YokotaLinear::for_ring(n);
     let cap = baseline.cap();

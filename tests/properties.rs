@@ -2,22 +2,32 @@
 //! invariants, spanning the workspace crates.
 
 use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use ring_ssle::population::InteractionSeq;
 use ring_ssle::prelude::*;
 use ring_ssle::ssle_baselines::angluin_mod_k::{defects, AngluinModK, ModKState};
 use ring_ssle::ssle_core::create::{create_leader, eliminate_leaders};
 use ring_ssle::ssle_core::segments::{segment_id, segments};
 use ring_ssle::ssle_core::tokens::token_is_invalid;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 /// Strategy: protocol parameters with ψ ∈ [2, 8].
 fn params_strategy() -> impl Strategy<Value = Params> {
     (2u32..=8, 1u32..=8).prop_map(|(psi, factor)| Params::new(psi, psi * factor.max(1)))
 }
 
+/// Cases per property: `PROPTEST_CASES` if set, otherwise a fast default so
+/// the tier-1 suite stays well under the time budget.  Raise it (e.g.
+/// `PROPTEST_CASES=1024 cargo test`) for a more thorough sweep.
+fn proptest_cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    #![proptest_config(ProptestConfig::with_cases(proptest_cases()))]
 
     /// The transition function is deterministic and closed over the state
     /// domain: applying it to any two in-domain states yields in-domain

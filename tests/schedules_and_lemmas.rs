@@ -21,12 +21,7 @@ fn full_ring_sweep_repairs_dist_and_last() {
         s.last = i % 3 == 0;
     });
     config[3] = PplState::leader();
-    let mut sim = Simulation::new(
-        Ppl::new(params),
-        DirectedRing::new(n).unwrap(),
-        config,
-        0,
-    );
+    let mut sim = Simulation::new(Ppl::new(params), DirectedRing::new(n).unwrap(), config, 0);
     sim.apply_sequence(&InteractionSeq::full_ring_sweep(3, n));
     assert!(
         dist_consistent(sim.config(), &params),
@@ -58,7 +53,7 @@ fn token_schedule_rebuilds_the_segment_id_chain() {
             s.token_b = None;
             s.token_w = None;
             if (psi as usize..2 * psi as usize).contains(&i) {
-                s.b = (i as u64 + scramble) % 2 == 0;
+                s.b = (i as u64 + scramble).is_multiple_of(2);
             }
         });
         let mut sim = Simulation::new(
@@ -67,7 +62,11 @@ fn token_schedule_rebuilds_the_segment_id_chain() {
             config,
             scramble,
         );
-        sim.apply_sequence(&InteractionSeq::token_trajectory_schedule(0, psi as usize, n));
+        sim.apply_sequence(&InteractionSeq::token_trajectory_schedule(
+            0,
+            psi as usize,
+            n,
+        ));
         let segs = segments(sim.config(), &params);
         let id0 = segment_id(sim.config(), &segs[0]);
         let id1 = segment_id(sim.config(), &segs[1]);
@@ -95,17 +94,19 @@ fn detection_mode_turns_a_dist_violation_into_a_leader() {
         s.mode = Mode::Detect;
     });
     config[6].dist = (config[6].dist + 3) % params.two_psi();
-    let mut sim = Simulation::new(
-        Ppl::new(params),
-        DirectedRing::new(n).unwrap(),
-        config,
-        0,
-    );
+    let mut sim = Simulation::new(Ppl::new(params), DirectedRing::new(n).unwrap(), config, 0);
     assert_eq!(sim.count_leaders(), 0);
     sim.apply(population::Interaction::new(5, 6));
-    assert_eq!(sim.count_leaders(), 1, "the violation at u6 must create a leader");
+    assert_eq!(
+        sim.count_leaders(),
+        1,
+        "the violation at u6 must create a leader"
+    );
     assert!(sim.config()[6].leader);
-    assert!(sim.config()[6].shield, "a new leader is born shielded (Line 6)");
+    assert!(
+        sim.config()[6].shield,
+        "a new leader is born shielded (Line 6)"
+    );
 }
 
 /// Lemma 2.3 sanity check: a fixed interaction sequence of length ℓ occurs
@@ -162,8 +163,15 @@ fn elimination_never_reaches_zero_leaders() {
         );
         for _ in 0..200 {
             sim.run_steps(500);
-            assert!(sim.count_leaders() >= 1, "seed {seed}: all leaders were killed");
+            assert!(
+                sim.count_leaders() >= 1,
+                "seed {seed}: all leaders were killed"
+            );
         }
-        assert_eq!(sim.count_leaders(), 1, "seed {seed}: elimination did not finish");
+        assert_eq!(
+            sim.count_leaders(),
+            1,
+            "seed {seed}: elimination did not finish"
+        );
     }
 }

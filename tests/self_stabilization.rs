@@ -86,7 +86,10 @@ fn different_seeds_elect_possibly_different_but_always_unique_leaders() {
     }
     // The elected position is configuration-dependent; over several seeds we
     // expect more than one distinct winner (not a hard-coded agent).
-    assert!(elected.len() > 1, "every seed elected the same agent: {elected:?}");
+    assert!(
+        elected.len() > 1,
+        "every seed elected the same agent: {elected:?}"
+    );
 }
 
 #[test]
@@ -121,12 +124,9 @@ fn the_paper_constants_also_converge() {
     // κ_max = 32ψ (the value assumed by the analysis) — slower but correct.
     let n = 12;
     let params = Params::paper_constants(n);
-    let config = ring_ssle::ssle_core::init::generate(InitialCondition::AllFollowers, n, &params, 2);
+    let config =
+        ring_ssle::ssle_core::init::generate(InitialCondition::AllFollowers, n, &params, 2);
     let mut sim = Simulation::new(Ppl::new(params), DirectedRing::new(n).unwrap(), config, 2);
-    let report = sim.run_until(
-        |_p, c| in_s_pl(c, &params),
-        (n * n) as u64,
-        2_000_000_000,
-    );
+    let report = sim.run_until(|_p, c| in_s_pl(c, &params), (n * n) as u64, 2_000_000_000);
     assert!(report.converged());
 }

@@ -1,0 +1,232 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this stub provides the
+//! benchmarking surface the workspace's five bench targets use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Throughput`], [`Bencher::iter`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.  Measurement is a simple
+//! best-of-N wall-clock timer printed to stdout: good enough for coarse
+//! regression spotting, with no statistics, plots or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Units for reporting throughput alongside timings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group: a function name plus a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("sort", 1024)` renders as `sort/1024`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A parameter-only ID.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives the timed closure of one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    best: Option<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping the best per-iteration duration observed.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up iteration.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let per_iter = start.elapsed() / self.iters_per_sample as u32;
+            self.best = Some(self.best.map_or(per_iter, |b| b.min(per_iter)));
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Records the per-iteration throughput for reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size.min(10),
+            best: None,
+            iters_per_sample: 1,
+        };
+        routine(&mut bencher, input);
+        self.report(&id.id, bencher.best);
+        self
+    }
+
+    /// Benchmarks a parameterless routine.
+    pub fn bench_function<R>(&mut self, id: impl Display, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size.min(10),
+            best: None,
+            iters_per_sample: 1,
+        };
+        routine(&mut bencher);
+        self.report(&id.to_string(), bencher.best);
+        self
+    }
+
+    fn report(&self, id: &str, best: Option<Duration>) {
+        let Some(best) = best else {
+            println!("{}/{}: no measurement (b.iter never called)", self.name, id);
+            return;
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if best.as_secs_f64() > 0.0 => {
+                format!("  {:.0} elem/s", n as f64 / best.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if best.as_secs_f64() > 0.0 => {
+                format!("  {:.0} B/s", n as f64 / best.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!("{}/{}: best {:?}/iter{}", self.name, id, best, rate);
+    }
+
+    /// Ends the group (upstream flushes reports here; we print eagerly).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main()` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fib(n: u64) -> u64 {
+        (0..n)
+            .fold((0u64, 1u64), |(a, b), _| (b, a.wrapping_add(b)))
+            .0
+    }
+
+    fn bench_fib(c: &mut Criterion) {
+        let mut group = c.benchmark_group("fib");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(1));
+        for n in [5u64, 10] {
+            group.bench_with_input(BenchmarkId::new("iterative", n), &n, |b, &n| {
+                b.iter(|| fib(n));
+            });
+        }
+        group.bench_function("fixed", |b| b.iter(|| fib(20)));
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_fib);
+
+    #[test]
+    fn group_macro_and_measurement_run() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_renders_function_and_parameter() {
+        assert_eq!(BenchmarkId::new("sort", 1024).to_string(), "sort/1024");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,490 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this stub reimplements
+//! the slice of proptest the workspace's property tests use:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`, implemented
+//!   for integer ranges, tuples and [`collection::vec`];
+//! * [`any`](arbitrary::any) for the primitive types;
+//! * the [`proptest!`] macro with `#![proptest_config(...)]` support;
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assume!`;
+//! * [`ProptestConfig`](test_runner::ProptestConfig) honouring the
+//!   `PROPTEST_CASES` environment variable.
+//!
+//! Unlike the real proptest it does **no shrinking** and no persistent
+//! failure files: a failing case panics with the generated inputs printed, so
+//! failures are reproducible from the deterministic per-test RNG seed.
+
+#![forbid(unsafe_code)]
+
+/// Test-runner configuration and error plumbing.
+pub mod test_runner {
+    /// Why a single test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed: the whole property fails.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs: resample.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Creates a failure.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+
+        /// Creates a rejection.
+        pub fn reject(message: impl Into<String>) -> Self {
+            TestCaseError::Reject(message.into())
+        }
+    }
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run per property.
+        pub cases: u32,
+        /// Give up after this many `prop_assume!` rejections.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        /// Explicit case count (overrides `PROPTEST_CASES`, like upstream).
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            ProptestConfig {
+                cases,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// The deterministic RNG driving input generation.
+    ///
+    /// Seeded from the test's module path and name so every property gets an
+    /// independent, reproducible stream.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        inner: rand_chacha::ChaCha8Rng,
+    }
+
+    impl TestRng {
+        /// Builds the RNG for a named test, honouring `PROPTEST_RNG_SEED` if
+        /// set (useful for exploring alternative input streams).
+        pub fn for_test(module: &str, name: &str) -> Self {
+            use rand::SeedableRng;
+            let base: u64 = std::env::var("PROPTEST_RNG_SEED")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0x5eed_cafe);
+            // FNV-1a over the fully qualified test name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ base;
+            for b in module.bytes().chain("::".bytes()).chain(name.bytes()) {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng {
+                inner: rand_chacha::ChaCha8Rng::seed_from_u64(h),
+            }
+        }
+    }
+
+    impl rand::RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        fn next_u32(&mut self) -> u32 {
+            self.inner.next_u32()
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::{Rng, UniformInt};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of the same value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<T: UniformInt> Strategy for Range<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: UniformInt> Strategy for RangeInclusive<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, G);
+}
+
+/// `any::<T>()` for primitives.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "uniform over the whole domain" strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy type.
+        type Strategy: Strategy<Value = Self>;
+
+        /// Returns the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Canonical strategy for primitives: uniform over the full domain.
+    #[derive(Clone, Debug)]
+    pub struct StandardStrategy<T>(PhantomData<T>);
+
+    impl<T: rand::Standard> Strategy for StandardStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::sample_standard(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = StandardStrategy<$t>;
+
+                fn arbitrary() -> Self::Strategy {
+                    StandardStrategy(PhantomData)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// Returns the canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Vec`s with strategy-driven length and elements.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<E, L> {
+        element: E,
+        length: L,
+    }
+
+    impl<E: Strategy, L: Strategy<Value = usize>> Strategy for VecStrategy<E, L> {
+        type Value = Vec<E::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<E::Value> {
+            let len = self.length.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, length)`; `length` may be any
+    /// `usize` strategy, e.g. a range.
+    pub fn vec<E: Strategy>(
+        element: E,
+        length: impl Strategy<Value = usize>,
+    ) -> VecStrategy<E, impl Strategy<Value = usize>> {
+        VecStrategy { element, length }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Rejects the current inputs (the case is resampled, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Defines property tests.  Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(...)]` inner attribute followed by `#[test]` functions
+/// whose arguments are drawn from strategies with `name in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config($config) $($rest)*);
+    };
+    (@with_config($config:expr)) => {};
+    (@with_config($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng =
+                $crate::test_runner::TestRng::for_test(module_path!(), stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            while accepted < config.cases {
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::sample(&($strategy), &mut rng);
+                )+
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}, ",)+),
+                    $(&$arg),+
+                );
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(why),
+                    ) => {
+                        rejected += 1;
+                        if rejected > config.max_global_rejects {
+                            panic!(
+                                "proptest `{}`: too many prop_assume! rejections ({}): {}",
+                                stringify!($name),
+                                rejected,
+                                why
+                            );
+                        }
+                    }
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(why),
+                    ) => {
+                        panic!(
+                            "proptest `{}` failed after {} passing case(s): {}\n  inputs: {}",
+                            stringify!($name),
+                            accepted,
+                            why,
+                            inputs
+                        );
+                    }
+                }
+            }
+        }
+        $crate::proptest!(@with_config($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn even() -> impl Strategy<Value = u32> {
+        (0u32..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn mapped_strategy_holds(x in even()) {
+            prop_assert!(x.is_multiple_of(2));
+        }
+
+        #[test]
+        fn tuples_and_ranges(pair in (1u32..10, 5usize..9), flag in any::<bool>()) {
+            prop_assert!(pair.0 >= 1 && pair.0 < 10);
+            prop_assert!(pair.1 >= 5 && pair.1 < 9);
+            let _ = flag;
+        }
+
+        #[test]
+        fn assume_resamples(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in crate::collection::vec(0u32..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn with_cases_overrides_env() {
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest `always_fails` failed")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+
+            #[allow(unused)]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 1000, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the vendored `serde`
+//! stub.  The derives accept (and ignore) `#[serde(...)]` attributes so that
+//! annotated types keep compiling if such attributes appear later.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing: the vendored `serde::Serialize` is a pure marker.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing: the vendored `serde::Deserialize` is a pure marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
