@@ -11,19 +11,24 @@
 //!   of the tail bounds of Lemmas 3.9 and 3.10;
 //! * [`table`] — plain-text/markdown table rendering for the experiment
 //!   binaries;
-//! * [`series`] — `(n, value)` data series with CSV export.
+//! * [`series`] — `(n, value)` data series with CSV export;
+//! * [`json`] — a minimal JSON value/emitter/parser used for the binaries'
+//!   machine-readable `--json` output (the offline build cannot use
+//!   `serde_json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod fit;
+pub mod json;
 pub mod lottery;
 pub mod series;
 pub mod summary;
 pub mod table;
 
 pub use fit::{fit_models, fit_power_law, FitResult, ScalingModel};
+pub use json::JsonValue;
 pub use lottery::LotteryGame;
 pub use series::Series;
 pub use summary::Summary;

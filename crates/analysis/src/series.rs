@@ -82,6 +82,20 @@ impl Series {
         out
     }
 
+    /// Converts the series to a JSON object (`{"name", "points": [[x, y]]}`).
+    pub fn to_json(&self) -> crate::json::JsonValue {
+        use crate::json::JsonValue;
+        JsonValue::object().with("name", self.name.as_str()).with(
+            "points",
+            JsonValue::Array(
+                self.points
+                    .iter()
+                    .map(|&(x, y)| JsonValue::Array(vec![x.into(), y.into()]))
+                    .collect(),
+            ),
+        )
+    }
+
     /// Renders a simple log-log ASCII sketch of the series (one row per
     /// point), useful for eyeballing scaling behaviour in terminal output.
     pub fn ascii_sketch(&self) -> String {

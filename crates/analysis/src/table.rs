@@ -1,5 +1,7 @@
 //! Plain-text / markdown table rendering for the experiment binaries.
 
+use crate::json::JsonValue;
+
 /// A simple column-aligned table builder.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Table {
@@ -58,6 +60,29 @@ impl Table {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }
         out
+    }
+
+    /// Converts the table to a JSON object with the exact same title,
+    /// headers and cell strings as the text renderers, so any divergence
+    /// between the two output paths is a data bug, not a formatting one.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .with("title", self.title.as_str())
+            .with(
+                "headers",
+                JsonValue::Array(self.headers.iter().map(|h| h.as_str().into()).collect()),
+            )
+            .with(
+                "rows",
+                JsonValue::Array(
+                    self.rows
+                        .iter()
+                        .map(|row| {
+                            JsonValue::Array(row.iter().map(|c| c.as_str().into()).collect())
+                        })
+                        .collect(),
+                ),
+            )
     }
 
     /// Renders the table as column-aligned plain text.
@@ -127,6 +152,30 @@ mod tests {
     #[test]
     fn row_count() {
         assert_eq!(sample().num_rows(), 2);
+    }
+
+    #[test]
+    fn json_rendering_round_trips_and_matches_the_text_data() {
+        let t = sample();
+        let json = t.to_json();
+        let text = json.to_json();
+        let parsed = JsonValue::parse(&text).unwrap();
+        assert_eq!(parsed, json);
+        assert_eq!(
+            parsed.get("title").and_then(JsonValue::as_str),
+            Some("Convergence")
+        );
+        let headers = parsed.get("headers").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(headers.len(), 3);
+        let rows = parsed.get("rows").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(rows.len(), t.num_rows());
+        // Every JSON cell appears verbatim in the markdown rendering.
+        let md = t.to_markdown();
+        for row in rows {
+            for cell in row.as_array().unwrap() {
+                assert!(md.contains(cell.as_str().unwrap()));
+            }
+        }
     }
 
     #[test]

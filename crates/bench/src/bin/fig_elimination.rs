@@ -4,29 +4,25 @@
 //! leader-count decay trajectory.
 
 use analysis::{fit_models, Summary, Table};
-use population::{BatchRunner, Configuration, DirectedRing, LeaderElection, Simulation, Trial};
-use ssle_bench::{check_interval, full_mode, leader_count_trajectory, sweep_sizes, sweep_trials};
-use ssle_core::{init, InitialCondition, Params, Ppl, PplState};
+use population::LeaderElection;
+use ssle_bench::cli::BenchArgs;
+use ssle_bench::report::Report;
+use ssle_bench::{leader_count_trajectory, ppl_builder};
+use ssle_core::{InitialCondition, Ppl};
 
 fn main() {
-    let full = full_mode();
-    let sizes = sweep_sizes(full);
-    let trials = sweep_trials(full);
-    println!("# EliminateLeaders: all-leaders to a unique leader (Lemma 4.11)\n");
+    let args = BenchArgs::parse();
+    let sizes = args.sizes();
+    let mut report = Report::new("EliminateLeaders: all-leaders to a unique leader (Lemma 4.11)");
 
-    let runner = BatchRunner::new();
-    let grid = Trial::grid(&sizes, trials, 0xE11);
-    let summaries = runner.run_grouped(&grid, |t: Trial| {
-        let params = Params::for_ring(t.n);
-        let protocol = Ppl::new(params);
-        let config = init::generate(InitialCondition::AllLeaders, t.n, &params, t.seed);
-        let mut sim = Simulation::new(protocol, DirectedRing::new(t.n).unwrap(), config, t.seed);
-        sim.run_until(
-            |p: &Ppl, c: &Configuration<PplState>| p.has_unique_leader(c.states()),
-            check_interval(t.n),
-            600 * (t.n as u64).pow(2),
-        )
-    });
+    let scenario = ppl_builder(InitialCondition::AllLeaders)
+        .stop_when("unique-leader", |p: &Ppl, c| {
+            p.has_unique_leader(c.states())
+        })
+        .step_budget(|pt| 600 * (pt.n as u64).pow(2))
+        .build()
+        .expect("complete scenario");
+    let summaries = scenario.sweep_summaries(&args.grid(0xE11), &args.runner());
 
     let mut table = Table::new(
         "Steps until a unique leader remains (all-leaders start)",
@@ -45,17 +41,15 @@ fn main() {
             ]);
         }
     }
-    println!("{}", table.to_markdown());
+    report.table(table);
     if points.len() >= 3 {
-        println!(
-            "best fit: {}   ([28] proves Θ(n^2))\n",
-            fit_models(&points).best().formula()
-        );
+        report.value("best_fit", fit_models(&points).best().formula());
+        report.note("([28] proves Θ(n^2))");
     }
 
     // Leader-count decay trajectory for one representative size.
     let n = *sizes.last().unwrap();
-    println!("## Leader-count decay at n = {n}\n");
+    report.heading(format!("Leader-count decay at n = {n}"));
     let traj = leader_count_trajectory(
         n,
         InitialCondition::AllLeaders,
@@ -67,9 +61,10 @@ fn main() {
     for (step, count) in traj.iter().step_by(2) {
         decay.push_row(vec![step.to_string(), count.to_string()]);
     }
-    println!("{}", decay.to_markdown());
-    println!(
+    report.table(decay);
+    report.note(
         "The count decreases roughly geometrically (each live-bullet flight kills an\n\
-         unshielded leader with probability 1/2) and never reaches zero."
+         unshielded leader with probability 1/2) and never reaches zero.",
     );
+    report.emit(args.json);
 }

@@ -3,14 +3,16 @@
 //! parameter values the protocol actually uses (`k = ψ`).
 
 use analysis::{LotteryGame, Table};
+use ssle_bench::cli::BenchArgs;
+use ssle_bench::report::Report;
 
 fn main() {
-    println!("# Lottery-game tail bounds (Lemmas 3.9 and 3.10)\n");
-    let trials = if std::env::args().any(|a| a == "--full") {
-        2000
-    } else {
-        400
-    };
+    let args = BenchArgs::parse();
+    let trials = args
+        .trials
+        .map(|t| t as u64)
+        .unwrap_or(if args.full { 2000 } else { 400 });
+    let mut report = Report::new("Lottery-game tail bounds (Lemmas 3.9 and 3.10)");
 
     let mut table = Table::new(
         format!("Empirical tail probabilities ({trials} Monte-Carlo trials per row)"),
@@ -27,7 +29,7 @@ fn main() {
 
     for k in [3u32, 4, 5, 6] {
         for c in [1u64, 2] {
-            let mut game = LotteryGame::new(k, 7 + k as u64 * 100 + c);
+            let mut game = LotteryGame::new(k, args.seed_or(7) + k as u64 * 100 + c);
             let flips39 = game.lemma_3_9_flips(c);
             let bound39 = game.lemma_3_9_bound(c);
             let p39 = game.estimate(flips39, trials, |w| w <= bound39);
@@ -46,11 +48,12 @@ fn main() {
             ]);
         }
     }
-    println!("{}", table.to_markdown());
-    println!(
+    report.table(table);
+    report.note(
         "Both empirical probabilities should dominate the claimed 1−2^(-ck) bound;\n\
          these are the estimates the mode-determination analysis (Section 3.3) relies on:\n\
          an agent wins the game exactly when it has ψ consecutive interactions without\n\
-         interacting with its right neighbour."
+         interacting with its right neighbour.",
     );
+    report.emit(args.json);
 }

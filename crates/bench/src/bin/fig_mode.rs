@@ -7,26 +7,27 @@
 //!   long do all agents stay in construction mode (we measure the first time
 //!   any agent reaches `clock = κ_max` over a long run — typically never)?
 //! * Lemma 3.11 side: the lifetime of a resetting signal once its leader is
-//!   removed.
+//!   removed — a three-line custom [`Scenario`] with a hand-built initial
+//!   configuration and a signal-extinction stop criterion.
 
 use analysis::{fit_models, Summary, Table};
-use population::{BatchRunner, Configuration, DirectedRing, Simulation, Trial};
-use ssle_bench::{check_interval, full_mode, steps_until_all_detect, sweep_sizes, sweep_trials};
+use population::{Configuration, DirectedRing, ScenarioBuilder, Simulation, SweepGrid, SweepPoint};
+use ssle_bench::cli::BenchArgs;
+use ssle_bench::report::Report;
+use ssle_bench::{all_detect_scenario, check_interval};
 use ssle_core::{perfect_configuration, Mode, Params, Ppl, PplState};
 
 fn main() {
-    let full = full_mode();
-    let sizes = sweep_sizes(full);
-    let trials = sweep_trials(full);
+    let args = BenchArgs::parse();
+    let sizes = args.sizes();
+    let trials = args.trials();
+    let runner = args.runner();
 
-    println!("# Mode determination (Lemmas 3.6, 3.7, 3.11)\n");
+    let mut report = Report::new("Mode determination (Lemmas 3.6, 3.7, 3.11)");
 
     // --- Lemma 3.7: time for a leaderless population to reach all-Detect.
-    let runner = BatchRunner::new();
-    let grid = Trial::grid(&sizes, trials, 0x30DE);
-    let summaries = runner.run_grouped(&grid, |t: Trial| {
-        steps_until_all_detect(t.n, t.seed, 2_000 * (t.n as u64).pow(2) * 8)
-    });
+    let scenario = all_detect_scenario(|pt| 2_000 * (pt.n as u64).pow(2) * 8);
+    let summaries = scenario.sweep_summaries(&args.grid(0x30DE), &runner);
     let mut table = Table::new(
         "Steps until every agent is in detection mode (no leader, no signals)",
         &["n", "mean steps", "median", "steps / (n^2 log2 n)"],
@@ -44,17 +45,15 @@ fn main() {
             ]);
         }
     }
-    println!("{}", table.to_markdown());
+    report.table(table);
     if points.len() >= 3 {
         let best = *fit_models(&points).best();
-        println!(
-            "best fit: {}   (Lemma 3.7 predicts O(n^2 log n))\n",
-            best.formula()
-        );
+        report.value("best_fit_all_detect", best.formula());
+        report.note("(Lemma 3.7 predicts O(n^2 log n))");
     }
 
     // --- Lemma 3.6: construction-mode holding time with a leader present.
-    println!("## Construction-mode stability with a unique leader (Lemma 3.6)\n");
+    report.heading("Construction-mode stability with a unique leader (Lemma 3.6)");
     let mut hold_table = Table::new(
         "",
         &[
@@ -91,14 +90,32 @@ fn main() {
             detect_agents.to_string(),
         ]);
     }
-    println!("{}", hold_table.to_markdown());
-    println!(
+    report.table(hold_table);
+    report.note(
         "With a leader present the resetting signals keep every clock far below κ_max,\n\
-         so no agent enters detection mode — the Lemma 3.6 behaviour.\n"
+         so no agent enters detection mode — the Lemma 3.6 behaviour.",
     );
 
     // --- Lemma 3.11: resetting-signal lifetime after the leader disappears.
-    println!("## Resetting-signal lifetime without a leader (Lemma 3.11)\n");
+    report.heading("Resetting-signal lifetime without a leader (Lemma 3.11)");
+    let signal_scenario = ScenarioBuilder::new("ppl/signal-lifetime", |pt: &SweepPoint| {
+        Ppl::new(Params::for_ring(pt.n))
+    })
+    // A leaderless ring where one agent carries a full-TTL signal.
+    .init(|p: &Ppl, pt| {
+        let mut config = Configuration::uniform(pt.n, PplState::follower());
+        config[0].signal_r = p.params().kappa_max();
+        config
+    })
+    .stop_when("all-signals-gone", |_p: &Ppl, c| {
+        c.states().iter().all(|s| s.signal_r == 0)
+    })
+    .check_every(|pt| check_interval(pt.n))
+    .step_budget(|pt| 4_000 * (pt.n as u64) * (pt.n as u64))
+    .sim_seed(|pt| pt.seed + 7)
+    .build()
+    .expect("complete scenario");
+
     let mut life_table = Table::new(
         "",
         &[
@@ -107,34 +124,22 @@ fn main() {
             "steps / (n^2 κ_max)",
         ],
     );
-    for &n in sizes.iter().take(4) {
-        let params = Params::for_ring(n);
-        let kappa = params.kappa_max() as f64;
-        let mut lifetimes = Vec::new();
-        for seed in 0..trials as u64 {
-            // A leaderless ring where one agent carries a full-TTL signal.
-            let mut config = Configuration::uniform(n, PplState::follower());
-            config[0].signal_r = params.kappa_max();
-            let protocol = Ppl::new(params);
-            let mut sim =
-                Simulation::new(protocol, DirectedRing::new(n).unwrap(), config, seed + 7);
-            let report = sim.run_until(
-                |_p, c: &Configuration<PplState>| c.states().iter().all(|s| s.signal_r == 0),
-                check_interval(n),
-                4_000 * (n as u64) * (n as u64),
-            );
-            if let Some(t) = report.converged_at {
-                lifetimes.push(t as f64);
-            }
-        }
+    let life_sizes: Vec<usize> = sizes.iter().take(4).copied().collect();
+    let life_grid = SweepGrid::new()
+        .sizes(&life_sizes)
+        .trials(trials, args.seed_or(0));
+    for s in &signal_scenario.sweep_summaries(&life_grid, &runner) {
+        let kappa = Params::for_ring(s.n).kappa_max() as f64;
+        let lifetimes = s.convergence_steps();
         if let Some(summary) = Summary::of(&lifetimes) {
             life_table.push_row(vec![
-                n.to_string(),
+                s.n.to_string(),
                 format!("{:.3e}", summary.mean),
-                format!("{:.2}", summary.mean / ((n * n) as f64 * kappa)),
+                format!("{:.2}", summary.mean / ((s.n * s.n) as f64 * kappa)),
             ]);
         }
     }
-    println!("{}", life_table.to_markdown());
-    println!("Lemma 3.11 predicts O(n^2 κ_max) with the normalised column roughly constant.");
+    report.table(life_table);
+    report.note("Lemma 3.11 predicts O(n^2 κ_max) with the normalised column roughly constant.");
+    report.emit(args.json);
 }

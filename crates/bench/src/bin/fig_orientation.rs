@@ -1,33 +1,34 @@
 //! Experiment E9 — ring orientation (Section 5, Theorem 5.2): convergence of
 //! `P_OR` from random orientations, fitted against the `O(n² log n)` bound,
 //! plus the segment/battle-front decay trajectory.
+//!
+//! `P_OR` has no leader output, so its scenario uses
+//! [`ScenarioBuilder::for_protocol`] — the same erased run path as the
+//! leader-election scenarios, on the undirected ring.
 
 use analysis::{fit_models, Summary, Table};
-use population::{BatchRunner, Configuration, Simulation, Trial, UndirectedRing};
-use ssle_bench::{check_interval, full_mode, sweep_sizes, sweep_trials};
-use ssle_core::orientation::{facing_fronts, is_oriented, random_orientation_config, OrState, Por};
+use population::{GraphFamily, ScenarioBuilder, Simulation, SweepPoint, UndirectedRing};
+use ssle_bench::check_interval;
+use ssle_bench::cli::BenchArgs;
+use ssle_bench::report::Report;
+use ssle_core::orientation::{facing_fronts, is_oriented, random_orientation_config, Por};
 
 fn main() {
-    let full = full_mode();
-    let sizes = sweep_sizes(full);
-    let trials = sweep_trials(full);
-    println!("# Ring orientation P_OR (Theorem 5.2)\n");
+    let args = BenchArgs::parse();
+    let sizes = args.sizes();
+    let runner = args.runner();
+    let mut report = Report::new("Ring orientation P_OR (Theorem 5.2)");
 
-    let runner = BatchRunner::new();
-    let grid = Trial::grid(&sizes, trials, 0x0815);
-    let summaries = runner.run_grouped(&grid, |t: Trial| {
-        let mut sim = Simulation::new(
-            Por::new(),
-            UndirectedRing::new(t.n).unwrap(),
-            random_orientation_config(t.n, t.seed),
-            t.seed ^ 0x5EED,
-        );
-        sim.run_until(
-            |_p, c: &Configuration<OrState>| is_oriented(c),
-            check_interval(t.n),
-            2_000 * (t.n as u64).pow(2),
-        )
-    });
+    let scenario = ScenarioBuilder::for_protocol("p-or", |_pt: &SweepPoint| Por::new())
+        .graph(GraphFamily::UndirectedRing)
+        .init(|_p, pt| random_orientation_config(pt.n, pt.seed))
+        .stop_when("oriented", |_p: &Por, c| is_oriented(c))
+        .check_every(|pt| check_interval(pt.n))
+        .step_budget(|pt| 2_000 * (pt.n as u64).pow(2))
+        .sim_seed(|pt| pt.seed ^ 0x5EED)
+        .build()
+        .expect("complete scenario");
+    let summaries = scenario.sweep_summaries(&args.grid(0x0815), &runner);
 
     let mut table = Table::new(
         "Steps for P_OR to orient the ring (random initial orientation, oracle colouring)",
@@ -53,17 +54,15 @@ fn main() {
             ]);
         }
     }
-    println!("{}", table.to_markdown());
+    report.table(table);
     if points.len() >= 3 {
-        println!(
-            "best fit: {}   (Theorem 5.2 proves O(n^2 log n); the protocol uses O(1) states)\n",
-            fit_models(&points).best().formula()
-        );
+        report.value("best_fit", fit_models(&points).best().formula());
+        report.note("(Theorem 5.2 proves O(n^2 log n); the protocol uses O(1) states)");
     }
 
     // Battle-front decay for one representative size.
     let n = *sizes.last().unwrap();
-    println!("## Battle-front decay at n = {n}\n");
+    report.heading(format!("Battle-front decay at n = {n}"));
     let mut sim = Simulation::new(
         Por::new(),
         UndirectedRing::new(n).unwrap(),
@@ -82,9 +81,10 @@ fn main() {
         }
         sim.run_steps(chunk);
     }
-    println!("{}", decay.to_markdown());
-    println!(
+    report.table(decay);
+    report.note(
         "The number of fronts (equivalently, segments) is non-increasing and halves\n\
-         every O(n^2) steps w.h.p., which is where the O(n^2 log n) bound comes from."
+         every O(n^2) steps w.h.p., which is where the O(n^2 log n) bound comes from.",
     );
+    report.emit(args.json);
 }

@@ -2,38 +2,53 @@
 //! of a safe configuration and measure the re-convergence time to `S_PL`,
 //! plus a closure check (the unique leader never changes once `S_PL` is
 //! reached).
+//!
+//! The corruption is expressed as a [`FaultPlan`] firing at step 0 of the
+//! scenario — the declarative form of "start safe, then break `f` agents".
 
 use analysis::{Summary, Table};
 use population::{
-    BatchRunner, Configuration, DirectedRing, FaultInjector, FaultKind, LeaderElection, Simulation,
-    Trial,
+    DirectedRing, FaultKind, FaultPlan, LeaderElection, ScenarioBuilder, Simulation, SweepGrid,
+    SweepPoint,
 };
-use ssle_bench::{check_interval, full_mode, step_budget};
+use ssle_bench::cli::BenchArgs;
+use ssle_bench::report::Report;
+use ssle_bench::{check_interval, step_budget};
 use ssle_core::{in_s_pl, perfect_configuration, Params, Ppl, PplState};
 
-fn recovery_trial(n: usize, faults: usize, seed: u64) -> population::ConvergenceReport {
-    let params = Params::for_ring(n);
-    let protocol = Ppl::new(params);
-    let mut config = perfect_configuration(n, &params, (seed as usize) % n, seed % 7);
-    let mut injector = FaultInjector::new(seed);
-    injector.inject(
-        &mut config,
-        FaultKind::CorruptRandomAgents { count: faults },
-        |rng, _| PplState::sample_uniform(rng, &params),
-    );
-    let mut sim = Simulation::new(protocol, DirectedRing::new(n).unwrap(), config, seed ^ 0xFA);
-    sim.run_until(
-        |_p, c: &Configuration<PplState>| in_s_pl(c, &params),
-        check_interval(n),
-        step_budget(n),
+/// The recovery scenario: a perfect configuration whose `faults` agents are
+/// corrupted by a step-0 fault event, measured to re-entry into `S_PL`.
+fn recovery_scenario(faults: usize) -> population::Scenario {
+    ScenarioBuilder::new("ppl/recovery", |pt: &SweepPoint| {
+        Ppl::new(Params::for_ring(pt.n))
+    })
+    .init(|p: &Ppl, pt| {
+        perfect_configuration(pt.n, p.params(), (pt.seed as usize) % pt.n, pt.seed % 7)
+    })
+    .stop_when("s-pl", |p: &Ppl, c| in_s_pl(c, p.params()))
+    .check_every(|pt| check_interval(pt.n))
+    .step_budget(|pt| step_budget(pt.n))
+    .faults(
+        move |_pt| FaultPlan::new().at(0, FaultKind::CorruptRandomAgents { count: faults }),
+        |p: &Ppl, rng, _i| PplState::sample_uniform(rng, p.params()),
     )
+    .sim_seed(|pt| pt.seed ^ 0xFA)
+    .build()
+    .expect("complete scenario")
 }
 
 fn main() {
-    let full = full_mode();
-    let n = if full { 96 } else { 48 };
-    let trials = if full { 10 } else { 5 };
-    println!("# Fault recovery: re-convergence of P_PL after corrupting f agents (n = {n})\n");
+    let args = BenchArgs::parse();
+    // Single-size experiment: --sizes picks the ring size (largest wins).
+    let n = args
+        .sizes
+        .as_ref()
+        .and_then(|s| s.iter().copied().max())
+        .unwrap_or(if args.full { 96 } else { 48 });
+    let trials = args.trials.unwrap_or(if args.full { 10 } else { 5 });
+    let mut report = Report::new(format!(
+        "Fault recovery: re-convergence of P_PL after corrupting f agents (n = {n})"
+    ));
 
     let fault_counts: Vec<usize> = [1usize, 2, n / 8, n / 4, n / 2, n]
         .into_iter()
@@ -51,10 +66,12 @@ fn main() {
         ],
     );
 
+    let runner = args.runner();
     for &faults in &fault_counts {
-        let runner = BatchRunner::new();
-        let grid = Trial::grid(&[n], trials, 0xFA17 + faults as u64);
-        let summaries = runner.run_grouped(&grid, |t: Trial| recovery_trial(t.n, faults, t.seed));
+        let grid = SweepGrid::new()
+            .sizes(&[n])
+            .trials(trials, args.seed_or(0xFA17) + faults as u64);
+        let summaries = recovery_scenario(faults).sweep_summaries(&grid, &runner);
         let s = &summaries[0];
         let steps = s.convergence_steps();
         if let Some(summary) = Summary::of(&steps) {
@@ -75,10 +92,10 @@ fn main() {
             ]);
         }
     }
-    println!("{}", table.to_markdown());
+    report.table(table);
 
     // Closure check: once in S_PL, the leader never changes over a long run.
-    println!("## Closure check\n");
+    report.heading("Closure check");
     let params = Params::for_ring(n);
     let protocol = Ppl::new(params);
     let config = perfect_configuration(n, &params, 3, 5);
@@ -93,13 +110,15 @@ fn main() {
             violations += 1;
         }
     }
-    println!(
+    report.value("closure_violations", violations);
+    report.note(format!(
         "checkpoints outside S_PL or with a different leader over {} steps: {violations} (expected 0)",
         sim.steps()
-    );
-    println!(
-        "\nReading: recovery time grows with the number of corrupted agents but stays\n\
+    ));
+    report.note(
+        "Reading: recovery time grows with the number of corrupted agents but stays\n\
          within the same O(n^2 log n) envelope as full self-stabilization — corrupting\n\
-         every agent is exactly the arbitrary-initial-configuration experiment."
+         every agent is exactly the arbitrary-initial-configuration experiment.",
     );
+    report.emit(args.json);
 }

@@ -4,19 +4,20 @@
 //! measurement is to the theorem's `O(n² log n)` and to the `Ω(n²)` lower
 //! bound the paper cites.
 //!
-//! Also prints per-size distributions over the adversarial initial-condition
-//! families of `ssle_core::init`.
+//! Also prints per-size distributions over the adversarial
+//! `leaderless-consistent` initial-condition family of `ssle_core::init`.
 
 use analysis::{fit_models, Series, Summary, Table};
-use population::{BatchRunner, Trial};
-use ssle_bench::{full_mode, run_ppl_trial, step_budget, sweep_sizes, sweep_trials};
-use ssle_core::{InitialCondition, Params};
+use ssle_bench::cli::BenchArgs;
+use ssle_bench::report::Report;
+use ssle_bench::{ppl_builder, step_budget};
+use ssle_core::InitialCondition;
 
 fn main() {
-    let full = full_mode();
-    let sizes = sweep_sizes(full);
-    let trials = sweep_trials(full);
-    println!("# Figure: P_PL convergence scaling (Theorem 3.1)\n");
+    let args = BenchArgs::parse();
+    let sizes = args.sizes();
+    let runner = args.runner();
+    let mut report = Report::new("Figure: P_PL convergence scaling (Theorem 3.1)");
 
     let mut table = Table::new(
         "Convergence steps of P_PL to S_PL (uniform-random initial configurations)",
@@ -31,17 +32,11 @@ fn main() {
     );
     let mut series = Series::new("mean_steps");
 
-    let runner = BatchRunner::new();
-    let grid = Trial::grid(&sizes, trials, 0xF16);
-    let summaries = runner.run_grouped(&grid, |t: Trial| {
-        run_ppl_trial(
-            Params::for_ring(t.n),
-            t.n,
-            InitialCondition::UniformRandom,
-            t.seed,
-            step_budget(t.n),
-        )
-    });
+    let scenario = ppl_builder(InitialCondition::UniformRandom)
+        .step_budget(|pt| step_budget(pt.n))
+        .build()
+        .expect("complete scenario");
+    let summaries = scenario.sweep_summaries(&args.grid(0xF16), &runner);
 
     for s in &summaries {
         let steps = s.convergence_steps();
@@ -61,49 +56,48 @@ fn main() {
         ]);
     }
 
-    println!("{}", table.to_markdown());
-    println!("{}", series.ascii_sketch());
+    report.table(table);
+    report.note(series.ascii_sketch());
 
     if series.len() >= 3 {
         let fit = fit_models(series.points());
-        println!("## Model fits (best first)\n");
+        report.heading("Model fits (best first)");
         for m in &fit.models {
-            println!(
+            report.note(format!(
                 "- b = {} (log-degree): T(n) ≈ {}   [mean sq. log-residual {:.4}]",
                 m.log_degree,
                 m.formula(),
                 m.residual
-            );
+            ));
         }
         let best = fit.best();
-        println!(
-            "\nBest fit exponent a = {:.2} with log-degree b = {} — the paper proves\n\
+        report.value("best_fit", best.formula());
+        report.note(format!(
+            "Best fit exponent a = {:.2} with log-degree b = {} — the paper proves\n\
              O(n^2 log n) (a = 2, b = 1) and cites an Ω(n^2) lower bound (a = 2, b = 0).",
             best.exponent, best.log_degree
-        );
+        ));
     }
 
     // Worst-case start: no leader and a locally consistent distance field, so
     // convergence must go through mode determination (clocks counting to
     // κ_max via the lottery game) and token-based segment-ID detection — the
     // regime the O(n² log n) bound is really about.
-    println!("\n## Worst-case initial condition (leaderless, consistent distances)\n");
+    report.heading("Worst-case initial condition (leaderless, consistent distances)");
     let mut worst_table = Table::new(
         "Convergence steps of P_PL to S_PL (leaderless-consistent initial configurations)",
         &["n", "mean steps", "median", "steps / (n^2 log2 n)"],
     );
     let mut worst_series = Series::new("mean_steps_leaderless");
     let worst_sizes: Vec<usize> = sizes.iter().copied().filter(|&n| n <= 128).collect();
-    let grid = Trial::grid(&worst_sizes, trials, 0xBAD);
-    let summaries = runner.run_grouped(&grid, |t: Trial| {
-        run_ppl_trial(
-            Params::for_ring(t.n),
-            t.n,
-            InitialCondition::LeaderlessConsistent,
-            t.seed,
-            step_budget(t.n),
-        )
-    });
+    let worst_scenario = ppl_builder(InitialCondition::LeaderlessConsistent)
+        .step_budget(|pt| step_budget(pt.n))
+        .build()
+        .expect("complete scenario");
+    let worst_grid = population::SweepGrid::new()
+        .sizes(&worst_sizes)
+        .trials(args.trials(), args.seed_or(0xBAD));
+    let summaries = worst_scenario.sweep_summaries(&worst_grid, &runner);
     for s in &summaries {
         if let Some(summary) = Summary::of(&s.convergence_steps()) {
             let n = s.n as f64;
@@ -116,20 +110,15 @@ fn main() {
             ]);
         }
     }
-    println!("{}", worst_table.to_markdown());
+    report.table(worst_table);
     if worst_series.len() >= 3 {
-        println!(
-            "best fit: {}\n",
-            fit_models(worst_series.points()).best().formula()
+        report.value(
+            "best_fit_leaderless",
+            fit_models(worst_series.points()).best().formula(),
         );
     }
 
-    println!(
-        "\nCSV:\n{}",
-        Series::to_csv(std::slice::from_ref(&series), "n")
-    );
-    println!(
-        "CSV (leaderless):\n{}",
-        Series::to_csv(std::slice::from_ref(&worst_series), "n")
-    );
+    report.series("scaling", vec![series]);
+    report.series("scaling_leaderless", vec![worst_series]);
+    report.emit(args.json);
 }

@@ -6,14 +6,16 @@
 
 use analysis::Table;
 use population::Configuration;
+use ssle_bench::cli::BenchArgs;
+use ssle_bench::report::Report;
 use ssle_core::segments::{
     borders, dist_consistent, is_perfect, leaderless_configuration, perfect_configuration,
     segment_id, segments,
 };
 use ssle_core::{Params, PplState};
 
-fn describe(config: &Configuration<PplState>, params: &Params, title: &str) {
-    println!("## {title}\n");
+fn describe(report: &mut Report, config: &Configuration<PplState>, params: &Params, title: &str) {
+    report.heading(title);
     let mut table = Table::new(
         "",
         &[
@@ -38,23 +40,25 @@ fn describe(config: &Configuration<PplState>, params: &Params, title: &str) {
             config[next_border].leader.to_string(),
         ]);
     }
-    println!("{}", table.to_markdown());
-    println!(
-        "borders: {:?}   condition (1) holds: {}   perfect: {}\n",
+    report.table(table);
+    report.note(format!(
+        "borders: {:?}   condition (1) holds: {}   perfect: {}",
         borders(config, params),
         dist_consistent(config, params),
         is_perfect(config, params)
-    );
+    ));
 }
 
 fn main() {
-    println!("# Figure 1 reproduction: segment-ID embedding\n");
+    let args = BenchArgs::parse();
+    let mut report = Report::new("Figure 1 reproduction: segment-ID embedding");
 
     // (a)/(b): perfect configurations with one leader.
     for (n, leader_at, first_id) in [(16usize, 0usize, 8u64), (22, 5, 8)] {
         let params = Params::for_ring(n);
         let config = perfect_configuration(n, &params, leader_at, first_id);
         describe(
+            &mut report,
             &config,
             &params,
             &format!(
@@ -71,13 +75,15 @@ fn main() {
     let n = 28;
     let config = leaderless_configuration(n, &params, 8).expect("2ψ divides n");
     describe(
+        &mut report,
         &config,
         &params,
         &format!("(c-style) leaderless configuration, n = {n}, ψ = 7 (compare Figure 1(c))"),
     );
     assert!(!is_perfect(&config, &params));
-    println!(
+    report.note(
         "Lemma 3.2 check: the leaderless configuration is NOT perfect — some segment's ID\n\
-         fails ι(S_{{i+1}}) = ι(S_i) + 1 (mod 2^ψ), which is what the detection mode finds."
+         fails ι(S_{i+1}) = ι(S_i) + 1 (mod 2^ψ), which is what the detection mode finds.",
     );
+    report.emit(args.json);
 }

@@ -3,6 +3,8 @@
 //! protocol, showing the `O(1)` / `polylog(n)` / `O(n)` growth classes.
 
 use analysis::{Series, Table};
+use ssle_bench::cli::BenchArgs;
+use ssle_bench::report::Report;
 use ssle_bench::ProtocolKind;
 use ssle_core::Params;
 
@@ -11,9 +13,15 @@ fn bits(states: u128) -> u32 {
 }
 
 fn main() {
-    println!("# Figure: per-agent state counts (Table 1, #states column)\n");
+    let args = BenchArgs::parse();
+    let mut report = Report::new("Figure: per-agent state counts (Table 1, #states column)");
 
-    let sizes: Vec<usize> = (4..=20).map(|e| 1usize << e).collect();
+    // Analytic experiment (no sweeps or randomness): --sizes overrides the
+    // default geometric size ladder; --trials/--seed have nothing to vary.
+    let sizes: Vec<usize> = args
+        .sizes
+        .clone()
+        .unwrap_or_else(|| (4..=20).map(|e| 1usize << e).collect());
     let mut table = Table::new(
         "Exact per-agent state count of each implementation",
         &[
@@ -51,7 +59,7 @@ fn main() {
         yokota_series.push(n as f64, yokota as f64);
     }
 
-    println!("{}", table.to_markdown());
+    report.table(table);
 
     // Growth-class check: squaring n multiplies the polylog count by a
     // bounded factor but the linear count by ~n.
@@ -59,25 +67,25 @@ fn main() {
     let p32 = ProtocolKind::Ppl.states_per_agent(1 << 16);
     let y16 = ProtocolKind::Yokota.states_per_agent(1 << 8);
     let y32 = ProtocolKind::Yokota.states_per_agent(1 << 16);
-    println!(
+    report.value("ppl_growth_factor", p32 as f64 / p16 as f64);
+    report.value("yokota_growth_factor", y32 as f64 / y16 as f64);
+    report.note(format!(
         "Growth when n goes from 2^8 to 2^16:  this work ×{:.1}  (polylog),  [28] ×{:.1}  (linear).",
         p32 as f64 / p16 as f64,
         y32 as f64 / y16 as f64
-    );
-    println!(
+    ));
+    report.note(
         "Note: because the polylog bound has degree 6 in log n (two tokens, two\n\
          Θ(log n) counters, ...), its absolute count exceeds the O(n) baseline's for\n\
          every practically simulable n; Table 1 compares asymptotic classes, and the\n\
-         growth factors above are the empirical signature of those classes.\n"
+         growth factors above are the empirical signature of those classes.",
     );
-    println!(
+    report.note(format!(
         "Knowledge parameters: psi(n) = ceil(log2 n), kappa_max = 8*psi (default) or 32*psi (paper).\n\
          Example: n = 1024 gives psi = {}, trajectory length {} moves.",
         Params::for_ring(1024).psi(),
         Params::for_ring(1024).trajectory_length()
-    );
-    println!(
-        "\nCSV:\n{}",
-        Series::to_csv(&[ppl_series, yokota_series], "n")
-    );
+    ));
+    report.series("state_counts", vec![ppl_series, yokota_series]);
+    report.emit(args.json);
 }

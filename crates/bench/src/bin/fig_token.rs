@@ -6,9 +6,13 @@
 //! 1. analytically, from `ssle_core::tokens::trajectory_positions`;
 //! 2. operationally, by driving a token through an actual simulation with the
 //!    deterministic schedule `(seq_R · seq_L)^{2ψ}` of Lemma 3.5 and tracing
-//!    where the token is after every interaction.
+//!    where the token is after every interaction.  (Deterministic schedule
+//!    replay stays on `Simulation::apply` — scenarios cover scheduler-driven
+//!    convergence runs.)
 
 use population::{Configuration, DirectedRing, InteractionSeq, Simulation};
+use ssle_bench::cli::BenchArgs;
+use ssle_bench::report::Report;
 use ssle_core::segments::perfect_configuration;
 use ssle_core::tokens::trajectory_positions;
 use ssle_core::{Params, Ppl, PplState, TokenKind};
@@ -19,33 +23,40 @@ fn black_token_positions(config: &Configuration<PplState>) -> Vec<usize> {
 }
 
 fn main() {
-    println!("# Figure 2 reproduction: token trajectory\n");
+    let args = BenchArgs::parse();
+    let mut report = Report::new("Figure 2 reproduction: token trajectory");
     let psi = 4u32; // the value used by Figure 2
     let params = Params::new(psi, 8 * psi);
     let n = 16;
 
     // Analytic trajectory.
     let positions = trajectory_positions(&params);
-    println!("## Analytic trajectory (ψ = {psi})\n");
-    println!("positions (distance from the creating border): {positions:?}");
-    println!(
-        "moves: {}   formula 2ψ²−2ψ+1 = {}\n",
-        positions.len() - 1,
-        params.trajectory_length()
-    );
+    report.heading(format!("Analytic trajectory (ψ = {psi})"));
+    report.note(format!(
+        "positions (distance from the creating border): {positions:?}"
+    ));
+    report.value("trajectory_moves", (positions.len() - 1) as u64);
+    report.value("trajectory_formula", params.trajectory_length());
     // ASCII zig-zag, one row per move (matches the arrows of Figure 2).
+    let mut sketch = String::new();
     for window in positions.windows(2) {
         let (from, to) = (window[0], window[1]);
         let dir = if to > from { "→" } else { "←" };
-        println!("{}{} {}", " ".repeat(4 * from.min(to) as usize), dir, to);
+        sketch.push_str(&format!(
+            "{}{} {}\n",
+            " ".repeat(4 * from.min(to) as usize),
+            dir,
+            to
+        ));
     }
+    report.note(sketch);
 
     // Operational trajectory: drive the protocol with the deterministic
     // schedule of Lemma 3.5 starting from a perfect configuration whose
     // tokens have been stripped and whose second segment has been scrambled;
     // the black tokens of the pair (S_0, S_1) must rebuild
     // ι(S_1) = ι(S_0) + 1 while zig-zagging between the segments.
-    println!("\n## Operational trajectory (simulation, deterministic schedule of Lemma 3.5)\n");
+    report.heading("Operational trajectory (simulation, deterministic schedule of Lemma 3.5)");
     let mut config = perfect_configuration(n, &params, 0, 3);
     config.map_in_place(|i, s| {
         s.token_b = None;
@@ -75,19 +86,25 @@ fn main() {
         }
     }
     let id_s1_after = seg_id(sim.config(), psi as usize);
-    println!(
+    report.note(format!(
         "token positions observed between interactions (two tokens interleave because\n\
          the border re-creates one as soon as its slot frees up): {visited:?}"
+    ));
+    report.value("id_s0", id_s0);
+    report.value("id_s1_before", id_s1_before);
+    report.value("id_s1_after", id_s1_after);
+    report.value(
+        "chain_rebuilt",
+        id_s1_after == (id_s0 + 1) % params.id_modulus(),
     );
-    println!("ι(S_0) = {id_s0}, ι(S_1) before = {id_s1_before}, ι(S_1) after the schedule = {id_s1_after}");
-    println!(
-        "segment ID rebuilt to ι(S_0) + 1 (mod 2^ψ): {}",
-        id_s1_after == (id_s0 + 1) % params.id_modulus()
-    );
-    println!(
-        "\nNote: the token is deleted at the very interaction in which it reaches the\n\
+    report.note(format!(
+        "ι(S_0) = {id_s0}, ι(S_1) before = {id_s1_before}, ι(S_1) after the schedule = {id_s1_after}"
+    ));
+    report.note(format!(
+        "Note: the token is deleted at the very interaction in which it reaches the\n\
          final destination u_{{2ψ−1}} (Lines 32–33), so position {} never appears in the\n\
          between-interaction trace — exactly the behaviour Definition 3.4 describes.",
         2 * psi - 1
-    );
+    ));
+    report.emit(args.json);
 }

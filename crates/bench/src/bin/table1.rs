@@ -2,28 +2,33 @@
 //! convergence time and number of states for each self-stabilizing leader
 //! election protocol on rings.
 //!
-//! For every measurable protocol the harness runs a sweep of uniformly random
-//! initial configurations, fits the measured convergence steps against
-//! `c·n^a·(log n)^b`, and prints the claimed bound next to the measured fit.
-//! Row [11] (Chen–Chen) is reported analytically: its super-exponential
-//! convergence cannot be measured (see `DESIGN.md` §4).
+//! For every measurable protocol the harness sweeps its [`Scenario`] over
+//! uniformly random initial configurations, fits the measured convergence
+//! steps against `c·n^a·(log n)^b`, and prints the claimed bound next to the
+//! measured fit.  Row [11] (Chen–Chen) is reported analytically: its
+//! super-exponential convergence cannot be measured (see `DESIGN.md` §4).
 //!
 //! ```text
 //! cargo run --release -p ssle-bench --bin table1            # quick sweep
 //! cargo run --release -p ssle-bench --bin table1 -- --full  # EXPERIMENTS.md sweep
+//! cargo run --release -p ssle-bench --bin table1 -- --sizes 16,32 --trials 4 --json
 //! ```
 
 use analysis::{fit_models, Summary, Table};
-use ssle_bench::{full_mode, mean_points, sweep, sweep_sizes, sweep_trials, ProtocolKind};
+use population::Scenario;
+use ssle_bench::cli::BenchArgs;
+use ssle_bench::report::Report;
+use ssle_bench::{mean_points, ProtocolKind};
 
 fn main() {
-    let full = full_mode();
-    let sizes = sweep_sizes(full);
-    let trials = sweep_trials(full);
-    println!(
-        "# Table 1 reproduction (sizes {:?}, {} trials per size)\n",
+    let args = BenchArgs::parse();
+    let sizes = args.sizes();
+    let trials = args.trials();
+    let runner = args.runner();
+    let mut report = Report::new(format!(
+        "Table 1 reproduction (sizes {:?}, {} trials per size)",
         sizes, trials
-    );
+    ));
 
     let mut table = Table::new(
         "Self-Stabilizing Leader Election on Rings",
@@ -37,10 +42,12 @@ fn main() {
         ],
     );
 
-    // Row [5], [15], [28], this work — measured.
+    // Row [5], [15], [28], this work — measured, all through the same
+    // protocol-erased Scenario run path.
     for kind in ProtocolKind::ALL {
         eprintln!("running sweep for {} ...", kind.name());
-        let summaries = sweep(kind, &sizes, trials, 0xA11CE);
+        let scenario: Scenario = kind.scenario();
+        let summaries = scenario.sweep_summaries(&args.grid(0xA11CE), &runner);
         let points = mean_points(&summaries);
         let fit = if points.len() >= 2 {
             fit_models(&points).best().formula()
@@ -82,11 +89,12 @@ fn main() {
         ssle_baselines::thue_morse::states_per_agent_order().to_string(),
     ]);
 
-    println!("{}", table.to_markdown());
-    println!(
+    report.table(table);
+    report.note(
         "Note: measured fits use uniformly random initial configurations and the\n\
          structural convergence criteria described in EXPERIMENTS.md;  absolute\n\
          constants are implementation-specific, the growth exponents are the\n\
-         reproduction target."
+         reproduction target.",
     );
+    report.emit(args.json);
 }

@@ -1,0 +1,263 @@
+//! The shared command-line interface of the experiment binaries.
+//!
+//! Every `ssle-bench` binary accepts the same flags:
+//!
+//! ```text
+//! --full             the larger (slower) sweep documented in EXPERIMENTS.md
+//! --sizes 16,32,64   population sizes (overrides the preset sweep)
+//! --trials N         trials per size (overrides the preset sweep)
+//! --seed N           base seed of the sweep grid
+//! --threads N        worker threads of the batch runner
+//! --json             machine-readable JSON on stdout instead of markdown
+//! --help             print usage
+//! ```
+
+use population::{BatchRunner, SweepGrid};
+
+use crate::{sweep_sizes, sweep_trials};
+
+/// Usage text shared by every experiment binary.
+pub const USAGE: &str = "\
+options:
+  --full             run the larger (slower) sweep from EXPERIMENTS.md
+  --sizes LIST       comma-separated population sizes (e.g. --sizes 16,32,64)
+  --trials N         trials per size
+  --seed N           base seed of the sweep grid
+  --threads N        worker threads of the batch runner
+  --json             emit machine-readable JSON instead of markdown
+  --help             print this message";
+
+/// Parsed command-line arguments of an experiment binary.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// `--full`: use the larger sweep preset.
+    pub full: bool,
+    /// `--json`: emit JSON instead of markdown.
+    pub json: bool,
+    /// `--sizes`: explicit population sizes (overrides the preset).
+    pub sizes: Option<Vec<usize>>,
+    /// `--trials`: explicit trials per size (overrides the preset).
+    pub trials: Option<usize>,
+    /// `--seed`: explicit base seed (overrides each binary's default).
+    pub seed: Option<u64>,
+    /// `--threads`: explicit worker-thread count.
+    pub threads: Option<usize>,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args()`, printing usage and exiting on `--help` or
+    /// on a malformed command line.
+    pub fn parse() -> Self {
+        match Self::try_parse(std::env::args().skip(1)) {
+            Ok(Some(args)) => args,
+            Ok(None) => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            Err(message) => {
+                eprintln!("error: {message}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an argument iterator.  `Ok(None)` means `--help` was requested.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the offending flag or value.
+    pub fn try_parse<I>(args: I) -> Result<Option<Self>, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut out = BenchArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            // Accept both `--flag value` and `--flag=value`.
+            let (flag, inline_value) = match arg.split_once('=') {
+                Some((f, v)) => (f.to_string(), Some(v.to_string())),
+                None => (arg, None),
+            };
+            let mut value = |name: &str| -> Result<String, String> {
+                inline_value
+                    .clone()
+                    .or_else(|| iter.next())
+                    .ok_or_else(|| format!("{name} requires a value"))
+            };
+            // Boolean flags take no value; `--json=false` would otherwise be
+            // silently read as `--json`.
+            if matches!(flag.as_str(), "--help" | "-h" | "--full" | "--json")
+                && inline_value.is_some()
+            {
+                return Err(format!("{flag} does not take a value"));
+            }
+            match flag.as_str() {
+                "--help" | "-h" => return Ok(None),
+                "--full" => out.full = true,
+                "--json" => out.json = true,
+                "--sizes" => {
+                    let raw = value("--sizes")?;
+                    let sizes: Result<Vec<usize>, _> = raw
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(|s| s.trim().parse::<usize>())
+                        .collect();
+                    let sizes =
+                        sizes.map_err(|_| format!("--sizes: cannot parse {raw:?} as sizes"))?;
+                    if sizes.is_empty() {
+                        return Err("--sizes: at least one size is required".to_string());
+                    }
+                    if let Some(&bad) = sizes.iter().find(|&&n| n < 2) {
+                        return Err(format!(
+                            "--sizes: population size {bad} is below the model's minimum of 2"
+                        ));
+                    }
+                    out.sizes = Some(sizes);
+                }
+                "--trials" => {
+                    let raw = value("--trials")?;
+                    out.trials = Some(
+                        raw.parse()
+                            .map_err(|_| format!("--trials: cannot parse {raw:?}"))?,
+                    );
+                }
+                "--seed" => {
+                    let raw = value("--seed")?;
+                    out.seed = Some(
+                        raw.parse()
+                            .map_err(|_| format!("--seed: cannot parse {raw:?}"))?,
+                    );
+                }
+                "--threads" => {
+                    let raw = value("--threads")?;
+                    out.threads = Some(
+                        raw.parse()
+                            .map_err(|_| format!("--threads: cannot parse {raw:?}"))?,
+                    );
+                }
+                other => return Err(format!("unknown option {other:?}")),
+            }
+        }
+        Ok(Some(out))
+    }
+
+    /// The population sizes of the sweep: `--sizes` if given, otherwise the
+    /// quick/full preset.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.sizes.clone().unwrap_or_else(|| sweep_sizes(self.full))
+    }
+
+    /// The trials per size: `--trials` if given, otherwise the quick/full
+    /// preset.
+    pub fn trials(&self) -> usize {
+        self.trials.unwrap_or_else(|| sweep_trials(self.full))
+    }
+
+    /// The base seed: `--seed` if given, otherwise the binary's default.
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// A batch runner honouring `--threads`.
+    pub fn runner(&self) -> BatchRunner {
+        match self.threads {
+            Some(t) => BatchRunner::with_threads(t),
+            None => BatchRunner::new(),
+        }
+    }
+
+    /// The standard sweep grid of this invocation: sizes × trials with the
+    /// given default base seed.
+    pub fn grid(&self, default_seed: u64) -> SweepGrid {
+        SweepGrid::new()
+            .sizes(&self.sizes())
+            .trials(self.trials(), self.seed_or(default_seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> BenchArgs {
+        BenchArgs::try_parse(args.iter().map(|s| s.to_string()))
+            .unwrap()
+            .unwrap()
+    }
+
+    #[test]
+    fn defaults_match_the_quick_preset() {
+        let args = parse(&[]);
+        assert!(!args.full && !args.json);
+        assert_eq!(args.sizes(), sweep_sizes(false));
+        assert_eq!(args.trials(), sweep_trials(false));
+        assert_eq!(args.seed_or(7), 7);
+        assert!(args.runner().num_threads() >= 1);
+    }
+
+    #[test]
+    fn full_flag_selects_the_large_preset() {
+        let args = parse(&["--full"]);
+        assert!(args.full);
+        assert_eq!(args.sizes(), sweep_sizes(true));
+        assert_eq!(args.trials(), sweep_trials(true));
+    }
+
+    #[test]
+    fn explicit_values_override_presets() {
+        let args = parse(&[
+            "--sizes",
+            "16,32, 64",
+            "--trials",
+            "3",
+            "--seed",
+            "99",
+            "--threads",
+            "2",
+            "--json",
+        ]);
+        assert_eq!(args.sizes(), vec![16, 32, 64]);
+        assert_eq!(args.trials(), 3);
+        assert_eq!(args.seed_or(7), 99);
+        assert_eq!(args.runner().num_threads(), 2);
+        assert!(args.json);
+        let grid = args.grid(7);
+        assert_eq!(grid.num_points(), 9);
+    }
+
+    #[test]
+    fn equals_syntax_is_accepted() {
+        let args = parse(&["--sizes=8,16", "--trials=2", "--seed=5"]);
+        assert_eq!(args.sizes(), vec![8, 16]);
+        assert_eq!(args.trials(), 2);
+        assert_eq!(args.seed_or(0), 5);
+    }
+
+    #[test]
+    fn help_returns_none() {
+        assert_eq!(BenchArgs::try_parse(["--help".to_string()]).unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            vec!["--sizes"],
+            vec!["--sizes", "a,b"],
+            vec!["--sizes", ""],
+            vec!["--trials", "x"],
+            vec!["--seed"],
+            vec!["--threads", "-1"],
+            vec!["--sizes", "1"],
+            vec!["--sizes", "16,0"],
+            vec!["--json=false"],
+            vec!["--full=0"],
+            vec!["--unknown"],
+            vec!["extra"],
+        ] {
+            assert!(
+                BenchArgs::try_parse(bad.iter().map(|s| s.to_string())).is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+}

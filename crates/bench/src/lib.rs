@@ -2,29 +2,36 @@
 //!
 //! The experiment harness that regenerates every table and figure of the
 //! paper (experiments E1–E11 of `DESIGN.md`).  The library half of the crate
-//! contains the reusable measurement functions; each experiment is a binary
-//! in `src/bin/` that sweeps the relevant parameters and prints the table or
-//! figure data, and the Criterion benches in `benches/` track the raw
-//! simulation performance.
+//! builds [`Scenario`]s — declarative protocol × graph × initial-condition ×
+//! stop-criterion bundles from `population::scenario` — for the paper's
+//! protocol and every Table 1 baseline; each experiment is a binary in
+//! `src/bin/` that sweeps the relevant parameters over those scenarios and
+//! prints the table or figure data, and the Criterion benches in `benches/`
+//! track the raw simulation performance.
 //!
 //! Run an experiment with, e.g.:
 //!
 //! ```text
 //! cargo run --release -p ssle-bench --bin table1
 //! cargo run --release -p ssle-bench --bin fig_scaling -- --full
+//! cargo run --release -p ssle-bench --bin table1 -- --sizes 16,32 --trials 4 --json
 //! ```
 //!
-//! Every binary accepts `--full` for the larger (slower) parameter sweep used
-//! in `EXPERIMENTS.md`; the default is a quick sweep that finishes in a few
-//! minutes on a laptop.
+//! Every binary accepts the shared flags of [`cli::BenchArgs`]: `--full` for
+//! the larger sweep used in `EXPERIMENTS.md`, `--sizes`/`--trials`/`--seed`/
+//! `--threads` to override the sweep grid, and `--json` for machine-readable
+//! output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cli;
+pub mod report;
+
 use population::{
-    BatchRunner, BatchSummary, Configuration, ConvergenceReport, DirectedRing, LeaderElection,
-    Simulation, Trial,
+    BatchRunner, BatchSummary, Configuration, ConvergenceReport, Scenario, ScenarioBuilder,
+    SweepGrid, SweepPoint,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -33,7 +40,7 @@ use ssle_baselines::{
     fischer_jiang::{has_stable_unique_leader, FischerJiang, FjState},
     yokota_linear::{is_safe as yokota_is_safe, YokotaLinear, YokotaState},
 };
-use ssle_core::{in_s_pl, init, InitialCondition, Params, Ppl, PplState};
+use ssle_core::{in_s_pl, init, InitialCondition, Params, Ppl};
 
 /// The protocols compared by Table 1 that can be measured empirically.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -113,6 +120,41 @@ impl ProtocolKind {
             ProtocolKind::AngluinModK => AngluinModK::new(pick_k(n)).states_per_agent(),
         }
     }
+
+    /// The step budget of one Table 1 convergence trial at size `n` (the
+    /// `Θ(n³)`-class baselines get an extra factor).
+    pub fn trial_budget(&self, n: usize) -> u64 {
+        match self {
+            ProtocolKind::FischerJiang | ProtocolKind::AngluinModK => {
+                step_budget(n).saturating_mul(n as u64 / 4 + 1)
+            }
+            _ => step_budget(n),
+        }
+    }
+
+    /// The [`Scenario`] measuring this protocol in the Table 1 setting:
+    /// uniformly random initial configurations on the directed ring, the
+    /// protocol's structural safe set as the stop criterion, and
+    /// [`ProtocolKind::trial_budget`] as the step budget.
+    pub fn scenario(&self) -> Scenario {
+        let kind = *self;
+        let budget = move |pt: &SweepPoint| kind.trial_budget(pt.n);
+        match self {
+            ProtocolKind::Ppl => ppl_builder(InitialCondition::UniformRandom)
+                .step_budget(budget)
+                .build(),
+            ProtocolKind::PplPaperConstants => ppl_builder_with_params(
+                |pt| Params::paper_constants(pt.n),
+                InitialCondition::UniformRandom,
+            )
+            .step_budget(budget)
+            .build(),
+            ProtocolKind::Yokota => yokota_builder().step_budget(budget).build(),
+            ProtocolKind::FischerJiang => fischer_jiang_builder().step_budget(budget).build(),
+            ProtocolKind::AngluinModK => angluin_builder().step_budget(budget).build(),
+        }
+        .expect("complete scenario")
+    }
 }
 
 /// Picks the smallest `k ≥ 2` that does not divide `n` (the assumption of
@@ -128,7 +170,7 @@ pub fn step_budget(n: usize) -> u64 {
     let psi = Params::for_ring(n).psi() as u64;
     // Comfortably above the O(n^2 log n) convergence of the slowest
     // measurable protocol at these sizes (the Theta(n^3)-class baselines get
-    // an extra factor below).
+    // an extra factor in `ProtocolKind::trial_budget`).
     600 * (n as u64) * (n as u64) * psi
 }
 
@@ -137,131 +179,106 @@ pub fn check_interval(n: usize) -> u64 {
     (n as u64 * n as u64 / 4).max(64)
 }
 
-/// Runs one convergence trial of `P_PL` from the given initial-condition
-/// family, measuring the first entry into the structural safe set `S_PL`.
-pub fn run_ppl_trial(
-    params: Params,
-    n: usize,
+/// Scenario builder for `P_PL` with the default simulation constants,
+/// starting from the given initial-condition family and measuring the first
+/// entry into the structural safe set `S_PL`.
+///
+/// The returned builder still needs a step budget
+/// ([`ScenarioBuilder::step_budget`]) before `build()`.
+pub fn ppl_builder(condition: InitialCondition) -> ScenarioBuilder<Ppl> {
+    ppl_builder_with_params(|pt| Params::for_ring(pt.n), condition)
+}
+
+/// Like [`ppl_builder`] but with an explicit parameter map, used for the
+/// paper-constants variant and the `κ_max` ablation (the closure can read
+/// sweep-axis values from the [`SweepPoint`]).
+pub fn ppl_builder_with_params(
+    params_of: impl Fn(&SweepPoint) -> Params + Send + Sync + 'static,
     condition: InitialCondition,
-    seed: u64,
-    max_steps: u64,
-) -> ConvergenceReport {
-    let protocol = Ppl::new(params);
-    let config = init::generate(condition, n, &params, seed);
-    let mut sim = Simulation::new(
-        protocol,
-        DirectedRing::new(n).expect("n >= 2"),
-        config,
-        seed,
-    );
-    sim.run_until(
-        |_p, c: &Configuration<PplState>| in_s_pl(c, &params),
-        check_interval(n),
-        max_steps,
-    )
+) -> ScenarioBuilder<Ppl> {
+    ScenarioBuilder::new(format!("ppl/{}", condition.name()), move |pt| {
+        Ppl::new(params_of(pt))
+    })
+    .init(move |p: &Ppl, pt| init::generate(condition, pt.n, p.params(), pt.seed))
+    .stop_when("s-pl", |p: &Ppl, c| in_s_pl(c, p.params()))
+    .check_every(|pt| check_interval(pt.n))
 }
 
-/// Runs one convergence trial of baseline [28] from a uniformly random
-/// configuration, measuring the first entry into its structural safe set.
-pub fn run_yokota_trial(n: usize, seed: u64, max_steps: u64) -> ConvergenceReport {
-    let protocol = YokotaLinear::for_ring(n);
-    let cap = protocol.cap();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let config = Configuration::from_fn(n, |_| YokotaState::sample_uniform(&mut rng, cap));
-    let mut sim = Simulation::new(
-        protocol,
-        DirectedRing::new(n).expect("n >= 2"),
-        config,
-        seed,
-    );
-    sim.run_until(
-        |_p, c: &Configuration<YokotaState>| yokota_is_safe(c, cap),
-        check_interval(n),
-        max_steps,
-    )
+/// Scenario builder for baseline [28] (Yokota et al. 2021): uniformly random
+/// initial configurations, converging to its structural safe set.
+pub fn yokota_builder() -> ScenarioBuilder<YokotaLinear> {
+    ScenarioBuilder::new("yokota-linear", |pt| YokotaLinear::for_ring(pt.n))
+        .init(|p: &YokotaLinear, pt| {
+            let cap = p.cap();
+            let mut rng = ChaCha8Rng::seed_from_u64(pt.seed);
+            Configuration::from_fn(pt.n, |_| YokotaState::sample_uniform(&mut rng, cap))
+        })
+        .stop_when("yokota-safe", |p: &YokotaLinear, c| {
+            yokota_is_safe(c, p.cap())
+        })
+        .check_every(|pt| check_interval(pt.n))
 }
 
-/// Runs one convergence trial of baseline [15] from a uniformly random
-/// configuration, measuring the first time a single (bullet-safe) leader
-/// remains.
-pub fn run_fischer_jiang_trial(n: usize, seed: u64, max_steps: u64) -> ConvergenceReport {
-    let protocol = FischerJiang::new();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let config = Configuration::from_fn(n, |_| FjState::sample_uniform(&mut rng));
-    let mut sim = Simulation::new(
-        protocol,
-        DirectedRing::new(n).expect("n >= 2"),
-        config,
-        seed,
-    );
-    sim.run_until(
-        |_p, c: &Configuration<FjState>| has_stable_unique_leader(c),
-        check_interval(n),
-        max_steps,
-    )
+/// Scenario builder for baseline [15] (Fischer–Jiang with the oracle `Ω?`):
+/// uniformly random initial configurations, converging to a single
+/// bullet-safe leader.
+pub fn fischer_jiang_builder() -> ScenarioBuilder<FischerJiang> {
+    ScenarioBuilder::new("fischer-jiang", |_pt| FischerJiang::new())
+        .init(|_p: &FischerJiang, pt| {
+            let mut rng = ChaCha8Rng::seed_from_u64(pt.seed);
+            Configuration::from_fn(pt.n, |_| FjState::sample_uniform(&mut rng))
+        })
+        .stop_when("fj-stable-unique-leader", |_p: &FischerJiang, c| {
+            has_stable_unique_leader(c)
+        })
+        .check_every(|pt| check_interval(pt.n))
 }
 
-/// Runs one convergence trial of baseline [5] from a uniformly random
-/// configuration, measuring the first time a unique label defect remains.
-pub fn run_angluin_trial(n: usize, seed: u64, max_steps: u64) -> ConvergenceReport {
-    let k = pick_k(n);
-    let protocol = AngluinModK::new(k);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let config = Configuration::from_fn(n, |_| ModKState::sample_uniform(&mut rng, k));
-    let mut sim = Simulation::new(
-        protocol,
-        DirectedRing::new(n).expect("n >= 2"),
-        config,
-        seed,
-    );
-    sim.run_until(
-        |_p, c: &Configuration<ModKState>| has_unique_defect(c, k),
-        check_interval(n),
-        max_steps,
-    )
+/// Scenario builder for baseline [5] (Angluin et al. 2008, `k ∤ n`):
+/// uniformly random initial configurations, converging to a unique label
+/// defect.
+pub fn angluin_builder() -> ScenarioBuilder<AngluinModK> {
+    ScenarioBuilder::new("angluin-mod-k", |pt| AngluinModK::new(pick_k(pt.n)))
+        .init(|p: &AngluinModK, pt| {
+            let k = p.k();
+            let mut rng = ChaCha8Rng::seed_from_u64(pt.seed);
+            Configuration::from_fn(pt.n, |_| ModKState::sample_uniform(&mut rng, k))
+        })
+        .stop_when("mod-k-unique-defect", |p: &AngluinModK, c| {
+            has_unique_defect(c, p.k())
+        })
+        .check_every(|pt| check_interval(pt.n))
 }
 
 /// Runs one convergence trial of the given protocol from a uniformly random
 /// configuration (the Table 1 setting).
 pub fn run_trial(kind: ProtocolKind, n: usize, seed: u64) -> ConvergenceReport {
-    let budget = match kind {
-        // The Theta(n^3)-class baselines need a cubic budget.
-        ProtocolKind::FischerJiang | ProtocolKind::AngluinModK => {
-            step_budget(n).saturating_mul(n as u64 / 4 + 1)
-        }
-        _ => step_budget(n),
-    };
-    match kind {
-        ProtocolKind::Ppl => run_ppl_trial(
-            Params::for_ring(n),
-            n,
-            InitialCondition::UniformRandom,
-            seed,
-            budget,
-        ),
-        ProtocolKind::PplPaperConstants => run_ppl_trial(
-            Params::paper_constants(n),
-            n,
-            InitialCondition::UniformRandom,
-            seed,
-            budget,
-        ),
-        ProtocolKind::Yokota => run_yokota_trial(n, seed, budget),
-        ProtocolKind::FischerJiang => run_fischer_jiang_trial(n, seed, budget),
-        ProtocolKind::AngluinModK => run_angluin_trial(n, seed, budget),
-    }
+    kind.scenario().run(&SweepPoint::new(n, seed))
 }
 
 /// Runs `trials_per_n` trials of `kind` for every size in `sizes`, in
-/// parallel, and returns one summary per size.
+/// parallel on `runner`, and returns one summary per size.
+pub fn sweep_with(
+    kind: ProtocolKind,
+    runner: &BatchRunner,
+    sizes: &[usize],
+    trials_per_n: usize,
+    base_seed: u64,
+) -> Vec<BatchSummary> {
+    let grid = SweepGrid::new()
+        .sizes(sizes)
+        .trials(trials_per_n, base_seed);
+    kind.scenario().sweep_summaries(&grid, runner)
+}
+
+/// Like [`sweep_with`] with a default (all-cores) runner.
 pub fn sweep(
     kind: ProtocolKind,
     sizes: &[usize],
     trials_per_n: usize,
     base_seed: u64,
 ) -> Vec<BatchSummary> {
-    let trials = Trial::grid(sizes, trials_per_n, base_seed);
-    BatchRunner::new().run_grouped(&trials, |t: Trial| run_trial(kind, t.n, t.seed))
+    sweep_with(kind, &BatchRunner::new(), sizes, trials_per_n, base_seed)
 }
 
 /// Converts per-size summaries into `(n, mean steps)` fitting points,
@@ -271,11 +288,6 @@ pub fn mean_points(summaries: &[BatchSummary]) -> Vec<(f64, f64)> {
         .iter()
         .filter_map(|s| s.mean_steps().map(|m| (s.n as f64, m)))
         .collect()
-}
-
-/// Returns `true` if the command line asked for the full (slow) sweep.
-pub fn full_mode() -> bool {
-    std::env::args().any(|a| a == "--full")
 }
 
 /// The population sizes used by the quick and full sweeps.
@@ -305,57 +317,49 @@ pub fn leader_count_trajectory(
     total_steps: u64,
     sample_every: u64,
 ) -> Vec<(u64, usize)> {
-    let params = Params::for_ring(n);
-    let protocol = Ppl::new(params);
-    let config = init::generate(condition, n, &params, seed);
-    let mut sim = Simulation::new(
-        protocol,
-        DirectedRing::new(n).expect("n >= 2"),
-        config,
-        seed,
-    );
-    let mut out = vec![(0u64, sim.count_leaders())];
-    let mut done = 0u64;
-    while done < total_steps {
-        let burst = sample_every.min(total_steps - done);
-        sim.run_steps(burst);
-        done += burst;
-        out.push((done, sim.count_leaders()));
-    }
-    out
+    ppl_builder(condition)
+        .step_budget(move |_pt| total_steps)
+        .build()
+        .expect("complete scenario")
+        .leader_trajectory(&SweepPoint::new(n, seed), total_steps, sample_every)
 }
 
-/// Measures, for experiment E7 (mode determination), the number of steps
-/// until every agent is in detection mode when starting from a leaderless
-/// configuration with no resetting signals.
-pub fn steps_until_all_detect(n: usize, seed: u64, max_steps: u64) -> ConvergenceReport {
-    use ssle_core::Mode;
-    let params = Params::for_ring(n);
-    let protocol = Ppl::new(params);
-    // All followers, clocks zero, no signals: the pure mode-determination
-    // race of Lemma 3.7.
-    let config = Configuration::uniform(n, PplState::follower());
-    let mut sim = Simulation::new(
-        protocol,
-        DirectedRing::new(n).expect("n >= 2"),
-        config,
-        seed,
-    );
-    sim.run_until(
-        |p: &Ppl, c: &Configuration<PplState>| {
+/// The [`Scenario`] behind experiment E7 (mode determination): starting from
+/// a leaderless configuration with no resetting signals, stop when every
+/// agent is in detection mode (or a leader has already been created) —
+/// the mode-determination race of Lemma 3.7.
+pub fn all_detect_scenario(
+    max_steps_of: impl Fn(&SweepPoint) -> u64 + Send + Sync + 'static,
+) -> Scenario {
+    use population::LeaderElection;
+    use ssle_core::{Mode, PplState};
+    ScenarioBuilder::new("ppl/all-detect", |pt| Ppl::new(Params::for_ring(pt.n)))
+        // All followers, clocks zero, no signals: the pure mode-determination
+        // race of Lemma 3.7.
+        .init(|_p: &Ppl, pt| Configuration::uniform(pt.n, PplState::follower()))
+        .stop_when("all-detect", |p: &Ppl, c| {
             c.states()
                 .iter()
                 .all(|s| s.mode == Mode::Detect || p.is_leader(s))
                 || p.count_leaders(c.states()) > 0
-        },
-        check_interval(n),
-        max_steps,
-    )
+        })
+        .check_every(|pt| check_interval(pt.n))
+        .step_budget(max_steps_of)
+        .build()
+        .expect("complete scenario")
+}
+
+/// Measures, for experiment E7, the number of steps until every agent is in
+/// detection mode when starting from a leaderless configuration with no
+/// resetting signals.
+pub fn steps_until_all_detect(n: usize, seed: u64, max_steps: u64) -> ConvergenceReport {
+    all_detect_scenario(move |_pt| max_steps).run(&SweepPoint::new(n, seed))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use population::{Trial, TrialOutcome};
 
     #[test]
     fn protocol_kind_metadata_is_consistent() {
@@ -407,13 +411,14 @@ mod tests {
         assert!(step_budget(64) > step_budget(16));
         assert!(check_interval(64) > check_interval(16));
         assert!(check_interval(2) >= 64);
+        // The cubic-class baselines get a larger budget.
+        assert!(ProtocolKind::FischerJiang.trial_budget(64) > ProtocolKind::Ppl.trial_budget(64));
     }
 
     #[test]
     fn sweep_configuration_helpers() {
         assert!(sweep_sizes(true).len() > sweep_sizes(false).len());
         assert!(sweep_trials(true) > sweep_trials(false));
-        assert!(!full_mode());
     }
 
     #[test]
@@ -430,13 +435,27 @@ mod tests {
     }
 
     #[test]
-    fn ppl_trial_converges_from_every_initial_condition() {
+    fn ppl_scenario_converges_from_every_initial_condition() {
         let n = 10;
-        let params = Params::for_ring(n);
         for condition in InitialCondition::ALL {
-            let report = run_ppl_trial(params, n, condition, 5, step_budget(n));
+            let report = ppl_builder(condition)
+                .step_budget(|pt| step_budget(pt.n))
+                .build()
+                .unwrap()
+                .run(&SweepPoint::new(n, 5));
             assert!(report.converged(), "{}", condition.name());
+            assert_eq!(report.criterion, "s-pl");
         }
+    }
+
+    #[test]
+    fn sweeps_group_per_size_through_the_scenario_layer() {
+        let summaries = sweep(ProtocolKind::Ppl, &[8, 10], 2, 0xA11CE);
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].n, 8);
+        assert_eq!(summaries[1].n, 10);
+        assert!(summaries.iter().all(|s| s.outcomes.len() == 2));
+        assert!(summaries.iter().all(|s| s.converged_fraction() == 1.0));
     }
 
     #[test]
@@ -448,7 +467,7 @@ mod tests {
             },
             BatchSummary {
                 n: 16,
-                outcomes: vec![population::TrialOutcome {
+                outcomes: vec![TrialOutcome {
                     trial: Trial::new(16, 0),
                     report: ConvergenceReport {
                         converged_at: Some(100),
@@ -477,5 +496,6 @@ mod tests {
     fn all_detect_measurement_terminates() {
         let report = steps_until_all_detect(8, 2, 50_000_000);
         assert!(report.converged());
+        assert_eq!(report.criterion, "all-detect");
     }
 }

@@ -1,0 +1,169 @@
+//! The load-bearing guarantee of the Scenario redesign: the type-erased run
+//! path (`DynProtocol` + boxed states + `AnyGraph`) produces **bit-identical**
+//! [`ConvergenceReport`]s to a static-dispatch reference run for every
+//! measurable protocol of Table 1, at two population sizes each.
+//!
+//! The reference runs below intentionally re-create the pre-Scenario
+//! plumbing (typed `Simulation` + `run_until`) by hand; if erasure ever
+//! perturbed the RNG stream, the transition function, the check cadence or
+//! the report bookkeeping, these tests would catch it.
+
+use population::{Configuration, ConvergenceReport, DirectedRing, Simulation, SweepPoint};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use ssle_baselines::{
+    angluin_mod_k::{has_unique_defect, AngluinModK, ModKState},
+    fischer_jiang::{has_stable_unique_leader, FischerJiang, FjState},
+    yokota_linear::{is_safe as yokota_is_safe, YokotaLinear, YokotaState},
+};
+use ssle_bench::{check_interval, pick_k, ProtocolKind};
+use ssle_core::{in_s_pl, init, InitialCondition, Params, Ppl, PplState};
+
+const SIZES: [usize; 2] = [8, 13];
+const SEEDS: [u64; 2] = [3, 1_000_001];
+
+/// Static-dispatch reference for the Table 1 trial of `kind` — the shape of
+/// the deleted `run_*_trial` helpers, reproduced without any erasure.
+fn reference_trial(kind: ProtocolKind, n: usize, seed: u64) -> ConvergenceReport {
+    let budget = kind.trial_budget(n);
+    let mut report = match kind {
+        ProtocolKind::Ppl | ProtocolKind::PplPaperConstants => {
+            let params = if kind == ProtocolKind::Ppl {
+                Params::for_ring(n)
+            } else {
+                Params::paper_constants(n)
+            };
+            let protocol = Ppl::new(params);
+            let config = init::generate(InitialCondition::UniformRandom, n, &params, seed);
+            let mut sim = Simulation::new(
+                protocol,
+                DirectedRing::new(n).expect("n >= 2"),
+                config,
+                seed,
+            );
+            sim.run_until(
+                |_p, c: &Configuration<PplState>| in_s_pl(c, &params),
+                check_interval(n),
+                budget,
+            )
+        }
+        ProtocolKind::Yokota => {
+            let protocol = YokotaLinear::for_ring(n);
+            let cap = protocol.cap();
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let config = Configuration::from_fn(n, |_| YokotaState::sample_uniform(&mut rng, cap));
+            let mut sim = Simulation::new(
+                protocol,
+                DirectedRing::new(n).expect("n >= 2"),
+                config,
+                seed,
+            );
+            sim.run_until(
+                |_p, c: &Configuration<YokotaState>| yokota_is_safe(c, cap),
+                check_interval(n),
+                budget,
+            )
+        }
+        ProtocolKind::FischerJiang => {
+            let protocol = FischerJiang::new();
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let config = Configuration::from_fn(n, |_| FjState::sample_uniform(&mut rng));
+            let mut sim = Simulation::new(
+                protocol,
+                DirectedRing::new(n).expect("n >= 2"),
+                config,
+                seed,
+            );
+            sim.run_until(
+                |_p, c: &Configuration<FjState>| has_stable_unique_leader(c),
+                check_interval(n),
+                budget,
+            )
+        }
+        ProtocolKind::AngluinModK => {
+            let k = pick_k(n);
+            let protocol = AngluinModK::new(k);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let config = Configuration::from_fn(n, |_| ModKState::sample_uniform(&mut rng, k));
+            let mut sim = Simulation::new(
+                protocol,
+                DirectedRing::new(n).expect("n >= 2"),
+                config,
+                seed,
+            );
+            sim.run_until(
+                |_p, c: &Configuration<ModKState>| has_unique_defect(c, k),
+                check_interval(n),
+                budget,
+            )
+        }
+    };
+    // `run_until` names its criterion "predicate"; the scenario names it
+    // after the stop criterion.  Align the names so every *other* field must
+    // match bit for bit.
+    report.criterion = kind.scenario().stop_name().to_string();
+    report
+}
+
+#[test]
+fn dyn_erased_scenarios_match_static_dispatch_bit_for_bit() {
+    for kind in ProtocolKind::ALL {
+        let scenario = kind.scenario();
+        for n in SIZES {
+            for seed in SEEDS {
+                let erased = scenario.run(&SweepPoint::new(n, seed));
+                let reference = reference_trial(kind, n, seed);
+                assert_eq!(
+                    erased,
+                    reference,
+                    "{} diverged from the static reference at n = {n}, seed = {seed}",
+                    kind.name()
+                );
+                assert!(
+                    erased.converged(),
+                    "{} should converge at n = {n} (otherwise the equivalence is vacuous)",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn paper_constants_variant_also_matches() {
+    let kind = ProtocolKind::PplPaperConstants;
+    let scenario = kind.scenario();
+    for n in SIZES {
+        let erased = scenario.run(&SweepPoint::new(n, 2));
+        let reference = reference_trial(kind, n, 2);
+        assert_eq!(erased, reference, "paper-constants diverged at n = {n}");
+    }
+}
+
+#[test]
+fn erased_final_configurations_match_the_typed_ones() {
+    // Beyond the report: the final states themselves are identical.
+    let n = 8;
+    let seed = 5;
+    let params = Params::for_ring(n);
+    let config = init::generate(InitialCondition::UniformRandom, n, &params, seed);
+    let mut typed = Simulation::new(
+        Ppl::new(params),
+        DirectedRing::new(n).unwrap(),
+        config,
+        seed,
+    );
+    typed.run_until(
+        |_p, c: &Configuration<PplState>| in_s_pl(c, &params),
+        check_interval(n),
+        ProtocolKind::Ppl.trial_budget(n),
+    );
+
+    let run = ProtocolKind::Ppl
+        .scenario()
+        .run_full(&SweepPoint::new(n, seed));
+    let erased_config =
+        population::downcast_config::<PplState>(run.sim.config()).expect("PplState states");
+    assert_eq!(erased_config.states(), typed.config().states());
+    assert_eq!(run.sim.steps(), typed.steps());
+}

@@ -5,8 +5,8 @@
 //! is seeded independently, so results are reproducible regardless of the
 //! thread count) and [`BatchSummary`] aggregates per-`n` statistics.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
@@ -45,6 +45,16 @@ pub struct TrialOutcome {
     /// The trial parameters.
     pub trial: Trial,
     /// The convergence report returned by the per-trial closure.
+    pub report: ConvergenceReport,
+}
+
+/// Result of running one point of an arbitrary sweep (the generalization of
+/// [`TrialOutcome`] to any point type, e.g. [`crate::sweep::SweepPoint`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Outcome<T> {
+    /// The sweep point that was run.
+    pub point: T,
+    /// The convergence report returned by the per-point closure.
     pub report: ConvergenceReport,
 }
 
@@ -147,37 +157,66 @@ impl BatchRunner {
         self.num_threads
     }
 
+    /// Runs every point through `run_one`, in parallel, and returns the
+    /// outcomes ordered exactly like the input points.
+    ///
+    /// Workers claim indices from a shared atomic counter but collect their
+    /// results into thread-local chunks that are merged once at join time, so
+    /// there is no per-result lock contention.
+    pub fn run_points<T, F>(&self, points: &[T], run_one: F) -> Vec<Outcome<T>>
+    where
+        T: Clone + Send + Sync,
+        F: Fn(&T) -> ConvergenceReport + Send + Sync,
+    {
+        if points.is_empty() {
+            return Vec::new();
+        }
+        let next = AtomicUsize::new(0);
+        let workers = self.num_threads.min(points.len());
+        let mut slots: Vec<Option<Outcome<T>>> = Vec::new();
+        slots.resize_with(points.len(), || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, Outcome<T>)> = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= points.len() {
+                                break;
+                            }
+                            let point = points[idx].clone();
+                            let report = run_one(&point);
+                            local.push((idx, Outcome { point, report }));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (idx, outcome) in handle.join().expect("batch worker panicked") {
+                    slots[idx] = Some(outcome);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|o| o.expect("every point must produce an outcome"))
+            .collect()
+    }
+
     /// Runs every trial through `run_one`, in parallel, and returns the
     /// outcomes ordered exactly like the input trials.
     pub fn run<F>(&self, trials: &[Trial], run_one: F) -> Vec<TrialOutcome>
     where
         F: Fn(Trial) -> ConvergenceReport + Send + Sync,
     {
-        if trials.is_empty() {
-            return Vec::new();
-        }
-        let next = AtomicUsize::new(0);
-        let results: Mutex<Vec<Option<TrialOutcome>>> = Mutex::new(vec![None; trials.len()]);
-        let workers = self.num_threads.min(trials.len());
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= trials.len() {
-                        break;
-                    }
-                    let trial = trials[idx];
-                    let report = run_one(trial);
-                    let outcome = TrialOutcome { trial, report };
-                    results.lock().unwrap()[idx] = Some(outcome);
-                });
-            }
-        });
-        results
-            .into_inner()
-            .unwrap()
+        self.run_points(trials, |t: &Trial| run_one(*t))
             .into_iter()
-            .map(|o| o.expect("every trial must produce an outcome"))
+            .map(|o| TrialOutcome {
+                trial: o.point,
+                report: o.report,
+            })
             .collect()
     }
 
@@ -187,25 +226,28 @@ impl BatchRunner {
     where
         F: Fn(Trial) -> ConvergenceReport + Send + Sync,
     {
-        let outcomes = self.run(trials, run_one);
-        let mut order: Vec<usize> = Vec::new();
-        for t in trials {
-            if !order.contains(&t.n) {
-                order.push(t.n);
-            }
-        }
-        order
-            .into_iter()
-            .map(|n| BatchSummary {
-                n,
-                outcomes: outcomes
-                    .iter()
-                    .filter(|o| o.trial.n == n)
-                    .cloned()
-                    .collect(),
-            })
-            .collect()
+        group_by_size(self.run(trials, run_one))
     }
+}
+
+/// Groups trial outcomes into one [`BatchSummary`] per population size in a
+/// single pass, preserving the order in which sizes first appear and moving
+/// (not cloning) the outcomes.
+pub fn group_by_size(outcomes: Vec<TrialOutcome>) -> Vec<BatchSummary> {
+    let mut index: HashMap<usize, usize> = HashMap::new();
+    let mut groups: Vec<BatchSummary> = Vec::new();
+    for outcome in outcomes {
+        let n = outcome.trial.n;
+        let slot = *index.entry(n).or_insert_with(|| {
+            groups.push(BatchSummary {
+                n,
+                outcomes: Vec::new(),
+            });
+            groups.len() - 1
+        });
+        groups[slot].outcomes.push(outcome);
+    }
+    groups
 }
 
 #[cfg(test)]
@@ -357,6 +399,58 @@ mod tests {
             let expected_mean = expected_steps.iter().sum::<f64>() / expected_steps.len() as f64;
             assert_eq!(group.mean_steps(), Some(expected_mean));
         }
+    }
+
+    #[test]
+    fn run_points_works_with_arbitrary_point_types() {
+        #[derive(Clone, Debug, PartialEq)]
+        struct Point {
+            label: String,
+            steps: u64,
+        }
+        let points: Vec<Point> = (0..20)
+            .map(|i| Point {
+                label: format!("p{i}"),
+                steps: i * 10,
+            })
+            .collect();
+        let runner = BatchRunner::with_threads(4);
+        let outcomes = runner.run_points(&points, |p| fake_report(Some(p.steps)));
+        assert_eq!(outcomes.len(), 20);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.point, points[i], "outcome order matches input order");
+            assert_eq!(o.report.converged_at, Some(i as u64 * 10));
+        }
+    }
+
+    #[test]
+    fn group_by_size_is_single_pass_and_order_preserving() {
+        // Sizes interleaved: first-appearance order must be preserved.
+        let outcomes: Vec<TrialOutcome> = [16usize, 8, 16, 4, 8, 16]
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| TrialOutcome {
+                trial: Trial::new(n, i as u64),
+                report: fake_report(Some(i as u64)),
+            })
+            .collect();
+        let groups = group_by_size(outcomes);
+        assert_eq!(
+            groups.iter().map(|g| g.n).collect::<Vec<_>>(),
+            vec![16, 8, 4]
+        );
+        assert_eq!(groups[0].outcomes.len(), 3);
+        assert_eq!(groups[1].outcomes.len(), 2);
+        assert_eq!(groups[2].outcomes.len(), 1);
+        // Within a group, input order is preserved.
+        assert_eq!(
+            groups[0]
+                .outcomes
+                .iter()
+                .map(|o| o.trial.seed)
+                .collect::<Vec<_>>(),
+            vec![0, 2, 5]
+        );
     }
 
     #[test]

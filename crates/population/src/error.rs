@@ -49,6 +49,11 @@ pub enum PopulationError {
     /// An arbitrary graph was given an empty arc set, which cannot drive a
     /// random scheduler.
     EmptyArcSet,
+    /// A scenario builder was finalized without one of its required pieces.
+    ScenarioIncomplete {
+        /// The name of the missing builder method.
+        missing: &'static str,
+    },
 }
 
 impl fmt::Display for PopulationError {
@@ -81,6 +86,10 @@ impl fmt::Display for PopulationError {
                 "deterministic schedule exhausted after {available} interactions"
             ),
             PopulationError::EmptyArcSet => write!(f, "interaction graph has no arcs"),
+            PopulationError::ScenarioIncomplete { missing } => write!(
+                f,
+                "scenario builder is missing a required piece: call `{missing}` before `build`"
+            ),
         }
     }
 }
@@ -127,6 +136,10 @@ mod tests {
                 "exhausted",
             ),
             (PopulationError::EmptyArcSet, "no arcs"),
+            (
+                PopulationError::ScenarioIncomplete { missing: "init" },
+                "init",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

@@ -18,7 +18,12 @@
 //! * the **execution engine** ([`simulation::Simulation`]) advances a
 //!   configuration under a scheduler, measures convergence against arbitrary
 //!   criteria ([`convergence`]), records traces ([`trace`]), injects faults
-//!   ([`faults`]) and runs batches of trials in parallel ([`batch`]).
+//!   ([`faults`]) and runs batches of trials in parallel ([`batch`]);
+//! * the **scenario layer** ([`scenario`]) composes any protocol (type-erased
+//!   behind [`scenario::DynProtocol`]), any graph family, an initial-condition
+//!   generator, an optional fault plan, a stop criterion and a step budget
+//!   into one declarative, runnable [`scenario::Scenario`], swept over
+//!   multi-axis grids ([`sweep`]).
 //!
 //! The crate is protocol-agnostic: the paper's protocol `P_PL` and the
 //! baseline protocols live in the `ssle-core` and `ssle-baselines` crates and
@@ -73,16 +78,20 @@ pub mod faults;
 pub mod graph;
 pub mod init;
 pub mod protocol;
+pub mod scenario;
 pub mod schedule;
 pub mod scheduler;
 pub mod simulation;
 pub mod stats;
+pub mod sweep;
 pub mod trace;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::agent::AgentId;
-    pub use crate::batch::{BatchRunner, BatchSummary, Trial, TrialOutcome};
+    pub use crate::batch::{
+        group_by_size, BatchRunner, BatchSummary, Outcome, Trial, TrialOutcome,
+    };
     pub use crate::config::Configuration;
     pub use crate::convergence::{ConvergenceReport, Criterion, StableOutputs};
     pub use crate::error::{PopulationError, Result};
@@ -92,10 +101,15 @@ pub mod prelude {
     };
     pub use crate::init::Initializer;
     pub use crate::protocol::{LeaderElection, LeaderOutput, Protocol};
+    pub use crate::scenario::{
+        downcast_config, AnyGraph, DynLeaderElection, DynProtocol, DynState, FaultEvent, FaultPlan,
+        GraphFamily, Scenario, ScenarioBuilder, ScenarioRun,
+    };
     pub use crate::schedule::{Interaction, InteractionSeq};
     pub use crate::scheduler::{RandomScheduler, Scheduler, SequenceScheduler};
     pub use crate::simulation::Simulation;
     pub use crate::stats::RunStats;
+    pub use crate::sweep::{SweepAxis, SweepGrid, SweepPoint};
     pub use crate::trace::{Event, Trace};
 }
 

@@ -67,8 +67,14 @@ pub trait Protocol: Clone + Send + Sync {
     fn environment(&self, _states: &mut [Self::State]) {}
 
     /// Returns `true` if this protocol overrides [`Protocol::environment`]
-    /// with a non-trivial oracle.  Used by reporting code to label oracle
-    /// assumptions in generated tables.
+    /// with a non-trivial oracle.
+    ///
+    /// Any protocol that overrides [`Protocol::environment`] **must** also
+    /// override this to return `true`: reporting code uses it to label
+    /// oracle assumptions in generated tables, and the type-erased scenario
+    /// path (`crate::scenario`) skips the per-step environment hook entirely
+    /// when it returns `false`, so an inconsistent implementation would
+    /// silently lose its oracle under erasure.
     fn uses_oracle(&self) -> bool {
         false
     }

@@ -1,0 +1,1552 @@
+//! Declarative, protocol-erased experiment scenarios.
+//!
+//! Every convergence experiment in this workspace has the same shape: build a
+//! protocol, a graph and an initial configuration for a sweep point, optionally
+//! corrupt agents according to a fault plan, run under the uniformly random
+//! scheduler until a stop criterion holds or a step budget runs out, and
+//! report a [`ConvergenceReport`].  Historically each protocol needed its own
+//! monomorphized copy of that plumbing; this module provides **one** run path
+//! for all of them:
+//!
+//! * [`DynState`] / [`DynLeaderElection`] / [`DynProtocol`] — type erasure for
+//!   protocols and their per-agent states, so heterogeneous protocols flow
+//!   through a single `Simulation<DynProtocol, AnyGraph>`.  Erasure does not
+//!   change the execution: the scheduler, RNG stream and transition function
+//!   are exactly those of the typed path, so reports are bit-identical.
+//! * [`GraphFamily`] / [`AnyGraph`] — graph topologies selectable per
+//!   scenario and instantiated per sweep point.
+//! * [`FaultPlan`] — transient faults scheduled at explicit steps of the run.
+//! * [`ScenarioBuilder`] → [`Scenario`] — the declarative layer tying a
+//!   protocol factory, an initial-condition generator, a stop criterion, a
+//!   step budget and an optional fault plan together, runnable on single
+//!   [`SweepPoint`]s or whole [`SweepGrid`]s.
+//!
+//! # Example
+//!
+//! ```
+//! use population::prelude::*;
+//! use population::scenario::{GraphFamily, ScenarioBuilder};
+//! use population::sweep::{SweepGrid, SweepPoint};
+//!
+//! /// Pairwise leader elimination: a leader meeting a leader demotes it.
+//! #[derive(Clone, Debug)]
+//! struct Fratricide;
+//! impl Protocol for Fratricide {
+//!     type State = bool;
+//!     fn interact(&self, initiator: &mut bool, responder: &mut bool) {
+//!         if *initiator && *responder {
+//!             *responder = false;
+//!         }
+//!     }
+//! }
+//! impl LeaderElection for Fratricide {
+//!     fn is_leader(&self, state: &bool) -> bool {
+//!         *state
+//!     }
+//! }
+//!
+//! let scenario = ScenarioBuilder::new("fratricide", |_pt: &SweepPoint| Fratricide)
+//!     .graph(GraphFamily::Complete)
+//!     .init(|_p, pt| Configuration::uniform(pt.n, true))
+//!     .stop_when("unique-leader", |p: &Fratricide, c| {
+//!         p.has_unique_leader(c.states())
+//!     })
+//!     .check_every(|_pt| 1)
+//!     .step_budget(|_pt| 100_000)
+//!     .build()
+//!     .unwrap();
+//!
+//! // One point …
+//! let report = scenario.run(&SweepPoint::new(8, 42));
+//! assert!(report.converged());
+//!
+//! // … or a whole grid, in parallel, grouped per population size.
+//! let grid = SweepGrid::new().sizes(&[4, 8]).trials(3, 7);
+//! let summaries = scenario.sweep_summaries(&grid, &BatchRunner::with_threads(2));
+//! assert_eq!(summaries.len(), 2);
+//! assert!(summaries.iter().all(|s| s.converged_fraction() == 1.0));
+//! ```
+
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+use rand_chacha::ChaCha8Rng;
+
+use crate::batch::{group_by_size, BatchRunner, BatchSummary, Outcome, TrialOutcome};
+use crate::config::Configuration;
+use crate::convergence::ConvergenceReport;
+use crate::error::{PopulationError, Result};
+use crate::faults::{FaultInjector, FaultKind};
+use crate::graph::{ArbitraryGraph, CompleteGraph, DirectedRing, InteractionGraph, UndirectedRing};
+use crate::protocol::{LeaderElection, Protocol};
+use crate::schedule::Interaction;
+use crate::simulation::Simulation;
+use crate::sweep::{SweepGrid, SweepPoint};
+
+// ---------------------------------------------------------------------------
+// State erasure
+// ---------------------------------------------------------------------------
+
+/// Object-safe supertrait bundle for erased per-agent states.
+///
+/// Blanket-implemented for every type that satisfies the
+/// [`Protocol::State`] bounds plus `'static`; user code never implements it
+/// directly.
+pub trait ErasedState: Any + Send + Sync {
+    /// Clones into a new box.
+    fn clone_dyn(&self) -> Box<dyn ErasedState>;
+    /// Structural equality against another erased state (false when the
+    /// underlying types differ).
+    fn eq_dyn(&self, other: &dyn ErasedState) -> bool;
+    /// Debug-formats the underlying state.
+    fn debug_dyn(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result;
+    /// Upcast to [`Any`] for downcasting.
+    fn as_any(&self) -> &dyn Any;
+    /// Mutable upcast to [`Any`] for downcasting.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<S> ErasedState for S
+where
+    S: Any + Clone + PartialEq + fmt::Debug + Send + Sync,
+{
+    fn clone_dyn(&self) -> Box<dyn ErasedState> {
+        Box::new(self.clone())
+    }
+
+    fn eq_dyn(&self, other: &dyn ErasedState) -> bool {
+        other
+            .as_any()
+            .downcast_ref::<S>()
+            .is_some_and(|o| o == self)
+    }
+
+    fn debug_dyn(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A boxed, type-erased per-agent state.
+///
+/// Satisfies the [`Protocol::State`] bounds, so `Configuration<DynState>`
+/// plugs into the ordinary [`Simulation`] engine.
+pub struct DynState(Box<dyn ErasedState>);
+
+impl DynState {
+    /// Boxes a typed state.
+    pub fn new<S>(state: S) -> Self
+    where
+        S: Any + Clone + PartialEq + fmt::Debug + Send + Sync,
+    {
+        DynState(Box::new(state))
+    }
+
+    /// Borrows the underlying state if it has type `S`.
+    pub fn downcast_ref<S: Any>(&self) -> Option<&S> {
+        self.0.as_any().downcast_ref::<S>()
+    }
+
+    /// Mutably borrows the underlying state if it has type `S`.
+    pub fn downcast_mut<S: Any>(&mut self) -> Option<&mut S> {
+        self.0.as_any_mut().downcast_mut::<S>()
+    }
+}
+
+impl Clone for DynState {
+    fn clone(&self) -> Self {
+        DynState(self.0.clone_dyn())
+    }
+}
+
+impl PartialEq for DynState {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.eq_dyn(other.0.as_ref())
+    }
+}
+
+impl fmt::Debug for DynState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.debug_dyn(f)
+    }
+}
+
+/// Rebuilds a typed configuration from an erased one, if every agent state
+/// has type `S`.  Used by tests and examples that inspect final states after
+/// a [`Scenario::run_full`].
+pub fn downcast_config<S: Any + Clone>(
+    config: &Configuration<DynState>,
+) -> Option<Configuration<S>> {
+    let mut states = Vec::with_capacity(config.len());
+    for s in config.states() {
+        states.push(s.downcast_ref::<S>()?.clone());
+    }
+    Some(Configuration::from_states(states))
+}
+
+// ---------------------------------------------------------------------------
+// Protocol erasure
+// ---------------------------------------------------------------------------
+
+/// The object-safe face of a (leader-election) protocol: boxed states in,
+/// boxed states out.
+///
+/// Implemented by the private wrappers behind [`DynProtocol::erase`] (for
+/// [`LeaderElection`] protocols) and [`DynProtocol::erase_protocol`] (for
+/// protocols without a leader output, whose `is_leader_dyn` is always
+/// `false`).
+pub trait DynLeaderElection: Send + Sync {
+    /// The transition function on erased states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either state does not downcast to the protocol's state type
+    /// (mixing states of different protocols in one configuration).
+    fn interact_dyn(&self, initiator: &mut DynState, responder: &mut DynState);
+
+    /// The environment (oracle) hook on erased states.
+    fn environment_dyn(&self, states: &mut [DynState]);
+
+    /// See [`Protocol::uses_oracle`].
+    fn uses_oracle_dyn(&self) -> bool;
+
+    /// The leader-output map; `false` for protocols without one.
+    fn is_leader_dyn(&self, state: &DynState) -> bool;
+
+    /// See [`Protocol::name`].
+    fn protocol_name(&self) -> &'static str;
+}
+
+/// Erasure wrapper for protocols with a leader output.
+struct ErasedLe<P>(P);
+
+/// Erasure wrapper for protocols without a leader output.
+struct ErasedPlain<P>(P);
+
+fn downcast_pair<'a, S: Any>(
+    initiator: &'a mut DynState,
+    responder: &'a mut DynState,
+    name: &str,
+) -> (&'a mut S, &'a mut S) {
+    let i = initiator
+        .downcast_mut::<S>()
+        .unwrap_or_else(|| panic!("initiator state does not belong to protocol {name}"));
+    let r = responder
+        .downcast_mut::<S>()
+        .unwrap_or_else(|| panic!("responder state does not belong to protocol {name}"));
+    (i, r)
+}
+
+/// Applies a typed environment hook to a slice of erased states by copying
+/// the states out and back.  Only called for protocols that declare the hook
+/// via [`Protocol::uses_oracle`] (which every `environment` override must —
+/// see its contract), so pure population protocols pay nothing per step.
+/// Oracle protocols pay one `Vec` allocation plus `n` clones per step under
+/// erasure — a known constant-factor cost of keeping the hook's contiguous
+/// `&mut [State]` signature; their states are `O(1)`-sized, and the typed
+/// `Simulation` remains available where that overhead matters.
+fn environment_via_copy<P>(protocol: &P, states: &mut [DynState])
+where
+    P: Protocol,
+    P::State: Any,
+{
+    let mut typed: Vec<P::State> = states
+        .iter()
+        .map(|s| {
+            s.downcast_ref::<P::State>()
+                .unwrap_or_else(|| panic!("state does not belong to protocol {}", protocol.name()))
+                .clone()
+        })
+        .collect();
+    protocol.environment(&mut typed);
+    for (slot, value) in states.iter_mut().zip(typed) {
+        *slot.downcast_mut::<P::State>().expect("checked above") = value;
+    }
+}
+
+impl<P> DynLeaderElection for ErasedLe<P>
+where
+    P: LeaderElection + 'static,
+    P::State: Any,
+{
+    fn interact_dyn(&self, initiator: &mut DynState, responder: &mut DynState) {
+        let (i, r) = downcast_pair::<P::State>(initiator, responder, self.0.name());
+        self.0.interact(i, r);
+    }
+
+    fn environment_dyn(&self, states: &mut [DynState]) {
+        if self.0.uses_oracle() {
+            environment_via_copy(&self.0, states);
+        }
+    }
+
+    fn uses_oracle_dyn(&self) -> bool {
+        self.0.uses_oracle()
+    }
+
+    fn is_leader_dyn(&self, state: &DynState) -> bool {
+        state
+            .downcast_ref::<P::State>()
+            .is_some_and(|s| self.0.is_leader(s))
+    }
+
+    fn protocol_name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
+impl<P> DynLeaderElection for ErasedPlain<P>
+where
+    P: Protocol + 'static,
+    P::State: Any,
+{
+    fn interact_dyn(&self, initiator: &mut DynState, responder: &mut DynState) {
+        let (i, r) = downcast_pair::<P::State>(initiator, responder, self.0.name());
+        self.0.interact(i, r);
+    }
+
+    fn environment_dyn(&self, states: &mut [DynState]) {
+        if self.0.uses_oracle() {
+            environment_via_copy(&self.0, states);
+        }
+    }
+
+    fn uses_oracle_dyn(&self) -> bool {
+        self.0.uses_oracle()
+    }
+
+    fn is_leader_dyn(&self, _state: &DynState) -> bool {
+        false
+    }
+
+    fn protocol_name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
+/// A type-erased protocol: implements [`Protocol`] (and [`LeaderElection`])
+/// over [`DynState`], delegating to the erased inner protocol.
+///
+/// Cloning is cheap (`Arc`).
+#[derive(Clone)]
+pub struct DynProtocol {
+    inner: Arc<dyn DynLeaderElection>,
+}
+
+impl DynProtocol {
+    /// Erases a leader-election protocol.
+    pub fn erase<P>(protocol: P) -> Self
+    where
+        P: LeaderElection + 'static,
+        P::State: Any,
+    {
+        DynProtocol {
+            inner: Arc::new(ErasedLe(protocol)),
+        }
+    }
+
+    /// Erases a protocol without a leader output ([`LeaderElection::is_leader`]
+    /// of the erased protocol is constantly `false`).
+    pub fn erase_protocol<P>(protocol: P) -> Self
+    where
+        P: Protocol + 'static,
+        P::State: Any,
+    {
+        DynProtocol {
+            inner: Arc::new(ErasedPlain(protocol)),
+        }
+    }
+
+    /// Wraps an already-erased implementation.
+    pub fn from_dyn(inner: Arc<dyn DynLeaderElection>) -> Self {
+        DynProtocol { inner }
+    }
+}
+
+impl fmt::Debug for DynProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DynProtocol")
+            .field("name", &self.inner.protocol_name())
+            .finish()
+    }
+}
+
+impl Protocol for DynProtocol {
+    type State = DynState;
+
+    fn interact(&self, initiator: &mut DynState, responder: &mut DynState) {
+        self.inner.interact_dyn(initiator, responder);
+    }
+
+    fn environment(&self, states: &mut [DynState]) {
+        self.inner.environment_dyn(states);
+    }
+
+    fn uses_oracle(&self) -> bool {
+        self.inner.uses_oracle_dyn()
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.protocol_name()
+    }
+}
+
+impl LeaderElection for DynProtocol {
+    fn is_leader(&self, state: &DynState) -> bool {
+        self.inner.is_leader_dyn(state)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Graph families
+// ---------------------------------------------------------------------------
+
+/// A family of interaction graphs, instantiated per population size.
+#[derive(Clone)]
+pub enum GraphFamily {
+    /// The paper's directed ring (the default).
+    DirectedRing,
+    /// The undirected ring of Section 5.
+    UndirectedRing,
+    /// The complete interaction graph.
+    Complete,
+    /// An arbitrary graph built by a user closure.
+    Custom(Arc<dyn Fn(usize) -> Result<ArbitraryGraph> + Send + Sync>),
+}
+
+impl GraphFamily {
+    /// Builds the concrete graph for a population of `n` agents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the graph constructors' errors (e.g. `n < 2`).
+    pub fn build(&self, n: usize) -> Result<AnyGraph> {
+        Ok(match self {
+            GraphFamily::DirectedRing => AnyGraph::DirectedRing(DirectedRing::new(n)?),
+            GraphFamily::UndirectedRing => AnyGraph::UndirectedRing(UndirectedRing::new(n)?),
+            GraphFamily::Complete => {
+                if n < 2 {
+                    return Err(PopulationError::PopulationTooSmall {
+                        requested: n,
+                        minimum: 2,
+                    });
+                }
+                AnyGraph::Complete(CompleteGraph::new(n))
+            }
+            GraphFamily::Custom(f) => AnyGraph::Arbitrary(f(n)?),
+        })
+    }
+}
+
+impl fmt::Debug for GraphFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphFamily::DirectedRing => write!(f, "GraphFamily::DirectedRing"),
+            GraphFamily::UndirectedRing => write!(f, "GraphFamily::UndirectedRing"),
+            GraphFamily::Complete => write!(f, "GraphFamily::Complete"),
+            GraphFamily::Custom(_) => write!(f, "GraphFamily::Custom(..)"),
+        }
+    }
+}
+
+/// A concrete graph of any supported family; dispatches
+/// [`InteractionGraph`] to the wrapped topology, so sampling consumes the
+/// RNG exactly like the wrapped graph would.
+#[derive(Clone, Debug)]
+pub enum AnyGraph {
+    /// A directed ring.
+    DirectedRing(DirectedRing),
+    /// An undirected ring.
+    UndirectedRing(UndirectedRing),
+    /// A complete graph.
+    Complete(CompleteGraph),
+    /// An arbitrary arc set.
+    Arbitrary(ArbitraryGraph),
+}
+
+impl InteractionGraph for AnyGraph {
+    fn num_agents(&self) -> usize {
+        match self {
+            AnyGraph::DirectedRing(g) => g.num_agents(),
+            AnyGraph::UndirectedRing(g) => g.num_agents(),
+            AnyGraph::Complete(g) => g.num_agents(),
+            AnyGraph::Arbitrary(g) => g.num_agents(),
+        }
+    }
+
+    fn num_arcs(&self) -> usize {
+        match self {
+            AnyGraph::DirectedRing(g) => g.num_arcs(),
+            AnyGraph::UndirectedRing(g) => g.num_arcs(),
+            AnyGraph::Complete(g) => g.num_arcs(),
+            AnyGraph::Arbitrary(g) => g.num_arcs(),
+        }
+    }
+
+    fn is_arc(&self, initiator: usize, responder: usize) -> bool {
+        match self {
+            AnyGraph::DirectedRing(g) => g.is_arc(initiator, responder),
+            AnyGraph::UndirectedRing(g) => g.is_arc(initiator, responder),
+            AnyGraph::Complete(g) => g.is_arc(initiator, responder),
+            AnyGraph::Arbitrary(g) => g.is_arc(initiator, responder),
+        }
+    }
+
+    fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Interaction {
+        match self {
+            AnyGraph::DirectedRing(g) => g.sample(rng),
+            AnyGraph::UndirectedRing(g) => g.sample(rng),
+            AnyGraph::Complete(g) => g.sample(rng),
+            AnyGraph::Arbitrary(g) => g.sample(rng),
+        }
+    }
+
+    fn arcs(&self) -> Vec<Interaction> {
+        match self {
+            AnyGraph::DirectedRing(g) => g.arcs(),
+            AnyGraph::UndirectedRing(g) => g.arcs(),
+            AnyGraph::Complete(g) => g.arcs(),
+            AnyGraph::Arbitrary(g) => g.arcs(),
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            AnyGraph::DirectedRing(g) => g.describe(),
+            AnyGraph::UndirectedRing(g) => g.describe(),
+            AnyGraph::Complete(g) => g.describe(),
+            AnyGraph::Arbitrary(g) => g.describe(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault plans
+// ---------------------------------------------------------------------------
+
+/// A fault scheduled at an explicit step of a scenario run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The step (counted from the start of the run) *before* which the fault
+    /// fires; step 0 fires before the first interaction and before the
+    /// initial stop-criterion check.
+    pub at_step: u64,
+    /// The corruption to apply.
+    pub kind: FaultKind,
+}
+
+/// A declarative schedule of transient faults injected during a scenario run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules `kind` to fire at `at_step` (builder-style; events are kept
+    /// sorted by step).
+    pub fn at(mut self, at_step: u64, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at_step, kind });
+        self.events.sort_by_key(|e| e.at_step);
+        self
+    }
+
+    /// The scheduled events, sorted by step.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Returns `true` if no fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario and builder
+// ---------------------------------------------------------------------------
+
+type PointFn<T> = Arc<dyn Fn(&SweepPoint) -> T + Send + Sync>;
+type DynStop = Box<dyn Fn(&[DynState]) -> bool>;
+type DynCorrupt = Box<dyn FnMut(&mut ChaCha8Rng, usize) -> DynState>;
+
+/// Everything the erased run path needs for one sweep point, produced by the
+/// typed closure captured at [`ScenarioBuilder::build`] time.
+struct PreparedRun {
+    protocol: DynProtocol,
+    config: Configuration<DynState>,
+    stop: DynStop,
+    corrupt: Option<DynCorrupt>,
+}
+
+/// The result of [`Scenario::run_full`]: the convergence report plus the
+/// finished simulation for post-run inspection.
+#[derive(Debug)]
+pub struct ScenarioRun {
+    /// The convergence report of the run.
+    pub report: ConvergenceReport,
+    /// The simulation in its final state (erased; downcast the configuration
+    /// with [`downcast_config`] for typed inspection).
+    pub sim: Simulation<DynProtocol, AnyGraph>,
+}
+
+/// A runnable, fully type-erased experiment: protocol × graph × initial
+/// condition × optional fault plan × stop criterion × step budget.
+///
+/// Built with [`ScenarioBuilder`]; run on a single [`SweepPoint`] with
+/// [`Scenario::run`] or over a [`SweepGrid`] with [`Scenario::sweep`] /
+/// [`Scenario::sweep_summaries`].
+#[derive(Clone)]
+pub struct Scenario {
+    name: String,
+    stop_name: String,
+    graph: GraphFamily,
+    prepare: Arc<dyn Fn(&SweepPoint) -> PreparedRun + Send + Sync>,
+    plan: Option<PointFn<FaultPlan>>,
+    check_interval: PointFn<u64>,
+    max_steps: PointFn<u64>,
+    sim_seed: PointFn<u64>,
+    fault_seed: PointFn<u64>,
+}
+
+impl fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scenario")
+            .field("name", &self.name)
+            .field("stop", &self.stop_name)
+            .field("graph", &self.graph)
+            .field("has_fault_plan", &self.plan.is_some())
+            .finish()
+    }
+}
+
+impl Scenario {
+    /// The scenario's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The stop criterion's name (the `criterion` field of produced reports).
+    pub fn stop_name(&self) -> &str {
+        &self.stop_name
+    }
+
+    /// Runs the scenario at one sweep point and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph family cannot be built for `point.n` (e.g.
+    /// `n < 2`) or if a fault plan is set without a corruption function.
+    pub fn run(&self, point: &SweepPoint) -> ConvergenceReport {
+        self.run_full(point).report
+    }
+
+    /// Like [`Scenario::run`] but also returns the finished simulation for
+    /// post-run inspection (leader counts, final states, statistics).
+    pub fn run_full(&self, point: &SweepPoint) -> ScenarioRun {
+        let prepared = (self.prepare)(point);
+        let graph = self
+            .graph
+            .build(point.n)
+            .unwrap_or_else(|e| panic!("scenario {:?}: cannot build graph: {e}", self.name));
+        let mut sim = Simulation::new(
+            prepared.protocol,
+            graph,
+            prepared.config,
+            (self.sim_seed)(point),
+        );
+        let check_interval = (self.check_interval)(point).max(1);
+        let max_steps = (self.max_steps)(point);
+        let stop = prepared.stop;
+        let plan = self.plan.as_ref().map(|f| f(point)).unwrap_or_default();
+
+        let mut report = if plan.is_empty() {
+            sim.run_until(|_p, c| stop(c.states()), check_interval, max_steps)
+        } else {
+            let mut faults = FaultSchedule::new(plan, prepared.corrupt, (self.fault_seed)(point));
+            run_with_faults(&mut sim, &stop, check_interval, max_steps, &mut faults)
+        };
+        report.criterion = self.stop_name.clone();
+        ScenarioRun { report, sim }
+    }
+
+    /// Runs every point of the grid in parallel and returns per-point
+    /// outcomes in grid order.
+    pub fn sweep(&self, grid: &SweepGrid, runner: &BatchRunner) -> Vec<Outcome<SweepPoint>> {
+        runner.run_points(&grid.points(), |pt| self.run(pt))
+    }
+
+    /// Runs every point of the grid in parallel and groups the outcomes per
+    /// population size (the shape the analysis layer consumes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid has value axes: grouping by size alone would
+    /// silently average outcomes across different experimental conditions.
+    /// Use [`Scenario::sweep`] and group by the axis values yourself (as the
+    /// `fig_kappa` binary does for its `c1` axis).
+    pub fn sweep_summaries(&self, grid: &SweepGrid, runner: &BatchRunner) -> Vec<BatchSummary> {
+        group_by_size(
+            self.sweep(grid, runner)
+                .into_iter()
+                .map(|o| {
+                    assert!(
+                        o.point.values().is_empty(),
+                        "sweep_summaries would conflate the value axes {:?}; \
+                         use Scenario::sweep and group by axis value instead",
+                        o.point.values().iter().map(|(k, _)| k).collect::<Vec<_>>()
+                    );
+                    TrialOutcome {
+                        trial: o.point.trial(),
+                        report: o.report,
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Leader-count trajectory of one run, sampled every `sample_every`
+    /// steps (including step 0).  Uses the erased leader output, so it works
+    /// for every leader-election scenario; the scenario's fault plan (if any)
+    /// fires at its scheduled steps exactly as it does under
+    /// [`Scenario::run`].
+    pub fn leader_trajectory(
+        &self,
+        point: &SweepPoint,
+        total_steps: u64,
+        sample_every: u64,
+    ) -> Vec<(u64, usize)> {
+        let prepared = (self.prepare)(point);
+        let graph = self
+            .graph
+            .build(point.n)
+            .unwrap_or_else(|e| panic!("scenario {:?}: cannot build graph: {e}", self.name));
+        let mut sim = Simulation::new(
+            prepared.protocol,
+            graph,
+            prepared.config,
+            (self.sim_seed)(point),
+        );
+        let mut faults = FaultSchedule::new(
+            self.plan.as_ref().map(|f| f(point)).unwrap_or_default(),
+            prepared.corrupt,
+            (self.fault_seed)(point),
+        );
+        let sample_every = sample_every.max(1);
+        faults.fire_due(0, &mut sim);
+        let mut out = vec![(0u64, sim.count_leaders())];
+        let mut done = 0u64;
+        while done < total_steps {
+            // The next sample boundary, split early if a fault is due first.
+            let boundary = ((done / sample_every + 1) * sample_every).min(total_steps);
+            let target = faults.clip(done, boundary);
+            sim.run_steps(target - done);
+            done = target;
+            faults.fire_due(done, &mut sim);
+            if done.is_multiple_of(sample_every) || done == total_steps {
+                out.push((done, sim.count_leaders()));
+            }
+        }
+        out
+    }
+}
+
+/// The pending half of a fault plan during a run: which events are still due,
+/// and the corruption machinery that fires them.  Both erased run loops
+/// (convergence and trajectory) share this, so faults fire at identical steps
+/// in both.
+struct FaultSchedule {
+    events: Vec<FaultEvent>,
+    driver: Option<(DynCorrupt, FaultInjector)>,
+    next: usize,
+}
+
+impl FaultSchedule {
+    /// # Panics
+    ///
+    /// Panics if the plan is non-empty but no corruption function was given
+    /// (the builder always sets both together).
+    fn new(plan: FaultPlan, corrupt: Option<DynCorrupt>, fault_seed: u64) -> Self {
+        let driver = if plan.is_empty() {
+            None
+        } else {
+            Some((
+                corrupt.expect(
+                    "a fault plan requires a corruption function (ScenarioBuilder::faults)",
+                ),
+                FaultInjector::new(fault_seed),
+            ))
+        };
+        FaultSchedule {
+            events: plan.events().to_vec(),
+            driver,
+            next: 0,
+        }
+    }
+
+    /// Clips a burst target so the next pending event is not overshot (the
+    /// burst still advances by at least one step past `done`).
+    fn clip(&self, done: u64, target: u64) -> u64 {
+        match self.events.get(self.next) {
+            Some(event) => target.min(event.at_step.max(done + 1)),
+            None => target,
+        }
+    }
+
+    /// Fires every event scheduled at or before step `executed`.
+    fn fire_due(&mut self, executed: u64, sim: &mut Simulation<DynProtocol, AnyGraph>) {
+        if let Some((corrupt, injector)) = self.driver.as_mut() {
+            while self.next < self.events.len() && self.events[self.next].at_step <= executed {
+                injector.inject(
+                    sim.config_mut(),
+                    self.events[self.next].kind,
+                    &mut **corrupt,
+                );
+                self.next += 1;
+            }
+        }
+    }
+}
+
+/// The fault-injecting run loop: identical check semantics to
+/// [`Simulation::run_until`] (an initial check, then one check every
+/// `check_interval` steps and at the budget boundary), with fault events
+/// fired at their exact steps.  Events scheduled at step 0 fire before the
+/// initial check.
+fn run_with_faults(
+    sim: &mut Simulation<DynProtocol, AnyGraph>,
+    stop: &dyn Fn(&[DynState]) -> bool,
+    check_interval: u64,
+    max_steps: u64,
+    faults: &mut FaultSchedule,
+) -> ConvergenceReport {
+    let criterion = "predicate".to_string();
+    let mut executed = 0u64;
+    faults.fire_due(0, sim);
+    if stop(sim.config().states()) {
+        return ConvergenceReport {
+            converged_at: Some(sim.steps()),
+            steps_executed: 0,
+            max_steps,
+            check_interval,
+            criterion,
+        };
+    }
+    while executed < max_steps {
+        let next_check = ((executed / check_interval) + 1) * check_interval;
+        let target = faults.clip(executed, next_check.min(max_steps));
+        sim.run_steps(target - executed);
+        executed = target;
+        faults.fire_due(executed, sim);
+        let at_boundary = executed == next_check || executed == max_steps;
+        if at_boundary && stop(sim.config().states()) {
+            return ConvergenceReport {
+                converged_at: Some(sim.steps()),
+                steps_executed: executed,
+                max_steps,
+                check_interval,
+                criterion,
+            };
+        }
+    }
+    ConvergenceReport {
+        converged_at: None,
+        steps_executed: executed,
+        max_steps,
+        check_interval,
+        criterion,
+    }
+}
+
+/// Typed, declarative builder for [`Scenario`]s.
+///
+/// All per-point pieces are closures over [`SweepPoint`], so one scenario
+/// definition covers a whole sweep (protocol constants can read named axis
+/// values via [`SweepPoint::value`]).  Construct with [`ScenarioBuilder::new`]
+/// for leader-election protocols or [`ScenarioBuilder::for_protocol`] for
+/// protocols without a leader output; `init`, `stop_when` and `step_budget`
+/// are required, everything else has defaults (directed ring, check interval
+/// `max(n²/4, 64)`, sim/fault seeds = the point's seed, no faults).
+pub struct ScenarioBuilder<P: Protocol + 'static>
+where
+    P::State: Any,
+{
+    name: String,
+    graph: GraphFamily,
+    make_protocol: PointFn<P>,
+    erase: fn(P) -> DynProtocol,
+    #[allow(clippy::type_complexity)]
+    init: Option<Arc<dyn Fn(&P, &SweepPoint) -> Configuration<P::State> + Send + Sync>>,
+    #[allow(clippy::type_complexity)]
+    stop: Option<(
+        String,
+        Arc<dyn Fn(&P, &Configuration<P::State>) -> bool + Send + Sync>,
+    )>,
+    #[allow(clippy::type_complexity)]
+    corrupt: Option<Arc<dyn Fn(&P, &mut ChaCha8Rng, usize) -> P::State + Send + Sync>>,
+    plan: Option<PointFn<FaultPlan>>,
+    check_interval: PointFn<u64>,
+    max_steps: Option<PointFn<u64>>,
+    sim_seed: PointFn<u64>,
+    fault_seed: PointFn<u64>,
+}
+
+impl<P: Protocol + 'static> fmt::Debug for ScenarioBuilder<P>
+where
+    P::State: Any,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScenarioBuilder")
+            .field("name", &self.name)
+            .field("graph", &self.graph)
+            .finish()
+    }
+}
+
+impl<P> ScenarioBuilder<P>
+where
+    P: LeaderElection + 'static,
+    P::State: Any,
+{
+    /// Starts a scenario around a leader-election protocol factory.
+    pub fn new(
+        name: impl Into<String>,
+        protocol: impl Fn(&SweepPoint) -> P + Send + Sync + 'static,
+    ) -> Self {
+        Self::with_erasure(name, protocol, DynProtocol::erase)
+    }
+}
+
+impl<P> ScenarioBuilder<P>
+where
+    P: Protocol + 'static,
+    P::State: Any,
+{
+    /// Starts a scenario around a protocol without a leader output (ring
+    /// orientation, colouring, …).
+    pub fn for_protocol(
+        name: impl Into<String>,
+        protocol: impl Fn(&SweepPoint) -> P + Send + Sync + 'static,
+    ) -> Self {
+        Self::with_erasure(name, protocol, DynProtocol::erase_protocol)
+    }
+
+    fn with_erasure(
+        name: impl Into<String>,
+        protocol: impl Fn(&SweepPoint) -> P + Send + Sync + 'static,
+        erase: fn(P) -> DynProtocol,
+    ) -> Self {
+        ScenarioBuilder {
+            name: name.into(),
+            graph: GraphFamily::DirectedRing,
+            make_protocol: Arc::new(protocol),
+            erase,
+            init: None,
+            stop: None,
+            corrupt: None,
+            plan: None,
+            check_interval: Arc::new(|pt| ((pt.n * pt.n / 4) as u64).max(64)),
+            max_steps: None,
+            sim_seed: Arc::new(|pt| pt.seed),
+            fault_seed: Arc::new(|pt| pt.seed),
+        }
+    }
+
+    /// Selects the graph family (default: the directed ring).
+    pub fn graph(mut self, graph: GraphFamily) -> Self {
+        self.graph = graph;
+        self
+    }
+
+    /// Sets the initial-condition generator (required).  The closure receives
+    /// the point's protocol instance and the sweep point.
+    pub fn init(
+        mut self,
+        init: impl Fn(&P, &SweepPoint) -> Configuration<P::State> + Send + Sync + 'static,
+    ) -> Self {
+        self.init = Some(Arc::new(init));
+        self
+    }
+
+    /// Sets the named stop criterion (required).  The name becomes the
+    /// `criterion` field of produced [`ConvergenceReport`]s.
+    pub fn stop_when(
+        mut self,
+        name: impl Into<String>,
+        stop: impl Fn(&P, &Configuration<P::State>) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.stop = Some((name.into(), Arc::new(stop)));
+        self
+    }
+
+    /// Sets the step budget per point (required).
+    pub fn step_budget(
+        mut self,
+        budget: impl Fn(&SweepPoint) -> u64 + Send + Sync + 'static,
+    ) -> Self {
+        self.max_steps = Some(Arc::new(budget));
+        self
+    }
+
+    /// Sets how often (in steps) the stop criterion is checked (default:
+    /// `max(n²/4, 64)`).
+    pub fn check_every(
+        mut self,
+        every: impl Fn(&SweepPoint) -> u64 + Send + Sync + 'static,
+    ) -> Self {
+        self.check_interval = Arc::new(every);
+        self
+    }
+
+    /// Overrides the simulation (scheduler) seed (default: the point's seed).
+    pub fn sim_seed(mut self, seed: impl Fn(&SweepPoint) -> u64 + Send + Sync + 'static) -> Self {
+        self.sim_seed = Arc::new(seed);
+        self
+    }
+
+    /// Overrides the fault-injection seed (default: the point's seed).
+    pub fn fault_seed(mut self, seed: impl Fn(&SweepPoint) -> u64 + Send + Sync + 'static) -> Self {
+        self.fault_seed = Arc::new(seed);
+        self
+    }
+
+    /// Attaches a fault plan: `plan` schedules the events for a point and
+    /// `corrupt` produces the (arbitrary) replacement state of a corrupted
+    /// agent.
+    pub fn faults(
+        mut self,
+        plan: impl Fn(&SweepPoint) -> FaultPlan + Send + Sync + 'static,
+        corrupt: impl Fn(&P, &mut ChaCha8Rng, usize) -> P::State + Send + Sync + 'static,
+    ) -> Self {
+        self.plan = Some(Arc::new(plan));
+        self.corrupt = Some(Arc::new(corrupt));
+        self
+    }
+
+    /// Erases the typed pieces and produces the runnable [`Scenario`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopulationError::ScenarioIncomplete`] if `init`, `stop_when`
+    /// or `step_budget` was not provided.
+    pub fn build(self) -> Result<Scenario> {
+        let init = self
+            .init
+            .ok_or(PopulationError::ScenarioIncomplete { missing: "init" })?;
+        let (stop_name, stop) = self.stop.ok_or(PopulationError::ScenarioIncomplete {
+            missing: "stop_when",
+        })?;
+        let max_steps = self.max_steps.ok_or(PopulationError::ScenarioIncomplete {
+            missing: "step_budget",
+        })?;
+        let make_protocol = self.make_protocol;
+        let erase = self.erase;
+        let corrupt = self.corrupt;
+        let prepare = Arc::new(move |pt: &SweepPoint| {
+            let protocol = make_protocol(pt);
+            let config: Configuration<DynState> = init(&protocol, pt)
+                .into_states()
+                .into_iter()
+                .map(DynState::new)
+                .collect();
+            let stop_protocol = protocol.clone();
+            let stop = stop.clone();
+            let stop_dyn = Box::new(move |states: &[DynState]| {
+                let typed = typed_view::<P>(states, stop_protocol.name());
+                stop(&stop_protocol, &typed)
+            });
+            let corrupt_dyn = corrupt.clone().map(|corrupt| {
+                let corrupt_protocol = protocol.clone();
+                Box::new(move |rng: &mut ChaCha8Rng, i: usize| {
+                    DynState::new(corrupt(&corrupt_protocol, rng, i))
+                }) as Box<dyn FnMut(&mut ChaCha8Rng, usize) -> DynState>
+            });
+            PreparedRun {
+                protocol: erase(protocol),
+                config,
+                stop: stop_dyn,
+                corrupt: corrupt_dyn,
+            }
+        });
+        Ok(Scenario {
+            name: self.name,
+            stop_name,
+            graph: self.graph,
+            prepare,
+            plan: self.plan,
+            check_interval: self.check_interval,
+            max_steps,
+            sim_seed: self.sim_seed,
+            fault_seed: self.fault_seed,
+        })
+    }
+}
+
+/// Clones a typed configuration out of an erased state slice (used by stop
+/// criteria, which are written against the typed state).
+fn typed_view<P: Protocol>(states: &[DynState], name: &str) -> Configuration<P::State>
+where
+    P::State: Any,
+{
+    states
+        .iter()
+        .map(|s| {
+            s.downcast_ref::<P::State>()
+                .unwrap_or_else(|| panic!("state does not belong to protocol {name}"))
+                .clone()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchRunner;
+    use crate::convergence::Predicate;
+
+    /// Classic pairwise leader elimination.
+    #[derive(Clone, Debug)]
+    struct Fratricide;
+    impl Protocol for Fratricide {
+        type State = bool;
+        fn interact(&self, initiator: &mut bool, responder: &mut bool) {
+            if *initiator && *responder {
+                *responder = false;
+            }
+        }
+        fn name(&self) -> &'static str {
+            "fratricide"
+        }
+    }
+    impl LeaderElection for Fratricide {
+        fn is_leader(&self, s: &bool) -> bool {
+            *s
+        }
+    }
+
+    /// An oracle protocol: the environment hook counts leaders globally and
+    /// marks every agent with the verdict; the transition promotes marked
+    /// followers.
+    #[derive(Clone, Debug)]
+    struct OracleSpawner;
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    struct OracleState {
+        leader: bool,
+        no_leader: bool,
+    }
+    impl Protocol for OracleSpawner {
+        type State = OracleState;
+        fn interact(&self, initiator: &mut OracleState, _responder: &mut OracleState) {
+            if initiator.no_leader {
+                initiator.leader = true;
+            }
+        }
+        fn environment(&self, states: &mut [OracleState]) {
+            let none = !states.iter().any(|s| s.leader);
+            for s in states {
+                s.no_leader = none;
+            }
+        }
+        fn uses_oracle(&self) -> bool {
+            true
+        }
+    }
+    impl LeaderElection for OracleSpawner {
+        fn is_leader(&self, s: &OracleState) -> bool {
+            s.leader
+        }
+    }
+
+    fn fratricide_scenario() -> Scenario {
+        ScenarioBuilder::new("fratricide", |_pt: &SweepPoint| Fratricide)
+            .graph(GraphFamily::Complete)
+            .init(|_p, pt| Configuration::uniform(pt.n, true))
+            .stop_when("unique-leader", |p: &Fratricide, c| {
+                p.has_unique_leader(c.states())
+            })
+            .check_every(|_pt| 7)
+            .step_budget(|_pt| 500_000)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dyn_state_behaves_like_the_typed_state() {
+        let a = DynState::new(5u32);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_ne!(a, DynState::new(6u32));
+        assert_ne!(
+            a,
+            DynState::new(5u64),
+            "different types never compare equal"
+        );
+        assert_eq!(format!("{a:?}"), "5");
+        assert_eq!(a.downcast_ref::<u32>(), Some(&5));
+        assert_eq!(a.downcast_ref::<u64>(), None);
+        let mut c = a.clone();
+        *c.downcast_mut::<u32>().unwrap() = 9;
+        assert_eq!(c.downcast_ref::<u32>(), Some(&9));
+    }
+
+    #[test]
+    fn erased_run_is_bit_identical_to_the_typed_run() {
+        let n = 16;
+        let seed = 11;
+        // Typed reference.
+        let mut typed = Simulation::new(
+            Fratricide,
+            CompleteGraph::new(n),
+            Configuration::uniform(n, true),
+            seed,
+        );
+        let reference = typed.run_criterion(
+            &Predicate::<Fratricide, _>::new("unique-leader", |p: &Fratricide, s: &[bool]| {
+                p.has_unique_leader(s)
+            }),
+            7,
+            500_000,
+        );
+        // Erased scenario.
+        let report = fratricide_scenario().run(&SweepPoint::new(n, seed));
+        assert_eq!(report, reference);
+        assert!(report.converged());
+    }
+
+    #[test]
+    fn run_full_exposes_the_final_simulation() {
+        let run = fratricide_scenario().run_full(&SweepPoint::new(8, 3));
+        assert!(run.report.converged());
+        assert_eq!(run.sim.count_leaders(), 1);
+        let typed = downcast_config::<bool>(run.sim.config()).unwrap();
+        assert_eq!(typed.count_where(|&b| b), 1);
+        assert!(downcast_config::<u32>(run.sim.config()).is_none());
+    }
+
+    #[test]
+    fn oracle_protocols_work_through_the_erased_environment_hook() {
+        let scenario = ScenarioBuilder::new("oracle-spawner", |_pt: &SweepPoint| OracleSpawner)
+            .graph(GraphFamily::Complete)
+            .init(|_p, pt| {
+                Configuration::uniform(
+                    pt.n,
+                    OracleState {
+                        leader: false,
+                        no_leader: false,
+                    },
+                )
+            })
+            .stop_when("has-leader", |p: &OracleSpawner, c| {
+                p.count_leaders(c.states()) >= 1
+            })
+            .check_every(|_pt| 1)
+            .step_budget(|_pt| 10_000)
+            .build()
+            .unwrap();
+        let report = scenario.run(&SweepPoint::new(6, 1));
+        assert!(report.converged());
+        // The oracle fires before the very first interaction, so one step
+        // suffices.
+        assert_eq!(report.steps_executed, 1);
+    }
+
+    #[test]
+    fn stop_criterion_true_in_the_initial_configuration() {
+        let scenario = ScenarioBuilder::new("instant", |_pt: &SweepPoint| Fratricide)
+            .graph(GraphFamily::Complete)
+            // Exactly one leader from the start.
+            .init(|_p, pt| Configuration::from_fn(pt.n, |i| i == 0))
+            .stop_when("unique-leader", |p: &Fratricide, c| {
+                p.has_unique_leader(c.states())
+            })
+            .step_budget(|_pt| 1_000)
+            .build()
+            .unwrap();
+        let report = scenario.run(&SweepPoint::new(5, 0));
+        assert_eq!(report.converged_at, Some(0));
+        assert_eq!(report.steps_executed, 0);
+        assert_eq!(report.criterion, "unique-leader");
+    }
+
+    #[test]
+    fn n_equals_two_rings_run() {
+        let scenario = ScenarioBuilder::new("tiny-ring", |_pt: &SweepPoint| Fratricide)
+            .init(|_p, pt| Configuration::uniform(pt.n, true))
+            .stop_when("unique-leader", |p: &Fratricide, c| {
+                p.has_unique_leader(c.states())
+            })
+            .check_every(|_pt| 1)
+            .step_budget(|_pt| 10_000)
+            .build()
+            .unwrap();
+        let report = scenario.run(&SweepPoint::new(2, 4));
+        assert!(report.converged(), "n = 2 directed ring must elect");
+    }
+
+    #[test]
+    fn empty_sweep_grid_produces_no_outcomes() {
+        let scenario = fratricide_scenario();
+        let runner = BatchRunner::with_threads(2);
+        assert!(scenario.sweep(&SweepGrid::new(), &runner).is_empty());
+        assert!(scenario
+            .sweep_summaries(&SweepGrid::new().sizes(&[]).trials(3, 0), &runner)
+            .is_empty());
+    }
+
+    #[test]
+    fn fault_plan_firing_at_step_zero_corrupts_before_the_initial_check() {
+        // Initial configuration satisfies the stop criterion; the step-0
+        // fault breaks it, so the run must NOT converge at step 0.
+        let scenario = ScenarioBuilder::new("fault-at-zero", |_pt: &SweepPoint| Fratricide)
+            .graph(GraphFamily::Complete)
+            .init(|_p, pt| Configuration::from_fn(pt.n, |i| i == 0))
+            .stop_when("unique-leader", |p: &Fratricide, c| {
+                p.has_unique_leader(c.states())
+            })
+            .check_every(|_pt| 1)
+            .step_budget(|_pt| 200_000)
+            .faults(
+                |_pt| FaultPlan::new().at(0, FaultKind::CorruptAll),
+                |_p, _rng, _i| true, // every agent becomes a leader
+            )
+            .build()
+            .unwrap();
+        let report = scenario.run(&SweepPoint::new(8, 2));
+        assert!(report.converged());
+        assert!(
+            report.convergence_step() > 0,
+            "the step-0 fault must be visible to the initial check"
+        );
+    }
+
+    #[test]
+    fn mid_run_faults_delay_convergence_deterministically() {
+        // Fire an all-leaders reset at exactly the step where the fault-free
+        // run converges: the faulted run is forced strictly past it.
+        let build = |fault_at: Option<u64>| {
+            let builder = ScenarioBuilder::new("mid-run", |_pt: &SweepPoint| Fratricide)
+                .graph(GraphFamily::Complete)
+                .init(|_p, pt| Configuration::uniform(pt.n, true))
+                .stop_when("unique-leader", |p: &Fratricide, c| {
+                    p.has_unique_leader(c.states())
+                })
+                .check_every(|_pt| 1)
+                .step_budget(|_pt| 500_000);
+            if let Some(at) = fault_at {
+                builder
+                    .faults(
+                        move |_pt| FaultPlan::new().at(at, FaultKind::CorruptAll),
+                        |_p, _rng, _i| true, // every corrupted agent becomes a leader
+                    )
+                    .build()
+                    .unwrap()
+            } else {
+                builder.build().unwrap()
+            }
+        };
+        let point = SweepPoint::new(8, 7);
+        let clean = build(None).run(&point);
+        assert!(clean.converged());
+        let fault_at = clean.convergence_step();
+        let faulted = build(Some(fault_at)).run(&point);
+        let faulted_again = build(Some(fault_at)).run(&point);
+        assert_eq!(
+            faulted, faulted_again,
+            "fault-plan runs are seed-deterministic"
+        );
+        assert!(faulted.converged());
+        assert!(
+            faulted.convergence_step() > fault_at,
+            "the reset at step {fault_at} must delay convergence (got {})",
+            faulted.convergence_step()
+        );
+    }
+
+    #[test]
+    fn fault_plan_accessors() {
+        let plan = FaultPlan::new()
+            .at(10, FaultKind::CorruptAll)
+            .at(0, FaultKind::CorruptRandomAgents { count: 1 });
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.events()[0].at_step, 0, "events are sorted by step");
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn graph_families_build_their_topologies() {
+        assert!(matches!(
+            GraphFamily::DirectedRing.build(4),
+            Ok(AnyGraph::DirectedRing(_))
+        ));
+        assert!(matches!(
+            GraphFamily::UndirectedRing.build(4),
+            Ok(AnyGraph::UndirectedRing(_))
+        ));
+        assert!(matches!(
+            GraphFamily::Complete.build(4),
+            Ok(AnyGraph::Complete(_))
+        ));
+        assert!(GraphFamily::DirectedRing.build(1).is_err());
+        assert!(GraphFamily::Complete.build(1).is_err());
+        let custom = GraphFamily::Custom(Arc::new(ArbitraryGraph::directed_ring));
+        let g = custom.build(5).unwrap();
+        assert_eq!(g.num_agents(), 5);
+        assert_eq!(g.num_arcs(), 5);
+        assert!(g.is_arc(4, 0));
+        assert_eq!(g.arcs().len(), 5);
+        assert!(g.describe().contains("arbitrary"));
+        assert!(format!("{custom:?}").contains("Custom"));
+    }
+
+    #[test]
+    fn any_graph_samples_exactly_like_the_wrapped_graph() {
+        use rand::SeedableRng;
+        let wrapped = AnyGraph::DirectedRing(DirectedRing::new(9).unwrap());
+        let direct = DirectedRing::new(9).unwrap();
+        let mut rng_a = ChaCha8Rng::seed_from_u64(5);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..200 {
+            assert_eq!(wrapped.sample(&mut rng_a), direct.sample(&mut rng_b));
+        }
+    }
+
+    #[test]
+    fn incomplete_builders_are_rejected() {
+        let missing_init = ScenarioBuilder::new("x", |_pt: &SweepPoint| Fratricide)
+            .stop_when("s", |_p: &Fratricide, _c| true)
+            .step_budget(|_pt| 1)
+            .build();
+        assert!(matches!(
+            missing_init,
+            Err(PopulationError::ScenarioIncomplete { missing: "init" })
+        ));
+        let missing_stop = ScenarioBuilder::new("x", |_pt: &SweepPoint| Fratricide)
+            .init(|_p, pt| Configuration::uniform(pt.n, true))
+            .step_budget(|_pt| 1)
+            .build();
+        assert!(matches!(
+            missing_stop,
+            Err(PopulationError::ScenarioIncomplete {
+                missing: "stop_when"
+            })
+        ));
+        let missing_budget = ScenarioBuilder::new("x", |_pt: &SweepPoint| Fratricide)
+            .init(|_p, pt| Configuration::uniform(pt.n, true))
+            .stop_when("s", |_p: &Fratricide, _c| true)
+            .build();
+        assert!(matches!(
+            missing_budget,
+            Err(PopulationError::ScenarioIncomplete {
+                missing: "step_budget"
+            })
+        ));
+    }
+
+    #[test]
+    fn sweep_summaries_group_by_size_in_first_appearance_order() {
+        let scenario = fratricide_scenario();
+        let grid = SweepGrid::new().sizes(&[8, 4]).trials(3, 1);
+        let summaries = scenario.sweep_summaries(&grid, &BatchRunner::with_threads(3));
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].n, 8);
+        assert_eq!(summaries[1].n, 4);
+        assert_eq!(summaries[0].outcomes.len(), 3);
+        assert!(summaries.iter().all(|s| s.converged_fraction() == 1.0));
+    }
+
+    #[test]
+    fn leader_trajectory_decays_to_one() {
+        let traj = fratricide_scenario().leader_trajectory(&SweepPoint::new(8, 3), 50_000, 1_000);
+        assert_eq!(traj.first().unwrap(), &(0, 8));
+        assert_eq!(traj.last().unwrap().1, 1);
+        assert!(traj.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn leader_trajectory_applies_the_fault_plan() {
+        // An all-leaders reset at a step that is NOT a sample boundary: the
+        // trajectory must still fire it (mid-burst) and sample the refilled
+        // leader pool at the next boundary, without perturbing the sample
+        // grid.
+        let scenario = ScenarioBuilder::new("traj-faults", |_pt: &SweepPoint| Fratricide)
+            .graph(GraphFamily::Complete)
+            .init(|_p, pt| Configuration::uniform(pt.n, true))
+            .stop_when("unique-leader", |p: &Fratricide, c| {
+                p.has_unique_leader(c.states())
+            })
+            .step_budget(|_pt| 100_000)
+            .faults(
+                |_pt| FaultPlan::new().at(2_999, FaultKind::CorruptAll),
+                |_p, _rng, _i| true,
+            )
+            .build()
+            .unwrap();
+        let traj = scenario.leader_trajectory(&SweepPoint::new(8, 3), 10_000, 1_000);
+        // Sample steps stay on the 1000-grid despite the mid-burst event.
+        assert_eq!(
+            traj.iter().map(|&(s, _)| s).collect::<Vec<_>>(),
+            (0..=10u64).map(|i| i * 1_000).collect::<Vec<_>>()
+        );
+        // Converged to one leader before the fault …
+        assert_eq!(traj[2].1, 1, "trajectory: {traj:?}");
+        // … and the step-2999 reset is visible at the step-3000 sample: a
+        // single interaction can eliminate at most one of the 8 leaders.
+        assert!(traj[3].1 >= 7, "fault not applied: {traj:?}");
+        // The war then burns back down to one leader.
+        assert_eq!(traj.last().unwrap().1, 1);
+    }
+
+    #[test]
+    fn plain_protocol_erasure_has_no_leaders() {
+        #[derive(Clone, Debug)]
+        struct Copycat;
+        impl Protocol for Copycat {
+            type State = u8;
+            fn interact(&self, i: &mut u8, r: &mut u8) {
+                *r = *i;
+            }
+        }
+        let scenario = ScenarioBuilder::for_protocol("copycat", |_pt: &SweepPoint| Copycat)
+            .init(|_p, pt| Configuration::from_fn(pt.n, |i| i as u8))
+            .stop_when("all-equal", |_p: &Copycat, c| {
+                c.states().windows(2).all(|w| w[0] == w[1])
+            })
+            .check_every(|_pt| 1)
+            .step_budget(|_pt| 1_000_000)
+            .build()
+            .unwrap();
+        let run = scenario.run_full(&SweepPoint::new(6, 9));
+        assert!(run.report.converged());
+        assert_eq!(
+            run.sim.count_leaders(),
+            0,
+            "plain protocols have no leaders"
+        );
+    }
+
+    #[test]
+    fn scenario_metadata_accessors() {
+        let s = fratricide_scenario();
+        assert_eq!(s.name(), "fratricide");
+        assert_eq!(s.stop_name(), "unique-leader");
+        assert!(format!("{s:?}").contains("fratricide"));
+    }
+}

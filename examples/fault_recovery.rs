@@ -1,6 +1,6 @@
-//! Fault recovery: take a converged (safe) population, corrupt part of it at
-//! run time, and watch `P_PL` re-stabilize — the practical payoff of
-//! self-stabilization.
+//! Fault recovery: take a converged (safe) population, corrupt part of it
+//! with a declarative `FaultPlan`, and watch `P_PL` re-stabilize — the
+//! practical payoff of self-stabilization.
 //!
 //! ```text
 //! cargo run --release --example fault_recovery [n] [corrupted_agents]
@@ -14,44 +14,54 @@ fn main() {
     let faults: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(n / 3);
 
     let params = Params::for_ring(n);
-    // Start directly from a safe configuration with the leader at u0.
-    let config = perfect_configuration(n, &params, 0, 1);
-    let mut sim = Simulation::new(
-        Ppl::new(params),
-        DirectedRing::new(n).expect("n >= 2"),
-        config,
-        1,
-    );
-    assert!(in_s_pl(sim.config(), &params));
-    println!("safe configuration with leader u0; corrupting {faults} of {n} agents ...");
+    println!("safe configuration with leader u0; corrupting {faults} of {n} agents at step 0 ...");
 
-    // Corrupt a contiguous block of agents with arbitrary states (a burst
-    // fault hitting a stretch of the ring).
-    let mut injector = FaultInjector::new(7);
-    let corrupted = injector.inject(
-        sim.config_mut(),
-        FaultKind::CorruptBlock {
-            start: n / 2,
-            count: faults,
+    // The whole experiment as one scenario: start from a safe configuration
+    // (leader at u0), corrupt a contiguous block of agents with arbitrary
+    // states at step 0 (a burst fault hitting a stretch of the ring), and
+    // measure the steps until the population is back in S_PL.
+    let scenario = ScenarioBuilder::new("fault-recovery", |pt: &SweepPoint| {
+        Ppl::new(Params::for_ring(pt.n))
+    })
+    .init(|p: &Ppl, pt| perfect_configuration(pt.n, p.params(), 0, 1))
+    .stop_when("s-pl", |p: &Ppl, c| in_s_pl(c, p.params()))
+    .check_every(|pt| ((pt.n * pt.n / 4) as u64).max(1))
+    .step_budget(|_pt| 500_000_000)
+    .faults(
+        move |pt| {
+            FaultPlan::new().at(
+                0,
+                FaultKind::CorruptBlock {
+                    start: pt.n / 2,
+                    count: faults,
+                },
+            )
         },
-        |rng, _| PplState::sample_uniform(rng, &params),
-    );
-    println!("corrupted agents: {corrupted:?}");
-    println!(
-        "after the fault: {} leaders, safe = {}",
-        sim.count_leaders(),
-        in_s_pl(sim.config(), &params)
-    );
+        |p: &Ppl, rng, _i| PplState::sample_uniform(rng, p.params()),
+    )
+    .fault_seed(|_pt| 7)
+    .build()
+    .expect("complete scenario");
 
-    let report = sim.run_until(|_p, c| in_s_pl(c, &params), (n * n / 4) as u64, 500_000_000);
-    let step = report
+    let run = scenario.run_full(&SweepPoint::new(n, 1));
+    let step = run
+        .report
         .converged_at
         .expect("self-stabilization guarantees recovery");
+    // The uncorrupted configuration is already in S_PL, so a convergence step
+    // greater than zero proves the step-0 fault was visible to the very first
+    // safety check — the population really had to recover.
+    assert!(step > 0, "the burst fault must knock the ring out of S_PL");
     println!(
-        "re-converged to a safe configuration after {step} more steps ({:.2} × n² log₂ n)",
+        "re-converged to a safe configuration after {step} steps ({:.2} × n² log₂ n)",
         step as f64 / ((n * n) as f64 * (n as f64).log2())
     );
-    let leader = sim.protocol().leader_indices(sim.config().states());
+    assert!(in_s_pl(
+        &ring_ssle::population::downcast_config::<PplState>(run.sim.config()).unwrap(),
+        &params
+    ));
+    assert_eq!(run.sim.count_leaders(), 1);
+    let leader = run.sim.protocol().leader_indices(run.sim.config().states());
     println!("leader after recovery: u{}", leader[0]);
     println!(
         "note: the post-recovery leader need not be the original one — self-stabilization\n\

@@ -2,16 +2,29 @@
 //! the same ring sizes and print a miniature version of Table 1 (convergence
 //! steps and state counts).
 //!
+//! Before the Scenario layer this example hand-rolled one simulation loop per
+//! protocol; now every protocol is a `Scenario` and the comparison is a
+//! single loop over a heterogeneous list — the point of the protocol-erased
+//! run path.
+//!
+//! The scenarios are built inline on purpose, as an end-to-end tour of the
+//! `ScenarioBuilder` API over four different protocols; harness code should
+//! use the canonical builders in `ssle_bench` (`ppl_builder`,
+//! `yokota_builder`, …, or `ProtocolKind::scenario()`) instead of copying
+//! these definitions.
+//!
 //! ```text
 //! cargo run --release --example protocol_comparison [max_n]
 //! ```
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use ring_ssle::prelude::*;
 use ring_ssle::ssle_baselines::angluin_mod_k::{has_unique_defect, ModKState};
 use ring_ssle::ssle_baselines::fischer_jiang::{has_stable_unique_leader, FjState};
 use ring_ssle::ssle_baselines::yokota_linear::{is_safe as yokota_safe, YokotaState};
+use ring_ssle::ssle_core::init;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 fn main() {
     let max_n: usize = std::env::args()
@@ -22,7 +35,67 @@ fn main() {
         .into_iter()
         .filter(|&n| n <= max_n)
         .collect();
-    let trials = 5u64;
+    let trials = 5;
+    let budget = |_pt: &SweepPoint| 2_000_000_000u64;
+    let check = |pt: &SweepPoint| ((pt.n * pt.n / 4) as u64).max(1);
+
+    // One heterogeneous list of scenarios, one run path.
+    let scenarios: Vec<Scenario> = vec![
+        ScenarioBuilder::new("P_PL (this work)", |pt: &SweepPoint| {
+            Ppl::new(Params::for_ring(pt.n))
+        })
+        .init(|p: &Ppl, pt| {
+            init::generate(InitialCondition::UniformRandom, pt.n, p.params(), pt.seed)
+        })
+        .stop_when("s-pl", |p: &Ppl, c| in_s_pl(c, p.params()))
+        .check_every(check)
+        .step_budget(budget)
+        .build()
+        .expect("complete scenario"),
+        ScenarioBuilder::new("[28] O(n)-state", |pt: &SweepPoint| {
+            YokotaLinear::for_ring(pt.n)
+        })
+        .init(|p: &YokotaLinear, pt| {
+            let cap = p.cap();
+            let mut rng = ChaCha8Rng::seed_from_u64(pt.seed);
+            Configuration::from_fn(pt.n, |_| YokotaState::sample_uniform(&mut rng, cap))
+        })
+        .stop_when("yokota-safe", |p: &YokotaLinear, c| yokota_safe(c, p.cap()))
+        .check_every(check)
+        .step_budget(budget)
+        .build()
+        .expect("complete scenario"),
+        ScenarioBuilder::new("[15] oracle", |_pt: &SweepPoint| FischerJiang::new())
+            .init(|_p: &FischerJiang, pt| {
+                let mut rng = ChaCha8Rng::seed_from_u64(pt.seed);
+                Configuration::from_fn(pt.n, |_| FjState::sample_uniform(&mut rng))
+            })
+            .stop_when("fj-stable-unique-leader", |_p: &FischerJiang, c| {
+                has_stable_unique_leader(c)
+            })
+            .check_every(check)
+            .step_budget(budget)
+            .build()
+            .expect("complete scenario"),
+        ScenarioBuilder::new("[5] mod-k", |pt: &SweepPoint| {
+            let k = (2u8..=64)
+                .find(|&k| !pt.n.is_multiple_of(k as usize))
+                .unwrap();
+            AngluinModK::new(k)
+        })
+        .init(|p: &AngluinModK, pt| {
+            let k = p.k();
+            let mut rng = ChaCha8Rng::seed_from_u64(pt.seed);
+            Configuration::from_fn(pt.n, |_| ModKState::sample_uniform(&mut rng, k))
+        })
+        .stop_when("mod-k-unique-defect", |p: &AngluinModK, c| {
+            has_unique_defect(c, p.k())
+        })
+        .check_every(check)
+        .step_budget(budget)
+        .build()
+        .expect("complete scenario"),
+    ];
 
     let mut table = Table::new(
         "Mean convergence steps from uniformly random configurations",
@@ -35,84 +108,15 @@ fn main() {
         ],
     );
 
+    let runner = BatchRunner::new();
     for &n in &sizes {
         let mut row = vec![n.to_string()];
-
-        // P_PL.
-        let params = Params::for_ring(n);
-        let mut steps = Vec::new();
-        for seed in 0..trials {
-            let config = ring_ssle::ssle_core::init::generate(
-                InitialCondition::UniformRandom,
-                n,
-                &params,
-                seed,
-            );
-            let mut sim = Simulation::new(
-                Ppl::new(params),
-                DirectedRing::new(n).unwrap(),
-                config,
-                seed,
-            );
-            let r = sim.run_until(
-                |_p, c| in_s_pl(c, &params),
-                (n * n / 4) as u64,
-                1_000_000_000,
-            );
-            steps.push(r.convergence_step() as f64);
+        for scenario in &scenarios {
+            let grid = SweepGrid::new().sizes(&[n]).trials(trials, 0);
+            let summaries = scenario.sweep_summaries(&grid, &runner);
+            let steps = summaries[0].convergence_steps();
+            row.push(format!("{:.2e}", Summary::of(&steps).unwrap().mean));
         }
-        row.push(format!("{:.2e}", Summary::of(&steps).unwrap().mean));
-
-        // [28] Yokota.
-        let protocol = YokotaLinear::for_ring(n);
-        let cap = protocol.cap();
-        let mut steps = Vec::new();
-        for seed in 0..trials {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let config = Configuration::from_fn(n, |_| YokotaState::sample_uniform(&mut rng, cap));
-            let mut sim = Simulation::new(protocol, DirectedRing::new(n).unwrap(), config, seed);
-            let r = sim.run_until(
-                |_p, c: &Configuration<YokotaState>| yokota_safe(c, cap),
-                (n * n / 4) as u64,
-                1_000_000_000,
-            );
-            steps.push(r.convergence_step() as f64);
-        }
-        row.push(format!("{:.2e}", Summary::of(&steps).unwrap().mean));
-
-        // [15] Fischer-Jiang with the ideal oracle.
-        let protocol = FischerJiang::new();
-        let mut steps = Vec::new();
-        for seed in 0..trials {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let config = Configuration::from_fn(n, |_| FjState::sample_uniform(&mut rng));
-            let mut sim = Simulation::new(protocol, DirectedRing::new(n).unwrap(), config, seed);
-            let r = sim.run_until(
-                |_p, c: &Configuration<FjState>| has_stable_unique_leader(c),
-                (n * n / 4) as u64,
-                1_000_000_000,
-            );
-            steps.push(r.convergence_step() as f64);
-        }
-        row.push(format!("{:.2e}", Summary::of(&steps).unwrap().mean));
-
-        // [5] Angluin et al. with the smallest k not dividing n.
-        let k = (2u8..=64).find(|&k| n % k as usize != 0).unwrap();
-        let protocol = AngluinModK::new(k);
-        let mut steps = Vec::new();
-        for seed in 0..trials {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let config = Configuration::from_fn(n, |_| ModKState::sample_uniform(&mut rng, k));
-            let mut sim = Simulation::new(protocol, DirectedRing::new(n).unwrap(), config, seed);
-            let r = sim.run_until(
-                |_p, c: &Configuration<ModKState>| has_unique_defect(c, k),
-                (n * n / 4) as u64,
-                2_000_000_000,
-            );
-            steps.push(r.convergence_step() as f64);
-        }
-        row.push(format!("{:.2e}", Summary::of(&steps).unwrap().mean));
-
         table.push_row(row);
     }
 

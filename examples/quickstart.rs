@@ -1,12 +1,13 @@
 //! Quickstart: elect a leader on a directed ring with `P_PL`, starting from
 //! an arbitrary (uniformly random) configuration, and watch it reach the safe
-//! set `S_PL`.
+//! set `S_PL` — declared as a `Scenario` in a handful of lines.
 //!
 //! ```text
 //! cargo run --release --example quickstart [n] [seed]
 //! ```
 
 use ring_ssle::prelude::*;
+use ring_ssle::ssle_core::init;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -21,30 +22,24 @@ fn main() {
         params.states_per_agent()
     );
 
-    // An arbitrary initial configuration: every variable of every agent is
-    // sampled uniformly from its domain — the self-stabilization setting.
-    let config =
-        ring_ssle::ssle_core::init::generate(InitialCondition::UniformRandom, n, &params, seed);
-    let initial_leaders = config.count_where(|s| s.leader);
-    println!("initial configuration: {initial_leaders} agents already call themselves leader");
+    // The whole experiment, declaratively: P_PL on a directed ring, from an
+    // arbitrary (uniformly random) initial configuration — the
+    // self-stabilization setting — until the configuration is in S_PL
+    // (Definition 4.6: exactly one leader, a perfect segment-ID embedding,
+    // and only valid, correct tokens).  S_PL is closed, so from that point
+    // the leader can never change.
+    let scenario = ScenarioBuilder::new("quickstart", |pt: &SweepPoint| {
+        Ppl::new(Params::for_ring(pt.n))
+    })
+    .init(|p: &Ppl, pt| init::generate(InitialCondition::UniformRandom, pt.n, p.params(), pt.seed))
+    .stop_when("s-pl", |p: &Ppl, c| in_s_pl(c, p.params()))
+    .check_every(|pt| ((pt.n * pt.n / 4) as u64).max(1))
+    .step_budget(|_pt| 1_000_000_000)
+    .build()
+    .expect("complete scenario");
 
-    let mut sim = Simulation::new(
-        Ppl::new(params),
-        DirectedRing::new(n).expect("n >= 2"),
-        config,
-        seed,
-    );
-
-    // Run until the configuration is in S_PL (Definition 4.6): exactly one
-    // leader, a perfect segment-ID embedding, and only valid, correct tokens.
-    // S_PL is closed, so from that point the leader can never change.
-    let report = sim.run_until(
-        |_p, c| in_s_pl(c, &params),
-        (n * n / 4) as u64,
-        1_000_000_000,
-    );
-
-    match report.converged_at {
+    let mut run = scenario.run_full(&SweepPoint::new(n, seed));
+    match run.report.converged_at {
         Some(step) => {
             println!(
                 "reached a safe configuration after {step} steps ({:.1} parallel time, {:.2} × n² log₂ n)",
@@ -58,12 +53,13 @@ fn main() {
         }
     }
 
-    let leader = sim.protocol().leader_indices(sim.config().states());
+    let leader = run.sim.protocol().leader_indices(run.sim.config().states());
     println!("elected leader: agent u{}", leader[0]);
 
-    // Closure: keep running and verify nothing changes.
-    sim.run_steps(500_000);
-    let later = sim.protocol().leader_indices(sim.config().states());
+    // Closure: keep running the returned simulation and verify nothing
+    // changes.
+    run.sim.run_steps(500_000);
+    let later = run.sim.protocol().leader_indices(run.sim.config().states());
     assert_eq!(
         leader, later,
         "the leader must never change after convergence"

@@ -4,7 +4,9 @@
 //! directed ring that the orientation defines.
 //!
 //! The paper composes the two protocols by self-stabilizing hierarchy; this
-//! example runs them in two phases to make each phase observable.
+//! example runs them in two phases — each phase a `Scenario` (note that
+//! `P_OR` has no leader output, so its scenario uses
+//! `ScenarioBuilder::for_protocol`) — to make each phase observable.
 //!
 //! ```text
 //! cargo run --release --example undirected_ring [n]
@@ -12,8 +14,9 @@
 
 use ring_ssle::prelude::*;
 use ring_ssle::ssle_core::coloring::{is_two_hop_coloring, oracle_two_hop_coloring};
+use ring_ssle::ssle_core::init;
 use ring_ssle::ssle_core::orientation::{
-    facing_fronts, is_oriented, random_orientation_config, Por,
+    facing_fronts, is_oriented, random_orientation_config, OrState, Por,
 };
 
 fn main() {
@@ -33,18 +36,22 @@ fn main() {
     );
 
     // Phase 1: ring orientation with P_OR on the undirected ring.
-    let mut sim = Simulation::new(
-        Por::new(),
-        UndirectedRing::new(n).expect("n >= 2"),
-        random_orientation_config(n, 5),
-        5,
-    );
+    let orientation = ScenarioBuilder::for_protocol("p-or", |_pt: &SweepPoint| Por::new())
+        .graph(GraphFamily::UndirectedRing)
+        .init(|_p, pt| random_orientation_config(pt.n, pt.seed))
+        .stop_when("oriented", |_p: &Por, c| is_oriented(c))
+        .check_every(|pt| ((pt.n * pt.n / 4) as u64).max(1))
+        .step_budget(|_pt| 200_000_000)
+        .build()
+        .expect("complete scenario");
+    let run = orientation.run_full(&SweepPoint::new(n, 5));
+    let oriented = ring_ssle::population::downcast_config::<OrState>(run.sim.config())
+        .expect("orientation states");
     println!(
-        "initial orientation: {} battle fronts (pairs of neighbours pointing at each other)",
-        facing_fronts(sim.config())
+        "initial orientation had {} battle fronts (pairs of neighbours pointing at each other)",
+        facing_fronts(&random_orientation_config(n, 5))
     );
-    let report = sim.run_until(|_p, c| is_oriented(c), (n * n / 4) as u64, 200_000_000);
-    let step = report.converged_at.expect("P_OR converges w.p. 1");
+    let step = run.report.converged_at.expect("P_OR converges w.p. 1");
     println!(
         "orientation complete after {step} steps ({:.2} × n² log₂ n) — Theorem 5.2 promises O(n² log n)",
         step as f64 / ((n * n) as f64 * (n as f64).log2())
@@ -52,7 +59,6 @@ fn main() {
 
     // The common direction the agents agreed on: clockwise if everyone points
     // at their clockwise neighbour.
-    let oriented = sim.config();
     let clockwise = (0..n).all(|i| oriented[i].dir == oriented.right_of(i).color);
     println!(
         "agreed direction: {}",
@@ -65,23 +71,19 @@ fn main() {
 
     // Phase 2: leader election on the ring, directed according to the agreed
     // orientation.
-    let params = Params::for_ring(n);
-    let config =
-        ring_ssle::ssle_core::init::generate(InitialCondition::UniformRandom, n, &params, 11);
-    let mut le = Simulation::new(
-        Ppl::new(params),
-        DirectedRing::new(n).expect("n >= 2"),
-        config,
-        11,
-    );
-    let report = le.run_until(
-        |_p, c| in_s_pl(c, &params),
-        (n * n / 4) as u64,
-        1_000_000_000,
-    );
+    let election = ScenarioBuilder::new("p-pl", |pt: &SweepPoint| Ppl::new(Params::for_ring(pt.n)))
+        .init(|p: &Ppl, pt| {
+            init::generate(InitialCondition::UniformRandom, pt.n, p.params(), pt.seed)
+        })
+        .stop_when("s-pl", |p: &Ppl, c| in_s_pl(c, p.params()))
+        .check_every(|pt| ((pt.n * pt.n / 4) as u64).max(1))
+        .step_budget(|_pt| 1_000_000_000)
+        .build()
+        .expect("complete scenario");
+    let run = election.run_full(&SweepPoint::new(n, 11));
     println!(
         "leader elected after {} further steps; leader = u{}",
-        report.convergence_step(),
-        le.protocol().leader_indices(le.config().states())[0]
+        run.report.convergence_step(),
+        run.sim.protocol().leader_indices(run.sim.config().states())[0]
     );
 }

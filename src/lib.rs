@@ -23,21 +23,36 @@
 //!   and table rendering used by the benchmark harness.
 //!
 //! The experiment harness that regenerates every table and figure lives in
-//! the (binary-only) `ssle-bench` crate; see `EXPERIMENTS.md`.
+//! the `ssle-bench` crate; see `EXPERIMENTS.md`.
 //!
-//! ## Electing a leader in three lines
+//! ## Electing a leader with a Scenario
+//!
+//! Experiments are declared once as a [`population::scenario::Scenario`] —
+//! protocol × graph × initial condition × stop criterion × step budget — and
+//! run on single sweep points or whole grids through one type-erased run
+//! path:
 //!
 //! ```
 //! use ring_ssle::prelude::*;
+//! use ring_ssle::ssle_core::init;
 //!
-//! let n = 16;
-//! let params = Params::for_ring(n);
-//! let config = ssle_core::init::generate(InitialCondition::UniformRandom, n, &params, 7);
-//! let mut sim = Simulation::new(Ppl::new(params), DirectedRing::new(n)?, config, 7);
-//! let report = sim.run_until(|_p, c| in_s_pl(c, &params), (n * n) as u64, 50_000_000);
+//! let scenario = ScenarioBuilder::new("quickstart", |pt: &SweepPoint| {
+//!     Ppl::new(Params::for_ring(pt.n))
+//! })
+//! .init(|p: &Ppl, pt| init::generate(InitialCondition::UniformRandom, pt.n, p.params(), pt.seed))
+//! .stop_when("s-pl", |p: &Ppl, c| in_s_pl(c, p.params()))
+//! .step_budget(|_pt| 50_000_000)
+//! .build()
+//! .unwrap();
+//!
+//! // One trial ...
+//! let report = scenario.run(&SweepPoint::new(16, 7));
 //! assert!(report.converged());
-//! assert_eq!(sim.count_leaders(), 1);
-//! # Ok::<(), population::PopulationError>(())
+//!
+//! // ... or a parallel sweep, grouped per population size.
+//! let grid = SweepGrid::new().sizes(&[8, 16]).trials(4, 7);
+//! let summaries = scenario.sweep_summaries(&grid, &BatchRunner::new());
+//! assert!(summaries.iter().all(|s| s.converged_fraction() == 1.0));
 //! ```
 
 #![forbid(unsafe_code)]

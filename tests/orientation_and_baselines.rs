@@ -10,42 +10,49 @@ use ring_ssle::ssle_core::coloring::{
     TwoHopColoring,
 };
 use ring_ssle::ssle_core::orientation::{
-    is_oriented, oriented_config, random_orientation_config, OrState, Por,
+    is_oriented, oriented_config, random_orientation_config, Por,
 };
 
 #[test]
 fn orientation_then_election_pipeline() {
     // The Section 5 composition: orient the undirected ring, then elect a
-    // leader on the induced directed ring.
+    // leader on the induced directed ring.  Both phases run through the
+    // Scenario layer — the orientation protocol has no leader output, so it
+    // uses the `for_protocol` erasure.
     let n = 20;
     let colors = oracle_two_hop_coloring(n);
     assert!(is_two_hop_coloring(&colors));
     assert!(neighbors_distinguishable(&colors));
 
-    let mut orientation = Simulation::new(
-        Por::new(),
-        UndirectedRing::new(n).unwrap(),
-        random_orientation_config(n, 3),
-        3,
-    );
-    let report = orientation.run_until(
-        |_p, c: &Configuration<OrState>| is_oriented(c),
-        (n * n / 4) as u64,
-        200_000_000,
-    );
+    let orientation = ScenarioBuilder::for_protocol("p-or", |_pt: &SweepPoint| Por::new())
+        .graph(GraphFamily::UndirectedRing)
+        .init(|_p, pt| random_orientation_config(pt.n, pt.seed))
+        .stop_when("oriented", |_p: &Por, c| is_oriented(c))
+        .check_every(|pt| (pt.n * pt.n / 4) as u64)
+        .step_budget(|_pt| 200_000_000)
+        .build()
+        .unwrap();
+    let report = orientation.run(&SweepPoint::new(n, 3));
     assert!(report.converged(), "P_OR must orient the ring");
+    assert_eq!(report.criterion, "oriented");
 
-    let params = Params::for_ring(n);
-    let config =
-        ring_ssle::ssle_core::init::generate(InitialCondition::UniformRandom, n, &params, 4);
-    let mut election = Simulation::new(Ppl::new(params), DirectedRing::new(n).unwrap(), config, 4);
-    let report = election.run_until(
-        |_p, c| in_s_pl(c, &params),
-        (n * n / 4) as u64,
-        1_000_000_000,
-    );
-    assert!(report.converged());
-    assert_eq!(election.count_leaders(), 1);
+    let election = ScenarioBuilder::new("p-pl", |pt: &SweepPoint| Ppl::new(Params::for_ring(pt.n)))
+        .init(|p: &Ppl, pt| {
+            ring_ssle::ssle_core::init::generate(
+                InitialCondition::UniformRandom,
+                pt.n,
+                p.params(),
+                pt.seed,
+            )
+        })
+        .stop_when("s-pl", |p: &Ppl, c| in_s_pl(c, p.params()))
+        .check_every(|pt| (pt.n * pt.n / 4) as u64)
+        .step_budget(|_pt| 1_000_000_000)
+        .build()
+        .unwrap();
+    let run = election.run_full(&SweepPoint::new(n, 4));
+    assert!(run.report.converged());
+    assert_eq!(run.sim.count_leaders(), 1);
 }
 
 #[test]

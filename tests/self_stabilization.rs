@@ -1,59 +1,67 @@
 //! Integration tests: the self-stabilization contract of `P_PL`
 //! (Definition 2.1) end to end — convergence from every adversarial
-//! initial-condition family, followed by closure.
+//! initial-condition family, followed by closure — driven through the
+//! type-erased `Scenario` layer (the same run path the experiment binaries
+//! use).
 
+use ring_ssle::population::downcast_config;
 use ring_ssle::prelude::*;
+use ring_ssle::ssle_core::init;
 
-fn converge(
-    n: usize,
-    condition: InitialCondition,
-    seed: u64,
-) -> (Simulation<Ppl, DirectedRing>, u64) {
-    let params = Params::for_ring(n);
-    let config = ring_ssle::ssle_core::init::generate(condition, n, &params, seed);
-    let mut sim = Simulation::new(
-        Ppl::new(params),
-        DirectedRing::new(n).expect("n >= 2"),
-        config,
-        seed,
-    );
-    let report = sim.run_until(
-        |_p, c| in_s_pl(c, &params),
-        (n * n / 4).max(16) as u64,
-        2_000_000_000,
-    );
-    let step = report
+fn ppl_scenario(condition: InitialCondition) -> Scenario {
+    ScenarioBuilder::new(format!("ppl/{}", condition.name()), |pt: &SweepPoint| {
+        Ppl::new(Params::for_ring(pt.n))
+    })
+    .init(move |p: &Ppl, pt| init::generate(condition, pt.n, p.params(), pt.seed))
+    .stop_when("s-pl", |p: &Ppl, c| in_s_pl(c, p.params()))
+    .check_every(|pt| ((pt.n * pt.n / 4).max(16)) as u64)
+    .step_budget(|_pt| 2_000_000_000)
+    .build()
+    .expect("complete scenario")
+}
+
+fn converge(n: usize, condition: InitialCondition, seed: u64) -> (ScenarioRun, u64) {
+    let run = ppl_scenario(condition).run_full(&SweepPoint::new(n, seed));
+    let step = run
+        .report
         .converged_at
         .unwrap_or_else(|| panic!("no convergence from {} at n = {n}", condition.name()));
-    (sim, step)
+    (run, step)
 }
 
 #[test]
 fn converges_from_every_initial_condition_family() {
     let n = 16;
     for condition in InitialCondition::ALL {
-        let (sim, _) = converge(n, condition, 7);
+        let (run, _) = converge(n, condition, 7);
         assert_eq!(
-            sim.count_leaders(),
+            run.sim.count_leaders(),
             1,
             "family {} must end with one leader",
             condition.name()
         );
+        assert_eq!(run.report.criterion, "s-pl");
     }
 }
 
 #[test]
 fn closure_holds_after_convergence() {
     let n = 20;
-    let (mut sim, _) = converge(n, InitialCondition::UniformRandom, 3);
-    let params = *sim.protocol().params();
-    let leader = sim.protocol().leader_indices(sim.config().states());
+    let (mut run, _) = converge(n, InitialCondition::UniformRandom, 3);
+    let params = Params::for_ring(n);
+    let leader_indices = |sim: &Simulation<DynProtocol, AnyGraph>| {
+        sim.protocol().leader_indices(sim.config().states())
+    };
+    let leader = leader_indices(&run.sim);
     // Check at many later checkpoints: still in S_PL, same unique leader.
+    // The erased simulation keeps running; the typed view is recovered by
+    // downcasting the configuration.
     for _ in 0..50 {
-        sim.run_steps(10_000);
-        assert!(in_s_pl(sim.config(), &params));
+        run.sim.run_steps(10_000);
+        let typed = downcast_config::<PplState>(run.sim.config()).expect("PplState states");
+        assert!(in_s_pl(&typed, &params));
         assert_eq!(
-            sim.protocol().leader_indices(sim.config().states()),
+            leader_indices(&run.sim),
             leader,
             "leader changed after reaching a safe configuration"
         );
@@ -77,10 +85,12 @@ fn convergence_from_the_leaderless_worst_case_is_within_the_theorem_budget() {
 #[test]
 fn different_seeds_elect_possibly_different_but_always_unique_leaders() {
     let n = 16;
+    let scenario = ppl_scenario(InitialCondition::UniformRandom);
     let mut elected = std::collections::HashSet::new();
     for seed in 0..6u64 {
-        let (sim, _) = converge(n, InitialCondition::UniformRandom, seed);
-        let leaders = sim.protocol().leader_indices(sim.config().states());
+        let run = scenario.run_full(&SweepPoint::new(n, seed));
+        assert!(run.report.converged());
+        let leaders = run.sim.protocol().leader_indices(run.sim.config().states());
         assert_eq!(leaders.len(), 1);
         elected.insert(leaders[0]);
     }
@@ -94,39 +104,44 @@ fn different_seeds_elect_possibly_different_but_always_unique_leaders() {
 
 #[test]
 fn recovery_after_runtime_faults() {
+    // A fault plan corrupting a third of the ring at step 0 of an otherwise
+    // safe configuration: the scenario must re-converge to S_PL.
     let n = 24;
-    let params = Params::for_ring(n);
-    let mut sim = Simulation::new(
-        Ppl::new(params),
-        DirectedRing::new(n).unwrap(),
-        perfect_configuration(n, &params, 5, 2),
-        9,
+    let scenario = ScenarioBuilder::new("ppl/recovery", |pt: &SweepPoint| {
+        Ppl::new(Params::for_ring(pt.n))
+    })
+    .init(|p: &Ppl, pt| perfect_configuration(pt.n, p.params(), 5, 2))
+    .stop_when("s-pl", |p: &Ppl, c| in_s_pl(c, p.params()))
+    .check_every(|pt| ((pt.n * pt.n / 4) as u64).max(1))
+    .step_budget(|_pt| 2_000_000_000)
+    .faults(
+        |pt| FaultPlan::new().at(0, FaultKind::CorruptRandomAgents { count: pt.n / 3 }),
+        |p: &Ppl, rng, _i| PplState::sample_uniform(rng, p.params()),
+    )
+    .fault_seed(|_pt| 13)
+    .build()
+    .expect("complete scenario");
+    let run = scenario.run_full(&SweepPoint::new(n, 9));
+    assert!(
+        run.report.converged(),
+        "must recover from a transient fault"
     );
-    assert!(in_s_pl(sim.config(), &params));
-    // Corrupt a third of the ring.
-    let mut injector = FaultInjector::new(13);
-    injector.inject(
-        sim.config_mut(),
-        FaultKind::CorruptRandomAgents { count: n / 3 },
-        |rng, _| PplState::sample_uniform(rng, &params),
-    );
-    let report = sim.run_until(
-        |_p, c| in_s_pl(c, &params),
-        (n * n / 4) as u64,
-        2_000_000_000,
-    );
-    assert!(report.converged(), "must recover from a transient fault");
-    assert_eq!(sim.count_leaders(), 1);
+    assert_eq!(run.sim.count_leaders(), 1);
 }
 
 #[test]
 fn the_paper_constants_also_converge() {
     // κ_max = 32ψ (the value assumed by the analysis) — slower but correct.
     let n = 12;
-    let params = Params::paper_constants(n);
-    let config =
-        ring_ssle::ssle_core::init::generate(InitialCondition::AllFollowers, n, &params, 2);
-    let mut sim = Simulation::new(Ppl::new(params), DirectedRing::new(n).unwrap(), config, 2);
-    let report = sim.run_until(|_p, c| in_s_pl(c, &params), (n * n) as u64, 2_000_000_000);
+    let scenario = ScenarioBuilder::new("ppl/paper-constants", |pt: &SweepPoint| {
+        Ppl::new(Params::paper_constants(pt.n))
+    })
+    .init(|p: &Ppl, pt| init::generate(InitialCondition::AllFollowers, pt.n, p.params(), pt.seed))
+    .stop_when("s-pl", |p: &Ppl, c| in_s_pl(c, p.params()))
+    .check_every(|pt| (pt.n * pt.n) as u64)
+    .step_budget(|_pt| 2_000_000_000)
+    .build()
+    .expect("complete scenario");
+    let report = scenario.run(&SweepPoint::new(n, 2));
     assert!(report.converged());
 }
