@@ -102,6 +102,9 @@ impl FischerJiang {
 impl Protocol for FischerJiang {
     type State = FjState;
 
+    /// The oracle `Ω?` runs through the environment hook every step.
+    const HAS_ENVIRONMENT: bool = true;
+
     fn interact(&self, l: &mut FjState, r: &mut FjState) {
         // Oracle-triggered creation: an agent told that no leader exists
         // becomes a shielded leader that immediately fires a live bullet

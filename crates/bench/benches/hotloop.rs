@@ -1,0 +1,43 @@
+//! Criterion benchmark: the erased hot loop, protocol × graph × size, in
+//! both erased-state representations.
+//!
+//! This is the `cargo bench` face of the same grid the `hotloop_report`
+//! binary measures (and persists to `BENCH_hotloop.json`): the four Table 1
+//! protocols on the directed ring and the complete graph at
+//! n ∈ {256, 4096}, with the production inline-slot representation and the
+//! pre-inline boxed baseline side by side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ssle_bench::hotloop::{measure, HotloopGraph, Repr, SIZES};
+use ssle_bench::ProtocolKind;
+
+/// Per-measurement time budget, in seconds: each `measure` call times the
+/// erased loop for this long and returns steps/second.
+const BUDGET_SECS: f64 = 0.05;
+
+fn bench_hotloop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotloop");
+    group.sample_size(3);
+    group.throughput(Throughput::Elements(1));
+
+    for kind in ProtocolKind::ALL {
+        for graph in HotloopGraph::ALL {
+            for n in SIZES {
+                for (repr, tag) in [
+                    (Repr::Inline, "inline"),
+                    (Repr::Boxed, "boxed"),
+                    (Repr::BoxedCompact, "boxed-compact"),
+                ] {
+                    let id = BenchmarkId::new(format!("{}/{}/{tag}", kind.key(), graph.key()), n);
+                    group.bench_with_input(id, &n, |b, &n| {
+                        b.iter(|| measure(kind, graph, n, repr, BUDGET_SECS));
+                    });
+                }
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hotloop);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Hot-loop bench report: measures the erased run path's steps/second for
+//! the four Table 1 protocols × {ring, complete} × n ∈ {256, 4096}, in both
+//! the inline-slot representation and the pre-inline boxed baseline, and
+//! writes the results to `BENCH_hotloop.json` (at the current directory —
+//! run from the repository root) so later changes have a perf trajectory.
+//!
+//! ```text
+//! cargo run --release -p ssle-bench --bin hotloop_report
+//! cargo run --release -p ssle-bench --bin hotloop_report -- --quick --json
+//! ```
+//!
+//! Flags:
+//!
+//! ```text
+//! --quick       reduced step count (CI smoke); same case grid and schema
+//! --out PATH    output file (default: BENCH_hotloop.json)
+//! --json        also print the JSON document to stdout
+//! --help        print usage
+//! ```
+//!
+//! The binary self-validates: after writing, it re-reads the file, parses it
+//! with `analysis::json` and checks it against the `hotloop-bench/v1`
+//! schema, exiting non-zero on any mismatch.
+
+use ssle_bench::hotloop;
+
+const USAGE: &str = "\
+options:
+  --quick        reduced time budget (CI smoke); same case grid and schema
+  --out PATH     output file (default: BENCH_hotloop.json, or
+                 BENCH_hotloop.quick.json under --quick so a local smoke run
+                 never clobbers the committed full-mode trajectory)
+  --json         also print the JSON document to stdout
+  --help         print this message";
+
+fn main() {
+    let mut quick = false;
+    let mut json = false;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--json" => json = true,
+            "--out" => match args.next() {
+                Some(path) => out = Some(path),
+                None => {
+                    eprintln!("error: --out requires a value\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("error: unknown option {other:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out = out.unwrap_or_else(|| {
+        String::from(if quick {
+            "BENCH_hotloop.quick.json"
+        } else {
+            "BENCH_hotloop.json"
+        })
+    });
+
+    let report = hotloop::run(quick);
+    let text = report.to_json_value().to_json();
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+
+    // Self-validation: what we wrote must parse and match the schema.
+    let reread = std::fs::read_to_string(&out).expect("just wrote the report file");
+    let parsed = match analysis::json::JsonValue::parse(&reread) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {out} does not parse as JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = hotloop::validate_report(&parsed) {
+        eprintln!("error: {out} violates the {} schema: {e}", hotloop::SCHEMA);
+        std::process::exit(1);
+    }
+
+    println!(
+        "# Hot-loop throughput ({} mode)\n",
+        if quick { "quick" } else { "full" }
+    );
+    println!("{}", report.to_markdown());
+    println!(
+        "wrote {out} ({} cases, {:.2}s timed budget each)",
+        report.cases.len(),
+        report.budget_secs
+    );
+    if json {
+        println!("{text}");
+    }
+}

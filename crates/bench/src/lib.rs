@@ -26,7 +26,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod baseline_boxed;
 pub mod cli;
+pub mod hotloop;
 pub mod report;
 
 use population::{
@@ -65,6 +67,18 @@ impl ProtocolKind {
         ProtocolKind::Yokota,
         ProtocolKind::Ppl,
     ];
+
+    /// A short, machine-friendly key used in benchmark reports
+    /// (`BENCH_hotloop.json`) and CLI output.
+    pub fn key(&self) -> &'static str {
+        match self {
+            ProtocolKind::Ppl => "ppl",
+            ProtocolKind::PplPaperConstants => "ppl-paper-constants",
+            ProtocolKind::Yokota => "yokota",
+            ProtocolKind::FischerJiang => "fischer-jiang",
+            ProtocolKind::AngluinModK => "angluin-mod-k",
+        }
+    }
 
     /// The display name used in generated tables.
     pub fn name(&self) -> &'static str {
@@ -248,6 +262,74 @@ pub fn angluin_builder() -> ScenarioBuilder<AngluinModK> {
             has_unique_defect(c, p.k())
         })
         .check_every(|pt| check_interval(pt.n))
+}
+
+/// Visitor over the **typed** Table 1 trial setup of a [`ProtocolKind`]:
+/// receives the concrete protocol, its uniformly random initial
+/// configuration and its stop criterion, with the state type intact.
+///
+/// This is the single authoritative definition of that setup for code that
+/// needs static types — the hot-loop benchmarks and the equivalence tests —
+/// so protocol/seed conventions live in one place
+/// ([`ProtocolKind::with_table1_setup`]).  The declarative
+/// [`ProtocolKind::scenario`] builds the same setup through the erased
+/// scenario layer; `tests/scenario_equivalence.rs` pins the two
+/// bit-identical.
+pub trait Table1Visitor {
+    /// The visitor's result type.
+    type Output;
+
+    /// Called with the typed pieces of the trial.
+    fn visit<P, F>(self, protocol: P, config: Configuration<P::State>, stop: F) -> Self::Output
+    where
+        P: population::LeaderElection + 'static,
+        P::State: std::any::Any,
+        F: Fn(&P, &Configuration<P::State>) -> bool + Send + Sync + 'static;
+}
+
+impl ProtocolKind {
+    /// Builds the typed Table 1 trial setup of this protocol at `(n, seed)`
+    /// and hands it to `visitor` (see [`Table1Visitor`]).
+    pub fn with_table1_setup<V: Table1Visitor>(self, n: usize, seed: u64, visitor: V) -> V::Output {
+        match self {
+            ProtocolKind::Ppl | ProtocolKind::PplPaperConstants => {
+                let params = if self == ProtocolKind::Ppl {
+                    Params::for_ring(n)
+                } else {
+                    Params::paper_constants(n)
+                };
+                let config = init::generate(InitialCondition::UniformRandom, n, &params, seed);
+                visitor.visit(Ppl::new(params), config, move |_p: &Ppl, c| {
+                    in_s_pl(c, &params)
+                })
+            }
+            ProtocolKind::Yokota => {
+                let protocol = YokotaLinear::for_ring(n);
+                let cap = protocol.cap();
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let config =
+                    Configuration::from_fn(n, |_| YokotaState::sample_uniform(&mut rng, cap));
+                visitor.visit(protocol, config, move |_p: &YokotaLinear, c| {
+                    yokota_is_safe(c, cap)
+                })
+            }
+            ProtocolKind::FischerJiang => {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let config = Configuration::from_fn(n, |_| FjState::sample_uniform(&mut rng));
+                visitor.visit(FischerJiang::new(), config, |_p: &FischerJiang, c| {
+                    has_stable_unique_leader(c)
+                })
+            }
+            ProtocolKind::AngluinModK => {
+                let k = pick_k(n);
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let config = Configuration::from_fn(n, |_| ModKState::sample_uniform(&mut rng, k));
+                visitor.visit(AngluinModK::new(k), config, move |_p: &AngluinModK, c| {
+                    has_unique_defect(c, k)
+                })
+            }
+        }
+    }
 }
 
 /// Runs one convergence trial of the given protocol from a uniformly random

@@ -1,107 +1,82 @@
 //! The load-bearing guarantee of the Scenario redesign: the type-erased run
-//! path (`DynProtocol` + boxed states + `AnyGraph`) produces **bit-identical**
-//! [`ConvergenceReport`]s to a static-dispatch reference run for every
-//! measurable protocol of Table 1, at two population sizes each.
+//! path (`DynProtocol` + inline-slot `DynState`s + `AnyGraph`) produces
+//! **bit-identical** [`ConvergenceReport`]s to a static-dispatch reference
+//! run for every measurable protocol of Table 1, at two population sizes
+//! each — and (since the inline-slot change) to the preserved boxed
+//! representation, with bit-identical final states and leader-change
+//! tracking.
 //!
 //! The reference runs below intentionally re-create the pre-Scenario
 //! plumbing (typed `Simulation` + `run_until`) by hand; if erasure ever
 //! perturbed the RNG stream, the transition function, the check cadence or
 //! the report bookkeeping, these tests would catch it.
 
-use population::{Configuration, ConvergenceReport, DirectedRing, Simulation, SweepPoint};
+use population::{
+    downcast_config, slot, Configuration, ConvergenceReport, DirectedRing, DynState,
+    LeaderElection, Simulation, SweepPoint,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use ssle_baselines::{
-    angluin_mod_k::{has_unique_defect, AngluinModK, ModKState},
-    fischer_jiang::{has_stable_unique_leader, FischerJiang, FjState},
-    yokota_linear::{is_safe as yokota_is_safe, YokotaLinear, YokotaState},
+    angluin_mod_k::{AngluinModK, ModKState},
+    fischer_jiang::{FischerJiang, FjState},
+    yokota_linear::{YokotaLinear, YokotaState},
 };
-use ssle_bench::{check_interval, pick_k, ProtocolKind};
+use ssle_bench::baseline_boxed::{downcast_boxed_config, BoxedProtocol, BoxedState};
+use ssle_bench::{check_interval, pick_k, ProtocolKind, Table1Visitor};
 use ssle_core::{in_s_pl, init, InitialCondition, Params, Ppl, PplState};
 
 const SIZES: [usize; 2] = [8, 13];
 const SEEDS: [u64; 2] = [3, 1_000_001];
 
 /// Static-dispatch reference for the Table 1 trial of `kind` — the shape of
-/// the deleted `run_*_trial` helpers, reproduced without any erasure.
+/// the deleted `run_*_trial` helpers, reproduced without any erasure.  The
+/// typed setup (protocol, initial configuration, stop criterion) comes from
+/// [`ProtocolKind::with_table1_setup`], the single authoritative typed
+/// definition also used by the hot-loop benchmarks.
 fn reference_trial(kind: ProtocolKind, n: usize, seed: u64) -> ConvergenceReport {
-    let budget = kind.trial_budget(n);
-    let mut report = match kind {
-        ProtocolKind::Ppl | ProtocolKind::PplPaperConstants => {
-            let params = if kind == ProtocolKind::Ppl {
-                Params::for_ring(n)
-            } else {
-                Params::paper_constants(n)
-            };
-            let protocol = Ppl::new(params);
-            let config = init::generate(InitialCondition::UniformRandom, n, &params, seed);
+    struct TypedReference {
+        n: usize,
+        seed: u64,
+        check: u64,
+        budget: u64,
+    }
+    impl Table1Visitor for TypedReference {
+        type Output = ConvergenceReport;
+        fn visit<P, F>(
+            self,
+            protocol: P,
+            config: Configuration<P::State>,
+            stop: F,
+        ) -> ConvergenceReport
+        where
+            P: LeaderElection + 'static,
+            P::State: std::any::Any,
+            F: Fn(&P, &Configuration<P::State>) -> bool + Send + Sync + 'static,
+        {
             let mut sim = Simulation::new(
                 protocol,
-                DirectedRing::new(n).expect("n >= 2"),
+                DirectedRing::new(self.n).expect("n >= 2"),
                 config,
-                seed,
+                self.seed,
             );
-            sim.run_until(
-                |_p, c: &Configuration<PplState>| in_s_pl(c, &params),
-                check_interval(n),
-                budget,
-            )
+            sim.run_until(stop, self.check, self.budget)
         }
-        ProtocolKind::Yokota => {
-            let protocol = YokotaLinear::for_ring(n);
-            let cap = protocol.cap();
-            let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let config = Configuration::from_fn(n, |_| YokotaState::sample_uniform(&mut rng, cap));
-            let mut sim = Simulation::new(
-                protocol,
-                DirectedRing::new(n).expect("n >= 2"),
-                config,
-                seed,
-            );
-            sim.run_until(
-                |_p, c: &Configuration<YokotaState>| yokota_is_safe(c, cap),
-                check_interval(n),
-                budget,
-            )
-        }
-        ProtocolKind::FischerJiang => {
-            let protocol = FischerJiang::new();
-            let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let config = Configuration::from_fn(n, |_| FjState::sample_uniform(&mut rng));
-            let mut sim = Simulation::new(
-                protocol,
-                DirectedRing::new(n).expect("n >= 2"),
-                config,
-                seed,
-            );
-            sim.run_until(
-                |_p, c: &Configuration<FjState>| has_stable_unique_leader(c),
-                check_interval(n),
-                budget,
-            )
-        }
-        ProtocolKind::AngluinModK => {
-            let k = pick_k(n);
-            let protocol = AngluinModK::new(k);
-            let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let config = Configuration::from_fn(n, |_| ModKState::sample_uniform(&mut rng, k));
-            let mut sim = Simulation::new(
-                protocol,
-                DirectedRing::new(n).expect("n >= 2"),
-                config,
-                seed,
-            );
-            sim.run_until(
-                |_p, c: &Configuration<ModKState>| has_unique_defect(c, k),
-                check_interval(n),
-                budget,
-            )
-        }
-    };
+    }
+    let mut report = kind.with_table1_setup(
+        n,
+        seed,
+        TypedReference {
+            n,
+            seed,
+            check: check_interval(n),
+            budget: kind.trial_budget(n),
+        },
+    );
     // `run_until` names its criterion "predicate"; the scenario names it
     // after the stop criterion.  Align the names so every *other* field must
     // match bit for bit.
-    report.criterion = kind.scenario().stop_name().to_string();
+    report.criterion = kind.scenario().stop_name().to_string().into();
     report
 }
 
@@ -166,4 +141,263 @@ fn erased_final_configurations_match_the_typed_ones() {
         population::downcast_config::<PplState>(run.sim.config()).expect("PplState states");
     assert_eq!(erased_config.states(), typed.config().states());
     assert_eq!(run.sim.steps(), typed.steps());
+}
+
+// ---------------------------------------------------------------------------
+// Inline-slot representation (PR 3)
+// ---------------------------------------------------------------------------
+
+/// The inline slot was sized so that every Table 1 protocol state is stored
+/// in-line; if a state ever outgrows the slot, this fails loudly instead of
+/// silently re-boxing the hot loop.
+#[test]
+fn all_table1_states_take_the_inline_path() {
+    assert!(slot::fits_inline::<PplState>(), "PplState must stay inline");
+    assert!(slot::fits_inline::<YokotaState>());
+    assert!(slot::fits_inline::<FjState>());
+    assert!(slot::fits_inline::<ModKState>());
+
+    let params = Params::for_ring(8);
+    let ppl_state =
+        init::generate(InitialCondition::UniformRandom, 8, &params, 1).states()[0].clone();
+    assert!(DynState::new(ppl_state).is_inline());
+    assert!(DynState::new(FjState::sample_uniform(&mut ChaCha8Rng::seed_from_u64(1))).is_inline());
+    assert!(DynState::new(ModKState::new(2)).is_inline());
+    let yokota = YokotaLinear::for_ring(8);
+    assert!(DynState::new(YokotaState::sample_uniform(
+        &mut ChaCha8Rng::seed_from_u64(1),
+        yokota.cap()
+    ))
+    .is_inline());
+}
+
+/// Runs the Table 1 trial of a typed protocol through the **boxed** erased
+/// representation (`baseline_boxed`, the pre-inline-slot production path)
+/// and returns the report plus the final typed configuration.
+fn boxed_trial<P, F>(
+    protocol: P,
+    config: Configuration<P::State>,
+    seed: u64,
+    stop: F,
+    check_interval: u64,
+    budget: u64,
+) -> (ConvergenceReport, Configuration<P::State>)
+where
+    P: LeaderElection + 'static,
+    P::State: std::any::Any,
+    F: Fn(&Configuration<P::State>) -> bool,
+{
+    let n = config.len();
+    let boxed: Configuration<BoxedState> = config
+        .into_states()
+        .into_iter()
+        .map(BoxedState::new)
+        .collect();
+    let mut sim = Simulation::new(
+        BoxedProtocol::erase(protocol),
+        DirectedRing::new(n).expect("n >= 2"),
+        boxed,
+        seed,
+    );
+    let report = sim.run_until(
+        |_p, c: &Configuration<BoxedState>| {
+            stop(&downcast_boxed_config::<P::State>(c).expect("homogeneous states"))
+        },
+        check_interval,
+        budget,
+    );
+    let final_config = downcast_boxed_config::<P::State>(sim.config()).expect("homogeneous states");
+    (report, final_config)
+}
+
+/// Boxed-representation reference for one (kind, n, seed) trial: the report
+/// and whether the final states equal `erased_final`.  The typed setup comes
+/// from [`ProtocolKind::with_table1_setup`]; only the erased representation
+/// differs (heap boxes instead of inline slots).
+fn boxed_reference(
+    kind: ProtocolKind,
+    n: usize,
+    seed: u64,
+    erased_final: &Configuration<DynState>,
+) -> (ConvergenceReport, bool) {
+    struct BoxedReference<'a> {
+        seed: u64,
+        check: u64,
+        budget: u64,
+        erased_final: &'a Configuration<DynState>,
+    }
+    impl Table1Visitor for BoxedReference<'_> {
+        type Output = (ConvergenceReport, bool);
+        fn visit<P, F>(
+            self,
+            protocol: P,
+            config: Configuration<P::State>,
+            stop: F,
+        ) -> (ConvergenceReport, bool)
+        where
+            P: LeaderElection + 'static,
+            P::State: std::any::Any,
+            F: Fn(&P, &Configuration<P::State>) -> bool + Send + Sync + 'static,
+        {
+            let stop_protocol = protocol.clone();
+            let (report, final_config) = boxed_trial(
+                protocol,
+                config,
+                self.seed,
+                move |c| stop(&stop_protocol, c),
+                self.check,
+                self.budget,
+            );
+            let erased =
+                downcast_config::<P::State>(self.erased_final).expect("homogeneous states");
+            (report, erased.states() == final_config.states())
+        }
+    }
+    kind.with_table1_setup(
+        n,
+        seed,
+        BoxedReference {
+            seed,
+            check: check_interval(n),
+            budget: kind.trial_budget(n),
+            erased_final,
+        },
+    )
+}
+
+/// The inline-slot production path produces bit-identical reports *and*
+/// final states to the pre-inline boxed representation, for all four Table 1
+/// protocols × 2 sizes × 2 seeds.
+#[test]
+fn inline_slot_path_matches_the_boxed_reference_bit_for_bit() {
+    for kind in ProtocolKind::ALL {
+        let scenario = kind.scenario();
+        for n in SIZES {
+            for seed in SEEDS {
+                let run = scenario.run_full(&SweepPoint::new(n, seed));
+                let (mut boxed_report, states_match) =
+                    boxed_reference(kind, n, seed, run.sim.config());
+                boxed_report.criterion = scenario.stop_name().to_string().into();
+                assert_eq!(
+                    run.report,
+                    boxed_report,
+                    "{}: inline report diverged from boxed at n = {n}, seed = {seed}",
+                    kind.name()
+                );
+                assert!(
+                    states_match,
+                    "{}: inline final states diverged from boxed at n = {n}, seed = {seed}",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental leader counting (PR 3)
+// ---------------------------------------------------------------------------
+
+/// One protocol's incremental-vs-recount check: `run_tracking_leader_changes`
+/// (incremental `LeaderCounter` path for pure protocols, recount fallback
+/// for oracle ones) against a from-scratch recount loop on an identical
+/// simulation.
+fn assert_incremental_tracking_matches<P>(
+    protocol: P,
+    config: Configuration<P::State>,
+    seed: u64,
+    steps: u64,
+) where
+    P: LeaderElection + 'static,
+{
+    let n = config.len();
+    let mut incremental = Simulation::new(
+        protocol.clone(),
+        DirectedRing::new(n).expect("n >= 2"),
+        config.clone(),
+        seed,
+    );
+    let changes = incremental.run_tracking_leader_changes(steps);
+
+    // Reference: the pre-observer algorithm — recompute the full leader
+    // index vector after every step.
+    let mut reference = Simulation::new(
+        protocol.clone(),
+        DirectedRing::new(n).expect("n >= 2"),
+        config,
+        seed,
+    );
+    let mut reference_changes = Vec::new();
+    let mut current = protocol.leader_indices(reference.config().states());
+    for _ in 0..steps {
+        reference.step();
+        let now = protocol.leader_indices(reference.config().states());
+        if now != current {
+            reference_changes.push(reference.steps());
+            current = now;
+        }
+    }
+
+    assert_eq!(
+        changes,
+        reference_changes,
+        "{}: change steps diverged",
+        protocol.name()
+    );
+    assert_eq!(
+        incremental.config().states(),
+        reference.config().states(),
+        "{}: final states diverged",
+        protocol.name()
+    );
+    assert_eq!(
+        incremental.count_leaders(),
+        protocol.count_leaders(reference.config().states()),
+        "{}: final leader count diverged",
+        protocol.name()
+    );
+}
+
+/// The incremental leader-count path is bit-identical to the recount
+/// reference for all four Table 1 protocols × 2 sizes × 2 seeds (the oracle
+/// baseline exercises the recount fallback; the pure ones the incremental
+/// observer).
+#[test]
+fn incremental_leader_tracking_matches_the_recount_reference() {
+    const STEPS: u64 = 20_000;
+    for n in SIZES {
+        for seed in SEEDS {
+            let params = Params::for_ring(n);
+            assert_incremental_tracking_matches(
+                Ppl::new(params),
+                init::generate(InitialCondition::UniformRandom, n, &params, seed),
+                seed,
+                STEPS,
+            );
+            let yokota = YokotaLinear::for_ring(n);
+            let cap = yokota.cap();
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            assert_incremental_tracking_matches(
+                yokota,
+                Configuration::from_fn(n, |_| YokotaState::sample_uniform(&mut rng, cap)),
+                seed,
+                STEPS,
+            );
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            assert_incremental_tracking_matches(
+                FischerJiang::new(),
+                Configuration::from_fn(n, |_| FjState::sample_uniform(&mut rng)),
+                seed,
+                STEPS,
+            );
+            let k = pick_k(n);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            assert_incremental_tracking_matches(
+                AngluinModK::new(k),
+                Configuration::from_fn(n, |_| ModKState::sample_uniform(&mut rng, k)),
+                seed,
+                STEPS,
+            );
+        }
+    }
 }

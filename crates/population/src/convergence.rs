@@ -7,6 +7,8 @@
 //! plumbing — the [`Criterion`] trait, generic criteria and the
 //! [`ConvergenceReport`] returned by measurement runs.
 
+use std::borrow::Cow;
+
 use serde::{Deserialize, Serialize};
 
 use crate::config::Configuration;
@@ -132,7 +134,12 @@ pub struct ConvergenceReport {
     /// How often (in steps) the criterion was evaluated.
     pub check_interval: u64,
     /// Name of the criterion that was checked.
-    pub criterion: String,
+    ///
+    /// A `Cow` so the engine's internal runs can use the static placeholder
+    /// `"predicate"` without allocating a fresh `String` per
+    /// [`crate::simulation::Simulation::run_until`] invocation; named
+    /// callers overwrite it once with the final (owned) name.
+    pub criterion: Cow<'static, str>,
 }
 
 impl ConvergenceReport {

@@ -65,7 +65,9 @@
 //! assert!(report.converged());
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed in exactly one audited module:
+// [`slot`], the inline state-slot storage behind the erased hot loop.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -77,11 +79,13 @@ pub mod error;
 pub mod faults;
 pub mod graph;
 pub mod init;
+pub mod observer;
 pub mod protocol;
 pub mod scenario;
 pub mod schedule;
 pub mod scheduler;
 pub mod simulation;
+pub mod slot;
 pub mod stats;
 pub mod sweep;
 pub mod trace;
@@ -100,6 +104,7 @@ pub mod prelude {
         ArbitraryGraph, CompleteGraph, DirectedRing, InteractionGraph, UndirectedRing,
     };
     pub use crate::init::Initializer;
+    pub use crate::observer::{LeaderCounter, NoObserver, StepObserver};
     pub use crate::protocol::{LeaderElection, LeaderOutput, Protocol};
     pub use crate::scenario::{
         downcast_config, AnyGraph, DynLeaderElection, DynProtocol, DynState, FaultEvent, FaultPlan,

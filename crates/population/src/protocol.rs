@@ -47,6 +47,20 @@ pub trait Protocol: Clone + Send + Sync {
     /// The per-agent state type (the finite set `Q`).
     type State: Clone + PartialEq + std::fmt::Debug + Send + Sync;
 
+    /// `true` iff this protocol type may override [`Protocol::environment`].
+    ///
+    /// The simulation's hot loop calls the environment hook once per step;
+    /// for the overwhelmingly common pure protocols that call is a wasted
+    /// virtual dispatch under type erasure.  This associated constant lets
+    /// [`crate::simulation::Simulation`] compile the call out entirely for
+    /// pure protocol types and gate it behind one cached boolean for erased
+    /// ones.
+    ///
+    /// Any protocol that overrides [`Protocol::environment`] **must** set
+    /// this to `true` (and override [`Protocol::uses_oracle`]); otherwise
+    /// its oracle is silently never invoked.
+    const HAS_ENVIRONMENT: bool = false;
+
     /// The transition function `T`.
     ///
     /// `initiator` is the paper's `l` (the left agent of a directed-ring arc)
@@ -64,6 +78,11 @@ pub trait Protocol: Clone + Send + Sync {
     /// into agent states.  Protocols that do not use an oracle (including the
     /// paper's `P_PL`) must leave this as the no-op default so that the
     /// simulated model is the plain population-protocol model.
+    ///
+    /// Overriding this hook requires also setting
+    /// [`Protocol::HAS_ENVIRONMENT`] to `true` and overriding
+    /// [`Protocol::uses_oracle`]; the simulation only invokes the hook when
+    /// both report an oracle.
     fn environment(&self, _states: &mut [Self::State]) {}
 
     /// Returns `true` if this protocol overrides [`Protocol::environment`]
@@ -71,10 +90,16 @@ pub trait Protocol: Clone + Send + Sync {
     ///
     /// Any protocol that overrides [`Protocol::environment`] **must** also
     /// override this to return `true`: reporting code uses it to label
-    /// oracle assumptions in generated tables, and the type-erased scenario
-    /// path (`crate::scenario`) skips the per-step environment hook entirely
-    /// when it returns `false`, so an inconsistent implementation would
-    /// silently lose its oracle under erasure.
+    /// oracle assumptions in generated tables, and the simulation skips the
+    /// per-step environment hook entirely when it returns `false`
+    /// (see [`Protocol::HAS_ENVIRONMENT`]), so an inconsistent
+    /// implementation would silently lose its oracle.
+    ///
+    /// Unlike the compile-time [`Protocol::HAS_ENVIRONMENT`], this is a
+    /// runtime property: the erased [`crate::scenario::DynProtocol`] must
+    /// conservatively set the constant to `true` and reports the wrapped
+    /// protocol's actual answer here, which the simulation caches once per
+    /// run.
     fn uses_oracle(&self) -> bool {
         false
     }

@@ -13,6 +13,9 @@
 //!   through a single `Simulation<DynProtocol, AnyGraph>`.  Erasure does not
 //!   change the execution: the scheduler, RNG stream and transition function
 //!   are exactly those of the typed path, so reports are bit-identical.
+//!   Erased states live in fixed-size **inline slots** ([`crate::slot`]), so
+//!   the erased configuration is one contiguous buffer and the per-step cost
+//!   matches static dispatch — no per-agent heap boxes.
 //! * [`GraphFamily`] / [`AnyGraph`] — graph topologies selectable per
 //!   scenario and instantiated per sweep point.
 //! * [`FaultPlan`] — transient faults scheduled at explicit steps of the run.
@@ -79,6 +82,7 @@ use crate::convergence::ConvergenceReport;
 use crate::error::{PopulationError, Result};
 use crate::faults::{FaultInjector, FaultKind};
 use crate::graph::{ArbitraryGraph, CompleteGraph, DirectedRing, InteractionGraph, UndirectedRing};
+use crate::observer::LeaderCounter;
 use crate::protocol::{LeaderElection, Protocol};
 use crate::schedule::Interaction;
 use crate::simulation::Simulation;
@@ -88,103 +92,12 @@ use crate::sweep::{SweepGrid, SweepPoint};
 // State erasure
 // ---------------------------------------------------------------------------
 
-/// Object-safe supertrait bundle for erased per-agent states.
-///
-/// Blanket-implemented for every type that satisfies the
-/// [`Protocol::State`] bounds plus `'static`; user code never implements it
-/// directly.
-pub trait ErasedState: Any + Send + Sync {
-    /// Clones into a new box.
-    fn clone_dyn(&self) -> Box<dyn ErasedState>;
-    /// Structural equality against another erased state (false when the
-    /// underlying types differ).
-    fn eq_dyn(&self, other: &dyn ErasedState) -> bool;
-    /// Debug-formats the underlying state.
-    fn debug_dyn(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result;
-    /// Upcast to [`Any`] for downcasting.
-    fn as_any(&self) -> &dyn Any;
-    /// Mutable upcast to [`Any`] for downcasting.
-    fn as_any_mut(&mut self) -> &mut dyn Any;
-}
-
-impl<S> ErasedState for S
-where
-    S: Any + Clone + PartialEq + fmt::Debug + Send + Sync,
-{
-    fn clone_dyn(&self) -> Box<dyn ErasedState> {
-        Box::new(self.clone())
-    }
-
-    fn eq_dyn(&self, other: &dyn ErasedState) -> bool {
-        other
-            .as_any()
-            .downcast_ref::<S>()
-            .is_some_and(|o| o == self)
-    }
-
-    fn debug_dyn(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{self:?}")
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
-    }
-}
-
-/// A boxed, type-erased per-agent state.
-///
-/// Satisfies the [`Protocol::State`] bounds, so `Configuration<DynState>`
-/// plugs into the ordinary [`Simulation`] engine.
-pub struct DynState(Box<dyn ErasedState>);
-
-impl DynState {
-    /// Boxes a typed state.
-    pub fn new<S>(state: S) -> Self
-    where
-        S: Any + Clone + PartialEq + fmt::Debug + Send + Sync,
-    {
-        DynState(Box::new(state))
-    }
-
-    /// Borrows the underlying state if it has type `S`.
-    pub fn downcast_ref<S: Any>(&self) -> Option<&S> {
-        self.0.as_any().downcast_ref::<S>()
-    }
-
-    /// Mutably borrows the underlying state if it has type `S`.
-    pub fn downcast_mut<S: Any>(&mut self) -> Option<&mut S> {
-        self.0.as_any_mut().downcast_mut::<S>()
-    }
-}
-
-impl Clone for DynState {
-    fn clone(&self) -> Self {
-        DynState(self.0.clone_dyn())
-    }
-}
-
-impl PartialEq for DynState {
-    fn eq(&self, other: &Self) -> bool {
-        self.0.eq_dyn(other.0.as_ref())
-    }
-}
-
-impl fmt::Debug for DynState {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.0.debug_dyn(f)
-    }
-}
+pub use crate::slot::{DynState, SlotState};
 
 /// Rebuilds a typed configuration from an erased one, if every agent state
 /// has type `S`.  Used by tests and examples that inspect final states after
 /// a [`Scenario::run_full`].
-pub fn downcast_config<S: Any + Clone>(
-    config: &Configuration<DynState>,
-) -> Option<Configuration<S>> {
+pub fn downcast_config<S: SlotState>(config: &Configuration<DynState>) -> Option<Configuration<S>> {
     let mut states = Vec::with_capacity(config.len());
     for s in config.states() {
         states.push(s.downcast_ref::<S>()?.clone());
@@ -231,7 +144,7 @@ struct ErasedLe<P>(P);
 /// Erasure wrapper for protocols without a leader output.
 struct ErasedPlain<P>(P);
 
-fn downcast_pair<'a, S: Any>(
+fn downcast_pair<'a, S: SlotState>(
     initiator: &'a mut DynState,
     responder: &'a mut DynState,
     name: &str,
@@ -381,6 +294,12 @@ impl fmt::Debug for DynProtocol {
 
 impl Protocol for DynProtocol {
     type State = DynState;
+
+    /// Conservatively `true`: whether the erased protocol actually has an
+    /// oracle is a runtime property, reported by
+    /// [`Protocol::uses_oracle`] and cached once per run by the simulation
+    /// — pure protocols under erasure still skip the per-step hook.
+    const HAS_ENVIRONMENT: bool = true;
 
     fn interact(&self, initiator: &mut DynState, responder: &mut DynState) {
         self.inner.interact_dyn(initiator, responder);
@@ -584,7 +503,11 @@ impl FaultPlan {
 // ---------------------------------------------------------------------------
 
 type PointFn<T> = Arc<dyn Fn(&SweepPoint) -> T + Send + Sync>;
-type DynStop = Box<dyn Fn(&[DynState]) -> bool>;
+/// A stop criterion over erased states.  `FnMut` so the closure can reuse an
+/// internal typed scratch configuration across checks instead of cloning the
+/// whole population into a fresh allocation every time — cheap enough that
+/// scenarios can shrink their `check_interval` without a quadratic penalty.
+type DynStop = Box<dyn FnMut(&[DynState]) -> bool>;
 type DynCorrupt = Box<dyn FnMut(&mut ChaCha8Rng, usize) -> DynState>;
 
 /// Everything the erased run path needs for one sweep point, produced by the
@@ -674,16 +597,16 @@ impl Scenario {
         );
         let check_interval = (self.check_interval)(point).max(1);
         let max_steps = (self.max_steps)(point);
-        let stop = prepared.stop;
         let plan = self.plan.as_ref().map(|f| f(point)).unwrap_or_default();
 
+        let mut stop = prepared.stop;
         let mut report = if plan.is_empty() {
             sim.run_until(|_p, c| stop(c.states()), check_interval, max_steps)
         } else {
             let mut faults = FaultSchedule::new(plan, prepared.corrupt, (self.fault_seed)(point));
-            run_with_faults(&mut sim, &stop, check_interval, max_steps, &mut faults)
+            run_with_faults(&mut sim, &mut stop, check_interval, max_steps, &mut faults)
         };
-        report.criterion = self.stop_name.clone();
+        report.criterion = std::borrow::Cow::Owned(self.stop_name.clone());
         ScenarioRun { report, sim }
     }
 
@@ -727,6 +650,11 @@ impl Scenario {
     /// for every leader-election scenario; the scenario's fault plan (if any)
     /// fires at its scheduled steps exactly as it does under
     /// [`Scenario::run`].
+    ///
+    /// For pure protocols the leader count is maintained incrementally by a
+    /// [`LeaderCounter`] observer (O(1) amortized per step, re-seeded only
+    /// when a fault rewrites states out-of-band); oracle protocols recount
+    /// at each sample boundary.
     pub fn leader_trajectory(
         &self,
         point: &SweepPoint,
@@ -750,18 +678,31 @@ impl Scenario {
             (self.fault_seed)(point),
         );
         let sample_every = sample_every.max(1);
+        let incremental = !sim.environment_active();
         faults.fire_due(0, &mut sim);
-        let mut out = vec![(0u64, sim.count_leaders())];
+        let mut counter = LeaderCounter::new(sim.protocol(), sim.config().states());
+        let mut out = vec![(0u64, counter.count())];
         let mut done = 0u64;
         while done < total_steps {
             // The next sample boundary, split early if a fault is due first.
             let boundary = ((done / sample_every + 1) * sample_every).min(total_steps);
             let target = faults.clip(done, boundary);
-            sim.run_steps(target - done);
+            if incremental {
+                sim.run_steps_observed(target - done, &mut counter);
+            } else {
+                sim.run_steps(target - done);
+            }
             done = target;
-            faults.fire_due(done, &mut sim);
+            if faults.fire_due(done, &mut sim) && incremental {
+                counter.resync(sim.protocol(), sim.config().states());
+            }
             if done.is_multiple_of(sample_every) || done == total_steps {
-                out.push((done, sim.count_leaders()));
+                let leaders = if incremental {
+                    counter.count()
+                } else {
+                    sim.count_leaders()
+                };
+                out.push((done, leaders));
             }
         }
         out
@@ -810,8 +751,11 @@ impl FaultSchedule {
         }
     }
 
-    /// Fires every event scheduled at or before step `executed`.
-    fn fire_due(&mut self, executed: u64, sim: &mut Simulation<DynProtocol, AnyGraph>) {
+    /// Fires every event scheduled at or before step `executed`.  Returns
+    /// `true` if at least one event fired (states were rewritten out-of-band,
+    /// so incremental observers must re-seed).
+    fn fire_due(&mut self, executed: u64, sim: &mut Simulation<DynProtocol, AnyGraph>) -> bool {
+        let mut fired = false;
         if let Some((corrupt, injector)) = self.driver.as_mut() {
             while self.next < self.events.len() && self.events[self.next].at_step <= executed {
                 injector.inject(
@@ -820,8 +764,10 @@ impl FaultSchedule {
                     &mut **corrupt,
                 );
                 self.next += 1;
+                fired = true;
             }
         }
+        fired
     }
 }
 
@@ -832,12 +778,12 @@ impl FaultSchedule {
 /// initial check.
 fn run_with_faults(
     sim: &mut Simulation<DynProtocol, AnyGraph>,
-    stop: &dyn Fn(&[DynState]) -> bool,
+    stop: &mut DynStop,
     check_interval: u64,
     max_steps: u64,
     faults: &mut FaultSchedule,
 ) -> ConvergenceReport {
-    let criterion = "predicate".to_string();
+    const PREDICATE: std::borrow::Cow<'static, str> = std::borrow::Cow::Borrowed("predicate");
     let mut executed = 0u64;
     faults.fire_due(0, sim);
     if stop(sim.config().states()) {
@@ -846,7 +792,7 @@ fn run_with_faults(
             steps_executed: 0,
             max_steps,
             check_interval,
-            criterion,
+            criterion: PREDICATE,
         };
     }
     while executed < max_steps {
@@ -862,7 +808,7 @@ fn run_with_faults(
                 steps_executed: executed,
                 max_steps,
                 check_interval,
-                criterion,
+                criterion: PREDICATE,
             };
         }
     }
@@ -871,7 +817,7 @@ fn run_with_faults(
         steps_executed: executed,
         max_steps,
         check_interval,
-        criterion,
+        criterion: PREDICATE,
     }
 }
 
@@ -1068,9 +1014,18 @@ where
                 .collect();
             let stop_protocol = protocol.clone();
             let stop = stop.clone();
+            // Reused across checks: the typed mirror of the erased states.
+            // `sync_typed_scratch` refreshes it in place (`clone_from`, no
+            // reallocation in the steady state), so a stop check costs one
+            // pass over the population with zero allocations instead of a
+            // fresh `Vec` + clone per check.
+            let mut scratch: Vec<P::State> = Vec::new();
             let stop_dyn = Box::new(move |states: &[DynState]| {
-                let typed = typed_view::<P>(states, stop_protocol.name());
-                stop(&stop_protocol, &typed)
+                sync_typed_scratch::<P>(&mut scratch, states, stop_protocol.name());
+                let config = Configuration::from_states(std::mem::take(&mut scratch));
+                let verdict = stop(&stop_protocol, &config);
+                scratch = config.into_states();
+                verdict
             });
             let corrupt_dyn = corrupt.clone().map(|corrupt| {
                 let corrupt_protocol = protocol.clone();
@@ -1099,20 +1054,30 @@ where
     }
 }
 
-/// Clones a typed configuration out of an erased state slice (used by stop
-/// criteria, which are written against the typed state).
-fn typed_view<P: Protocol>(states: &[DynState], name: &str) -> Configuration<P::State>
+/// Refreshes the reusable typed mirror of an erased state slice (used by
+/// stop criteria, which are written against the typed state).  In the steady
+/// state this is a `clone_from` per agent with no allocation; the buffer is
+/// (re)built from scratch only when the population size changes.
+fn sync_typed_scratch<P: Protocol>(scratch: &mut Vec<P::State>, states: &[DynState], name: &str)
 where
     P::State: Any,
 {
-    states
-        .iter()
-        .map(|s| {
-            s.downcast_ref::<P::State>()
-                .unwrap_or_else(|| panic!("state does not belong to protocol {name}"))
-                .clone()
-        })
-        .collect()
+    fn typed_ref<'a, S: SlotState>(s: &'a DynState, name: &str) -> &'a S {
+        s.downcast_ref::<S>()
+            .unwrap_or_else(|| panic!("state does not belong to protocol {name}"))
+    }
+    if scratch.len() == states.len() {
+        for (slot, s) in scratch.iter_mut().zip(states) {
+            slot.clone_from(typed_ref::<P::State>(s, name));
+        }
+    } else {
+        scratch.clear();
+        scratch.extend(
+            states
+                .iter()
+                .map(|s| typed_ref::<P::State>(s, name).clone()),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -1158,6 +1123,7 @@ mod tests {
                 initiator.leader = true;
             }
         }
+        const HAS_ENVIRONMENT: bool = true;
         fn environment(&self, states: &mut [OracleState]) {
             let none = !states.iter().any(|s| s.leader);
             for s in states {

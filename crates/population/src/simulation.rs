@@ -8,6 +8,8 @@
 //! replay the proof schedules) and arbitrary [`crate::scheduler::Scheduler`]s
 //! can drive the run via [`Simulation::step_with_scheduler`].
 
+use std::borrow::Cow;
+
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -15,6 +17,7 @@ use crate::config::Configuration;
 use crate::convergence::{ConvergenceReport, Criterion};
 use crate::error::{PopulationError, Result};
 use crate::graph::InteractionGraph;
+use crate::observer::{LeaderCounter, NoObserver, StepObserver};
 use crate::protocol::{LeaderElection, Protocol};
 use crate::schedule::{Interaction, InteractionSeq};
 use crate::scheduler::Scheduler;
@@ -31,6 +34,11 @@ pub struct Simulation<P: Protocol, G: InteractionGraph> {
     steps: u64,
     stats: RunStats,
     trace: Trace,
+    /// Cached `protocol.uses_oracle()` (behind [`Protocol::HAS_ENVIRONMENT`]):
+    /// whether the per-step environment hook must run.  Computed once at
+    /// construction so the hot loop never pays the (virtual, under erasure)
+    /// `uses_oracle` call.
+    env_active: bool,
 }
 
 impl<P: Protocol, G: InteractionGraph> Simulation<P, G> {
@@ -51,6 +59,14 @@ impl<P: Protocol, G: InteractionGraph> Simulation<P, G> {
     ///
     /// Returns [`PopulationError::ConfigurationSizeMismatch`] if the
     /// configuration does not have exactly one state per agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol reports [`Protocol::uses_oracle`] without its
+    /// type setting [`Protocol::HAS_ENVIRONMENT`]: the environment hook
+    /// would be compiled out of the step loop and the oracle silently never
+    /// invoked, which is a bug in the protocol implementation, not a
+    /// runtime condition.
     pub fn try_new(
         protocol: P,
         graph: G,
@@ -63,7 +79,14 @@ impl<P: Protocol, G: InteractionGraph> Simulation<P, G> {
                 graph: graph.num_agents(),
             });
         }
+        assert!(
+            P::HAS_ENVIRONMENT || !protocol.uses_oracle(),
+            "protocol {:?} reports uses_oracle() but its type does not set \
+             Protocol::HAS_ENVIRONMENT, so its environment hook would never run",
+            protocol.name()
+        );
         let n = graph.num_agents();
+        let env_active = P::HAS_ENVIRONMENT && protocol.uses_oracle();
         Ok(Simulation {
             protocol,
             graph,
@@ -72,7 +95,17 @@ impl<P: Protocol, G: InteractionGraph> Simulation<P, G> {
             steps: 0,
             stats: RunStats::new(n),
             trace: Trace::disabled(),
+            env_active,
         })
+    }
+
+    /// `true` if the per-step environment (oracle) hook is active for this
+    /// run — i.e. the protocol declared [`Protocol::HAS_ENVIRONMENT`] and
+    /// reports [`Protocol::uses_oracle`].  When `false`, interactions are
+    /// the only thing mutating states, which is what makes incremental
+    /// observers ([`crate::observer`]) sound.
+    pub fn environment_active(&self) -> bool {
+        self.env_active
     }
 
     /// The protocol being executed.
@@ -130,8 +163,19 @@ impl<P: Protocol, G: InteractionGraph> Simulation<P, G> {
     ///
     /// Returns the interaction that occurred.
     pub fn step(&mut self) -> Interaction {
+        self.step_observed(&mut NoObserver)
+    }
+
+    /// Like [`Simulation::step`], invoking `observer` around the transition.
+    ///
+    /// The observer sees the two scheduled states immediately before and
+    /// after the transition function — enough for O(1) incremental
+    /// statistics ([`crate::observer::LeaderCounter`]).  The RNG stream,
+    /// transition and bookkeeping are exactly those of the unobserved step,
+    /// so observation never perturbs the execution.
+    pub fn step_observed<O: StepObserver<P>>(&mut self, observer: &mut O) -> Interaction {
         let interaction = self.graph.sample(&mut self.rng);
-        self.apply(interaction);
+        self.apply_observed(interaction, observer);
         interaction
     }
 
@@ -165,6 +209,17 @@ impl<P: Protocol, G: InteractionGraph> Simulation<P, G> {
     ///
     /// Panics if the interaction references agents outside the population.
     pub fn apply(&mut self, interaction: Interaction) {
+        self.apply_observed(interaction, &mut NoObserver);
+    }
+
+    /// Like [`Simulation::apply`], invoking `observer` around the
+    /// transition.  [`crate::observer::NoObserver`]'s empty hooks inline
+    /// away, so `apply` *is* this function.
+    pub fn apply_observed<O: StepObserver<P>>(
+        &mut self,
+        interaction: Interaction,
+        observer: &mut O,
+    ) {
         let i = interaction.initiator().index();
         let j = interaction.responder().index();
         assert!(
@@ -172,8 +227,11 @@ impl<P: Protocol, G: InteractionGraph> Simulation<P, G> {
             "interaction {interaction} out of range for population of {}",
             self.config.len()
         );
-        // Environment hook (oracles). No-op for pure population protocols.
-        self.protocol.environment(self.config.states_mut());
+        // Environment hook (oracles).  Compiled out entirely for pure
+        // protocol types; one predicted branch for erased ones.
+        if P::HAS_ENVIRONMENT && self.env_active {
+            self.protocol.environment(self.config.states_mut());
+        }
 
         // Split-borrow the two interacting states.
         let states = self.config.states_mut();
@@ -184,7 +242,9 @@ impl<P: Protocol, G: InteractionGraph> Simulation<P, G> {
             let (lo, hi) = states.split_at_mut(i);
             (&mut hi[0], &mut lo[j])
         };
+        observer.pre_interaction(&self.protocol, interaction, a, b);
         self.protocol.interact(a, b);
+        observer.post_interaction(&self.protocol, interaction, a, b);
 
         self.stats.record_interaction(i, j);
         self.trace.record(Event::Interaction {
@@ -198,6 +258,14 @@ impl<P: Protocol, G: InteractionGraph> Simulation<P, G> {
     pub fn run_steps(&mut self, k: u64) {
         for _ in 0..k {
             self.step();
+        }
+    }
+
+    /// Runs exactly `k` steps under the uniformly random scheduler with an
+    /// observer attached.
+    pub fn run_steps_observed<O: StepObserver<P>>(&mut self, k: u64, observer: &mut O) {
+        for _ in 0..k {
+            self.step_observed(observer);
         }
     }
 
@@ -217,13 +285,17 @@ impl<P: Protocol, G: InteractionGraph> Simulation<P, G> {
     /// over-estimates the true convergence step by at most `check_interval`.
     pub fn run_until<F>(
         &mut self,
-        predicate: F,
+        mut predicate: F,
         check_interval: u64,
         max_steps: u64,
     ) -> ConvergenceReport
     where
-        F: Fn(&P, &Configuration<P::State>) -> bool,
+        F: FnMut(&P, &Configuration<P::State>) -> bool,
     {
+        // The placeholder name is a borrowed `'static` so this function
+        // allocates nothing per invocation; named callers (`run_criterion`,
+        // the scenario layer) overwrite it once.
+        const PREDICATE: Cow<'static, str> = Cow::Borrowed("predicate");
         let check_interval = check_interval.max(1);
         let start = self.steps;
         if predicate(&self.protocol, &self.config) {
@@ -232,7 +304,7 @@ impl<P: Protocol, G: InteractionGraph> Simulation<P, G> {
                 steps_executed: 0,
                 max_steps,
                 check_interval,
-                criterion: "predicate".into(),
+                criterion: PREDICATE,
             };
         }
         let mut executed = 0u64;
@@ -241,16 +313,18 @@ impl<P: Protocol, G: InteractionGraph> Simulation<P, G> {
             self.run_steps(burst);
             executed += burst;
             if predicate(&self.protocol, &self.config) {
-                self.trace.record(Event::Converged {
-                    step: self.steps,
-                    criterion: "predicate".into(),
-                });
+                if self.trace.is_enabled() {
+                    self.trace.record(Event::Converged {
+                        step: self.steps,
+                        criterion: "predicate".into(),
+                    });
+                }
                 return ConvergenceReport {
                     converged_at: Some(self.steps),
                     steps_executed: executed,
                     max_steps,
                     check_interval,
-                    criterion: "predicate".into(),
+                    criterion: PREDICATE,
                 };
             }
         }
@@ -259,7 +333,7 @@ impl<P: Protocol, G: InteractionGraph> Simulation<P, G> {
             steps_executed: self.steps - start,
             max_steps,
             check_interval,
-            criterion: "predicate".into(),
+            criterion: PREDICATE,
         }
     }
 
@@ -279,7 +353,7 @@ impl<P: Protocol, G: InteractionGraph> Simulation<P, G> {
             check_interval,
             max_steps,
         );
-        report.criterion = name;
+        report.criterion = Cow::Owned(name);
         report
     }
 
@@ -300,13 +374,46 @@ where
     }
 
     /// Runs under the uniformly random scheduler for `max_steps` steps while
-    /// recording every change of the leader set into the trace (regardless of
-    /// whether tracing of interactions is enabled).  Returns the steps at
-    /// which the leader set changed.
+    /// recording every change of the leader set (into the trace too, when
+    /// tracing is enabled).  Returns the steps at which the leader set
+    /// changed.
     ///
     /// This powers the [`crate::convergence::StableOutputs`] estimator for
     /// baseline protocols without a structural safe-configuration checker.
+    ///
+    /// For pure protocols an interaction can only change the leader bits of
+    /// the two touched agents, so changes are detected incrementally from a
+    /// [`LeaderCounter`] observer in O(1) per step (the old implementation
+    /// recomputed — and allocated — the full leader-index vector every
+    /// step).  Oracle protocols ([`Simulation::environment_active`]) can
+    /// mutate any agent per step and keep the O(n) recount path.
     pub fn run_tracking_leader_changes(&mut self, max_steps: u64) -> Vec<u64> {
+        if self.env_active {
+            return self.run_tracking_leader_changes_recount(max_steps);
+        }
+        let mut changes = Vec::new();
+        let mut counter = LeaderCounter::new(&self.protocol, self.config.states());
+        for _ in 0..max_steps {
+            self.step_observed(&mut counter);
+            if counter.last_step_changed() {
+                changes.push(self.steps);
+                if self.trace.is_enabled() {
+                    let leaders = self.protocol.leader_indices(self.config.states());
+                    self.trace.record(Event::LeaderSetChanged {
+                        step: self.steps,
+                        leaders,
+                    });
+                }
+            }
+        }
+        changes
+    }
+
+    /// The O(n)-per-step fallback of
+    /// [`Simulation::run_tracking_leader_changes`], kept for oracle
+    /// protocols whose environment hook may silently retarget leadership
+    /// between interactions.
+    fn run_tracking_leader_changes_recount(&mut self, max_steps: u64) -> Vec<u64> {
         let mut changes = Vec::new();
         let mut current = self.protocol.leader_indices(self.config.states());
         for _ in 0..max_steps {
@@ -314,10 +421,14 @@ where
             let now = self.protocol.leader_indices(self.config.states());
             if now != current {
                 changes.push(self.steps);
-                self.trace.record(Event::LeaderSetChanged {
-                    step: self.steps,
-                    leaders: now.clone(),
-                });
+                // The clone of the index vector is only paid when the trace
+                // actually records it.
+                if self.trace.is_enabled() {
+                    self.trace.record(Event::LeaderSetChanged {
+                        step: self.steps,
+                        leaders: now.clone(),
+                    });
+                }
                 current = now;
             }
         }
@@ -434,6 +545,27 @@ mod tests {
         assert_eq!(sim.trace().len(), 2);
         assert_eq!(sim.num_agents(), 4);
         assert!(sim.graph().is_arc(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "HAS_ENVIRONMENT")]
+    fn oracle_without_has_environment_is_rejected_at_construction() {
+        /// Claims an oracle at runtime but forgot the compile-time opt-in:
+        /// its environment hook would silently never run.
+        #[derive(Clone, Debug)]
+        struct Misconfigured;
+        impl Protocol for Misconfigured {
+            type State = bool;
+            fn interact(&self, _i: &mut bool, _r: &mut bool) {}
+            fn environment(&self, states: &mut [bool]) {
+                states.fill(true);
+            }
+            fn uses_oracle(&self) -> bool {
+                true
+            }
+        }
+        let g = CompleteGraph::new(4);
+        let _ = Simulation::new(Misconfigured, g, Configuration::uniform(4, false), 0);
     }
 
     #[test]
