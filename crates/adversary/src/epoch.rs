@@ -1,0 +1,267 @@
+//! Epoch-confined schedules with a fairness auditor.
+//!
+//! An [`EpochPartitionScheduler`] splits the arc set into `blocks` groups
+//! (round-robin by arc index, so every group is non-empty) and confines each
+//! *epoch* of `epoch_len` consecutive steps to one group, cycling through
+//! the groups forever.  Locally the schedule looks starved — whole regions
+//! of the graph see no interaction for `(blocks - 1) · epoch_len` steps at a
+//! stretch — but globally it is **fair by construction**: every group recurs
+//! every `blocks` epochs and every arc of a scheduled group has positive
+//! probability per step, so every arc fires infinitely often almost surely.
+//! That is exactly the global-fairness premise of the paper's
+//! self-stabilization claim, which is why every Table 1 protocol must still
+//! converge under this scheduler (covered by the workspace property tests).
+//!
+//! The optional [`FairnessAuditor`] certifies the premise empirically for a
+//! concrete run: it counts per-arc firings and reports a
+//! [`FairnessCertificate`] (did every arc fire, the minimum count, how many
+//! full rotations completed).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use rand::Rng;
+
+use population::{Interaction, InteractionGraph, PopulationError, Result, Scheduler};
+
+/// Shared, cheaply clonable handle to the per-arc fairness counts of one or
+/// more [`EpochPartitionScheduler`] runs.
+///
+/// Clone a handle into the scheduler (or the `SchedulerFamily` closure that
+/// builds one per run) and read [`FairnessAuditor::certificate`] afterwards.
+#[derive(Clone, Debug, Default)]
+pub struct FairnessAuditor {
+    inner: Arc<Mutex<AuditInner>>,
+}
+
+#[derive(Debug, Default)]
+struct AuditInner {
+    /// Expected arcs (registered when a scheduler attaches) and their
+    /// observed firing counts.
+    counts: HashMap<(usize, usize), u64>,
+    steps: u64,
+    rotations: u64,
+}
+
+/// The auditor's verdict over the audited steps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FairnessCertificate {
+    /// Number of distinct arcs the audited schedulers could schedule.
+    pub arcs: usize,
+    /// Number of those arcs observed to fire at least once.
+    pub fired: usize,
+    /// The minimum per-arc firing count (0 if any arc never fired).
+    pub min_fires: u64,
+    /// Total audited steps.
+    pub steps: u64,
+    /// Completed full rotations through all groups.
+    pub rotations: u64,
+}
+
+impl FairnessCertificate {
+    /// `true` if every schedulable arc fired at least once in the audited
+    /// window — the empirical witness of the fair-schedule premise.
+    pub fn is_fair(&self) -> bool {
+        self.arcs > 0 && self.fired == self.arcs
+    }
+}
+
+impl FairnessAuditor {
+    /// Creates an empty auditor.
+    pub fn new() -> Self {
+        FairnessAuditor::default()
+    }
+
+    /// Registers the arcs a scheduler can dispense (count 0 until observed).
+    fn register(&self, arcs: &[Interaction]) {
+        let mut inner = self.inner.lock().expect("auditor poisoned");
+        for arc in arcs {
+            inner
+                .counts
+                .entry((arc.initiator().index(), arc.responder().index()))
+                .or_insert(0);
+        }
+    }
+
+    fn record(&self, arc: Interaction, completed_rotation: bool) {
+        let mut inner = self.inner.lock().expect("auditor poisoned");
+        *inner
+            .counts
+            .entry((arc.initiator().index(), arc.responder().index()))
+            .or_insert(0) += 1;
+        inner.steps += 1;
+        if completed_rotation {
+            inner.rotations += 1;
+        }
+    }
+
+    /// Clears all recorded state (e.g. between independent runs that reuse
+    /// one handle).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock().expect("auditor poisoned");
+        *inner = AuditInner::default();
+    }
+
+    /// The verdict over everything recorded so far.
+    pub fn certificate(&self) -> FairnessCertificate {
+        let inner = self.inner.lock().expect("auditor poisoned");
+        let fired = inner.counts.values().filter(|&&c| c > 0).count();
+        FairnessCertificate {
+            arcs: inner.counts.len(),
+            fired,
+            min_fires: inner.counts.values().copied().min().unwrap_or(0),
+            steps: inner.steps,
+            rotations: inner.rotations,
+        }
+    }
+}
+
+/// A scheduler confining each epoch of steps to one group of an arc
+/// partition, cycling through the groups.
+#[derive(Clone, Debug)]
+pub struct EpochPartitionScheduler {
+    arcs: Vec<Interaction>,
+    blocks: usize,
+    epoch_len: u64,
+    step: u64,
+    auditor: Option<FairnessAuditor>,
+}
+
+impl EpochPartitionScheduler {
+    /// Creates the scheduler over the arcs of `graph`.  `blocks` is clamped
+    /// to `[1, num_arcs]` and `epoch_len` to `>= 1`; group `g` contains the
+    /// arcs whose index is `≡ g (mod blocks)`, so every group is non-empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopulationError::EmptyArcSet`] if the graph has no arcs.
+    pub fn new<G: InteractionGraph>(graph: &G, blocks: usize, epoch_len: u64) -> Result<Self> {
+        let arcs = graph.arcs();
+        if arcs.is_empty() {
+            return Err(PopulationError::EmptyArcSet);
+        }
+        let blocks = blocks.clamp(1, arcs.len());
+        Ok(EpochPartitionScheduler {
+            arcs,
+            blocks,
+            epoch_len: epoch_len.max(1),
+            step: 0,
+            auditor: None,
+        })
+    }
+
+    /// Attaches a fairness auditor (registering this scheduler's arcs with
+    /// it).  Auditing takes a mutex per step; leave it off on hot paths.
+    pub fn with_auditor(mut self, auditor: FairnessAuditor) -> Self {
+        auditor.register(&self.arcs);
+        self.auditor = Some(auditor);
+        self
+    }
+
+    /// Number of groups in the partition (after clamping).
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// Steps per epoch (after clamping).
+    pub fn epoch_len(&self) -> u64 {
+        self.epoch_len
+    }
+}
+
+impl<G: InteractionGraph> Scheduler<G> for EpochPartitionScheduler {
+    fn next_interaction<R: Rng + ?Sized>(
+        &mut self,
+        _graph: &G,
+        rng: &mut R,
+    ) -> Result<Interaction> {
+        let group = ((self.step / self.epoch_len) % self.blocks as u64) as usize;
+        // Group members are arcs[group], arcs[group + blocks], ...
+        let members = (self.arcs.len() - group).div_ceil(self.blocks);
+        let pick = rng.gen_range(0..members);
+        let arc = self.arcs[group + pick * self.blocks];
+        self.step += 1;
+        if let Some(auditor) = &self.auditor {
+            let rotation = self.epoch_len * self.blocks as u64;
+            auditor.record(arc, self.step.is_multiple_of(rotation));
+        }
+        Ok(arc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use population::{CompleteGraph, DirectedRing};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn epochs_confine_interactions_to_one_group() {
+        let ring = DirectedRing::new(6).unwrap();
+        let mut sched = EpochPartitionScheduler::new(&ring, 3, 10).unwrap();
+        let arcs = ring.arcs();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for epoch in 0..6u64 {
+            for _ in 0..10 {
+                let arc = Scheduler::<DirectedRing>::next_interaction(&mut sched, &ring, &mut rng)
+                    .unwrap();
+                let idx = arcs.iter().position(|a| *a == arc).unwrap();
+                assert_eq!(
+                    idx % 3,
+                    (epoch % 3) as usize,
+                    "epoch {epoch} scheduled an arc of the wrong group"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auditor_certifies_full_coverage_over_rotations() {
+        let graph = CompleteGraph::new(5);
+        let auditor = FairnessAuditor::new();
+        let mut sched = EpochPartitionScheduler::new(&graph, 4, 8)
+            .unwrap()
+            .with_auditor(auditor.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..4_000 {
+            Scheduler::<CompleteGraph>::next_interaction(&mut sched, &graph, &mut rng).unwrap();
+        }
+        let cert = auditor.certificate();
+        assert_eq!(cert.arcs, graph.num_arcs());
+        assert!(cert.is_fair(), "certificate: {cert:?}");
+        assert!(cert.min_fires > 0);
+        assert_eq!(cert.steps, 4_000);
+        assert_eq!(cert.rotations, 4_000 / (4 * 8));
+        auditor.reset();
+        assert_eq!(auditor.certificate().steps, 0);
+        assert!(!auditor.certificate().is_fair(), "empty audit is not fair");
+    }
+
+    #[test]
+    fn starved_window_is_real() {
+        // Within one epoch, arcs outside the active group never fire — the
+        // adversarial half of the construction.
+        let ring = DirectedRing::new(8).unwrap();
+        let mut sched = EpochPartitionScheduler::new(&ring, 2, 1_000).unwrap();
+        let arcs = ring.arcs();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut group1 = 0usize;
+        for _ in 0..1_000 {
+            let arc =
+                Scheduler::<DirectedRing>::next_interaction(&mut sched, &ring, &mut rng).unwrap();
+            if arcs.iter().position(|a| *a == arc).unwrap() % 2 == 1 {
+                group1 += 1;
+            }
+        }
+        assert_eq!(group1, 0, "first epoch must starve the second group");
+    }
+
+    #[test]
+    fn parameters_are_clamped() {
+        let ring = DirectedRing::new(3).unwrap();
+        let sched = EpochPartitionScheduler::new(&ring, 100, 0).unwrap();
+        assert_eq!(sched.blocks(), 3);
+        assert_eq!(sched.epoch_len(), 1);
+    }
+}

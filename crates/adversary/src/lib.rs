@@ -1,0 +1,48 @@
+//! # ssle-adversary
+//!
+//! The adversary engine: everything the workspace uses to stress the
+//! *self-stabilization* claim of the paper beyond the benign setting.
+//!
+//! The paper proves convergence from **arbitrary** initial configurations
+//! under the uniformly random scheduler; average-case sweeps from sampled
+//! inits exercise only a thin slice of that contract.  This crate opens the
+//! worst-case workload class:
+//!
+//! * a **scheduler zoo** — non-uniform arc distributions
+//!   ([`WeightedScheduler`]), epoch-confined interaction patterns with an
+//!   empirical fairness auditor ([`EpochPartitionScheduler`],
+//!   [`FairnessAuditor`]), and a state-aware greedy adversary that scores
+//!   candidate arcs against a protocol-supplied potential
+//!   ([`GreedyAdversary`]);
+//! * a serializable **scheduler description** ([`SchedulerSpec`]) that turns
+//!   into a `population::SchedulerFamily`, so any `Scenario` can be re-run
+//!   under any zoo member via `Scenario::with_scheduler`;
+//! * a **worst-case search engine** ([`worst_case_search`]) — deterministic
+//!   mutation/annealing over initial-condition variants, seeds and scheduler
+//!   parameters that maximizes observed stabilization time and emits
+//!   reproducible [`WorstCase`] certificates.
+//!
+//! The crate is protocol-agnostic: it only speaks the erased vocabulary of
+//! `population::scenario` (`DynState`, `DynScheduler`, `SchedulerFamily`).
+//! The Table 1 wiring — which scenarios to attack, which potentials to hand
+//! the greedy adversary — lives in `ssle-bench` (`stabilization` module, the
+//! `stabilization_report` and `fig_worstcase` binaries).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod epoch;
+pub mod greedy;
+pub mod search;
+pub mod spec;
+pub mod weighted;
+
+pub use epoch::{EpochPartitionScheduler, FairnessAuditor, FairnessCertificate};
+pub use greedy::{ArcScorer, GreedyAdversary};
+pub use search::{
+    worst_case_search, Candidate, Evaluation, SearchConfig, SearchOutcome, SearchSpace, SpecDomain,
+    WorstCase,
+};
+pub use spec::SchedulerSpec;
+pub use weighted::WeightedScheduler;

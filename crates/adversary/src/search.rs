@@ -1,0 +1,463 @@
+//! Worst-case stabilization search.
+//!
+//! Average-case sweeps measure *mean* stabilization time; the interesting
+//! quantity for a self-stabilizing protocol is the **worst case** over
+//! initial configurations and schedules.  Exhausting that space is hopeless
+//! (it is exponential), so this module searches it: simulated annealing over
+//! [`Candidate`]s — an initial-condition variant, a seed and a
+//! [`SchedulerSpec`] — maximizing the observed stabilization time reported
+//! by a driver-supplied evaluation function.
+//!
+//! Everything is deterministic: mutations come from a `ChaCha8Rng` seeded by
+//! [`SearchConfig::seed`], and evaluation is the driver's responsibility to
+//! keep seed-deterministic (scenario runs are).  The result is a
+//! [`WorstCase`] **certificate**: re-evaluating its candidate reproduces the
+//! same step count, so worst cases found once can be archived, shared and
+//! re-verified (covered by workspace tests).
+//!
+//! The search is seeded with an already-evaluated candidate pool — typically
+//! the random-scheduler trials a report also uses for its mean — which
+//! guarantees `worst-found ≥ max(pool) ≥ mean(pool)` by construction.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::spec::SchedulerSpec;
+
+/// One point of the search space: which initial-condition variant to start
+/// from, the seed driving init + simulation, and the scheduler description.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Candidate {
+    /// Index into the driver's list of initial-condition variants.
+    pub variant: u32,
+    /// The sweep-point seed (drives the initial configuration and the
+    /// simulation RNG).
+    pub seed: u64,
+    /// The scheduler to run under.
+    pub spec: SchedulerSpec,
+}
+
+/// The driver's verdict on one candidate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Evaluation {
+    /// Observed stabilization steps, censored at the run's step budget when
+    /// the run did not converge (a censored run is a *worst* case: the true
+    /// value is at least the budget).
+    pub steps: u64,
+    /// Whether the run converged within the budget.
+    pub converged: bool,
+}
+
+/// A reproducible worst case: the candidate plus its observed evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorstCase {
+    /// The candidate that produced the worst observed stabilization time.
+    pub candidate: Candidate,
+    /// Observed stabilization steps (censored at the budget if
+    /// `!converged`).
+    pub steps: u64,
+    /// Whether the worst-case run converged within the budget.
+    pub converged: bool,
+}
+
+/// Which scheduler mutations the search may propose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpecDomain {
+    /// Allow [`SchedulerSpec::Weighted`] proposals.
+    pub weighted: bool,
+    /// Upper bound on the weighted bias factor.
+    pub max_bias: u32,
+    /// Allow [`SchedulerSpec::EpochPartition`] proposals.
+    pub epoch: bool,
+    /// Upper bound on the number of partition blocks.
+    pub max_blocks: u32,
+    /// Upper bound on the epoch length.
+    pub max_epoch_len: u64,
+    /// Allow [`SchedulerSpec::Greedy`] proposals (requires the driver to
+    /// supply a scorer when building families).
+    pub greedy: bool,
+    /// Upper bound on greedy candidate-pool size.
+    pub max_candidates: u32,
+}
+
+impl SpecDomain {
+    /// The full zoo with moderate parameter ranges.
+    pub fn all() -> Self {
+        SpecDomain {
+            weighted: true,
+            max_bias: 64,
+            epoch: true,
+            max_blocks: 8,
+            max_epoch_len: 4096,
+            greedy: true,
+            max_candidates: 6,
+        }
+    }
+
+    /// The state-blind zoo (no greedy adversary) — for drivers without a
+    /// potential, or where per-step scoring is too expensive.
+    pub fn state_blind() -> Self {
+        SpecDomain {
+            greedy: false,
+            ..SpecDomain::all()
+        }
+    }
+
+    /// Samples a uniformly random spec from the allowed kinds (falling back
+    /// to [`SchedulerSpec::Random`] when everything is disabled).
+    fn sample(&self, rng: &mut ChaCha8Rng) -> SchedulerSpec {
+        let mut kinds: Vec<u8> = vec![0];
+        if self.weighted {
+            kinds.push(1);
+        }
+        if self.epoch {
+            kinds.push(2);
+        }
+        if self.greedy {
+            kinds.push(3);
+        }
+        match kinds[rng.gen_range(0..kinds.len())] {
+            1 => SchedulerSpec::Weighted {
+                hot_per_mille: rng.gen_range(1..=500),
+                bias: rng.gen_range(2..=self.max_bias.max(2)),
+                seed: rng.gen(),
+            },
+            2 => SchedulerSpec::EpochPartition {
+                blocks: rng.gen_range(2..=self.max_blocks.max(2)),
+                epoch_len: rng.gen_range(1..=self.max_epoch_len.max(1)),
+            },
+            3 => SchedulerSpec::Greedy {
+                candidates: rng.gen_range(2..=self.max_candidates.max(2)),
+            },
+            _ => SchedulerSpec::Random,
+        }
+    }
+
+    /// Proposes a small perturbation of `spec` (or a kind switch).
+    fn tweak(&self, spec: &SchedulerSpec, rng: &mut ChaCha8Rng) -> SchedulerSpec {
+        // One third of tweaks re-draw the kind entirely; the rest perturb a
+        // single parameter of the current spec.
+        if spec.is_random() || rng.gen_range(0..3u8) == 0 {
+            return self.sample(rng);
+        }
+        match *spec {
+            SchedulerSpec::Random => unreachable!("handled above"),
+            SchedulerSpec::Weighted {
+                hot_per_mille,
+                bias,
+                seed,
+            } => match rng.gen_range(0..3u8) {
+                0 => SchedulerSpec::Weighted {
+                    hot_per_mille: half_or_double(hot_per_mille as u64, 1, 500, rng) as u16,
+                    bias,
+                    seed,
+                },
+                1 => SchedulerSpec::Weighted {
+                    hot_per_mille,
+                    bias: half_or_double(bias as u64, 2, self.max_bias.max(2) as u64, rng) as u32,
+                    seed,
+                },
+                _ => SchedulerSpec::Weighted {
+                    hot_per_mille,
+                    bias,
+                    seed: rng.gen(),
+                },
+            },
+            SchedulerSpec::EpochPartition { blocks, epoch_len } => {
+                if rng.gen_bool(0.5) {
+                    SchedulerSpec::EpochPartition {
+                        blocks: step_up_down(blocks as u64, 2, self.max_blocks.max(2) as u64, rng)
+                            as u32,
+                        epoch_len,
+                    }
+                } else {
+                    SchedulerSpec::EpochPartition {
+                        blocks,
+                        epoch_len: half_or_double(epoch_len, 1, self.max_epoch_len.max(1), rng),
+                    }
+                }
+            }
+            SchedulerSpec::Greedy { candidates } => SchedulerSpec::Greedy {
+                candidates: step_up_down(
+                    candidates as u64,
+                    2,
+                    self.max_candidates.max(2) as u64,
+                    rng,
+                ) as u32,
+            },
+        }
+    }
+}
+
+fn half_or_double(v: u64, lo: u64, hi: u64, rng: &mut ChaCha8Rng) -> u64 {
+    let next = if rng.gen_bool(0.5) {
+        v.saturating_mul(2)
+    } else {
+        v / 2
+    };
+    next.clamp(lo, hi)
+}
+
+fn step_up_down(v: u64, lo: u64, hi: u64, rng: &mut ChaCha8Rng) -> u64 {
+    let next = if rng.gen_bool(0.5) {
+        v + 1
+    } else {
+        v.saturating_sub(1)
+    };
+    next.clamp(lo, hi)
+}
+
+/// The mutation domain of one search.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchSpace {
+    /// Number of initial-condition variants the driver can evaluate
+    /// (`Candidate::variant` stays below this).
+    pub variants: u32,
+    /// Allowed scheduler mutations.
+    pub specs: SpecDomain,
+}
+
+/// Annealing parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchConfig {
+    /// Mutation/evaluation rounds after the seed pool.
+    pub iterations: u32,
+    /// Seed of the mutation RNG (the whole search is deterministic in it).
+    pub seed: u64,
+    /// Geometric temperature decay per iteration, in `(0, 1]`.
+    pub cooling: f64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            iterations: 12,
+            seed: 0xADF5,
+            cooling: 0.85,
+        }
+    }
+}
+
+/// The result of one search.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// The worst case found (over the pool and every proposal).
+    pub best: WorstCase,
+    /// Total driver evaluations performed (excluding the pre-evaluated
+    /// pool).
+    pub evaluations: u32,
+}
+
+/// Runs the annealing search.
+///
+/// `pool` is the already-evaluated seed population (e.g. the
+/// random-scheduler trials whose mean a report publishes); the search starts
+/// from its maximum, which guarantees the returned worst case is at least as
+/// bad as every pool member.  `evaluate` must be deterministic per candidate
+/// for certificates to be reproducible.
+///
+/// # Panics
+///
+/// Panics if `pool` is empty or `space.variants == 0`.
+pub fn worst_case_search<E>(
+    space: &SearchSpace,
+    pool: &[(Candidate, Evaluation)],
+    mut evaluate: E,
+    config: &SearchConfig,
+) -> SearchOutcome
+where
+    E: FnMut(&Candidate) -> Evaluation,
+{
+    assert!(!pool.is_empty(), "worst_case_search needs a seed pool");
+    assert!(space.variants > 0, "worst_case_search needs >= 1 variant");
+    let (seed_candidate, seed_eval) = pool
+        .iter()
+        .max_by_key(|(_, e)| e.steps)
+        .expect("non-empty pool");
+    let mut best = WorstCase {
+        candidate: seed_candidate.clone(),
+        steps: seed_eval.steps,
+        converged: seed_eval.converged,
+    };
+    let mut current = best.clone();
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    // Self-scaling temperature: a quarter of the seed score, decayed
+    // geometrically.  With temperature ~0 the search becomes pure hill
+    // climbing.
+    let mut temperature = (best.steps as f64 / 4.0).max(1.0);
+    let mut evaluations = 0u32;
+    for _ in 0..config.iterations {
+        let proposal = mutate(&current.candidate, space, &mut rng);
+        let eval = evaluate(&proposal);
+        evaluations += 1;
+        let accept = eval.steps >= current.steps || {
+            let drop = (current.steps - eval.steps) as f64;
+            rng.gen_bool((-drop / temperature).exp().clamp(0.0, 1.0))
+        };
+        if accept {
+            current = WorstCase {
+                candidate: proposal,
+                steps: eval.steps,
+                converged: eval.converged,
+            };
+        }
+        if current.steps > best.steps {
+            best = current.clone();
+        }
+        temperature = (temperature * config.cooling).max(1.0);
+    }
+    SearchOutcome { best, evaluations }
+}
+
+/// Proposes a neighbour of `candidate`: a new seed, a different variant, or
+/// a scheduler mutation.
+fn mutate(candidate: &Candidate, space: &SearchSpace, rng: &mut ChaCha8Rng) -> Candidate {
+    let mut next = candidate.clone();
+    // Moves: 0 = reseed, 1 = switch variant (when available), 2-3 =
+    // scheduler mutation (the scheduler is the richest axis, so it gets
+    // half the mass).
+    let moves = if space.variants > 1 { 4 } else { 3 };
+    match rng.gen_range(0..moves) {
+        0 => next.seed = rng.gen(),
+        1 if space.variants > 1 => {
+            // Uniform over the *other* variants.
+            let shift = rng.gen_range(1..space.variants);
+            next.variant = (next.variant + shift) % space.variants;
+        }
+        _ => next.spec = space.specs.tweak(&next.spec, rng),
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic synthetic objective with structure for the search to
+    /// exploit: rewards epoch partitions with many blocks plus a
+    /// seed-dependent wrinkle.
+    fn synthetic(c: &Candidate) -> Evaluation {
+        let spec_score = match &c.spec {
+            SchedulerSpec::Random => 10,
+            SchedulerSpec::Weighted { bias, .. } => 20 + *bias as u64,
+            SchedulerSpec::EpochPartition { blocks, .. } => 50 + 10 * *blocks as u64,
+            SchedulerSpec::Greedy { candidates } => 40 + *candidates as u64,
+        };
+        let steps = spec_score + (c.seed % 7) + 5 * c.variant as u64;
+        Evaluation {
+            steps,
+            converged: true,
+        }
+    }
+
+    fn pool() -> Vec<(Candidate, Evaluation)> {
+        (0..3u64)
+            .map(|s| {
+                let c = Candidate {
+                    variant: 0,
+                    seed: s,
+                    spec: SchedulerSpec::Random,
+                };
+                let e = synthetic(&c);
+                (c, e)
+            })
+            .collect()
+    }
+
+    fn space() -> SearchSpace {
+        SearchSpace {
+            variants: 3,
+            specs: SpecDomain::all(),
+        }
+    }
+
+    #[test]
+    fn search_improves_over_the_seed_pool_and_is_deterministic() {
+        let config = SearchConfig {
+            iterations: 60,
+            seed: 9,
+            cooling: 0.9,
+        };
+        let a = worst_case_search(&space(), &pool(), synthetic, &config);
+        let b = worst_case_search(&space(), &pool(), synthetic, &config);
+        assert_eq!(a.best, b.best, "search is deterministic in its seed");
+        assert_eq!(a.evaluations, 60);
+        let pool_max = pool().iter().map(|(_, e)| e.steps).max().unwrap();
+        assert!(
+            a.best.steps > pool_max,
+            "60 structured iterations should beat the random pool ({} vs {pool_max})",
+            a.best.steps
+        );
+        // The certificate reproduces.
+        assert_eq!(synthetic(&a.best.candidate).steps, a.best.steps);
+    }
+
+    #[test]
+    fn worst_found_is_never_below_the_pool_maximum() {
+        // Even a zero-iteration search returns the pool's max — the
+        // invariant behind "worst-found >= mean" in reports.
+        let config = SearchConfig {
+            iterations: 0,
+            ..SearchConfig::default()
+        };
+        let outcome = worst_case_search(&space(), &pool(), synthetic, &config);
+        let pool_max = pool().iter().map(|(_, e)| e.steps).max().unwrap();
+        assert_eq!(outcome.best.steps, pool_max);
+        assert_eq!(outcome.evaluations, 0);
+    }
+
+    #[test]
+    fn domain_restrictions_are_respected() {
+        let space = SearchSpace {
+            variants: 1,
+            specs: SpecDomain::state_blind(),
+        };
+        let config = SearchConfig {
+            iterations: 200,
+            seed: 3,
+            cooling: 0.95,
+        };
+        let outcome = worst_case_search(
+            &space,
+            &pool(),
+            |c| {
+                assert!(
+                    !matches!(c.spec, SchedulerSpec::Greedy { .. }),
+                    "greedy is outside the domain"
+                );
+                assert_eq!(c.variant, 0, "single-variant space never switches");
+                synthetic(c)
+            },
+            &config,
+        );
+        assert!(outcome.best.steps >= 10);
+    }
+
+    #[test]
+    fn mutations_stay_in_bounds() {
+        let domain = SpecDomain::all();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut spec = SchedulerSpec::Random;
+        for _ in 0..2_000 {
+            spec = domain.tweak(&spec, &mut rng);
+            match &spec {
+                SchedulerSpec::Random => {}
+                SchedulerSpec::Weighted {
+                    hot_per_mille,
+                    bias,
+                    ..
+                } => {
+                    assert!((1..=500).contains(hot_per_mille));
+                    assert!((2..=domain.max_bias).contains(bias));
+                }
+                SchedulerSpec::EpochPartition { blocks, epoch_len } => {
+                    assert!((2..=domain.max_blocks).contains(blocks));
+                    assert!((1..=domain.max_epoch_len).contains(epoch_len));
+                }
+                SchedulerSpec::Greedy { candidates } => {
+                    assert!((2..=domain.max_candidates).contains(candidates));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Serializable scheduler descriptions.
+//!
+//! The worst-case search mutates *descriptions* of schedulers, not live
+//! scheduler objects: a [`SchedulerSpec`] is a small, exactly-comparable
+//! value (integer parameters only, no floats) that deterministically builds
+//! the same `population::SchedulerFamily` every time.  That is what makes
+//! [`crate::WorstCase`] certificates reproducible — re-running a certificate
+//! rebuilds the identical scheduler from its spec.
+
+use population::SchedulerFamily;
+
+use crate::epoch::EpochPartitionScheduler;
+use crate::greedy::{ArcScorer, GreedyAdversary};
+use crate::weighted::WeightedScheduler;
+
+/// A value-level description of one scheduler-zoo member.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SchedulerSpec {
+    /// The uniformly random scheduler (the model's default; builds the
+    /// scenario fast path, not a boxed scheduler).
+    Random,
+    /// [`WeightedScheduler::biased`]: `hot_per_mille` ‰ of the arcs (at
+    /// least one) weighted `bias`×, hot set drawn from `seed`.
+    Weighted {
+        /// Hot-arc share of the arc set, in per-mille (clamped to ≥ 1 arc).
+        hot_per_mille: u16,
+        /// Weight multiplier of the hot arcs.
+        bias: u32,
+        /// Seed selecting which arcs are hot.
+        seed: u64,
+    },
+    /// [`EpochPartitionScheduler`]: `blocks` arc groups, `epoch_len` steps
+    /// per epoch.
+    EpochPartition {
+        /// Number of groups in the arc partition.
+        blocks: u32,
+        /// Steps per epoch.
+        epoch_len: u64,
+    },
+    /// [`GreedyAdversary`]: `candidates` arcs sampled and scored per step
+    /// against the driver-supplied potential.
+    Greedy {
+        /// Candidate arcs scored per step.
+        candidates: u32,
+    },
+}
+
+impl SchedulerSpec {
+    /// A compact, stable key for reports and JSON output.
+    pub fn key(&self) -> String {
+        match self {
+            SchedulerSpec::Random => "random".to_string(),
+            SchedulerSpec::Weighted {
+                hot_per_mille,
+                bias,
+                seed,
+            } => format!("weighted(hot={hot_per_mille}pm,bias={bias},seed={seed})"),
+            SchedulerSpec::EpochPartition { blocks, epoch_len } => {
+                format!("epoch-partition(blocks={blocks},epoch={epoch_len})")
+            }
+            SchedulerSpec::Greedy { candidates } => format!("greedy(candidates={candidates})"),
+        }
+    }
+
+    /// `true` for the default uniformly random scheduler.
+    pub fn is_random(&self) -> bool {
+        matches!(self, SchedulerSpec::Random)
+    }
+
+    /// Builds the scheduler family this spec describes.  `scorer` is the
+    /// protocol-supplied potential for [`SchedulerSpec::Greedy`]; the other
+    /// variants ignore it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a greedy spec is built without a scorer — greedy adversaries
+    /// are only meaningful against a potential, so the driver must either
+    /// supply one or keep `Greedy` out of its search domain.
+    pub fn family(&self, scorer: Option<ArcScorer>) -> SchedulerFamily {
+        match self.clone() {
+            SchedulerSpec::Random => SchedulerFamily::Random,
+            SchedulerSpec::Weighted {
+                hot_per_mille,
+                bias,
+                seed,
+            } => SchedulerFamily::custom(self.key(), move |_pt, graph| {
+                let arcs = population::InteractionGraph::num_arcs(graph);
+                let hot = (arcs * hot_per_mille as usize).div_ceil(1000).max(1);
+                Box::new(WeightedScheduler::biased(graph, hot, bias as u64, seed))
+            }),
+            SchedulerSpec::EpochPartition { blocks, epoch_len } => {
+                SchedulerFamily::custom(self.key(), move |_pt, graph| {
+                    Box::new(
+                        EpochPartitionScheduler::new(graph, blocks as usize, epoch_len)
+                            .expect("scenario graphs have arcs"),
+                    )
+                })
+            }
+            SchedulerSpec::Greedy { candidates } => {
+                let scorer = scorer.unwrap_or_else(|| {
+                    panic!("SchedulerSpec::Greedy requires a protocol-supplied scorer")
+                });
+                SchedulerFamily::custom(self.key(), move |_pt, _graph| {
+                    Box::new(GreedyAdversary::new(scorer.clone(), candidates as usize))
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use population::{Configuration, DynState, GraphFamily, SweepPoint};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::sync::Arc;
+
+    #[test]
+    fn keys_are_distinct_and_descriptive() {
+        let specs = [
+            SchedulerSpec::Random,
+            SchedulerSpec::Weighted {
+                hot_per_mille: 125,
+                bias: 16,
+                seed: 7,
+            },
+            SchedulerSpec::EpochPartition {
+                blocks: 4,
+                epoch_len: 256,
+            },
+            SchedulerSpec::Greedy { candidates: 4 },
+        ];
+        let keys: Vec<String> = specs.iter().map(|s| s.key()).collect();
+        let mut dedup = keys.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), keys.len());
+        assert!(specs[0].is_random() && !specs[1].is_random());
+    }
+
+    #[test]
+    fn families_build_working_schedulers() {
+        let graph = GraphFamily::DirectedRing.build(8).unwrap();
+        let states: Vec<DynState> = Configuration::uniform(8, 0u32)
+            .into_states()
+            .into_iter()
+            .map(DynState::new)
+            .collect();
+        let point = SweepPoint::new(8, 1);
+        let scorer: ArcScorer = Arc::new(|_s, _a| 1.0);
+        for spec in [
+            SchedulerSpec::Weighted {
+                hot_per_mille: 250,
+                bias: 8,
+                seed: 3,
+            },
+            SchedulerSpec::EpochPartition {
+                blocks: 2,
+                epoch_len: 16,
+            },
+            SchedulerSpec::Greedy { candidates: 3 },
+        ] {
+            let family = spec.family(Some(scorer.clone()));
+            assert_eq!(family.name(), spec.key());
+            match family {
+                population::SchedulerFamily::Custom { build, .. } => {
+                    let mut sched = build(&point, &graph);
+                    let mut rng = ChaCha8Rng::seed_from_u64(5);
+                    for _ in 0..50 {
+                        sched.schedule(&graph, &states, &mut rng).unwrap();
+                    }
+                }
+                population::SchedulerFamily::Random => panic!("expected a custom family"),
+            }
+        }
+        assert!(SchedulerSpec::Random.family(None).is_random());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a protocol-supplied scorer")]
+    fn greedy_without_scorer_panics() {
+        let _ = SchedulerSpec::Greedy { candidates: 2 }.family(None);
+    }
+}

@@ -1,0 +1,129 @@
+//! Experiment E12 — worst-case stabilization on the ring.
+//!
+//! For every Table 1 protocol and each population size, the binary measures
+//! the mean stabilization time of a random-scheduler trial pool and then
+//! lets the `ssle-adversary` search engine attack the same scenario:
+//! annealing over initial-condition variants (`P_PL` gets the full
+//! adversarial family zoo of `ssle_core::init`), seeds and scheduler-zoo
+//! parameters (weighted arc distributions, epoch partitions, and the
+//! state-aware greedy adversary — scored by the segment/token potential of
+//! `ssle-core` for `P_PL`, a leader-preservation potential otherwise).
+//! Reported per cell: mean vs worst-found steps, the worst/mean ratio, and
+//! the reproducible worst-case certificate (init variant, seed, scheduler).
+//!
+//! ```text
+//! cargo run --release -p ssle-bench --bin fig_worstcase
+//! cargo run --release -p ssle-bench --bin fig_worstcase -- --sizes 16,32 --trials 4 --json
+//! ```
+//!
+//! `--trials` sizes the random pool; `--full` doubles the search depth.
+//! Sizes default to small rings (worst-case search re-runs each scenario
+//! dozens of times; see `stabilization_report` for the tracked large-`n`
+//! grid).
+
+use analysis::Table;
+use ssle_adversary::{
+    worst_case_search, Candidate, Evaluation, SchedulerSpec, SearchConfig, SearchSpace, SpecDomain,
+};
+use ssle_bench::cli::BenchArgs;
+use ssle_bench::hotloop::HotloopGraph;
+use ssle_bench::report::Report;
+use ssle_bench::stabilization::{
+    dyn_protocol, evaluate_with, leader_delta_scorer, ppl_segment_scorer, stab_budget,
+    variant_names,
+};
+use ssle_bench::ProtocolKind;
+
+/// Evaluates one candidate on the ring through the shared censoring policy
+/// of `stabilization::evaluate_with`, with the protocol-appropriate greedy
+/// potential: the `ssle-core` segment potential for `P_PL` (O(n) per scored
+/// arc — affordable at these sizes), leader preservation otherwise.
+fn evaluate(kind: ProtocolKind, n: usize, budget: u64, candidate: &Candidate) -> Evaluation {
+    evaluate_with(
+        kind,
+        HotloopGraph::Ring,
+        n,
+        budget,
+        candidate,
+        |kind, n| match kind {
+            ProtocolKind::Ppl | ProtocolKind::PplPaperConstants => ppl_segment_scorer(n),
+            _ => leader_delta_scorer(dyn_protocol(kind, n)),
+        },
+    )
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    // Worst-case search re-runs every scenario (trials + iterations) times;
+    // default to small rings instead of the sweep preset.
+    let sizes = args.sizes.clone().unwrap_or_else(|| vec![16, 24, 32]);
+    let trials = args.trials.unwrap_or(4);
+    let iterations = if args.full { 24 } else { 12 };
+
+    let mut report = Report::new("Worst-case stabilization search (E12, directed ring)");
+    let mut table = Table::new(
+        "Mean (random scheduler) vs worst-found stabilization steps",
+        &[
+            "protocol",
+            "n",
+            "mean steps",
+            "worst steps",
+            "worst/mean",
+            "worst scheduler",
+            "worst init",
+            "converged",
+        ],
+    );
+    for kind in ProtocolKind::ALL {
+        for &n in &sizes {
+            let budget = stab_budget(kind, n, false);
+            let base = args.seed_or(0xE12) ^ ((n as u64) << 16);
+            let pool: Vec<(Candidate, Evaluation)> = (0..trials)
+                .map(|t| {
+                    let candidate = Candidate {
+                        variant: 0,
+                        seed: base.wrapping_add(t as u64),
+                        spec: SchedulerSpec::Random,
+                    };
+                    let eval = evaluate(kind, n, budget, &candidate);
+                    (candidate, eval)
+                })
+                .collect();
+            let mean = pool.iter().map(|(_, e)| e.steps as f64).sum::<f64>() / trials as f64;
+            let space = SearchSpace {
+                variants: variant_names(kind).len() as u32,
+                specs: SpecDomain::all(),
+            };
+            let outcome = worst_case_search(
+                &space,
+                &pool,
+                |c| evaluate(kind, n, budget, c),
+                &SearchConfig {
+                    iterations,
+                    seed: base ^ 0xFACE,
+                    cooling: 0.85,
+                },
+            );
+            let best = outcome.best;
+            table.push_row(vec![
+                kind.key().to_string(),
+                n.to_string(),
+                format!("{mean:.3e}"),
+                best.steps.to_string(),
+                format!("{:.2}x", best.steps as f64 / mean.max(1.0)),
+                best.candidate.spec.key(),
+                variant_names(kind)[best.candidate.variant as usize].to_string(),
+                best.converged.to_string(),
+            ]);
+        }
+    }
+    report.table(table);
+    report.note(
+        "Worst cases are reproducible certificates: re-running the scenario with the listed\n\
+         init variant, seed and scheduler yields the same step count.  `converged = false`\n\
+         means the worst case censored at the step budget (its true stabilization time is\n\
+         at least the budget).  The tracked large-n grid lives in BENCH_stabilization.json\n\
+         (see `stabilization_report`).",
+    );
+    report.emit(args.json);
+}

@@ -1,0 +1,112 @@
+//! Worst-case stabilization bench report: for the four Table 1 protocols ×
+//! {ring, complete} × n ∈ {64, 256}, measures the mean stabilization time of
+//! a random-scheduler trial pool and the worst case found by the
+//! `ssle-adversary` annealing search (over init variants, seeds and
+//! scheduler-zoo parameters), and writes the results — including the
+//! reproducible worst-case certificates — to `BENCH_stabilization.json`
+//! (at the current directory; run from the repository root).
+//!
+//! ```text
+//! cargo run --release -p ssle-bench --bin stabilization_report
+//! cargo run --release -p ssle-bench --bin stabilization_report -- --quick --json
+//! ```
+//!
+//! Flags:
+//!
+//! ```text
+//! --quick       reduced budgets/trials (CI smoke); same cell grid and schema
+//! --out PATH    output file (default: BENCH_stabilization.json)
+//! --json        also print the JSON document to stdout
+//! --help        print usage
+//! ```
+//!
+//! The binary self-validates: after writing, it re-reads the file, parses it
+//! with `analysis::json` and checks it against the `stabilization-bench/v1`
+//! schema — including `worst ≥ mean` for every cell — exiting non-zero on
+//! any mismatch.
+
+use ssle_bench::stabilization;
+
+const USAGE: &str = "\
+options:
+  --quick        reduced budgets and trial counts (CI smoke); same cell grid
+                 and schema
+  --out PATH     output file (default: BENCH_stabilization.json, or
+                 BENCH_stabilization.quick.json under --quick so a local
+                 smoke run never clobbers the committed full-mode report)
+  --json         also print the JSON document to stdout
+  --help         print this message";
+
+fn main() {
+    let mut quick = false;
+    let mut json = false;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--json" => json = true,
+            "--out" => match args.next() {
+                Some(path) => out = Some(path),
+                None => {
+                    eprintln!("error: --out requires a value\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("error: unknown option {other:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out = out.unwrap_or_else(|| {
+        String::from(if quick {
+            "BENCH_stabilization.quick.json"
+        } else {
+            "BENCH_stabilization.json"
+        })
+    });
+
+    let report = stabilization::run(quick);
+    let text = report.to_json_value().to_json();
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+
+    // Self-validation: what we wrote must parse and match the schema.
+    let reread = std::fs::read_to_string(&out).expect("just wrote the report file");
+    let parsed = match analysis::json::JsonValue::parse(&reread) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {out} does not parse as JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = stabilization::validate_report(&parsed) {
+        eprintln!(
+            "error: {out} violates the {} schema: {e}",
+            stabilization::SCHEMA
+        );
+        std::process::exit(1);
+    }
+
+    println!(
+        "# Worst-case stabilization ({} mode)\n",
+        if quick { "quick" } else { "full" }
+    );
+    println!("{}", report.to_markdown());
+    println!(
+        "wrote {out} ({} cells, {} trials + {} search iterations each)",
+        report.cells.len(),
+        report.trials,
+        report.search_iterations
+    );
+    if json {
+        println!("{text}");
+    }
+}

@@ -30,6 +30,7 @@ pub mod baseline_boxed;
 pub mod cli;
 pub mod hotloop;
 pub mod report;
+pub mod stabilization;
 
 use population::{
     BatchRunner, BatchSummary, Configuration, ConvergenceReport, Scenario, ScenarioBuilder,

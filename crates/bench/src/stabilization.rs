@@ -1,0 +1,836 @@
+//! Worst-case stabilization measurement with a tracked report.
+//!
+//! The paper's headline property is convergence from **arbitrary**
+//! configurations under the scheduler; the sweeps behind Table 1 measure the
+//! *average* case (sampled inits, uniformly random scheduler).  This module
+//! measures the other end: for every Table 1 protocol × {ring, complete} ×
+//! `n ∈ {64, 256}`, it records the mean stabilization time of a
+//! random-scheduler trial pool **and** the worst case found by the
+//! `ssle-adversary` search engine — annealing over initial-condition
+//! variants, seeds and scheduler-zoo parameters ([`SchedulerSpec`]), seeded
+//! with the trial pool so `worst-found ≥ max(pool) ≥ mean` holds by
+//! construction.
+//!
+//! The `stabilization_report` binary writes the results to
+//! `BENCH_stabilization.json` at the repository root (schema
+//! [`SCHEMA`] = `stabilization-bench/v1`); CI runs it in `--quick` mode and
+//! validates the emitted JSON against [`validate_report`].  Worst cases are
+//! reported as reproducible certificates: the variant, seed and scheduler
+//! key pin down a deterministic re-run ([`evaluate`]), which the workspace
+//! tests verify.
+//!
+//! Step budgets are deliberately protocol-aware and *censored*: a run that
+//! does not converge within the budget scores the full budget (its true
+//! stabilization time is at least that).  The `Θ(n³)`-class baselines and
+//! every ring protocol on the complete graph are expected to censor at
+//! `n = 256` — the report records the honest lower bound rather than
+//! burning hours chasing cubic tails.
+
+use std::sync::Arc;
+
+use analysis::json::JsonValue;
+use population::{DynProtocol, Scenario};
+use population::{LeaderElection, Protocol, SweepPoint};
+use ssle_adversary::{
+    worst_case_search, ArcScorer, Candidate, Evaluation, SchedulerSpec, SearchConfig,
+    SearchOutcome, SearchSpace, SpecDomain,
+};
+use ssle_baselines::{
+    angluin_mod_k::AngluinModK, fischer_jiang::FischerJiang, yokota_linear::YokotaLinear,
+};
+use ssle_core::segments::segments;
+use ssle_core::{InitialCondition, Params, Ppl, PplState};
+
+use crate::hotloop::HotloopGraph;
+use crate::{
+    angluin_builder, fischer_jiang_builder, pick_k, ppl_builder, ppl_builder_with_params,
+    yokota_builder, ProtocolKind,
+};
+
+/// Schema identifier of `BENCH_stabilization.json`.
+pub const SCHEMA: &str = "stabilization-bench/v1";
+
+/// The population sizes of the measurement grid.
+pub const SIZES: [usize; 2] = [64, 256];
+
+/// The step budget of one stabilization run, censoring the worst-case
+/// search: protocol-aware (the `Θ(n³)`-class baselines get a cubic budget,
+/// capped so `n = 256` cells stay affordable), and much smaller under
+/// `quick` (CI smoke) — the grid and schema are identical either way.
+pub fn stab_budget(kind: ProtocolKind, n: usize, quick: bool) -> u64 {
+    let n = n as u64;
+    match kind {
+        ProtocolKind::FischerJiang | ProtocolKind::AngluinModK => {
+            if quick {
+                (n * n * n / 2).min(300_000)
+            } else {
+                (2 * n * n * n).min(6_000_000)
+            }
+        }
+        _ => {
+            if quick {
+                40 * n * n
+            } else {
+                400 * n * n
+            }
+        }
+    }
+}
+
+/// The initial-condition variants the worst-case search may start from
+/// (`Candidate::variant` indexes this list).  `P_PL` exposes every
+/// adversarial family of `ssle_core::init`; the baselines sample their
+/// state space uniformly, which is already "arbitrary" for them.
+pub fn variant_names(kind: ProtocolKind) -> Vec<&'static str> {
+    match kind {
+        ProtocolKind::Ppl | ProtocolKind::PplPaperConstants => {
+            InitialCondition::ALL.iter().map(|c| c.name()).collect()
+        }
+        _ => vec!["uniform-random"],
+    }
+}
+
+/// The stabilization scenario of one protocol × graph × variant, with an
+/// explicit step budget (the Table 1 stop criteria and check cadence, via
+/// the same builders the figure binaries use).
+///
+/// # Panics
+///
+/// Panics if `variant` is out of range for [`variant_names`].
+pub fn stab_scenario(
+    kind: ProtocolKind,
+    graph: HotloopGraph,
+    variant: usize,
+    budget: u64,
+) -> Scenario {
+    let budget_fn = move |_pt: &SweepPoint| budget;
+    match kind {
+        ProtocolKind::Ppl => ppl_builder(InitialCondition::ALL[variant])
+            .graph(graph.family())
+            .step_budget(budget_fn)
+            .build(),
+        ProtocolKind::PplPaperConstants => ppl_builder_with_params(
+            |pt| Params::paper_constants(pt.n),
+            InitialCondition::ALL[variant],
+        )
+        .graph(graph.family())
+        .step_budget(budget_fn)
+        .build(),
+        ProtocolKind::Yokota => {
+            assert_eq!(variant, 0, "yokota has one init variant");
+            yokota_builder()
+                .graph(graph.family())
+                .step_budget(budget_fn)
+                .build()
+        }
+        ProtocolKind::FischerJiang => {
+            assert_eq!(variant, 0, "fischer-jiang has one init variant");
+            fischer_jiang_builder()
+                .graph(graph.family())
+                .step_budget(budget_fn)
+                .build()
+        }
+        ProtocolKind::AngluinModK => {
+            assert_eq!(variant, 0, "angluin has one init variant");
+            angluin_builder()
+                .graph(graph.family())
+                .step_budget(budget_fn)
+                .build()
+        }
+    }
+    .expect("complete scenario")
+}
+
+/// The type-erased protocol instance of a [`ProtocolKind`] at size `n`
+/// (for scorers that apply the transition to cloned states).
+pub fn dyn_protocol(kind: ProtocolKind, n: usize) -> DynProtocol {
+    match kind {
+        ProtocolKind::Ppl => DynProtocol::erase(Ppl::new(Params::for_ring(n))),
+        ProtocolKind::PplPaperConstants => DynProtocol::erase(Ppl::new(Params::paper_constants(n))),
+        ProtocolKind::Yokota => DynProtocol::erase(YokotaLinear::for_ring(n)),
+        ProtocolKind::FischerJiang => DynProtocol::erase(FischerJiang::new()),
+        ProtocolKind::AngluinModK => DynProtocol::erase(AngluinModK::new(pick_k(n))),
+    }
+}
+
+/// The O(1) hostile potential used by the greedy adversary in the report
+/// grid: apply the transition to clones of the two endpoint states and score
+/// the leader-count delta.  Higher = more hostile — the adversary prefers
+/// interactions that *create or preserve* surplus leaders, starving the
+/// elimination progress every Table 1 protocol relies on.
+pub fn leader_delta_scorer(protocol: DynProtocol) -> ArcScorer {
+    Arc::new(move |states, arc| {
+        let mut a = states[arc.initiator().index()].clone();
+        let mut b = states[arc.responder().index()].clone();
+        let before = protocol.is_leader(&a) as i32 + protocol.is_leader(&b) as i32;
+        protocol.interact(&mut a, &mut b);
+        let after = protocol.is_leader(&a) as i32 + protocol.is_leader(&b) as i32;
+        (after - before) as f64
+    })
+}
+
+/// An O(n) hostile potential for `P_PL` built on the structural machinery of
+/// `ssle-core`: the number of **segments** the configuration would have
+/// after the interaction (plus the surplus leader count).  More segments =
+/// more segment-ID discontinuities for detection to resolve = slower
+/// convergence; use it for small-`n` searches (`fig_worstcase`, the
+/// adversarial-schedule example) where per-step O(n) scoring is affordable.
+pub fn ppl_segment_scorer(n: usize) -> ArcScorer {
+    let params = Params::for_ring(n);
+    let protocol = Ppl::new(params);
+    Arc::new(move |states, arc| {
+        let mut typed: Vec<PplState> = states
+            .iter()
+            .map(|s| {
+                s.downcast_ref::<PplState>()
+                    .expect("ppl scorer on non-ppl states")
+                    .clone()
+            })
+            .collect();
+        let (i, j) = (arc.initiator().index(), arc.responder().index());
+        let (mut a, mut b) = (typed[i].clone(), typed[j].clone());
+        protocol.interact(&mut a, &mut b);
+        typed[i] = a;
+        typed[j] = b;
+        let config = population::Configuration::from_states(typed);
+        let segs = segments(&config, protocol.params()).len();
+        let leaders = protocol.count_leaders(config.states());
+        segs as f64 + leaders.saturating_sub(1) as f64
+    })
+}
+
+/// Deterministically evaluates one candidate of one grid cell: runs the
+/// scenario under the candidate's scheduler and returns the stabilization
+/// steps, censored at `budget` when the run does not converge.  This is the
+/// certificate-reproduction function: same arguments, same result.
+///
+/// The report grid always drives the greedy adversary with the O(1)
+/// [`leader_delta_scorer`]; callers wanting a different potential (e.g.
+/// `fig_worstcase`'s segment potential for `P_PL`) use [`evaluate_with`].
+pub fn evaluate(
+    kind: ProtocolKind,
+    graph: HotloopGraph,
+    n: usize,
+    budget: u64,
+    candidate: &Candidate,
+) -> Evaluation {
+    evaluate_with(kind, graph, n, budget, candidate, |kind, n| {
+        leader_delta_scorer(dyn_protocol(kind, n))
+    })
+}
+
+/// [`evaluate`] with an explicit greedy-potential factory (only invoked for
+/// [`SchedulerSpec::Greedy`] candidates).  The censoring policy lives here,
+/// once, for every caller: an unconverged run scores the full budget, and a
+/// scheduler error (unreachable for the zoo) is treated as censored.
+pub fn evaluate_with(
+    kind: ProtocolKind,
+    graph: HotloopGraph,
+    n: usize,
+    budget: u64,
+    candidate: &Candidate,
+    scorer_of: impl FnOnce(ProtocolKind, usize) -> ArcScorer,
+) -> Evaluation {
+    let scorer = matches!(candidate.spec, SchedulerSpec::Greedy { .. }).then(|| scorer_of(kind, n));
+    let scenario = stab_scenario(kind, graph, candidate.variant as usize, budget)
+        .with_scheduler(candidate.spec.family(scorer));
+    match scenario.try_run(&SweepPoint::new(n, candidate.seed)) {
+        Ok(report) => Evaluation {
+            steps: report.converged_at.unwrap_or(budget),
+            converged: report.converged(),
+        },
+        // Zoo schedulers never exhaust; treat a scheduler error as censored.
+        Err(_) => Evaluation {
+            steps: budget,
+            converged: false,
+        },
+    }
+}
+
+/// One measured cell of the grid.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// Protocol key ([`ProtocolKind::key`]).
+    pub protocol: &'static str,
+    /// Graph key ([`HotloopGraph::key`]).
+    pub graph: &'static str,
+    /// Population size.
+    pub n: usize,
+    /// Censoring step budget of every run in this cell.
+    pub budget: u64,
+    /// Random-scheduler trials in the mean pool.
+    pub trials: usize,
+    /// Mean stabilization steps over the pool (censored values included).
+    pub mean_steps: f64,
+    /// Fraction of pool trials that converged within the budget.
+    pub converged_fraction: f64,
+    /// Worst-case certificate: observed steps (`>= mean` by construction).
+    pub worst_steps: u64,
+    /// Whether the worst-case run converged (censored cells report `false`).
+    pub worst_converged: bool,
+    /// Initial-condition variant of the worst case.
+    pub worst_variant: &'static str,
+    /// Sweep-point seed of the worst case.
+    pub worst_seed: u64,
+    /// Scheduler key ([`SchedulerSpec::key`]) of the worst case (for
+    /// humans; the exact machine-readable form is [`CellResult::worst_spec`]).
+    pub worst_scheduler: String,
+    /// The worst case's scheduler spec (serialized structurally into the
+    /// JSON so certificates can be rebuilt exactly from the artifact).
+    pub worst_spec: SchedulerSpec,
+    /// Search evaluations beyond the pool.
+    pub search_evaluations: u32,
+    /// Seed of the (deterministic) search.
+    pub search_seed: u64,
+}
+
+/// A full worst-case stabilization measurement.
+#[derive(Clone, Debug)]
+pub struct StabilizationReport {
+    /// `true` for the reduced CI-smoke budgets.
+    pub quick: bool,
+    /// Random-scheduler trials per cell.
+    pub trials: usize,
+    /// Annealing iterations per cell.
+    pub search_iterations: u32,
+    /// The measured cells, in grid order.
+    pub cells: Vec<CellResult>,
+}
+
+/// The deterministic base seed of one grid cell.
+fn cell_seed(kind: ProtocolKind, graph: HotloopGraph, n: usize) -> u64 {
+    let ki = ProtocolKind::ALL
+        .iter()
+        .position(|k| *k == kind)
+        .unwrap_or(7) as u64;
+    let gi = HotloopGraph::ALL
+        .iter()
+        .position(|g| *g == graph)
+        .unwrap_or(3) as u64;
+    0x5AB1 ^ (ki << 8) ^ (gi << 16) ^ ((n as u64) << 24)
+}
+
+/// Runs the whole grid (sequentially; see ROADMAP for the planned
+/// `BatchRunner::run_points` sharding of the per-cell searches).
+pub fn run(quick: bool) -> StabilizationReport {
+    let trials = if quick { 2 } else { 5 };
+    let search_iterations = if quick { 3 } else { 10 };
+    let mut cells = Vec::with_capacity(ProtocolKind::ALL.len() * HotloopGraph::ALL.len() * 2);
+    for kind in ProtocolKind::ALL {
+        for graph in HotloopGraph::ALL {
+            for n in SIZES {
+                cells.push(run_cell(kind, graph, n, quick, trials, search_iterations));
+            }
+        }
+    }
+    StabilizationReport {
+        quick,
+        trials,
+        search_iterations,
+        cells,
+    }
+}
+
+/// Measures one cell: the random pool for the mean, then the worst-case
+/// search seeded with that pool.
+pub fn run_cell(
+    kind: ProtocolKind,
+    graph: HotloopGraph,
+    n: usize,
+    quick: bool,
+    trials: usize,
+    search_iterations: u32,
+) -> CellResult {
+    let budget = stab_budget(kind, n, quick);
+    let base = cell_seed(kind, graph, n);
+    let pool: Vec<(Candidate, Evaluation)> = (0..trials)
+        .map(|t| {
+            let candidate = Candidate {
+                variant: 0,
+                seed: base.wrapping_add(t as u64),
+                spec: SchedulerSpec::Random,
+            };
+            let eval = evaluate(kind, graph, n, budget, &candidate);
+            (candidate, eval)
+        })
+        .collect();
+    let mean_steps = pool.iter().map(|(_, e)| e.steps as f64).sum::<f64>() / trials as f64;
+    let converged_fraction =
+        pool.iter().filter(|(_, e)| e.converged).count() as f64 / trials as f64;
+    let space = SearchSpace {
+        variants: variant_names(kind).len() as u32,
+        specs: SpecDomain {
+            // Per-step greedy scoring is only affordable at the small size.
+            greedy: n <= 64,
+            ..SpecDomain::all()
+        },
+    };
+    let search_seed = base ^ 0xFACE;
+    let SearchOutcome { best, evaluations } = worst_case_search(
+        &space,
+        &pool,
+        |c| evaluate(kind, graph, n, budget, c),
+        &SearchConfig {
+            iterations: search_iterations,
+            seed: search_seed,
+            cooling: 0.85,
+        },
+    );
+    CellResult {
+        protocol: kind.key(),
+        graph: graph.key(),
+        n,
+        budget,
+        trials,
+        mean_steps,
+        converged_fraction,
+        worst_steps: best.steps,
+        worst_converged: best.converged,
+        worst_variant: variant_names(kind)[best.candidate.variant as usize],
+        worst_seed: best.candidate.seed,
+        worst_scheduler: best.candidate.spec.key(),
+        worst_spec: best.candidate.spec,
+        search_evaluations: evaluations,
+        search_seed,
+    }
+}
+
+impl StabilizationReport {
+    /// Serializes to the `BENCH_stabilization.json` schema (see [`SCHEMA`]).
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::object()
+            .with("schema", SCHEMA)
+            .with("quick", self.quick)
+            .with("trials", self.trials)
+            .with("search_iterations", self.search_iterations as usize)
+            .with(
+                "cells",
+                JsonValue::Array(
+                    self.cells
+                        .iter()
+                        .map(|c| {
+                            JsonValue::object()
+                                .with("protocol", c.protocol)
+                                .with("graph", c.graph)
+                                .with("n", c.n)
+                                .with("budget", c.budget as f64)
+                                .with("trials", c.trials)
+                                .with("mean_steps", c.mean_steps)
+                                .with("converged_fraction", c.converged_fraction)
+                                .with(
+                                    "worst",
+                                    JsonValue::object()
+                                        .with("steps", c.worst_steps as f64)
+                                        .with("converged", c.worst_converged)
+                                        .with("variant", c.worst_variant)
+                                        // Seeds are full-width u64s; JSON numbers
+                                        // are f64 and would silently round any
+                                        // value >= 2^53, so they are serialized
+                                        // as exact decimal strings.
+                                        .with("seed", c.worst_seed.to_string().as_str())
+                                        .with("scheduler", c.worst_scheduler.as_str())
+                                        .with("spec", spec_to_json(&c.worst_spec))
+                                        .with("search_seed", c.search_seed.to_string().as_str())
+                                        .with("search_evaluations", c.search_evaluations as usize),
+                                )
+                        })
+                        .collect(),
+                ),
+            )
+    }
+
+    /// Renders a human-readable markdown table of the grid.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from(
+            "| protocol | graph | n | budget | mean steps | conv | worst steps | worst/mean \
+             | worst scheduler | worst init |\n\
+             |---|---|---:|---:|---:|---:|---:|---:|---|---|\n",
+        );
+        for c in &self.cells {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {:.3e} | {:.0}% | {} | {:.2}x | {} | {} |\n",
+                c.protocol,
+                c.graph,
+                c.n,
+                c.budget,
+                c.mean_steps,
+                c.converged_fraction * 100.0,
+                c.worst_steps,
+                c.worst_steps as f64 / c.mean_steps.max(1.0),
+                c.worst_scheduler,
+                c.worst_variant,
+            ));
+        }
+        out
+    }
+}
+
+/// Serializes a [`SchedulerSpec`] structurally (all parameters exact —
+/// u64 seeds as decimal strings, since JSON numbers are f64 and would round
+/// values ≥ 2⁵³).
+pub fn spec_to_json(spec: &SchedulerSpec) -> JsonValue {
+    match spec {
+        SchedulerSpec::Random => JsonValue::object().with("kind", "random"),
+        SchedulerSpec::Weighted {
+            hot_per_mille,
+            bias,
+            seed,
+        } => JsonValue::object()
+            .with("kind", "weighted")
+            .with("hot_per_mille", *hot_per_mille as usize)
+            .with("bias", *bias as usize)
+            .with("seed", seed.to_string().as_str()),
+        SchedulerSpec::EpochPartition { blocks, epoch_len } => JsonValue::object()
+            .with("kind", "epoch-partition")
+            .with("blocks", *blocks as usize)
+            .with("epoch_len", *epoch_len as f64),
+        SchedulerSpec::Greedy { candidates } => JsonValue::object()
+            .with("kind", "greedy")
+            .with("candidates", *candidates as usize),
+    }
+}
+
+/// Rebuilds a [`SchedulerSpec`] from its [`spec_to_json`] form.
+pub fn spec_from_json(json: &JsonValue) -> Option<SchedulerSpec> {
+    let u64_field = |name: &str| {
+        json.get(name)
+            .and_then(JsonValue::as_str)?
+            .parse::<u64>()
+            .ok()
+    };
+    let num_field = |name: &str| json.get(name).and_then(JsonValue::as_f64);
+    match json.get("kind").and_then(JsonValue::as_str)? {
+        "random" => Some(SchedulerSpec::Random),
+        "weighted" => Some(SchedulerSpec::Weighted {
+            hot_per_mille: num_field("hot_per_mille")? as u16,
+            bias: num_field("bias")? as u32,
+            seed: u64_field("seed")?,
+        }),
+        "epoch-partition" => Some(SchedulerSpec::EpochPartition {
+            blocks: num_field("blocks")? as u32,
+            epoch_len: num_field("epoch_len")? as u64,
+        }),
+        "greedy" => Some(SchedulerSpec::Greedy {
+            candidates: num_field("candidates")? as u32,
+        }),
+        _ => None,
+    }
+}
+
+/// Rebuilds the exact worst-case [`Candidate`] of one serialized cell — the
+/// replay half of the certificate contract: feed the result (with the
+/// cell's protocol, graph, n and budget) back into [`evaluate`] and the
+/// step count must match `worst.steps`.
+pub fn certificate_candidate(kind: ProtocolKind, cell: &JsonValue) -> Option<Candidate> {
+    let worst = cell.get("worst")?;
+    let variant_name = worst.get("variant").and_then(JsonValue::as_str)?;
+    let variant = variant_names(kind)
+        .iter()
+        .position(|v| *v == variant_name)? as u32;
+    Some(Candidate {
+        variant,
+        seed: worst
+            .get("seed")
+            .and_then(JsonValue::as_str)?
+            .parse::<u64>()
+            .ok()?,
+        spec: spec_from_json(worst.get("spec")?)?,
+    })
+}
+
+/// Validates a parsed `BENCH_stabilization.json` against the expected
+/// schema: schema tag, one cell per protocol × graph × size of the grid,
+/// positive budgets and `worst.steps ≥ mean_steps` for **every** cell (the
+/// invariant the pool-seeded search guarantees).  Returns a description of
+/// the first violation.
+pub fn validate_report(json: &JsonValue) -> Result<(), String> {
+    if json.get("schema").and_then(JsonValue::as_str) != Some(SCHEMA) {
+        return Err(format!("missing or wrong schema tag (want {SCHEMA:?})"));
+    }
+    let cells = json
+        .get("cells")
+        .and_then(JsonValue::as_array)
+        .ok_or("cells array missing")?;
+    let expected = ProtocolKind::ALL.len() * HotloopGraph::ALL.len() * SIZES.len();
+    if cells.len() != expected {
+        return Err(format!("expected {expected} cells, found {}", cells.len()));
+    }
+    for kind in ProtocolKind::ALL {
+        for graph in HotloopGraph::ALL {
+            for n in SIZES {
+                let cell = cells
+                    .iter()
+                    .find(|c| {
+                        c.get("protocol").and_then(JsonValue::as_str) == Some(kind.key())
+                            && c.get("graph").and_then(JsonValue::as_str) == Some(graph.key())
+                            && c.get("n").and_then(JsonValue::as_f64) == Some(n as f64)
+                    })
+                    .ok_or_else(|| format!("cell {}/{}/{n} missing", kind.key(), graph.key()))?;
+                let ctx = format!("cell {}/{}/{n}", kind.key(), graph.key());
+                let budget = cell
+                    .get("budget")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("{ctx}: budget missing"))?;
+                if budget <= 0.0 {
+                    return Err(format!("{ctx}: budget non-positive"));
+                }
+                let mean = cell
+                    .get("mean_steps")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("{ctx}: mean_steps missing"))?;
+                if !(0.0..=budget).contains(&mean) {
+                    return Err(format!("{ctx}: mean_steps {mean} outside [0, budget]"));
+                }
+                let worst = cell
+                    .get("worst")
+                    .ok_or_else(|| format!("{ctx}: worst certificate missing"))?;
+                let worst_steps = worst
+                    .get("steps")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("{ctx}: worst.steps missing"))?;
+                if worst_steps < mean {
+                    return Err(format!(
+                        "{ctx}: worst.steps {worst_steps} below mean_steps {mean}"
+                    ));
+                }
+                if worst
+                    .get("scheduler")
+                    .and_then(JsonValue::as_str)
+                    .is_none_or(str::is_empty)
+                {
+                    return Err(format!("{ctx}: worst.scheduler missing"));
+                }
+                for field in ["seed", "search_seed"] {
+                    // Seeds are full-width u64s stored as decimal strings
+                    // (f64 JSON numbers would round values >= 2^53 and
+                    // break certificate replay).
+                    if worst
+                        .get(field)
+                        .and_then(JsonValue::as_str)
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .is_none()
+                    {
+                        return Err(format!(
+                            "{ctx}: worst.{field} missing or not an exact u64 string"
+                        ));
+                    }
+                }
+                if certificate_candidate(kind, cell).is_none() {
+                    return Err(format!(
+                        "{ctx}: worst certificate is not rebuildable (variant/seed/spec)"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_are_protocol_aware_and_quick_shrinks_them() {
+        for kind in ProtocolKind::ALL {
+            for n in SIZES {
+                assert!(stab_budget(kind, n, true) < stab_budget(kind, n, false));
+            }
+        }
+        // The cubic-class cap keeps n = 256 affordable.
+        assert_eq!(
+            stab_budget(ProtocolKind::FischerJiang, 256, false),
+            6_000_000
+        );
+        assert!(stab_budget(ProtocolKind::FischerJiang, 64, false) < 6_000_000);
+    }
+
+    #[test]
+    fn ppl_exposes_every_adversarial_init_family() {
+        assert_eq!(variant_names(ProtocolKind::Ppl).len(), 6);
+        assert_eq!(variant_names(ProtocolKind::Yokota), vec!["uniform-random"]);
+    }
+
+    #[test]
+    fn evaluation_is_reproducible_and_censors_at_the_budget() {
+        let candidate = Candidate {
+            variant: 0,
+            seed: 11,
+            spec: SchedulerSpec::Random,
+        };
+        // A generous budget converges...
+        let a = evaluate(
+            ProtocolKind::Ppl,
+            HotloopGraph::Ring,
+            12,
+            5_000_000,
+            &candidate,
+        );
+        let b = evaluate(
+            ProtocolKind::Ppl,
+            HotloopGraph::Ring,
+            12,
+            5_000_000,
+            &candidate,
+        );
+        assert_eq!(a, b, "evaluation must be deterministic");
+        assert!(a.converged);
+        // ... and a one-step budget censors.
+        let censored = evaluate(ProtocolKind::Ppl, HotloopGraph::Ring, 12, 1, &candidate);
+        assert!(!censored.converged);
+        assert_eq!(censored.steps, 1);
+    }
+
+    #[test]
+    fn scorers_score_the_transition_outcome() {
+        use population::{DynState, Interaction};
+        // Fischer-Jiang style: both endpoints leaders -> the interaction
+        // demotes one, so the leader-delta scorer must report a negative
+        // (progress-making, hence unattractive) score; PPL segment scorer
+        // runs end to end on a real configuration.
+        let kind = ProtocolKind::Ppl;
+        let n = 8;
+        let proto = dyn_protocol(kind, n);
+        let scorer = leader_delta_scorer(proto);
+        let params = Params::for_ring(n);
+        let states: Vec<DynState> =
+            ssle_core::init::generate(InitialCondition::AllLeaders, n, &params, 3)
+                .into_states()
+                .into_iter()
+                .map(DynState::new)
+                .collect();
+        let score = scorer(&states, Interaction::new(0, 1));
+        assert!(score <= 0.0, "eliminating interactions are unattractive");
+
+        let seg_scorer = ppl_segment_scorer(n);
+        let seg_score = seg_scorer(&states, Interaction::new(0, 1));
+        assert!(seg_score.is_finite() && seg_score >= 0.0);
+    }
+
+    #[test]
+    fn report_schema_round_trips_and_validates() {
+        // Hand-built report with the right grid so the test costs no
+        // simulation time.
+        let cells = ProtocolKind::ALL
+            .iter()
+            .flat_map(|kind| {
+                HotloopGraph::ALL.iter().flat_map(move |graph| {
+                    SIZES.map(move |n| CellResult {
+                        protocol: kind.key(),
+                        graph: graph.key(),
+                        n,
+                        budget: 1_000_000,
+                        trials: 5,
+                        mean_steps: 2.0e4,
+                        converged_fraction: 1.0,
+                        worst_steps: 90_000,
+                        worst_converged: true,
+                        worst_variant: "uniform-random",
+                        // A full-width u64: must survive JSON exactly (the
+                        // string encoding; `as f64` would round it).
+                        worst_seed: u64::MAX - 12,
+                        worst_scheduler: "epoch-partition(blocks=4,epoch=256)".to_string(),
+                        worst_spec: SchedulerSpec::EpochPartition {
+                            blocks: 4,
+                            epoch_len: 256,
+                        },
+                        search_evaluations: 10,
+                        search_seed: 3,
+                    })
+                })
+            })
+            .collect();
+        let report = StabilizationReport {
+            quick: true,
+            trials: 5,
+            search_iterations: 10,
+            cells,
+        };
+        let text = report.to_json_value().to_json();
+        let parsed = JsonValue::parse(&text).expect("emitted JSON parses");
+        validate_report(&parsed).expect("schema validates");
+        assert!(report.to_markdown().contains("| ppl | ring | 64 |"));
+
+        // The full-width seed round-trips exactly through the JSON text.
+        let candidate = certificate_candidate(
+            ProtocolKind::Ppl,
+            &parsed.get("cells").and_then(JsonValue::as_array).unwrap()[0],
+        )
+        .expect("certificate rebuilds");
+        assert_eq!(candidate.seed, u64::MAX - 12);
+        assert_eq!(
+            candidate.spec,
+            SchedulerSpec::EpochPartition {
+                blocks: 4,
+                epoch_len: 256
+            }
+        );
+
+        // Violations are caught.
+        assert!(validate_report(&JsonValue::object()).is_err());
+        let mut broken = report.clone();
+        broken.cells[0].worst_steps = 1; // below the mean
+        let parsed = JsonValue::parse(&broken.to_json_value().to_json()).unwrap();
+        let err = validate_report(&parsed).unwrap_err();
+        assert!(err.contains("below mean_steps"), "{err}");
+    }
+
+    #[test]
+    fn every_spec_shape_round_trips_through_json() {
+        for spec in [
+            SchedulerSpec::Random,
+            SchedulerSpec::Weighted {
+                hot_per_mille: 355,
+                bias: 40,
+                seed: u64::MAX - 3,
+            },
+            SchedulerSpec::EpochPartition {
+                blocks: 8,
+                epoch_len: 2294,
+            },
+            SchedulerSpec::Greedy { candidates: 4 },
+        ] {
+            let text = spec_to_json(&spec).to_json();
+            let parsed = JsonValue::parse(&text).unwrap();
+            assert_eq!(spec_from_json(&parsed), Some(spec));
+        }
+        assert_eq!(spec_from_json(&JsonValue::object()), None);
+    }
+
+    /// End to end on a tiny cell: the quick grid machinery produces a cell
+    /// whose worst is at least its mean, the cell is deterministic, and —
+    /// the certificate contract — replaying the worst case **from the
+    /// serialized JSON artifact** yields the identical step count.
+    #[test]
+    fn tiny_cell_search_produces_a_reproducible_certificate() {
+        let kind = ProtocolKind::Yokota;
+        let graph = HotloopGraph::Ring;
+        let n = 8;
+        let cell = run_cell(kind, graph, n, true, 2, 3);
+        assert!(cell.worst_steps as f64 >= cell.mean_steps);
+        assert_eq!(cell.trials, 2);
+        let again = run_cell(kind, graph, n, true, 2, 3);
+        assert_eq!(cell.worst_steps, again.worst_steps, "cells deterministic");
+
+        // Replay the certificate through the JSON text, exactly as a
+        // consumer of the committed artifact would: serialize, parse,
+        // rebuild the candidate, evaluate.
+        let budget = cell.budget;
+        let worst_steps = cell.worst_steps;
+        let report = StabilizationReport {
+            quick: true,
+            trials: 2,
+            search_iterations: 3,
+            cells: vec![cell],
+        };
+        let parsed = JsonValue::parse(&report.to_json_value().to_json()).unwrap();
+        let cell_json = &parsed.get("cells").and_then(JsonValue::as_array).unwrap()[0];
+        let candidate =
+            certificate_candidate(kind, cell_json).expect("certificate rebuilds from JSON");
+        let replay = evaluate(kind, graph, n, budget, &candidate);
+        assert_eq!(
+            replay.steps, worst_steps,
+            "the serialized certificate must reproduce the recorded step count"
+        );
+    }
+}

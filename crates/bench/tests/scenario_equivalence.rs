@@ -80,6 +80,44 @@ fn reference_trial(kind: ProtocolKind, n: usize, seed: u64) -> ConvergenceReport
     report
 }
 
+/// The scheduler plumbing (PR 4) must not perturb the default path: a
+/// `Scenario` whose `SchedulerFamily` routes `RandomScheduler` through the
+/// boxed `DynScheduler` loop consumes the RNG exactly like the inlined fast
+/// path, so reports stay bit-identical to the static-dispatch reference for
+/// every Table 1 protocol (and the default-family runs in the other tests of
+/// this file keep pinning the fast path itself).
+#[test]
+fn boxed_random_scheduler_matches_the_fast_path_bit_for_bit() {
+    use population::{RandomScheduler, SchedulerFamily};
+    for kind in ProtocolKind::ALL {
+        let fast = kind.scenario();
+        let boxed = kind
+            .scenario()
+            .with_scheduler(SchedulerFamily::custom("random-boxed", |_pt, _g| {
+                Box::new(RandomScheduler::new())
+            }));
+        for n in SIZES {
+            for seed in SEEDS {
+                let point = SweepPoint::new(n, seed);
+                let fast_run = fast.run_full(&point);
+                let boxed_run = boxed.run_full(&point);
+                assert_eq!(
+                    fast_run.report,
+                    boxed_run.report,
+                    "{}: boxed random scheduler diverged at n = {n}, seed = {seed}",
+                    kind.name()
+                );
+                assert_eq!(
+                    fast_run.sim.config().states(),
+                    boxed_run.sim.config().states(),
+                    "{}: final states diverged at n = {n}, seed = {seed}",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn dyn_erased_scenarios_match_static_dispatch_bit_for_bit() {
     for kind in ProtocolKind::ALL {

@@ -107,11 +107,14 @@ pub mod prelude {
     pub use crate::observer::{LeaderCounter, NoObserver, StepObserver};
     pub use crate::protocol::{LeaderElection, LeaderOutput, Protocol};
     pub use crate::scenario::{
-        downcast_config, AnyGraph, DynLeaderElection, DynProtocol, DynState, FaultEvent, FaultPlan,
-        GraphFamily, Scenario, ScenarioBuilder, ScenarioRun,
+        downcast_config, AnyGraph, DynLeaderElection, DynProtocol, DynScheduler, DynState,
+        FaultEvent, FaultPlan, GraphFamily, Scenario, ScenarioBuilder, ScenarioRun,
+        SchedulerFamily,
     };
     pub use crate::schedule::{Interaction, InteractionSeq};
-    pub use crate::scheduler::{RandomScheduler, Scheduler, SequenceScheduler};
+    pub use crate::scheduler::{
+        RandomScheduler, RoundRobinScheduler, Scheduler, SequenceScheduler,
+    };
     pub use crate::simulation::Simulation;
     pub use crate::stats::RunStats;
     pub use crate::sweep::{SweepAxis, SweepGrid, SweepPoint};

@@ -85,6 +85,7 @@ use crate::graph::{ArbitraryGraph, CompleteGraph, DirectedRing, InteractionGraph
 use crate::observer::LeaderCounter;
 use crate::protocol::{LeaderElection, Protocol};
 use crate::schedule::Interaction;
+use crate::scheduler::Scheduler;
 use crate::simulation::Simulation;
 use crate::sweep::{SweepGrid, SweepPoint};
 
@@ -448,6 +449,113 @@ impl InteractionGraph for AnyGraph {
 }
 
 // ---------------------------------------------------------------------------
+// Scheduler erasure
+// ---------------------------------------------------------------------------
+
+/// The object-safe face of a scheduler on the erased run path.
+///
+/// Unlike the typed [`Scheduler`] trait (generic over graph and RNG), a
+/// `DynScheduler` works on the concrete erased types — [`AnyGraph`],
+/// [`DynState`] slices and the simulation's `ChaCha8Rng` — and additionally
+/// sees the **current configuration**, which is what lets adversarial
+/// schedulers (e.g. a greedy adversary scoring candidate arcs against a
+/// protocol potential) pick convergence-hostile interactions.
+///
+/// Every typed [`Scheduler<AnyGraph>`] is a `DynScheduler` for free through
+/// the blanket impl below (it simply ignores the states).
+pub trait DynScheduler: Send {
+    /// Returns the interaction for the next step.
+    ///
+    /// (Named `schedule` rather than `next_interaction` so types
+    /// implementing both this and the typed [`Scheduler`] trait — every
+    /// `Scheduler<AnyGraph>`, via the blanket impl — keep an unambiguous
+    /// method surface.)
+    ///
+    /// # Errors
+    ///
+    /// Deterministic schedulers return
+    /// [`PopulationError::ScheduleExhausted`] once their sequence runs out;
+    /// stochastic schedulers never fail.
+    fn schedule(
+        &mut self,
+        graph: &AnyGraph,
+        states: &[DynState],
+        rng: &mut ChaCha8Rng,
+    ) -> Result<Interaction>;
+}
+
+impl<S: Scheduler<AnyGraph>> DynScheduler for S {
+    fn schedule(
+        &mut self,
+        graph: &AnyGraph,
+        _states: &[DynState],
+        rng: &mut ChaCha8Rng,
+    ) -> Result<Interaction> {
+        Scheduler::next_interaction(self, graph, rng)
+    }
+}
+
+/// The builder closure of a custom [`SchedulerFamily`]: produces a fresh
+/// boxed scheduler for one run from the sweep point and the concrete graph.
+pub type BuildScheduler =
+    Arc<dyn Fn(&SweepPoint, &AnyGraph) -> Box<dyn DynScheduler> + Send + Sync>;
+
+/// A family of schedulers, instantiated per sweep point (the scheduler
+/// analogue of [`GraphFamily`]).
+///
+/// [`SchedulerFamily::Random`] — the default — is **not** routed through the
+/// [`DynScheduler`] indirection: scenarios keep the exact pre-scheduler hot
+/// loop (`graph.sample(rng)` inlined into the run burst), so the uniformly
+/// random path stays bit-identical to the historical one (pinned by
+/// `scenario_equivalence`).  Custom families build a fresh boxed scheduler
+/// for every run from the sweep point and the concrete graph.
+#[derive(Clone, Default)]
+pub enum SchedulerFamily {
+    /// The paper's uniformly random scheduler (the default fast path).
+    #[default]
+    Random,
+    /// A named custom scheduler family.
+    Custom {
+        /// A short name for reports and `Debug` output.
+        name: String,
+        /// Builds the scheduler for one run.
+        build: BuildScheduler,
+    },
+}
+
+impl SchedulerFamily {
+    /// Creates a named custom family from a builder closure.
+    pub fn custom(
+        name: impl Into<String>,
+        build: impl Fn(&SweepPoint, &AnyGraph) -> Box<dyn DynScheduler> + Send + Sync + 'static,
+    ) -> Self {
+        SchedulerFamily::Custom {
+            name: name.into(),
+            build: Arc::new(build),
+        }
+    }
+
+    /// The family's name (`"random"` for the default).
+    pub fn name(&self) -> &str {
+        match self {
+            SchedulerFamily::Random => "random",
+            SchedulerFamily::Custom { name, .. } => name,
+        }
+    }
+
+    /// `true` for the default uniformly random family.
+    pub fn is_random(&self) -> bool {
+        matches!(self, SchedulerFamily::Random)
+    }
+}
+
+impl fmt::Debug for SchedulerFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SchedulerFamily({:?})", self.name())
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Fault plans
 // ---------------------------------------------------------------------------
 
@@ -541,6 +649,7 @@ pub struct Scenario {
     name: String,
     stop_name: String,
     graph: GraphFamily,
+    scheduler: SchedulerFamily,
     prepare: Arc<dyn Fn(&SweepPoint) -> PreparedRun + Send + Sync>,
     plan: Option<PointFn<FaultPlan>>,
     check_interval: PointFn<u64>,
@@ -555,6 +664,7 @@ impl fmt::Debug for Scenario {
             .field("name", &self.name)
             .field("stop", &self.stop_name)
             .field("graph", &self.graph)
+            .field("scheduler", &self.scheduler.name())
             .field("has_fault_plan", &self.plan.is_some())
             .finish()
     }
@@ -571,24 +681,67 @@ impl Scenario {
         &self.stop_name
     }
 
+    /// The scheduler family driving this scenario's runs.
+    pub fn scheduler(&self) -> &SchedulerFamily {
+        &self.scheduler
+    }
+
+    /// Returns this scenario with the scheduler family replaced — the hook
+    /// the worst-case search uses to re-run one experiment definition under
+    /// many adversarial schedulers without rebuilding the whole scenario.
+    pub fn with_scheduler(mut self, scheduler: SchedulerFamily) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
     /// Runs the scenario at one sweep point and returns the report.
     ///
     /// # Panics
     ///
     /// Panics if the graph family cannot be built for `point.n` (e.g.
-    /// `n < 2`) or if a fault plan is set without a corruption function.
+    /// `n < 2`), if a fault plan is set without a corruption function, or if
+    /// a deterministic custom scheduler exhausts mid-run (use
+    /// [`Scenario::try_run`] to handle that as a typed error).
     pub fn run(&self, point: &SweepPoint) -> ConvergenceReport {
         self.run_full(point).report
     }
 
     /// Like [`Scenario::run`] but also returns the finished simulation for
     /// post-run inspection (leader counts, final states, statistics).
+    ///
+    /// # Panics
+    ///
+    /// See [`Scenario::run`].
     pub fn run_full(&self, point: &SweepPoint) -> ScenarioRun {
+        self.try_run_full(point)
+            .unwrap_or_else(|e| panic!("scenario {:?}: {e}", self.name))
+    }
+
+    /// Fallible variant of [`Scenario::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction errors and scheduler errors — in
+    /// particular [`PopulationError::ScheduleExhausted`] when a
+    /// deterministic custom scheduler runs out of interactions before the
+    /// stop criterion holds or the budget is spent.
+    pub fn try_run(&self, point: &SweepPoint) -> Result<ConvergenceReport> {
+        Ok(self.try_run_full(point)?.report)
+    }
+
+    /// Fallible variant of [`Scenario::run_full`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Scenario::try_run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault plan is set without a corruption function (the
+    /// builder always sets both together).
+    pub fn try_run_full(&self, point: &SweepPoint) -> Result<ScenarioRun> {
         let prepared = (self.prepare)(point);
-        let graph = self
-            .graph
-            .build(point.n)
-            .unwrap_or_else(|e| panic!("scenario {:?}: cannot build graph: {e}", self.name));
+        let graph = self.graph.build(point.n)?;
         let mut sim = Simulation::new(
             prepared.protocol,
             graph,
@@ -600,14 +753,34 @@ impl Scenario {
         let plan = self.plan.as_ref().map(|f| f(point)).unwrap_or_default();
 
         let mut stop = prepared.stop;
-        let mut report = if plan.is_empty() {
-            sim.run_until(|_p, c| stop(c.states()), check_interval, max_steps)
-        } else {
-            let mut faults = FaultSchedule::new(plan, prepared.corrupt, (self.fault_seed)(point));
-            run_with_faults(&mut sim, &mut stop, check_interval, max_steps, &mut faults)
+        let mut report = match &self.scheduler {
+            // The default fast path: identical to the pre-scheduler code,
+            // no per-step indirection (pinned by `scenario_equivalence`).
+            SchedulerFamily::Random => {
+                if plan.is_empty() {
+                    sim.run_until(|_p, c| stop(c.states()), check_interval, max_steps)
+                } else {
+                    let mut faults =
+                        FaultSchedule::new(plan, prepared.corrupt, (self.fault_seed)(point));
+                    run_with_faults(&mut sim, &mut stop, check_interval, max_steps, &mut faults)
+                }
+            }
+            SchedulerFamily::Custom { build, .. } => {
+                let mut scheduler = build(point, sim.graph());
+                let mut faults =
+                    FaultSchedule::new(plan, prepared.corrupt, (self.fault_seed)(point));
+                run_scheduled(
+                    &mut sim,
+                    &mut *scheduler,
+                    &mut stop,
+                    check_interval,
+                    max_steps,
+                    &mut faults,
+                )?
+            }
         };
         report.criterion = std::borrow::Cow::Owned(self.stop_name.clone());
-        ScenarioRun { report, sim }
+        Ok(ScenarioRun { report, sim })
     }
 
     /// Runs every point of the grid in parallel and returns per-point
@@ -649,29 +822,53 @@ impl Scenario {
     /// steps (including step 0).  Uses the erased leader output, so it works
     /// for every leader-election scenario; the scenario's fault plan (if any)
     /// fires at its scheduled steps exactly as it does under
-    /// [`Scenario::run`].
+    /// [`Scenario::run`], and the scenario's scheduler family drives the
+    /// steps exactly as it does there too.
     ///
     /// For pure protocols the leader count is maintained incrementally by a
     /// [`LeaderCounter`] observer (O(1) amortized per step, re-seeded only
     /// when a fault rewrites states out-of-band); oracle protocols recount
     /// at each sample boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics on graph or scheduler errors; use
+    /// [`Scenario::try_leader_trajectory`] to handle e.g. deterministic
+    /// scheduler exhaustion as a typed error.
     pub fn leader_trajectory(
         &self,
         point: &SweepPoint,
         total_steps: u64,
         sample_every: u64,
     ) -> Vec<(u64, usize)> {
+        self.try_leader_trajectory(point, total_steps, sample_every)
+            .unwrap_or_else(|e| panic!("scenario {:?}: {e}", self.name))
+    }
+
+    /// Fallible variant of [`Scenario::leader_trajectory`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction errors and scheduler errors (see
+    /// [`Scenario::try_run`]).
+    pub fn try_leader_trajectory(
+        &self,
+        point: &SweepPoint,
+        total_steps: u64,
+        sample_every: u64,
+    ) -> Result<Vec<(u64, usize)>> {
         let prepared = (self.prepare)(point);
-        let graph = self
-            .graph
-            .build(point.n)
-            .unwrap_or_else(|e| panic!("scenario {:?}: cannot build graph: {e}", self.name));
+        let graph = self.graph.build(point.n)?;
         let mut sim = Simulation::new(
             prepared.protocol,
             graph,
             prepared.config,
             (self.sim_seed)(point),
         );
+        let mut scheduler = match &self.scheduler {
+            SchedulerFamily::Random => None,
+            SchedulerFamily::Custom { build, .. } => Some(build(point, sim.graph())),
+        };
         let mut faults = FaultSchedule::new(
             self.plan.as_ref().map(|f| f(point)).unwrap_or_default(),
             prepared.corrupt,
@@ -687,10 +884,21 @@ impl Scenario {
             // The next sample boundary, split early if a fault is due first.
             let boundary = ((done / sample_every + 1) * sample_every).min(total_steps);
             let target = faults.clip(done, boundary);
-            if incremental {
-                sim.run_steps_observed(target - done, &mut counter);
-            } else {
-                sim.run_steps(target - done);
+            match scheduler.as_deref_mut() {
+                // The random fast path: burst without per-step indirection.
+                None if incremental => sim.run_steps_observed(target - done, &mut counter),
+                None => sim.run_steps(target - done),
+                Some(sched) => {
+                    for _ in done..target {
+                        if incremental {
+                            sim.step_chosen_by_observed(&mut counter, |g, c, rng| {
+                                sched.schedule(g, c.states(), rng)
+                            })?;
+                        } else {
+                            sim.step_chosen_by(|g, c, rng| sched.schedule(g, c.states(), rng))?;
+                        }
+                    }
+                }
             }
             done = target;
             if faults.fire_due(done, &mut sim) && incremental {
@@ -705,7 +913,7 @@ impl Scenario {
                 out.push((done, leaders));
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -775,7 +983,9 @@ impl FaultSchedule {
 /// [`Simulation::run_until`] (an initial check, then one check every
 /// `check_interval` steps and at the budget boundary), with fault events
 /// fired at their exact steps.  Events scheduled at step 0 fire before the
-/// initial check.
+/// initial check.  The random fast path keeps its burst-advance
+/// (`run_steps`, no per-step indirection), preserving the bit-identical
+/// pinning in `scenario_equivalence`.
 fn run_with_faults(
     sim: &mut Simulation<DynProtocol, AnyGraph>,
     stop: &mut DynStop,
@@ -783,42 +993,84 @@ fn run_with_faults(
     max_steps: u64,
     faults: &mut FaultSchedule,
 ) -> ConvergenceReport {
+    run_checked_bursts(sim, stop, check_interval, max_steps, faults, |sim, k| {
+        sim.run_steps(k);
+        Ok(())
+    })
+    .expect("the uniform sampler cannot fail")
+}
+
+/// The custom-scheduler run loop: identical check and fault semantics to
+/// [`run_with_faults`], but every interaction is chosen by the
+/// [`DynScheduler`] instead of the inlined uniform sampler.  Scheduler
+/// errors — deterministic exhaustion, non-arc choices — abort the run and
+/// surface as typed errors.
+fn run_scheduled(
+    sim: &mut Simulation<DynProtocol, AnyGraph>,
+    scheduler: &mut dyn DynScheduler,
+    stop: &mut DynStop,
+    check_interval: u64,
+    max_steps: u64,
+    faults: &mut FaultSchedule,
+) -> Result<ConvergenceReport> {
+    run_checked_bursts(sim, stop, check_interval, max_steps, faults, |sim, k| {
+        for _ in 0..k {
+            sim.step_chosen_by(|g, c, rng| scheduler.schedule(g, c.states(), rng))?;
+        }
+        Ok(())
+    })
+}
+
+/// The one checked-burst loop behind both erased run paths: an initial stop
+/// check after step-0 fault events, then bursts clipped to the next check
+/// boundary or pending fault event, advanced by `advance(sim, k)` (the
+/// uniform sampler's `run_steps` on the fast path, per-step scheduler
+/// dispatch on the custom path), with fault events fired at their exact
+/// steps and one stop check per boundary and at the budget.
+fn run_checked_bursts(
+    sim: &mut Simulation<DynProtocol, AnyGraph>,
+    stop: &mut DynStop,
+    check_interval: u64,
+    max_steps: u64,
+    faults: &mut FaultSchedule,
+    mut advance: impl FnMut(&mut Simulation<DynProtocol, AnyGraph>, u64) -> Result<()>,
+) -> Result<ConvergenceReport> {
     const PREDICATE: std::borrow::Cow<'static, str> = std::borrow::Cow::Borrowed("predicate");
     let mut executed = 0u64;
     faults.fire_due(0, sim);
     if stop(sim.config().states()) {
-        return ConvergenceReport {
+        return Ok(ConvergenceReport {
             converged_at: Some(sim.steps()),
             steps_executed: 0,
             max_steps,
             check_interval,
             criterion: PREDICATE,
-        };
+        });
     }
     while executed < max_steps {
         let next_check = ((executed / check_interval) + 1) * check_interval;
         let target = faults.clip(executed, next_check.min(max_steps));
-        sim.run_steps(target - executed);
+        advance(sim, target - executed)?;
         executed = target;
         faults.fire_due(executed, sim);
         let at_boundary = executed == next_check || executed == max_steps;
         if at_boundary && stop(sim.config().states()) {
-            return ConvergenceReport {
+            return Ok(ConvergenceReport {
                 converged_at: Some(sim.steps()),
                 steps_executed: executed,
                 max_steps,
                 check_interval,
                 criterion: PREDICATE,
-            };
+            });
         }
     }
-    ConvergenceReport {
+    Ok(ConvergenceReport {
         converged_at: None,
         steps_executed: executed,
         max_steps,
         check_interval,
         criterion: PREDICATE,
-    }
+    })
 }
 
 /// Typed, declarative builder for [`Scenario`]s.
@@ -836,6 +1088,7 @@ where
 {
     name: String,
     graph: GraphFamily,
+    scheduler: SchedulerFamily,
     make_protocol: PointFn<P>,
     erase: fn(P) -> DynProtocol,
     #[allow(clippy::type_complexity)]
@@ -902,6 +1155,7 @@ where
         ScenarioBuilder {
             name: name.into(),
             graph: GraphFamily::DirectedRing,
+            scheduler: SchedulerFamily::Random,
             make_protocol: Arc::new(protocol),
             erase,
             init: None,
@@ -918,6 +1172,15 @@ where
     /// Selects the graph family (default: the directed ring).
     pub fn graph(mut self, graph: GraphFamily) -> Self {
         self.graph = graph;
+        self
+    }
+
+    /// Selects the scheduler family (default: the uniformly random
+    /// scheduler of the population-protocol model).  Custom families route
+    /// every step of the run through a [`DynScheduler`] built per sweep
+    /// point; the default keeps the inlined random fast path.
+    pub fn scheduler(mut self, scheduler: SchedulerFamily) -> Self {
+        self.scheduler = scheduler;
         self
     }
 
@@ -1044,6 +1307,7 @@ where
             name: self.name,
             stop_name,
             graph: self.graph,
+            scheduler: self.scheduler,
             prepare,
             plan: self.plan,
             check_interval: self.check_interval,
@@ -1513,6 +1777,144 @@ mod tests {
         let s = fratricide_scenario();
         assert_eq!(s.name(), "fratricide");
         assert_eq!(s.stop_name(), "unique-leader");
+        assert!(s.scheduler().is_random());
+        assert_eq!(s.scheduler().name(), "random");
         assert!(format!("{s:?}").contains("fratricide"));
+    }
+
+    #[test]
+    fn explicit_random_scheduler_is_bit_identical_to_the_fast_path() {
+        // Routing RandomScheduler through the DynScheduler indirection must
+        // consume the RNG exactly like the inlined fast path: identical
+        // reports and identical final states.
+        use crate::scheduler::RandomScheduler;
+        let scenario = fratricide_scenario();
+        let custom = scenario
+            .clone()
+            .with_scheduler(SchedulerFamily::custom("random-boxed", |_pt, _g| {
+                Box::new(RandomScheduler::new())
+            }));
+        assert_eq!(custom.scheduler().name(), "random-boxed");
+        for seed in [1u64, 9, 33] {
+            let point = SweepPoint::new(10, seed);
+            let fast = scenario.run_full(&point);
+            let boxed = custom.run_full(&point);
+            assert_eq!(fast.report, boxed.report);
+            assert_eq!(fast.sim.config().states(), boxed.sim.config().states());
+        }
+    }
+
+    #[test]
+    fn round_robin_scheduler_family_converges_through_the_erased_path() {
+        use crate::scheduler::RoundRobinScheduler;
+        let scenario = fratricide_scenario().with_scheduler(SchedulerFamily::custom(
+            "round-robin",
+            |_pt, g: &AnyGraph| Box::new(RoundRobinScheduler::new(g)),
+        ));
+        let report = scenario.run(&SweepPoint::new(8, 0));
+        assert!(report.converged(), "round-robin must still elect");
+        assert_eq!(report.criterion, "unique-leader");
+    }
+
+    #[test]
+    fn deterministic_scheduler_exhaustion_is_a_typed_error() {
+        // Regression: Scheduler::remaining / ScheduleExhausted used to be
+        // unreachable from the erased path.  A three-interaction sequence
+        // under a larger budget must surface the typed error, not panic or
+        // silently truncate.
+        use crate::schedule::InteractionSeq;
+        use crate::scheduler::SequenceScheduler;
+        let scenario = fratricide_scenario().with_scheduler(SchedulerFamily::custom(
+            "short-sequence",
+            |_pt, _g| {
+                Box::new(SequenceScheduler::new(InteractionSeq::from_interactions(
+                    vec![
+                        Interaction::new(0, 1),
+                        Interaction::new(1, 2),
+                        Interaction::new(2, 3),
+                    ],
+                )))
+            },
+        ));
+        let err = scenario.try_run(&SweepPoint::new(8, 4)).unwrap_err();
+        assert!(
+            matches!(err, PopulationError::ScheduleExhausted { available: 3 }),
+            "expected ScheduleExhausted, got {err:?}"
+        );
+        // The sequence is long enough when the budget is smaller: no error.
+        let short_budget = ScenarioBuilder::new("short", |_pt: &SweepPoint| Fratricide)
+            .graph(GraphFamily::Complete)
+            .init(|_p, pt| Configuration::uniform(pt.n, true))
+            .stop_when("unique-leader", |p: &Fratricide, c| {
+                p.has_unique_leader(c.states())
+            })
+            .check_every(|_pt| 1)
+            .step_budget(|_pt| 2)
+            .scheduler(SchedulerFamily::custom("short-sequence", |_pt, _g| {
+                Box::new(SequenceScheduler::new(InteractionSeq::from_interactions(
+                    vec![Interaction::new(0, 1), Interaction::new(1, 2)],
+                )))
+            }))
+            .build()
+            .unwrap();
+        let report = short_budget.try_run(&SweepPoint::new(8, 4)).unwrap();
+        assert_eq!(report.steps_executed, 2);
+    }
+
+    #[test]
+    fn custom_scheduler_runs_honour_fault_plans() {
+        use crate::scheduler::RandomScheduler;
+        // Same construction as fault_plan_firing_at_step_zero..., but driven
+        // through the DynScheduler loop: the step-0 fault must be visible to
+        // the initial check there too.
+        let scenario = ScenarioBuilder::new("fault-at-zero", |_pt: &SweepPoint| Fratricide)
+            .graph(GraphFamily::Complete)
+            .init(|_p, pt| Configuration::from_fn(pt.n, |i| i == 0))
+            .stop_when("unique-leader", |p: &Fratricide, c| {
+                p.has_unique_leader(c.states())
+            })
+            .check_every(|_pt| 1)
+            .step_budget(|_pt| 200_000)
+            .faults(
+                |_pt| FaultPlan::new().at(0, FaultKind::CorruptAll),
+                |_p, _rng, _i| true,
+            )
+            .scheduler(SchedulerFamily::custom("random-boxed", |_pt, _g| {
+                Box::new(RandomScheduler::new())
+            }))
+            .build()
+            .unwrap();
+        let report = scenario.run(&SweepPoint::new(8, 2));
+        assert!(report.converged());
+        assert!(report.convergence_step() > 0);
+    }
+
+    #[test]
+    fn leader_trajectory_supports_custom_schedulers() {
+        use crate::scheduler::RandomScheduler;
+        let scenario = fratricide_scenario();
+        let reference = scenario.leader_trajectory(&SweepPoint::new(8, 3), 20_000, 1_000);
+        let boxed = scenario
+            .clone()
+            .with_scheduler(SchedulerFamily::custom("random-boxed", |_pt, _g| {
+                Box::new(RandomScheduler::new())
+            }))
+            .leader_trajectory(&SweepPoint::new(8, 3), 20_000, 1_000);
+        assert_eq!(reference, boxed, "trajectory must not depend on routing");
+        // Exhaustion surfaces through the fallible trajectory variant.
+        use crate::schedule::InteractionSeq;
+        use crate::scheduler::SequenceScheduler;
+        let err = scenario
+            .with_scheduler(SchedulerFamily::custom("one-arc", |_pt, _g| {
+                Box::new(SequenceScheduler::new(InteractionSeq::from_interactions(
+                    vec![Interaction::new(0, 1)],
+                )))
+            }))
+            .try_leader_trajectory(&SweepPoint::new(8, 3), 100, 10)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PopulationError::ScheduleExhausted { available: 1 }
+        ));
     }
 }

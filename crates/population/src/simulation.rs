@@ -188,7 +188,47 @@ impl<P: Protocol, G: InteractionGraph> Simulation<P, G> {
         &mut self,
         scheduler: &mut S,
     ) -> Result<Interaction> {
-        let interaction = scheduler.next_interaction(&self.graph, &mut self.rng)?;
+        self.step_chosen_by(|graph, _config, rng| scheduler.next_interaction(graph, rng))
+    }
+
+    /// Executes one step whose interaction is chosen by an arbitrary closure
+    /// over the graph, the **current configuration** and the simulation's
+    /// RNG.  This is the hook behind state-aware adversarial schedulers
+    /// ([`crate::scenario::DynScheduler`]): unlike
+    /// [`Simulation::step_with_scheduler`], the chooser can inspect agent
+    /// states to pick a convergence-hostile arc.
+    ///
+    /// The chosen pair is validated against the graph, so a buggy scheduler
+    /// cannot smuggle in a non-arc interaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the chooser's error, or [`PopulationError::NotAnArc`] if
+    /// the chosen pair is not an arc of the graph.
+    pub fn step_chosen_by<F>(&mut self, choose: F) -> Result<Interaction>
+    where
+        F: FnOnce(&G, &Configuration<P::State>, &mut ChaCha8Rng) -> Result<Interaction>,
+    {
+        self.step_chosen_by_observed(&mut NoObserver, choose)
+    }
+
+    /// Like [`Simulation::step_chosen_by`], invoking `observer` around the
+    /// transition (same contract as [`Simulation::step_observed`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the chooser's error, or [`PopulationError::NotAnArc`] if
+    /// the chosen pair is not an arc of the graph.
+    pub fn step_chosen_by_observed<O, F>(
+        &mut self,
+        observer: &mut O,
+        choose: F,
+    ) -> Result<Interaction>
+    where
+        O: StepObserver<P>,
+        F: FnOnce(&G, &Configuration<P::State>, &mut ChaCha8Rng) -> Result<Interaction>,
+    {
+        let interaction = choose(&self.graph, &self.config, &mut self.rng)?;
         if !self.graph.is_arc(
             interaction.initiator().index(),
             interaction.responder().index(),
@@ -198,7 +238,7 @@ impl<P: Protocol, G: InteractionGraph> Simulation<P, G> {
                 responder: interaction.responder().index(),
             });
         }
-        self.apply(interaction);
+        self.apply_observed(interaction, observer);
         Ok(interaction)
     }
 

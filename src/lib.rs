@@ -19,6 +19,10 @@
 //! * [`ssle_baselines`] — the comparison protocols of Table 1
 //!   ([5] Angluin et al., [15] Fischer–Jiang, [28] Yokota et al., and the
 //!   Thue–Morse substrate of [11] Chen–Chen).
+//! * [`ssle_adversary`] — the adversary engine: the scheduler zoo (weighted
+//!   arc distributions, fairness-audited epoch partitions, a state-aware
+//!   greedy adversary) and the worst-case stabilization search emitting
+//!   reproducible certificates.
 //! * [`analysis`] — statistics, asymptotic model fitting, the lottery game
 //!   and table rendering used by the benchmark harness.
 //!
@@ -60,6 +64,7 @@
 
 pub use analysis;
 pub use population;
+pub use ssle_adversary;
 pub use ssle_baselines;
 pub use ssle_core;
 

@@ -129,6 +129,102 @@ fn recovery_after_runtime_faults() {
     assert_eq!(run.sim.count_leaders(), 1);
 }
 
+mod epoch_partition_stabilization {
+    //! Satellite of the adversary engine (PR 4): stabilization under the
+    //! *epoch-partition* scheduler.  The zoo member confines each epoch of
+    //! steps to one group of an arc partition — locally starved, globally
+    //! fair — and the [`ssle_adversary::FairnessAuditor`] certifies the
+    //! fairness premise empirically per run.
+    //!
+    //! The property domain keeps epochs short relative to the group size
+    //! (`blocks ∈ [2, 3]`, `epoch_len ∈ [1, 8]`, `n ∈ [8, 14]`): arcs then
+    //! frequently miss an epoch, preserving the scheduling asynchrony the
+    //! token-collision protocols need.  Long epochs drive token movement
+    //! into deterministic lockstep — a genuine livelock the worst-case
+    //! search exploits (see DESIGN.md "adversary engine"); they are
+    //! deliberately outside this property.
+
+    use population::{GraphFamily, Scheduler, SchedulerFamily, SweepPoint};
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use ssle_adversary::{EpochPartitionScheduler, FairnessAuditor};
+    use ssle_bench::ProtocolKind;
+
+    /// Cases per property: capped so the heavyweight convergence runs stay
+    /// inside the tier-1 time budget even under CI's `PROPTEST_CASES=512`.
+    fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(12)
+            .min(24)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+        /// Every Table 1 protocol stabilizes under the epoch-partition
+        /// scheduler across the short-epoch domain, and the fairness
+        /// auditor certifies that every arc fired.
+        #[test]
+        fn every_table1_protocol_stabilizes_under_epoch_partition(
+            n in 8usize..=14,
+            blocks in 2usize..=3,
+            epoch_len in 1u64..=8,
+            seed in 0u64..1_000,
+        ) {
+            for kind in ProtocolKind::ALL {
+                let auditor = FairnessAuditor::new();
+                let handle = auditor.clone();
+                let scenario = kind.scenario().with_scheduler(SchedulerFamily::custom(
+                    "epoch-partition",
+                    move |_pt, g| {
+                        Box::new(
+                            EpochPartitionScheduler::new(g, blocks, epoch_len)
+                                .expect("ring has arcs")
+                                .with_auditor(handle.clone()),
+                        )
+                    },
+                ));
+                let report = scenario
+                    .try_run(&SweepPoint::new(n, seed))
+                    .expect("zoo schedulers never exhaust");
+                prop_assert!(
+                    report.converged(),
+                    "{} must stabilize under epoch-partition(blocks={blocks}, epoch={epoch_len}) \
+                     at n = {n}, seed = {seed}",
+                    kind.name()
+                );
+                // A run can converge before every arc had a chance to fire
+                // (the auditor then honestly reports partial coverage), so
+                // certify fairness over an extended window: keep driving the
+                // same audited schedule standalone for 2 000 full rotations
+                // — the window over which "every arc fires" holds with
+                // overwhelming probability for every (blocks, epoch_len) in
+                // the domain.
+                let graph = GraphFamily::DirectedRing.build(n).expect("n >= 2");
+                let mut schedule = EpochPartitionScheduler::new(&graph, blocks, epoch_len)
+                    .expect("ring has arcs")
+                    .with_auditor(auditor.clone());
+                let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xFA1);
+                for _ in 0..(2_000 * blocks as u64 * epoch_len) {
+                    schedule.next_interaction(&graph, &mut rng).expect("never exhausts");
+                }
+                let cert = auditor.certificate();
+                prop_assert_eq!(cert.arcs, n, "one arc per directed-ring agent");
+                prop_assert!(
+                    cert.is_fair(),
+                    "fairness audit must certify every arc fired: {:?}",
+                    cert
+                );
+                prop_assert!(cert.min_fires > 0);
+                prop_assert!(cert.rotations >= 2_000);
+            }
+        }
+    }
+}
+
 #[test]
 fn the_paper_constants_also_converge() {
     // κ_max = 32ψ (the value assumed by the analysis) — slower but correct.
