@@ -1,0 +1,335 @@
+//! Serializable fault-plan descriptions — the third mutation axis of the
+//! worst-case search.
+//!
+//! Self-stabilization promises recovery from *transient* faults, so the most
+//! hostile adversary does not only pick the initial configuration and the
+//! schedule: it also crashes agents **mid-run**, ideally right before the
+//! protocol would have converged.  [`FaultPlanSpec`] is the integer-exact,
+//! exactly-comparable description of such a crash schedule — when each burst
+//! fires (timing), which agents it hits (placement) and how many (extent) —
+//! that deterministically builds the same [`population::FaultPlan`] every
+//! time, exactly like [`crate::SchedulerSpec`] builds schedulers.  Recovery
+//! is the protocol's job (that is the self-stabilization contract being
+//! probed); the spec only describes the corruption events.
+//!
+//! The mapping to [`population::FaultPlan`] is lossless in both directions
+//! ([`FaultPlanSpec::plan`] / [`FaultPlanSpec::from_plan`] round-trip,
+//! property-tested in the workspace), which is what makes fault-bearing
+//! [`crate::WorstCase`] certificates replayable through `Scenario`'s fault
+//! path.
+
+use population::{FaultKind, FaultPlan};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Which agents one fault burst corrupts (the placement/extent half of a
+/// [`FaultEventSpec`]; the timing half is its `at_step`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultPlacementSpec {
+    /// Corrupt `count` agents chosen by the run's (seeded) fault injector.
+    Random {
+        /// Number of agents to corrupt.
+        count: u32,
+    },
+    /// Corrupt the contiguous clockwise block of `count` agents starting at
+    /// `start` — a localized burst.
+    Block {
+        /// Index of the first corrupted agent.
+        start: u32,
+        /// Number of agents to corrupt.
+        count: u32,
+    },
+    /// Corrupt every agent.
+    All,
+}
+
+/// One crash event of a fault plan: a step and a placement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FaultEventSpec {
+    /// The step (counted from the start of the run) before which the burst
+    /// fires; step 0 fires before the first interaction.
+    pub at_step: u64,
+    /// Which agents the burst corrupts.
+    pub placement: FaultPlacementSpec,
+}
+
+/// A value-level description of a whole crash schedule (possibly empty).
+///
+/// Events are kept sorted by step (matching [`FaultPlan`]'s ordering), so
+/// two specs describing the same schedule compare equal.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct FaultPlanSpec {
+    events: Vec<FaultEventSpec>,
+}
+
+impl FaultPlanSpec {
+    /// The empty schedule: no faults (the fault-free baseline every search
+    /// starts from).
+    pub fn none() -> Self {
+        FaultPlanSpec::default()
+    }
+
+    /// Builds a spec from events (sorted by step; the sort is stable, so
+    /// same-step events keep their given order, exactly like
+    /// [`FaultPlan::at`]).
+    pub fn new(mut events: Vec<FaultEventSpec>) -> Self {
+        events.sort_by_key(|e| e.at_step);
+        FaultPlanSpec { events }
+    }
+
+    /// Schedules one more burst (builder-style).
+    pub fn with_event(mut self, at_step: u64, placement: FaultPlacementSpec) -> Self {
+        self.events.push(FaultEventSpec { at_step, placement });
+        self.events.sort_by_key(|e| e.at_step);
+        self
+    }
+
+    /// The scheduled events, sorted by step.
+    pub fn events(&self) -> &[FaultEventSpec] {
+        &self.events
+    }
+
+    /// `true` when no fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A compact, stable key for reports and JSON output (`"none"` for the
+    /// empty schedule).
+    pub fn key(&self) -> String {
+        if self.events.is_empty() {
+            return "none".to_string();
+        }
+        let parts: Vec<String> = self
+            .events
+            .iter()
+            .map(|e| match e.placement {
+                FaultPlacementSpec::Random { count } => {
+                    format!("random(count={count})@{}", e.at_step)
+                }
+                FaultPlacementSpec::Block { start, count } => {
+                    format!("block(start={start},count={count})@{}", e.at_step)
+                }
+                FaultPlacementSpec::All => format!("all@{}", e.at_step),
+            })
+            .collect();
+        parts.join("+")
+    }
+
+    /// Builds the [`FaultPlan`] this spec describes.
+    pub fn plan(&self) -> FaultPlan {
+        self.events.iter().fold(FaultPlan::new(), |plan, e| {
+            let kind = match e.placement {
+                FaultPlacementSpec::Random { count } => FaultKind::CorruptRandomAgents {
+                    count: count as usize,
+                },
+                FaultPlacementSpec::Block { start, count } => FaultKind::CorruptBlock {
+                    start: start as usize,
+                    count: count as usize,
+                },
+                FaultPlacementSpec::All => FaultKind::CorruptAll,
+            };
+            plan.at(e.at_step, kind)
+        })
+    }
+
+    /// Recovers the spec of a [`FaultPlan`] — the inverse of
+    /// [`FaultPlanSpec::plan`] (`from_plan(spec.plan()) == spec`, covered by
+    /// a workspace property test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an agent count or block start exceeds `u32::MAX` — specs
+    /// are integer-exact by construction, and no practical population gets
+    /// anywhere near 2³² agents.
+    pub fn from_plan(plan: &FaultPlan) -> Self {
+        let events = plan
+            .events()
+            .iter()
+            .map(|e| {
+                let placement = match e.kind {
+                    FaultKind::CorruptRandomAgents { count } => FaultPlacementSpec::Random {
+                        count: count.try_into().expect("agent count fits u32"),
+                    },
+                    FaultKind::CorruptBlock { start, count } => FaultPlacementSpec::Block {
+                        start: start.try_into().expect("block start fits u32"),
+                        count: count.try_into().expect("agent count fits u32"),
+                    },
+                    FaultKind::CorruptAll => FaultPlacementSpec::All,
+                };
+                FaultEventSpec {
+                    at_step: e.at_step,
+                    placement,
+                }
+            })
+            .collect();
+        // Already sorted: FaultPlan keeps its events sorted by step.
+        FaultPlanSpec { events }
+    }
+}
+
+/// Which fault-plan mutations the worst-case search may propose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultDomain {
+    /// Allow fault-plan proposals at all.  When `false` every candidate
+    /// keeps [`FaultPlanSpec::none`] (the PR-4 search space).
+    pub enabled: bool,
+    /// Upper bound (inclusive) on each event's `at_step` — drivers set this
+    /// to the run's step budget so every proposed burst can actually fire.
+    pub max_step: u64,
+    /// Upper bound (inclusive) on the agents corrupted per burst — drivers
+    /// set this to the cell's population size.
+    pub max_agents: u32,
+    /// Upper bound (inclusive) on the number of scheduled bursts.
+    pub max_events: u32,
+}
+
+impl FaultDomain {
+    /// Fault mutations disabled: the search space is exactly the PR-4
+    /// (init variant, seed, scheduler) space.
+    pub fn disabled() -> Self {
+        FaultDomain {
+            enabled: false,
+            max_step: 0,
+            max_agents: 0,
+            max_events: 0,
+        }
+    }
+
+    /// Crash schedules of up to two bursts within the given step budget and
+    /// population size — the domain the tracked report grid searches.
+    pub fn bursts(max_step: u64, max_agents: u32) -> Self {
+        FaultDomain {
+            enabled: true,
+            max_step,
+            max_agents: max_agents.max(1),
+            max_events: 2,
+        }
+    }
+
+    /// Samples a uniformly random placement.
+    fn sample_placement(&self, rng: &mut ChaCha8Rng) -> FaultPlacementSpec {
+        match rng.gen_range(0..3u8) {
+            0 => FaultPlacementSpec::Random {
+                count: rng.gen_range(1..=self.max_agents),
+            },
+            1 => FaultPlacementSpec::Block {
+                start: rng.gen_range(0..self.max_agents),
+                count: rng.gen_range(1..=self.max_agents),
+            },
+            _ => FaultPlacementSpec::All,
+        }
+    }
+
+    /// Samples a random single-burst schedule.
+    fn sample(&self, rng: &mut ChaCha8Rng) -> FaultPlanSpec {
+        FaultPlanSpec::none()
+            .with_event(rng.gen_range(0..=self.max_step), self.sample_placement(rng))
+    }
+
+    /// Proposes a perturbation of `spec`: add/drop a burst, shift a burst's
+    /// timing (half/double), or redraw a burst's placement.
+    pub(crate) fn tweak(&self, spec: &FaultPlanSpec, rng: &mut ChaCha8Rng) -> FaultPlanSpec {
+        if !self.enabled {
+            return FaultPlanSpec::none();
+        }
+        if spec.is_empty() {
+            return self.sample(rng);
+        }
+        let mut events = spec.events.clone();
+        match rng.gen_range(0..4u8) {
+            // Drop one burst (possibly back to the fault-free plan).
+            0 => {
+                let victim = rng.gen_range(0..events.len());
+                events.remove(victim);
+            }
+            // Add one burst, capacity permitting.
+            1 if (events.len() as u32) < self.max_events => {
+                events.push(FaultEventSpec {
+                    at_step: rng.gen_range(0..=self.max_step),
+                    placement: self.sample_placement(rng),
+                });
+            }
+            // Shift one burst's timing: halve or double, clamped to the
+            // budget (timing is the sharpest axis — a burst just before
+            // convergence is worth far more than one at step 0).
+            2 => {
+                let i = rng.gen_range(0..events.len());
+                let t = events[i].at_step;
+                events[i].at_step = if rng.gen_bool(0.5) {
+                    t.saturating_mul(2).clamp(0, self.max_step)
+                } else {
+                    (t / 2).max(1)
+                };
+            }
+            // Redraw one burst's placement.
+            _ => {
+                let i = rng.gen_range(0..events.len());
+                events[i].placement = self.sample_placement(rng);
+            }
+        }
+        FaultPlanSpec::new(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn specs_build_plans_and_round_trip() {
+        let spec = FaultPlanSpec::none()
+            .with_event(100, FaultPlacementSpec::Random { count: 3 })
+            .with_event(7, FaultPlacementSpec::Block { start: 2, count: 4 })
+            .with_event(100, FaultPlacementSpec::All);
+        // Sorted by step.
+        assert_eq!(spec.events()[0].at_step, 7);
+        let plan = spec.plan();
+        assert_eq!(plan.len(), 3);
+        assert_eq!(FaultPlanSpec::from_plan(&plan), spec);
+        assert!(FaultPlanSpec::none().is_empty());
+        assert!(FaultPlanSpec::none().plan().is_empty());
+        assert_eq!(FaultPlanSpec::none().key(), "none");
+        assert!(spec.key().contains("block(start=2,count=4)@7"));
+    }
+
+    #[test]
+    fn disabled_domain_never_proposes_faults() {
+        let domain = FaultDomain::disabled();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let seeded = FaultPlanSpec::none().with_event(5, FaultPlacementSpec::All);
+        for _ in 0..50 {
+            assert!(domain.tweak(&seeded, &mut rng).is_empty());
+        }
+    }
+
+    #[test]
+    fn mutations_stay_in_bounds() {
+        let domain = FaultDomain::bursts(1_000, 16);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut spec = FaultPlanSpec::none();
+        let mut saw_nonempty = false;
+        let mut saw_two_events = false;
+        for _ in 0..2_000 {
+            spec = domain.tweak(&spec, &mut rng);
+            saw_nonempty |= !spec.is_empty();
+            saw_two_events |= spec.events().len() == 2;
+            assert!(spec.events().len() as u32 <= domain.max_events);
+            for e in spec.events() {
+                assert!(e.at_step <= domain.max_step);
+                match e.placement {
+                    FaultPlacementSpec::Random { count } => {
+                        assert!((1..=domain.max_agents).contains(&count));
+                    }
+                    FaultPlacementSpec::Block { start, count } => {
+                        assert!(start < domain.max_agents);
+                        assert!((1..=domain.max_agents).contains(&count));
+                    }
+                    FaultPlacementSpec::All => {}
+                }
+            }
+        }
+        assert!(saw_nonempty && saw_two_events, "domain explores its bounds");
+    }
+}

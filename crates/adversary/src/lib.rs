@@ -17,10 +17,17 @@
 //! * a serializable **scheduler description** ([`SchedulerSpec`]) that turns
 //!   into a `population::SchedulerFamily`, so any `Scenario` can be re-run
 //!   under any zoo member via `Scenario::with_scheduler`;
+//! * a serializable **fault-plan description** ([`FaultPlanSpec`]) — an
+//!   integer-exact crash schedule (timing, placement, extent) that builds a
+//!   `population::FaultPlan`, so the search can also crash agents mid-run
+//!   and certificates replay through `Scenario`'s fault path;
 //! * a **worst-case search engine** ([`worst_case_search`]) — deterministic
-//!   mutation/annealing over initial-condition variants, seeds and scheduler
-//!   parameters that maximizes observed stabilization time and emits
-//!   reproducible [`WorstCase`] certificates.
+//!   mutation/annealing over initial-condition variants, seeds, scheduler
+//!   parameters and fault plans that maximizes observed stabilization time
+//!   and emits reproducible [`WorstCase`] certificates; the chain can run as
+//!   N deterministic **islands** merged best-of
+//!   ([`worst_case_search_islands`]) — bit-reproducible for a fixed island
+//!   count at any thread count.
 //!
 //! The crate is protocol-agnostic: it only speaks the erased vocabulary of
 //! `population::scenario` (`DynState`, `DynScheduler`, `SchedulerFamily`).
@@ -33,16 +40,18 @@
 #![warn(missing_debug_implementations)]
 
 pub mod epoch;
+pub mod faultplan;
 pub mod greedy;
 pub mod search;
 pub mod spec;
 pub mod weighted;
 
 pub use epoch::{EpochPartitionScheduler, FairnessAuditor, FairnessCertificate};
+pub use faultplan::{FaultDomain, FaultEventSpec, FaultPlacementSpec, FaultPlanSpec};
 pub use greedy::{ArcScorer, GreedyAdversary};
 pub use search::{
-    worst_case_search, Candidate, Evaluation, SearchConfig, SearchOutcome, SearchSpace, SpecDomain,
-    WorstCase,
+    worst_case_search, worst_case_search_islands, Candidate, Evaluation, IslandConfig,
+    IslandOutcome, SearchConfig, SearchOutcome, SearchSpace, SpecDomain, WorstCase,
 };
 pub use spec::SchedulerSpec;
 pub use weighted::WeightedScheduler;

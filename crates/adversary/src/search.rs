@@ -19,13 +19,16 @@
 //! the random-scheduler trials a report also uses for its mean — which
 //! guarantees `worst-found ≥ max(pool) ≥ mean(pool)` by construction.
 
+use population::BatchRunner;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+use crate::faultplan::{FaultDomain, FaultPlanSpec};
 use crate::spec::SchedulerSpec;
 
 /// One point of the search space: which initial-condition variant to start
-/// from, the seed driving init + simulation, and the scheduler description.
+/// from, the seed driving init + simulation, the scheduler description, and
+/// the mid-run crash schedule.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Candidate {
     /// Index into the driver's list of initial-condition variants.
@@ -35,6 +38,22 @@ pub struct Candidate {
     pub seed: u64,
     /// The scheduler to run under.
     pub spec: SchedulerSpec,
+    /// The transient-fault schedule to fire mid-run
+    /// ([`FaultPlanSpec::none`] for a fault-free run).
+    pub faults: FaultPlanSpec,
+}
+
+impl Candidate {
+    /// A fault-free random-scheduler candidate — the shape of every seed
+    /// pool member (variant 0, the uniformly random scheduler, no faults).
+    pub fn baseline(seed: u64) -> Self {
+        Candidate {
+            variant: 0,
+            seed,
+            spec: SchedulerSpec::Random,
+            faults: FaultPlanSpec::none(),
+        }
+    }
 }
 
 /// The driver's verdict on one candidate.
@@ -215,6 +234,9 @@ pub struct SearchSpace {
     pub variants: u32,
     /// Allowed scheduler mutations.
     pub specs: SpecDomain,
+    /// Allowed fault-plan mutations ([`FaultDomain::disabled`] restricts
+    /// the search to the fault-free space).
+    pub faults: FaultDomain,
 }
 
 /// Annealing parameters.
@@ -255,6 +277,33 @@ pub struct SearchOutcome {
 /// from its maximum, which guarantees the returned worst case is at least as
 /// bad as every pool member.  `evaluate` must be deterministic per candidate
 /// for certificates to be reproducible.
+///
+/// ```
+/// use ssle_adversary::{
+///     worst_case_search, Candidate, Evaluation, FaultDomain, SearchConfig, SearchSpace,
+///     SpecDomain,
+/// };
+///
+/// // A deterministic toy objective standing in for a scenario run (real
+/// // drivers run `Scenario::try_run` and censor at the step budget).
+/// let evaluate = |c: &Candidate| Evaluation {
+///     steps: 100 + c.seed % 50 + 10 * c.faults.events().len() as u64,
+///     converged: true,
+/// };
+/// let pool: Vec<(Candidate, Evaluation)> = (0..3)
+///     .map(|s| (Candidate::baseline(s), evaluate(&Candidate::baseline(s))))
+///     .collect();
+/// let space = SearchSpace {
+///     variants: 1,
+///     specs: SpecDomain::state_blind(),
+///     faults: FaultDomain::bursts(1_000, 8),
+/// };
+/// let outcome = worst_case_search(&space, &pool, evaluate, &SearchConfig::default());
+/// // The worst case found is never below the pool maximum (here 102), and
+/// // its certificate re-evaluates to the identical score.
+/// assert!(outcome.best.steps >= 102);
+/// assert_eq!(evaluate(&outcome.best.candidate).steps, outcome.best.steps);
+/// ```
 ///
 /// # Panics
 ///
@@ -309,22 +358,144 @@ where
     SearchOutcome { best, evaluations }
 }
 
-/// Proposes a neighbour of `candidate`: a new seed, a different variant, or
-/// a scheduler mutation.
+/// Parameters of an island search ([`worst_case_search_islands`]).
+#[derive(Clone, Copy, Debug)]
+pub struct IslandConfig {
+    /// Number of independent annealing islands.  **Part of the result's
+    /// identity**: changing it changes which worst case is found, while the
+    /// thread count of the runner never does.
+    pub islands: u32,
+    /// Mutation/evaluation rounds *per island* (total evaluations are
+    /// `islands × iterations`).
+    pub iterations: u32,
+    /// Base seed; each island derives its own disjoint stream from it.
+    pub seed: u64,
+    /// Geometric temperature decay per iteration, in `(0, 1]`.
+    pub cooling: f64,
+}
+
+impl Default for IslandConfig {
+    fn default() -> Self {
+        IslandConfig {
+            islands: 4,
+            iterations: 6,
+            seed: 0xADF5,
+            cooling: 0.85,
+        }
+    }
+}
+
+/// The result of one island search.
+#[derive(Clone, Debug)]
+pub struct IslandOutcome {
+    /// The worst case found over the pool and every island.
+    pub best: WorstCase,
+    /// The island that found it (ties go to the lowest index, so the merge
+    /// is deterministic).
+    pub best_island: u32,
+    /// Total driver evaluations across all islands (excluding the
+    /// pre-evaluated pool).
+    pub evaluations: u32,
+}
+
+/// The annealing chain restructured as independent **islands**: each island
+/// runs [`worst_case_search`] from the same seed pool but with its own
+/// disjoint mutation-RNG stream, and the results are merged best-of.
+///
+/// Islands are embarrassingly parallel, so they are sharded over `runner`
+/// (`BatchRunner::run_map`); because every island's stream depends only on
+/// `config.seed` and its island index — never on the thread that happens to
+/// execute it — the outcome is **bit-identical for any thread count** at a
+/// fixed island count.  That is the contract `stabilization_report
+/// --threads T` relies on, pinned by workspace tests.
+///
+/// `evaluate` must be deterministic per candidate (certificates) and, unlike
+/// the single-chain search, `Fn + Send + Sync` (islands share it across
+/// worker threads).
+///
+/// # Panics
+///
+/// Panics if `config.islands == 0`, `pool` is empty or
+/// `space.variants == 0`.
+pub fn worst_case_search_islands<E>(
+    space: &SearchSpace,
+    pool: &[(Candidate, Evaluation)],
+    evaluate: E,
+    config: &IslandConfig,
+    runner: &BatchRunner,
+) -> IslandOutcome
+where
+    E: Fn(&Candidate) -> Evaluation + Send + Sync,
+{
+    assert!(config.islands > 0, "island search needs >= 1 island");
+    let islands: Vec<u32> = (0..config.islands).collect();
+    let outcomes = runner.run_map(&islands, |&island| {
+        worst_case_search(
+            space,
+            pool,
+            |c| evaluate(c),
+            &SearchConfig {
+                iterations: config.iterations,
+                seed: island_seed(config.seed, island),
+                cooling: config.cooling,
+            },
+        )
+    });
+    let mut merged: Option<(u32, SearchOutcome)> = None;
+    let mut evaluations = 0u32;
+    for (island, outcome) in outcomes.into_iter().enumerate() {
+        evaluations += outcome.evaluations;
+        // Strict `>` keeps the lowest island on ties — the merge order is
+        // island order, never completion order.
+        if merged
+            .as_ref()
+            .is_none_or(|(_, best)| outcome.best.steps > best.best.steps)
+        {
+            merged = Some((island as u32, outcome));
+        }
+    }
+    let (best_island, outcome) = merged.expect("at least one island");
+    IslandOutcome {
+        best: outcome.best,
+        best_island,
+        evaluations,
+    }
+}
+
+/// The disjoint per-island seed stream: one SplitMix64 scramble of the base
+/// seed and the island index, so neighbouring indices land in unrelated
+/// regions of the `ChaCha8Rng` seed space.
+fn island_seed(seed: u64, island: u32) -> u64 {
+    let mut z = seed.wrapping_add((island as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Proposes a neighbour of `candidate`: a new seed, a different variant, a
+/// scheduler mutation, or a fault-plan mutation.
 fn mutate(candidate: &Candidate, space: &SearchSpace, rng: &mut ChaCha8Rng) -> Candidate {
     let mut next = candidate.clone();
-    // Moves: 0 = reseed, 1 = switch variant (when available), 2-3 =
-    // scheduler mutation (the scheduler is the richest axis, so it gets
-    // half the mass).
-    let moves = if space.variants > 1 { 4 } else { 3 };
-    match rng.gen_range(0..moves) {
+    // The move table: reseed, variant switch (when available), scheduler
+    // mutation ×2 and fault mutation ×2 — the structured axes are richer
+    // than a reseed, so they get the bulk of the mass.
+    let mut moves: Vec<u8> = vec![0];
+    if space.variants > 1 {
+        moves.push(1);
+    }
+    moves.extend([2, 2]);
+    if space.faults.enabled {
+        moves.extend([3, 3]);
+    }
+    match moves[rng.gen_range(0..moves.len())] {
         0 => next.seed = rng.gen(),
-        1 if space.variants > 1 => {
+        1 => {
             // Uniform over the *other* variants.
             let shift = rng.gen_range(1..space.variants);
             next.variant = (next.variant + shift) % space.variants;
         }
-        _ => next.spec = space.specs.tweak(&next.spec, rng),
+        2 => next.spec = space.specs.tweak(&next.spec, rng),
+        _ => next.faults = space.faults.tweak(&next.faults, rng),
     }
     next
 }
@@ -334,8 +505,8 @@ mod tests {
     use super::*;
 
     /// A deterministic synthetic objective with structure for the search to
-    /// exploit: rewards epoch partitions with many blocks plus a
-    /// seed-dependent wrinkle.
+    /// exploit: rewards epoch partitions with many blocks, late fault bursts,
+    /// plus a seed-dependent wrinkle.
     fn synthetic(c: &Candidate) -> Evaluation {
         let spec_score = match &c.spec {
             SchedulerSpec::Random => 10,
@@ -343,7 +514,8 @@ mod tests {
             SchedulerSpec::EpochPartition { blocks, .. } => 50 + 10 * *blocks as u64,
             SchedulerSpec::Greedy { candidates } => 40 + *candidates as u64,
         };
-        let steps = spec_score + (c.seed % 7) + 5 * c.variant as u64;
+        let fault_score: u64 = c.faults.events().iter().map(|e| 5 + e.at_step / 64).sum();
+        let steps = spec_score + fault_score + (c.seed % 7) + 5 * c.variant as u64;
         Evaluation {
             steps,
             converged: true,
@@ -353,11 +525,7 @@ mod tests {
     fn pool() -> Vec<(Candidate, Evaluation)> {
         (0..3u64)
             .map(|s| {
-                let c = Candidate {
-                    variant: 0,
-                    seed: s,
-                    spec: SchedulerSpec::Random,
-                };
+                let c = Candidate::baseline(s);
                 let e = synthetic(&c);
                 (c, e)
             })
@@ -368,6 +536,7 @@ mod tests {
         SearchSpace {
             variants: 3,
             specs: SpecDomain::all(),
+            faults: FaultDomain::bursts(256, 8),
         }
     }
 
@@ -407,10 +576,71 @@ mod tests {
     }
 
     #[test]
+    fn island_search_is_thread_count_invariant_and_beats_single_islands() {
+        let config = IslandConfig {
+            islands: 4,
+            iterations: 25,
+            seed: 17,
+            cooling: 0.9,
+        };
+        let serial = worst_case_search_islands(
+            &space(),
+            &pool(),
+            synthetic,
+            &config,
+            &BatchRunner::with_threads(1),
+        );
+        for threads in [2, 4, 16] {
+            let parallel = worst_case_search_islands(
+                &space(),
+                &pool(),
+                synthetic,
+                &config,
+                &BatchRunner::with_threads(threads),
+            );
+            assert_eq!(
+                serial.best, parallel.best,
+                "islands vary with {threads} threads"
+            );
+            assert_eq!(serial.best_island, parallel.best_island);
+            assert_eq!(serial.evaluations, parallel.evaluations);
+        }
+        assert_eq!(serial.evaluations, 100, "islands x iterations evaluations");
+        // The merge is best-of: no single island's chain beats it.
+        for island in 0..config.islands {
+            let single = worst_case_search(
+                &space(),
+                &pool(),
+                synthetic,
+                &SearchConfig {
+                    iterations: config.iterations,
+                    seed: island_seed(config.seed, island),
+                    cooling: config.cooling,
+                },
+            );
+            assert!(single.best.steps <= serial.best.steps);
+            if island == serial.best_island {
+                assert_eq!(single.best, serial.best, "the winning island's chain");
+            }
+        }
+        // Certificates still reproduce through the merge.
+        assert_eq!(synthetic(&serial.best.candidate).steps, serial.best.steps);
+    }
+
+    #[test]
+    fn island_seeds_are_disjoint() {
+        let mut seeds: Vec<u64> = (0..64).map(|i| island_seed(0xADF5, i)).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 64, "island seed streams must be distinct");
+    }
+
+    #[test]
     fn domain_restrictions_are_respected() {
         let space = SearchSpace {
             variants: 1,
             specs: SpecDomain::state_blind(),
+            faults: FaultDomain::disabled(),
         };
         let config = SearchConfig {
             iterations: 200,
@@ -426,6 +656,7 @@ mod tests {
                     "greedy is outside the domain"
                 );
                 assert_eq!(c.variant, 0, "single-variant space never switches");
+                assert!(c.faults.is_empty(), "disabled fault domain stays empty");
                 synthetic(c)
             },
             &config,

@@ -1,4 +1,4 @@
-//! Baseline [5]: Angluin, Aspnes, Fischer, Jiang 2008 — SS-LE on rings whose
+//! Baseline \[5\]: Angluin, Aspnes, Fischer, Jiang 2008 — SS-LE on rings whose
 //! size is *not* a multiple of a given constant `k`, with `O(1)` states and
 //! `Θ(n³)` expected convergence.
 //!
@@ -10,7 +10,7 @@
 //! *at least one defect always exists* — the defects are the leaders, and no
 //! leader-creation mechanism (and no oracle, and no knowledge of `n`) is
 //! needed.  This is exactly the role the "ring size not a multiple of `k`"
-//! assumption plays in [5].
+//! assumption plays in \[5\].
 //!
 //! Whenever the arc entering a defect is activated, the defect is absorbed
 //! locally (`r.label ← l.label + 1`), which pushes the label jump one agent
@@ -24,7 +24,7 @@
 //!
 //! In this reconstruction the final unique defect keeps performing its random
 //! walk forever, so the *identity* of the leader keeps changing after the
-//! leader *count* has converged to one; the original protocol of [5]
+//! leader *count* has converged to one; the original protocol of \[5\]
 //! stabilises the leader's position as well.  The convergence-time experiment
 //! measures the time until the defect count reaches one (after which it can
 //! never change again), which is the quantity Table 1 compares.  See
@@ -72,7 +72,7 @@ impl AngluinModK {
     /// Creates the protocol for modulus `k ≥ 2`.
     ///
     /// The protocol is an SS-LE protocol only on rings whose size is not a
-    /// multiple of `k` (Table 1, row [5]).
+    /// multiple of `k` (Table 1, row \[5\]).
     ///
     /// # Panics
     ///

@@ -1,4 +1,4 @@
-//! Baseline [15]: Fischer, Jiang 2006 — SS-LE on rings with the eventual
+//! Baseline \[15\]: Fischer, Jiang 2006 — SS-LE on rings with the eventual
 //! leader detector `Ω?` and `O(1)` states.
 //!
 //! Fischer and Jiang introduced both the oracle `Ω?` (which eventually tells
@@ -22,7 +22,7 @@
 //!   every bullet to complete its flight.
 //! * The measured convergence exponent of this reconstruction is reported in
 //!   `EXPERIMENTS.md` next to the original's `Θ(n³)` bound; the qualitative
-//!   Table 1 ordering (slower than [28] and this work) is what the benchmark
+//!   Table 1 ordering (slower than \[28\] and this work) is what the benchmark
 //!   reproduces.
 
 use population::{Configuration, LeaderElection, Protocol};

@@ -5,10 +5,10 @@
 //!
 //! | row | protocol | assumption | convergence | #states | module |
 //! |-----|----------|-----------|-------------|---------|--------|
-//! | [5]  | Angluin, Aspnes, Fischer, Jiang 2008 | `n` not a multiple of a given `k` | `Θ(n³)` | `O(1)` | [`angluin_mod_k`] |
-//! | [15] | Fischer, Jiang 2006 | oracle `Ω?` | `Θ(n³)` | `O(1)` | [`fischer_jiang`] |
-//! | [11] | Chen, Chen 2019 | none | exponential | `O(1)` | [`thue_morse`] (utilities + analysis only) |
-//! | [28] | Yokota, Sudo, Masuzawa 2021 | knowledge `ψ` | `Θ(n²)` | `O(n)` | [`yokota_linear`] |
+//! | \[5\]  | Angluin, Aspnes, Fischer, Jiang 2008 | `n` not a multiple of a given `k` | `Θ(n³)` | `O(1)` | [`angluin_mod_k`] |
+//! | \[15\] | Fischer, Jiang 2006 | oracle `Ω?` | `Θ(n³)` | `O(1)` | [`fischer_jiang`] |
+//! | \[11\] | Chen, Chen 2019 | none | exponential | `O(1)` | [`thue_morse`] (utilities + analysis only) |
+//! | \[28\] | Yokota, Sudo, Masuzawa 2021 | knowledge `ψ` | `Θ(n²)` | `O(n)` | [`yokota_linear`] |
 //! | this work | Yokota, Sudo, Ooshita, Masuzawa 2023 | knowledge `ψ` | `O(n² log n)` | `polylog(n)` | `ssle-core` |
 //!
 //! The original papers give prose-level protocol descriptions; the versions

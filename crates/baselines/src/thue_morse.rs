@@ -1,4 +1,4 @@
-//! Baseline [11]: Chen, Chen 2019 — constant-state SS-LE on general rings
+//! Baseline \[11\]: Chen, Chen 2019 — constant-state SS-LE on general rings
 //! with super-exponential expected convergence time.
 //!
 //! The Chen–Chen protocol embeds a prefix of the **Thue–Morse string** on the
@@ -10,7 +10,7 @@
 //!
 //! Reimplementing the full constant-state cube-detection machinery is out of
 //! scope (its super-exponential running time also makes it impossible to
-//! benchmark beyond toy sizes); Table 1's row for [11] is therefore reported
+//! benchmark beyond toy sizes); Table 1's row for \[11\] is therefore reported
 //! analytically by the harness rather than measured (see `DESIGN.md` §4 and
 //! `EXPERIMENTS.md`).  This module provides the combinatorial substrate the
 //! protocol rests on — Thue–Morse generation and cube detection — together
@@ -71,7 +71,7 @@ pub fn find_circular_cube(s: &[bool]) -> Option<(usize, usize)> {
     None
 }
 
-/// The analytic Table 1 row for [11]: `O(1)` states.  (Eight states suffice
+/// The analytic Table 1 row for \[11\]: `O(1)` states.  (Eight states suffice
 /// for the published protocol's agents; we report the order of magnitude
 /// rather than an exact count because we do not reimplement the transition
 /// table.)

@@ -1,4 +1,4 @@
-//! Baseline [28]: Yokota, Sudo, Masuzawa 2021 — time-optimal SS-LE on rings
+//! Baseline \[28\]: Yokota, Sudo, Masuzawa 2021 — time-optimal SS-LE on rings
 //! with `Θ(n²)` convergence and `O(n)` states.
 //!
 //! The 2021 protocol detects the absence of a leader "in a naive way using
@@ -10,7 +10,7 @@
 //!
 //! This module reconstructs exactly that: an exact distance counter capped at
 //! `N` plus Algorithm 5.  Its per-agent state count is `Θ(N) = Θ(n)` and its
-//! convergence time is `Θ(n²)` — the row of Table 1 labelled [28].
+//! convergence time is `Θ(n²)` — the row of Table 1 labelled \[28\].
 
 use population::{LeaderElection, Protocol};
 use rand::Rng;

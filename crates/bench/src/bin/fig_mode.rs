@@ -7,7 +7,7 @@
 //!   long do all agents stay in construction mode (we measure the first time
 //!   any agent reaches `clock = κ_max` over a long run — typically never)?
 //! * Lemma 3.11 side: the lifetime of a resetting signal once its leader is
-//!   removed — a three-line custom [`Scenario`] with a hand-built initial
+//!   removed — a three-line custom `Scenario` with a hand-built initial
 //!   configuration and a signal-extinction stop criterion.
 
 use analysis::{fit_models, Summary, Table};

@@ -1,36 +1,51 @@
 //! Worst-case stabilization bench report: for the four Table 1 protocols ×
 //! {ring, complete} × n ∈ {64, 256}, measures the mean stabilization time of
-//! a random-scheduler trial pool and the worst case found by the
-//! `ssle-adversary` annealing search (over init variants, seeds and
-//! scheduler-zoo parameters), and writes the results — including the
-//! reproducible worst-case certificates — to `BENCH_stabilization.json`
-//! (at the current directory; run from the repository root).
+//! a random-scheduler trial pool, the worst case found by the
+//! `ssle-adversary` island annealing search (over init variants, seeds,
+//! scheduler-zoo parameters and mid-run crash schedules), and the
+//! stabilization-rate curve of each worst-case certificate (fraction of
+//! fresh-seed replays converged at 1×/2×/4× the cell budget), and writes
+//! the results — including the reproducible certificates — to
+//! `BENCH_stabilization.json` (at the current directory; run from the
+//! repository root).
 //!
 //! ```text
 //! cargo run --release -p ssle-bench --bin stabilization_report
-//! cargo run --release -p ssle-bench --bin stabilization_report -- --quick --json
+//! cargo run --release -p ssle-bench --bin stabilization_report -- --quick --threads 4 --json
 //! ```
+//!
+//! Grid cells, per-cell trial pools, annealing islands and rate replays are
+//! all sharded over the worker threads; the output is **bit-identical for
+//! any `--threads` value** at a fixed `--islands` count (islands have
+//! disjoint deterministic seed streams and a best-of merge; pinned by
+//! workspace tests).
 //!
 //! Flags:
 //!
 //! ```text
 //! --quick       reduced budgets/trials (CI smoke); same cell grid and schema
+//! --threads N   worker threads (default: all cores); never changes results
+//! --islands N   annealing islands per cell (default 4); changes results
 //! --out PATH    output file (default: BENCH_stabilization.json)
 //! --json        also print the JSON document to stdout
 //! --help        print usage
 //! ```
 //!
 //! The binary self-validates: after writing, it re-reads the file, parses it
-//! with `analysis::json` and checks it against the `stabilization-bench/v1`
-//! schema — including `worst ≥ mean` for every cell — exiting non-zero on
-//! any mismatch.
+//! with `analysis::json` and checks it against the `stabilization-bench/v2`
+//! schema — including `worst ≥ mean` and a well-formed rate curve for every
+//! cell — exiting non-zero on any mismatch.
 
-use ssle_bench::stabilization;
+use ssle_bench::stabilization::{self, RunOptions};
 
 const USAGE: &str = "\
 options:
   --quick        reduced budgets and trial counts (CI smoke); same cell grid
                  and schema
+  --threads N    worker threads (default: all cores); output is bit-identical
+                 for any value at a fixed island count
+  --islands N    annealing islands per cell (default 4); part of the result's
+                 identity
   --out PATH     output file (default: BENCH_stabilization.json, or
                  BENCH_stabilization.quick.json under --quick so a local
                  smoke run never clobbers the committed full-mode report)
@@ -41,15 +56,34 @@ fn main() {
     let mut quick = false;
     let mut json = false;
     let mut out: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut islands: Option<u32> = None;
     let mut args = std::env::args().skip(1);
+    fn value_of(flag: &str, args: &mut dyn Iterator<Item = String>) -> String {
+        match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("error: {flag} requires a value\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--json" => json = true,
-            "--out" => match args.next() {
-                Some(path) => out = Some(path),
-                None => {
-                    eprintln!("error: --out requires a value\n{USAGE}");
+            "--out" => out = Some(value_of("--out", &mut args)),
+            "--threads" => match value_of("--threads", &mut args).parse() {
+                Ok(t) => threads = Some(t),
+                Err(_) => {
+                    eprintln!("error: --threads requires a number\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--islands" => match value_of("--islands", &mut args).parse() {
+                Ok(i) if i >= 1 => islands = Some(i),
+                _ => {
+                    eprintln!("error: --islands requires a number >= 1\n{USAGE}");
                     std::process::exit(2);
                 }
             },
@@ -71,7 +105,12 @@ fn main() {
         })
     });
 
-    let report = stabilization::run(quick);
+    let mut options = RunOptions::new(quick);
+    options.threads = threads;
+    if let Some(islands) = islands {
+        options.islands = islands;
+    }
+    let report = stabilization::run(&options);
     let text = report.to_json_value().to_json();
     if let Err(e) = std::fs::write(&out, &text) {
         eprintln!("error: cannot write {out}: {e}");
@@ -101,11 +140,19 @@ fn main() {
     );
     println!("{}", report.to_markdown());
     println!(
-        "wrote {out} ({} cells, {} trials + {} search iterations each)",
+        "wrote {out} ({} cells; {} trials, {} islands x {} iterations, {} rate replays each)",
         report.cells.len(),
         report.trials,
-        report.search_iterations
+        report.islands,
+        report.island_iterations,
+        report.replays,
     );
+    if !stabilization::has_nondegenerate_rate(&parsed) {
+        println!(
+            "note: every rate curve is degenerate (all-0 or all-1) in this run; \
+             the full-mode tracked report is expected to discriminate"
+        );
+    }
     if json {
         println!("{text}");
     }

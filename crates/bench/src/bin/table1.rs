@@ -5,7 +5,7 @@
 //! For every measurable protocol the harness sweeps its [`Scenario`] over
 //! uniformly random initial configurations, fits the measured convergence
 //! steps against `c·n^a·(log n)^b`, and prints the claimed bound next to the
-//! measured fit.  Row [11] (Chen–Chen) is reported analytically: its
+//! measured fit.  Row \[11\] (Chen–Chen) is reported analytically: its
 //! super-exponential convergence cannot be measured (see `DESIGN.md` §4).
 //!
 //! ```text

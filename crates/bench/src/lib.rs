@@ -52,11 +52,11 @@ pub enum ProtocolKind {
     Ppl,
     /// `P_PL` with the paper's `κ_max = 32ψ`.
     PplPaperConstants,
-    /// Baseline [28]: Yokota et al. 2021, `O(n)` states.
+    /// Baseline \[28\]: Yokota et al. 2021, `O(n)` states.
     Yokota,
-    /// Baseline [15]: Fischer–Jiang 2006 with the oracle `Ω?`.
+    /// Baseline \[15\]: Fischer–Jiang 2006 with the oracle `Ω?`.
     FischerJiang,
-    /// Baseline [5]: Angluin et al. 2008, `k ∤ n`.
+    /// Baseline \[5\]: Angluin et al. 2008, `k ∤ n`.
     AngluinModK,
 }
 
@@ -173,7 +173,7 @@ impl ProtocolKind {
 }
 
 /// Picks the smallest `k ≥ 2` that does not divide `n` (the assumption of
-/// baseline [5]).
+/// baseline \[5\]).
 pub fn pick_k(n: usize) -> u8 {
     (2u8..=64)
         .find(|&k| !n.is_multiple_of(k as usize))
@@ -219,7 +219,7 @@ pub fn ppl_builder_with_params(
     .check_every(|pt| check_interval(pt.n))
 }
 
-/// Scenario builder for baseline [28] (Yokota et al. 2021): uniformly random
+/// Scenario builder for baseline \[28\] (Yokota et al. 2021): uniformly random
 /// initial configurations, converging to its structural safe set.
 pub fn yokota_builder() -> ScenarioBuilder<YokotaLinear> {
     ScenarioBuilder::new("yokota-linear", |pt| YokotaLinear::for_ring(pt.n))
@@ -234,7 +234,7 @@ pub fn yokota_builder() -> ScenarioBuilder<YokotaLinear> {
         .check_every(|pt| check_interval(pt.n))
 }
 
-/// Scenario builder for baseline [15] (Fischer–Jiang with the oracle `Ω?`):
+/// Scenario builder for baseline \[15\] (Fischer–Jiang with the oracle `Ω?`):
 /// uniformly random initial configurations, converging to a single
 /// bullet-safe leader.
 pub fn fischer_jiang_builder() -> ScenarioBuilder<FischerJiang> {
@@ -249,7 +249,7 @@ pub fn fischer_jiang_builder() -> ScenarioBuilder<FischerJiang> {
         .check_every(|pt| check_interval(pt.n))
 }
 
-/// Scenario builder for baseline [5] (Angluin et al. 2008, `k ∤ n`):
+/// Scenario builder for baseline \[5\] (Angluin et al. 2008, `k ∤ n`):
 /// uniformly random initial configurations, converging to a unique label
 /// defect.
 pub fn angluin_builder() -> ScenarioBuilder<AngluinModK> {

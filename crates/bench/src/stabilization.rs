@@ -6,37 +6,54 @@
 //! measures the other end: for every Table 1 protocol × {ring, complete} ×
 //! `n ∈ {64, 256}`, it records the mean stabilization time of a
 //! random-scheduler trial pool **and** the worst case found by the
-//! `ssle-adversary` search engine — annealing over initial-condition
-//! variants, seeds and scheduler-zoo parameters ([`SchedulerSpec`]), seeded
-//! with the trial pool so `worst-found ≥ max(pool) ≥ mean` holds by
-//! construction.
+//! `ssle-adversary` search engine — island annealing over initial-condition
+//! variants, seeds, scheduler-zoo parameters ([`SchedulerSpec`]) and mid-run
+//! crash schedules ([`FaultPlanSpec`]), seeded with the trial pool so
+//! `worst-found ≥ max(pool) ≥ mean` holds by construction.
+//!
+//! Everything embarrassingly parallel is sharded over a
+//! `population::BatchRunner` (`run_map`): the grid cells, each cell's random
+//! trial pool, the annealing islands and the rate-curve replays.  Results
+//! are **bit-identical for any thread count** at a fixed island count —
+//! every seed is derived from the cell, never from the executing thread —
+//! which is pinned by workspace tests.
+//!
+//! Censored cells are made informative by a **stabilization-rate curve**:
+//! the worst-case certificate is replayed with fresh seeds at budget
+//! multipliers 1×/2×/4× ([`RATE_MULTIPLIERS`]), and each cell records the
+//! fraction of replays converged within each multiple.  A genuine livelock
+//! (long epoch partitions vs the token-collision protocols) stays at 0
+//! across the whole curve; a merely-slow cell climbs toward 1.
 //!
 //! The `stabilization_report` binary writes the results to
 //! `BENCH_stabilization.json` at the repository root (schema
-//! [`SCHEMA`] = `stabilization-bench/v1`); CI runs it in `--quick` mode and
+//! [`SCHEMA`] = `stabilization-bench/v2`); CI runs it in `--quick` mode and
 //! validates the emitted JSON against [`validate_report`].  Worst cases are
-//! reported as reproducible certificates: the variant, seed and scheduler
-//! key pin down a deterministic re-run ([`evaluate`]), which the workspace
-//! tests verify.
+//! reported as reproducible certificates: the variant, seed, scheduler spec
+//! and fault-plan spec pin down a deterministic re-run ([`evaluate`]), which
+//! the workspace tests verify.
 //!
 //! Step budgets are deliberately protocol-aware and *censored*: a run that
 //! does not converge within the budget scores the full budget (its true
 //! stabilization time is at least that).  The `Θ(n³)`-class baselines and
 //! every ring protocol on the complete graph are expected to censor at
-//! `n = 256` — the report records the honest lower bound rather than
-//! burning hours chasing cubic tails.
+//! `n = 256` — the rate curve is what distinguishes "slow" from "stuck"
+//! there.
 
 use std::sync::Arc;
 
 use analysis::json::JsonValue;
-use population::{DynProtocol, Scenario};
+use population::{BatchRunner, DynProtocol, Scenario};
 use population::{LeaderElection, Protocol, SweepPoint};
 use ssle_adversary::{
-    worst_case_search, ArcScorer, Candidate, Evaluation, SchedulerSpec, SearchConfig,
-    SearchOutcome, SearchSpace, SpecDomain,
+    worst_case_search_islands, ArcScorer, Candidate, Evaluation, FaultDomain, FaultPlanSpec,
+    IslandConfig, IslandOutcome, SchedulerSpec, SearchSpace, SpecDomain,
 };
+use ssle_adversary::{FaultEventSpec, FaultPlacementSpec};
 use ssle_baselines::{
-    angluin_mod_k::AngluinModK, fischer_jiang::FischerJiang, yokota_linear::YokotaLinear,
+    angluin_mod_k::{AngluinModK, ModKState},
+    fischer_jiang::{FischerJiang, FjState},
+    yokota_linear::{YokotaLinear, YokotaState},
 };
 use ssle_core::segments::segments;
 use ssle_core::{InitialCondition, Params, Ppl, PplState};
@@ -48,10 +65,22 @@ use crate::{
 };
 
 /// Schema identifier of `BENCH_stabilization.json`.
-pub const SCHEMA: &str = "stabilization-bench/v1";
+///
+/// `v2` (this version) differs from `v1` in three ways: worst-case
+/// certificates carry a structural `faults` spec (the third search axis),
+/// every cell carries a `rate` object (the stabilization-rate curve replacing
+/// bare censoring), and the search bookkeeping records `islands` ×
+/// `island_iterations` instead of a single chain's `search_iterations`.
+pub const SCHEMA: &str = "stabilization-bench/v2";
 
-/// The population sizes of the measurement grid.
+/// The population sizes of the tracked measurement grid.
 pub const SIZES: [usize; 2] = [64, 256];
+
+/// The budget multipliers of the stabilization-rate curve: each cell's
+/// worst-case certificate is replayed with fresh seeds and censored at
+/// `multiplier × budget`, and the curve records the converged fraction per
+/// multiplier.
+pub const RATE_MULTIPLIERS: [u64; 3] = [1, 2, 4];
 
 /// The step budget of one stabilization run, censoring the worst-case
 /// search: protocol-aware (the `Θ(n³)`-class baselines get a cubic budget,
@@ -92,7 +121,10 @@ pub fn variant_names(kind: ProtocolKind) -> Vec<&'static str> {
 
 /// The stabilization scenario of one protocol × graph × variant, with an
 /// explicit step budget (the Table 1 stop criteria and check cadence, via
-/// the same builders the figure binaries use).
+/// the same builders the figure binaries use).  Every scenario is built
+/// **fault-ready** (a protocol-appropriate uniform corruption function, no
+/// plan), so fault-bearing candidates can attach their crash schedule with
+/// `Scenario::with_fault_plan`.
 ///
 /// # Panics
 ///
@@ -108,6 +140,7 @@ pub fn stab_scenario(
         ProtocolKind::Ppl => ppl_builder(InitialCondition::ALL[variant])
             .graph(graph.family())
             .step_budget(budget_fn)
+            .corruption(|p: &Ppl, rng, _i| PplState::sample_uniform(rng, p.params()))
             .build(),
         ProtocolKind::PplPaperConstants => ppl_builder_with_params(
             |pt| Params::paper_constants(pt.n),
@@ -115,12 +148,14 @@ pub fn stab_scenario(
         )
         .graph(graph.family())
         .step_budget(budget_fn)
+        .corruption(|p: &Ppl, rng, _i| PplState::sample_uniform(rng, p.params()))
         .build(),
         ProtocolKind::Yokota => {
             assert_eq!(variant, 0, "yokota has one init variant");
             yokota_builder()
                 .graph(graph.family())
                 .step_budget(budget_fn)
+                .corruption(|p: &YokotaLinear, rng, _i| YokotaState::sample_uniform(rng, p.cap()))
                 .build()
         }
         ProtocolKind::FischerJiang => {
@@ -128,6 +163,7 @@ pub fn stab_scenario(
             fischer_jiang_builder()
                 .graph(graph.family())
                 .step_budget(budget_fn)
+                .corruption(|_p: &FischerJiang, rng, _i| FjState::sample_uniform(rng))
                 .build()
         }
         ProtocolKind::AngluinModK => {
@@ -135,6 +171,7 @@ pub fn stab_scenario(
             angluin_builder()
                 .graph(graph.family())
                 .step_budget(budget_fn)
+                .corruption(|p: &AngluinModK, rng, _i| ModKState::sample_uniform(rng, p.k()))
                 .build()
         }
     }
@@ -200,9 +237,10 @@ pub fn ppl_segment_scorer(n: usize) -> ArcScorer {
 }
 
 /// Deterministically evaluates one candidate of one grid cell: runs the
-/// scenario under the candidate's scheduler and returns the stabilization
-/// steps, censored at `budget` when the run does not converge.  This is the
-/// certificate-reproduction function: same arguments, same result.
+/// scenario under the candidate's scheduler and fault plan and returns the
+/// stabilization steps, censored at `budget` when the run does not
+/// converge.  This is the certificate-reproduction function: same
+/// arguments, same result.
 ///
 /// The report grid always drives the greedy adversary with the O(1)
 /// [`leader_delta_scorer`]; callers wanting a different potential (e.g.
@@ -223,6 +261,9 @@ pub fn evaluate(
 /// [`SchedulerSpec::Greedy`] candidates).  The censoring policy lives here,
 /// once, for every caller: an unconverged run scores the full budget, and a
 /// scheduler error (unreachable for the zoo) is treated as censored.
+/// Fault-bearing candidates attach their crash schedule through
+/// `Scenario::with_fault_plan`, so certificates replay through exactly the
+/// fault path every other fault experiment uses.
 pub fn evaluate_with(
     kind: ProtocolKind,
     graph: HotloopGraph,
@@ -232,8 +273,11 @@ pub fn evaluate_with(
     scorer_of: impl FnOnce(ProtocolKind, usize) -> ArcScorer,
 ) -> Evaluation {
     let scorer = matches!(candidate.spec, SchedulerSpec::Greedy { .. }).then(|| scorer_of(kind, n));
-    let scenario = stab_scenario(kind, graph, candidate.variant as usize, budget)
+    let mut scenario = stab_scenario(kind, graph, candidate.variant as usize, budget)
         .with_scheduler(candidate.spec.family(scorer));
+    if !candidate.faults.is_empty() {
+        scenario = scenario.with_fault_plan(candidate.faults.plan());
+    }
     match scenario.try_run(&SweepPoint::new(n, candidate.seed)) {
         Ok(report) => Evaluation {
             steps: report.converged_at.unwrap_or(budget),
@@ -247,6 +291,20 @@ pub fn evaluate_with(
     }
 }
 
+/// The stabilization-rate curve of one cell: the worst-case certificate
+/// replayed with fresh seeds, censored at `multiplier × budget` for every
+/// multiplier in [`RATE_MULTIPLIERS`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RateCurve {
+    /// Fraction of replays converged within `multiplier × budget`, one
+    /// entry per [`RATE_MULTIPLIERS`] entry (non-decreasing by
+    /// construction).
+    pub fractions: Vec<f64>,
+    /// Base seed of the replays (replay `r` runs at seed
+    /// `replay_seed + r`).
+    pub replay_seed: u64,
+}
+
 /// One measured cell of the grid.
 #[derive(Clone, Debug)]
 pub struct CellResult {
@@ -256,7 +314,8 @@ pub struct CellResult {
     pub graph: &'static str,
     /// Population size.
     pub n: usize,
-    /// Censoring step budget of every run in this cell.
+    /// Censoring step budget of every run in this cell (rate replays extend
+    /// it by the [`RATE_MULTIPLIERS`]).
     pub budget: u64,
     /// Random-scheduler trials in the mean pool.
     pub trials: usize,
@@ -278,10 +337,63 @@ pub struct CellResult {
     /// The worst case's scheduler spec (serialized structurally into the
     /// JSON so certificates can be rebuilt exactly from the artifact).
     pub worst_spec: SchedulerSpec,
-    /// Search evaluations beyond the pool.
+    /// The worst case's crash schedule ([`FaultPlanSpec::none`] when the
+    /// worst case is fault-free), serialized structurally like the
+    /// scheduler spec.
+    pub worst_faults: FaultPlanSpec,
+    /// Which annealing island found the worst case.
+    pub best_island: u32,
+    /// Search evaluations beyond the pool (islands × iterations).
     pub search_evaluations: u32,
-    /// Seed of the (deterministic) search.
+    /// Seed of the (deterministic) island search.
     pub search_seed: u64,
+    /// The stabilization-rate curve of the worst-case certificate.
+    pub rate: RateCurve,
+}
+
+/// Knobs of one report run.  The defaults (via [`RunOptions::new`]) are the
+/// tracked-grid settings; tests shrink `sizes` to keep the full pipeline —
+/// including JSON serialization — affordable to run twice.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// `true` for the reduced CI-smoke budgets (same grid and schema).
+    pub quick: bool,
+    /// The population sizes of the grid (default [`SIZES`]).
+    pub sizes: Vec<usize>,
+    /// Random-scheduler trials per cell.
+    pub trials: usize,
+    /// Annealing islands per cell.  Part of the result's identity: a fixed
+    /// island count gives bit-identical reports at any thread count.
+    pub islands: u32,
+    /// Annealing iterations per island.
+    pub island_iterations: u32,
+    /// Rate-curve replays per cell.
+    pub replays: usize,
+    /// Worker threads (`None` = all available parallelism).
+    pub threads: Option<usize>,
+}
+
+impl RunOptions {
+    /// The tracked-grid settings of the given mode.
+    pub fn new(quick: bool) -> Self {
+        RunOptions {
+            quick,
+            sizes: SIZES.to_vec(),
+            trials: if quick { 2 } else { 5 },
+            islands: 4,
+            island_iterations: if quick { 2 } else { 5 },
+            replays: if quick { 4 } else { 6 },
+            threads: None,
+        }
+    }
+
+    /// The batch runner of this run.
+    pub fn runner(&self) -> BatchRunner {
+        match self.threads {
+            Some(t) => BatchRunner::with_threads(t),
+            None => BatchRunner::new(),
+        }
+    }
 }
 
 /// A full worst-case stabilization measurement.
@@ -291,8 +403,12 @@ pub struct StabilizationReport {
     pub quick: bool,
     /// Random-scheduler trials per cell.
     pub trials: usize,
-    /// Annealing iterations per cell.
-    pub search_iterations: u32,
+    /// Annealing islands per cell.
+    pub islands: u32,
+    /// Annealing iterations per island.
+    pub island_iterations: u32,
+    /// Rate-curve replays per cell.
+    pub replays: usize,
     /// The measured cells, in grid order.
     pub cells: Vec<CellResult>,
 }
@@ -310,53 +426,64 @@ fn cell_seed(kind: ProtocolKind, graph: HotloopGraph, n: usize) -> u64 {
     0x5AB1 ^ (ki << 8) ^ (gi << 16) ^ ((n as u64) << 24)
 }
 
-/// Runs the whole grid (sequentially; see ROADMAP for the planned
-/// `BatchRunner::run_points` sharding of the per-cell searches).
-pub fn run(quick: bool) -> StabilizationReport {
-    let trials = if quick { 2 } else { 5 };
-    let search_iterations = if quick { 3 } else { 10 };
-    let mut cells = Vec::with_capacity(ProtocolKind::ALL.len() * HotloopGraph::ALL.len() * 2);
-    for kind in ProtocolKind::ALL {
-        for graph in HotloopGraph::ALL {
-            for n in SIZES {
-                cells.push(run_cell(kind, graph, n, quick, trials, search_iterations));
-            }
-        }
-    }
+/// Runs the whole grid: independent cells sharded over the runner, and —
+/// inside each cell — the trial pool, the annealing islands and the rate
+/// replays sharded over an inner runner sized so the *total* worker count
+/// stays at the requested thread budget (cells × inner ≈ threads, never a
+/// threads² oversubscription).  Bit-identical for any thread count (pinned
+/// by workspace tests): every seed derives from the cell, the island index
+/// or the replay index, never from scheduling order.
+pub fn run(options: &RunOptions) -> StabilizationReport {
+    let runner = options.runner();
+    let cells: Vec<(ProtocolKind, HotloopGraph, usize)> = ProtocolKind::ALL
+        .iter()
+        .flat_map(|&kind| {
+            HotloopGraph::ALL
+                .iter()
+                .flat_map(move |&graph| options.sizes.iter().map(move |&n| (kind, graph, n)))
+        })
+        .collect();
+    // At most min(threads, cells) cell workers run at once; give each an
+    // equal share of the remaining budget for its pool/island/replay stages.
+    let threads = runner.num_threads();
+    let inner = BatchRunner::with_threads((threads / threads.min(cells.len().max(1))).max(1));
+    let cells = runner.run_map(&cells, |&(kind, graph, n)| {
+        run_cell(kind, graph, n, options, &inner)
+    });
     StabilizationReport {
-        quick,
-        trials,
-        search_iterations,
+        quick: options.quick,
+        trials: options.trials,
+        islands: options.islands,
+        island_iterations: options.island_iterations,
+        replays: options.replays,
         cells,
     }
 }
 
-/// Measures one cell: the random pool for the mean, then the worst-case
-/// search seeded with that pool.
+/// Measures one cell: the random pool for the mean, the island search
+/// seeded with that pool, and the rate-curve replays of the found worst
+/// case — each stage sharded over the runner.
 pub fn run_cell(
     kind: ProtocolKind,
     graph: HotloopGraph,
     n: usize,
-    quick: bool,
-    trials: usize,
-    search_iterations: u32,
+    options: &RunOptions,
+    runner: &BatchRunner,
 ) -> CellResult {
-    let budget = stab_budget(kind, n, quick);
+    let budget = stab_budget(kind, n, options.quick);
     let base = cell_seed(kind, graph, n);
-    let pool: Vec<(Candidate, Evaluation)> = (0..trials)
-        .map(|t| {
-            let candidate = Candidate {
-                variant: 0,
-                seed: base.wrapping_add(t as u64),
-                spec: SchedulerSpec::Random,
-            };
-            let eval = evaluate(kind, graph, n, budget, &candidate);
-            (candidate, eval)
-        })
+    let pool_candidates: Vec<Candidate> = (0..options.trials)
+        .map(|t| Candidate::baseline(base.wrapping_add(t as u64)))
         .collect();
-    let mean_steps = pool.iter().map(|(_, e)| e.steps as f64).sum::<f64>() / trials as f64;
+    let pool: Vec<(Candidate, Evaluation)> = runner
+        .run_map(&pool_candidates, |c| evaluate(kind, graph, n, budget, c))
+        .into_iter()
+        .zip(pool_candidates.iter().cloned())
+        .map(|(e, c)| (c, e))
+        .collect();
+    let mean_steps = pool.iter().map(|(_, e)| e.steps as f64).sum::<f64>() / options.trials as f64;
     let converged_fraction =
-        pool.iter().filter(|(_, e)| e.converged).count() as f64 / trials as f64;
+        pool.iter().filter(|(_, e)| e.converged).count() as f64 / options.trials as f64;
     let space = SearchSpace {
         variants: variant_names(kind).len() as u32,
         specs: SpecDomain {
@@ -364,24 +491,33 @@ pub fn run_cell(
             greedy: n <= 64,
             ..SpecDomain::all()
         },
+        // Crash schedules must fire within the base budget to matter.
+        faults: FaultDomain::bursts(budget.saturating_sub(1), n as u32),
     };
     let search_seed = base ^ 0xFACE;
-    let SearchOutcome { best, evaluations } = worst_case_search(
+    let IslandOutcome {
+        best,
+        best_island,
+        evaluations,
+    } = worst_case_search_islands(
         &space,
         &pool,
         |c| evaluate(kind, graph, n, budget, c),
-        &SearchConfig {
-            iterations: search_iterations,
+        &IslandConfig {
+            islands: options.islands,
+            iterations: options.island_iterations,
             seed: search_seed,
             cooling: 0.85,
         },
+        runner,
     );
+    let rate = rate_curve(kind, graph, n, budget, &best.candidate, options, runner);
     CellResult {
         protocol: kind.key(),
         graph: graph.key(),
         n,
         budget,
-        trials,
+        trials: options.trials,
         mean_steps,
         converged_fraction,
         worst_steps: best.steps,
@@ -390,8 +526,77 @@ pub fn run_cell(
         worst_seed: best.candidate.seed,
         worst_scheduler: best.candidate.spec.key(),
         worst_spec: best.candidate.spec,
+        worst_faults: best.candidate.faults,
+        best_island,
         search_evaluations: evaluations,
         search_seed,
+        rate,
+    }
+}
+
+/// The report grid's rate curve for one cell, via [`rate_curve_with`] and
+/// the shared greedy potential of [`evaluate`].
+fn rate_curve(
+    kind: ProtocolKind,
+    graph: HotloopGraph,
+    n: usize,
+    budget: u64,
+    worst: &Candidate,
+    options: &RunOptions,
+    runner: &BatchRunner,
+) -> RateCurve {
+    let replay_seed = cell_seed(kind, graph, n) ^ 0x7A7E;
+    rate_curve_with(
+        budget,
+        worst,
+        replay_seed,
+        options.replays,
+        runner,
+        |c, b| evaluate(kind, graph, n, b, c),
+    )
+}
+
+/// The single definition of the stabilization-rate metric: replays `worst`
+/// (same variant, scheduler spec and fault plan) with fresh seeds
+/// (`replay_seed + r`), censored at `max(RATE_MULTIPLIERS) × budget`, and
+/// folds the outcomes into the per-multiplier converged fractions.  One
+/// simulation run per replay covers the whole curve: a replay converged at
+/// step `s` counts for every multiplier `m` with `s ≤ m × budget`.
+///
+/// `evaluate` receives the candidate and the extended censoring budget —
+/// the report grid passes [`evaluate`], `fig_worstcase` its segment-scored
+/// variant — so every consumer renders the *same* metric.
+pub fn rate_curve_with(
+    budget: u64,
+    worst: &Candidate,
+    replay_seed: u64,
+    replays: usize,
+    runner: &BatchRunner,
+    evaluate: impl Fn(&Candidate, u64) -> Evaluation + Send + Sync,
+) -> RateCurve {
+    let max_mult = *RATE_MULTIPLIERS.last().expect("non-empty multipliers");
+    let candidates: Vec<Candidate> = (0..replays)
+        .map(|r| Candidate {
+            seed: replay_seed.wrapping_add(r as u64),
+            ..worst.clone()
+        })
+        .collect();
+    let outcomes = runner.run_map(&candidates, |c| {
+        evaluate(c, budget.saturating_mul(max_mult))
+    });
+    let fractions = RATE_MULTIPLIERS
+        .iter()
+        .map(|&m| {
+            let within = outcomes
+                .iter()
+                .filter(|e| e.converged && e.steps <= budget.saturating_mul(m))
+                .count();
+            within as f64 / replays.max(1) as f64
+        })
+        .collect();
+    RateCurve {
+        fractions,
+        replay_seed,
     }
 }
 
@@ -402,7 +607,18 @@ impl StabilizationReport {
             .with("schema", SCHEMA)
             .with("quick", self.quick)
             .with("trials", self.trials)
-            .with("search_iterations", self.search_iterations as usize)
+            .with("islands", self.islands as usize)
+            .with("island_iterations", self.island_iterations as usize)
+            .with("replays", self.replays)
+            .with(
+                "rate_multipliers",
+                JsonValue::Array(
+                    RATE_MULTIPLIERS
+                        .iter()
+                        .map(|&m| JsonValue::Number(m as f64))
+                        .collect(),
+                ),
+            )
             .with(
                 "cells",
                 JsonValue::Array(
@@ -430,8 +646,28 @@ impl StabilizationReport {
                                         .with("seed", c.worst_seed.to_string().as_str())
                                         .with("scheduler", c.worst_scheduler.as_str())
                                         .with("spec", spec_to_json(&c.worst_spec))
+                                        .with("faults", fault_spec_to_json(&c.worst_faults))
                                         .with("search_seed", c.search_seed.to_string().as_str())
-                                        .with("search_evaluations", c.search_evaluations as usize),
+                                        .with("search_evaluations", c.search_evaluations as usize)
+                                        .with("best_island", c.best_island as usize),
+                                )
+                                .with(
+                                    "rate",
+                                    JsonValue::object()
+                                        .with(
+                                            "replay_seed",
+                                            c.rate.replay_seed.to_string().as_str(),
+                                        )
+                                        .with(
+                                            "fractions",
+                                            JsonValue::Array(
+                                                c.rate
+                                                    .fractions
+                                                    .iter()
+                                                    .map(|&f| JsonValue::Number(f))
+                                                    .collect(),
+                                            ),
+                                        ),
                                 )
                         })
                         .collect(),
@@ -441,14 +677,26 @@ impl StabilizationReport {
 
     /// Renders a human-readable markdown table of the grid.
     pub fn to_markdown(&self) -> String {
-        let mut out = String::from(
+        let rate_header = RATE_MULTIPLIERS
+            .iter()
+            .map(|m| format!("{m}x"))
+            .collect::<Vec<_>>()
+            .join("/");
+        let mut out = format!(
             "| protocol | graph | n | budget | mean steps | conv | worst steps | worst/mean \
-             | worst scheduler | worst init |\n\
-             |---|---|---:|---:|---:|---:|---:|---:|---|---|\n",
+             | rate@{rate_header} | worst scheduler | worst faults | worst init |\n\
+             |---|---|---:|---:|---:|---:|---:|---:|---|---|---|---|\n",
         );
         for c in &self.cells {
+            let rate = c
+                .rate
+                .fractions
+                .iter()
+                .map(|f| format!("{f:.2}"))
+                .collect::<Vec<_>>()
+                .join("/");
             out.push_str(&format!(
-                "| {} | {} | {} | {} | {:.3e} | {:.0}% | {} | {:.2}x | {} | {} |\n",
+                "| {} | {} | {} | {} | {:.3e} | {:.0}% | {} | {:.2}x | {} | {} | {} | {} |\n",
                 c.protocol,
                 c.graph,
                 c.n,
@@ -457,7 +705,9 @@ impl StabilizationReport {
                 c.converged_fraction * 100.0,
                 c.worst_steps,
                 c.worst_steps as f64 / c.mean_steps.max(1.0),
+                rate,
                 c.worst_scheduler,
+                c.worst_faults.key(),
                 c.worst_variant,
             ));
         }
@@ -517,6 +767,57 @@ pub fn spec_from_json(json: &JsonValue) -> Option<SchedulerSpec> {
     }
 }
 
+/// Serializes a [`FaultPlanSpec`] structurally: a (possibly empty) array of
+/// events, each with its exact step, placement kind and integer parameters.
+/// `at_step` is a full-width u64, so — like the seeds — it is stored as an
+/// exact decimal string (JSON numbers are f64 and would round ≥ 2⁵³,
+/// breaking certificate replay).
+pub fn fault_spec_to_json(spec: &FaultPlanSpec) -> JsonValue {
+    JsonValue::Array(
+        spec.events()
+            .iter()
+            .map(|e| {
+                let obj = JsonValue::object().with("at_step", e.at_step.to_string().as_str());
+                match e.placement {
+                    FaultPlacementSpec::Random { count } => obj
+                        .with("placement", "random")
+                        .with("count", count as usize),
+                    FaultPlacementSpec::Block { start, count } => obj
+                        .with("placement", "block")
+                        .with("start", start as usize)
+                        .with("count", count as usize),
+                    FaultPlacementSpec::All => obj.with("placement", "all"),
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Rebuilds a [`FaultPlanSpec`] from its [`fault_spec_to_json`] form.
+pub fn fault_spec_from_json(json: &JsonValue) -> Option<FaultPlanSpec> {
+    let events = json.as_array()?;
+    let mut out = Vec::with_capacity(events.len());
+    for e in events {
+        let at_step = e
+            .get("at_step")
+            .and_then(JsonValue::as_str)?
+            .parse::<u64>()
+            .ok()?;
+        let count = |e: &JsonValue| e.get("count").and_then(JsonValue::as_f64).map(|c| c as u32);
+        let placement = match e.get("placement").and_then(JsonValue::as_str)? {
+            "random" => FaultPlacementSpec::Random { count: count(e)? },
+            "block" => FaultPlacementSpec::Block {
+                start: e.get("start").and_then(JsonValue::as_f64)? as u32,
+                count: count(e)?,
+            },
+            "all" => FaultPlacementSpec::All,
+            _ => return None,
+        };
+        out.push(FaultEventSpec { at_step, placement });
+    }
+    Some(FaultPlanSpec::new(out))
+}
+
 /// Rebuilds the exact worst-case [`Candidate`] of one serialized cell — the
 /// replay half of the certificate contract: feed the result (with the
 /// cell's protocol, graph, n and budget) back into [`evaluate`] and the
@@ -535,17 +836,40 @@ pub fn certificate_candidate(kind: ProtocolKind, cell: &JsonValue) -> Option<Can
             .parse::<u64>()
             .ok()?,
         spec: spec_from_json(worst.get("spec")?)?,
+        faults: fault_spec_from_json(worst.get("faults")?)?,
     })
 }
 
 /// Validates a parsed `BENCH_stabilization.json` against the expected
 /// schema: schema tag, one cell per protocol × graph × size of the grid,
-/// positive budgets and `worst.steps ≥ mean_steps` for **every** cell (the
-/// invariant the pool-seeded search guarantees).  Returns a description of
-/// the first violation.
+/// positive budgets, `worst.steps ≥ mean_steps` for **every** cell (the
+/// invariant the pool-seeded search guarantees), a rebuildable certificate
+/// (variant, seed, scheduler spec **and** fault spec) and a well-formed
+/// rate curve (one fraction per [`RATE_MULTIPLIERS`] entry, each in
+/// `[0, 1]`, non-decreasing).  Returns a description of the first
+/// violation.
 pub fn validate_report(json: &JsonValue) -> Result<(), String> {
     if json.get("schema").and_then(JsonValue::as_str) != Some(SCHEMA) {
         return Err(format!("missing or wrong schema tag (want {SCHEMA:?})"));
+    }
+    let multipliers = json
+        .get("rate_multipliers")
+        .and_then(JsonValue::as_array)
+        .ok_or("rate_multipliers array missing")?;
+    if multipliers.len() != RATE_MULTIPLIERS.len()
+        || multipliers
+            .iter()
+            .zip(RATE_MULTIPLIERS)
+            .any(|(j, m)| j.as_f64() != Some(m as f64))
+    {
+        return Err(format!("rate_multipliers must be {RATE_MULTIPLIERS:?}"));
+    }
+    if json
+        .get("islands")
+        .and_then(JsonValue::as_f64)
+        .is_none_or(|i| i < 1.0)
+    {
+        return Err("islands missing or below 1".to_string());
     }
     let cells = json
         .get("cells")
@@ -566,69 +890,153 @@ pub fn validate_report(json: &JsonValue) -> Result<(), String> {
                             && c.get("n").and_then(JsonValue::as_f64) == Some(n as f64)
                     })
                     .ok_or_else(|| format!("cell {}/{}/{n} missing", kind.key(), graph.key()))?;
-                let ctx = format!("cell {}/{}/{n}", kind.key(), graph.key());
-                let budget = cell
-                    .get("budget")
-                    .and_then(JsonValue::as_f64)
-                    .ok_or_else(|| format!("{ctx}: budget missing"))?;
-                if budget <= 0.0 {
-                    return Err(format!("{ctx}: budget non-positive"));
-                }
-                let mean = cell
-                    .get("mean_steps")
-                    .and_then(JsonValue::as_f64)
-                    .ok_or_else(|| format!("{ctx}: mean_steps missing"))?;
-                if !(0.0..=budget).contains(&mean) {
-                    return Err(format!("{ctx}: mean_steps {mean} outside [0, budget]"));
-                }
-                let worst = cell
-                    .get("worst")
-                    .ok_or_else(|| format!("{ctx}: worst certificate missing"))?;
-                let worst_steps = worst
-                    .get("steps")
-                    .and_then(JsonValue::as_f64)
-                    .ok_or_else(|| format!("{ctx}: worst.steps missing"))?;
-                if worst_steps < mean {
-                    return Err(format!(
-                        "{ctx}: worst.steps {worst_steps} below mean_steps {mean}"
-                    ));
-                }
-                if worst
-                    .get("scheduler")
-                    .and_then(JsonValue::as_str)
-                    .is_none_or(str::is_empty)
-                {
-                    return Err(format!("{ctx}: worst.scheduler missing"));
-                }
-                for field in ["seed", "search_seed"] {
-                    // Seeds are full-width u64s stored as decimal strings
-                    // (f64 JSON numbers would round values >= 2^53 and
-                    // break certificate replay).
-                    if worst
-                        .get(field)
-                        .and_then(JsonValue::as_str)
-                        .and_then(|v| v.parse::<u64>().ok())
-                        .is_none()
-                    {
-                        return Err(format!(
-                            "{ctx}: worst.{field} missing or not an exact u64 string"
-                        ));
-                    }
-                }
-                if certificate_candidate(kind, cell).is_none() {
-                    return Err(format!(
-                        "{ctx}: worst certificate is not rebuildable (variant/seed/spec)"
-                    ));
-                }
+                validate_cell(
+                    kind,
+                    cell,
+                    &format!("cell {}/{}/{n}", kind.key(), graph.key()),
+                )?;
             }
         }
     }
     Ok(())
 }
 
+/// The per-cell half of [`validate_report`].
+fn validate_cell(kind: ProtocolKind, cell: &JsonValue, ctx: &str) -> Result<(), String> {
+    let budget = cell
+        .get("budget")
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("{ctx}: budget missing"))?;
+    if budget <= 0.0 {
+        return Err(format!("{ctx}: budget non-positive"));
+    }
+    let mean = cell
+        .get("mean_steps")
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("{ctx}: mean_steps missing"))?;
+    if !(0.0..=budget).contains(&mean) {
+        return Err(format!("{ctx}: mean_steps {mean} outside [0, budget]"));
+    }
+    let worst = cell
+        .get("worst")
+        .ok_or_else(|| format!("{ctx}: worst certificate missing"))?;
+    let worst_steps = worst
+        .get("steps")
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("{ctx}: worst.steps missing"))?;
+    if worst_steps < mean {
+        return Err(format!(
+            "{ctx}: worst.steps {worst_steps} below mean_steps {mean}"
+        ));
+    }
+    if worst
+        .get("scheduler")
+        .and_then(JsonValue::as_str)
+        .is_none_or(str::is_empty)
+    {
+        return Err(format!("{ctx}: worst.scheduler missing"));
+    }
+    for field in ["seed", "search_seed"] {
+        // Seeds are full-width u64s stored as decimal strings (f64 JSON
+        // numbers would round values >= 2^53 and break certificate replay).
+        if worst
+            .get(field)
+            .and_then(JsonValue::as_str)
+            .and_then(|v| v.parse::<u64>().ok())
+            .is_none()
+        {
+            return Err(format!(
+                "{ctx}: worst.{field} missing or not an exact u64 string"
+            ));
+        }
+    }
+    if certificate_candidate(kind, cell).is_none() {
+        return Err(format!(
+            "{ctx}: worst certificate is not rebuildable (variant/seed/spec/faults)"
+        ));
+    }
+    let rate = cell
+        .get("rate")
+        .ok_or_else(|| format!("{ctx}: rate curve missing"))?;
+    if rate
+        .get("replay_seed")
+        .and_then(JsonValue::as_str)
+        .and_then(|v| v.parse::<u64>().ok())
+        .is_none()
+    {
+        return Err(format!(
+            "{ctx}: rate.replay_seed missing or not a u64 string"
+        ));
+    }
+    let fractions = rate
+        .get("fractions")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("{ctx}: rate.fractions missing"))?;
+    if fractions.len() != RATE_MULTIPLIERS.len() {
+        return Err(format!(
+            "{ctx}: rate.fractions must have {} entries, found {}",
+            RATE_MULTIPLIERS.len(),
+            fractions.len()
+        ));
+    }
+    let mut prev = 0.0f64;
+    for (i, f) in fractions.iter().enumerate() {
+        let f = f
+            .as_f64()
+            .ok_or_else(|| format!("{ctx}: rate.fractions[{i}] not a number"))?;
+        if !(0.0..=1.0).contains(&f) {
+            return Err(format!("{ctx}: rate.fractions[{i}] = {f} outside [0, 1]"));
+        }
+        if f < prev {
+            return Err(format!(
+                "{ctx}: rate.fractions must be non-decreasing ({f} after {prev})"
+            ));
+        }
+        prev = f;
+    }
+    Ok(())
+}
+
+/// `true` when a parsed report contains at least one **non-degenerate**
+/// rate curve: a cell whose fractions are neither all 0 (pure livelock
+/// everywhere) nor all 1 (everything converges at 1×) — i.e. the rate
+/// metric actually discriminates somewhere in the grid.  CI asserts this on
+/// the quick report.
+pub fn has_nondegenerate_rate(json: &JsonValue) -> bool {
+    json.get("cells")
+        .and_then(JsonValue::as_array)
+        .is_some_and(|cells| {
+            cells.iter().any(|cell| {
+                cell.get("rate")
+                    .and_then(|r| r.get("fractions"))
+                    .and_then(JsonValue::as_array)
+                    .is_some_and(|fs| {
+                        let vals: Vec<f64> = fs.iter().filter_map(JsonValue::as_f64).collect();
+                        !vals.is_empty()
+                            && !vals.iter().all(|&f| f == 0.0)
+                            && !vals.iter().all(|&f| f == 1.0)
+                    })
+            })
+        })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Tiny-grid options for tests: the full pipeline (pool, islands, rate
+    /// replays, JSON) at test-affordable budgets.
+    fn tiny_options(threads: usize) -> RunOptions {
+        RunOptions {
+            quick: true,
+            sizes: vec![8],
+            trials: 2,
+            islands: 3,
+            island_iterations: 2,
+            replays: 3,
+            threads: Some(threads),
+        }
+    }
 
     #[test]
     fn budgets_are_protocol_aware_and_quick_shrinks_them() {
@@ -653,11 +1061,7 @@ mod tests {
 
     #[test]
     fn evaluation_is_reproducible_and_censors_at_the_budget() {
-        let candidate = Candidate {
-            variant: 0,
-            seed: 11,
-            spec: SchedulerSpec::Random,
-        };
+        let candidate = Candidate::baseline(11);
         // A generous budget converges...
         let a = evaluate(
             ProtocolKind::Ppl,
@@ -679,6 +1083,33 @@ mod tests {
         let censored = evaluate(ProtocolKind::Ppl, HotloopGraph::Ring, 12, 1, &candidate);
         assert!(!censored.converged);
         assert_eq!(censored.steps, 1);
+    }
+
+    #[test]
+    fn fault_bearing_candidates_replay_through_the_scenario_fault_path() {
+        // A crash right at the fault-free convergence step must delay
+        // convergence, and the fault-bearing evaluation must stay
+        // deterministic — the certificate contract for the third axis.
+        let kind = ProtocolKind::Yokota;
+        let graph = HotloopGraph::Ring;
+        let n = 12;
+        let budget = 5_000_000;
+        let clean = evaluate(kind, graph, n, budget, &Candidate::baseline(3));
+        assert!(clean.converged);
+        let crashed = Candidate {
+            faults: FaultPlanSpec::none().with_event(clean.steps, FaultPlacementSpec::All),
+            ..Candidate::baseline(3)
+        };
+        let a = evaluate(kind, graph, n, budget, &crashed);
+        let b = evaluate(kind, graph, n, budget, &crashed);
+        assert_eq!(a, b, "fault-bearing evaluation must be deterministic");
+        assert!(
+            a.steps > clean.steps,
+            "a full crash at the convergence step must delay it \
+             ({} vs clean {})",
+            a.steps,
+            clean.steps
+        );
     }
 
     #[test]
@@ -734,8 +1165,15 @@ mod tests {
                             blocks: 4,
                             epoch_len: 256,
                         },
-                        search_evaluations: 10,
+                        worst_faults: FaultPlanSpec::none()
+                            .with_event(9_000, FaultPlacementSpec::Block { start: 3, count: 7 }),
+                        best_island: 2,
+                        search_evaluations: 20,
                         search_seed: 3,
+                        rate: RateCurve {
+                            fractions: vec![0.25, 0.5, 1.0],
+                            replay_seed: u64::MAX - 99,
+                        },
                     })
                 })
             })
@@ -743,15 +1181,20 @@ mod tests {
         let report = StabilizationReport {
             quick: true,
             trials: 5,
-            search_iterations: 10,
+            islands: 4,
+            island_iterations: 5,
+            replays: 4,
             cells,
         };
         let text = report.to_json_value().to_json();
         let parsed = JsonValue::parse(&text).expect("emitted JSON parses");
         validate_report(&parsed).expect("schema validates");
+        assert!(has_nondegenerate_rate(&parsed));
         assert!(report.to_markdown().contains("| ppl | ring | 64 |"));
+        assert!(report.to_markdown().contains("0.25/0.50/1.00"));
 
-        // The full-width seed round-trips exactly through the JSON text.
+        // The full-width seed and the fault spec round-trip exactly through
+        // the JSON text.
         let candidate = certificate_candidate(
             ProtocolKind::Ppl,
             &parsed.get("cells").and_then(JsonValue::as_array).unwrap()[0],
@@ -765,6 +1208,11 @@ mod tests {
                 epoch_len: 256
             }
         );
+        assert_eq!(
+            candidate.faults,
+            FaultPlanSpec::none()
+                .with_event(9_000, FaultPlacementSpec::Block { start: 3, count: 7 })
+        );
 
         // Violations are caught.
         assert!(validate_report(&JsonValue::object()).is_err());
@@ -773,6 +1221,15 @@ mod tests {
         let parsed = JsonValue::parse(&broken.to_json_value().to_json()).unwrap();
         let err = validate_report(&parsed).unwrap_err();
         assert!(err.contains("below mean_steps"), "{err}");
+        let mut broken = report.clone();
+        broken.cells[0].rate.fractions = vec![0.5, 0.25, 1.0]; // decreasing
+        let parsed = JsonValue::parse(&broken.to_json_value().to_json()).unwrap();
+        let err = validate_report(&parsed).unwrap_err();
+        assert!(err.contains("non-decreasing"), "{err}");
+        let mut broken = report;
+        broken.cells[0].rate.fractions = vec![0.5]; // wrong length
+        let parsed = JsonValue::parse(&broken.to_json_value().to_json()).unwrap();
+        assert!(validate_report(&parsed).is_err());
     }
 
     #[test]
@@ -797,6 +1254,24 @@ mod tests {
         assert_eq!(spec_from_json(&JsonValue::object()), None);
     }
 
+    #[test]
+    fn every_fault_spec_shape_round_trips_through_json() {
+        for spec in [
+            FaultPlanSpec::none(),
+            FaultPlanSpec::none().with_event(0, FaultPlacementSpec::All),
+            FaultPlanSpec::none()
+                // A step beyond 2^53: must survive JSON exactly (the string
+                // encoding; an f64 number would round it).
+                .with_event(u64::MAX - 7, FaultPlacementSpec::Random { count: 17 })
+                .with_event(5, FaultPlacementSpec::Block { start: 0, count: 1 }),
+        ] {
+            let text = fault_spec_to_json(&spec).to_json();
+            let parsed = JsonValue::parse(&text).unwrap();
+            assert_eq!(fault_spec_from_json(&parsed), Some(spec));
+        }
+        assert_eq!(fault_spec_from_json(&JsonValue::object()), None);
+    }
+
     /// End to end on a tiny cell: the quick grid machinery produces a cell
     /// whose worst is at least its mean, the cell is deterministic, and —
     /// the certificate contract — replaying the worst case **from the
@@ -806,10 +1281,13 @@ mod tests {
         let kind = ProtocolKind::Yokota;
         let graph = HotloopGraph::Ring;
         let n = 8;
-        let cell = run_cell(kind, graph, n, true, 2, 3);
+        let options = tiny_options(1);
+        let runner = options.runner();
+        let cell = run_cell(kind, graph, n, &options, &runner);
         assert!(cell.worst_steps as f64 >= cell.mean_steps);
         assert_eq!(cell.trials, 2);
-        let again = run_cell(kind, graph, n, true, 2, 3);
+        assert_eq!(cell.rate.fractions.len(), RATE_MULTIPLIERS.len());
+        let again = run_cell(kind, graph, n, &options, &runner);
         assert_eq!(cell.worst_steps, again.worst_steps, "cells deterministic");
 
         // Replay the certificate through the JSON text, exactly as a
@@ -820,7 +1298,9 @@ mod tests {
         let report = StabilizationReport {
             quick: true,
             trials: 2,
-            search_iterations: 3,
+            islands: options.islands,
+            island_iterations: options.island_iterations,
+            replays: options.replays,
             cells: vec![cell],
         };
         let parsed = JsonValue::parse(&report.to_json_value().to_json()).unwrap();
@@ -831,6 +1311,19 @@ mod tests {
         assert_eq!(
             replay.steps, worst_steps,
             "the serialized certificate must reproduce the recorded step count"
+        );
+    }
+
+    /// The acceptance pin: the whole report pipeline — cells, pools,
+    /// islands, rate replays, JSON serialization — emits **bit-identical**
+    /// text under 1 worker thread and 4, at a fixed island count.
+    #[test]
+    fn report_json_is_bit_identical_across_thread_counts() {
+        let serial = run(&tiny_options(1)).to_json_value().to_json();
+        let parallel = run(&tiny_options(4)).to_json_value().to_json();
+        assert_eq!(
+            serial, parallel,
+            "--threads must never change the report at a fixed island count"
         );
     }
 }

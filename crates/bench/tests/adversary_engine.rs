@@ -7,7 +7,7 @@
 use population::{SchedulerFamily, SweepPoint};
 use ssle_adversary::{
     worst_case_search, Candidate, EpochPartitionScheduler, Evaluation, FairnessAuditor,
-    GreedyAdversary, SchedulerSpec, SearchConfig, SearchSpace, SpecDomain, WeightedScheduler,
+    FaultDomain, GreedyAdversary, SearchConfig, SearchSpace, SpecDomain, WeightedScheduler,
 };
 use ssle_bench::hotloop::HotloopGraph;
 use ssle_bench::stabilization::{self, dyn_protocol, leader_delta_scorer};
@@ -104,11 +104,7 @@ fn worst_case_certificates_reproduce() {
     let evaluate = |c: &Candidate| stabilization::evaluate(kind, graph, n, budget, c);
     let pool: Vec<(Candidate, Evaluation)> = (0..2)
         .map(|t| {
-            let c = Candidate {
-                variant: 0,
-                seed: 100 + t,
-                spec: SchedulerSpec::Random,
-            };
+            let c = Candidate::baseline(100 + t);
             let e = evaluate(&c);
             (c, e)
         })
@@ -116,6 +112,7 @@ fn worst_case_certificates_reproduce() {
     let space = SearchSpace {
         variants: stabilization::variant_names(kind).len() as u32,
         specs: SpecDomain::all(),
+        faults: FaultDomain::bursts(budget.saturating_sub(1), n as u32),
     };
     let config = SearchConfig {
         iterations: 6,

@@ -4,7 +4,7 @@
 //! (*two-hop colouring*): it lets every agent distinguish its two neighbours
 //! by colour, which is what `P_OR` (Algorithm 6) builds on.  The paper defers
 //! the colouring itself to the self-stabilizing two-hop colouring protocol of
-//! Sudo et al. [24] and presents `P_OR` *under the assumption* that the
+//! Sudo et al. \[24\] and presents `P_OR` *under the assumption* that the
 //! colouring and each agent's memory of its neighbours' colours (`c1`, `c2`)
 //! are already correct.
 //!
@@ -18,7 +18,7 @@
 //!   colouring protocol based on a bit-handshake: neighbours that share a
 //!   colour collide in their common neighbour's handshake slot and eventually
 //!   desynchronise, which triggers a recolouring.  It converges empirically
-//!   on rings but is *not* the protocol of [24] and carries no proof.
+//!   on rings but is *not* the protocol of \[24\] and carries no proof.
 
 use population::Protocol;
 use serde::{Deserialize, Serialize};
@@ -151,7 +151,7 @@ impl ColoringState {
 }
 
 /// Best-effort randomized self-stabilizing two-hop colouring protocol for
-/// rings (a stand-in for [24]; see the module docs).
+/// rings (a stand-in for \[24\]; see the module docs).
 ///
 /// Invariant targeted: every agent's two neighbours have distinct colours.
 /// Mechanism: each pair of (agent, neighbour-colour) maintains a shared

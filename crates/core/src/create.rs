@@ -207,7 +207,7 @@ pub fn move_token(params: &Params, l: &mut PplState, r: &mut PplState, kind: Tok
 }
 
 /// Algorithm 5, `EliminateLeaders()` (taken verbatim from Yokota, Sudo and
-/// Masuzawa 2021 [28]; reproduced as Section 3.4).
+/// Masuzawa 2021 \[28\]; reproduced as Section 3.4).
 ///
 /// Leaders fire bullets at each other; shields and the live/dummy coin flip
 /// (driven by scheduler randomness) guarantee that the last leader survives.

@@ -158,51 +158,74 @@ impl BatchRunner {
     }
 
     /// Runs every point through `run_one`, in parallel, and returns the
-    /// outcomes ordered exactly like the input points.
+    /// results ordered exactly like the input points — the fully generic
+    /// parallel map every other runner method is built on.
+    ///
+    /// The result type is arbitrary: convergence sweeps map points to
+    /// [`ConvergenceReport`]s (see [`BatchRunner::run_points`]), while the
+    /// worst-case stabilization search maps grid cells, candidate pools and
+    /// annealing islands to its own result types through the same machinery.
     ///
     /// Workers claim indices from a shared atomic counter but collect their
     /// results into thread-local chunks that are merged once at join time, so
-    /// there is no per-result lock contention.
-    pub fn run_points<T, F>(&self, points: &[T], run_one: F) -> Vec<Outcome<T>>
+    /// there is no per-result lock contention.  The output order is the input
+    /// order regardless of the thread count, so a deterministic `run_one`
+    /// yields results that are bit-identical whether the runner has 1 thread
+    /// or 64 (covered by workspace tests).
+    pub fn run_map<T, R, F>(&self, points: &[T], run_one: F) -> Vec<R>
     where
-        T: Clone + Send + Sync,
-        F: Fn(&T) -> ConvergenceReport + Send + Sync,
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Send + Sync,
     {
         if points.is_empty() {
             return Vec::new();
         }
         let next = AtomicUsize::new(0);
         let workers = self.num_threads.min(points.len());
-        let mut slots: Vec<Option<Outcome<T>>> = Vec::new();
+        let mut slots: Vec<Option<R>> = Vec::new();
         slots.resize_with(points.len(), || None);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
-                        let mut local: Vec<(usize, Outcome<T>)> = Vec::new();
+                        let mut local: Vec<(usize, R)> = Vec::new();
                         loop {
                             let idx = next.fetch_add(1, Ordering::Relaxed);
                             if idx >= points.len() {
                                 break;
                             }
-                            let point = points[idx].clone();
-                            let report = run_one(&point);
-                            local.push((idx, Outcome { point, report }));
+                            local.push((idx, run_one(&points[idx])));
                         }
                         local
                     })
                 })
                 .collect();
             for handle in handles {
-                for (idx, outcome) in handle.join().expect("batch worker panicked") {
-                    slots[idx] = Some(outcome);
+                for (idx, result) in handle.join().expect("batch worker panicked") {
+                    slots[idx] = Some(result);
                 }
             }
         });
         slots
             .into_iter()
-            .map(|o| o.expect("every point must produce an outcome"))
+            .map(|o| o.expect("every point must produce a result"))
             .collect()
+    }
+
+    /// Runs every point through `run_one`, in parallel, and returns the
+    /// outcomes ordered exactly like the input points (the
+    /// [`ConvergenceReport`]-shaped specialization of
+    /// [`BatchRunner::run_map`]).
+    pub fn run_points<T, F>(&self, points: &[T], run_one: F) -> Vec<Outcome<T>>
+    where
+        T: Clone + Send + Sync,
+        F: Fn(&T) -> ConvergenceReport + Send + Sync,
+    {
+        self.run_map(points, |point| Outcome {
+            point: point.clone(),
+            report: run_one(point),
+        })
     }
 
     /// Runs every trial through `run_one`, in parallel, and returns the
@@ -421,6 +444,29 @@ mod tests {
             assert_eq!(o.point, points[i], "outcome order matches input order");
             assert_eq!(o.report.converged_at, Some(i as u64 * 10));
         }
+    }
+
+    #[test]
+    fn run_map_is_order_preserving_and_thread_count_invariant() {
+        // Arbitrary (non-ConvergenceReport) result type: the generic map
+        // underpinning the worst-case search sharding.
+        let points: Vec<u64> = (0..37).collect();
+        let map = |p: &u64| {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(*p);
+            (*p, rng.gen::<u64>())
+        };
+        let serial = BatchRunner::with_threads(1).run_map(&points, map);
+        assert_eq!(serial.len(), points.len());
+        for (i, (p, _)) in serial.iter().enumerate() {
+            assert_eq!(*p, i as u64, "results keep input order");
+        }
+        for threads in [2, 5, 16] {
+            let parallel = BatchRunner::with_threads(threads).run_map(&points, map);
+            assert_eq!(serial, parallel, "run_map changed with {threads} threads");
+        }
+        let empty: Vec<(u64, u64)> = BatchRunner::new().run_map(&[], map);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -463,6 +463,67 @@ impl InteractionGraph for AnyGraph {
 ///
 /// Every typed [`Scheduler<AnyGraph>`] is a `DynScheduler` for free through
 /// the blanket impl below (it simply ignores the states).
+///
+/// # Example
+///
+/// A hand-rolled state-visible scheduler: always interact across the first
+/// arc joining two leaders — the fastest-electing schedule for a
+/// demote-on-collision protocol (a hostile scheduler would do the
+/// opposite) — falling back to a uniform draw, wired into a scenario
+/// through [`SchedulerFamily::custom`]:
+///
+/// ```
+/// use population::prelude::*;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// #[derive(Clone, Debug)]
+/// struct Fratricide; // every agent starts a leader; leaders demote leaders
+/// impl Protocol for Fratricide {
+///     type State = bool;
+///     fn interact(&self, a: &mut bool, b: &mut bool) {
+///         if *a && *b {
+///             *b = false;
+///         }
+///     }
+/// }
+/// impl LeaderElection for Fratricide {
+///     fn is_leader(&self, s: &bool) -> bool {
+///         *s
+///     }
+/// }
+///
+/// struct LeaderCollider;
+/// impl DynScheduler for LeaderCollider {
+///     fn schedule(
+///         &mut self,
+///         graph: &AnyGraph,
+///         states: &[DynState],
+///         rng: &mut ChaCha8Rng,
+///     ) -> population::Result<Interaction> {
+///         let is_leader =
+///             |i: population::AgentId| states[i.index()].downcast_ref::<bool>() == Some(&true);
+///         let collision = graph
+///             .arcs()
+///             .into_iter()
+///             .find(|arc| is_leader(arc.initiator()) && is_leader(arc.responder()));
+///         Ok(collision.unwrap_or_else(|| graph.sample(rng)))
+///     }
+/// }
+///
+/// let scenario = ScenarioBuilder::new("fratricide", |_pt: &SweepPoint| Fratricide)
+///     .graph(GraphFamily::Complete)
+///     .init(|_p, pt| Configuration::uniform(pt.n, true))
+///     .stop_when("unique-leader", |p: &Fratricide, c| {
+///         p.has_unique_leader(c.states())
+///     })
+///     .step_budget(|_pt| 10_000)
+///     .scheduler(SchedulerFamily::custom("leader-collider", |_pt, _graph| {
+///         Box::new(LeaderCollider)
+///     }))
+///     .build()
+///     .unwrap();
+/// assert!(scenario.run(&SweepPoint::new(8, 1)).converged());
+/// ```
 pub trait DynScheduler: Send {
     /// Returns the interaction for the next step.
     ///
@@ -691,6 +752,20 @@ impl Scenario {
     /// many adversarial schedulers without rebuilding the whole scenario.
     pub fn with_scheduler(mut self, scheduler: SchedulerFamily) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Returns this scenario with the fault plan replaced by a fixed `plan`
+    /// (the same plan at every sweep point) — the fault-axis sibling of
+    /// [`Scenario::with_scheduler`], used by the worst-case search to replay
+    /// crash-schedule certificates through one experiment definition.
+    ///
+    /// The scenario must be fault-ready: its builder must have set a
+    /// corruption function ([`ScenarioBuilder::corruption`] or
+    /// [`ScenarioBuilder::faults`]), otherwise running with a non-empty plan
+    /// panics.  An empty `plan` restores the fault-free fast path exactly.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = Some(Arc::new(move |_pt| plan.clone()));
         self
     }
 
@@ -1082,6 +1157,56 @@ fn run_checked_bursts(
 /// protocols without a leader output; `init`, `stop_when` and `step_budget`
 /// are required, everything else has defaults (directed ring, check interval
 /// `max(n²/4, 64)`, sim/fault seeds = the point's seed, no faults).
+///
+/// # Example
+///
+/// One declarative definition, run fault-free and then replayed with a
+/// mid-run crash through [`Scenario::with_fault_plan`] (the
+/// [`ScenarioBuilder::corruption`] function makes the scenario fault-ready
+/// without scheduling anything by itself):
+///
+/// ```
+/// use population::prelude::*;
+/// use rand::Rng;
+///
+/// #[derive(Clone, Debug)]
+/// struct Fratricide; // every agent starts a leader; leaders demote leaders
+/// impl Protocol for Fratricide {
+///     type State = bool;
+///     fn interact(&self, a: &mut bool, b: &mut bool) {
+///         if *a && *b {
+///             *b = false;
+///         }
+///     }
+/// }
+/// impl LeaderElection for Fratricide {
+///     fn is_leader(&self, s: &bool) -> bool {
+///         *s
+///     }
+/// }
+///
+/// let scenario = ScenarioBuilder::new("fratricide", |_pt: &SweepPoint| Fratricide)
+///     .graph(GraphFamily::Complete)
+///     .init(|_p, pt| Configuration::uniform(pt.n, true))
+///     .stop_when("unique-leader", |p: &Fratricide, c| {
+///         p.has_unique_leader(c.states())
+///     })
+///     .step_budget(|_pt| 100_000)
+///     .corruption(|_p: &Fratricide, rng, _agent| rng.gen())
+///     .build()
+///     .unwrap();
+///
+/// let clean = scenario.run(&SweepPoint::new(8, 42));
+/// assert!(clean.converged());
+///
+/// // Replay the same point, but crash 4 agents into arbitrary states at
+/// // step 1000; self-stabilization still converges.
+/// let crashed = scenario
+///     .clone()
+///     .with_fault_plan(FaultPlan::new().at(1_000, FaultKind::CorruptRandomAgents { count: 4 }))
+///     .run(&SweepPoint::new(8, 42));
+/// assert!(crashed.converged());
+/// ```
 pub struct ScenarioBuilder<P: Protocol + 'static>
 where
     P::State: Any,
@@ -1245,6 +1370,20 @@ where
         corrupt: impl Fn(&P, &mut ChaCha8Rng, usize) -> P::State + Send + Sync + 'static,
     ) -> Self {
         self.plan = Some(Arc::new(plan));
+        self.corrupt = Some(Arc::new(corrupt));
+        self
+    }
+
+    /// Attaches only the corruption function, with no fault plan: the built
+    /// scenario is **fault-ready** — it runs exactly like a fault-free
+    /// scenario (the plan is empty, so the fast path is untouched) until a
+    /// plan is attached later with [`Scenario::with_fault_plan`].  This is
+    /// how the worst-case search injects crash schedules into experiment
+    /// definitions that do not schedule faults themselves.
+    pub fn corruption(
+        mut self,
+        corrupt: impl Fn(&P, &mut ChaCha8Rng, usize) -> P::State + Send + Sync + 'static,
+    ) -> Self {
         self.corrupt = Some(Arc::new(corrupt));
         self
     }
@@ -1607,6 +1746,40 @@ mod tests {
             "the reset at step {fault_at} must delay convergence (got {})",
             faulted.convergence_step()
         );
+    }
+
+    #[test]
+    fn with_fault_plan_matches_a_builder_scheduled_plan() {
+        // Attaching a plan to a fault-ready (corruption-only) scenario after
+        // build must behave exactly like scheduling the same plan in the
+        // builder, and an empty plan must be bit-identical to no plan.
+        let plan = FaultPlan::new().at(5, FaultKind::CorruptAll);
+        let base = || {
+            ScenarioBuilder::new("fault-ready", |_pt: &SweepPoint| Fratricide)
+                .graph(GraphFamily::Complete)
+                .init(|_p, pt| Configuration::uniform(pt.n, true))
+                .stop_when("unique-leader", |p: &Fratricide, c| {
+                    p.has_unique_leader(c.states())
+                })
+                .check_every(|_pt| 1)
+                .step_budget(|_pt| 500_000)
+        };
+        let point = SweepPoint::new(8, 3);
+        let scheduled = {
+            let plan = plan.clone();
+            base()
+                .faults(move |_pt| plan.clone(), |_p, _rng, _i| true)
+                .build()
+                .unwrap()
+                .run(&point)
+        };
+        let ready = base().corruption(|_p, _rng, _i| true).build().unwrap();
+        let attached = ready.clone().with_fault_plan(plan).run(&point);
+        assert_eq!(scheduled, attached);
+
+        let clean = base().build().unwrap().run(&point);
+        let empty_plan = ready.with_fault_plan(FaultPlan::new()).run(&point);
+        assert_eq!(clean, empty_plan, "an empty plan keeps the fast path");
     }
 
     #[test]

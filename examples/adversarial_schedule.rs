@@ -1,6 +1,6 @@
 //! Worst-case stabilization search, end to end, on one scenario.
 //!
-//! The walkthrough: take baseline [28] (Yokota et al. 2021) on a directed
+//! The walkthrough: take baseline \[28\] (Yokota et al. 2021) on a directed
 //! ring of n = 32, measure its mean stabilization time under the uniformly
 //! random scheduler, then let the adversary engine attack the same scenario
 //! — annealing over seeds and scheduler-zoo parameters (weighted arc
@@ -17,15 +17,15 @@ use std::sync::Arc;
 use ring_ssle::prelude::*;
 use ring_ssle::ssle_baselines::yokota_linear::{is_safe, YokotaState};
 use ssle_adversary::{
-    worst_case_search, ArcScorer, Candidate, Evaluation, SchedulerSpec, SearchConfig, SearchSpace,
-    SpecDomain,
+    worst_case_search, ArcScorer, Candidate, Evaluation, FaultDomain, SchedulerSpec, SearchConfig,
+    SearchSpace, SpecDomain,
 };
 
 const N: usize = 32;
 const BUDGET: u64 = 400 * (N as u64) * (N as u64);
 
 /// The scenario under attack: uniformly random initial configurations of
-/// baseline [28], converging to its structural safe set.
+/// baseline \[28\], converging to its structural safe set.
 fn yokota_scenario() -> Scenario {
     use rand::SeedableRng;
     ScenarioBuilder::new("yokota/worst-case", |pt: &SweepPoint| {
@@ -85,11 +85,7 @@ fn main() {
     // 1. The benign picture: a pool of uniformly random scheduler trials.
     let pool: Vec<(Candidate, Evaluation)> = (0..4u64)
         .map(|seed| {
-            let candidate = Candidate {
-                variant: 0,
-                seed,
-                spec: SchedulerSpec::Random,
-            };
+            let candidate = Candidate::baseline(seed);
             let eval = evaluate(&candidate);
             (candidate, eval)
         })
@@ -109,6 +105,9 @@ fn main() {
     let space = SearchSpace {
         variants: 1, // one init family: uniform-random YokotaState
         specs: SpecDomain::all(),
+        // This walkthrough keeps the search two-axis (seed x scheduler);
+        // the tracked report grid also mutates crash schedules.
+        faults: FaultDomain::disabled(),
     };
     let config = SearchConfig {
         iterations: 12,

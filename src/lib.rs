@@ -17,8 +17,8 @@
 //!   substrate, and the structural machinery of Sections 3–4 (segments,
 //!   perfect configurations, tokens, the safe set `S_PL`).
 //! * [`ssle_baselines`] — the comparison protocols of Table 1
-//!   ([5] Angluin et al., [15] Fischer–Jiang, [28] Yokota et al., and the
-//!   Thue–Morse substrate of [11] Chen–Chen).
+//!   (\[5\] Angluin et al., \[15\] Fischer–Jiang, \[28\] Yokota et al., and the
+//!   Thue–Morse substrate of \[11\] Chen–Chen).
 //! * [`ssle_adversary`] — the adversary engine: the scheduler zoo (weighted
 //!   arc distributions, fairness-audited epoch partitions, a state-aware
 //!   greedy adversary) and the worst-case stabilization search emitting

@@ -175,7 +175,7 @@ proptest! {
         prop_assert_eq!(reversed.as_slice(), l.interactions());
     }
 
-    /// The mod-k defect structure of baseline [5]: the number of defects of
+    /// The mod-k defect structure of baseline \[5\]: the number of defects of
     /// any configuration on a ring whose size is not a multiple of k is at
     /// least one, and one interaction never increases it.
     #[test]
@@ -258,7 +258,7 @@ proptest! {
         prop_assert!(find_cube(&with_cube).is_some());
     }
 
-    /// The [28] baseline's distance variable never leaves `[0, N]` and its
+    /// The \[28\] baseline's distance variable never leaves `[0, N]` and its
     /// transition is deterministic.
     #[test]
     fn yokota_distance_stays_capped(
@@ -282,6 +282,35 @@ proptest! {
         // A responder that hits the cap must have turned itself into a leader
         // with distance reset to zero, never report distance N.
         prop_assert!(r1.dist < cap || r1.leader || cap == 0);
+    }
+
+    /// `FaultPlanSpec` round-trips losslessly through the fault plan it
+    /// builds: `spec → FaultPlan → spec` is the identity for every
+    /// integer-exact crash schedule — the property that makes fault-bearing
+    /// worst-case certificates replayable from the JSON artifact.
+    #[test]
+    fn fault_plan_spec_round_trips_through_the_plan(
+        raw in proptest::collection::vec(
+            (any::<u64>(), 0u8..3, 0u32..10_000, 0u32..10_000),
+            0..6,
+        ),
+    ) {
+        use ring_ssle::ssle_adversary::{FaultEventSpec, FaultPlacementSpec, FaultPlanSpec};
+        let events: Vec<FaultEventSpec> = raw
+            .into_iter()
+            .map(|(at_step, kind, start, count)| FaultEventSpec {
+                at_step,
+                placement: match kind {
+                    0 => FaultPlacementSpec::Random { count: count.max(1) },
+                    1 => FaultPlacementSpec::Block { start, count: count.max(1) },
+                    _ => FaultPlacementSpec::All,
+                },
+            })
+            .collect();
+        let spec = FaultPlanSpec::new(events);
+        let plan = spec.plan();
+        prop_assert_eq!(plan.len(), spec.events().len());
+        prop_assert_eq!(FaultPlanSpec::from_plan(&plan), spec);
     }
 
     /// Configuration rotation is a bijection that preserves the multiset of
