@@ -187,6 +187,15 @@ impl<G: InteractionGraph> Scheduler<G> for EpochPartitionScheduler {
         }
         Ok(arc)
     }
+
+    fn phase(&self) -> Option<u64> {
+        // The schedule is periodic with period `epoch_len * blocks` (one full
+        // rotation): which group is active and how far into its epoch we are
+        // depend only on `step mod rotation`.  Exposing the periodic phase —
+        // not the raw step — is what lets recurrence detection confirm that a
+        // revisited configuration faces the *same* future schedule.
+        Some(self.step % self.epoch_len.saturating_mul(self.blocks as u64))
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +264,22 @@ mod tests {
             }
         }
         assert_eq!(group1, 0, "first epoch must starve the second group");
+    }
+
+    #[test]
+    fn phase_is_periodic_over_one_full_rotation() {
+        let ring = DirectedRing::new(6).unwrap();
+        let mut sched = EpochPartitionScheduler::new(&ring, 3, 4).unwrap();
+        let rotation: u64 = 3 * 4;
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for step in 0..(3 * rotation) {
+            assert_eq!(
+                Scheduler::<DirectedRing>::phase(&sched),
+                Some(step % rotation),
+                "phase must be the step counter modulo one rotation"
+            );
+            Scheduler::<DirectedRing>::next_interaction(&mut sched, &ring, &mut rng).unwrap();
+        }
     }
 
     #[test]

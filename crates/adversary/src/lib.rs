@@ -27,7 +27,12 @@
 //!   and emits reproducible [`WorstCase`] certificates; the chain can run as
 //!   N deterministic **islands** merged best-of
 //!   ([`worst_case_search_islands`]) — bit-reproducible for a fixed island
-//!   count at any thread count.
+//!   count at any thread count;
+//! * a **livelock certifier** ([`certify_livelock`]) — replays a censored
+//!   worst case with configuration-recurrence detection armed and, for
+//!   deterministic-phase schedulers, exhaustively checks the phase closure
+//!   of the recurrent configuration, upgrading "did not converge within the
+//!   budget" to a checked [`CertifiedLivelock`] certificate.
 //!
 //! The crate is protocol-agnostic: it only speaks the erased vocabulary of
 //! `population::scenario` (`DynState`, `DynScheduler`, `SchedulerFamily`).
@@ -39,6 +44,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod certify;
 pub mod epoch;
 pub mod faultplan;
 pub mod greedy;
@@ -46,6 +52,7 @@ pub mod search;
 pub mod spec;
 pub mod weighted;
 
+pub use certify::{certify_livelock, spec_phases, CertifiedLivelock};
 pub use epoch::{EpochPartitionScheduler, FairnessAuditor, FairnessCertificate};
 pub use faultplan::{FaultDomain, FaultEventSpec, FaultPlacementSpec, FaultPlanSpec};
 pub use greedy::{ArcScorer, GreedyAdversary};

@@ -23,6 +23,7 @@ use population::BatchRunner;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+use crate::certify::CertifiedLivelock;
 use crate::faultplan::{FaultDomain, FaultPlanSpec};
 use crate::spec::SchedulerSpec;
 
@@ -77,6 +78,11 @@ pub struct WorstCase {
     pub steps: u64,
     /// Whether the worst-case run converged within the budget.
     pub converged: bool,
+    /// A checked livelock certificate for the candidate, when the driver
+    /// ran [`certify_livelock`](crate::certify::certify_livelock) on a
+    /// censored result and the closure check succeeded.  The search itself
+    /// never fills this in — certification is a post-pass.
+    pub certified: Option<CertifiedLivelock>,
 }
 
 /// Which scheduler mutations the search may propose.
@@ -327,6 +333,7 @@ where
         candidate: seed_candidate.clone(),
         steps: seed_eval.steps,
         converged: seed_eval.converged,
+        certified: None,
     };
     let mut current = best.clone();
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
@@ -348,6 +355,7 @@ where
                 candidate: proposal,
                 steps: eval.steps,
                 converged: eval.converged,
+                certified: None,
             };
         }
         if current.steps > best.steps {

@@ -15,8 +15,9 @@ pub enum JsonValue {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// A finite number (emitted via `f64`; non-finite values render as
-    /// `null`, like `serde_json`).
+    /// A finite number (emitted via `f64`; serializing a non-finite value
+    /// panics — silently degrading a measurement to `null` would corrupt
+    /// reports downstream, so the corruption must fail at the emit site).
     Number(f64),
     /// A string.
     String(String),
@@ -61,6 +62,14 @@ impl JsonValue {
         }
     }
 
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The numeric payload, if this is a number.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
@@ -78,6 +87,12 @@ impl JsonValue {
     }
 
     /// Serializes to compact JSON text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value contains a non-finite [`JsonValue::Number`]
+    /// (`NaN` or an infinity) — JSON has no representation for them, and
+    /// rendering `null` instead would silently corrupt reports.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         self.write(&mut out);
@@ -89,14 +104,16 @@ impl JsonValue {
             JsonValue::Null => out.push_str("null"),
             JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             JsonValue::Number(x) => {
-                if x.is_finite() {
-                    if *x == x.trunc() && x.abs() < 1e15 {
-                        out.push_str(&format!("{}", *x as i64));
-                    } else {
-                        out.push_str(&format!("{x}"));
-                    }
+                assert!(
+                    x.is_finite(),
+                    "JSON cannot represent the non-finite number {x}: fix the \
+                     computation (or emit an explicit null) instead of letting \
+                     it degrade silently"
+                );
+                if *x == x.trunc() && x.abs() < 1e15 {
+                    out.push_str(&format!("{}", *x as i64));
                 } else {
-                    out.push_str("null");
+                    out.push_str(&format!("{x}"));
                 }
             }
             JsonValue::String(s) => write_escaped(s, out),
@@ -511,8 +528,21 @@ mod tests {
         assert_eq!(JsonValue::from(42u64).to_json(), "42");
         assert_eq!(JsonValue::Number(-3.0).to_json(), "-3");
         assert_eq!(JsonValue::Number(2.5).to_json(), "2.5");
-        assert_eq!(JsonValue::Number(f64::NAN).to_json(), "null");
-        assert_eq!(JsonValue::Number(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite number")]
+    fn emitting_nan_panics_instead_of_degrading_to_null() {
+        let _ = JsonValue::Number(f64::NAN).to_json();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite number")]
+    fn emitting_infinity_panics_even_when_nested() {
+        // The panic must fire for non-finite numbers buried in containers,
+        // not just at the top level.
+        let v = JsonValue::object().with("steps", f64::INFINITY);
+        let _ = v.to_json();
     }
 
     #[test]

@@ -37,7 +37,7 @@ use ssle_bench::hotloop::HotloopGraph;
 use ssle_bench::report::Report;
 use ssle_bench::stabilization::{
     dyn_protocol, evaluate_with, leader_delta_scorer, ppl_segment_scorer, rate_curve_with,
-    stab_budget, variant_names, RATE_MULTIPLIERS,
+    stab_budget, variant_names, ESCALATION_STEP_CEILING, MAX_RATE_MULTIPLIER, RATE_MULTIPLIERS,
 };
 use ssle_bench::ProtocolKind;
 
@@ -84,15 +84,20 @@ fn main() {
             "converged",
         ],
     );
-    let rate_header: Vec<String> = RATE_MULTIPLIERS
-        .iter()
-        .map(|m| format!("rate@{m}x"))
-        .collect();
+    // One column per possible rung of the adaptive curve: the base
+    // multipliers plus every doubling the escalation may reach.  Cells
+    // whose curve stopped earlier show "-" for the rungs they never ran.
+    let mut all_mults: Vec<u64> = RATE_MULTIPLIERS.to_vec();
+    while *all_mults.last().expect("non-empty multipliers") < MAX_RATE_MULTIPLIER {
+        all_mults.push(all_mults.last().unwrap() * 2);
+    }
+    let rate_header: Vec<String> = all_mults.iter().map(|m| format!("rate@{m}x")).collect();
     let mut rate_columns: Vec<&str> = vec!["protocol", "n"];
     rate_columns.extend(rate_header.iter().map(String::as_str));
     let mut rate_table = Table::new(
-        "Stabilization-rate curves of the worst-case certificates \
-         (fraction of fresh-seed replays converged within multiplier x budget)",
+        "Adaptive stabilization-rate curves of the worst-case certificates \
+         (fraction of fresh-seed replays converged within multiplier x budget; \
+         flat-0 base curves escalate geometrically, '-' = rung not run)",
         &rate_columns,
     );
     for kind in ProtocolKind::ALL {
@@ -144,13 +149,20 @@ fn main() {
             let rate = rate_curve_with(
                 budget,
                 &best.candidate,
+                false,
                 base ^ 0x7A7E,
                 trials,
+                ESCALATION_STEP_CEILING,
                 &runner,
                 |c, b| evaluate(kind, n, b, c),
             );
             let mut row = vec![kind.key().to_string(), n.to_string()];
-            row.extend(rate.fractions.iter().map(|f| format!("{f:.2}")));
+            row.extend(all_mults.iter().map(
+                |m| match rate.multipliers.iter().position(|rm| rm == m) {
+                    Some(i) => format!("{:.2}", rate.fractions[i]),
+                    None => "-".to_string(),
+                },
+            ));
             rate_table.push_row(row);
         }
     }

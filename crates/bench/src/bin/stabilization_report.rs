@@ -3,9 +3,13 @@
 //! a random-scheduler trial pool, the worst case found by the
 //! `ssle-adversary` island annealing search (over init variants, seeds,
 //! scheduler-zoo parameters and mid-run crash schedules), and the
-//! stabilization-rate curve of each worst-case certificate (fraction of
-//! fresh-seed replays converged at 1×/2×/4× the cell budget), and writes
-//! the results — including the reproducible certificates — to
+//! **adaptive** stabilization-rate curve of each worst-case certificate
+//! (fraction of fresh-seed replays converged at the base 1×/2×/4× budget
+//! multipliers, escalating geometrically to 8×/16× while the curve stays
+//! flat 0).  Censored epoch-partition cells additionally run the livelock
+//! certifier: a configuration-recurrence detection replay plus a phase
+//! closure walk, recorded as the cell's `certified` field.  Results —
+//! including the reproducible certificates — go to
 //! `BENCH_stabilization.json` (at the current directory; run from the
 //! repository root).
 //!
@@ -32,9 +36,10 @@
 //! ```
 //!
 //! The binary self-validates: after writing, it re-reads the file, parses it
-//! with `analysis::json` and checks it against the `stabilization-bench/v2`
-//! schema — including `worst ≥ mean` and a well-formed rate curve for every
-//! cell — exiting non-zero on any mismatch.
+//! with `analysis::json` and checks it against the `stabilization-bench/v3`
+//! schema — including `worst ≥ mean`, a well-formed adaptive rate curve and
+//! a consistent `certified` field for every cell — exiting non-zero on any
+//! mismatch.
 
 use ssle_bench::stabilization::{self, RunOptions};
 

@@ -18,16 +18,30 @@
 //! every seed is derived from the cell, never from the executing thread —
 //! which is pinned by workspace tests.
 //!
-//! Censored cells are made informative by a **stabilization-rate curve**:
-//! the worst-case certificate is replayed with fresh seeds at budget
-//! multipliers 1×/2×/4× ([`RATE_MULTIPLIERS`]), and each cell records the
-//! fraction of replays converged within each multiple.  A genuine livelock
-//! (long epoch partitions vs the token-collision protocols) stays at 0
-//! across the whole curve; a merely-slow cell climbs toward 1.
+//! Censored cells are made informative by an **adaptive stabilization-rate
+//! curve**: the worst-case certificate is replayed with fresh seeds at the
+//! base budget multipliers 1×/2×/4× ([`RATE_MULTIPLIERS`]), and each cell
+//! records the fraction of replays converged within each multiple.  When
+//! every replay is still censored at 4× — the curve is flat 0 and says
+//! nothing — the multiplier keeps doubling (8×, 16×, up to
+//! [`MAX_RATE_MULTIPLIER`] and the [`ESCALATION_STEP_CEILING`]) until a
+//! replay converges or the escalation is exhausted, so "slow" and "stuck"
+//! separate as far as the step ceiling allows.
+//!
+//! Flat-0 cells under a deterministic-phase scheduler get the stronger
+//! treatment: [`certify_cell`] replays the worst case with
+//! configuration-recurrence detection armed and walks the scheduler's phase
+//! product from the recurrent configuration
+//! ([`ssle_adversary::certify_livelock`]), upgrading "censored at every
+//! multiplier" to a checked **livelock certificate**: at minimum an exact
+//! replayed revisit (entry step, period, configuration digest), upgraded to
+//! `exhaustive` when the closure walk finishes stop-free — and refuted
+//! outright (no certificate) when the walk proves a converging schedule
+//! exists.  A certified cell skips the escalation entirely.
 //!
 //! The `stabilization_report` binary writes the results to
 //! `BENCH_stabilization.json` at the repository root (schema
-//! [`SCHEMA`] = `stabilization-bench/v2`); CI runs it in `--quick` mode and
+//! [`SCHEMA`] = `stabilization-bench/v3`); CI runs it in `--quick` mode and
 //! validates the emitted JSON against [`validate_report`].  Worst cases are
 //! reported as reproducible certificates: the variant, seed, scheduler spec
 //! and fault-plan spec pin down a deterministic re-run ([`evaluate`]), which
@@ -43,11 +57,12 @@
 use std::sync::Arc;
 
 use analysis::json::JsonValue;
-use population::{BatchRunner, DynProtocol, Scenario};
+use population::{BatchRunner, ClosureLimits, DynProtocol, Scenario};
 use population::{LeaderElection, Protocol, SweepPoint};
 use ssle_adversary::{
-    worst_case_search_islands, ArcScorer, Candidate, Evaluation, FaultDomain, FaultPlanSpec,
-    IslandConfig, IslandOutcome, SchedulerSpec, SearchSpace, SpecDomain,
+    certify_livelock, worst_case_search_islands, ArcScorer, Candidate, CertifiedLivelock,
+    Evaluation, FaultDomain, FaultPlanSpec, IslandConfig, IslandOutcome, SchedulerSpec,
+    SearchSpace, SpecDomain,
 };
 use ssle_adversary::{FaultEventSpec, FaultPlacementSpec};
 use ssle_baselines::{
@@ -66,21 +81,37 @@ use crate::{
 
 /// Schema identifier of `BENCH_stabilization.json`.
 ///
-/// `v2` (this version) differs from `v1` in three ways: worst-case
-/// certificates carry a structural `faults` spec (the third search axis),
-/// every cell carries a `rate` object (the stabilization-rate curve replacing
-/// bare censoring), and the search bookkeeping records `islands` ×
-/// `island_iterations` instead of a single chain's `search_iterations`.
-pub const SCHEMA: &str = "stabilization-bench/v2";
+/// `v3` (this version) differs from `v2` in three ways: the rate curve is
+/// **adaptive** (each cell's `rate` object carries its own `multipliers`
+/// array — the base [`RATE_MULTIPLIERS`] possibly extended by geometric
+/// escalation), every `worst` certificate carries a `certified` field
+/// (`null`, or a checked livelock certificate with the recurrence entry
+/// step, period, configuration digest, scheduler phase, exhaustive flag and
+/// closure size),
+/// and `epoch_len` in scheduler specs is serialized as an exact decimal
+/// string like every other full-width integer (`as f64` silently rounded
+/// values ≥ 2⁵³ in `v2`).
+pub const SCHEMA: &str = "stabilization-bench/v3";
 
 /// The population sizes of the tracked measurement grid.
 pub const SIZES: [usize; 2] = [64, 256];
 
-/// The budget multipliers of the stabilization-rate curve: each cell's
-/// worst-case certificate is replayed with fresh seeds and censored at
-/// `multiplier × budget`, and the curve records the converged fraction per
-/// multiplier.
+/// The **base** budget multipliers of the stabilization-rate curve: each
+/// cell's worst-case certificate is replayed with fresh seeds and censored
+/// at `multiplier × budget`, and the curve records the converged fraction
+/// per multiplier.  A flat-0 base curve escalates geometrically beyond the
+/// base (see [`rate_curve_with`]) up to [`MAX_RATE_MULTIPLIER`].
 pub const RATE_MULTIPLIERS: [u64; 3] = [1, 2, 4];
+
+/// The largest budget multiplier the adaptive rate escalation may reach,
+/// and the multiplier of the certification detection run's extended budget.
+pub const MAX_RATE_MULTIPLIER: u64 = 16;
+
+/// Hard per-run step ceiling of the adaptive machinery: neither an
+/// escalated rate replay nor a certification detection run ever exceeds
+/// this many steps, whatever the multiplier ([`RunOptions::step_ceiling`]
+/// shrinks it further in `--quick` mode so CI stays fast).
+pub const ESCALATION_STEP_CEILING: u64 = 64_000_000;
 
 /// The step budget of one stabilization run, censoring the worst-case
 /// search: protocol-aware (the `Θ(n³)`-class baselines get a cubic budget,
@@ -291,14 +322,69 @@ pub fn evaluate_with(
     }
 }
 
+/// Attempts to upgrade one cell's censored worst case into a **checked**
+/// livelock certificate: rebuilds the candidate's scenario (scheduler and
+/// fault plan attached exactly as [`evaluate`] does), replays it with
+/// configuration-recurrence detection armed, and — when the run provably
+/// revisits a configuration at the same scheduler phase — walks everything
+/// the scheduler could still do from there ([`certify_livelock`]), which
+/// either upgrades the certificate to exhaustive, leaves the replayed
+/// recurrence standing, or refutes it.
+///
+/// Only deterministic-phase schedulers can certify, so memoryless specs
+/// (random, weighted, greedy) return `None` without spending a detection
+/// run.  Greedy is also the one spec whose scenario needs a scorer; skipping
+/// it here keeps this function scorer-free.
+///
+/// The detection run gets an **extended** budget —
+/// `budget × `[`MAX_RATE_MULTIPLIER`], capped at `ceiling` — because the
+/// detector stays disarmed until the candidate's last fault event has fired
+/// and a long-period orbit then needs room beyond the censoring budget to
+/// revisit itself (the recurrence that certifies the tracked
+/// `angluin-mod-k/ring/64` cell has period ≈ 1.7 × its cell budget).  A
+/// certificate is a statement about the *infinite* run, so an entry step
+/// beyond `budget` still proves the censored cell can never converge.
+pub fn certify_cell(
+    kind: ProtocolKind,
+    graph: HotloopGraph,
+    n: usize,
+    budget: u64,
+    ceiling: u64,
+    candidate: &Candidate,
+) -> Option<CertifiedLivelock> {
+    if !matches!(candidate.spec, SchedulerSpec::EpochPartition { .. }) {
+        return None;
+    }
+    let detect_budget = budget
+        .saturating_mul(MAX_RATE_MULTIPLIER)
+        .min(ceiling)
+        .max(budget);
+    let mut scenario = stab_scenario(kind, graph, candidate.variant as usize, detect_budget)
+        .with_scheduler(candidate.spec.family(None));
+    if !candidate.faults.is_empty() {
+        scenario = scenario.with_fault_plan(candidate.faults.plan());
+    }
+    certify_livelock(
+        &scenario,
+        &candidate.spec,
+        &SweepPoint::new(n, candidate.seed),
+        &ClosureLimits::default(),
+    )
+    .ok()
+    .flatten()
+}
+
 /// The stabilization-rate curve of one cell: the worst-case certificate
 /// replayed with fresh seeds, censored at `multiplier × budget` for every
-/// multiplier in [`RATE_MULTIPLIERS`].
+/// multiplier the adaptive escalation ran.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RateCurve {
+    /// The budget multipliers this cell actually ran: the base
+    /// [`RATE_MULTIPLIERS`], extended by doubling while the curve stayed
+    /// flat 0 (see [`rate_curve_with`]).
+    pub multipliers: Vec<u64>,
     /// Fraction of replays converged within `multiplier × budget`, one
-    /// entry per [`RATE_MULTIPLIERS`] entry (non-decreasing by
-    /// construction).
+    /// entry per `multipliers` entry (non-decreasing by construction).
     pub fractions: Vec<f64>,
     /// Base seed of the replays (replay `r` runs at seed
     /// `replay_seed + r`).
@@ -347,6 +433,12 @@ pub struct CellResult {
     pub search_evaluations: u32,
     /// Seed of the (deterministic) island search.
     pub search_seed: u64,
+    /// The checked livelock certificate of the worst case, when the
+    /// censored run provably recurs and its phase closure does not refute
+    /// the livelock ([`certify_cell`]); `None` for converged worst cases,
+    /// memoryless schedulers and anything the conservative certifier
+    /// abstains on.
+    pub certified: Option<CertifiedLivelock>,
     /// The stabilization-rate curve of the worst-case certificate.
     pub rate: RateCurve,
 }
@@ -392,6 +484,19 @@ impl RunOptions {
         match self.threads {
             Some(t) => BatchRunner::with_threads(t),
             None => BatchRunner::new(),
+        }
+    }
+
+    /// The per-run step ceiling of the adaptive machinery (rate escalation
+    /// and certification detection): [`ESCALATION_STEP_CEILING`] for the
+    /// tracked report, a sixteenth of it under `--quick` so the CI smoke
+    /// stays affordable (quick budgets are small, so the small-`n` cells
+    /// still escalate all the way).
+    pub fn step_ceiling(&self) -> u64 {
+        if self.quick {
+            ESCALATION_STEP_CEILING / 16
+        } else {
+            ESCALATION_STEP_CEILING
         }
     }
 }
@@ -511,7 +616,31 @@ pub fn run_cell(
         },
         runner,
     );
-    let rate = rate_curve(kind, graph, n, budget, &best.candidate, options, runner);
+    // Certification runs before the rate curve: a checked livelock both
+    // upgrades the cell's claim and tells the escalation not to burn steps
+    // re-litigating a flat-0 curve the certificate already explains.
+    let certified = if best.converged {
+        None
+    } else {
+        certify_cell(
+            kind,
+            graph,
+            n,
+            budget,
+            options.step_ceiling(),
+            &best.candidate,
+        )
+    };
+    let rate = rate_curve(
+        kind,
+        graph,
+        n,
+        budget,
+        &best.candidate,
+        certified.is_some(),
+        options,
+        runner,
+    );
     CellResult {
         protocol: kind.key(),
         graph: graph.key(),
@@ -530,18 +659,21 @@ pub fn run_cell(
         best_island,
         search_evaluations: evaluations,
         search_seed,
+        certified,
         rate,
     }
 }
 
 /// The report grid's rate curve for one cell, via [`rate_curve_with`] and
 /// the shared greedy potential of [`evaluate`].
+#[allow(clippy::too_many_arguments)]
 fn rate_curve(
     kind: ProtocolKind,
     graph: HotloopGraph,
     n: usize,
     budget: u64,
     worst: &Candidate,
+    certified: bool,
     options: &RunOptions,
     runner: &BatchRunner,
 ) -> RateCurve {
@@ -549,8 +681,10 @@ fn rate_curve(
     rate_curve_with(
         budget,
         worst,
+        certified,
         replay_seed,
         options.replays,
+        options.step_ceiling(),
         runner,
         |c, b| evaluate(kind, graph, n, b, c),
     )
@@ -560,31 +694,60 @@ fn rate_curve(
 /// (same variant, scheduler spec and fault plan) with fresh seeds
 /// (`replay_seed + r`), censored at `max(RATE_MULTIPLIERS) × budget`, and
 /// folds the outcomes into the per-multiplier converged fractions.  One
-/// simulation run per replay covers the whole curve: a replay converged at
-/// step `s` counts for every multiplier `m` with `s ≤ m × budget`.
+/// simulation run per replay covers the whole base curve: a replay
+/// converged at step `s` counts for every multiplier `m` with
+/// `s ≤ m × budget`.
+///
+/// When every replay is still censored at the base maximum — the curve is
+/// flat 0 and distinguishes nothing — the multiplier **escalates
+/// geometrically** (8×, 16×, …) up to [`MAX_RATE_MULTIPLIER`], stopping as
+/// soon as a replay converges or the next rung would exceed `ceiling`
+/// steps.  Each rung reruns all the (censored) replays at the extended
+/// censoring budget; the runs are deterministic per seed, so the curve
+/// stays bit-identical at any thread count.  `certified` callers skip the
+/// escalation entirely: a checked livelock already explains the flat-0
+/// curve, so the extra steps would be wasted.
 ///
 /// `evaluate` receives the candidate and the extended censoring budget —
 /// the report grid passes [`evaluate`], `fig_worstcase` its segment-scored
 /// variant — so every consumer renders the *same* metric.
+#[allow(clippy::too_many_arguments)]
 pub fn rate_curve_with(
     budget: u64,
     worst: &Candidate,
+    certified: bool,
     replay_seed: u64,
     replays: usize,
+    ceiling: u64,
     runner: &BatchRunner,
     evaluate: impl Fn(&Candidate, u64) -> Evaluation + Send + Sync,
 ) -> RateCurve {
-    let max_mult = *RATE_MULTIPLIERS.last().expect("non-empty multipliers");
+    let mut multipliers: Vec<u64> = RATE_MULTIPLIERS.to_vec();
+    let base_max = *RATE_MULTIPLIERS.last().expect("non-empty multipliers");
     let candidates: Vec<Candidate> = (0..replays)
         .map(|r| Candidate {
             seed: replay_seed.wrapping_add(r as u64),
             ..worst.clone()
         })
         .collect();
-    let outcomes = runner.run_map(&candidates, |c| {
-        evaluate(c, budget.saturating_mul(max_mult))
+    let mut outcomes = runner.run_map(&candidates, |c| {
+        evaluate(c, budget.saturating_mul(base_max))
     });
-    let fractions = RATE_MULTIPLIERS
+    let mut mult = base_max;
+    while !certified
+        && replays > 0
+        && outcomes.iter().all(|e| !e.converged)
+        && mult.saturating_mul(2) <= MAX_RATE_MULTIPLIER
+        && budget.saturating_mul(mult.saturating_mul(2)) <= ceiling
+    {
+        mult *= 2;
+        multipliers.push(mult);
+        // Every replay is censored here, so the rerun set is all of them;
+        // a longer censoring horizon extends the same deterministic
+        // trajectory, it never changes it.
+        outcomes = runner.run_map(&candidates, |c| evaluate(c, budget.saturating_mul(mult)));
+    }
+    let fractions = multipliers
         .iter()
         .map(|&m| {
             let within = outcomes
@@ -595,6 +758,7 @@ pub fn rate_curve_with(
         })
         .collect();
     RateCurve {
+        multipliers,
         fractions,
         replay_seed,
     }
@@ -649,7 +813,8 @@ impl StabilizationReport {
                                         .with("faults", fault_spec_to_json(&c.worst_faults))
                                         .with("search_seed", c.search_seed.to_string().as_str())
                                         .with("search_evaluations", c.search_evaluations as usize)
-                                        .with("best_island", c.best_island as usize),
+                                        .with("best_island", c.best_island as usize)
+                                        .with("certified", certified_to_json(&c.certified)),
                                 )
                                 .with(
                                     "rate",
@@ -657,6 +822,16 @@ impl StabilizationReport {
                                         .with(
                                             "replay_seed",
                                             c.rate.replay_seed.to_string().as_str(),
+                                        )
+                                        .with(
+                                            "multipliers",
+                                            JsonValue::Array(
+                                                c.rate
+                                                    .multipliers
+                                                    .iter()
+                                                    .map(|&m| JsonValue::Number(m as f64))
+                                                    .collect(),
+                                            ),
                                         )
                                         .with(
                                             "fractions",
@@ -684,8 +859,8 @@ impl StabilizationReport {
             .join("/");
         let mut out = format!(
             "| protocol | graph | n | budget | mean steps | conv | worst steps | worst/mean \
-             | rate@{rate_header} | worst scheduler | worst faults | worst init |\n\
-             |---|---|---:|---:|---:|---:|---:|---:|---|---|---|---|\n",
+             | rate@{rate_header}+ | livelock | worst scheduler | worst faults | worst init |\n\
+             |---|---|---:|---:|---:|---:|---:|---:|---|---|---|---|---|\n",
         );
         for c in &self.cells {
             let rate = c
@@ -695,8 +870,15 @@ impl StabilizationReport {
                 .map(|f| format!("{f:.2}"))
                 .collect::<Vec<_>>()
                 .join("/");
+            let livelock = match &c.certified {
+                Some(cert) if cert.exhaustive => {
+                    format!("exhaustive (period {})", cert.period)
+                }
+                Some(cert) => format!("recurrence (period {})", cert.period),
+                None => "-".to_string(),
+            };
             out.push_str(&format!(
-                "| {} | {} | {} | {} | {:.3e} | {:.0}% | {} | {:.2}x | {} | {} | {} | {} |\n",
+                "| {} | {} | {} | {} | {:.3e} | {:.0}% | {} | {:.2}x | {} | {} | {} | {} | {} |\n",
                 c.protocol,
                 c.graph,
                 c.n,
@@ -706,6 +888,7 @@ impl StabilizationReport {
                 c.worst_steps,
                 c.worst_steps as f64 / c.mean_steps.max(1.0),
                 rate,
+                livelock,
                 c.worst_scheduler,
                 c.worst_faults.key(),
                 c.worst_variant,
@@ -715,9 +898,28 @@ impl StabilizationReport {
     }
 }
 
+/// An exact unsigned integer from a JSON number field: `None` unless the
+/// value is finite, integral and within `[0, max]`.  The `v2` parsers cast
+/// through `as f64 … as uN`, which silently truncated fractions and wrapped
+/// out-of-range values — a corrupted artifact would "round-trip" into a
+/// *different* certificate instead of failing validation.
+fn exact_uint(json: &JsonValue, name: &str, max: u64) -> Option<u64> {
+    let x = json.get(name).and_then(JsonValue::as_f64)?;
+    (x.is_finite() && x.fract() == 0.0 && x >= 0.0 && x <= max as f64).then_some(x as u64)
+}
+
+/// An exact u64 from a decimal-string field (the encoding every full-width
+/// integer uses, since JSON numbers are f64 and round values ≥ 2⁵³).
+fn exact_u64_string(json: &JsonValue, name: &str) -> Option<u64> {
+    json.get(name)
+        .and_then(JsonValue::as_str)?
+        .parse::<u64>()
+        .ok()
+}
+
 /// Serializes a [`SchedulerSpec`] structurally (all parameters exact —
-/// u64 seeds as decimal strings, since JSON numbers are f64 and would round
-/// values ≥ 2⁵³).
+/// full-width u64s like seeds and `epoch_len` as decimal strings, since
+/// JSON numbers are f64 and would round values ≥ 2⁵³).
 pub fn spec_to_json(spec: &SchedulerSpec) -> JsonValue {
     match spec {
         SchedulerSpec::Random => JsonValue::object().with("kind", "random"),
@@ -733,38 +935,75 @@ pub fn spec_to_json(spec: &SchedulerSpec) -> JsonValue {
         SchedulerSpec::EpochPartition { blocks, epoch_len } => JsonValue::object()
             .with("kind", "epoch-partition")
             .with("blocks", *blocks as usize)
-            .with("epoch_len", *epoch_len as f64),
+            .with("epoch_len", epoch_len.to_string().as_str()),
         SchedulerSpec::Greedy { candidates } => JsonValue::object()
             .with("kind", "greedy")
             .with("candidates", *candidates as usize),
     }
 }
 
-/// Rebuilds a [`SchedulerSpec`] from its [`spec_to_json`] form.
+/// Rebuilds a [`SchedulerSpec`] from its [`spec_to_json`] form.  Every
+/// integer field parses exactly or not at all: narrow fields reject
+/// fractional and out-of-range numbers (`exact_uint`) instead of
+/// truncating through an `as` cast, and `epoch_len` takes the decimal-string
+/// path like the seeds (the `v2` `as f64` round trip silently rounded
+/// values ≥ 2⁵³).
 pub fn spec_from_json(json: &JsonValue) -> Option<SchedulerSpec> {
-    let u64_field = |name: &str| {
-        json.get(name)
-            .and_then(JsonValue::as_str)?
-            .parse::<u64>()
-            .ok()
-    };
-    let num_field = |name: &str| json.get(name).and_then(JsonValue::as_f64);
     match json.get("kind").and_then(JsonValue::as_str)? {
         "random" => Some(SchedulerSpec::Random),
         "weighted" => Some(SchedulerSpec::Weighted {
-            hot_per_mille: num_field("hot_per_mille")? as u16,
-            bias: num_field("bias")? as u32,
-            seed: u64_field("seed")?,
+            hot_per_mille: exact_uint(json, "hot_per_mille", u16::MAX as u64)? as u16,
+            bias: exact_uint(json, "bias", u32::MAX as u64)? as u32,
+            seed: exact_u64_string(json, "seed")?,
         }),
         "epoch-partition" => Some(SchedulerSpec::EpochPartition {
-            blocks: num_field("blocks")? as u32,
-            epoch_len: num_field("epoch_len")? as u64,
+            blocks: exact_uint(json, "blocks", u32::MAX as u64)? as u32,
+            epoch_len: exact_u64_string(json, "epoch_len")?,
         }),
         "greedy" => Some(SchedulerSpec::Greedy {
-            candidates: num_field("candidates")? as u32,
+            candidates: exact_uint(json, "candidates", u32::MAX as u64)? as u32,
         }),
         _ => None,
     }
+}
+
+/// Serializes a cell's optional livelock certificate: `null`, or an object
+/// whose bounded fields (`entry_step`, `period`, `phase`,
+/// `closure_configs` — all capped by the detection budget or the closure
+/// limits, far below 2⁵³) are JSON numbers and whose full-width
+/// `config_digest` is a decimal string.
+pub fn certified_to_json(certified: &Option<CertifiedLivelock>) -> JsonValue {
+    match certified {
+        None => JsonValue::Null,
+        Some(c) => JsonValue::object()
+            .with("entry_step", c.entry_step as f64)
+            .with("period", c.period as f64)
+            .with("config_digest", c.config_digest.to_string().as_str())
+            .with("phase", c.phase as f64)
+            .with("exhaustive", c.exhaustive)
+            .with("closure_configs", c.closure_configs as f64),
+    }
+}
+
+/// Rebuilds an optional [`CertifiedLivelock`] from its
+/// [`certified_to_json`] form, with the same exactness rules as the spec
+/// parsers.
+pub fn certified_from_json(json: &JsonValue) -> Option<Option<CertifiedLivelock>> {
+    if matches!(json, JsonValue::Null) {
+        return Some(None);
+    }
+    // The number fields are bounded by the detection budget / closure
+    // limits; anything at or beyond 2^53 cannot have round-tripped exactly
+    // through an f64 and is rejected outright.
+    let safe = (1u64 << 53) - 1;
+    Some(Some(CertifiedLivelock {
+        entry_step: exact_uint(json, "entry_step", safe)?,
+        period: exact_uint(json, "period", safe)?,
+        config_digest: exact_u64_string(json, "config_digest")?,
+        phase: exact_uint(json, "phase", safe)?,
+        exhaustive: json.get("exhaustive").and_then(JsonValue::as_bool)?,
+        closure_configs: exact_uint(json, "closure_configs", safe)?,
+    }))
 }
 
 /// Serializes a [`FaultPlanSpec`] structurally: a (possibly empty) array of
@@ -794,20 +1033,19 @@ pub fn fault_spec_to_json(spec: &FaultPlanSpec) -> JsonValue {
 }
 
 /// Rebuilds a [`FaultPlanSpec`] from its [`fault_spec_to_json`] form.
+/// `count` and `start` parse exactly or not at all (`exact_uint`) — the
+/// `v2` `as u32` casts would silently turn a corrupted `count` of `1e10` or
+/// `3.7` into a different crash schedule instead of rejecting it.
 pub fn fault_spec_from_json(json: &JsonValue) -> Option<FaultPlanSpec> {
     let events = json.as_array()?;
     let mut out = Vec::with_capacity(events.len());
     for e in events {
-        let at_step = e
-            .get("at_step")
-            .and_then(JsonValue::as_str)?
-            .parse::<u64>()
-            .ok()?;
-        let count = |e: &JsonValue| e.get("count").and_then(JsonValue::as_f64).map(|c| c as u32);
+        let at_step = exact_u64_string(e, "at_step")?;
+        let count = |e: &JsonValue| Some(exact_uint(e, "count", u32::MAX as u64)? as u32);
         let placement = match e.get("placement").and_then(JsonValue::as_str)? {
             "random" => FaultPlacementSpec::Random { count: count(e)? },
             "block" => FaultPlacementSpec::Block {
-                start: e.get("start").and_then(JsonValue::as_f64)? as u32,
+                start: exact_uint(e, "start", u32::MAX as u64)? as u32,
                 count: count(e)?,
             },
             "all" => FaultPlacementSpec::All,
@@ -955,6 +1193,29 @@ fn validate_cell(kind: ProtocolKind, cell: &JsonValue, ctx: &str) -> Result<(), 
             "{ctx}: worst certificate is not rebuildable (variant/seed/spec/faults)"
         ));
     }
+    let certified_json = worst
+        .get("certified")
+        .ok_or_else(|| format!("{ctx}: worst.certified missing (null is explicit in v3)"))?;
+    let certified = certified_from_json(certified_json).ok_or_else(|| {
+        format!("{ctx}: worst.certified is not null or a well-formed certificate")
+    })?;
+    if let Some(cert) = certified {
+        let converged = worst.get("converged").and_then(JsonValue::as_bool);
+        if converged != Some(false) {
+            return Err(format!(
+                "{ctx}: a certified livelock contradicts worst.converged = {converged:?}"
+            ));
+        }
+        if cert.period == 0 {
+            return Err(format!("{ctx}: certified livelock with degenerate period"));
+        }
+        // The closure count is meaningful exactly when the walk finished.
+        if cert.exhaustive != (cert.closure_configs != 0) {
+            return Err(format!(
+                "{ctx}: certified livelock closure_configs must be nonzero iff exhaustive"
+            ));
+        }
+    }
     let rate = cell
         .get("rate")
         .ok_or_else(|| format!("{ctx}: rate curve missing"))?;
@@ -968,14 +1229,48 @@ fn validate_cell(kind: ProtocolKind, cell: &JsonValue, ctx: &str) -> Result<(), 
             "{ctx}: rate.replay_seed missing or not a u64 string"
         ));
     }
+    let multipliers: Vec<u64> = rate
+        .get("multipliers")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("{ctx}: rate.multipliers missing"))?
+        .iter()
+        .map(|m| {
+            m.as_f64()
+                .filter(|x| x.fract() == 0.0 && *x >= 1.0)
+                .map(|x| x as u64)
+        })
+        .collect::<Option<_>>()
+        .ok_or_else(|| format!("{ctx}: rate.multipliers must be positive integers"))?;
+    // The cell's multipliers are the base curve plus zero or more doubling
+    // escalations, never beyond the cap.
+    if multipliers.len() < RATE_MULTIPLIERS.len()
+        || multipliers[..RATE_MULTIPLIERS.len()] != RATE_MULTIPLIERS
+    {
+        return Err(format!(
+            "{ctx}: rate.multipliers must start with the base {RATE_MULTIPLIERS:?}"
+        ));
+    }
+    for pair in multipliers[RATE_MULTIPLIERS.len() - 1..].windows(2) {
+        if pair[1] != pair[0] * 2 {
+            return Err(format!(
+                "{ctx}: escalated multipliers must double ({} after {})",
+                pair[1], pair[0]
+            ));
+        }
+    }
+    if *multipliers.last().unwrap() > MAX_RATE_MULTIPLIER {
+        return Err(format!(
+            "{ctx}: rate.multipliers exceed the cap {MAX_RATE_MULTIPLIER}"
+        ));
+    }
     let fractions = rate
         .get("fractions")
         .and_then(JsonValue::as_array)
         .ok_or_else(|| format!("{ctx}: rate.fractions missing"))?;
-    if fractions.len() != RATE_MULTIPLIERS.len() {
+    if fractions.len() != multipliers.len() {
         return Err(format!(
-            "{ctx}: rate.fractions must have {} entries, found {}",
-            RATE_MULTIPLIERS.len(),
+            "{ctx}: rate.fractions must have {} entries (one per multiplier), found {}",
+            multipliers.len(),
             fractions.len()
         ));
     }
@@ -1036,6 +1331,62 @@ mod tests {
             replays: 3,
             threads: Some(threads),
         }
+    }
+
+    /// The tracked artifact's acceptance pin: the committed full-mode
+    /// `BENCH_stabilization.json` validates against the v3 schema, carries
+    /// at least one **certified** livelock, and every certified cell's
+    /// certificate is reproduced bit-exactly by re-running the certifier on
+    /// the candidate rebuilt from the JSON text — the replay contract,
+    /// extended from "same step count" to "same recurrence and closure".
+    #[test]
+    fn tracked_report_carries_a_replayable_certified_livelock() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_stabilization.json"
+        );
+        let text = std::fs::read_to_string(path).expect("tracked report exists");
+        let parsed = JsonValue::parse(&text).expect("tracked report parses");
+        validate_report(&parsed).expect("tracked report validates");
+        assert_eq!(
+            parsed.get("quick").and_then(JsonValue::as_bool),
+            Some(false),
+            "the tracked report is the full-mode run"
+        );
+        let cells = parsed.get("cells").and_then(JsonValue::as_array).unwrap();
+        let mut certified_cells = 0;
+        for cell in cells {
+            let cert_json = cell.get("worst").and_then(|w| w.get("certified")).unwrap();
+            let Some(expected) = certified_from_json(cert_json).unwrap() else {
+                continue;
+            };
+            certified_cells += 1;
+            let key = |f: &str| cell.get(f).and_then(JsonValue::as_str).unwrap().to_string();
+            let kind = *ProtocolKind::ALL
+                .iter()
+                .find(|k| k.key() == key("protocol"))
+                .unwrap();
+            let graph = *HotloopGraph::ALL
+                .iter()
+                .find(|g| g.key() == key("graph"))
+                .unwrap();
+            let n = cell.get("n").and_then(JsonValue::as_f64).unwrap() as usize;
+            let budget = cell.get("budget").and_then(JsonValue::as_f64).unwrap() as u64;
+            let candidate = certificate_candidate(kind, cell).expect("candidate rebuilds");
+            let again = certify_cell(kind, graph, n, budget, ESCALATION_STEP_CEILING, &candidate)
+                .expect("the certified cell must re-certify from its JSON candidate");
+            assert_eq!(
+                again,
+                expected,
+                "{}/{}/{n}: replayed certificate differs from the artifact",
+                kind.key(),
+                graph.key()
+            );
+        }
+        assert!(
+            certified_cells >= 1,
+            "the tracked report must certify at least one livelock"
+        );
     }
 
     #[test]
@@ -1170,7 +1521,9 @@ mod tests {
                         best_island: 2,
                         search_evaluations: 20,
                         search_seed: 3,
+                        certified: None,
                         rate: RateCurve {
+                            multipliers: RATE_MULTIPLIERS.to_vec(),
                             fractions: vec![0.25, 0.5, 1.0],
                             replay_seed: u64::MAX - 99,
                         },
@@ -1226,10 +1579,80 @@ mod tests {
         let parsed = JsonValue::parse(&broken.to_json_value().to_json()).unwrap();
         let err = validate_report(&parsed).unwrap_err();
         assert!(err.contains("non-decreasing"), "{err}");
-        let mut broken = report;
+        let mut broken = report.clone();
         broken.cells[0].rate.fractions = vec![0.5]; // wrong length
         let parsed = JsonValue::parse(&broken.to_json_value().to_json()).unwrap();
         assert!(validate_report(&parsed).is_err());
+
+        // An escalated cell carries its own multipliers (base + doublings)
+        // and one fraction per multiplier.
+        let mut escalated = report.clone();
+        escalated.cells[0].worst_converged = false;
+        escalated.cells[0].worst_steps = 1_000_000;
+        escalated.cells[0].rate.multipliers = vec![1, 2, 4, 8, 16];
+        escalated.cells[0].rate.fractions = vec![0.0, 0.0, 0.0, 0.0, 0.5];
+        let parsed = JsonValue::parse(&escalated.to_json_value().to_json()).unwrap();
+        validate_report(&parsed).expect("escalated multipliers validate");
+        // ... but a non-doubling or over-cap escalation is rejected.
+        let mut bad = escalated.clone();
+        bad.cells[0].rate.multipliers = vec![1, 2, 4, 12, 16];
+        let parsed = JsonValue::parse(&bad.to_json_value().to_json()).unwrap();
+        assert!(validate_report(&parsed).unwrap_err().contains("double"));
+        let mut bad = escalated.clone();
+        bad.cells[0].rate.multipliers = vec![1, 2, 4, 8, 16, 32];
+        bad.cells[0].rate.fractions = vec![0.0; 6];
+        let parsed = JsonValue::parse(&bad.to_json_value().to_json()).unwrap();
+        assert!(validate_report(&parsed).unwrap_err().contains("cap"));
+
+        // A certified livelock round-trips exactly and is cross-checked
+        // against worst.converged.
+        let cert = CertifiedLivelock {
+            entry_step: 905_986,
+            period: 166_920,
+            config_digest: u64::MAX - 31,
+            phase: 1_064,
+            exhaustive: true,
+            closure_configs: 39,
+        };
+        let mut with_cert = report.clone();
+        with_cert.cells[0].worst_converged = false;
+        with_cert.cells[0].worst_steps = 1_000_000;
+        with_cert.cells[0].certified = Some(cert);
+        let parsed = JsonValue::parse(&with_cert.to_json_value().to_json()).unwrap();
+        validate_report(&parsed).expect("certified cell validates");
+        let cell_json = &parsed.get("cells").and_then(JsonValue::as_array).unwrap()[0];
+        let round = certified_from_json(cell_json.get("worst").unwrap().get("certified").unwrap())
+            .expect("well-formed certificate");
+        assert_eq!(round, Some(cert), "full-width digest survives the text");
+        let mut contradicted = with_cert.clone();
+        contradicted.cells[0].worst_converged = true;
+        let parsed = JsonValue::parse(&contradicted.to_json_value().to_json()).unwrap();
+        let err = validate_report(&parsed).unwrap_err();
+        assert!(err.contains("contradicts"), "{err}");
+
+        // A recurrence-tier certificate (closure inconclusive) validates;
+        // a closure count that disagrees with the exhaustive flag does not.
+        let recurrence_tier = CertifiedLivelock {
+            exhaustive: false,
+            closure_configs: 0,
+            ..cert
+        };
+        let mut recurrence_only = with_cert.clone();
+        recurrence_only.cells[0].certified = Some(recurrence_tier);
+        let parsed = JsonValue::parse(&recurrence_only.to_json_value().to_json()).unwrap();
+        validate_report(&parsed).expect("recurrence-tier cell validates");
+        let cell_json = &parsed.get("cells").and_then(JsonValue::as_array).unwrap()[0];
+        let round = certified_from_json(cell_json.get("worst").unwrap().get("certified").unwrap())
+            .expect("well-formed certificate");
+        assert_eq!(round, Some(recurrence_tier));
+        let mut mismatched = with_cert.clone();
+        mismatched.cells[0].certified = Some(CertifiedLivelock {
+            exhaustive: false,
+            ..cert
+        });
+        let parsed = JsonValue::parse(&mismatched.to_json_value().to_json()).unwrap();
+        let err = validate_report(&parsed).unwrap_err();
+        assert!(err.contains("iff exhaustive"), "{err}");
     }
 
     #[test]
@@ -1245,6 +1668,12 @@ mod tests {
                 blocks: 8,
                 epoch_len: 2294,
             },
+            SchedulerSpec::EpochPartition {
+                blocks: u32::MAX,
+                // Beyond 2^53: the v2 `as f64` round trip silently rounded
+                // this; the decimal-string path must keep it exact.
+                epoch_len: u64::MAX - 5,
+            },
             SchedulerSpec::Greedy { candidates: 4 },
         ] {
             let text = spec_to_json(&spec).to_json();
@@ -1252,6 +1681,66 @@ mod tests {
             assert_eq!(spec_from_json(&parsed), Some(spec));
         }
         assert_eq!(spec_from_json(&JsonValue::object()), None);
+    }
+
+    /// The exactness bugfix pin: integer fields that used to truncate
+    /// through `as f64 … as uN` casts now reject non-integral and
+    /// out-of-range values instead of quietly rebuilding a *different*
+    /// certificate from a corrupted artifact.
+    #[test]
+    fn corrupted_integer_fields_are_rejected_not_truncated() {
+        let weighted = |hot: JsonValue, bias: JsonValue| {
+            JsonValue::object()
+                .with("kind", "weighted")
+                .with("hot_per_mille", hot)
+                .with("bias", bias)
+                .with("seed", "7")
+        };
+        // A fractional hot_per_mille would have truncated 355.7 -> 355.
+        assert_eq!(
+            spec_from_json(&weighted(JsonValue::Number(355.7), JsonValue::Number(1.0))),
+            None
+        );
+        // An out-of-range hot_per_mille would have wrapped mod 2^16.
+        assert_eq!(
+            spec_from_json(&weighted(
+                JsonValue::Number(70_000.0),
+                JsonValue::Number(1.0)
+            )),
+            None
+        );
+        // bias beyond u32 likewise.
+        assert_eq!(
+            spec_from_json(&weighted(JsonValue::Number(1.0), JsonValue::Number(5e9))),
+            None
+        );
+        // epoch-partition: fractional blocks, and epoch_len as a number
+        // (the rounded v2 encoding) instead of the exact string.
+        let epoch = JsonValue::object()
+            .with("kind", "epoch-partition")
+            .with("blocks", JsonValue::Number(3.5))
+            .with("epoch_len", "856");
+        assert_eq!(spec_from_json(&epoch), None);
+        let epoch_num = JsonValue::object()
+            .with("kind", "epoch-partition")
+            .with("blocks", JsonValue::Number(3.0))
+            .with("epoch_len", JsonValue::Number(856.0));
+        assert_eq!(
+            spec_from_json(&epoch_num),
+            None,
+            "v3 requires the exact decimal-string epoch_len"
+        );
+        // Fault placements: a fractional or oversized count/start must fail
+        // the whole plan.
+        let event = |count: JsonValue| {
+            JsonValue::Array(vec![JsonValue::object()
+                .with("at_step", "5")
+                .with("placement", "random")
+                .with("count", count)])
+        };
+        assert_eq!(fault_spec_from_json(&event(JsonValue::Number(3.5))), None);
+        assert_eq!(fault_spec_from_json(&event(JsonValue::Number(1e10))), None);
+        assert!(fault_spec_from_json(&event(JsonValue::Number(17.0))).is_some());
     }
 
     #[test]
@@ -1286,7 +1775,11 @@ mod tests {
         let cell = run_cell(kind, graph, n, &options, &runner);
         assert!(cell.worst_steps as f64 >= cell.mean_steps);
         assert_eq!(cell.trials, 2);
-        assert_eq!(cell.rate.fractions.len(), RATE_MULTIPLIERS.len());
+        assert_eq!(cell.rate.fractions.len(), cell.rate.multipliers.len());
+        assert_eq!(
+            cell.rate.multipliers[..RATE_MULTIPLIERS.len()],
+            RATE_MULTIPLIERS
+        );
         let again = run_cell(kind, graph, n, &options, &runner);
         assert_eq!(cell.worst_steps, again.worst_steps, "cells deterministic");
 
@@ -1312,6 +1805,156 @@ mod tests {
             replay.steps, worst_steps,
             "the serialized certificate must reproduce the recorded step count"
         );
+    }
+
+    /// The explorer acceptance pin: exhaustive exploration of a tiny cell
+    /// proves it stabilizes and yields the exact worst-case stabilization
+    /// time — recovery under an optimal schedule from the worst reachable
+    /// configuration.  Consistency with the sampled search: a fair random
+    /// run from the same initial configuration converges (no reachable
+    /// configuration is doomed) in at least that many steps, and the
+    /// search's adversarial worst — a deliberately *bad* schedule, possibly
+    /// censored at the budget — dominates the exact bound too.  A censored
+    /// sampled worst does not contradict `Stabilizes`: the verdict says
+    /// every reachable configuration *can* recover, not that an adversarial
+    /// schedule must let it.
+    #[test]
+    fn explorer_exact_worst_case_is_consistent_with_the_sampled_search() {
+        let kind = ProtocolKind::Yokota;
+        let graph = HotloopGraph::Ring;
+        let n = 4;
+        let options = tiny_options(1);
+        let budget = stab_budget(kind, n, options.quick);
+        let explored = stab_scenario(kind, graph, 0, budget)
+            .explore(
+                &SweepPoint::new(n, 0xE6),
+                &population::ExploreLimits::default(),
+            )
+            .expect("tiny ring cell explores");
+        let population::ExploreVerdict::Stabilizes {
+            exact_worst_steps, ..
+        } = explored.verdict
+        else {
+            panic!("tiny cell must stabilize, got {:?}", explored.verdict);
+        };
+        // The exact numbers are deterministic properties of the protocol on
+        // the directed 4-ring: 1498 reachable configurations, worst-case
+        // optimal recovery in 11 interactions.
+        assert_eq!(explored.reachable, 1498);
+        assert_eq!(exact_worst_steps, 11);
+        // A fair (random-scheduler, fault-free) run from the same initial
+        // configuration converges, as the Stabilizes verdict demands.
+        let fair = evaluate(kind, graph, n, budget, &Candidate::baseline(0xE6));
+        assert!(fair.converged, "a fair run of a stabilizing cell converges");
+        assert!(
+            fair.steps >= exact_worst_steps,
+            "a fair run ({}) cannot undercut the optimal-recovery bound \
+             ({exact_worst_steps})",
+            fair.steps
+        );
+        let runner = options.runner();
+        let cell = run_cell(kind, graph, n, &options, &runner);
+        assert!(
+            cell.worst_steps >= exact_worst_steps,
+            "sampled worst ({}) cannot undercut the exact optimal-recovery \
+             bound ({exact_worst_steps})",
+            cell.worst_steps
+        );
+    }
+
+    /// The adaptive escalation, pinned with synthetic evaluators so each
+    /// regime is exercised deterministically and without simulation cost.
+    #[test]
+    fn rate_curve_escalates_geometrically_until_a_replay_converges() {
+        let runner = BatchRunner::with_threads(1);
+        let worst = Candidate::baseline(5);
+        let budget = 100u64;
+        // Replays converge at 750 steps: censored at the whole base curve
+        // (max 4 x 100 = 400), so the curve escalates to 8x and stops.
+        let curve = rate_curve_with(budget, &worst, false, 9, 3, u64::MAX, &runner, |_c, b| {
+            Evaluation {
+                steps: 750.min(b),
+                converged: 750 <= b,
+            }
+        });
+        assert_eq!(curve.multipliers, vec![1, 2, 4, 8]);
+        assert_eq!(curve.fractions, vec![0.0, 0.0, 0.0, 1.0]);
+        // Nothing ever converges: escalation runs to the multiplier cap.
+        let stuck = rate_curve_with(budget, &worst, false, 9, 3, u64::MAX, &runner, |_c, b| {
+            Evaluation {
+                steps: b,
+                converged: false,
+            }
+        });
+        assert_eq!(stuck.multipliers, vec![1, 2, 4, 8, 16]);
+        assert!(stuck.fractions.iter().all(|&f| f == 0.0));
+        assert_eq!(*stuck.multipliers.last().unwrap(), MAX_RATE_MULTIPLIER);
+        // The step ceiling blocks the rung that would exceed it:
+        // 8 x 100 = 800 > 500.
+        let capped = rate_curve_with(budget, &worst, false, 9, 3, 500, &runner, |_c, b| {
+            Evaluation {
+                steps: b,
+                converged: false,
+            }
+        });
+        assert_eq!(capped.multipliers, RATE_MULTIPLIERS.to_vec());
+        // A certified livelock skips the escalation outright — the replays
+        // provably cannot converge, so the extra steps would be wasted.
+        let certified = rate_curve_with(budget, &worst, true, 9, 3, u64::MAX, &runner, |_c, b| {
+            Evaluation {
+                steps: b,
+                converged: false,
+            }
+        });
+        assert_eq!(certified.multipliers, RATE_MULTIPLIERS.to_vec());
+    }
+
+    /// The curve's two invariants, on a *mixed* replay population (seeds
+    /// converge at different scales): fractions are monotone non-decreasing
+    /// across multipliers, and the whole curve is bit-identical across
+    /// `run_map` thread counts.
+    #[test]
+    fn rate_curve_fractions_are_monotone_and_thread_independent() {
+        let worst = Candidate::baseline(5);
+        let budget = 100u64;
+        // Replay r converges at 60 x 2^(seed - 9): 60, 120, 240 steps for
+        // the three replay seeds 9, 10, 11 — one per base multiplier rung.
+        let eval = |c: &Candidate, b: u64| {
+            let steps = 60u64.saturating_mul(2u64.pow((c.seed - 9) as u32));
+            Evaluation {
+                steps: steps.min(b),
+                converged: steps <= b,
+            }
+        };
+        let serial = rate_curve_with(
+            budget,
+            &worst,
+            false,
+            9,
+            3,
+            u64::MAX,
+            &BatchRunner::with_threads(1),
+            eval,
+        );
+        for pair in serial.fractions.windows(2) {
+            assert!(
+                pair[1] >= pair[0],
+                "fractions must be non-decreasing: {:?}",
+                serial.fractions
+            );
+        }
+        assert_eq!(serial.fractions, vec![1.0 / 3.0, 2.0 / 3.0, 1.0]);
+        let parallel = rate_curve_with(
+            budget,
+            &worst,
+            false,
+            9,
+            3,
+            u64::MAX,
+            &BatchRunner::with_threads(4),
+            eval,
+        );
+        assert_eq!(serial, parallel, "thread count must not change the curve");
     }
 
     /// The acceptance pin: the whole report pipeline — cells, pools,

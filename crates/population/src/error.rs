@@ -54,6 +54,15 @@ pub enum PopulationError {
         /// The name of the missing builder method.
         missing: &'static str,
     },
+    /// A non-empty fault plan was attached to a scenario that has no
+    /// corruption function, so its fault events could never be executed.
+    MissingCorruption,
+    /// The operation requires a pure protocol, but the protocol registers an
+    /// environment (oracle) hook that mutates states between interactions.
+    OracleUnsupported {
+        /// The operation that cannot run under an oracle.
+        operation: &'static str,
+    },
 }
 
 impl fmt::Display for PopulationError {
@@ -89,6 +98,16 @@ impl fmt::Display for PopulationError {
             PopulationError::ScenarioIncomplete { missing } => write!(
                 f,
                 "scenario builder is missing a required piece: call `{missing}` before `build`"
+            ),
+            PopulationError::MissingCorruption => write!(
+                f,
+                "scenario has a non-empty fault plan but no corruption function: \
+                 call `ScenarioBuilder::corruption` (or `faults`) before running"
+            ),
+            PopulationError::OracleUnsupported { operation } => write!(
+                f,
+                "`{operation}` requires a pure protocol: the environment (oracle) hook \
+                 mutates states between interactions"
             ),
         }
     }
@@ -139,6 +158,13 @@ mod tests {
             (
                 PopulationError::ScenarioIncomplete { missing: "init" },
                 "init",
+            ),
+            (PopulationError::MissingCorruption, "corruption"),
+            (
+                PopulationError::OracleUnsupported {
+                    operation: "explore",
+                },
+                "oracle",
             ),
         ];
         for (err, needle) in cases {

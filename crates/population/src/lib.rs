@@ -76,11 +76,13 @@ pub mod batch;
 pub mod config;
 pub mod convergence;
 pub mod error;
+pub mod explore;
 pub mod faults;
 pub mod graph;
 pub mod init;
 pub mod observer;
 pub mod protocol;
+pub mod recurrence;
 pub mod scenario;
 pub mod schedule;
 pub mod scheduler;
@@ -99,6 +101,10 @@ pub mod prelude {
     pub use crate::config::Configuration;
     pub use crate::convergence::{ConvergenceReport, Criterion, StableOutputs};
     pub use crate::error::{PopulationError, Result};
+    pub use crate::explore::{
+        explore, phase_closure, ArcPhases, ClosureLimits, ClosureOutcome, ExploreLimits,
+        ExploreVerdict, Explored,
+    };
     pub use crate::faults::{FaultInjector, FaultKind};
     pub use crate::graph::{
         ArbitraryGraph, CompleteGraph, DirectedRing, InteractionGraph, UndirectedRing,
@@ -106,10 +112,11 @@ pub mod prelude {
     pub use crate::init::Initializer;
     pub use crate::observer::{LeaderCounter, NoObserver, StepObserver};
     pub use crate::protocol::{LeaderElection, LeaderOutput, Protocol};
+    pub use crate::recurrence::{ConfigDigest, RecurrenceCandidate, RecurrenceDetector};
     pub use crate::scenario::{
-        downcast_config, AnyGraph, DynLeaderElection, DynProtocol, DynScheduler, DynState,
-        FaultEvent, FaultPlan, GraphFamily, Scenario, ScenarioBuilder, ScenarioRun,
-        SchedulerFamily,
+        downcast_config, AnyGraph, DetectedRun, DynLeaderElection, DynProtocol, DynScheduler,
+        DynState, DynStop, FaultEvent, FaultPlan, GraphFamily, PreparedScenario, Scenario,
+        ScenarioBuilder, ScenarioRun, SchedulerFamily,
     };
     pub use crate::schedule::{Interaction, InteractionSeq};
     pub use crate::scheduler::{

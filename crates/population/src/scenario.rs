@@ -84,8 +84,9 @@ use crate::faults::{FaultInjector, FaultKind};
 use crate::graph::{ArbitraryGraph, CompleteGraph, DirectedRing, InteractionGraph, UndirectedRing};
 use crate::observer::LeaderCounter;
 use crate::protocol::{LeaderElection, Protocol};
+use crate::recurrence::{ConfigDigest, RecurrenceCandidate, RecurrenceDetector};
 use crate::schedule::Interaction;
-use crate::scheduler::Scheduler;
+use crate::scheduler::{RandomScheduler, Scheduler};
 use crate::simulation::Simulation;
 use crate::sweep::{SweepGrid, SweepPoint};
 
@@ -543,6 +544,13 @@ pub trait DynScheduler: Send {
         states: &[DynState],
         rng: &mut ChaCha8Rng,
     ) -> Result<Interaction>;
+
+    /// The scheduler's deterministic phase, if it has one (see
+    /// [`Scheduler::phase`]).  Periodic schedulers return their step counter
+    /// modulo the period; memoryless schedulers (the default) return `None`.
+    fn phase(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl<S: Scheduler<AnyGraph>> DynScheduler for S {
@@ -553,6 +561,10 @@ impl<S: Scheduler<AnyGraph>> DynScheduler for S {
         rng: &mut ChaCha8Rng,
     ) -> Result<Interaction> {
         Scheduler::next_interaction(self, graph, rng)
+    }
+
+    fn phase(&self) -> Option<u64> {
+        Scheduler::phase(self)
     }
 }
 
@@ -676,7 +688,7 @@ type PointFn<T> = Arc<dyn Fn(&SweepPoint) -> T + Send + Sync>;
 /// internal typed scratch configuration across checks instead of cloning the
 /// whole population into a fresh allocation every time — cheap enough that
 /// scenarios can shrink their `check_interval` without a quadratic penalty.
-type DynStop = Box<dyn FnMut(&[DynState]) -> bool>;
+pub type DynStop = Box<dyn FnMut(&[DynState]) -> bool>;
 type DynCorrupt = Box<dyn FnMut(&mut ChaCha8Rng, usize) -> DynState>;
 
 /// Everything the erased run path needs for one sweep point, produced by the
@@ -686,6 +698,29 @@ struct PreparedRun {
     config: Configuration<DynState>,
     stop: DynStop,
     corrupt: Option<DynCorrupt>,
+}
+
+/// The erased pieces of one sweep point, exposed without running the
+/// scenario: the protocol, the initial configuration and the stop predicate
+/// exactly as the run loop would see them.  Produced by
+/// [`Scenario::prepare`]; consumed by the exhaustive explorer and the
+/// livelock certifier ([`mod@crate::explore`]).
+pub struct PreparedScenario {
+    /// The erased protocol.
+    pub protocol: DynProtocol,
+    /// The initial configuration (after the scenario's `init`).
+    pub config: Configuration<DynState>,
+    /// The erased stop predicate.
+    pub stop: DynStop,
+}
+
+impl fmt::Debug for PreparedScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PreparedScenario")
+            .field("protocol", &self.protocol)
+            .field("agents", &self.config.len())
+            .finish()
+    }
 }
 
 /// The result of [`Scenario::run_full`]: the convergence report plus the
@@ -747,6 +782,13 @@ impl Scenario {
         &self.scheduler
     }
 
+    /// The graph family this scenario instantiates at every sweep point —
+    /// certification needs it to rebuild the exact arc list (same order as
+    /// the running scheduler saw) outside the run loop.
+    pub fn graph_family(&self) -> &GraphFamily {
+        &self.graph
+    }
+
     /// Returns this scenario with the scheduler family replaced — the hook
     /// the worst-case search uses to re-run one experiment definition under
     /// many adversarial schedulers without rebuilding the whole scenario.
@@ -763,7 +805,9 @@ impl Scenario {
     /// The scenario must be fault-ready: its builder must have set a
     /// corruption function ([`ScenarioBuilder::corruption`] or
     /// [`ScenarioBuilder::faults`]), otherwise running with a non-empty plan
-    /// panics.  An empty `plan` restores the fault-free fast path exactly.
+    /// reports [`PopulationError::MissingCorruption`] through the fallible
+    /// run methods (and the infallible ones panic with that error).  An
+    /// empty `plan` restores the fault-free fast path exactly.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.plan = Some(Arc::new(move |_pt| plan.clone()));
         self
@@ -774,9 +818,9 @@ impl Scenario {
     /// # Panics
     ///
     /// Panics if the graph family cannot be built for `point.n` (e.g.
-    /// `n < 2`), if a fault plan is set without a corruption function, or if
-    /// a deterministic custom scheduler exhausts mid-run (use
-    /// [`Scenario::try_run`] to handle that as a typed error).
+    /// `n < 2`), if a non-empty fault plan is set without a corruption
+    /// function, or if a deterministic custom scheduler exhausts mid-run
+    /// (use [`Scenario::try_run`] to handle these as typed errors).
     pub fn run(&self, point: &SweepPoint) -> ConvergenceReport {
         self.run_full(point).report
     }
@@ -799,7 +843,9 @@ impl Scenario {
     /// Propagates graph-construction errors and scheduler errors — in
     /// particular [`PopulationError::ScheduleExhausted`] when a
     /// deterministic custom scheduler runs out of interactions before the
-    /// stop criterion holds or the budget is spent.
+    /// stop criterion holds or the budget is spent — and reports
+    /// [`PopulationError::MissingCorruption`] when a non-empty fault plan is
+    /// set without a corruption function.
     pub fn try_run(&self, point: &SweepPoint) -> Result<ConvergenceReport> {
         Ok(self.try_run_full(point)?.report)
     }
@@ -809,11 +855,6 @@ impl Scenario {
     /// # Errors
     ///
     /// See [`Scenario::try_run`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if a fault plan is set without a corruption function (the
-    /// builder always sets both together).
     pub fn try_run_full(&self, point: &SweepPoint) -> Result<ScenarioRun> {
         let prepared = (self.prepare)(point);
         let graph = self.graph.build(point.n)?;
@@ -836,14 +877,14 @@ impl Scenario {
                     sim.run_until(|_p, c| stop(c.states()), check_interval, max_steps)
                 } else {
                     let mut faults =
-                        FaultSchedule::new(plan, prepared.corrupt, (self.fault_seed)(point));
+                        FaultSchedule::new(plan, prepared.corrupt, (self.fault_seed)(point))?;
                     run_with_faults(&mut sim, &mut stop, check_interval, max_steps, &mut faults)
                 }
             }
             SchedulerFamily::Custom { build, .. } => {
                 let mut scheduler = build(point, sim.graph());
                 let mut faults =
-                    FaultSchedule::new(plan, prepared.corrupt, (self.fault_seed)(point));
+                    FaultSchedule::new(plan, prepared.corrupt, (self.fault_seed)(point))?;
                 run_scheduled(
                     &mut sim,
                     &mut *scheduler,
@@ -948,7 +989,7 @@ impl Scenario {
             self.plan.as_ref().map(|f| f(point)).unwrap_or_default(),
             prepared.corrupt,
             (self.fault_seed)(point),
-        );
+        )?;
         let sample_every = sample_every.max(1);
         let incremental = !sim.environment_active();
         faults.fire_due(0, &mut sim);
@@ -990,6 +1031,231 @@ impl Scenario {
         }
         Ok(out)
     }
+
+    /// Prepares the erased pieces for one sweep point without running: the
+    /// protocol, the initial configuration and the stop predicate, exactly
+    /// as the run loop would see them.  This is the entry point for the
+    /// exhaustive explorer and the livelock certifier, which need the run
+    /// loop's inputs without its scheduler.
+    pub fn prepare(&self, point: &SweepPoint) -> PreparedScenario {
+        let PreparedRun {
+            protocol,
+            config,
+            stop,
+            ..
+        } = (self.prepare)(point);
+        PreparedScenario {
+            protocol,
+            config,
+            stop,
+        }
+    }
+
+    /// Exhaustively explores the reachable configuration space at one sweep
+    /// point (see [`crate::explore::explore`]): verifies stabilization,
+    /// extracts the exact worst-case stabilization time, or produces a
+    /// counterexample trace.  Intended for small populations (n ≤ ~8) whose
+    /// reachable space fits within `limits`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction errors, and returns
+    /// [`PopulationError::OracleUnsupported`] for protocols with an
+    /// environment hook (the explorer models interactions only, so an
+    /// oracle's out-of-band mutations would make its verdict unsound).
+    pub fn explore(
+        &self,
+        point: &SweepPoint,
+        limits: &crate::explore::ExploreLimits,
+    ) -> Result<crate::explore::Explored> {
+        let mut prepared = self.prepare(point);
+        if prepared.protocol.uses_oracle() {
+            return Err(PopulationError::OracleUnsupported {
+                operation: "Scenario::explore",
+            });
+        }
+        let graph = self.graph.build(point.n)?;
+        Ok(crate::explore::explore(
+            &prepared.protocol,
+            &graph.arcs(),
+            &prepared.config,
+            &mut prepared.stop,
+            limits,
+        ))
+    }
+
+    /// Runs the scenario at one sweep point with configuration-recurrence
+    /// detection attached to the step loop (see [`crate::recurrence`]).
+    ///
+    /// The run has exactly the semantics of [`Scenario::try_run_full`] — the
+    /// same scheduler choices, RNG stream, fault events and stop-check
+    /// boundaries — except that every step additionally feeds an incremental
+    /// configuration digest into a Brent-schedule [`RecurrenceDetector`].
+    /// When a configuration provably repeats at the same scheduler
+    /// [`DynScheduler::phase`], the run aborts early and the confirmed
+    /// [`RecurrenceCandidate`] is returned alongside the (unconverged)
+    /// report.
+    ///
+    /// A recurrence alone does not certify a livelock for stochastic
+    /// schedulers — the run may simply have revisited a configuration by
+    /// chance; pair the candidate with a closure check
+    /// ([`crate::explore::phase_closure`]) to certify.  The detector is
+    /// disarmed while fault events are still pending (a future fault would
+    /// perturb any detected cycle) and reset whenever one fires, so a
+    /// candidate always describes the fault-free suffix after the last
+    /// fired event; `faults_pending` reports events that remained unfired
+    /// when the run ended — scheduled beyond the executed horizon — which
+    /// still invalidates any livelock conclusion about the run.
+    ///
+    /// Detection is active only when the scheduler reports a deterministic
+    /// [`DynScheduler::phase`]: memoryless schedulers revisit configurations
+    /// by chance at almost every step (any interaction that changes no state
+    /// is a period-1 "recurrence"), so a candidate would be meaningless
+    /// there.  For protocols with an environment hook the digest cannot be
+    /// maintained incrementally, so detection is likewise disabled.  In both
+    /// cases `recurrence` is always `None` and the run itself is unaffected.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scenario::try_run`].
+    pub fn try_run_detecting(&self, point: &SweepPoint) -> Result<DetectedRun> {
+        let prepared = (self.prepare)(point);
+        let graph = self.graph.build(point.n)?;
+        let mut sim = Simulation::new(
+            prepared.protocol,
+            graph,
+            prepared.config,
+            (self.sim_seed)(point),
+        );
+        let check_interval = (self.check_interval)(point).max(1);
+        let max_steps = (self.max_steps)(point);
+        let plan = self.plan.as_ref().map(|f| f(point)).unwrap_or_default();
+        let mut faults = FaultSchedule::new(plan, prepared.corrupt, (self.fault_seed)(point))?;
+        let mut scheduler: Box<dyn DynScheduler> = match &self.scheduler {
+            // The boxed random scheduler consumes the RNG exactly like the
+            // inlined fast path (pinned by
+            // `explicit_random_scheduler_is_bit_identical_to_the_fast_path`),
+            // so detection does not perturb the run it observes.
+            SchedulerFamily::Random => Box::new(RandomScheduler::new()),
+            SchedulerFamily::Custom { build, .. } => build(point, sim.graph()),
+        };
+        let mut stop = prepared.stop;
+        // Detection needs two preconditions.  The environment hook rewrites
+        // states out-of-band inside each step, so the incremental digest is
+        // only sound for pure protocols.  And a memoryless scheduler
+        // (phase `None`) revisits configurations by chance constantly —
+        // every interaction that happens not to change any state is a
+        // period-1 "recurrence" — so detection is only meaningful for
+        // schedulers with a deterministic phase.
+        let detecting = !sim.environment_active() && scheduler.phase().is_some();
+        let stop_name = &self.stop_name;
+        let make_report = |converged_at: Option<u64>, steps_executed: u64| ConvergenceReport {
+            converged_at,
+            steps_executed,
+            max_steps,
+            check_interval,
+            criterion: std::borrow::Cow::Owned(stop_name.clone()),
+        };
+
+        faults.fire_due(0, &mut sim);
+        let mut digest = ConfigDigest::new(sim.config().states());
+        let mut detector = RecurrenceDetector::new();
+        if stop(sim.config().states()) {
+            let faults_pending = faults.pending();
+            return Ok(DetectedRun {
+                report: make_report(Some(sim.steps()), 0),
+                recurrence: None,
+                faults_pending,
+                sim,
+            });
+        }
+        let mut executed = 0u64;
+        let mut recurrence = None;
+        'run: while executed < max_steps {
+            let next_check = ((executed / check_interval) + 1) * check_interval;
+            let target = faults.clip(executed, next_check.min(max_steps));
+            // A recurrence confirmed while fault events are still pending
+            // proves nothing — a future fault would perturb the cycle — so
+            // the detector stays disarmed until the schedule is exhausted
+            // and only the fault-free suffix is ever searched.  Pending
+            // status is segment-constant: `clip` ends every segment at the
+            // next fault step, and events fire only between segments.
+            let armed = detecting && !faults.pending();
+            for _ in executed..target {
+                if detecting {
+                    sim.step_chosen_by_observed(&mut digest, |g, c, rng| {
+                        scheduler.schedule(g, c.states(), rng)
+                    })?;
+                    if armed {
+                        if let Some(candidate) = detector.observe(
+                            digest.value(),
+                            scheduler.phase(),
+                            sim.steps(),
+                            sim.config(),
+                        ) {
+                            if stop(sim.config().states()) {
+                                // The recurrent configuration satisfies the
+                                // stop predicate: the run converged between
+                                // two check boundaries (a stable fixed point
+                                // "recurs" trivially).  Let the boundary
+                                // check report it exactly like the plain run
+                                // would.
+                                detector.reset();
+                            } else {
+                                recurrence = Some(candidate);
+                                executed = sim.steps();
+                                break 'run;
+                            }
+                        }
+                    }
+                } else {
+                    sim.step_chosen_by(|g, c, rng| scheduler.schedule(g, c.states(), rng))?;
+                }
+            }
+            executed = target;
+            if faults.fire_due(executed, &mut sim) && detecting {
+                digest.resync(sim.config().states());
+                detector.reset();
+            }
+            let at_boundary = executed == next_check || executed == max_steps;
+            if at_boundary && stop(sim.config().states()) {
+                let faults_pending = faults.pending();
+                return Ok(DetectedRun {
+                    report: make_report(Some(sim.steps()), executed),
+                    recurrence: None,
+                    faults_pending,
+                    sim,
+                });
+            }
+        }
+        let faults_pending = faults.pending();
+        Ok(DetectedRun {
+            report: make_report(None, executed),
+            recurrence,
+            faults_pending,
+            sim,
+        })
+    }
+}
+
+/// The result of [`Scenario::try_run_detecting`]: the convergence report,
+/// the confirmed configuration recurrence (if one fired), and the finished
+/// simulation.
+#[derive(Debug)]
+pub struct DetectedRun {
+    /// The convergence report of the run (unconverged whenever a recurrence
+    /// aborted it early).
+    pub report: ConvergenceReport,
+    /// The confirmed recurrence, if one fired before convergence or the
+    /// budget.
+    pub recurrence: Option<RecurrenceCandidate>,
+    /// `true` if fault events were still pending when the run ended.  A
+    /// pending event means a future fault could still break a detected
+    /// cycle, so certification must be refused.
+    pub faults_pending: bool,
+    /// The simulation in its final state (erased; downcast the configuration
+    /// with [`downcast_config`] for typed inspection).
+    pub sim: Simulation<DynProtocol, AnyGraph>,
 }
 
 /// The pending half of a fault plan during a run: which events are still due,
@@ -1003,26 +1269,29 @@ struct FaultSchedule {
 }
 
 impl FaultSchedule {
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the plan is non-empty but no corruption function was given
-    /// (the builder always sets both together).
-    fn new(plan: FaultPlan, corrupt: Option<DynCorrupt>, fault_seed: u64) -> Self {
+    /// Returns [`PopulationError::MissingCorruption`] if the plan is
+    /// non-empty but no corruption function was given, so the problem
+    /// surfaces as a typed error before the run loop starts instead of a
+    /// panic deep inside it.
+    fn new(plan: FaultPlan, corrupt: Option<DynCorrupt>, fault_seed: u64) -> Result<Self> {
         let driver = if plan.is_empty() {
             None
         } else {
-            Some((
-                corrupt.expect(
-                    "a fault plan requires a corruption function (ScenarioBuilder::faults)",
-                ),
-                FaultInjector::new(fault_seed),
-            ))
+            let corrupt = corrupt.ok_or(PopulationError::MissingCorruption)?;
+            Some((corrupt, FaultInjector::new(fault_seed)))
         };
-        FaultSchedule {
+        Ok(FaultSchedule {
             events: plan.events().to_vec(),
             driver,
             next: 0,
-        }
+        })
+    }
+
+    /// `true` while events remain that have not fired yet.
+    fn pending(&self) -> bool {
+        self.next < self.events.len()
     }
 
     /// Clips a burst target so the next pending event is not overshot (the
@@ -2088,6 +2357,245 @@ mod tests {
         assert!(matches!(
             err,
             PopulationError::ScheduleExhausted { available: 1 }
+        ));
+    }
+
+    #[test]
+    fn fault_plan_without_corruption_is_a_typed_error() {
+        // Regression: a non-empty plan on a scenario that never set a
+        // corruption function used to panic deep inside the run loop; it
+        // must surface as PopulationError::MissingCorruption instead.
+        let plan = FaultPlan::new().at(5, FaultKind::CorruptAll);
+        let not_ready = fratricide_scenario().with_fault_plan(plan.clone());
+        let point = SweepPoint::new(8, 3);
+        assert!(matches!(
+            not_ready.try_run(&point),
+            Err(PopulationError::MissingCorruption)
+        ));
+        assert!(matches!(
+            not_ready.try_leader_trajectory(&point, 100, 10),
+            Err(PopulationError::MissingCorruption)
+        ));
+        assert!(matches!(
+            not_ready.try_run_detecting(&point),
+            Err(PopulationError::MissingCorruption)
+        ));
+        // The custom-scheduler path raises the same error.
+        use crate::scheduler::RandomScheduler;
+        let custom = fratricide_scenario()
+            .with_scheduler(SchedulerFamily::custom("random-boxed", |_pt, _g| {
+                Box::new(RandomScheduler::new())
+            }))
+            .with_fault_plan(plan);
+        assert!(matches!(
+            custom.try_run(&point),
+            Err(PopulationError::MissingCorruption)
+        ));
+        // An empty plan needs no corruption function and keeps running.
+        let empty = fratricide_scenario().with_fault_plan(FaultPlan::new());
+        assert!(empty.try_run(&point).unwrap().converged());
+    }
+
+    /// A deterministic phase-carrying scheduler for detection tests: cycles
+    /// through a fixed arc list, reporting its position as the phase.
+    #[derive(Clone, Debug)]
+    struct CyclicScheduler {
+        arcs: Vec<Interaction>,
+        step: u64,
+    }
+    impl<G: InteractionGraph> Scheduler<G> for CyclicScheduler {
+        fn next_interaction<R: rand::Rng + ?Sized>(
+            &mut self,
+            _graph: &G,
+            _rng: &mut R,
+        ) -> Result<Interaction> {
+            let arc = self.arcs[(self.step % self.arcs.len() as u64) as usize];
+            self.step += 1;
+            Ok(arc)
+        }
+        fn phase(&self) -> Option<u64> {
+            Some(self.step % self.arcs.len() as u64)
+        }
+    }
+
+    fn cyclic_family() -> SchedulerFamily {
+        SchedulerFamily::custom("cyclic", |_pt, g: &AnyGraph| {
+            Box::new(CyclicScheduler {
+                arcs: g.arcs(),
+                step: 0,
+            })
+        })
+    }
+
+    #[test]
+    fn detection_run_reports_exactly_like_the_plain_run() {
+        // A converging run under a deterministic scheduler: detection rides
+        // along without perturbing anything and never fires.
+        let scenario = fratricide_scenario().with_scheduler(cyclic_family());
+        let point = SweepPoint::new(8, 3);
+        let plain = scenario.try_run(&point).unwrap();
+        let detected = scenario.try_run_detecting(&point).unwrap();
+        assert_eq!(detected.report, plain);
+        assert!(detected.report.converged());
+        assert!(detected.recurrence.is_none());
+        assert!(!detected.faults_pending);
+        // The random fast path likewise (detection disabled: no phase).
+        let random = fratricide_scenario();
+        let detected = random.try_run_detecting(&point).unwrap();
+        assert_eq!(detected.report, random.try_run(&point).unwrap());
+        assert!(detected.recurrence.is_none());
+    }
+
+    #[test]
+    fn detection_certifies_a_dead_configuration_livelock_end_to_end() {
+        // All-followers is a fixed point of Fratricide that never elects: a
+        // true livelock under any scheduler.  The detector must confirm a
+        // recurrence whose period divides the scheduler rotation, abort the
+        // run early, and the phase closure must certify it.
+        let scenario = ScenarioBuilder::new("dead", |_pt: &SweepPoint| Fratricide)
+            .graph(GraphFamily::Complete)
+            .init(|_p, pt| Configuration::uniform(pt.n, false))
+            .stop_when("unique-leader", |p: &Fratricide, c| {
+                p.has_unique_leader(c.states())
+            })
+            .check_every(|_pt| 64)
+            .step_budget(|_pt| 1_000_000)
+            .scheduler(cyclic_family())
+            .build()
+            .unwrap();
+        let point = SweepPoint::new(4, 9);
+        let detected = scenario.try_run_detecting(&point).unwrap();
+        assert!(!detected.report.converged());
+        assert!(
+            detected.report.steps_executed < 1_000_000,
+            "a confirmed recurrence must abort the run early (ran {} steps)",
+            detected.report.steps_executed
+        );
+        let candidate = detected.recurrence.expect("the dead config must recur");
+        let rotation = detected.sim.graph().num_arcs() as u64;
+        assert_eq!(candidate.period % rotation, 0);
+        assert!(candidate.phase.is_some());
+        assert!(!detected.faults_pending);
+
+        // Close the loop: the recurrent configuration is certified stop-free
+        // under the exact product system of the cyclic scheduler (one
+        // single-arc group per rotation position).
+        let mut prepared = scenario.prepare(&point);
+        let groups = detected
+            .sim
+            .graph()
+            .arcs()
+            .into_iter()
+            .map(|arc| vec![arc])
+            .collect();
+        let outcome = crate::explore::phase_closure(
+            &prepared.protocol,
+            &crate::explore::ArcPhases::cyclic(groups, 1),
+            &candidate.config,
+            candidate.phase.unwrap(),
+            &mut prepared.stop,
+            &crate::explore::ClosureLimits::default(),
+        );
+        assert!(outcome.certifies_livelock());
+        assert_eq!(outcome.configs, 1, "a dead configuration closes on itself");
+    }
+
+    #[test]
+    fn detection_is_disarmed_while_fault_events_are_pending() {
+        // A dead start recurs immediately, but a fault far in the future
+        // will revive the population — so the detector must NOT abort on the
+        // pre-fault cycle.  It stays disarmed until the schedule is
+        // exhausted, the revival fires at step 900000, and the run then
+        // converges normally.
+        let dead_then = |fault_step: u64, corrupt_to: bool| {
+            ScenarioBuilder::new("dead-then-faulted", |_pt: &SweepPoint| Fratricide)
+                .graph(GraphFamily::Complete)
+                .init(|_p, pt| Configuration::uniform(pt.n, false))
+                .stop_when("unique-leader", |p: &Fratricide, c| {
+                    p.has_unique_leader(c.states())
+                })
+                .check_every(|_pt| 64)
+                .step_budget(|_pt| 1_000_000)
+                .scheduler(cyclic_family())
+                .faults(
+                    move |_pt| FaultPlan::new().at(fault_step, FaultKind::CorruptAll),
+                    move |_p, _rng, _i| corrupt_to,
+                )
+                .build()
+                .unwrap()
+        };
+        let point = SweepPoint::new(4, 9);
+        let revived = dead_then(900_000, true).try_run_detecting(&point).unwrap();
+        assert!(revived.recurrence.is_none(), "pre-fault cycles are skipped");
+        assert!(revived.report.converged(), "the revival elects a leader");
+        assert!(revived.report.converged_at.unwrap() >= 900_000);
+        assert!(!revived.faults_pending);
+
+        // An event scheduled beyond the budget never fires: the detector is
+        // disarmed for the whole run and faults_pending still gates any
+        // conclusion a caller might draw from the censored report.
+        let beyond = dead_then(2_000_000, true)
+            .try_run_detecting(&point)
+            .unwrap();
+        assert!(beyond.recurrence.is_none());
+        assert!(!beyond.report.converged());
+        assert_eq!(beyond.report.steps_executed, 1_000_000);
+        assert!(beyond.faults_pending);
+
+        // A fault that leaves the population dead: the candidate describes
+        // the fault-free suffix (entry at or after the event) and nothing is
+        // pending, so this one IS certification material.
+        let dead_after = dead_then(1_000, false).try_run_detecting(&point).unwrap();
+        let candidate = dead_after
+            .recurrence
+            .expect("the post-fault dead config must recur");
+        assert!(candidate.entry_step >= 1_000);
+        assert!(!dead_after.faults_pending);
+        assert!(
+            dead_after.report.steps_executed < 1_000_000,
+            "a post-fault recurrence still aborts the run early"
+        );
+    }
+
+    #[test]
+    fn scenario_explore_verifies_fratricide_exactly() {
+        let result = fratricide_scenario()
+            .explore(
+                &SweepPoint::new(3, 0),
+                &crate::explore::ExploreLimits::default(),
+            )
+            .unwrap();
+        assert_eq!(result.reachable, 7);
+        match result.verdict {
+            crate::explore::ExploreVerdict::Stabilizes {
+                exact_worst_steps, ..
+            } => assert_eq!(exact_worst_steps, 2),
+            ref other => panic!("expected Stabilizes, got {other:?}"),
+        }
+        // Oracle protocols are rejected with a typed error.
+        let oracle = ScenarioBuilder::new("oracle", |_pt: &SweepPoint| OracleSpawner)
+            .graph(GraphFamily::Complete)
+            .init(|_p, pt| {
+                Configuration::uniform(
+                    pt.n,
+                    OracleState {
+                        leader: false,
+                        no_leader: false,
+                    },
+                )
+            })
+            .stop_when("has-leader", |p: &OracleSpawner, c| {
+                p.count_leaders(c.states()) >= 1
+            })
+            .step_budget(|_pt| 1_000)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            oracle.explore(
+                &SweepPoint::new(3, 0),
+                &crate::explore::ExploreLimits::default()
+            ),
+            Err(PopulationError::OracleUnsupported { .. })
         ));
     }
 }

@@ -28,6 +28,17 @@ pub trait Scheduler<G: InteractionGraph>: Send {
     fn remaining(&self) -> Option<u64> {
         None
     }
+
+    /// The scheduler's deterministic phase, if it has one: a value that,
+    /// together with the current configuration, determines the distribution
+    /// of every future choice.  Periodic schedulers return their step counter
+    /// modulo the period; memoryless schedulers (the default) return `None`.
+    ///
+    /// Consumed by configuration-recurrence detection: a configuration seen
+    /// twice at the same phase is a recurrence candidate.
+    fn phase(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// The uniformly random scheduler of the population-protocol model: at each

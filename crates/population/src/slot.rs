@@ -98,6 +98,9 @@ struct StateOps {
     /// Debug-formats the stored value.  Safety: `storage` must hold a live
     /// value of this type.
     debug: unsafe fn(&Storage, &mut fmt::Formatter<'_>) -> fmt::Result,
+    /// FNV-1a digest of the stored value's `Debug` byte stream, salted.
+    /// Safety: `storage` must hold a live value of this type.
+    digest: unsafe fn(&Storage, u64) -> u64,
 }
 
 /// Per-type ops-table factory: `&Ops::<S>::TABLE` is the promoted `'static`
@@ -112,6 +115,7 @@ impl<S: SlotState> Ops<S> {
         clone: clone_storage::<S>,
         eq: eq_storage::<S>,
         debug: debug_storage::<S>,
+        digest: digest_storage::<S>,
     };
 }
 
@@ -193,6 +197,43 @@ unsafe fn debug_storage<S: SlotState>(
     write!(f, "{:?}", unsafe { &*value_ptr::<S>(storage) })
 }
 
+/// FNV-1a over the bytes a value writes through `fmt::Write` — the
+/// no-allocation hasher behind the `digest` op (the `Debug` output is hashed
+/// as it is produced, never materialized).
+struct FnvWriter {
+    hash: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl FnvWriter {
+    fn mix_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.hash ^= u64::from(byte);
+            self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+impl fmt::Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.mix_bytes(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Ops-table entry: digest.  Safety contract as on [`StateOps::digest`].
+unsafe fn digest_storage<S: SlotState>(storage: &Storage, salt: u64) -> u64 {
+    use fmt::Write as _;
+    let mut writer = FnvWriter { hash: FNV_OFFSET };
+    writer.mix_bytes(&salt.to_le_bytes());
+    // SAFETY: the storage holds a live `S` per the contract.
+    write!(writer, "{:?}", unsafe { &*value_ptr::<S>(storage) })
+        .expect("hashing a Debug stream cannot fail");
+    writer.hash
+}
+
 /// A type-erased per-agent state with inline small-state storage.
 ///
 /// Satisfies the [`crate::protocol::Protocol::State`] bounds, so
@@ -258,6 +299,20 @@ impl DynState {
         } else {
             None
         }
+    }
+
+    /// A salted 64-bit digest of the stored value, computed by streaming its
+    /// `Debug` output through an FNV-1a hasher (no allocation).
+    ///
+    /// Equal states always produce equal digests (derived `Debug` output is a
+    /// deterministic function of the value); unequal states *may* collide, so
+    /// digests are recurrence **candidates** only — callers must confirm with
+    /// `==` before trusting a match.  The digest is meaningful only when the
+    /// state's `Debug` representation is injective, which every
+    /// `#[derive(Debug)]` state satisfies.
+    pub fn digest(&self, salt: u64) -> u64 {
+        // SAFETY: the storage holds a live value of the ops table's type.
+        unsafe { (self.ops.digest)(&self.storage, salt) }
     }
 
     /// Mutably borrows the underlying state if it has type `S`.
@@ -347,6 +402,34 @@ mod tests {
         assert!(DynState::new(5u32).is_inline());
         assert!(DynState::new(()).is_inline());
         assert!(!DynState::new(Big([0; 16])).is_inline());
+    }
+
+    #[test]
+    fn digests_agree_for_equal_states_and_salt_is_load_bearing() {
+        // Inline path.
+        assert_eq!(
+            DynState::new(42u32).digest(7),
+            DynState::new(42u32).digest(7)
+        );
+        assert_ne!(
+            DynState::new(42u32).digest(7),
+            DynState::new(43u32).digest(7)
+        );
+        assert_ne!(
+            DynState::new(42u32).digest(0),
+            DynState::new(42u32).digest(1),
+            "the salt must perturb the digest"
+        );
+        // Boxed path.
+        let big = Big([3; 16]);
+        assert_eq!(
+            DynState::new(big.clone()).digest(9),
+            DynState::new(big.clone()).digest(9)
+        );
+        assert_ne!(
+            DynState::new(big).digest(9),
+            DynState::new(Big([4; 16])).digest(9)
+        );
     }
 
     #[test]
