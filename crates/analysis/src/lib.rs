@@ -14,12 +14,15 @@
 //! * [`series`] — `(n, value)` data series with CSV export;
 //! * [`json`] — a minimal JSON value/emitter/parser used for the binaries'
 //!   machine-readable `--json` output (the offline build cannot use
-//!   `serde_json`).
+//!   `serde_json`);
+//! * [`digest`] — canonical-JSON content digests (128-bit FNV-1a), the
+//!   cache keys of the `ssle-fabric` experiment fabric.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod digest;
 pub mod fit;
 pub mod json;
 pub mod lottery;
@@ -27,6 +30,7 @@ pub mod series;
 pub mod summary;
 pub mod table;
 
+pub use digest::{canonical_json, content_digest};
 pub use fit::{fit_models, fit_power_law, FitResult, ScalingModel};
 pub use json::JsonValue;
 pub use lottery::LotteryGame;

@@ -7,68 +7,165 @@
 //! ```text
 //! cargo run --release -p ssle-bench --bin hotloop_report
 //! cargo run --release -p ssle-bench --bin hotloop_report -- --quick --json
+//! cargo run --release -p ssle-bench --bin hotloop_report -- --quick --fabric 2 --resume
 //! ```
+//!
+//! `--fabric N` runs the case grid across N worker subprocesses (this
+//! binary re-invoked with `--worker`) through the `ssle-fabric`
+//! coordinator, with crash retry and a content-addressed result cache
+//! under `.fabric-cache/`; `--resume` reuses cached cases.  Timings are
+//! wall-clock, so — unlike the stabilization report — a fabric run is
+//! *schema*-identical but not byte-identical to an in-process rerun; the
+//! cache is what makes interrupted measurement campaigns resumable.
 //!
 //! Flags:
 //!
 //! ```text
-//! --quick       reduced step count (CI smoke); same case grid and schema
-//! --out PATH    output file (default: BENCH_hotloop.json)
-//! --json        also print the JSON document to stdout
-//! --help        print usage
+//! --quick         reduced step count (CI smoke); same case grid and schema
+//! --fabric N      run the grid across N worker subprocesses
+//! --resume        with --fabric: reuse cached case results
+//! --cache-dir P   with --fabric: cache directory (default .fabric-cache)
+//! --worker        run as a fabric worker (stdin/stdout line protocol)
+//! --out PATH      output file (default: BENCH_hotloop.json)
+//! --json          also print the JSON document to stdout
+//! --help          print usage
 //! ```
 //!
 //! The binary self-validates: after writing, it re-reads the file, parses it
 //! with `analysis::json` and checks it against the `hotloop-bench/v1`
 //! schema, exiting non-zero on any mismatch.
 
+use ssle_bench::fabric::{hotloop_handler, run_hotloop_fabric, FabricConfig};
 use ssle_bench::hotloop;
+use ssle_fabric::{worker_loop, WorkerCommand};
 
 const USAGE: &str = "\
 options:
   --quick        reduced time budget (CI smoke); same case grid and schema
+  --fabric N     run the grid across N worker subprocesses (coordinator mode)
+  --resume       with --fabric: reuse cached case results
+  --cache-dir P  with --fabric: result-cache directory (default .fabric-cache)
+  --worker       run as a fabric worker: read work units on stdin, write
+                 results on stdout (used by --fabric)
   --out PATH     output file (default: BENCH_hotloop.json, or
                  BENCH_hotloop.quick.json under --quick so a local smoke run
                  never clobbers the committed full-mode trajectory)
   --json         also print the JSON document to stdout
   --help         print this message";
 
-fn main() {
-    let mut quick = false;
-    let mut json = false;
-    let mut out: Option<String> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
+/// Parsed flags of one invocation.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct Args {
+    quick: bool,
+    json: bool,
+    out: Option<String>,
+    worker: bool,
+    fabric: Option<usize>,
+    resume: bool,
+    cache_dir: Option<String>,
+}
+
+/// Parses the command line.  `Ok(None)` means `--help` was requested.
+fn parse_args<I>(args: I) -> Result<Option<Args>, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut out = Args::default();
+    let mut iter = args.into_iter();
+    let value_of = |flag: &str, iter: &mut dyn Iterator<Item = String>| {
+        iter.next()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--quick" => quick = true,
-            "--json" => json = true,
-            "--out" => match args.next() {
-                Some(path) => out = Some(path),
-                None => {
-                    eprintln!("error: --out requires a value\n{USAGE}");
-                    std::process::exit(2);
-                }
+            "--quick" => out.quick = true,
+            "--json" => out.json = true,
+            "--worker" => out.worker = true,
+            "--resume" => out.resume = true,
+            "--out" => out.out = Some(value_of("--out", &mut iter)?),
+            "--cache-dir" => out.cache_dir = Some(value_of("--cache-dir", &mut iter)?),
+            "--fabric" => match value_of("--fabric", &mut iter)?.parse() {
+                Ok(w) if w >= 1 => out.fabric = Some(w),
+                _ => return Err("--fabric requires a number >= 1".to_string()),
             },
-            "--help" | "-h" => {
-                println!("{USAGE}");
-                return;
-            }
-            other => {
-                eprintln!("error: unknown option {other:?}\n{USAGE}");
-                std::process::exit(2);
-            }
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown option {other:?}")),
         }
     }
-    let out = out.unwrap_or_else(|| {
-        String::from(if quick {
+    if out.worker && (out.fabric.is_some() || out.json || out.out.is_some()) {
+        return Err("--worker is a pure stdin/stdout mode".to_string());
+    }
+    if (out.resume || out.cache_dir.is_some()) && out.fabric.is_none() {
+        return Err("--resume/--cache-dir only apply to --fabric runs".to_string());
+    }
+    Ok(Some(out))
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    if args.worker {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        if let Err(e) = worker_loop(stdin.lock(), stdout.lock(), hotloop_handler()) {
+            eprintln!("hotloop_report --worker: {e}");
+            std::process::exit(2);
+        }
+        return;
+    }
+
+    let out = args.out.clone().unwrap_or_else(|| {
+        String::from(if args.quick {
             "BENCH_hotloop.quick.json"
         } else {
             "BENCH_hotloop.json"
         })
     });
 
-    let report = hotloop::run(quick);
-    let text = report.to_json_value().to_json();
+    let (text, markdown, summary) = match args.fabric {
+        None => {
+            let report = hotloop::run(args.quick);
+            let summary = format!(
+                "{} cases, {:.2}s timed budget each",
+                report.cases.len(),
+                report.budget_secs
+            );
+            (
+                report.to_json_value().to_json(),
+                report.to_markdown(),
+                summary,
+            )
+        }
+        Some(workers) => {
+            let mut config = FabricConfig::new(workers, args.quick);
+            config.resume = args.resume;
+            if let Some(dir) = &args.cache_dir {
+                config.cache_dir = dir.into();
+            }
+            let command = WorkerCommand::current_exe(&["--worker"]).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+            let (json, stats) =
+                run_hotloop_fabric(&command, args.quick, &config).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                });
+            let summary = format!("fabric: workers={workers} {stats}");
+            (json.to_json(), String::new(), summary)
+        }
+    };
+
     if let Err(e) = std::fs::write(&out, &text) {
         eprintln!("error: cannot write {out}: {e}");
         std::process::exit(1);
@@ -90,15 +187,47 @@ fn main() {
 
     println!(
         "# Hot-loop throughput ({} mode)\n",
-        if quick { "quick" } else { "full" }
+        if args.quick { "quick" } else { "full" }
     );
-    println!("{}", report.to_markdown());
-    println!(
-        "wrote {out} ({} cases, {:.2}s timed budget each)",
-        report.cases.len(),
-        report.budget_secs
-    );
-    if json {
+    if !markdown.is_empty() {
+        println!("{markdown}");
+    }
+    println!("wrote {out} ({summary})");
+    if args.json {
         println!("{text}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &[&str]) -> Result<Option<Args>, String> {
+        parse_args(line.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn flags_parse() {
+        let args = parse(&["--quick", "--fabric", "2", "--resume"])
+            .unwrap()
+            .unwrap();
+        assert!(args.quick && args.resume);
+        assert_eq!(args.fabric, Some(2));
+        assert_eq!(parse(&["--help"]).unwrap(), None);
+        assert!(parse(&["--worker"]).unwrap().unwrap().worker);
+    }
+
+    #[test]
+    fn bad_lines_are_rejected() {
+        for bad in [
+            vec!["--fabric", "0"],
+            vec!["--fabric"],
+            vec!["--resume"],
+            vec!["--cache-dir", "/tmp/c"],
+            vec!["--worker", "--json"],
+            vec!["--unknown"],
+        ] {
+            assert!(parse(&bad).is_err(), "{bad:?} should be rejected");
+        }
     }
 }

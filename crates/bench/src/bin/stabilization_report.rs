@@ -16,23 +16,34 @@
 //! ```text
 //! cargo run --release -p ssle-bench --bin stabilization_report
 //! cargo run --release -p ssle-bench --bin stabilization_report -- --quick --threads 4 --json
+//! cargo run --release -p ssle-bench --bin stabilization_report -- --quick --fabric 2 --resume
 //! ```
 //!
 //! Grid cells, per-cell trial pools, annealing islands and rate replays are
 //! all sharded over the worker threads; the output is **bit-identical for
 //! any `--threads` value** at a fixed `--islands` count (islands have
 //! disjoint deterministic seed streams and a best-of merge; pinned by
-//! workspace tests).
+//! workspace tests).  `--fabric N` runs the same grid across N worker
+//! *subprocesses* (this binary re-invoked with `--worker`) through the
+//! `ssle-fabric` coordinator — per-unit timeouts, crash retry, and a
+//! content-addressed result cache under `.fabric-cache/` — and the output
+//! is byte-identical to the in-process path (pinned by workspace tests).
+//! `--resume` reuses cached cells, so a warm rerun executes zero units and
+//! an interrupted run only re-executes what it had not finished.
 //!
 //! Flags:
 //!
 //! ```text
-//! --quick       reduced budgets/trials (CI smoke); same cell grid and schema
-//! --threads N   worker threads (default: all cores); never changes results
-//! --islands N   annealing islands per cell (default 4); changes results
-//! --out PATH    output file (default: BENCH_stabilization.json)
-//! --json        also print the JSON document to stdout
-//! --help        print usage
+//! --quick         reduced budgets/trials (CI smoke); same cell grid and schema
+//! --threads N     worker threads (default: all cores); never changes results
+//! --islands N     annealing islands per cell (default 4); changes results
+//! --fabric N      run the grid across N worker subprocesses
+//! --resume        with --fabric: reuse cached cell results
+//! --cache-dir P   with --fabric: cache directory (default .fabric-cache)
+//! --worker        run as a fabric worker (stdin/stdout line protocol)
+//! --out PATH      output file (default: BENCH_stabilization.json)
+//! --json          also print the JSON document to stdout
+//! --help          print usage
 //! ```
 //!
 //! The binary self-validates: after writing, it re-reads the file, parses it
@@ -41,7 +52,9 @@
 //! a consistent `certified` field for every cell — exiting non-zero on any
 //! mismatch.
 
+use ssle_bench::fabric::{run_stabilization_fabric, stabilization_handler, FabricConfig};
 use ssle_bench::stabilization::{self, RunOptions};
+use ssle_fabric::{worker_loop, WorkerCommand};
 
 const USAGE: &str = "\
 options:
@@ -51,72 +64,161 @@ options:
                  for any value at a fixed island count
   --islands N    annealing islands per cell (default 4); part of the result's
                  identity
+  --fabric N     run the grid across N worker subprocesses (coordinator mode);
+                 output is byte-identical to the in-process path
+  --resume       with --fabric: reuse cached cell results (warm reruns execute
+                 zero units)
+  --cache-dir P  with --fabric: result-cache directory (default .fabric-cache)
+  --worker       run as a fabric worker: read work units on stdin, write
+                 results on stdout (used by --fabric; honours --threads)
   --out PATH     output file (default: BENCH_stabilization.json, or
                  BENCH_stabilization.quick.json under --quick so a local
                  smoke run never clobbers the committed full-mode report)
   --json         also print the JSON document to stdout
   --help         print this message";
 
-fn main() {
-    let mut quick = false;
-    let mut json = false;
-    let mut out: Option<String> = None;
-    let mut threads: Option<usize> = None;
-    let mut islands: Option<u32> = None;
-    let mut args = std::env::args().skip(1);
-    fn value_of(flag: &str, args: &mut dyn Iterator<Item = String>) -> String {
-        match args.next() {
-            Some(v) => v,
-            None => {
-                eprintln!("error: {flag} requires a value\n{USAGE}");
-                std::process::exit(2);
-            }
-        }
-    }
-    while let Some(arg) = args.next() {
+/// Parsed flags of one invocation.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct Args {
+    quick: bool,
+    json: bool,
+    out: Option<String>,
+    threads: Option<usize>,
+    islands: Option<u32>,
+    worker: bool,
+    fabric: Option<usize>,
+    resume: bool,
+    cache_dir: Option<String>,
+}
+
+/// Parses the command line.  `Ok(None)` means `--help` was requested.
+fn parse_args<I>(args: I) -> Result<Option<Args>, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut out = Args::default();
+    let mut iter = args.into_iter();
+    let value_of = |flag: &str, iter: &mut dyn Iterator<Item = String>| {
+        iter.next()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--quick" => quick = true,
-            "--json" => json = true,
-            "--out" => out = Some(value_of("--out", &mut args)),
-            "--threads" => match value_of("--threads", &mut args).parse() {
-                Ok(t) => threads = Some(t),
-                Err(_) => {
-                    eprintln!("error: --threads requires a number\n{USAGE}");
-                    std::process::exit(2);
-                }
+            "--quick" => out.quick = true,
+            "--json" => out.json = true,
+            "--worker" => out.worker = true,
+            "--resume" => out.resume = true,
+            "--out" => out.out = Some(value_of("--out", &mut iter)?),
+            "--cache-dir" => out.cache_dir = Some(value_of("--cache-dir", &mut iter)?),
+            "--threads" => match value_of("--threads", &mut iter)?.parse() {
+                // 0 would silently clamp to one thread downstream; reject
+                // the degenerate request instead.
+                Ok(t) if t >= 1 => out.threads = Some(t),
+                _ => return Err("--threads requires a number >= 1".to_string()),
             },
-            "--islands" => match value_of("--islands", &mut args).parse() {
-                Ok(i) if i >= 1 => islands = Some(i),
-                _ => {
-                    eprintln!("error: --islands requires a number >= 1\n{USAGE}");
-                    std::process::exit(2);
-                }
+            "--islands" => match value_of("--islands", &mut iter)?.parse() {
+                Ok(i) if i >= 1 => out.islands = Some(i),
+                _ => return Err("--islands requires a number >= 1".to_string()),
             },
-            "--help" | "-h" => {
-                println!("{USAGE}");
-                return;
-            }
-            other => {
-                eprintln!("error: unknown option {other:?}\n{USAGE}");
-                std::process::exit(2);
-            }
+            "--fabric" => match value_of("--fabric", &mut iter)?.parse() {
+                Ok(w) if w >= 1 => out.fabric = Some(w),
+                _ => return Err("--fabric requires a number >= 1".to_string()),
+            },
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown option {other:?}")),
         }
     }
-    let out = out.unwrap_or_else(|| {
-        String::from(if quick {
+    if out.worker && (out.fabric.is_some() || out.json || out.out.is_some()) {
+        return Err("--worker is a pure stdin/stdout mode; it takes only --threads".to_string());
+    }
+    if out.resume && out.fabric.is_none() {
+        return Err("--resume only applies to --fabric runs".to_string());
+    }
+    if out.cache_dir.is_some() && out.fabric.is_none() {
+        return Err("--cache-dir only applies to --fabric runs".to_string());
+    }
+    Ok(Some(out))
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(message) => {
+            eprintln!("error: {message}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    if args.worker {
+        // Fabric worker: speak the line protocol until EOF.  The unit specs
+        // carry every semantic knob; only the inner thread count is local.
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let handler = stabilization_handler(args.threads.unwrap_or(1));
+        if let Err(e) = worker_loop(stdin.lock(), stdout.lock(), handler) {
+            eprintln!("stabilization_report --worker: {e}");
+            std::process::exit(2);
+        }
+        return;
+    }
+
+    let out = args.out.clone().unwrap_or_else(|| {
+        String::from(if args.quick {
             "BENCH_stabilization.quick.json"
         } else {
             "BENCH_stabilization.json"
         })
     });
 
-    let mut options = RunOptions::new(quick);
-    options.threads = threads;
-    if let Some(islands) = islands {
+    let mut options = RunOptions::new(args.quick);
+    options.threads = args.threads;
+    if let Some(islands) = args.islands {
         options.islands = islands;
     }
-    let report = stabilization::run(&options);
-    let text = report.to_json_value().to_json();
+
+    let (text, fabric_summary) = match args.fabric {
+        None => {
+            let report = stabilization::run(&options);
+            let markdown = report.to_markdown();
+            let summary = format!(
+                "{} cells; {} trials, {} islands x {} iterations, {} rate replays each",
+                report.cells.len(),
+                report.trials,
+                report.islands,
+                report.island_iterations,
+                report.replays,
+            );
+            (report.to_json_value().to_json(), (markdown, summary, None))
+        }
+        Some(workers) => {
+            let mut config = FabricConfig::new(workers, args.quick);
+            config.resume = args.resume;
+            if let Some(dir) = &args.cache_dir {
+                config.cache_dir = dir.into();
+            }
+            // Each worker subprocess inherits the requested inner thread
+            // count (default 1: the subprocesses are the parallelism).
+            let inner = args.threads.unwrap_or(1).to_string();
+            let command = WorkerCommand::current_exe(&["--worker", "--threads", &inner])
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                });
+            let (json, stats) = run_stabilization_fabric(&command, &options, &config)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                });
+            let summary = format!("fabric: workers={workers} {stats}");
+            (json.to_json(), (String::new(), summary, Some(stats)))
+        }
+    };
+    let (markdown, summary, _stats) = fabric_summary;
+
     if let Err(e) = std::fs::write(&out, &text) {
         eprintln!("error: cannot write {out}: {e}");
         std::process::exit(1);
@@ -141,24 +243,80 @@ fn main() {
 
     println!(
         "# Worst-case stabilization ({} mode)\n",
-        if quick { "quick" } else { "full" }
+        if args.quick { "quick" } else { "full" }
     );
-    println!("{}", report.to_markdown());
-    println!(
-        "wrote {out} ({} cells; {} trials, {} islands x {} iterations, {} rate replays each)",
-        report.cells.len(),
-        report.trials,
-        report.islands,
-        report.island_iterations,
-        report.replays,
-    );
+    if !markdown.is_empty() {
+        println!("{markdown}");
+    }
+    println!("wrote {out} ({summary})");
     if !stabilization::has_nondegenerate_rate(&parsed) {
         println!(
             "note: every rate curve is degenerate (all-0 or all-1) in this run; \
              the full-mode tracked report is expected to discriminate"
         );
     }
-    if json {
+    if args.json {
         println!("{text}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &[&str]) -> Result<Option<Args>, String> {
+        parse_args(line.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn the_existing_flags_still_parse() {
+        let args = parse(&["--quick", "--json", "--threads", "4", "--islands", "2"])
+            .unwrap()
+            .unwrap();
+        assert!(args.quick && args.json);
+        assert_eq!(args.threads, Some(4));
+        assert_eq!(args.islands, Some(2));
+        assert!(!args.worker && args.fabric.is_none() && !args.resume);
+        assert_eq!(parse(&["--help"]).unwrap(), None);
+    }
+
+    #[test]
+    fn fabric_flags_parse() {
+        let args = parse(&[
+            "--quick",
+            "--fabric",
+            "2",
+            "--resume",
+            "--cache-dir",
+            "/tmp/c",
+        ])
+        .unwrap()
+        .unwrap();
+        assert_eq!(args.fabric, Some(2));
+        assert!(args.resume);
+        assert_eq!(args.cache_dir.as_deref(), Some("/tmp/c"));
+        let worker = parse(&["--worker", "--threads", "2"]).unwrap().unwrap();
+        assert!(worker.worker);
+        assert_eq!(worker.threads, Some(2));
+    }
+
+    #[test]
+    fn degenerate_and_contradictory_lines_are_rejected() {
+        for bad in [
+            // Regression: 0 used to parse and silently clamp downstream.
+            vec!["--threads", "0"],
+            vec!["--islands", "0"],
+            vec!["--fabric", "0"],
+            vec!["--threads", "x"],
+            vec!["--fabric"],
+            vec!["--resume"],
+            vec!["--cache-dir", "/tmp/c"],
+            vec!["--worker", "--fabric", "2"],
+            vec!["--worker", "--json"],
+            vec!["--worker", "--out", "f.json"],
+            vec!["--unknown"],
+        ] {
+            assert!(parse(&bad).is_err(), "{bad:?} should be rejected");
+        }
     }
 }

@@ -27,6 +27,45 @@ options:
   --json             emit machine-readable JSON instead of markdown
   --help             print this message";
 
+/// Why a command line failed to parse.  Typed so callers (and tests) can
+/// distinguish a degenerate-but-well-formed value from a malformed line,
+/// instead of string-matching the message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// A count flag was given the value `0`, which downstream code would
+    /// silently clamp or degenerate on (`BatchRunner::with_threads(0)`
+    /// quietly runs single-threaded; a 0-island search evaluates nothing).
+    ZeroCount {
+        /// The offending flag, e.g. `--threads`.
+        flag: &'static str,
+    },
+    /// Anything else: unknown flag, missing value, unparsable number,
+    /// out-of-domain size.
+    Malformed(String),
+}
+
+impl ParseError {
+    /// Shorthand for the catch-all variant.
+    fn malformed(message: impl Into<String>) -> Self {
+        ParseError::Malformed(message.into())
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::ZeroCount { flag } => write!(
+                f,
+                "{flag} must be at least 1 (0 would silently degenerate; \
+                 omit the flag for the default instead)"
+            ),
+            ParseError::Malformed(message) => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
 /// Parsed command-line arguments of an experiment binary.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BenchArgs {
@@ -66,7 +105,7 @@ impl BenchArgs {
     /// # Errors
     ///
     /// Returns a message describing the offending flag or value.
-    pub fn try_parse<I>(args: I) -> Result<Option<Self>, String>
+    pub fn try_parse<I>(args: I) -> Result<Option<Self>, ParseError>
     where
         I: IntoIterator<Item = String>,
     {
@@ -78,18 +117,20 @@ impl BenchArgs {
                 Some((f, v)) => (f.to_string(), Some(v.to_string())),
                 None => (arg, None),
             };
-            let mut value = |name: &str| -> Result<String, String> {
+            let mut value = |name: &str| -> Result<String, ParseError> {
                 inline_value
                     .clone()
                     .or_else(|| iter.next())
-                    .ok_or_else(|| format!("{name} requires a value"))
+                    .ok_or_else(|| ParseError::malformed(format!("{name} requires a value")))
             };
             // Boolean flags take no value; `--json=false` would otherwise be
             // silently read as `--json`.
             if matches!(flag.as_str(), "--help" | "-h" | "--full" | "--json")
                 && inline_value.is_some()
             {
-                return Err(format!("{flag} does not take a value"));
+                return Err(ParseError::malformed(format!(
+                    "{flag} does not take a value"
+                )));
             }
             match flag.as_str() {
                 "--help" | "-h" => return Ok(None),
@@ -102,40 +143,46 @@ impl BenchArgs {
                         .filter(|s| !s.is_empty())
                         .map(|s| s.trim().parse::<usize>())
                         .collect();
-                    let sizes =
-                        sizes.map_err(|_| format!("--sizes: cannot parse {raw:?} as sizes"))?;
+                    let sizes = sizes.map_err(|_| {
+                        ParseError::malformed(format!("--sizes: cannot parse {raw:?} as sizes"))
+                    })?;
                     if sizes.is_empty() {
-                        return Err("--sizes: at least one size is required".to_string());
+                        return Err(ParseError::malformed(
+                            "--sizes: at least one size is required",
+                        ));
                     }
                     if let Some(&bad) = sizes.iter().find(|&&n| n < 2) {
-                        return Err(format!(
+                        return Err(ParseError::malformed(format!(
                             "--sizes: population size {bad} is below the model's minimum of 2"
-                        ));
+                        )));
                     }
                     out.sizes = Some(sizes);
                 }
                 "--trials" => {
                     let raw = value("--trials")?;
-                    out.trials = Some(
-                        raw.parse()
-                            .map_err(|_| format!("--trials: cannot parse {raw:?}"))?,
-                    );
+                    out.trials = Some(raw.parse().map_err(|_| {
+                        ParseError::malformed(format!("--trials: cannot parse {raw:?}"))
+                    })?);
                 }
                 "--seed" => {
                     let raw = value("--seed")?;
-                    out.seed = Some(
-                        raw.parse()
-                            .map_err(|_| format!("--seed: cannot parse {raw:?}"))?,
-                    );
+                    out.seed = Some(raw.parse().map_err(|_| {
+                        ParseError::malformed(format!("--seed: cannot parse {raw:?}"))
+                    })?);
                 }
                 "--threads" => {
                     let raw = value("--threads")?;
-                    out.threads = Some(
-                        raw.parse()
-                            .map_err(|_| format!("--threads: cannot parse {raw:?}"))?,
-                    );
+                    let threads: usize = raw.parse().map_err(|_| {
+                        ParseError::malformed(format!("--threads: cannot parse {raw:?}"))
+                    })?;
+                    // `BatchRunner::with_threads(0)` silently clamps to 1;
+                    // reject the degenerate request here instead.
+                    if threads == 0 {
+                        return Err(ParseError::ZeroCount { flag: "--threads" });
+                    }
+                    out.threads = Some(threads);
                 }
-                other => return Err(format!("unknown option {other:?}")),
+                other => return Err(ParseError::malformed(format!("unknown option {other:?}"))),
             }
         }
         Ok(Some(out))
@@ -236,6 +283,26 @@ mod tests {
     #[test]
     fn help_returns_none() {
         assert_eq!(BenchArgs::try_parse(["--help".to_string()]).unwrap(), None);
+    }
+
+    #[test]
+    fn zero_thread_counts_are_rejected_with_a_typed_error() {
+        // Regression: `--threads 0` used to parse and then silently run
+        // single-threaded (`BatchRunner::with_threads(0)` clamps to 1).
+        for line in [vec!["--threads", "0"], vec!["--threads=0"]] {
+            let err = BenchArgs::try_parse(line.iter().map(|s| s.to_string())).unwrap_err();
+            assert_eq!(
+                err,
+                ParseError::ZeroCount { flag: "--threads" },
+                "{line:?} must be the typed zero-count rejection"
+            );
+            assert!(
+                err.to_string().contains("--threads must be at least 1"),
+                "message must name the flag and the floor: {err}"
+            );
+        }
+        // The boundary value stays accepted.
+        assert_eq!(parse(&["--threads", "1"]).threads, Some(1));
     }
 
     #[test]

@@ -284,68 +284,100 @@ fn time_steps<P: Protocol, G: InteractionGraph>(
     }
 }
 
-/// Runs the whole measurement grid.  `quick` shrinks the per-case time
-/// budget and takes a single sample (CI smoke); full mode reports the
-/// median of three samples per case to damp scheduler noise.  The grid
-/// itself — and hence the report schema — is identical in both modes.
-pub fn run(quick: bool) -> HotloopReport {
-    let budget_secs = if quick { 0.05 } else { 1.0 };
-    let samples = if quick { 1 } else { 3 };
-    let median = |kind: ProtocolKind, graph: HotloopGraph, n: usize, repr: Repr| {
-        let mut rates: Vec<f64> = (0..samples)
-            .map(|_| measure(kind, graph, n, repr, budget_secs))
-            .collect();
-        rates.sort_by(f64::total_cmp);
-        rates[rates.len() / 2]
-    };
+/// The timed-stretch budget per measurement of the given mode, in seconds.
+pub fn budget_secs(quick: bool) -> f64 {
+    if quick {
+        0.05
+    } else {
+        1.0
+    }
+}
+
+/// The grid's case descriptors, **in report order** — shared by [`run`]
+/// and the fabric's work-unit builder so a distributed run assembles its
+/// cases in exactly the order the in-process report emits them.
+pub fn grid() -> Vec<(ProtocolKind, HotloopGraph, usize)> {
     let mut cases = Vec::with_capacity(ProtocolKind::ALL.len() * HotloopGraph::ALL.len() * 2);
     for kind in ProtocolKind::ALL {
         for graph in HotloopGraph::ALL {
             for n in SIZES {
-                cases.push(CaseResult {
-                    protocol: kind.key(),
-                    graph: graph.key(),
-                    n,
-                    steps_per_sec: median(kind, graph, n, Repr::Inline),
-                    steps_per_sec_boxed: median(kind, graph, n, Repr::Boxed),
-                    steps_per_sec_boxed_compact: median(kind, graph, n, Repr::BoxedCompact),
-                });
+                cases.push((kind, graph, n));
             }
         }
     }
-    HotloopReport {
-        quick,
-        budget_secs,
-        cases,
+    cases
+}
+
+/// Measures one case of the grid: `quick` takes a single short sample (CI
+/// smoke); full mode reports the median of three samples per
+/// representation to damp scheduler noise.
+pub fn run_case(kind: ProtocolKind, graph: HotloopGraph, n: usize, quick: bool) -> CaseResult {
+    let budget = budget_secs(quick);
+    let samples = if quick { 1 } else { 3 };
+    let median = |repr: Repr| {
+        let mut rates: Vec<f64> = (0..samples)
+            .map(|_| measure(kind, graph, n, repr, budget))
+            .collect();
+        rates.sort_by(f64::total_cmp);
+        rates[rates.len() / 2]
+    };
+    CaseResult {
+        protocol: kind.key(),
+        graph: graph.key(),
+        n,
+        steps_per_sec: median(Repr::Inline),
+        steps_per_sec_boxed: median(Repr::Boxed),
+        steps_per_sec_boxed_compact: median(Repr::BoxedCompact),
     }
 }
 
+/// Runs the whole measurement grid ([`run_case`] per [`grid`] entry).  The
+/// grid — and hence the report schema — is identical in both modes.
+pub fn run(quick: bool) -> HotloopReport {
+    HotloopReport {
+        quick,
+        budget_secs: budget_secs(quick),
+        cases: grid()
+            .into_iter()
+            .map(|(kind, graph, n)| run_case(kind, graph, n, quick))
+            .collect(),
+    }
+}
+
+/// Serializes one measured case to its report JSON object.  Single
+/// definition shared by [`HotloopReport::to_json_value`] and the fabric
+/// workers (same pattern as `stabilization::cell_to_json`; unlike the
+/// stabilization cells the measurements are wall-clock timings, so a
+/// distributed hot-loop report is *schema*-identical but not byte-identical
+/// to an in-process rerun).
+pub fn case_to_json(c: &CaseResult) -> JsonValue {
+    JsonValue::object()
+        .with("protocol", c.protocol)
+        .with("graph", c.graph)
+        .with("n", c.n)
+        .with("steps_per_sec", c.steps_per_sec)
+        .with("steps_per_sec_boxed", c.steps_per_sec_boxed)
+        .with("steps_per_sec_boxed_compact", c.steps_per_sec_boxed_compact)
+        .with("speedup", c.speedup())
+        .with("speedup_compact", c.speedup_compact())
+}
+
+/// Assembles the full report JSON from pre-serialized case objects, in
+/// [`grid`] order.
+pub fn report_json_from_cases(quick: bool, cases: Vec<JsonValue>) -> JsonValue {
+    JsonValue::object()
+        .with("schema", SCHEMA)
+        .with("quick", quick)
+        .with("budget_secs", budget_secs(quick))
+        .with("cases", JsonValue::Array(cases))
+}
+
 impl HotloopReport {
-    /// Serializes to the `BENCH_hotloop.json` schema (see [`SCHEMA`]).
+    /// Serializes to the `BENCH_hotloop.json` schema (see [`SCHEMA`]):
+    /// [`case_to_json`] per case inside the [`report_json_from_cases`]
+    /// shell.
     pub fn to_json_value(&self) -> JsonValue {
-        JsonValue::object()
-            .with("schema", SCHEMA)
-            .with("quick", self.quick)
-            .with("budget_secs", self.budget_secs)
-            .with(
-                "cases",
-                JsonValue::Array(
-                    self.cases
-                        .iter()
-                        .map(|c| {
-                            JsonValue::object()
-                                .with("protocol", c.protocol)
-                                .with("graph", c.graph)
-                                .with("n", c.n)
-                                .with("steps_per_sec", c.steps_per_sec)
-                                .with("steps_per_sec_boxed", c.steps_per_sec_boxed)
-                                .with("steps_per_sec_boxed_compact", c.steps_per_sec_boxed_compact)
-                                .with("speedup", c.speedup())
-                                .with("speedup_compact", c.speedup_compact())
-                        })
-                        .collect(),
-                ),
-            )
+        report_json_from_cases(self.quick, self.cases.iter().map(case_to_json).collect())
     }
 
     /// Renders a human-readable markdown table of the grid (`boxed` is the

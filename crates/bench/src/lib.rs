@@ -28,6 +28,7 @@
 
 pub mod baseline_boxed;
 pub mod cli;
+pub mod fabric;
 pub mod hotloop;
 pub mod report;
 pub mod stabilization;

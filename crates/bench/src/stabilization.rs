@@ -540,14 +540,7 @@ fn cell_seed(kind: ProtocolKind, graph: HotloopGraph, n: usize) -> u64 {
 /// or the replay index, never from scheduling order.
 pub fn run(options: &RunOptions) -> StabilizationReport {
     let runner = options.runner();
-    let cells: Vec<(ProtocolKind, HotloopGraph, usize)> = ProtocolKind::ALL
-        .iter()
-        .flat_map(|&kind| {
-            HotloopGraph::ALL
-                .iter()
-                .flat_map(move |&graph| options.sizes.iter().map(move |&n| (kind, graph, n)))
-        })
-        .collect();
+    let cells = grid_cells(options);
     // At most min(threads, cells) cell workers run at once; give each an
     // equal share of the remaining budget for its pool/island/replay stages.
     let threads = runner.num_threads();
@@ -563,6 +556,21 @@ pub fn run(options: &RunOptions) -> StabilizationReport {
         replays: options.replays,
         cells,
     }
+}
+
+/// The grid's cell descriptors, **in report order** — the single
+/// definition of the cell enumeration, shared by [`run`] and the fabric's
+/// work-unit builder so a distributed run assembles its cells in exactly
+/// the order the in-process report emits them.
+pub fn grid_cells(options: &RunOptions) -> Vec<(ProtocolKind, HotloopGraph, usize)> {
+    ProtocolKind::ALL
+        .iter()
+        .flat_map(|&kind| {
+            HotloopGraph::ALL
+                .iter()
+                .flat_map(move |&graph| options.sizes.iter().map(move |&n| (kind, graph, n)))
+        })
+        .collect()
 }
 
 /// Measures one cell: the random pool for the mean, the island search
@@ -764,90 +772,106 @@ pub fn rate_curve_with(
     }
 }
 
+/// Serializes one measured cell to its report JSON object (an element of
+/// the report's `cells` array).  This is the **single definition** of the
+/// cell encoding: the in-process [`StabilizationReport::to_json_value`]
+/// path and the fabric workers both call it, so a report assembled from
+/// worker-returned cell JSON is byte-identical to the in-process one by
+/// construction.
+pub fn cell_to_json(c: &CellResult) -> JsonValue {
+    JsonValue::object()
+        .with("protocol", c.protocol)
+        .with("graph", c.graph)
+        .with("n", c.n)
+        .with("budget", c.budget as f64)
+        .with("trials", c.trials)
+        .with("mean_steps", c.mean_steps)
+        .with("converged_fraction", c.converged_fraction)
+        .with(
+            "worst",
+            JsonValue::object()
+                .with("steps", c.worst_steps as f64)
+                .with("converged", c.worst_converged)
+                .with("variant", c.worst_variant)
+                // Seeds are full-width u64s; JSON numbers
+                // are f64 and would silently round any
+                // value >= 2^53, so they are serialized
+                // as exact decimal strings.
+                .with("seed", c.worst_seed.to_string().as_str())
+                .with("scheduler", c.worst_scheduler.as_str())
+                .with("spec", spec_to_json(&c.worst_spec))
+                .with("faults", fault_spec_to_json(&c.worst_faults))
+                .with("search_seed", c.search_seed.to_string().as_str())
+                .with("search_evaluations", c.search_evaluations as usize)
+                .with("best_island", c.best_island as usize)
+                .with("certified", certified_to_json(&c.certified)),
+        )
+        .with(
+            "rate",
+            JsonValue::object()
+                .with("replay_seed", c.rate.replay_seed.to_string().as_str())
+                .with(
+                    "multipliers",
+                    JsonValue::Array(
+                        c.rate
+                            .multipliers
+                            .iter()
+                            .map(|&m| JsonValue::Number(m as f64))
+                            .collect(),
+                    ),
+                )
+                .with(
+                    "fractions",
+                    JsonValue::Array(
+                        c.rate
+                            .fractions
+                            .iter()
+                            .map(|&f| JsonValue::Number(f))
+                            .collect(),
+                    ),
+                ),
+        )
+}
+
+/// Assembles the full report JSON from pre-serialized cell objects, in the
+/// given order (which must be the [`grid_cells`] order).  The other half of
+/// the byte-identity argument: both the in-process path and the `--fabric`
+/// coordinator plug their cells into this one shell.
+pub fn report_json_from_cells(options: &RunOptions, cells: Vec<JsonValue>) -> JsonValue {
+    JsonValue::object()
+        .with("schema", SCHEMA)
+        .with("quick", options.quick)
+        .with("trials", options.trials)
+        .with("islands", options.islands as usize)
+        .with("island_iterations", options.island_iterations as usize)
+        .with("replays", options.replays)
+        .with(
+            "rate_multipliers",
+            JsonValue::Array(
+                RATE_MULTIPLIERS
+                    .iter()
+                    .map(|&m| JsonValue::Number(m as f64))
+                    .collect(),
+            ),
+        )
+        .with("cells", JsonValue::Array(cells))
+}
+
 impl StabilizationReport {
-    /// Serializes to the `BENCH_stabilization.json` schema (see [`SCHEMA`]).
+    /// Serializes to the `BENCH_stabilization.json` schema (see [`SCHEMA`]):
+    /// [`cell_to_json`] per cell inside the [`report_json_from_cells`]
+    /// shell.
     pub fn to_json_value(&self) -> JsonValue {
-        JsonValue::object()
-            .with("schema", SCHEMA)
-            .with("quick", self.quick)
-            .with("trials", self.trials)
-            .with("islands", self.islands as usize)
-            .with("island_iterations", self.island_iterations as usize)
-            .with("replays", self.replays)
-            .with(
-                "rate_multipliers",
-                JsonValue::Array(
-                    RATE_MULTIPLIERS
-                        .iter()
-                        .map(|&m| JsonValue::Number(m as f64))
-                        .collect(),
-                ),
-            )
-            .with(
-                "cells",
-                JsonValue::Array(
-                    self.cells
-                        .iter()
-                        .map(|c| {
-                            JsonValue::object()
-                                .with("protocol", c.protocol)
-                                .with("graph", c.graph)
-                                .with("n", c.n)
-                                .with("budget", c.budget as f64)
-                                .with("trials", c.trials)
-                                .with("mean_steps", c.mean_steps)
-                                .with("converged_fraction", c.converged_fraction)
-                                .with(
-                                    "worst",
-                                    JsonValue::object()
-                                        .with("steps", c.worst_steps as f64)
-                                        .with("converged", c.worst_converged)
-                                        .with("variant", c.worst_variant)
-                                        // Seeds are full-width u64s; JSON numbers
-                                        // are f64 and would silently round any
-                                        // value >= 2^53, so they are serialized
-                                        // as exact decimal strings.
-                                        .with("seed", c.worst_seed.to_string().as_str())
-                                        .with("scheduler", c.worst_scheduler.as_str())
-                                        .with("spec", spec_to_json(&c.worst_spec))
-                                        .with("faults", fault_spec_to_json(&c.worst_faults))
-                                        .with("search_seed", c.search_seed.to_string().as_str())
-                                        .with("search_evaluations", c.search_evaluations as usize)
-                                        .with("best_island", c.best_island as usize)
-                                        .with("certified", certified_to_json(&c.certified)),
-                                )
-                                .with(
-                                    "rate",
-                                    JsonValue::object()
-                                        .with(
-                                            "replay_seed",
-                                            c.rate.replay_seed.to_string().as_str(),
-                                        )
-                                        .with(
-                                            "multipliers",
-                                            JsonValue::Array(
-                                                c.rate
-                                                    .multipliers
-                                                    .iter()
-                                                    .map(|&m| JsonValue::Number(m as f64))
-                                                    .collect(),
-                                            ),
-                                        )
-                                        .with(
-                                            "fractions",
-                                            JsonValue::Array(
-                                                c.rate
-                                                    .fractions
-                                                    .iter()
-                                                    .map(|&f| JsonValue::Number(f))
-                                                    .collect(),
-                                            ),
-                                        ),
-                                )
-                        })
-                        .collect(),
-                ),
-            )
+        let options = RunOptions {
+            quick: self.quick,
+            sizes: Vec::new(), // shell fields only; the grid is already run
+            trials: self.trials,
+            islands: self.islands,
+            island_iterations: self.island_iterations,
+            replays: self.replays,
+            threads: None,
+        };
+        report_json_from_cells(&options, self.cells.iter().map(cell_to_json).collect())
     }
 
     /// Renders a human-readable markdown table of the grid.

@@ -1,0 +1,57 @@
+//! A minimal fabric worker used by the coordinator's own integration
+//! tests (`CARGO_BIN_EXE_fabric_demo_worker`): it exercises every failure
+//! surface without dragging the bench crates in.
+//!
+//! Handled job: `demo`, with a spec of the form `{"mode": ...}`:
+//!
+//! * `{"mode":"echo","value":V}` — returns `{"value":V}`;
+//! * `{"mode":"sleep","ms":N,"value":V}` — sleeps N ms, then echoes;
+//! * `{"mode":"error"}` — returns a typed `Failed` error;
+//! * `{"mode":"panic"}` — panics (the worker loop converts it to `Failed`);
+//! * any other job kind — `UnknownJob`; any other spec — `BadSpec`.
+//!
+//! Crash injection is inherited from the worker loop: set
+//! `SSLE_FABRIC_CRASH_ONCE=<sentinel path>` and the first unit handled
+//! while the sentinel can be created aborts the process.
+
+use std::io::Write as _;
+
+use analysis::json::JsonValue;
+use ssle_fabric::wire::WorkError;
+use ssle_fabric::worker::worker_loop;
+
+fn handle(job: &str, spec: &JsonValue) -> Result<JsonValue, WorkError> {
+    if job != "demo" {
+        return Err(WorkError::UnknownJob { job: job.into() });
+    }
+    match spec.get("mode").and_then(JsonValue::as_str) {
+        Some("echo") => Ok(JsonValue::object().with(
+            "value",
+            spec.get("value").cloned().unwrap_or(JsonValue::Null),
+        )),
+        Some("sleep") => {
+            let ms = spec.get("ms").and_then(JsonValue::as_f64).unwrap_or(0.0);
+            std::thread::sleep(std::time::Duration::from_millis(ms.max(0.0) as u64));
+            Ok(JsonValue::object().with(
+                "value",
+                spec.get("value").cloned().unwrap_or(JsonValue::Null),
+            ))
+        }
+        Some("error") => Err(WorkError::Failed {
+            detail: "demo error requested".into(),
+        }),
+        Some("panic") => panic!("demo panic requested"),
+        other => Err(WorkError::BadSpec {
+            detail: format!("unknown demo mode {other:?}"),
+        }),
+    }
+}
+
+fn main() {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    if let Err(e) = worker_loop(stdin.lock(), stdout.lock(), handle) {
+        let _ = writeln!(std::io::stderr(), "fabric_demo_worker: {e}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,233 @@
+//! The content-addressed result cache and the run journal.
+//!
+//! Successful work-unit results are stored as one JSON file per unit under
+//! a cache directory (`.fabric-cache/` by default, gitignored), named by
+//! the unit's [`cache_key`](crate::wire::WorkUnit::cache_key) — the
+//! canonical digest of its `(schema, job, spec)` content.  Because the key
+//! is derived from the *exact* spec JSON, editing any semantic detail of a
+//! cell (a size, a trial count, a seed) changes the key and only that cell
+//! re-executes; run-local knobs (thread counts, timeouts) are deliberately
+//! outside the spec so they cannot fragment the cache.
+//!
+//! Writes are atomic: the entry is written to `<key>.partial.json` and then
+//! renamed to `<key>.json`, so a reader never observes a torn entry and an
+//! interrupted run leaves at most ignorable `*.partial.json` droppings
+//! (also gitignored).  Each stored entry embeds the wire schema, its own
+//! key, and the job kind; [`ResultCache::load`] re-verifies all three and
+//! treats any mismatch as a miss — a stale or corrupted entry degrades to
+//! recomputation, never to a wrong result.
+//!
+//! The [`RunJournal`] is an append-only newline-JSON log of coordinator
+//! progress (run manifest, then one line per finished unit).  It exists for
+//! *observability* of interrupted runs; resumability itself rests on the
+//! cache, which is authoritative.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use analysis::json::JsonValue;
+
+use crate::wire::{WireError, WIRE_SCHEMA};
+
+/// The default cache directory name, relative to the working directory.
+pub const DEFAULT_CACHE_DIR: &str = ".fabric-cache";
+
+/// A directory of content-addressed work-unit results.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, WireError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)
+            .map_err(|e| WireError::new(format!("creating cache dir {}: {e}", dir.display())))?;
+        Ok(ResultCache { dir })
+    }
+
+    /// The cache's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The final path of an entry.
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Loads the result payload stored under `key`, or `None` if the entry
+    /// is absent, unreadable, or fails its embedded self-checks (schema
+    /// tag, key echo, parsability) — all of which degrade to a cache miss.
+    pub fn load(&self, key: &str, job: &str) -> Option<JsonValue> {
+        let text = fs::read_to_string(self.entry_path(key)).ok()?;
+        let entry = JsonValue::parse(&text).ok()?;
+        if entry.get("schema").and_then(JsonValue::as_str) != Some(WIRE_SCHEMA) {
+            return None;
+        }
+        if entry.get("key").and_then(JsonValue::as_str) != Some(key) {
+            return None;
+        }
+        if entry.get("job").and_then(JsonValue::as_str) != Some(job) {
+            return None;
+        }
+        entry.get("result").cloned()
+    }
+
+    /// Stores a successful result payload under `key`, atomically
+    /// (write-to-partial then rename).
+    pub fn store(&self, key: &str, job: &str, result: &JsonValue) -> Result<(), WireError> {
+        let entry = JsonValue::object()
+            .with("schema", WIRE_SCHEMA)
+            .with("key", key)
+            .with("job", job)
+            .with("result", result.clone());
+        let partial = self.dir.join(format!("{key}.partial.json"));
+        let final_path = self.entry_path(key);
+        fs::write(&partial, entry.to_json() + "\n")
+            .map_err(|e| WireError::new(format!("writing {}: {e}", partial.display())))?;
+        fs::rename(&partial, &final_path)
+            .map_err(|e| WireError::new(format!("renaming into {}: {e}", final_path.display())))
+    }
+}
+
+/// An append-only progress log for one coordinator run, stored next to the
+/// cache entries.  Lines are standalone JSON objects:
+///
+/// * `{"event":"start","schema":...,"units":N,"workers":W}` — run manifest;
+/// * `{"event":"unit","key":...,"status":"executed"|"cached"|"failed"}` —
+///   one per finished unit, in completion order.
+///
+/// Advisory only: `--resume` consults the cache, not the journal.
+#[derive(Debug)]
+pub struct RunJournal {
+    file: fs::File,
+}
+
+impl RunJournal {
+    /// Opens the journal file (truncating any previous run's log) and
+    /// writes the run manifest line.
+    pub fn start(dir: &Path, units: usize, workers: usize) -> Result<Self, WireError> {
+        let path = dir.join("journal.ndjson");
+        let file = fs::File::create(&path)
+            .map_err(|e| WireError::new(format!("creating {}: {e}", path.display())))?;
+        let mut journal = RunJournal { file };
+        journal.append(
+            JsonValue::object()
+                .with("event", "start")
+                .with("schema", WIRE_SCHEMA)
+                .with("units", units)
+                .with("workers", workers),
+        )?;
+        Ok(journal)
+    }
+
+    /// Records one finished unit.
+    pub fn unit(&mut self, key: &str, status: &str) -> Result<(), WireError> {
+        self.append(
+            JsonValue::object()
+                .with("event", "unit")
+                .with("key", key)
+                .with("status", status),
+        )
+    }
+
+    fn append(&mut self, line: JsonValue) -> Result<(), WireError> {
+        writeln!(self.file, "{}", line.to_json())
+            .map_err(|e| WireError::new(format!("appending to journal: {e}")))?;
+        self.file
+            .flush()
+            .map_err(|e| WireError::new(format!("flushing journal: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ssle-fabric-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let dir = scratch_dir("roundtrip");
+        let cache = ResultCache::open(&dir).unwrap();
+        let result = JsonValue::object().with("steps", 12.0).with("ok", true);
+        cache.store("deadbeef", "demo", &result).unwrap();
+        assert_eq!(cache.load("deadbeef", "demo"), Some(result));
+        // No partial droppings after a clean store.
+        let partials = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .contains("partial")
+            })
+            .count();
+        assert_eq!(partials, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_entries_degrade_to_misses() {
+        let dir = scratch_dir("mismatch");
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.load("absent", "demo"), None);
+
+        cache.store("k1", "demo", &JsonValue::Bool(true)).unwrap();
+        // Wrong job for the same key: miss.
+        assert_eq!(cache.load("k1", "other-job"), None);
+
+        // Corrupted entry: miss, not an error.
+        fs::write(dir.join("k2.json"), "{ not json").unwrap();
+        assert_eq!(cache.load("k2", "demo"), None);
+
+        // Entry whose embedded key disagrees with its filename (e.g. a
+        // renamed file): miss.
+        let forged = JsonValue::object()
+            .with("schema", WIRE_SCHEMA)
+            .with("key", "something-else")
+            .with("job", "demo")
+            .with("result", JsonValue::Bool(true));
+        fs::write(dir.join("k3.json"), forged.to_json()).unwrap();
+        assert_eq!(cache.load("k3", "demo"), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_records_manifest_and_units() {
+        let dir = scratch_dir("journal");
+        fs::create_dir_all(&dir).unwrap();
+        let mut journal = RunJournal::start(&dir, 3, 2).unwrap();
+        journal.unit("k1", "executed").unwrap();
+        journal.unit("k2", "cached").unwrap();
+        drop(journal);
+        let text = fs::read_to_string(dir.join("journal.ndjson")).unwrap();
+        let lines: Vec<JsonValue> = text.lines().map(|l| JsonValue::parse(l).unwrap()).collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0].get("event").and_then(JsonValue::as_str),
+            Some("start")
+        );
+        assert_eq!(lines[0].get("units").and_then(JsonValue::as_f64), Some(3.0));
+        assert_eq!(
+            lines[1].get("status").and_then(JsonValue::as_str),
+            Some("executed")
+        );
+        assert_eq!(
+            lines[2].get("status").and_then(JsonValue::as_str),
+            Some("cached")
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

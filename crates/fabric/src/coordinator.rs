@@ -1,0 +1,482 @@
+//! The coordinator: a subprocess pool with timeouts, bounded retries, a
+//! content-addressed cache, and a deterministic merge.
+//!
+//! [`run_units`] dispatches a list of [`WorkUnit`]s across `N` worker
+//! subprocesses (each speaking the [`worker`](crate::worker) line protocol)
+//! and returns the results **in unit submission order**, regardless of
+//! which worker finished what when.  This is the same contract as
+//! `population::BatchRunner::run_map` one level up the stack: because the
+//! merge order is the input order and every job handler is deterministic,
+//! the assembled output is invariant under the worker count — the property
+//! the report binaries pin down to byte-identity.
+//!
+//! ## Failure policy
+//!
+//! Failures split along the line drawn by the wire format:
+//!
+//! * a **typed job error** ([`WorkError`]) came from a live worker that
+//!   deterministically could not run the unit — retrying would fail
+//!   identically, so it is recorded as final and the worker is *reused*;
+//! * a **vanished or wedged worker** (EOF, garbage on the pipe, or no
+//!   answer within the per-unit timeout) proves nothing about the unit —
+//!   the worker is killed and reaped, a fresh one is spawned, and the same
+//!   unit is retried, up to [`CoordinatorOptions::max_attempts`] attempts;
+//!   exhaustion yields a typed [`UnitFailure`] in that unit's slot while
+//!   every other unit still completes (graceful partial results).
+//!
+//! ## Cache
+//!
+//! With a cache attached, every successful result is stored under the
+//! unit's content key; with `reuse_cached` also set (`--resume`), cached
+//! units are answered without dispatching anything — a warm rerun executes
+//! zero units, and after editing one cell only that cell's key misses.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write as _};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use analysis::json::JsonValue;
+
+use crate::cache::{ResultCache, RunJournal};
+use crate::wire::{WireError, WorkError, WorkResult, WorkUnit};
+
+/// How to launch one worker subprocess.
+#[derive(Debug, Clone)]
+pub struct WorkerCommand {
+    program: PathBuf,
+    args: Vec<String>,
+    envs: Vec<(String, String)>,
+}
+
+impl WorkerCommand {
+    /// A worker launched as `program` with no arguments.
+    pub fn new(program: impl Into<PathBuf>) -> Self {
+        WorkerCommand {
+            program: program.into(),
+            args: Vec::new(),
+            envs: Vec::new(),
+        }
+    }
+
+    /// The current executable re-invoked with the given arguments — the
+    /// idiom the report binaries use for `--worker` self-spawning.
+    pub fn current_exe(args: &[&str]) -> Result<Self, WireError> {
+        let program = std::env::current_exe()
+            .map_err(|e| WireError::new(format!("resolving current exe: {e}")))?;
+        Ok(WorkerCommand::new(program).args(args))
+    }
+
+    /// Appends one argument.
+    pub fn arg(mut self, arg: impl Into<String>) -> Self {
+        self.args.push(arg.into());
+        self
+    }
+
+    /// Appends several arguments.
+    pub fn args(mut self, args: &[&str]) -> Self {
+        self.args.extend(args.iter().map(|s| s.to_string()));
+        self
+    }
+
+    /// Sets an environment variable in the worker's environment.
+    pub fn env(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.envs.push((key.into(), value.into()));
+        self
+    }
+
+    fn spawn(&self) -> Result<Child, WireError> {
+        let mut command = Command::new(&self.program);
+        command
+            .args(&self.args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            // Worker stderr flows through to the operator's terminal.
+            .stderr(Stdio::inherit());
+        for (k, v) in &self.envs {
+            command.env(k, v);
+        }
+        command
+            .spawn()
+            .map_err(|e| WireError::new(format!("spawning {}: {e}", self.program.display())))
+    }
+}
+
+/// Knobs for one coordinator run.
+#[derive(Debug)]
+pub struct CoordinatorOptions {
+    /// Number of worker subprocesses (at least 1; 0 is rejected upstream).
+    pub workers: usize,
+    /// Per-unit wall-clock budget; a worker silent past this is killed and
+    /// the unit retried elsewhere.
+    pub unit_timeout: Duration,
+    /// Total attempts per unit (first try + retries) before recording a
+    /// typed partial failure.  At least 1.
+    pub max_attempts: usize,
+    /// Where to store successful results (and the run journal); `None`
+    /// disables caching entirely.
+    pub cache: Option<ResultCache>,
+    /// If set (`--resume`), cached results are reused without dispatching;
+    /// if unset, the cache is write-only this run.
+    pub reuse_cached: bool,
+}
+
+impl CoordinatorOptions {
+    /// Defaults: the given pool size, a generous 10-minute unit timeout,
+    /// 3 attempts, no cache.
+    pub fn new(workers: usize) -> Self {
+        CoordinatorOptions {
+            workers: workers.max(1),
+            unit_timeout: Duration::from_secs(600),
+            max_attempts: 3,
+            cache: None,
+            reuse_cached: false,
+        }
+    }
+}
+
+/// Why one unit's slot holds no result.  The distinction mirrors the retry
+/// policy: [`UnitFailure::Worker`] is a deterministic job-level refusal
+/// (never retried); the other two exhausted their retry budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnitFailure {
+    /// A live worker returned a typed error for this unit.
+    Worker(WorkError),
+    /// Every attempt ended with the worker dying (or corrupting the pipe)
+    /// before answering.
+    Crashed {
+        /// Attempts consumed.
+        attempts: usize,
+        /// The last observed failure.
+        detail: String,
+    },
+    /// Every attempt ran past the per-unit timeout.
+    TimedOut {
+        /// Attempts consumed.
+        attempts: usize,
+        /// The per-attempt budget that was exceeded.
+        timeout: Duration,
+    },
+}
+
+impl std::fmt::Display for UnitFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnitFailure::Worker(e) => write!(f, "worker refused unit: {e}"),
+            UnitFailure::Crashed { attempts, detail } => {
+                write!(
+                    f,
+                    "worker crashed on all {attempts} attempts (last: {detail})"
+                )
+            }
+            UnitFailure::TimedOut { attempts, timeout } => write!(
+                f,
+                "unit exceeded {}s on all {attempts} attempts",
+                timeout.as_secs_f64()
+            ),
+        }
+    }
+}
+
+/// The outcome of one coordinator run.
+#[derive(Debug)]
+pub struct FabricOutcome {
+    /// One slot per input unit, **in input order**: the job's result
+    /// payload, or a typed failure.
+    pub results: Vec<Result<JsonValue, UnitFailure>>,
+    /// Units actually executed by a worker this run.
+    pub executed: usize,
+    /// Units answered from the cache without dispatch.
+    pub cached: usize,
+    /// Fresh workers spawned beyond the initial pool (crash/timeout
+    /// replacements).
+    pub worker_restarts: usize,
+}
+
+impl FabricOutcome {
+    /// The failed slots, as `(unit index, failure)` pairs.
+    pub fn failures(&self) -> Vec<(usize, &UnitFailure)> {
+        self.results
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().err().map(|e| (i, e)))
+            .collect()
+    }
+
+    /// The payloads in input order; `Err` names the first failed unit if
+    /// any slot failed.
+    pub fn into_payloads(self) -> Result<Vec<JsonValue>, (usize, UnitFailure)> {
+        let mut payloads = Vec::with_capacity(self.results.len());
+        for (i, slot) in self.results.into_iter().enumerate() {
+            match slot {
+                Ok(p) => payloads.push(p),
+                Err(e) => return Err((i, e)),
+            }
+        }
+        Ok(payloads)
+    }
+}
+
+/// A live worker subprocess: its stdin plus a channel draining its stdout
+/// through a dedicated reader thread (so the manager can `recv_timeout`
+/// instead of blocking forever on a wedged pipe).
+struct LiveWorker {
+    child: Child,
+    stdin: std::process::ChildStdin,
+    lines: Receiver<std::io::Result<String>>,
+}
+
+impl LiveWorker {
+    fn spawn(command: &WorkerCommand) -> Result<Self, WireError> {
+        let mut child = command.spawn()?;
+        let stdin = child
+            .stdin
+            .take()
+            .ok_or_else(|| WireError::new("worker stdin not piped"))?;
+        let stdout = child
+            .stdout
+            .take()
+            .ok_or_else(|| WireError::new("worker stdout not piped"))?;
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                if tx.send(line).is_err() {
+                    break; // manager gone; stop draining
+                }
+            }
+        });
+        Ok(LiveWorker {
+            child,
+            stdin,
+            lines: rx,
+        })
+    }
+
+    /// Kills and reaps the worker (no zombies).
+    fn dispose(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// What one dispatch attempt produced.
+enum Attempt {
+    /// A parsed, seq-matched result from the worker (typed errors
+    /// included — they are final).
+    Answered(WorkResult),
+    /// The worker died or corrupted the pipe; it has been disposed.
+    Crashed(String),
+    /// The worker exceeded the unit timeout; it has been disposed.
+    TimedOut,
+}
+
+/// Sends one unit to a live worker and waits for its answer.  On
+/// `Crashed`/`TimedOut` the worker has already been killed and reaped and
+/// `worker` is `None`.
+fn dispatch(worker_slot: &mut Option<LiveWorker>, unit: &WorkUnit, timeout: Duration) -> Attempt {
+    let worker = worker_slot.as_mut().expect("dispatch needs a live worker");
+    if let Err(e) = writeln!(worker.stdin, "{}", unit.to_line()).and_then(|_| worker.stdin.flush())
+    {
+        if let Some(w) = worker_slot.take() {
+            w.dispose();
+        }
+        return Attempt::Crashed(format!("writing unit to worker: {e}"));
+    }
+    match worker.lines.recv_timeout(timeout) {
+        Ok(Ok(line)) => match WorkResult::from_line(&line) {
+            Ok(result) if result.seq == unit.seq => Attempt::Answered(result),
+            Ok(result) => {
+                if let Some(w) = worker_slot.take() {
+                    w.dispose();
+                }
+                Attempt::Crashed(format!(
+                    "worker answered seq {} for unit seq {}",
+                    result.seq, unit.seq
+                ))
+            }
+            Err(e) => {
+                if let Some(w) = worker_slot.take() {
+                    w.dispose();
+                }
+                Attempt::Crashed(format!("unparsable worker output: {e}"))
+            }
+        },
+        Ok(Err(e)) => {
+            if let Some(w) = worker_slot.take() {
+                w.dispose();
+            }
+            Attempt::Crashed(format!("reading worker output: {e}"))
+        }
+        Err(RecvTimeoutError::Disconnected) => {
+            if let Some(w) = worker_slot.take() {
+                w.dispose();
+            }
+            Attempt::Crashed("worker exited before answering".to_string())
+        }
+        Err(RecvTimeoutError::Timeout) => {
+            if let Some(w) = worker_slot.take() {
+                w.dispose();
+            }
+            Attempt::TimedOut
+        }
+    }
+}
+
+/// Runs `units` across a pool of worker subprocesses and merges the results
+/// in input order.  See the module docs for the failure and cache policy.
+///
+/// Returns `Err` only on coordinator-side infrastructure failures (cannot
+/// spawn the very first worker, cannot write the cache); per-unit problems
+/// are typed [`UnitFailure`]s inside the outcome.
+pub fn run_units(
+    command: &WorkerCommand,
+    units: &[WorkUnit],
+    options: &CoordinatorOptions,
+) -> Result<FabricOutcome, WireError> {
+    let mut slots: Vec<Option<Result<JsonValue, UnitFailure>>> = vec![None; units.len()];
+    let mut journal = match &options.cache {
+        Some(cache) => Some(RunJournal::start(
+            cache.dir(),
+            units.len(),
+            options.workers,
+        )?),
+        None => None,
+    };
+
+    // Resolve cache hits up front; only misses are dispatched.
+    let mut pending: Vec<usize> = Vec::new();
+    let mut cached = 0usize;
+    for (i, unit) in units.iter().enumerate() {
+        let hit = options
+            .reuse_cached
+            .then_some(options.cache.as_ref())
+            .flatten()
+            .and_then(|c| c.load(&unit.cache_key(), &unit.job));
+        match hit {
+            Some(payload) => {
+                if let Some(j) = journal.as_mut() {
+                    j.unit(&unit.cache_key(), "cached")?;
+                }
+                slots[i] = Some(Ok(payload));
+                cached += 1;
+            }
+            None => pending.push(i),
+        }
+    }
+
+    let executed = AtomicUsize::new(0);
+    let restarts = AtomicUsize::new(0);
+    let journal = Mutex::new(journal);
+    let queue = Mutex::new(pending.iter().copied().collect::<VecDeque<usize>>());
+    let done = Mutex::new(Vec::<(usize, Result<JsonValue, UnitFailure>)>::new());
+    let pool = options.workers.min(pending.len().max(1));
+
+    if !pending.is_empty() {
+        // Fail fast if workers cannot be launched at all, rather than
+        // letting every manager thread discover it independently.
+        LiveWorker::spawn(command)?.dispose();
+
+        std::thread::scope(|scope| {
+            for _ in 0..pool {
+                scope.spawn(|| {
+                    let mut worker: Option<LiveWorker> = None;
+                    loop {
+                        let Some(idx) = queue.lock().unwrap().pop_front() else {
+                            break;
+                        };
+                        let unit = &units[idx];
+                        let outcome =
+                            attempt_unit(command, &mut worker, unit, options, &executed, &restarts);
+                        if let (Ok(payload), Some(cache)) = (&outcome, &options.cache) {
+                            // A store failure must not discard a computed
+                            // result; it only costs a future cache hit.
+                            let _ = cache.store(&unit.cache_key(), &unit.job, payload);
+                        }
+                        let status = if outcome.is_ok() {
+                            "executed"
+                        } else {
+                            "failed"
+                        };
+                        if let Some(j) = journal.lock().unwrap().as_mut() {
+                            let _ = j.unit(&unit.cache_key(), status);
+                        }
+                        done.lock().unwrap().push((idx, outcome));
+                    }
+                    if let Some(w) = worker.take() {
+                        w.dispose();
+                    }
+                });
+            }
+        });
+    }
+
+    for (idx, outcome) in done.into_inner().unwrap() {
+        slots[idx] = Some(outcome);
+    }
+    let results = slots
+        .into_iter()
+        .map(|s| s.expect("every unit slot filled"))
+        .collect();
+    Ok(FabricOutcome {
+        results,
+        executed: executed.load(Ordering::SeqCst),
+        cached,
+        worker_restarts: restarts.load(Ordering::SeqCst),
+    })
+}
+
+/// Runs one unit to completion under the retry policy, managing the
+/// caller's worker slot (respawning after crashes/timeouts).
+fn attempt_unit(
+    command: &WorkerCommand,
+    worker: &mut Option<LiveWorker>,
+    unit: &WorkUnit,
+    options: &CoordinatorOptions,
+    executed: &AtomicUsize,
+    restarts: &AtomicUsize,
+) -> Result<JsonValue, UnitFailure> {
+    let max_attempts = options.max_attempts.max(1);
+    let mut last_crash = String::new();
+    let mut timed_out = false;
+    for attempt in 1..=max_attempts {
+        if worker.is_none() {
+            if attempt > 1 {
+                restarts.fetch_add(1, Ordering::SeqCst);
+            }
+            match LiveWorker::spawn(command) {
+                Ok(w) => *worker = Some(w),
+                Err(e) => {
+                    last_crash = format!("respawning worker: {e}");
+                    continue;
+                }
+            }
+        }
+        match dispatch(worker, unit, options.unit_timeout) {
+            Attempt::Answered(result) => {
+                executed.fetch_add(1, Ordering::SeqCst);
+                // Typed job errors are deterministic: final, no retry.
+                return result.outcome.map_err(UnitFailure::Worker);
+            }
+            Attempt::Crashed(detail) => {
+                timed_out = false;
+                last_crash = detail;
+            }
+            Attempt::TimedOut => timed_out = true,
+        }
+    }
+    if timed_out {
+        Err(UnitFailure::TimedOut {
+            attempts: max_attempts,
+            timeout: options.unit_timeout,
+        })
+    } else {
+        Err(UnitFailure::Crashed {
+            attempts: max_attempts,
+            detail: last_crash,
+        })
+    }
+}

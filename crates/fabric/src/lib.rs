@@ -1,0 +1,43 @@
+//! # ssle-fabric
+//!
+//! The experiment fabric: a coordinator/worker subprocess pool with a
+//! content-addressed result cache and resumable runs (ROADMAP open item 1).
+//!
+//! The stabilization and hotloop grids are embarrassingly parallel, but
+//! `population::BatchRunner` only scales one process.  This crate adds the
+//! next rung without giving up the workspace's exactness guarantees:
+//!
+//! * [`wire`] — newline-delimited JSON [`WorkUnit`]/[`WorkResult`] messages
+//!   (typed [`WorkError`]s, exact decimal strings for full-width u64s),
+//!   serialized through `analysis::json` and proptest-round-tripped;
+//! * [`worker`] — the stdin/stdout request/response loop a worker process
+//!   runs (`stabilization_report --worker`), with panic containment and
+//!   deterministic crash injection for tests;
+//! * [`coordinator`] — spawns N workers, dispatches units, enforces
+//!   per-unit timeouts, retries crashed/timed-out units on fresh workers
+//!   (bounded, then typed partial failure), and merges results in unit
+//!   submission order so downstream reports are **byte-identical** to the
+//!   in-process path;
+//! * [`cache`] — results keyed by the canonical content digest of the
+//!   unit's exact spec JSON (`analysis::digest`), stored under
+//!   `.fabric-cache/` with atomic writes and a progress journal, making
+//!   `--resume` reruns execute only what changed.
+//!
+//! The fabric is job-agnostic: it moves opaque `JsonValue` payloads and
+//! never interprets them, so byte-identity of a report assembled from
+//! worker results reduces to the determinism of the job handler plus the
+//! input-order merge — the same argument `run_map` makes for threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod coordinator;
+pub mod wire;
+pub mod worker;
+
+pub use cache::{ResultCache, RunJournal, DEFAULT_CACHE_DIR};
+pub use coordinator::{run_units, CoordinatorOptions, FabricOutcome, UnitFailure, WorkerCommand};
+pub use wire::{WireError, WorkError, WorkResult, WorkUnit, WIRE_SCHEMA};
+pub use worker::{worker_loop, CRASH_ONCE_ENV};

@@ -1,0 +1,422 @@
+//! The fabric wire format: newline-delimited JSON work units and results.
+//!
+//! A coordinator sends one [`WorkUnit`] per line on a worker's stdin and
+//! reads one [`WorkResult`] per line from its stdout.  Everything is
+//! serialized through `analysis::json` with the workspace's established
+//! exactness conventions: full-width `u64` fields (the `seq` routing id)
+//! travel as **exact decimal strings**, because JSON numbers are `f64` and
+//! silently round values ≥ 2⁵³; job payloads (`spec`) and result payloads
+//! are opaque [`JsonValue`]s owned by the job layer, so the fabric never
+//! re-encodes (and can never corrupt) what a job put on the wire.
+//!
+//! Failures are **typed** ([`WorkError`]): a worker that cannot run a unit
+//! says *why* in a machine-readable way, and the coordinator's retry policy
+//! keys off the type — a deterministic job-level error (unknown job, bad
+//! spec, schema mismatch, handler failure) is final, while a vanished or
+//! wedged worker (which never produces a `WorkResult` at all) is retried on
+//! a fresh process.
+//!
+//! The unit's **cache key** ([`WorkUnit::cache_key`]) is the content digest
+//! of its `(wire schema, job, spec)` triple — deliberately *excluding*
+//! `seq`, which only routes a unit within one run and must not fragment the
+//! cache across runs.
+
+use analysis::digest::content_digest;
+use analysis::json::JsonValue;
+
+/// Version tag carried by every wire message and cache entry.  Bump on any
+/// incompatible change to the formats in this module; readers reject
+/// mismatching tags instead of guessing.
+pub const WIRE_SCHEMA: &str = "ssle-fabric/v1";
+
+/// One unit of work: an opaque job-specific spec plus routing metadata.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkUnit {
+    /// Routing id within one run: results are matched back to units by
+    /// `seq`, and the coordinator's merge order is the unit submission
+    /// order.  Not part of the cache key.
+    pub seq: u64,
+    /// The job kind, e.g. `stabilization-cell` — selects the worker-side
+    /// handler.
+    pub job: String,
+    /// The job-specific payload, owned by the job layer.  Everything that
+    /// affects the result must be in here (it is the cache-key payload);
+    /// anything that does not (thread counts, timeouts) must not be.
+    pub spec: JsonValue,
+}
+
+impl WorkUnit {
+    /// Creates a work unit.
+    pub fn new(seq: u64, job: impl Into<String>, spec: JsonValue) -> Self {
+        WorkUnit {
+            seq,
+            job: job.into(),
+            spec,
+        }
+    }
+
+    /// The unit's content address: the canonical digest of its wire schema,
+    /// job kind and exact spec (see [`analysis::digest::content_digest`]).
+    /// `seq` is excluded — the same cell submitted as unit 3 of one run and
+    /// unit 7 of another must hit the same cache entry.
+    pub fn cache_key(&self) -> String {
+        content_digest(
+            &JsonValue::object()
+                .with("schema", WIRE_SCHEMA)
+                .with("job", self.job.as_str())
+                .with("spec", self.spec.clone()),
+        )
+    }
+
+    /// Serializes to the wire JSON object.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::object()
+            .with("schema", WIRE_SCHEMA)
+            // Full-width u64: exact decimal string, like every other
+            // full-width integer in the workspace's JSON artifacts.
+            .with("seq", self.seq.to_string().as_str())
+            .with("job", self.job.as_str())
+            .with("spec", self.spec.clone())
+    }
+
+    /// Rebuilds a unit from its wire JSON, rejecting wrong schema tags and
+    /// malformed fields instead of guessing.
+    pub fn from_json(json: &JsonValue) -> Result<Self, WireError> {
+        expect_schema(json)?;
+        Ok(WorkUnit {
+            seq: seq_of(json)?,
+            job: json
+                .get("job")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| WireError::new("work unit without a job field"))?
+                .to_string(),
+            spec: json
+                .get("spec")
+                .cloned()
+                .ok_or_else(|| WireError::new("work unit without a spec field"))?,
+        })
+    }
+
+    /// The single-line wire encoding (compact JSON; the emitter never
+    /// produces raw newlines — they are escaped inside strings).
+    pub fn to_line(&self) -> String {
+        self.to_json_value().to_json()
+    }
+
+    /// Parses one wire line.
+    pub fn from_line(line: &str) -> Result<Self, WireError> {
+        let json = JsonValue::parse(line.trim())
+            .map_err(|e| WireError::new(format!("work unit line does not parse: {e}")))?;
+        Self::from_json(&json)
+    }
+}
+
+/// Why a worker could not produce a result for a unit.  All variants are
+/// **deterministic** job-level failures: retrying the same unit on a fresh
+/// worker would fail identically, so the coordinator records them as final
+/// (unlike a crash or timeout, which never yields a `WorkResult` at all and
+/// *is* retried).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkError {
+    /// The worker has no handler for the unit's job kind.
+    UnknownJob {
+        /// The unhandled job kind.
+        job: String,
+    },
+    /// The spec payload is malformed for this job kind.
+    BadSpec {
+        /// Human-readable description of the first problem found.
+        detail: String,
+    },
+    /// The spec embeds a job-schema version this worker does not produce
+    /// (e.g. a `stabilization-bench/v2` unit sent to a v3 worker).
+    SchemaMismatch {
+        /// The version the unit asked for.
+        requested: String,
+        /// The version this worker produces.
+        supported: String,
+    },
+    /// The handler started but failed (including a caught panic).
+    Failed {
+        /// Human-readable failure description.
+        detail: String,
+    },
+}
+
+impl WorkError {
+    /// The machine-readable kind tag used on the wire.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WorkError::UnknownJob { .. } => "unknown-job",
+            WorkError::BadSpec { .. } => "bad-spec",
+            WorkError::SchemaMismatch { .. } => "schema-mismatch",
+            WorkError::Failed { .. } => "failed",
+        }
+    }
+
+    /// Serializes to the wire JSON object.
+    pub fn to_json_value(&self) -> JsonValue {
+        let obj = JsonValue::object().with("kind", self.kind());
+        match self {
+            WorkError::UnknownJob { job } => obj.with("job", job.as_str()),
+            WorkError::BadSpec { detail } => obj.with("detail", detail.as_str()),
+            WorkError::SchemaMismatch {
+                requested,
+                supported,
+            } => obj
+                .with("requested", requested.as_str())
+                .with("supported", supported.as_str()),
+            WorkError::Failed { detail } => obj.with("detail", detail.as_str()),
+        }
+    }
+
+    /// Rebuilds a typed error from its wire JSON.
+    pub fn from_json(json: &JsonValue) -> Result<Self, WireError> {
+        let field = |name: &str| {
+            json.get(name)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| WireError::new(format!("work error without a {name} field")))
+        };
+        match json.get("kind").and_then(JsonValue::as_str) {
+            Some("unknown-job") => Ok(WorkError::UnknownJob { job: field("job")? }),
+            Some("bad-spec") => Ok(WorkError::BadSpec {
+                detail: field("detail")?,
+            }),
+            Some("schema-mismatch") => Ok(WorkError::SchemaMismatch {
+                requested: field("requested")?,
+                supported: field("supported")?,
+            }),
+            Some("failed") => Ok(WorkError::Failed {
+                detail: field("detail")?,
+            }),
+            other => Err(WireError::new(format!(
+                "work error with unknown kind {other:?}"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for WorkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkError::UnknownJob { job } => write!(f, "no handler for job {job:?}"),
+            WorkError::BadSpec { detail } => write!(f, "malformed spec: {detail}"),
+            WorkError::SchemaMismatch {
+                requested,
+                supported,
+            } => write!(
+                f,
+                "job schema mismatch: unit wants {requested:?}, worker produces {supported:?}"
+            ),
+            WorkError::Failed { detail } => write!(f, "handler failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkError {}
+
+/// A worker's answer for one unit: the job's result payload, or a typed
+/// error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkResult {
+    /// Echo of the unit's routing id.
+    pub seq: u64,
+    /// The job-level outcome.
+    pub outcome: Result<JsonValue, WorkError>,
+}
+
+impl WorkResult {
+    /// A successful result.
+    pub fn ok(seq: u64, payload: JsonValue) -> Self {
+        WorkResult {
+            seq,
+            outcome: Ok(payload),
+        }
+    }
+
+    /// A typed failure.
+    pub fn err(seq: u64, error: WorkError) -> Self {
+        WorkResult {
+            seq,
+            outcome: Err(error),
+        }
+    }
+
+    /// Serializes to the wire JSON object (`ok` and `err` are mutually
+    /// exclusive keys).
+    pub fn to_json_value(&self) -> JsonValue {
+        let obj = JsonValue::object()
+            .with("schema", WIRE_SCHEMA)
+            .with("seq", self.seq.to_string().as_str());
+        match &self.outcome {
+            Ok(payload) => obj.with("ok", payload.clone()),
+            Err(error) => obj.with("err", error.to_json_value()),
+        }
+    }
+
+    /// Rebuilds a result from its wire JSON.
+    pub fn from_json(json: &JsonValue) -> Result<Self, WireError> {
+        expect_schema(json)?;
+        let seq = seq_of(json)?;
+        match (json.get("ok"), json.get("err")) {
+            (Some(payload), None) => Ok(WorkResult::ok(seq, payload.clone())),
+            (None, Some(err)) => Ok(WorkResult::err(seq, WorkError::from_json(err)?)),
+            _ => Err(WireError::new(
+                "work result must carry exactly one of ok/err",
+            )),
+        }
+    }
+
+    /// The single-line wire encoding.
+    pub fn to_line(&self) -> String {
+        self.to_json_value().to_json()
+    }
+
+    /// Parses one wire line.
+    pub fn from_line(line: &str) -> Result<Self, WireError> {
+        let json = JsonValue::parse(line.trim())
+            .map_err(|e| WireError::new(format!("work result line does not parse: {e}")))?;
+        Self::from_json(&json)
+    }
+}
+
+/// A malformed wire message (bad JSON, wrong schema tag, missing field).
+/// Distinct from [`WorkError`]: a `WireError` means the *transport* broke —
+/// the coordinator treats it like a crashed worker, not like a job failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl WireError {
+    /// Creates a wire error.
+    pub fn new(message: impl Into<String>) -> Self {
+        WireError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Checks the wire schema tag of a message.
+fn expect_schema(json: &JsonValue) -> Result<(), WireError> {
+    match json.get("schema").and_then(JsonValue::as_str) {
+        Some(WIRE_SCHEMA) => Ok(()),
+        other => Err(WireError::new(format!(
+            "wire message schema {other:?} (want {WIRE_SCHEMA:?})"
+        ))),
+    }
+}
+
+/// Parses the exact decimal-string `seq` field.
+fn seq_of(json: &JsonValue) -> Result<u64, WireError> {
+    json.get("seq")
+        .and_then(JsonValue::as_str)
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or_else(|| WireError::new("seq missing or not an exact u64 decimal string"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_round_trips_with_a_full_width_seq() {
+        let unit = WorkUnit::new(
+            u64::MAX - 3,
+            "stabilization-cell",
+            JsonValue::object().with("n", 64usize).with("quick", true),
+        );
+        let line = unit.to_line();
+        assert!(!line.contains('\n'), "wire lines must be single lines");
+        assert_eq!(WorkUnit::from_line(&line).unwrap(), unit);
+    }
+
+    #[test]
+    fn cache_key_ignores_seq_but_not_spec() {
+        let spec = JsonValue::object().with("n", 64usize);
+        let a = WorkUnit::new(0, "j", spec.clone());
+        let b = WorkUnit::new(17, "j", spec.clone());
+        let c = WorkUnit::new(0, "j", JsonValue::object().with("n", 65usize));
+        let d = WorkUnit::new(0, "k", spec);
+        assert_eq!(a.cache_key(), b.cache_key(), "seq must not split the cache");
+        assert_ne!(a.cache_key(), c.cache_key(), "spec is the content");
+        assert_ne!(a.cache_key(), d.cache_key(), "job kind is the content");
+    }
+
+    #[test]
+    fn cache_key_is_insertion_order_insensitive() {
+        let a = WorkUnit::new(0, "j", JsonValue::object().with("x", 1u64).with("y", 2u64));
+        let b = WorkUnit::new(0, "j", JsonValue::object().with("y", 2u64).with("x", 1u64));
+        assert_eq!(a.cache_key(), b.cache_key());
+    }
+
+    #[test]
+    fn results_round_trip_in_both_outcomes() {
+        let ok = WorkResult::ok(7, JsonValue::object().with("steps", 12.0));
+        assert_eq!(WorkResult::from_line(&ok.to_line()).unwrap(), ok);
+        for error in [
+            WorkError::UnknownJob { job: "x".into() },
+            WorkError::BadSpec {
+                detail: "n missing".into(),
+            },
+            WorkError::SchemaMismatch {
+                requested: "stabilization-bench/v2".into(),
+                supported: "stabilization-bench/v3".into(),
+            },
+            WorkError::Failed {
+                detail: "panicked: oh no".into(),
+            },
+        ] {
+            let err = WorkResult::err(u64::MAX, error.clone());
+            let round = WorkResult::from_line(&err.to_line()).unwrap();
+            assert_eq!(round, err);
+            assert_eq!(round.outcome, Err(error));
+        }
+    }
+
+    #[test]
+    fn malformed_messages_are_rejected_not_guessed() {
+        // Wrong schema tag.
+        let wrong = JsonValue::object()
+            .with("schema", "ssle-fabric/v0")
+            .with("seq", "1")
+            .with("job", "j")
+            .with("spec", JsonValue::Null);
+        assert!(WorkUnit::from_json(&wrong).is_err());
+        // seq as a JSON number instead of the exact decimal string.
+        let num_seq = JsonValue::object()
+            .with("schema", WIRE_SCHEMA)
+            .with("seq", 1.0)
+            .with("job", "j")
+            .with("spec", JsonValue::Null);
+        assert!(WorkUnit::from_json(&num_seq).is_err());
+        // A result with both ok and err.
+        let both = JsonValue::object()
+            .with("schema", WIRE_SCHEMA)
+            .with("seq", "1")
+            .with("ok", JsonValue::Null)
+            .with(
+                "err",
+                WorkError::UnknownJob { job: "j".into() }.to_json_value(),
+            );
+        assert!(WorkResult::from_json(&both).is_err());
+        // An unknown error kind.
+        let unknown = JsonValue::object()
+            .with("schema", WIRE_SCHEMA)
+            .with("seq", "1")
+            .with("err", JsonValue::object().with("kind", "novel"));
+        assert!(WorkResult::from_json(&unknown).is_err());
+        // Not JSON at all.
+        assert!(WorkUnit::from_line("not json").is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! The worker side of the fabric: a line-oriented request/response loop.
+//!
+//! A worker process reads one [`WorkUnit`] per line on stdin, hands the
+//! `(job, spec)` pair to a caller-supplied handler, and writes exactly one
+//! [`WorkResult`] line on stdout — flushed immediately, because the
+//! coordinator is blocked on it.  EOF on stdin is the normal shutdown
+//! signal.  A handler panic is caught and reported as a typed
+//! [`WorkError::Failed`] rather than tearing the worker down: determinism
+//! means the panic would recur on retry, so surfacing it as a final typed
+//! failure is strictly more informative than a crash/retry loop.
+//!
+//! A malformed *input* line, by contrast, means the transport itself is
+//! broken (a coordinator bug or a corrupted pipe); the loop stops with an
+//! error and the process exits nonzero, which the coordinator sees as a
+//! crashed worker.
+
+use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use analysis::json::JsonValue;
+
+use crate::wire::{WireError, WorkError, WorkResult, WorkUnit};
+
+/// Runs the worker protocol over the given streams until EOF.
+///
+/// `handler` maps `(job, spec)` to a result payload or a typed error; it is
+/// invoked once per unit, in arrival order, and its panics are converted to
+/// [`WorkError::Failed`].  Returns `Err` only on transport failures
+/// (unreadable input, unparsable unit, unwritable output).
+pub fn worker_loop<R, W, H>(input: R, mut output: W, handler: H) -> Result<(), WireError>
+where
+    R: BufRead,
+    W: Write,
+    H: Fn(&str, &JsonValue) -> Result<JsonValue, WorkError>,
+{
+    for line in input.lines() {
+        let line = line.map_err(|e| WireError::new(format!("reading work unit: {e}")))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let unit = WorkUnit::from_line(&line)?;
+        let outcome = run_handler(&handler, &unit);
+        let result = match outcome {
+            Ok(payload) => WorkResult::ok(unit.seq, payload),
+            Err(error) => WorkResult::err(unit.seq, error),
+        };
+        writeln!(output, "{}", result.to_line())
+            .map_err(|e| WireError::new(format!("writing work result: {e}")))?;
+        output
+            .flush()
+            .map_err(|e| WireError::new(format!("flushing work result: {e}")))?;
+    }
+    Ok(())
+}
+
+/// Invokes the handler with panic containment.
+fn run_handler<H>(handler: &H, unit: &WorkUnit) -> Result<JsonValue, WorkError>
+where
+    H: Fn(&str, &JsonValue) -> Result<JsonValue, WorkError>,
+{
+    crash_once_if_requested();
+    match catch_unwind(AssertUnwindSafe(|| handler(&unit.job, &unit.spec))) {
+        Ok(outcome) => outcome,
+        Err(panic) => Err(WorkError::Failed {
+            detail: format!("handler panicked: {}", panic_message(&panic)),
+        }),
+    }
+}
+
+/// Extracts the human-readable message from a panic payload.
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Environment variable naming a sentinel path for deterministic crash
+/// injection: when set, a [`worker_loop`] process that can *create* the
+/// sentinel file (it did not exist) aborts before handling its unit —
+/// exactly once per sentinel path.
+pub const CRASH_ONCE_ENV: &str = "SSLE_FABRIC_CRASH_ONCE";
+
+/// Deterministic fault injection for coordinator tests: if
+/// [`CRASH_ONCE_ENV`] names a path and this process can *create* that file
+/// (it did not exist), the process aborts before handling the unit.  The
+/// create-new sentinel guarantees exactly one abort per sentinel path, so a
+/// test can assert "the unit was retried on a fresh worker and the report
+/// is unchanged" without racing.
+fn crash_once_if_requested() {
+    let Ok(path) = std::env::var(CRASH_ONCE_ENV) else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    if std::fs::OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(&path)
+        .is_ok()
+    {
+        // Abort, not exit: simulate the harshest failure mode (no unwind,
+        // no result line, nonzero status).
+        std::process::abort();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn echo_handler(job: &str, spec: &JsonValue) -> Result<JsonValue, WorkError> {
+        match job {
+            "echo" => Ok(spec.clone()),
+            "boom" => panic!("requested panic"),
+            "bad" => Err(WorkError::BadSpec {
+                detail: "always bad".into(),
+            }),
+            other => Err(WorkError::UnknownJob { job: other.into() }),
+        }
+    }
+
+    fn run_lines(lines: &[String]) -> Vec<WorkResult> {
+        let input = Cursor::new(lines.join("\n"));
+        let mut output = Vec::new();
+        worker_loop(input, &mut output, echo_handler).unwrap();
+        String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(|l| WorkResult::from_line(l).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn units_are_answered_in_order_with_matching_seqs() {
+        let lines: Vec<String> = (0..4)
+            .map(|i| WorkUnit::new(i * 10, "echo", JsonValue::object().with("i", i)).to_line())
+            .collect();
+        let results = run_lines(&lines);
+        assert_eq!(results.len(), 4);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.seq, (i as u64) * 10);
+            assert_eq!(
+                r.outcome,
+                Ok(JsonValue::object().with("i", i as u64)),
+                "echo payload must round-trip"
+            );
+        }
+    }
+
+    #[test]
+    fn handler_panics_become_typed_failures_not_worker_deaths() {
+        let lines = vec![
+            WorkUnit::new(0, "boom", JsonValue::Null).to_line(),
+            WorkUnit::new(1, "echo", JsonValue::Bool(true)).to_line(),
+        ];
+        let results = run_lines(&lines);
+        assert_eq!(results.len(), 2, "worker must survive the panic");
+        match &results[0].outcome {
+            Err(WorkError::Failed { detail }) => {
+                assert!(detail.contains("requested panic"), "got: {detail}")
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert_eq!(results[1].outcome, Ok(JsonValue::Bool(true)));
+    }
+
+    #[test]
+    fn typed_errors_pass_through() {
+        let lines = vec![
+            WorkUnit::new(0, "bad", JsonValue::Null).to_line(),
+            WorkUnit::new(1, "mystery", JsonValue::Null).to_line(),
+        ];
+        let results = run_lines(&lines);
+        assert!(matches!(results[0].outcome, Err(WorkError::BadSpec { .. })));
+        assert_eq!(
+            results[1].outcome,
+            Err(WorkError::UnknownJob {
+                job: "mystery".into()
+            })
+        );
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_and_garbage_is_a_transport_error() {
+        let ok = Cursor::new(format!(
+            "\n{}\n\n",
+            WorkUnit::new(0, "echo", JsonValue::Null).to_line()
+        ));
+        let mut out = Vec::new();
+        worker_loop(ok, &mut out, echo_handler).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap().lines().count(), 1);
+
+        let garbage = Cursor::new("this is not a work unit\n");
+        let mut out = Vec::new();
+        assert!(worker_loop(garbage, &mut out, echo_handler).is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! End-to-end coordinator tests against the real `fabric_demo_worker`
+//! subprocess: deterministic merge order, typed error pass-through,
+//! crash/timeout retry, bounded-restart exhaustion, and cache/resume
+//! semantics including the warm-rerun-executes-zero-units guarantee.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use analysis::json::JsonValue;
+use ssle_fabric::cache::ResultCache;
+use ssle_fabric::coordinator::{run_units, CoordinatorOptions, UnitFailure, WorkerCommand};
+use ssle_fabric::wire::{WorkError, WorkUnit};
+use ssle_fabric::CRASH_ONCE_ENV;
+
+fn demo_worker() -> WorkerCommand {
+    WorkerCommand::new(env!("CARGO_BIN_EXE_fabric_demo_worker"))
+}
+
+fn echo_unit(seq: u64, value: &str) -> WorkUnit {
+    WorkUnit::new(
+        seq,
+        "demo",
+        JsonValue::object()
+            .with("mode", "echo")
+            .with("value", value),
+    )
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ssle-fabric-coord-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn results_merge_in_unit_order_across_workers() {
+    let units: Vec<WorkUnit> = (0..12).map(|i| echo_unit(i, &format!("v{i}"))).collect();
+    let outcome = run_units(&demo_worker(), &units, &CoordinatorOptions::new(3)).unwrap();
+    assert_eq!(outcome.executed, 12);
+    assert_eq!(outcome.cached, 0);
+    let payloads = outcome.into_payloads().unwrap();
+    for (i, payload) in payloads.iter().enumerate() {
+        assert_eq!(
+            payload.get("value").and_then(JsonValue::as_str),
+            Some(format!("v{i}").as_str()),
+            "slot {i} must hold unit {i}'s result whatever worker ran it"
+        );
+    }
+}
+
+#[test]
+fn typed_job_errors_are_final_and_do_not_kill_the_run() {
+    let units = vec![
+        echo_unit(0, "ok0"),
+        WorkUnit::new(1, "demo", JsonValue::object().with("mode", "error")),
+        WorkUnit::new(2, "not-a-job", JsonValue::Null),
+        WorkUnit::new(3, "demo", JsonValue::object().with("mode", "panic")),
+        echo_unit(4, "ok4"),
+    ];
+    let outcome = run_units(&demo_worker(), &units, &CoordinatorOptions::new(2)).unwrap();
+    // Typed errors count as executed answers, are never retried, and leave
+    // the other slots intact.
+    assert_eq!(outcome.worker_restarts, 0, "typed errors must not respawn");
+    assert!(outcome.results[0].is_ok());
+    assert!(outcome.results[4].is_ok());
+    assert!(matches!(
+        outcome.results[1],
+        Err(UnitFailure::Worker(WorkError::Failed { .. }))
+    ));
+    assert!(matches!(
+        outcome.results[2],
+        Err(UnitFailure::Worker(WorkError::UnknownJob { .. }))
+    ));
+    match &outcome.results[3] {
+        Err(UnitFailure::Worker(WorkError::Failed { detail })) => {
+            assert!(detail.contains("demo panic requested"), "got: {detail}")
+        }
+        other => panic!("expected contained panic, got {other:?}"),
+    }
+    assert_eq!(outcome.failures().len(), 3);
+}
+
+#[test]
+fn a_crashed_workers_unit_is_retried_on_a_fresh_worker() {
+    let dir = scratch_dir("crash-retry");
+    fs::create_dir_all(&dir).unwrap();
+    let sentinel = dir.join("crash-once.sentinel");
+    // The first unit any worker touches aborts that worker (once, ever,
+    // thanks to the create-new sentinel); the retry then succeeds.
+    let command = demo_worker().env(CRASH_ONCE_ENV, sentinel.to_str().unwrap());
+    let units: Vec<WorkUnit> = (0..6).map(|i| echo_unit(i, &format!("v{i}"))).collect();
+    let outcome = run_units(&command, &units, &CoordinatorOptions::new(2)).unwrap();
+    assert!(sentinel.exists(), "the injected crash must have fired");
+    assert!(
+        outcome.worker_restarts >= 1,
+        "the crashed worker must have been replaced"
+    );
+    let payloads = outcome.into_payloads().expect("all units must recover");
+    for (i, payload) in payloads.iter().enumerate() {
+        assert_eq!(
+            payload.get("value").and_then(JsonValue::as_str),
+            Some(format!("v{i}").as_str())
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_timed_out_unit_is_killed_and_exhaustion_is_typed() {
+    let units = vec![
+        echo_unit(0, "fast"),
+        WorkUnit::new(
+            1,
+            "demo",
+            JsonValue::object()
+                .with("mode", "sleep")
+                .with("ms", 60_000u64)
+                .with("value", "slow"),
+        ),
+    ];
+    let mut options = CoordinatorOptions::new(1);
+    options.unit_timeout = Duration::from_millis(200);
+    options.max_attempts = 2;
+    let outcome = run_units(&demo_worker(), &units, &options).unwrap();
+    assert!(outcome.results[0].is_ok(), "the fast unit must complete");
+    match &outcome.results[1] {
+        Err(UnitFailure::TimedOut { attempts, .. }) => assert_eq!(*attempts, 2),
+        other => panic!("expected TimedOut, got {other:?}"),
+    }
+    assert!(outcome.worker_restarts >= 1);
+}
+
+#[test]
+fn nonexistent_worker_program_is_an_infrastructure_error() {
+    let command = WorkerCommand::new("/definitely/not/a/real/binary");
+    let units = vec![echo_unit(0, "x")];
+    assert!(run_units(&command, &units, &CoordinatorOptions::new(1)).is_err());
+}
+
+#[test]
+fn warm_cache_rerun_executes_zero_units() {
+    let dir = scratch_dir("warm-cache");
+    let units: Vec<WorkUnit> = (0..5).map(|i| echo_unit(i, &format!("v{i}"))).collect();
+
+    let cold = {
+        let mut options = CoordinatorOptions::new(2);
+        options.cache = Some(ResultCache::open(&dir).unwrap());
+        options.reuse_cached = true;
+        run_units(&demo_worker(), &units, &options).unwrap()
+    };
+    assert_eq!((cold.executed, cold.cached), (5, 0));
+
+    let warm = {
+        let mut options = CoordinatorOptions::new(2);
+        options.cache = Some(ResultCache::open(&dir).unwrap());
+        options.reuse_cached = true;
+        run_units(&demo_worker(), &units, &options).unwrap()
+    };
+    assert_eq!(
+        (warm.executed, warm.cached),
+        (0, 5),
+        "a warm rerun must execute zero units"
+    );
+    assert_eq!(
+        warm.into_payloads().unwrap(),
+        cold.into_payloads().unwrap(),
+        "cached payloads must be byte-for-byte the executed ones"
+    );
+
+    // Editing one cell's spec invalidates exactly that cell.
+    let mut edited = units.clone();
+    edited[2] = echo_unit(2, "edited");
+    let partial = {
+        let mut options = CoordinatorOptions::new(2);
+        options.cache = Some(ResultCache::open(&dir).unwrap());
+        options.reuse_cached = true;
+        run_units(&demo_worker(), &edited, &options).unwrap()
+    };
+    assert_eq!(
+        (partial.executed, partial.cached),
+        (1, 4),
+        "only the edited cell may re-execute"
+    );
+    assert_eq!(
+        partial.results[2]
+            .as_ref()
+            .unwrap()
+            .get("value")
+            .and_then(JsonValue::as_str),
+        Some("edited")
+    );
+
+    // The journal recorded the warm run as all-cached.
+    let journal = fs::read_to_string(dir.join("journal.ndjson")).unwrap();
+    assert!(journal.lines().count() >= 2);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn without_resume_the_cache_is_write_only() {
+    let dir = scratch_dir("write-only");
+    let units = vec![echo_unit(0, "x")];
+    for round in 0..2 {
+        let mut options = CoordinatorOptions::new(1);
+        options.cache = Some(ResultCache::open(&dir).unwrap());
+        options.reuse_cached = false;
+        let outcome = run_units(&demo_worker(), &units, &options).unwrap();
+        assert_eq!(
+            (outcome.executed, outcome.cached),
+            (1, 0),
+            "round {round}: without --resume every unit re-executes"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,130 @@
+//! Property tests: every wire message survives the line encoding exactly.
+//!
+//! The fabric's byte-identity claim rests on the wire never altering a
+//! payload, so the round-trip properties here cover full-width `u64` seqs
+//! (where JSON's f64 numbers would round), nested spec trees with
+//! escape-requiring strings, and every [`WorkError`] variant.
+
+use analysis::json::JsonValue;
+use proptest::prelude::*;
+use ssle_fabric::wire::{WorkError, WorkResult, WorkUnit};
+
+/// A palette of strings that exercise the JSON escaper: quotes,
+/// backslashes, control characters, non-ASCII.
+const STRINGS: &[&str] = &[
+    "",
+    "plain",
+    "with \"quotes\"",
+    "back\\slash",
+    "new\nline and tab\t",
+    "nul\u{0}char",
+    "ünïcode ▷ ring",
+];
+
+fn string_strategy() -> impl Strategy<Value = String> {
+    (0usize..STRINGS.len()).prop_map(|i| STRINGS[i].to_string())
+}
+
+/// A bounded-depth JSON tree: scalars at the leaves, one object and one
+/// array layer above them.  Numbers stay in the exactly-representable
+/// range; full-width integers travel as decimal strings per the workspace
+/// convention, which the seq field already covers.
+fn spec_strategy() -> impl Strategy<Value = JsonValue> {
+    (
+        any::<bool>(),
+        -1_000_000i64..1_000_000i64,
+        0usize..STRINGS.len(),
+        any::<u64>(),
+        0usize..4usize,
+    )
+        .prop_map(|(b, num, si, big, shape)| {
+            let scalar = JsonValue::Number(num as f64 / 8.0);
+            let exact = JsonValue::String(big.to_string());
+            let s = JsonValue::String(STRINGS[si].to_string());
+            match shape {
+                0 => scalar,
+                1 => JsonValue::Array(vec![scalar, JsonValue::Bool(b), s, exact]),
+                2 => JsonValue::object()
+                    .with("flag", b)
+                    .with("x", scalar)
+                    .with("label", s)
+                    .with("seed", exact),
+                _ => JsonValue::object().with(
+                    "nested",
+                    JsonValue::Array(vec![
+                        JsonValue::object().with("inner", s).with("n", scalar),
+                        JsonValue::Null,
+                        JsonValue::Bool(b),
+                    ]),
+                ),
+            }
+        })
+}
+
+fn error_strategy() -> impl Strategy<Value = WorkError> {
+    (0usize..4usize, string_strategy(), string_strategy()).prop_map(|(variant, a, b)| match variant
+    {
+        0 => WorkError::UnknownJob { job: a },
+        1 => WorkError::BadSpec { detail: a },
+        2 => WorkError::SchemaMismatch {
+            requested: a,
+            supported: b,
+        },
+        _ => WorkError::Failed { detail: a },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn work_units_round_trip(
+        seq in any::<u64>(),
+        job in string_strategy(),
+        spec in spec_strategy(),
+    ) {
+        let unit = WorkUnit::new(seq, job, spec);
+        let line = unit.to_line();
+        prop_assert!(!line.contains('\n'), "wire lines must stay single lines");
+        let back = WorkUnit::from_line(&line);
+        prop_assert!(back.is_ok(), "parse failed: {:?} for line {line}", back.err());
+        prop_assert_eq!(back.unwrap(), unit);
+    }
+
+    #[test]
+    fn ok_results_round_trip(seq in any::<u64>(), payload in spec_strategy()) {
+        let result = WorkResult::ok(seq, payload);
+        let line = result.to_line();
+        prop_assert!(!line.contains('\n'));
+        prop_assert_eq!(WorkResult::from_line(&line).unwrap(), result);
+    }
+
+    #[test]
+    fn err_results_round_trip(seq in any::<u64>(), error in error_strategy()) {
+        let result = WorkResult::err(seq, error);
+        let line = result.to_line();
+        prop_assert!(!line.contains('\n'));
+        prop_assert_eq!(WorkResult::from_line(&line).unwrap(), result);
+    }
+
+    #[test]
+    fn seq_is_exact_at_full_width(seq in any::<u64>()) {
+        // The decimal-string convention: the wire must carry any u64
+        // exactly, including values a JSON number (f64) would round.
+        let unit = WorkUnit::new(seq, "j", JsonValue::Null);
+        prop_assert_eq!(WorkUnit::from_line(&unit.to_line()).unwrap().seq, seq);
+    }
+
+    #[test]
+    fn cache_key_is_seq_free_and_spec_sensitive(
+        seq_a in any::<u64>(),
+        seq_b in any::<u64>(),
+        spec in spec_strategy(),
+    ) {
+        let a = WorkUnit::new(seq_a, "job", spec.clone());
+        let b = WorkUnit::new(seq_b, "job", spec.clone());
+        prop_assert_eq!(a.cache_key(), b.cache_key());
+        let other = WorkUnit::new(seq_a, "job", JsonValue::object().with("spec", spec));
+        prop_assert_ne!(a.cache_key(), other.cache_key());
+    }
+}
