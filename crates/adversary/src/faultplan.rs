@@ -18,7 +18,7 @@
 //! [`crate::WorstCase`] certificates replayable through `Scenario`'s fault
 //! path.
 
-use population::{FaultKind, FaultPlan};
+use population::{ByzantineWindow, FaultKind, FaultPlan};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
@@ -41,6 +41,141 @@ pub enum FaultPlacementSpec {
     },
     /// Corrupt every agent.
     All,
+    /// Corrupt up to `limit` agents currently satisfying the scenario's
+    /// target predicate (`ScenarioBuilder::fault_targets`) — e.g. *the
+    /// current leader* with a leader predicate and `limit = 1`.  Only
+    /// proposable when the driver's scenario registers a predicate
+    /// ([`FaultDomain::targeted`]).
+    Targeted {
+        /// Maximum number of target agents to corrupt.
+        limit: u32,
+    },
+}
+
+impl FaultPlacementSpec {
+    /// The [`FaultKind`] this placement describes.
+    pub fn kind(self) -> FaultKind {
+        match self {
+            FaultPlacementSpec::Random { count } => FaultKind::CorruptRandomAgents {
+                count: count as usize,
+            },
+            FaultPlacementSpec::Block { start, count } => FaultKind::CorruptBlock {
+                start: start as usize,
+                count: count as usize,
+            },
+            FaultPlacementSpec::All => FaultKind::CorruptAll,
+            FaultPlacementSpec::Targeted { limit } => FaultKind::CorruptTargets {
+                limit: limit as usize,
+            },
+        }
+    }
+
+    /// Recovers the placement of a [`FaultKind`] — the inverse of
+    /// [`FaultPlacementSpec::kind`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an agent count or block start exceeds `u32::MAX` — specs
+    /// are integer-exact by construction, and no practical population gets
+    /// anywhere near 2³² agents.
+    pub fn from_kind(kind: FaultKind) -> Self {
+        match kind {
+            FaultKind::CorruptRandomAgents { count } => FaultPlacementSpec::Random {
+                count: count.try_into().expect("agent count fits u32"),
+            },
+            FaultKind::CorruptBlock { start, count } => FaultPlacementSpec::Block {
+                start: start.try_into().expect("block start fits u32"),
+                count: count.try_into().expect("agent count fits u32"),
+            },
+            FaultKind::CorruptAll => FaultPlacementSpec::All,
+            FaultKind::CorruptTargets { limit } => FaultPlacementSpec::Targeted {
+                limit: limit.try_into().expect("target limit fits u32"),
+            },
+        }
+    }
+
+    /// The placement's part of a [`FaultPlanSpec::key`].
+    fn key(&self) -> String {
+        match *self {
+            FaultPlacementSpec::Random { count } => format!("random(count={count})"),
+            FaultPlacementSpec::Block { start, count } => {
+                format!("block(start={start},count={count})")
+            }
+            FaultPlacementSpec::All => "all".to_string(),
+            FaultPlacementSpec::Targeted { limit } => format!("targeted(limit={limit})"),
+        }
+    }
+}
+
+/// One predicate-coupled event of a fault plan: the burst fires when the
+/// scenario predicate registered under `trigger` first holds (at most once),
+/// instead of at a fixed step.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TriggeredEventSpec {
+    /// The scenario trigger name (`ScenarioBuilder::trigger`) that arms the
+    /// burst.
+    pub trigger: String,
+    /// Which agents the burst corrupts when it fires.
+    pub placement: FaultPlacementSpec,
+}
+
+/// A bounded Byzantine window: the agents whose interaction outputs the
+/// scenario's `byzantine` rewrite function may rewrite, over the step range
+/// `[from_step, until_step)`.
+///
+/// Agents are kept sorted and deduplicated (matching
+/// [`population::ByzantineWindow`]), so two specs describing the same window
+/// compare equal.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ByzantineWindowSpec {
+    agents: Vec<u32>,
+    from_step: u64,
+    until_step: u64,
+}
+
+impl ByzantineWindowSpec {
+    /// Builds a window spec (agents are sorted and deduplicated).
+    pub fn new(agents: impl IntoIterator<Item = u32>, from_step: u64, until_step: u64) -> Self {
+        let mut agents: Vec<u32> = agents.into_iter().collect();
+        agents.sort_unstable();
+        agents.dedup();
+        ByzantineWindowSpec {
+            agents,
+            from_step,
+            until_step,
+        }
+    }
+
+    /// The Byzantine agent set, sorted and deduplicated.
+    pub fn agents(&self) -> &[u32] {
+        &self.agents
+    }
+
+    /// First step of the window (inclusive).
+    pub fn from_step(&self) -> u64 {
+        self.from_step
+    }
+
+    /// End of the window (exclusive).
+    pub fn until_step(&self) -> u64 {
+        self.until_step
+    }
+
+    /// `true` when the window can never rewrite anything (no agents or an
+    /// empty step range) — [`FaultPlanSpec::with_byzantine`] drops such
+    /// windows, exactly like [`population::FaultPlan::with_byzantine`].
+    pub fn is_inert(&self) -> bool {
+        self.agents.is_empty() || self.from_step >= self.until_step
+    }
+
+    /// The [`population::ByzantineWindow`] this spec describes.
+    fn window(&self) -> ByzantineWindow {
+        ByzantineWindow::new(
+            self.agents.iter().map(|&a| a as usize),
+            self.from_step,
+            self.until_step,
+        )
+    }
 }
 
 /// One crash event of a fault plan: a step and a placement.
@@ -53,13 +188,18 @@ pub struct FaultEventSpec {
     pub placement: FaultPlacementSpec,
 }
 
-/// A value-level description of a whole crash schedule (possibly empty).
+/// A value-level description of a whole crash schedule (possibly empty):
+/// timed bursts, predicate-coupled (triggered) bursts and an optional
+/// Byzantine window.
 ///
-/// Events are kept sorted by step (matching [`FaultPlan`]'s ordering), so
-/// two specs describing the same schedule compare equal.
+/// Events are kept sorted by step and triggered events by trigger name
+/// (matching [`FaultPlan`]'s ordering for timed events), so two specs
+/// describing the same schedule compare equal.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct FaultPlanSpec {
     events: Vec<FaultEventSpec>,
+    triggered: Vec<TriggeredEventSpec>,
+    byzantine: Option<ByzantineWindowSpec>,
 }
 
 impl FaultPlanSpec {
@@ -69,68 +209,111 @@ impl FaultPlanSpec {
         FaultPlanSpec::default()
     }
 
-    /// Builds a spec from events (sorted by step; the sort is stable, so
-    /// same-step events keep their given order, exactly like
+    /// Builds a spec from timed events (sorted by step; the sort is stable,
+    /// so same-step events keep their given order, exactly like
     /// [`FaultPlan::at`]).
     pub fn new(mut events: Vec<FaultEventSpec>) -> Self {
         events.sort_by_key(|e| e.at_step);
-        FaultPlanSpec { events }
+        FaultPlanSpec {
+            events,
+            triggered: Vec::new(),
+            byzantine: None,
+        }
     }
 
-    /// Schedules one more burst (builder-style).
+    /// Schedules one more timed burst (builder-style).
     pub fn with_event(mut self, at_step: u64, placement: FaultPlacementSpec) -> Self {
         self.events.push(FaultEventSpec { at_step, placement });
         self.events.sort_by_key(|e| e.at_step);
         self
     }
 
-    /// The scheduled events, sorted by step.
+    /// Couples one more burst to a scenario trigger (builder-style).
+    /// Triggered events are kept sorted by trigger name (stable, so
+    /// same-name events keep their given order).
+    pub fn with_triggered(
+        mut self,
+        trigger: impl Into<String>,
+        placement: FaultPlacementSpec,
+    ) -> Self {
+        self.triggered.push(TriggeredEventSpec {
+            trigger: trigger.into(),
+            placement,
+        });
+        self.triggered.sort_by(|a, b| a.trigger.cmp(&b.trigger));
+        self
+    }
+
+    /// Attaches a Byzantine window (builder-style).  Inert windows are
+    /// dropped, exactly like [`FaultPlan::with_byzantine`], so a spec with a
+    /// do-nothing window equals the spec without it.
+    pub fn with_byzantine(mut self, window: ByzantineWindowSpec) -> Self {
+        self.byzantine = (!window.is_inert()).then_some(window);
+        self
+    }
+
+    /// The scheduled timed events, sorted by step.
     pub fn events(&self) -> &[FaultEventSpec] {
         &self.events
     }
 
-    /// `true` when no fault is scheduled.
+    /// The predicate-coupled events, sorted by trigger name.
+    pub fn triggered(&self) -> &[TriggeredEventSpec] {
+        &self.triggered
+    }
+
+    /// The Byzantine window, if one is attached (never inert).
+    pub fn byzantine(&self) -> Option<&ByzantineWindowSpec> {
+        self.byzantine.as_ref()
+    }
+
+    /// `true` when no fault is scheduled: no timed events, no triggered
+    /// events and no Byzantine window.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.events.is_empty() && self.triggered.is_empty() && self.byzantine.is_none()
     }
 
     /// A compact, stable key for reports and JSON output (`"none"` for the
-    /// empty schedule).
+    /// empty schedule).  Purely timed schedules keep the exact key format of
+    /// earlier report versions.
     pub fn key(&self) -> String {
-        if self.events.is_empty() {
+        if self.is_empty() {
             return "none".to_string();
         }
-        let parts: Vec<String> = self
+        let mut parts: Vec<String> = self
             .events
             .iter()
-            .map(|e| match e.placement {
-                FaultPlacementSpec::Random { count } => {
-                    format!("random(count={count})@{}", e.at_step)
-                }
-                FaultPlacementSpec::Block { start, count } => {
-                    format!("block(start={start},count={count})@{}", e.at_step)
-                }
-                FaultPlacementSpec::All => format!("all@{}", e.at_step),
-            })
+            .map(|e| format!("{}@{}", e.placement.key(), e.at_step))
             .collect();
+        parts.extend(
+            self.triggered
+                .iter()
+                .map(|t| format!("{}?{}", t.placement.key(), t.trigger)),
+        );
+        if let Some(w) = &self.byzantine {
+            let agents: Vec<String> = w.agents.iter().map(|a| a.to_string()).collect();
+            parts.push(format!(
+                "byz(agents={},from={},until={})",
+                agents.join("."),
+                w.from_step,
+                w.until_step
+            ));
+        }
         parts.join("+")
     }
 
     /// Builds the [`FaultPlan`] this spec describes.
     pub fn plan(&self) -> FaultPlan {
-        self.events.iter().fold(FaultPlan::new(), |plan, e| {
-            let kind = match e.placement {
-                FaultPlacementSpec::Random { count } => FaultKind::CorruptRandomAgents {
-                    count: count as usize,
-                },
-                FaultPlacementSpec::Block { start, count } => FaultKind::CorruptBlock {
-                    start: start as usize,
-                    count: count as usize,
-                },
-                FaultPlacementSpec::All => FaultKind::CorruptAll,
-            };
-            plan.at(e.at_step, kind)
-        })
+        let plan = self.events.iter().fold(FaultPlan::new(), |plan, e| {
+            plan.at(e.at_step, e.placement.kind())
+        });
+        let plan = self.triggered.iter().fold(plan, |plan, t| {
+            plan.when(t.trigger.clone(), t.placement.kind())
+        });
+        match &self.byzantine {
+            Some(w) => plan.with_byzantine(w.window()),
+            None => plan,
+        }
     }
 
     /// Recovers the spec of a [`FaultPlan`] — the inverse of
@@ -139,32 +322,42 @@ impl FaultPlanSpec {
     ///
     /// # Panics
     ///
-    /// Panics if an agent count or block start exceeds `u32::MAX` — specs
-    /// are integer-exact by construction, and no practical population gets
-    /// anywhere near 2³² agents.
+    /// Panics if an agent count, block start or target limit exceeds
+    /// `u32::MAX` — specs are integer-exact by construction, and no
+    /// practical population gets anywhere near 2³² agents.
     pub fn from_plan(plan: &FaultPlan) -> Self {
         let events = plan
             .events()
             .iter()
-            .map(|e| {
-                let placement = match e.kind {
-                    FaultKind::CorruptRandomAgents { count } => FaultPlacementSpec::Random {
-                        count: count.try_into().expect("agent count fits u32"),
-                    },
-                    FaultKind::CorruptBlock { start, count } => FaultPlacementSpec::Block {
-                        start: start.try_into().expect("block start fits u32"),
-                        count: count.try_into().expect("agent count fits u32"),
-                    },
-                    FaultKind::CorruptAll => FaultPlacementSpec::All,
-                };
-                FaultEventSpec {
-                    at_step: e.at_step,
-                    placement,
-                }
+            .map(|e| FaultEventSpec {
+                at_step: e.at_step,
+                placement: FaultPlacementSpec::from_kind(e.kind),
             })
             .collect();
-        // Already sorted: FaultPlan keeps its events sorted by step.
-        FaultPlanSpec { events }
+        let mut triggered: Vec<TriggeredEventSpec> = plan
+            .triggered()
+            .iter()
+            .map(|t| TriggeredEventSpec {
+                trigger: t.trigger.clone(),
+                placement: FaultPlacementSpec::from_kind(t.kind),
+            })
+            .collect();
+        triggered.sort_by(|a, b| a.trigger.cmp(&b.trigger));
+        let byzantine = plan.byzantine().map(|w| {
+            ByzantineWindowSpec::new(
+                w.agents()
+                    .iter()
+                    .map(|&a| u32::try_from(a).expect("agent index fits u32")),
+                w.from_step(),
+                w.until_step(),
+            )
+        });
+        // Timed events are already sorted: FaultPlan keeps them by step.
+        FaultPlanSpec {
+            events,
+            triggered,
+            byzantine,
+        }
     }
 }
 
@@ -182,6 +375,12 @@ pub struct FaultDomain {
     pub max_agents: u32,
     /// Upper bound (inclusive) on the number of scheduled bursts.
     pub max_events: u32,
+    /// Allow [`FaultPlacementSpec::Targeted`] proposals.  Requires the
+    /// driver's scenario to register a target predicate
+    /// (`ScenarioBuilder::fault_targets`); when `false` (all pre-existing
+    /// domains) the proposal RNG stream is **bit-identical** to earlier
+    /// report versions, so committed certificates replay unchanged.
+    pub targeted: bool,
 }
 
 impl FaultDomain {
@@ -193,6 +392,7 @@ impl FaultDomain {
             max_step: 0,
             max_agents: 0,
             max_events: 0,
+            targeted: false,
         }
     }
 
@@ -204,12 +404,23 @@ impl FaultDomain {
             max_step,
             max_agents: max_agents.max(1),
             max_events: 2,
+            targeted: false,
         }
     }
 
-    /// Samples a uniformly random placement.
+    /// Enables [`FaultPlacementSpec::Targeted`] proposals (builder-style) —
+    /// only for drivers whose scenario registers a target predicate.
+    pub fn with_targeted(mut self) -> Self {
+        self.targeted = true;
+        self
+    }
+
+    /// Samples a uniformly random placement.  The targeted arm extends the
+    /// draw range instead of re-weighting it, so domains without `targeted`
+    /// consume the RNG exactly as before the axis existed.
     fn sample_placement(&self, rng: &mut ChaCha8Rng) -> FaultPlacementSpec {
-        match rng.gen_range(0..3u8) {
+        let kinds = if self.targeted { 4u8 } else { 3u8 };
+        match rng.gen_range(0..kinds) {
             0 => FaultPlacementSpec::Random {
                 count: rng.gen_range(1..=self.max_agents),
             },
@@ -217,7 +428,10 @@ impl FaultDomain {
                 start: rng.gen_range(0..self.max_agents),
                 count: rng.gen_range(1..=self.max_agents),
             },
-            _ => FaultPlacementSpec::All,
+            2 => FaultPlacementSpec::All,
+            _ => FaultPlacementSpec::Targeted {
+                limit: rng.gen_range(1..=self.max_agents),
+            },
         }
     }
 
@@ -227,8 +441,13 @@ impl FaultDomain {
             .with_event(rng.gen_range(0..=self.max_step), self.sample_placement(rng))
     }
 
-    /// Proposes a perturbation of `spec`: add/drop a burst, shift a burst's
-    /// timing (half/double), or redraw a burst's placement.
+    /// Proposes a perturbation of `spec`'s timed events: add/drop a burst,
+    /// shift a burst's timing (half/double), or redraw a burst's placement.
+    /// Triggered events and Byzantine windows are scenario-coupled (they
+    /// reference trigger names and rewrite functions the search cannot
+    /// invent), so they pass through proposals **verbatim**: a seed
+    /// candidate carrying them keeps them while the search mutates the
+    /// timed axes around them.
     pub(crate) fn tweak(&self, spec: &FaultPlanSpec, rng: &mut ChaCha8Rng) -> FaultPlanSpec {
         if !self.enabled {
             return FaultPlanSpec::none();
@@ -237,6 +456,19 @@ impl FaultDomain {
             return self.sample(rng);
         }
         let mut events = spec.events.clone();
+        if events.is_empty() {
+            // Only scenario-coupled parts so far: propose a first timed
+            // burst alongside them.
+            events.push(FaultEventSpec {
+                at_step: rng.gen_range(0..=self.max_step),
+                placement: self.sample_placement(rng),
+            });
+            return FaultPlanSpec {
+                events,
+                triggered: spec.triggered.clone(),
+                byzantine: spec.byzantine.clone(),
+            };
+        }
         match rng.gen_range(0..4u8) {
             // Drop one burst (possibly back to the fault-free plan).
             0 => {
@@ -268,7 +500,12 @@ impl FaultDomain {
                 events[i].placement = self.sample_placement(rng);
             }
         }
-        FaultPlanSpec::new(events)
+        events.sort_by_key(|e| e.at_step);
+        FaultPlanSpec {
+            events,
+            triggered: spec.triggered.clone(),
+            byzantine: spec.byzantine.clone(),
+        }
     }
 }
 
@@ -327,9 +564,113 @@ mod tests {
                         assert!((1..=domain.max_agents).contains(&count));
                     }
                     FaultPlacementSpec::All => {}
+                    FaultPlacementSpec::Targeted { .. } => {
+                        panic!("targeted placements need FaultDomain::with_targeted")
+                    }
                 }
             }
         }
         assert!(saw_nonempty && saw_two_events, "domain explores its bounds");
+    }
+
+    #[test]
+    fn hostile_specs_build_plans_and_round_trip() {
+        let spec = FaultPlanSpec::none()
+            .with_event(50, FaultPlacementSpec::Targeted { limit: 1 })
+            .with_triggered("on-elect", FaultPlacementSpec::All)
+            .with_triggered("on-elect", FaultPlacementSpec::Random { count: 2 })
+            .with_byzantine(ByzantineWindowSpec::new([7, 3, 3, 0], 10, 500));
+        assert!(!spec.is_empty());
+        assert_eq!(spec.triggered().len(), 2);
+        let w = spec.byzantine().expect("window attached");
+        assert_eq!(w.agents(), &[0, 3, 7], "agents sorted and deduplicated");
+        let plan = spec.plan();
+        assert_eq!(plan.len(), 3, "one timed + two triggered events");
+        assert!(plan.byzantine().is_some());
+        assert_eq!(FaultPlanSpec::from_plan(&plan), spec);
+        assert_eq!(
+            spec.key(),
+            "targeted(limit=1)@50+all?on-elect+random(count=2)?on-elect\
+             +byz(agents=0.3.7,from=10,until=500)"
+        );
+    }
+
+    #[test]
+    fn inert_byzantine_windows_are_dropped_from_specs() {
+        let spec =
+            FaultPlanSpec::none().with_byzantine(ByzantineWindowSpec::new(Vec::new(), 0, 100));
+        assert!(spec.byzantine().is_none());
+        assert!(spec.is_empty());
+        assert_eq!(spec.key(), "none");
+        let closed = FaultPlanSpec::none().with_byzantine(ByzantineWindowSpec::new([1], 5, 5));
+        assert!(closed.is_empty(), "empty step ranges are inert too");
+        // A triggered-only spec is non-empty even with zero timed events.
+        let triggered = FaultPlanSpec::none().with_triggered("t", FaultPlacementSpec::All);
+        assert!(!triggered.is_empty());
+    }
+
+    #[test]
+    fn placements_and_kinds_are_inverse() {
+        for placement in [
+            FaultPlacementSpec::Random { count: 3 },
+            FaultPlacementSpec::Block { start: 2, count: 4 },
+            FaultPlacementSpec::All,
+            FaultPlacementSpec::Targeted { limit: 1 },
+        ] {
+            assert_eq!(FaultPlacementSpec::from_kind(placement.kind()), placement);
+        }
+    }
+
+    #[test]
+    fn targeted_proposals_are_gated_behind_the_domain_flag() {
+        let plain = FaultDomain::bursts(1_000, 16);
+        let armed = FaultDomain::bursts(1_000, 16).with_targeted();
+        let is_targeted = |s: &FaultPlanSpec| {
+            s.events()
+                .iter()
+                .any(|e| matches!(e.placement, FaultPlacementSpec::Targeted { .. }))
+        };
+        let run = |domain: FaultDomain, seed: u64| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut spec = FaultPlanSpec::none();
+            let mut specs = Vec::new();
+            for _ in 0..500 {
+                spec = domain.tweak(&spec, &mut rng);
+                specs.push(spec.clone());
+            }
+            specs
+        };
+        assert!(
+            !run(plain, 9).iter().any(is_targeted),
+            "default domains never propose targeted placements"
+        );
+        assert!(
+            run(armed, 9).iter().any(is_targeted),
+            "with_targeted opens the axis"
+        );
+        for e in run(armed, 9).iter().flat_map(|s| s.events()) {
+            if let FaultPlacementSpec::Targeted { limit } = e.placement {
+                assert!((1..=armed.max_agents).contains(&limit));
+            }
+        }
+    }
+
+    #[test]
+    fn tweaks_preserve_scenario_coupled_parts_verbatim() {
+        let domain = FaultDomain::bursts(1_000, 8);
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let mut spec = FaultPlanSpec::none()
+            .with_triggered("on-elect", FaultPlacementSpec::All)
+            .with_byzantine(ByzantineWindowSpec::new([0, 1], 0, 256));
+        let (triggered, byzantine) = (spec.triggered().to_vec(), spec.byzantine().cloned());
+        for _ in 0..200 {
+            spec = domain.tweak(&spec, &mut rng);
+            assert_eq!(spec.triggered(), triggered.as_slice());
+            assert_eq!(spec.byzantine(), byzantine.as_ref());
+        }
+        assert!(
+            !spec.events().is_empty() || spec.triggered() == triggered.as_slice(),
+            "timed axes mutate around the preserved parts"
+        );
     }
 }

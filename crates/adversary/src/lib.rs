@@ -18,7 +18,9 @@
 //!   into a `population::SchedulerFamily`, so any `Scenario` can be re-run
 //!   under any zoo member via `Scenario::with_scheduler`;
 //! * a serializable **fault-plan description** ([`FaultPlanSpec`]) — an
-//!   integer-exact crash schedule (timing, placement, extent) that builds a
+//!   integer-exact crash schedule (timing, placement, extent — including
+//!   targeted placements, predicate-coupled [`TriggeredEventSpec`]s and
+//!   bounded [`ByzantineWindowSpec`]s) that builds a
 //!   `population::FaultPlan`, so the search can also crash agents mid-run
 //!   and certificates replay through `Scenario`'s fault path;
 //! * a **worst-case search engine** ([`worst_case_search`]) — deterministic
@@ -54,7 +56,10 @@ pub mod weighted;
 
 pub use certify::{certify_livelock, spec_phases, CertifiedLivelock};
 pub use epoch::{EpochPartitionScheduler, FairnessAuditor, FairnessCertificate};
-pub use faultplan::{FaultDomain, FaultEventSpec, FaultPlacementSpec, FaultPlanSpec};
+pub use faultplan::{
+    ByzantineWindowSpec, FaultDomain, FaultEventSpec, FaultPlacementSpec, FaultPlanSpec,
+    TriggeredEventSpec,
+};
 pub use greedy::{ArcScorer, GreedyAdversary};
 pub use search::{
     worst_case_search, worst_case_search_islands, Candidate, Evaluation, IslandConfig,

@@ -1,41 +1,26 @@
 //! Experiment E11 — self-stabilization as fault recovery: corrupt `f` agents
-//! of a safe configuration and measure the re-convergence time to `S_PL`,
-//! plus a closure check (the unique leader never changes once `S_PL` is
+//! of a safe configuration and measure the re-convergence time, plus a
+//! closure check for `P_PL` (the unique leader never changes once `S_PL` is
 //! reached).
 //!
-//! The corruption is expressed as a [`FaultPlan`] firing at step 0 of the
-//! scenario — the declarative form of "start safe, then break `f` agents".
+//! The experiment runs on the **shared recovery machinery** of
+//! `ssle_bench::recovery` — the same safe-start preparation
+//! ([`recovery::safe_start`]: the end state of a converged fault-free run)
+//! and step-0 fault replay ([`recovery::replay`]) that the tracked
+//! `BENCH_recovery.json` report uses — and covers **all four Table 1
+//! protocols** on the directed ring, not just `P_PL`.  The fault here is
+//! always `CorruptRandomAgents { count: f }` under the uniformly random
+//! scheduler, swept over `f`; the hostile-scheduler × fault-shape grid is
+//! the `recovery_report` binary's job.
 
 use analysis::{Summary, Table};
-use population::{
-    DirectedRing, FaultKind, FaultPlan, LeaderElection, ScenarioBuilder, Simulation, SweepGrid,
-    SweepPoint,
-};
+use population::{DirectedRing, FaultKind, LeaderElection, Simulation};
 use ssle_bench::cli::BenchArgs;
+use ssle_bench::hotloop::HotloopGraph;
+use ssle_bench::recovery;
 use ssle_bench::report::Report;
-use ssle_bench::{check_interval, step_budget};
-use ssle_core::{in_s_pl, perfect_configuration, Params, Ppl, PplState};
-
-/// The recovery scenario: a perfect configuration whose `faults` agents are
-/// corrupted by a step-0 fault event, measured to re-entry into `S_PL`.
-fn recovery_scenario(faults: usize) -> population::Scenario {
-    ScenarioBuilder::new("ppl/recovery", |pt: &SweepPoint| {
-        Ppl::new(Params::for_ring(pt.n))
-    })
-    .init(|p: &Ppl, pt| {
-        perfect_configuration(pt.n, p.params(), (pt.seed as usize) % pt.n, pt.seed % 7)
-    })
-    .stop_when("s-pl", |p: &Ppl, c| in_s_pl(c, p.params()))
-    .check_every(|pt| check_interval(pt.n))
-    .step_budget(|pt| step_budget(pt.n))
-    .faults(
-        move |_pt| FaultPlan::new().at(0, FaultKind::CorruptRandomAgents { count: faults }),
-        |p: &Ppl, rng, _i| PplState::sample_uniform(rng, p.params()),
-    )
-    .sim_seed(|pt| pt.seed ^ 0xFA)
-    .build()
-    .expect("complete scenario")
-}
+use ssle_bench::ProtocolKind;
+use ssle_core::{in_s_pl, perfect_configuration, Params, Ppl};
 
 fn main() {
     let args = BenchArgs::parse();
@@ -55,44 +40,82 @@ fn main() {
         .filter(|&f| f >= 1)
         .collect();
 
-    let mut table = Table::new(
-        "Steps to re-enter S_PL after a transient fault",
-        &[
-            "corrupted agents f",
-            "mean steps",
-            "median",
-            "max",
-            "converged",
-        ],
-    );
-
     let runner = args.runner();
-    for &faults in &fault_counts {
-        let grid = SweepGrid::new()
-            .sizes(&[n])
-            .trials(trials, args.seed_or(0xFA17) + faults as u64);
-        let summaries = recovery_scenario(faults).sweep_summaries(&grid, &runner);
-        let s = &summaries[0];
-        let steps = s.convergence_steps();
-        if let Some(summary) = Summary::of(&steps) {
-            table.push_row(vec![
-                faults.to_string(),
-                format!("{:.3e}", summary.mean),
-                format!("{:.3e}", summary.median),
-                format!("{:.3e}", summary.max),
-                format!("{}/{}", steps.len(), s.outcomes.len()),
-            ]);
+    let graph = HotloopGraph::Ring;
+    for (ki, kind) in ProtocolKind::ALL.into_iter().enumerate() {
+        // The Table 1 step budget of this protocol (the cubic-class
+        // baselines get their extra factor) — the same convergence envelope
+        // the forward experiments use.
+        let budget = kind.trial_budget(n);
+        let base = args.seed_or(0xFA17) ^ ((ki as u64) << 32);
+        let (safe, _) = recovery::safe_start(kind, graph, n, budget, base);
+        let title = if kind == ProtocolKind::Ppl {
+            "Steps to re-enter S_PL after a transient fault".to_string()
         } else {
-            table.push_row(vec![
-                faults.to_string(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                format!("0/{}", s.outcomes.len()),
-            ]);
+            format!(
+                "Steps to re-converge after a transient fault — {}",
+                kind.name()
+            )
+        };
+        let mut table = Table::new(
+            &title,
+            &[
+                "corrupted agents f",
+                "mean steps",
+                "median",
+                "max",
+                "converged",
+            ],
+        );
+        let Some(safe) = safe else {
+            report.note(format!(
+                "{}: fault-free preparation run did not converge within {budget} steps; \
+                 no safe configuration to recover from",
+                kind.name()
+            ));
+            continue;
+        };
+        for &faults in &fault_counts {
+            let seeds: Vec<u64> = (0..trials)
+                .map(|t| base + faults as u64 + ((t as u64) << 16))
+                .collect();
+            let outcomes = runner.run_map(&seeds, |&seed| {
+                recovery::replay(
+                    kind,
+                    graph,
+                    n,
+                    budget,
+                    &safe,
+                    FaultKind::CorruptRandomAgents { count: faults },
+                    None,
+                    seed,
+                )
+            });
+            let steps: Vec<f64> = outcomes
+                .iter()
+                .filter(|&&(_, converged)| converged)
+                .map(|&(s, _)| s as f64)
+                .collect();
+            if let Some(summary) = Summary::of(&steps) {
+                table.push_row(vec![
+                    faults.to_string(),
+                    format!("{:.3e}", summary.mean),
+                    format!("{:.3e}", summary.median),
+                    format!("{:.3e}", summary.max),
+                    format!("{}/{}", steps.len(), outcomes.len()),
+                ]);
+            } else {
+                table.push_row(vec![
+                    faults.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    format!("0/{}", outcomes.len()),
+                ]);
+            }
         }
+        report.table(table);
     }
-    report.table(table);
 
     // Closure check: once in S_PL, the leader never changes over a long run.
     report.heading("Closure check");

@@ -2,21 +2,24 @@
 //! handlers that run them.
 //!
 //! This module is the bridge between the job-agnostic `ssle-fabric`
-//! coordinator/worker machinery and the two report grids:
+//! coordinator/worker machinery and the report grids:
 //!
-//! * the **unit builders** ([`stabilization_units`], [`hotloop_units`])
+//! * the **unit builders** ([`stabilization_units`], [`recovery_units`],
+//!   [`hotloop_units`])
 //!   serialize each grid cell's *semantic identity* — protocol, graph,
 //!   size, and every run knob that affects the result — into a
 //!   [`WorkUnit`] spec, in the exact order the in-process report emits its
 //!   cells.  Run-local knobs (thread counts, timeouts, worker counts) are
 //!   deliberately **excluded** from the spec: they cannot change a
 //!   deterministic cell's result, so they must not change its cache key;
-//! * the **handlers** ([`stabilization_handler`], [`hotloop_handler`])
+//! * the **handlers** ([`stabilization_handler`], [`recovery_handler`],
+//!   [`hotloop_handler`])
 //!   validate a unit's spec (typed [`WorkError`]s for unknown jobs, wrong
 //!   job-schema versions and malformed fields), run the cell through the
 //!   same `run_cell`/`run_case` code the in-process path uses, and return
 //!   the same `cell_to_json`/`case_to_json` encoding;
-//! * the **drivers** ([`run_stabilization_fabric`], [`run_hotloop_fabric`])
+//! * the **drivers** ([`run_stabilization_fabric`],
+//!   [`run_recovery_fabric`], [`run_hotloop_fabric`])
 //!   run a grid through a coordinator pool and assemble the final report
 //!   with the same `report_json_from_*` shell as the in-process path.
 //!
@@ -36,6 +39,7 @@ use population::BatchRunner;
 use ssle_fabric::{run_units, CoordinatorOptions, ResultCache, WorkError, WorkUnit, WorkerCommand};
 
 use crate::hotloop::{self, HotloopGraph};
+use crate::recovery;
 use crate::stabilization::{self, RunOptions};
 use crate::ProtocolKind;
 
@@ -44,6 +48,9 @@ pub const STABILIZATION_JOB: &str = "stabilization-cell";
 
 /// Job kind of one hot-loop-grid case.
 pub const HOTLOOP_JOB: &str = "hotloop-case";
+
+/// Job kind of one recovery-grid cell.
+pub const RECOVERY_JOB: &str = "recovery-cell";
 
 /// Looks up a protocol by its report key.
 fn protocol_from_key(key: &str) -> Option<ProtocolKind> {
@@ -108,6 +115,40 @@ pub fn hotloop_units(quick: bool) -> Vec<WorkUnit> {
                     .with("graph", graph.key())
                     .with("n", n)
                     .with("quick", quick),
+            )
+        })
+        .collect()
+}
+
+/// The work-unit spec of one recovery cell: the cell coordinates plus the
+/// [`recovery::RunOptions`] knobs that are part of the result's identity
+/// (`threads` excluded for the same cache-key reason as above).
+fn recovery_spec(
+    kind: ProtocolKind,
+    graph: HotloopGraph,
+    n: usize,
+    options: &recovery::RunOptions,
+) -> JsonValue {
+    JsonValue::object()
+        .with("schema", recovery::SCHEMA)
+        .with("protocol", kind.key())
+        .with("graph", graph.key())
+        .with("n", n)
+        .with("quick", options.quick)
+        .with("trials", options.trials)
+}
+
+/// The recovery grid as work units, in [`recovery::grid_cells`] (= report)
+/// order.
+pub fn recovery_units(options: &recovery::RunOptions) -> Vec<WorkUnit> {
+    recovery::grid_cells(options)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (kind, graph, n))| {
+            WorkUnit::new(
+                i as u64,
+                RECOVERY_JOB,
+                recovery_spec(kind, graph, n, options),
             )
         })
         .collect()
@@ -202,6 +243,31 @@ pub fn stabilization_handler(
         let runner = BatchRunner::with_threads(threads.max(1));
         let cell = stabilization::run_cell(kind, graph, n, &options, &runner);
         Ok(stabilization::cell_to_json(&cell))
+    }
+}
+
+/// The worker-side handler for [`RECOVERY_JOB`] units: validates the spec,
+/// runs the cell through [`recovery::run_cell`] on an inner runner of
+/// `threads` workers, and returns [`recovery::cell_to_json`] — exactly the
+/// bytes the in-process report would emit for this cell.
+pub fn recovery_handler(
+    threads: usize,
+) -> impl Fn(&str, &JsonValue) -> Result<JsonValue, WorkError> {
+    move |job, spec| {
+        if job != RECOVERY_JOB {
+            return Err(WorkError::UnknownJob { job: job.into() });
+        }
+        expect_job_schema(spec, recovery::SCHEMA)?;
+        let (kind, graph, n) = spec_cell(spec)?;
+        let options = recovery::RunOptions {
+            quick: spec_bool(spec, "quick")?,
+            sizes: vec![n],
+            trials: spec_usize(spec, "trials")?,
+            threads: Some(threads),
+        };
+        let runner = BatchRunner::with_threads(threads.max(1));
+        let cell = recovery::run_cell(kind, graph, n, &options, &runner);
+        Ok(recovery::cell_to_json(&cell))
     }
 }
 
@@ -329,6 +395,19 @@ pub fn run_stabilization_fabric(
     let units = stabilization_units(options);
     let (cells, stats) = run_grid(command, &units, config)?;
     Ok((stabilization::report_json_from_cells(options, cells), stats))
+}
+
+/// Runs the recovery grid through worker subprocesses and assembles the
+/// report JSON — byte-identical to `recovery::run(options)`'s
+/// `to_json_value()` by the same construction as the stabilization fabric.
+pub fn run_recovery_fabric(
+    command: &WorkerCommand,
+    options: &recovery::RunOptions,
+    config: &FabricConfig,
+) -> Result<(JsonValue, FabricStats), String> {
+    let units = recovery_units(options);
+    let (cells, stats) = run_grid(command, &units, config)?;
+    Ok((recovery::report_json_from_cells(options, cells), stats))
 }
 
 /// Runs the hot-loop grid through worker subprocesses and assembles the
@@ -462,6 +541,70 @@ mod tests {
         assert!(matches!(
             hotloop(HOTLOOP_JOB, &JsonValue::object().with("schema", "x")),
             Err(WorkError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn recovery_units_and_handler_match_the_in_process_path() {
+        let options = recovery::RunOptions {
+            quick: true,
+            sizes: vec![8],
+            trials: 2,
+            threads: Some(1),
+        };
+        let units = recovery_units(&options);
+        let cells = recovery::grid_cells(&options);
+        assert_eq!(units.len(), cells.len());
+        for (i, (unit, (kind, graph, n))) in units.iter().zip(&cells).enumerate() {
+            assert_eq!(unit.seq, i as u64);
+            assert_eq!(unit.job, RECOVERY_JOB);
+            assert_eq!(
+                unit.spec.get("protocol").and_then(JsonValue::as_str),
+                Some(kind.key())
+            );
+            assert_eq!(
+                unit.spec.get("graph").and_then(JsonValue::as_str),
+                Some(graph.key())
+            );
+            assert_eq!(
+                unit.spec.get("n").and_then(JsonValue::as_f64),
+                Some(*n as f64)
+            );
+            assert!(
+                unit.spec.get("threads").is_none(),
+                "thread counts must not reach the cache key"
+            );
+        }
+        let mut two_threads = options.clone();
+        two_threads.threads = Some(2);
+        for (a, b) in units.iter().zip(&recovery_units(&two_threads)) {
+            assert_eq!(a.cache_key(), b.cache_key());
+        }
+
+        // The worker handler emits exactly the in-process cell bytes.
+        let handler = recovery_handler(1);
+        let payload = handler(&units[0].job, &units[0].spec).expect("cell runs");
+        let (kind, graph, n) = cells[0];
+        let runner = BatchRunner::with_threads(1);
+        let direct = recovery::cell_to_json(&recovery::run_cell(kind, graph, n, &options, &runner));
+        assert_eq!(payload.to_json(), direct.to_json());
+
+        // Typed errors on bad units.
+        assert!(matches!(
+            handler("other-job", &JsonValue::Null),
+            Err(WorkError::UnknownJob { .. })
+        ));
+        assert!(matches!(
+            handler(RECOVERY_JOB, &JsonValue::object().with("schema", "x")),
+            Err(WorkError::SchemaMismatch { .. })
+        ));
+        let no_protocol = JsonValue::object()
+            .with("schema", recovery::SCHEMA)
+            .with("graph", "ring")
+            .with("n", 8usize);
+        assert!(matches!(
+            handler(RECOVERY_JOB, &no_protocol),
+            Err(WorkError::BadSpec { .. })
         ));
     }
 

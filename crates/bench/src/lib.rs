@@ -30,6 +30,7 @@ pub mod baseline_boxed;
 pub mod cli;
 pub mod fabric;
 pub mod hotloop;
+pub mod recovery;
 pub mod report;
 pub mod stabilization;
 

@@ -64,7 +64,7 @@ use ssle_adversary::{
     Evaluation, FaultDomain, FaultPlanSpec, IslandConfig, IslandOutcome, SchedulerSpec,
     SearchSpace, SpecDomain,
 };
-use ssle_adversary::{FaultEventSpec, FaultPlacementSpec};
+use ssle_adversary::{ByzantineWindowSpec, FaultEventSpec, FaultPlacementSpec};
 use ssle_baselines::{
     angluin_mod_k::{AngluinModK, ModKState},
     fischer_jiang::{FischerJiang, FjState},
@@ -1030,54 +1030,152 @@ pub fn certified_from_json(json: &JsonValue) -> Option<Option<CertifiedLivelock>
     }))
 }
 
-/// Serializes a [`FaultPlanSpec`] structurally: a (possibly empty) array of
-/// events, each with its exact step, placement kind and integer parameters.
-/// `at_step` is a full-width u64, so — like the seeds — it is stored as an
-/// exact decimal string (JSON numbers are f64 and would round ≥ 2⁵³,
-/// breaking certificate replay).
+/// Attaches a placement's kind tag and integer parameters to a JSON object
+/// (shared by timed and triggered event serialization).
+fn placement_to_json(obj: JsonValue, placement: FaultPlacementSpec) -> JsonValue {
+    match placement {
+        FaultPlacementSpec::Random { count } => obj
+            .with("placement", "random")
+            .with("count", count as usize),
+        FaultPlacementSpec::Block { start, count } => obj
+            .with("placement", "block")
+            .with("start", start as usize)
+            .with("count", count as usize),
+        FaultPlacementSpec::All => obj.with("placement", "all"),
+        FaultPlacementSpec::Targeted { limit } => obj
+            .with("placement", "targeted")
+            .with("limit", limit as usize),
+    }
+}
+
+/// Reads a placement's kind tag and integer parameters back out of a JSON
+/// object, with the same exactness rules as every other integer field.
+fn placement_from_json(e: &JsonValue) -> Option<FaultPlacementSpec> {
+    let count = |e: &JsonValue| Some(exact_uint(e, "count", u32::MAX as u64)? as u32);
+    Some(match e.get("placement").and_then(JsonValue::as_str)? {
+        "random" => FaultPlacementSpec::Random { count: count(e)? },
+        "block" => FaultPlacementSpec::Block {
+            start: exact_uint(e, "start", u32::MAX as u64)? as u32,
+            count: count(e)?,
+        },
+        "all" => FaultPlacementSpec::All,
+        "targeted" => FaultPlacementSpec::Targeted {
+            limit: exact_uint(e, "limit", u32::MAX as u64)? as u32,
+        },
+        _ => return None,
+    })
+}
+
+/// Serializes a [`FaultPlanSpec`] structurally.  A purely timed spec — every
+/// committed v3 certificate — stays the (possibly empty) **array** of events
+/// of the original encoding, byte for byte.  A spec carrying triggered
+/// events or a Byzantine window becomes an **object**
+/// `{"events": […], "triggered": […], "byzantine": {…}}` (the hostile keys
+/// only present when non-empty).  Full-width u64s (`at_step`, the window
+/// bounds) are exact decimal strings (JSON numbers are f64 and would round
+/// ≥ 2⁵³, breaking certificate replay).
 pub fn fault_spec_to_json(spec: &FaultPlanSpec) -> JsonValue {
-    JsonValue::Array(
+    let events = JsonValue::Array(
         spec.events()
             .iter()
             .map(|e| {
-                let obj = JsonValue::object().with("at_step", e.at_step.to_string().as_str());
-                match e.placement {
-                    FaultPlacementSpec::Random { count } => obj
-                        .with("placement", "random")
-                        .with("count", count as usize),
-                    FaultPlacementSpec::Block { start, count } => obj
-                        .with("placement", "block")
-                        .with("start", start as usize)
-                        .with("count", count as usize),
-                    FaultPlacementSpec::All => obj.with("placement", "all"),
-                }
+                placement_to_json(
+                    JsonValue::object().with("at_step", e.at_step.to_string().as_str()),
+                    e.placement,
+                )
             })
             .collect(),
-    )
+    );
+    if spec.triggered().is_empty() && spec.byzantine().is_none() {
+        return events;
+    }
+    let mut obj = JsonValue::object().with("events", events);
+    if !spec.triggered().is_empty() {
+        obj = obj.with(
+            "triggered",
+            JsonValue::Array(
+                spec.triggered()
+                    .iter()
+                    .map(|t| {
+                        placement_to_json(
+                            JsonValue::object().with("trigger", t.trigger.as_str()),
+                            t.placement,
+                        )
+                    })
+                    .collect(),
+            ),
+        );
+    }
+    if let Some(w) = spec.byzantine() {
+        obj = obj.with(
+            "byzantine",
+            JsonValue::object()
+                .with(
+                    "agents",
+                    JsonValue::Array(
+                        w.agents()
+                            .iter()
+                            .map(|&a| JsonValue::Number(a as f64))
+                            .collect(),
+                    ),
+                )
+                .with("from_step", w.from_step().to_string().as_str())
+                .with("until_step", w.until_step().to_string().as_str()),
+        );
+    }
+    obj
 }
 
-/// Rebuilds a [`FaultPlanSpec`] from its [`fault_spec_to_json`] form.
-/// `count` and `start` parse exactly or not at all (`exact_uint`) — the
-/// `v2` `as u32` casts would silently turn a corrupted `count` of `1e10` or
-/// `3.7` into a different crash schedule instead of rejecting it.
+/// Rebuilds a [`FaultPlanSpec`] from its [`fault_spec_to_json`] form —
+/// either the bare timed-event array or the hostile object shape.  Every
+/// integer parses exactly or not at all (`exact_uint`) — the `v2` `as u32`
+/// casts would silently turn a corrupted `count` of `1e10` or `3.7` into a
+/// different crash schedule instead of rejecting it.
 pub fn fault_spec_from_json(json: &JsonValue) -> Option<FaultPlanSpec> {
-    let events = json.as_array()?;
+    let (events, hostile) = match json.as_array() {
+        Some(events) => (events, None),
+        None => (
+            json.get("events")?.as_array()?,
+            Some((json.get("triggered"), json.get("byzantine"))),
+        ),
+    };
     let mut out = Vec::with_capacity(events.len());
     for e in events {
-        let at_step = exact_u64_string(e, "at_step")?;
-        let count = |e: &JsonValue| Some(exact_uint(e, "count", u32::MAX as u64)? as u32);
-        let placement = match e.get("placement").and_then(JsonValue::as_str)? {
-            "random" => FaultPlacementSpec::Random { count: count(e)? },
-            "block" => FaultPlacementSpec::Block {
-                start: exact_uint(e, "start", u32::MAX as u64)? as u32,
-                count: count(e)?,
-            },
-            "all" => FaultPlacementSpec::All,
-            _ => return None,
-        };
-        out.push(FaultEventSpec { at_step, placement });
+        out.push(FaultEventSpec {
+            at_step: exact_u64_string(e, "at_step")?,
+            placement: placement_from_json(e)?,
+        });
     }
-    Some(FaultPlanSpec::new(out))
+    let mut spec = FaultPlanSpec::new(out);
+    let Some((triggered, byzantine)) = hostile else {
+        return Some(spec);
+    };
+    if let Some(triggered) = triggered {
+        for t in triggered.as_array()? {
+            spec = spec.with_triggered(
+                t.get("trigger").and_then(JsonValue::as_str)?,
+                placement_from_json(t)?,
+            );
+        }
+    }
+    if let Some(w) = byzantine {
+        let agents = w
+            .get("agents")?
+            .as_array()?
+            .iter()
+            .map(|a| {
+                let x = a.as_f64()?;
+                (x.is_finite() && x.fract() == 0.0 && x >= 0.0 && x <= u32::MAX as f64)
+                    .then_some(x as u32)
+            })
+            .collect::<Option<Vec<u32>>>()?;
+        spec = spec.with_byzantine(ByzantineWindowSpec::new(
+            agents,
+            exact_u64_string(w, "from_step")?,
+            exact_u64_string(w, "until_step")?,
+        ));
+    }
+    Some(spec)
 }
 
 /// Rebuilds the exact worst-case [`Candidate`] of one serialized cell — the
@@ -1777,12 +1875,37 @@ mod tests {
                 // encoding; an f64 number would round it).
                 .with_event(u64::MAX - 7, FaultPlacementSpec::Random { count: 17 })
                 .with_event(5, FaultPlacementSpec::Block { start: 0, count: 1 }),
+            FaultPlanSpec::none().with_event(3, FaultPlacementSpec::Targeted { limit: 2 }),
+            FaultPlanSpec::none()
+                .with_triggered("on-elect", FaultPlacementSpec::All)
+                .with_triggered("on-elect", FaultPlacementSpec::Random { count: 2 }),
+            FaultPlanSpec::none()
+                .with_event(0, FaultPlacementSpec::Targeted { limit: 1 })
+                .with_triggered("late", FaultPlacementSpec::Block { start: 1, count: 3 })
+                // Full-width window bounds: must survive the decimal-string
+                // path exactly.
+                .with_byzantine(ByzantineWindowSpec::new([7, 0, 3], 10, u64::MAX - 2)),
         ] {
             let text = fault_spec_to_json(&spec).to_json();
             let parsed = JsonValue::parse(&text).unwrap();
             assert_eq!(fault_spec_from_json(&parsed), Some(spec));
         }
         assert_eq!(fault_spec_from_json(&JsonValue::object()), None);
+
+        // Purely timed specs keep the original bare-array encoding — the
+        // committed v3 certificates' bytes must not change.
+        let timed = FaultPlanSpec::none().with_event(9, FaultPlacementSpec::All);
+        assert!(fault_spec_to_json(&timed).to_json().starts_with('['));
+        // Hostile specs take the object encoding, with only the non-empty
+        // hostile keys present.
+        let hostile = timed
+            .clone()
+            .with_byzantine(ByzantineWindowSpec::new([1], 0, 5));
+        let text = fault_spec_to_json(&hostile).to_json();
+        assert!(
+            text.starts_with('{') && !text.contains("triggered"),
+            "{text}"
+        );
     }
 
     /// End to end on a tiny cell: the quick grid machinery produces a cell

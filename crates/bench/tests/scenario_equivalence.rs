@@ -439,3 +439,75 @@ fn incremental_leader_tracking_matches_the_recount_reference() {
         }
     }
 }
+
+/// Inert hostile plumbing must be invisible: a fault plan whose Byzantine
+/// window covers **zero agents** (dropped at attach time) and a plan whose
+/// triggered event's predicate **never fires** both leave the RNG stream,
+/// the report and the final configuration bit-identical to the plain run —
+/// the inertness contract of the hostile-recovery fault vocabulary, at the
+/// bench layer where the Table 1 scenarios are assembled.
+#[test]
+fn inert_byzantine_windows_and_triggers_leave_runs_bit_identical() {
+    use population::{ByzantineWindow, FaultKind, FaultPlan};
+    use ssle_bench::hotloop::HotloopGraph;
+    use ssle_bench::recovery::recovery_scenario;
+
+    for kind in ProtocolKind::ALL {
+        for n in SIZES {
+            for seed in SEEDS {
+                let pt = SweepPoint::new(n, seed);
+                let budget = kind.trial_budget(n);
+                let plain = recovery_scenario(kind, HotloopGraph::Ring, budget).run_full(&pt);
+                let inert = recovery_scenario(kind, HotloopGraph::Ring, budget)
+                    .with_fault_plan(FaultPlan::new().with_byzantine(ByzantineWindow::new(
+                        [],
+                        0,
+                        budget,
+                    )))
+                    .run_full(&pt);
+                assert_eq!(
+                    plain.report,
+                    inert.report,
+                    "{} n={n} seed={seed}: empty Byzantine window perturbed the report",
+                    kind.key()
+                );
+                assert_eq!(
+                    *plain.sim.config(),
+                    *inert.sim.config(),
+                    "{} n={n} seed={seed}: empty Byzantine window perturbed the final states",
+                    kind.key()
+                );
+            }
+        }
+    }
+
+    // Never-firing trigger: register a predicate that never holds and couple
+    // a CorruptAll event to it — the run must not notice.
+    for n in SIZES {
+        for seed in SEEDS {
+            let pt = SweepPoint::new(n, seed);
+            let budget = ProtocolKind::Ppl.trial_budget(n);
+            let scenario = || {
+                ssle_bench::ppl_builder(InitialCondition::UniformRandom)
+                    .step_budget(move |_pt| budget)
+                    .corruption(|p: &Ppl, rng, _i| PplState::sample_uniform(rng, p.params()))
+                    .trigger("never", |_p: &Ppl, _c| false)
+                    .build()
+                    .expect("complete scenario")
+            };
+            let plain = scenario().run_full(&pt);
+            let inert = scenario()
+                .with_fault_plan(FaultPlan::new().when("never", FaultKind::CorruptAll))
+                .run_full(&pt);
+            assert_eq!(
+                plain.report, inert.report,
+                "ppl n={n} seed={seed}: never-firing trigger perturbed the report"
+            );
+            assert_eq!(
+                *plain.sim.config(),
+                *inert.sim.config(),
+                "ppl n={n} seed={seed}: never-firing trigger perturbed the final states"
+            );
+        }
+    }
+}

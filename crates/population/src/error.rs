@@ -63,6 +63,26 @@ pub enum PopulationError {
         /// The operation that cannot run under an oracle.
         operation: &'static str,
     },
+    /// A fault event with extent zero (`count == 0` / `limit == 0`) was added
+    /// to a plan.  Such an event can never corrupt anything, so a plan
+    /// containing one is always a bug, not a boundary case.
+    DegenerateFault {
+        /// The step (or trigger name) the no-op event was scheduled at.
+        at: String,
+    },
+    /// A plan contains a targeted fault (`FaultKind::CorruptTargets`) but the
+    /// scenario registered no target predicate, so the event could never
+    /// choose its victims.
+    MissingTarget,
+    /// A plan carries an active Byzantine window but the scenario registered
+    /// no `byzantine` rewrite function, so the window could never act.
+    MissingByzantine,
+    /// A plan references a trigger name the scenario never registered, so
+    /// the triggered event could never fire.
+    UnknownTrigger {
+        /// The unregistered trigger name.
+        name: String,
+    },
 }
 
 impl fmt::Display for PopulationError {
@@ -108,6 +128,26 @@ impl fmt::Display for PopulationError {
                 f,
                 "`{operation}` requires a pure protocol: the environment (oracle) hook \
                  mutates states between interactions"
+            ),
+            PopulationError::DegenerateFault { at } => write!(
+                f,
+                "fault event at {at} has extent 0 and can never corrupt anything: \
+                 a no-op fault in a plan is always a bug"
+            ),
+            PopulationError::MissingTarget => write!(
+                f,
+                "plan contains a targeted fault but the scenario has no target predicate: \
+                 call `ScenarioBuilder::fault_targets` before running"
+            ),
+            PopulationError::MissingByzantine => write!(
+                f,
+                "plan carries an active Byzantine window but the scenario has no rewrite \
+                 function: call `ScenarioBuilder::byzantine` before running"
+            ),
+            PopulationError::UnknownTrigger { name } => write!(
+                f,
+                "plan references the trigger {name:?}, which the scenario never registered: \
+                 call `ScenarioBuilder::trigger({name:?}, ..)` before running"
             ),
         }
     }
@@ -165,6 +205,20 @@ mod tests {
                     operation: "explore",
                 },
                 "oracle",
+            ),
+            (
+                PopulationError::DegenerateFault {
+                    at: "step 10".to_string(),
+                },
+                "extent 0",
+            ),
+            (PopulationError::MissingTarget, "fault_targets"),
+            (PopulationError::MissingByzantine, "byzantine"),
+            (
+                PopulationError::UnknownTrigger {
+                    name: "on-elect".to_string(),
+                },
+                "on-elect",
             ),
         ];
         for (err, needle) in cases {

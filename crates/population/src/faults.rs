@@ -13,6 +13,23 @@ use rand_chacha::ChaCha8Rng;
 use crate::config::Configuration;
 
 /// The kind of corruption to apply.
+///
+/// Extent semantics on a population of `n` agents (deliberate, so a plan
+/// written for one size replays meaningfully at another):
+///
+/// * `CorruptRandomAgents { count }` with `count > n` silently **truncates**
+///   to `n` — it corrupts every agent, exactly like [`FaultKind::CorruptAll`].
+/// * `CorruptBlock { start, count }` **wraps modulo `n`**: the block is the
+///   `count.min(n)` agents `start % n, (start + 1) % n, …` — a block larger
+///   than the ring covers it once, and a `start` beyond the population is a
+///   rotation, not an error.
+/// * `CorruptTargets { limit }` truncates to however many agents currently
+///   satisfy the target predicate (possibly zero — a targeted fault aimed at
+///   an extinct population of targets is a legal no-op *at fire time*).
+///
+/// A `count`/`limit` of **zero**, by contrast, is rejected when the plan is
+/// built ([`crate::FaultPlan::try_at`]): an event that can never corrupt
+/// anything is always a bug in the plan, not a boundary case of the run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultKind {
     /// Replace the states of `count` randomly chosen agents using the
@@ -31,6 +48,31 @@ pub enum FaultKind {
     },
     /// Corrupt every agent.
     CorruptAll,
+    /// Replace the states of up to `limit` agents that currently satisfy the
+    /// scenario's *target predicate* (`ScenarioBuilder::fault_targets`),
+    /// scanned in agent-index order.  `limit = 1` with a leader predicate
+    /// corrupts *the current leader*; a large `limit` with a token predicate
+    /// corrupts *every token-holder*.  Target selection consumes no
+    /// randomness; only the corruption function draws from the fault RNG.
+    CorruptTargets {
+        /// Maximum number of target agents to corrupt.
+        limit: usize,
+    },
+}
+
+impl FaultKind {
+    /// The extent field of this kind: how many agents the event *asks* to
+    /// corrupt (`None` for [`FaultKind::CorruptAll`], which has no knob).
+    /// Zero extent makes an event unable to ever corrupt anything, which
+    /// [`crate::FaultPlan::try_at`] rejects as a typed error.
+    pub fn extent(&self) -> Option<usize> {
+        match self {
+            FaultKind::CorruptRandomAgents { count } => Some(*count),
+            FaultKind::CorruptBlock { count, .. } => Some(*count),
+            FaultKind::CorruptAll => None,
+            FaultKind::CorruptTargets { limit } => Some(*limit),
+        }
+    }
 }
 
 /// Applies [`FaultKind`]s to configurations using a protocol-supplied
@@ -51,6 +93,14 @@ impl FaultInjector {
     /// Applies a fault to `config`.  `corrupt` receives the RNG and the index
     /// of the agent being corrupted and must return its new (arbitrary)
     /// state.  Returns the indices of the corrupted agents.
+    ///
+    /// # Panics
+    ///
+    /// [`FaultKind::CorruptTargets`] needs the scenario's target predicate to
+    /// choose its victims, which this positional entry point does not have —
+    /// route targeted kinds through [`FaultInjector::inject_targeted`]
+    /// instead (the scenario layer does).  Calling `inject` with a targeted
+    /// kind is an internal invariant violation and panics.
     pub fn inject<S, F>(
         &mut self,
         config: &mut Configuration<S>,
@@ -72,7 +122,38 @@ impl FaultInjector {
                 (0..count.min(n)).map(|k| (start + k) % n).collect()
             }
             FaultKind::CorruptAll => (0..n).collect(),
+            FaultKind::CorruptTargets { .. } => {
+                panic!("CorruptTargets requires the scenario target predicate: use inject_targeted")
+            }
         };
+        for &i in &targets {
+            let new_state = corrupt(&mut self.rng, i);
+            config[i] = new_state;
+        }
+        targets
+    }
+
+    /// Applies a [`FaultKind::CorruptTargets`]-style fault: scans the
+    /// configuration in agent-index order, corrupts (up to) the first
+    /// `limit` agents for which `is_target` holds, and returns their
+    /// indices.  Selection is deterministic and consumes no randomness;
+    /// only `corrupt` draws from the injector RNG, so an event that finds
+    /// no targets leaves the fault RNG stream untouched.
+    pub fn inject_targeted<S, F, T>(
+        &mut self,
+        config: &mut Configuration<S>,
+        limit: usize,
+        mut is_target: T,
+        mut corrupt: F,
+    ) -> Vec<usize>
+    where
+        F: FnMut(&mut ChaCha8Rng, usize) -> S,
+        T: FnMut(&S, usize) -> bool,
+    {
+        let targets: Vec<usize> = (0..config.len())
+            .filter(|&i| is_target(&config[i], i))
+            .take(limit)
+            .collect();
         for &i in &targets {
             let new_state = corrupt(&mut self.rng, i);
             config[i] = new_state;
@@ -140,6 +221,70 @@ mod tests {
             |_, _| 1,
         );
         assert_eq!(targets.len(), 4);
+    }
+
+    #[test]
+    fn targeted_injection_corrupts_the_first_matching_agents_only() {
+        // Agents 2, 5, 7 are "leaders"; limit 2 must hit 2 and 5 in index
+        // order and leave 7 alone.
+        let mut config = Configuration::from_states(vec![0u32, 0, 1, 0, 0, 1, 0, 1]);
+        let mut inj = FaultInjector::new(9);
+        let targets = inj.inject_targeted(&mut config, 2, |&s, _| s == 1, |_, _| 99);
+        assert_eq!(targets, vec![2, 5]);
+        assert_eq!(config[2], 99);
+        assert_eq!(config[5], 99);
+        assert_eq!(config[7], 1, "beyond the limit stays untouched");
+    }
+
+    #[test]
+    fn targeted_injection_without_targets_is_a_no_op_that_preserves_the_rng() {
+        let mut config = Configuration::uniform(6, 0u32);
+        let mut inj = FaultInjector::new(11);
+        let targets = inj.inject_targeted(&mut config, 4, |&s, _| s == 7, |rng, _| rng.gen());
+        assert!(targets.is_empty());
+        assert!(config.states().iter().all(|&x| x == 0));
+        // The fault RNG stream was not advanced: the next positional
+        // injection matches a fresh injector with the same seed.
+        let mut fresh = FaultInjector::new(11);
+        let mut a = Configuration::uniform(6, 0u32);
+        let mut b = Configuration::uniform(6, 0u32);
+        let ta = inj.inject(
+            &mut a,
+            FaultKind::CorruptRandomAgents { count: 3 },
+            |r, _| r.gen(),
+        );
+        let tb = fresh.inject(
+            &mut b,
+            FaultKind::CorruptRandomAgents { count: 3 },
+            |r, _| r.gen(),
+        );
+        assert_eq!(ta, tb);
+        assert_eq!(a.states(), b.states());
+    }
+
+    #[test]
+    #[should_panic(expected = "inject_targeted")]
+    fn positional_injection_rejects_targeted_kinds() {
+        let mut config = Configuration::uniform(4, 0u32);
+        FaultInjector::new(1).inject(
+            &mut config,
+            FaultKind::CorruptTargets { limit: 1 },
+            |_, _| 1,
+        );
+    }
+
+    #[test]
+    fn extent_reports_the_knob_of_each_kind() {
+        assert_eq!(
+            FaultKind::CorruptRandomAgents { count: 3 }.extent(),
+            Some(3)
+        );
+        assert_eq!(
+            FaultKind::CorruptBlock { start: 9, count: 2 }.extent(),
+            Some(2)
+        );
+        assert_eq!(FaultKind::CorruptAll.extent(), None);
+        assert_eq!(FaultKind::CorruptTargets { limit: 1 }.extent(), Some(1));
     }
 
     #[test]

@@ -110,13 +110,13 @@ pub mod prelude {
         ArbitraryGraph, CompleteGraph, DirectedRing, InteractionGraph, UndirectedRing,
     };
     pub use crate::init::Initializer;
-    pub use crate::observer::{LeaderCounter, NoObserver, StepObserver};
+    pub use crate::observer::{LeaderCounter, NoObserver, Recorded, StepObserver};
     pub use crate::protocol::{LeaderElection, LeaderOutput, Protocol};
     pub use crate::recurrence::{ConfigDigest, RecurrenceCandidate, RecurrenceDetector};
     pub use crate::scenario::{
-        downcast_config, AnyGraph, DetectedRun, DynLeaderElection, DynProtocol, DynScheduler,
-        DynState, DynStop, FaultEvent, FaultPlan, GraphFamily, PreparedScenario, Scenario,
-        ScenarioBuilder, ScenarioRun, SchedulerFamily,
+        downcast_config, AnyGraph, ByzantineWindow, DetectedRun, DynLeaderElection, DynProtocol,
+        DynScheduler, DynState, DynStop, FaultEvent, FaultPlan, GraphFamily, PreparedScenario,
+        Scenario, ScenarioBuilder, ScenarioRun, SchedulerFamily, TriggeredFault,
     };
     pub use crate::schedule::{Interaction, InteractionSeq};
     pub use crate::scheduler::{

@@ -18,7 +18,9 @@
 //!   matches static dispatch — no per-agent heap boxes.
 //! * [`GraphFamily`] / [`AnyGraph`] — graph topologies selectable per
 //!   scenario and instantiated per sweep point.
-//! * [`FaultPlan`] — transient faults scheduled at explicit steps of the run.
+//! * [`FaultPlan`] — hostile behaviour scheduled into the run: transient
+//!   faults at explicit steps, predicate-coupled (triggered) faults, and
+//!   bounded Byzantine windows.
 //! * [`ScenarioBuilder`] → [`Scenario`] — the declarative layer tying a
 //!   protocol factory, an initial-condition generator, a stop criterion, a
 //!   step budget and an optional fault plan together, runnable on single
@@ -74,6 +76,7 @@ use std::any::Any;
 use std::fmt;
 use std::sync::Arc;
 
+use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::batch::{group_by_size, BatchRunner, BatchSummary, Outcome, TrialOutcome};
@@ -82,7 +85,7 @@ use crate::convergence::ConvergenceReport;
 use crate::error::{PopulationError, Result};
 use crate::faults::{FaultInjector, FaultKind};
 use crate::graph::{ArbitraryGraph, CompleteGraph, DirectedRing, InteractionGraph, UndirectedRing};
-use crate::observer::LeaderCounter;
+use crate::observer::{LeaderCounter, NoObserver, StepObserver};
 use crate::protocol::{LeaderElection, Protocol};
 use crate::recurrence::{ConfigDigest, RecurrenceCandidate, RecurrenceDetector};
 use crate::schedule::Interaction;
@@ -643,10 +646,88 @@ pub struct FaultEvent {
     pub kind: FaultKind,
 }
 
-/// A declarative schedule of transient faults injected during a scenario run.
+/// A fault bound to a named scenario *trigger* instead of a fixed step: the
+/// event fires the first time the named predicate
+/// ([`ScenarioBuilder::trigger`]) holds at a stop-check boundary, making the
+/// fault scheduler-coupled ("corrupt the population the moment a unique
+/// leader emerges") instead of clock-coupled.  Each triggered fault fires at
+/// most once per run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TriggeredFault {
+    /// The name of the scenario trigger predicate that arms this fault.
+    pub trigger: String,
+    /// The corruption to apply when the trigger first holds.
+    pub kind: FaultKind,
+}
+
+/// A bounded window of Byzantine behaviour: between `from_step` (inclusive)
+/// and `until_step` (exclusive), every interaction touching an agent of the
+/// window's set has that agent's post-interaction state adversarially
+/// rewritten by the scenario's [`ScenarioBuilder::byzantine`] function.
+///
+/// The rewrite draws from a dedicated RNG stream (derived from the fault
+/// seed), so the scheduler and corruption streams of the underlying run are
+/// untouched; an **inert** window (empty agent set or an empty step range)
+/// is dropped when attached ([`FaultPlan::with_byzantine`]), so zero-Byzantine
+/// plans are *statically* the plain code path, not just behaviourally close
+/// to it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ByzantineWindow {
+    agents: Vec<usize>,
+    from_step: u64,
+    until_step: u64,
+}
+
+impl ByzantineWindow {
+    /// Creates a window over `agents` (deduplicated, order-independent)
+    /// active on steps `from_step..until_step`.
+    pub fn new(agents: impl IntoIterator<Item = usize>, from_step: u64, until_step: u64) -> Self {
+        let mut agents: Vec<usize> = agents.into_iter().collect();
+        agents.sort_unstable();
+        agents.dedup();
+        ByzantineWindow {
+            agents,
+            from_step,
+            until_step,
+        }
+    }
+
+    /// The Byzantine agent indices, sorted and deduplicated.
+    pub fn agents(&self) -> &[usize] {
+        &self.agents
+    }
+
+    /// First step (inclusive) of the window.
+    pub fn from_step(&self) -> u64 {
+        self.from_step
+    }
+
+    /// First step (exclusive) after the window.
+    pub fn until_step(&self) -> u64 {
+        self.until_step
+    }
+
+    /// `true` if the window can never rewrite anything: no agents, or an
+    /// empty step range.
+    pub fn is_inert(&self) -> bool {
+        self.agents.is_empty() || self.from_step >= self.until_step
+    }
+
+    /// `true` if `agent` is in the window's set.
+    pub fn contains(&self, agent: usize) -> bool {
+        self.agents.binary_search(&agent).is_ok()
+    }
+}
+
+/// A declarative schedule of hostile behaviour injected during a scenario
+/// run: transient faults at explicit steps ([`FaultPlan::at`]), faults
+/// coupled to scenario predicates ([`FaultPlan::when`]), and a bounded
+/// Byzantine window ([`FaultPlan::with_byzantine`]).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     events: Vec<FaultEvent>,
+    triggered: Vec<TriggeredFault>,
+    byzantine: Option<ByzantineWindow>,
 }
 
 impl FaultPlan {
@@ -657,25 +738,102 @@ impl FaultPlan {
 
     /// Schedules `kind` to fire at `at_step` (builder-style; events are kept
     /// sorted by step).
-    pub fn at(mut self, at_step: u64, kind: FaultKind) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-extent kind (`count == 0` / `limit == 0`) — a no-op
+    /// fault in a plan is always a bug.  Use [`FaultPlan::try_at`] to handle
+    /// it as a typed error instead.
+    pub fn at(self, at_step: u64, kind: FaultKind) -> Self {
+        self.try_at(at_step, kind).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`FaultPlan::at`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopulationError::DegenerateFault`] if `kind` has extent
+    /// zero ([`FaultKind::extent`]): such an event can never corrupt
+    /// anything, so scheduling one is always a bug, not a boundary case.
+    pub fn try_at(mut self, at_step: u64, kind: FaultKind) -> Result<Self> {
+        if kind.extent() == Some(0) {
+            return Err(PopulationError::DegenerateFault {
+                at: format!("step {at_step}"),
+            });
+        }
         self.events.push(FaultEvent { at_step, kind });
         self.events.sort_by_key(|e| e.at_step);
+        Ok(self)
+    }
+
+    /// Schedules `kind` to fire the first time the named scenario trigger
+    /// ([`ScenarioBuilder::trigger`]) holds at a stop-check boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-extent kind, exactly like [`FaultPlan::at`]; use
+    /// [`FaultPlan::try_when`] for the typed error.
+    pub fn when(self, trigger: impl Into<String>, kind: FaultKind) -> Self {
+        self.try_when(trigger, kind)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`FaultPlan::when`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopulationError::DegenerateFault`] if `kind` has extent
+    /// zero (see [`FaultPlan::try_at`]).
+    pub fn try_when(mut self, trigger: impl Into<String>, kind: FaultKind) -> Result<Self> {
+        let trigger = trigger.into();
+        if kind.extent() == Some(0) {
+            return Err(PopulationError::DegenerateFault {
+                at: format!("trigger {trigger:?}"),
+            });
+        }
+        self.triggered.push(TriggeredFault { trigger, kind });
+        Ok(self)
+    }
+
+    /// Attaches a Byzantine window.  An inert window (no agents or an empty
+    /// step range) is dropped on the spot — the plan stays on the plain code
+    /// path, which is what pins zero-Byzantine runs bit-identical to
+    /// Byzantine-free ones.
+    pub fn with_byzantine(mut self, window: ByzantineWindow) -> Self {
+        self.byzantine = if window.is_inert() {
+            None
+        } else {
+            Some(window)
+        };
         self
     }
 
-    /// The scheduled events, sorted by step.
+    /// The step-scheduled events, sorted by step.
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
     }
 
-    /// Returns `true` if no fault is scheduled.
-    pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+    /// The trigger-coupled events, in attachment order.
+    pub fn triggered(&self) -> &[TriggeredFault] {
+        &self.triggered
     }
 
-    /// Number of scheduled events.
+    /// The Byzantine window, if an active (non-inert) one is attached.
+    pub fn byzantine(&self) -> Option<&ByzantineWindow> {
+        self.byzantine.as_ref()
+    }
+
+    /// Returns `true` if the plan schedules nothing at all: no step events,
+    /// no triggered events, no Byzantine window.  Empty plans keep the
+    /// fault-free fast path.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.triggered.is_empty() && self.byzantine.is_none()
+    }
+
+    /// Number of scheduled fault events (step-scheduled plus triggered; the
+    /// Byzantine window is not an event).
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.events.len() + self.triggered.len()
     }
 }
 
@@ -690,6 +848,14 @@ type PointFn<T> = Arc<dyn Fn(&SweepPoint) -> T + Send + Sync>;
 /// scenarios can shrink their `check_interval` without a quadratic penalty.
 pub type DynStop = Box<dyn FnMut(&[DynState]) -> bool>;
 type DynCorrupt = Box<dyn FnMut(&mut ChaCha8Rng, usize) -> DynState>;
+/// An erased per-agent target predicate ([`ScenarioBuilder::fault_targets`]):
+/// `(state, agent_index) -> is_target`, consumed by
+/// [`FaultKind::CorruptTargets`].
+type DynTargets = Box<dyn FnMut(&DynState, usize) -> bool>;
+/// An erased Byzantine rewrite ([`ScenarioBuilder::byzantine`]): given the
+/// dedicated Byzantine RNG, the agent index and its post-interaction state,
+/// produce the adversarially rewritten state.
+type DynByzantine = Box<dyn FnMut(&mut ChaCha8Rng, usize, &DynState) -> DynState>;
 
 /// Everything the erased run path needs for one sweep point, produced by the
 /// typed closure captured at [`ScenarioBuilder::build`] time.
@@ -698,6 +864,9 @@ struct PreparedRun {
     config: Configuration<DynState>,
     stop: DynStop,
     corrupt: Option<DynCorrupt>,
+    targets: Option<DynTargets>,
+    byzantine: Option<DynByzantine>,
+    triggers: Vec<(String, DynStop)>,
 }
 
 /// The erased pieces of one sweep point, exposed without running the
@@ -748,6 +917,7 @@ pub struct Scenario {
     scheduler: SchedulerFamily,
     prepare: Arc<dyn Fn(&SweepPoint) -> PreparedRun + Send + Sync>,
     plan: Option<PointFn<FaultPlan>>,
+    initial: Option<Arc<Configuration<DynState>>>,
     check_interval: PointFn<u64>,
     max_steps: PointFn<u64>,
     sim_seed: PointFn<u64>,
@@ -762,6 +932,7 @@ impl fmt::Debug for Scenario {
             .field("graph", &self.graph)
             .field("scheduler", &self.scheduler.name())
             .field("has_fault_plan", &self.plan.is_some())
+            .field("has_initial", &self.initial.is_some())
             .finish()
     }
 }
@@ -813,6 +984,36 @@ impl Scenario {
         self
     }
 
+    /// Replaces the prepared initial configuration with a fixed erased
+    /// configuration, the same at every sweep point — the hook the recovery
+    /// benchmark uses to restart runs from a previously converged *safe*
+    /// configuration (captured via [`ScenarioRun::sim`]) instead of the
+    /// scenario's own `init`.
+    ///
+    /// The override's length must match the sweep point's population size;
+    /// otherwise the fallible run methods report
+    /// [`PopulationError::ConfigurationSizeMismatch`] (and the infallible
+    /// ones panic with it).
+    pub fn with_initial(mut self, config: Configuration<DynState>) -> Self {
+        self.initial = Some(Arc::new(config));
+        self
+    }
+
+    /// Prepares a point and applies the [`Scenario::with_initial`] override.
+    fn prepared_run(&self, point: &SweepPoint) -> Result<PreparedRun> {
+        let mut prepared = (self.prepare)(point);
+        if let Some(initial) = &self.initial {
+            if initial.len() != prepared.config.len() {
+                return Err(PopulationError::ConfigurationSizeMismatch {
+                    configuration: initial.len(),
+                    graph: prepared.config.len(),
+                });
+            }
+            prepared.config = (**initial).clone();
+        }
+        Ok(prepared)
+    }
+
     /// Runs the scenario at one sweep point and returns the report.
     ///
     /// # Panics
@@ -856,7 +1057,7 @@ impl Scenario {
     ///
     /// See [`Scenario::try_run`].
     pub fn try_run_full(&self, point: &SweepPoint) -> Result<ScenarioRun> {
-        let prepared = (self.prepare)(point);
+        let prepared = self.prepared_run(point)?;
         let graph = self.graph.build(point.n)?;
         let mut sim = Simulation::new(
             prepared.protocol,
@@ -876,15 +1077,27 @@ impl Scenario {
                 if plan.is_empty() {
                     sim.run_until(|_p, c| stop(c.states()), check_interval, max_steps)
                 } else {
-                    let mut faults =
-                        FaultSchedule::new(plan, prepared.corrupt, (self.fault_seed)(point))?;
+                    let mut faults = FaultSchedule::new(
+                        plan,
+                        prepared.corrupt,
+                        prepared.targets,
+                        prepared.byzantine,
+                        prepared.triggers,
+                        (self.fault_seed)(point),
+                    )?;
                     run_with_faults(&mut sim, &mut stop, check_interval, max_steps, &mut faults)
                 }
             }
             SchedulerFamily::Custom { build, .. } => {
                 let mut scheduler = build(point, sim.graph());
-                let mut faults =
-                    FaultSchedule::new(plan, prepared.corrupt, (self.fault_seed)(point))?;
+                let mut faults = FaultSchedule::new(
+                    plan,
+                    prepared.corrupt,
+                    prepared.targets,
+                    prepared.byzantine,
+                    prepared.triggers,
+                    (self.fault_seed)(point),
+                )?;
                 run_scheduled(
                     &mut sim,
                     &mut *scheduler,
@@ -938,8 +1151,10 @@ impl Scenario {
     /// steps (including step 0).  Uses the erased leader output, so it works
     /// for every leader-election scenario; the scenario's fault plan (if any)
     /// fires at its scheduled steps exactly as it does under
-    /// [`Scenario::run`], and the scenario's scheduler family drives the
-    /// steps exactly as it does there too.
+    /// [`Scenario::run`] — trigger predicates are evaluated at this method's
+    /// burst boundaries (sample boundaries and after step events), which may
+    /// differ from the run loop's stop-check boundaries — and the scenario's
+    /// scheduler family drives the steps exactly as it does there too.
     ///
     /// For pure protocols the leader count is maintained incrementally by a
     /// [`LeaderCounter`] observer (O(1) amortized per step, re-seeded only
@@ -973,7 +1188,7 @@ impl Scenario {
         total_steps: u64,
         sample_every: u64,
     ) -> Result<Vec<(u64, usize)>> {
-        let prepared = (self.prepare)(point);
+        let prepared = self.prepared_run(point)?;
         let graph = self.graph.build(point.n)?;
         let mut sim = Simulation::new(
             prepared.protocol,
@@ -988,25 +1203,43 @@ impl Scenario {
         let mut faults = FaultSchedule::new(
             self.plan.as_ref().map(|f| f(point)).unwrap_or_default(),
             prepared.corrupt,
+            prepared.targets,
+            prepared.byzantine,
+            prepared.triggers,
             (self.fault_seed)(point),
         )?;
         let sample_every = sample_every.max(1);
         let incremental = !sim.environment_active();
         faults.fire_due(0, &mut sim);
+        faults.fire_triggered(&mut sim);
         let mut counter = LeaderCounter::new(sim.protocol(), sim.config().states());
         let mut out = vec![(0u64, counter.count())];
         let mut done = 0u64;
         while done < total_steps {
-            // The next sample boundary, split early if a fault is due first.
+            // The next sample boundary, split early if a fault is due first
+            // or a Byzantine window opens or closes mid-burst.
             let boundary = ((done / sample_every + 1) * sample_every).min(total_steps);
             let target = faults.clip(done, boundary);
+            let in_window = faults.byzantine_active(done);
+            // Byzantine rewrites mutate states *after* the observer hooks
+            // ran, which would silently desynchronize an incremental
+            // counter mid-segment; window segments therefore run
+            // unobserved and the counter is resynced at the boundary
+            // (the only place it is read).
             match scheduler.as_deref_mut() {
+                None if in_window => {
+                    for _ in done..target {
+                        faults.byzantine_step(&mut sim, None, &mut NoObserver)?;
+                    }
+                }
                 // The random fast path: burst without per-step indirection.
                 None if incremental => sim.run_steps_observed(target - done, &mut counter),
                 None => sim.run_steps(target - done),
                 Some(sched) => {
                     for _ in done..target {
-                        if incremental {
+                        if in_window {
+                            faults.byzantine_step(&mut sim, Some(&mut *sched), &mut NoObserver)?;
+                        } else if incremental {
                             sim.step_chosen_by_observed(&mut counter, |g, c, rng| {
                                 sched.schedule(g, c.states(), rng)
                             })?;
@@ -1017,7 +1250,9 @@ impl Scenario {
                 }
             }
             done = target;
-            if faults.fire_due(done, &mut sim) && incremental {
+            let fired = faults.fire_due(done, &mut sim);
+            let fired = faults.fire_triggered(&mut sim) || fired;
+            if (fired || in_window) && incremental {
                 counter.resync(sim.protocol(), sim.config().states());
             }
             if done.is_multiple_of(sample_every) || done == total_steps {
@@ -1043,7 +1278,9 @@ impl Scenario {
             config,
             stop,
             ..
-        } = (self.prepare)(point);
+        } = self
+            .prepared_run(point)
+            .unwrap_or_else(|e| panic!("scenario {:?}: {e}", self.name));
         PreparedScenario {
             protocol,
             config,
@@ -1119,7 +1356,7 @@ impl Scenario {
     ///
     /// See [`Scenario::try_run`].
     pub fn try_run_detecting(&self, point: &SweepPoint) -> Result<DetectedRun> {
-        let prepared = (self.prepare)(point);
+        let prepared = self.prepared_run(point)?;
         let graph = self.graph.build(point.n)?;
         let mut sim = Simulation::new(
             prepared.protocol,
@@ -1130,7 +1367,14 @@ impl Scenario {
         let check_interval = (self.check_interval)(point).max(1);
         let max_steps = (self.max_steps)(point);
         let plan = self.plan.as_ref().map(|f| f(point)).unwrap_or_default();
-        let mut faults = FaultSchedule::new(plan, prepared.corrupt, (self.fault_seed)(point))?;
+        let mut faults = FaultSchedule::new(
+            plan,
+            prepared.corrupt,
+            prepared.targets,
+            prepared.byzantine,
+            prepared.triggers,
+            (self.fault_seed)(point),
+        )?;
         let mut scheduler: Box<dyn DynScheduler> = match &self.scheduler {
             // The boxed random scheduler consumes the RNG exactly like the
             // inlined fast path (pinned by
@@ -1158,6 +1402,7 @@ impl Scenario {
         };
 
         faults.fire_due(0, &mut sim);
+        faults.fire_triggered(&mut sim);
         let mut digest = ConfigDigest::new(sim.config().states());
         let mut detector = RecurrenceDetector::new();
         if stop(sim.config().states()) {
@@ -1178,11 +1423,25 @@ impl Scenario {
             // proves nothing — a future fault would perturb the cycle — so
             // the detector stays disarmed until the schedule is exhausted
             // and only the fault-free suffix is ever searched.  Pending
-            // status is segment-constant: `clip` ends every segment at the
-            // next fault step, and events fire only between segments.
+            // status covers unfired triggered events and an unelapsed
+            // Byzantine window too (both could still perturb a cycle), and
+            // is segment-constant: `clip` ends every segment at the next
+            // fault step or window edge, and events fire only between
+            // segments.
             let armed = detecting && !faults.pending();
+            let in_window = faults.byzantine_active(executed);
             for _ in executed..target {
-                if detecting {
+                if in_window {
+                    // The digest goes stale across adversarial rewrites, but
+                    // the window keeps the detector disarmed; the digest is
+                    // resynced when the window elapses (`fire_due` reports
+                    // the edge as a fired event).
+                    if detecting {
+                        faults.byzantine_step(&mut sim, Some(&mut *scheduler), &mut digest)?;
+                    } else {
+                        faults.byzantine_step(&mut sim, Some(&mut *scheduler), &mut NoObserver)?;
+                    }
+                } else if detecting {
                     sim.step_chosen_by_observed(&mut digest, |g, c, rng| {
                         scheduler.schedule(g, c.states(), rng)
                     })?;
@@ -1213,7 +1472,9 @@ impl Scenario {
                 }
             }
             executed = target;
-            if faults.fire_due(executed, &mut sim) && detecting {
+            let fired = faults.fire_due(executed, &mut sim);
+            let fired = faults.fire_triggered(&mut sim) || fired;
+            if fired && detecting {
                 digest.resync(sim.config().states());
                 detector.reset();
             }
@@ -1258,12 +1519,27 @@ pub struct DetectedRun {
     pub sim: Simulation<DynProtocol, AnyGraph>,
 }
 
-/// The pending half of a fault plan during a run: which events are still due,
-/// and the corruption machinery that fires them.  Both erased run loops
-/// (convergence and trajectory) share this, so faults fire at identical steps
-/// in both.
+/// Seed salt deriving the dedicated Byzantine RNG stream from the fault
+/// seed, so adversarial rewrites never perturb the scheduler or corruption
+/// streams of the run they attack.
+const BYZANTINE_SEED_SALT: u64 = 0x42595A41_4E54494E; // "BYZANTIN"
+
+/// The pending half of a fault plan during a run: which step events are
+/// still due, which triggered events have not fired, the active Byzantine
+/// window, and the corruption machinery that fires them.  All erased run
+/// loops (convergence, trajectory, detection) share this, so faults fire at
+/// identical steps in all of them.
 struct FaultSchedule {
     events: Vec<FaultEvent>,
+    /// Unfired trigger-coupled events, each paired with its erased predicate
+    /// (resolved from the scenario's trigger registry by name at
+    /// construction).  Drained as they fire: each fires at most once.
+    triggered: Vec<(FaultKind, DynStop)>,
+    /// The active Byzantine window; cleared once the run passes its end.
+    window: Option<ByzantineWindow>,
+    rewrite: Option<DynByzantine>,
+    byz_rng: ChaCha8Rng,
+    targets: Option<DynTargets>,
     driver: Option<(DynCorrupt, FaultInjector)>,
     next: usize,
 }
@@ -1271,55 +1547,215 @@ struct FaultSchedule {
 impl FaultSchedule {
     /// # Errors
     ///
-    /// Returns [`PopulationError::MissingCorruption`] if the plan is
-    /// non-empty but no corruption function was given, so the problem
-    /// surfaces as a typed error before the run loop starts instead of a
-    /// panic deep inside it.
-    fn new(plan: FaultPlan, corrupt: Option<DynCorrupt>, fault_seed: u64) -> Result<Self> {
-        let driver = if plan.is_empty() {
+    /// Surfaces every way a plan can reference scenario machinery that was
+    /// never registered, as typed errors before the run loop starts instead
+    /// of a panic deep inside it:
+    ///
+    /// * [`PopulationError::MissingCorruption`] — step or triggered events
+    ///   without a corruption function;
+    /// * [`PopulationError::MissingTarget`] — a
+    ///   [`FaultKind::CorruptTargets`] event without a target predicate;
+    /// * [`PopulationError::MissingByzantine`] — an active window without a
+    ///   rewrite function;
+    /// * [`PopulationError::UnknownTrigger`] — a triggered event naming a
+    ///   trigger the scenario never registered.
+    fn new(
+        plan: FaultPlan,
+        corrupt: Option<DynCorrupt>,
+        targets: Option<DynTargets>,
+        rewrite: Option<DynByzantine>,
+        mut trigger_registry: Vec<(String, DynStop)>,
+        fault_seed: u64,
+    ) -> Result<Self> {
+        let driver = if plan.events().is_empty() && plan.triggered().is_empty() {
             None
         } else {
             let corrupt = corrupt.ok_or(PopulationError::MissingCorruption)?;
             Some((corrupt, FaultInjector::new(fault_seed)))
         };
+        let wants_targets = plan
+            .events()
+            .iter()
+            .map(|e| e.kind)
+            .chain(plan.triggered().iter().map(|t| t.kind))
+            .any(|kind| matches!(kind, FaultKind::CorruptTargets { .. }));
+        if wants_targets && targets.is_none() {
+            return Err(PopulationError::MissingTarget);
+        }
+        let window = plan.byzantine().cloned();
+        if window.is_some() && rewrite.is_none() {
+            return Err(PopulationError::MissingByzantine);
+        }
+        let mut triggered = Vec::with_capacity(plan.triggered().len());
+        for t in plan.triggered() {
+            let slot = trigger_registry
+                .iter()
+                .position(|(name, _)| *name == t.trigger)
+                .ok_or_else(|| PopulationError::UnknownTrigger {
+                    name: t.trigger.clone(),
+                })?;
+            // Each registered trigger predicate backs at most one plan
+            // event; re-registering under the same name is how a plan would
+            // couple two faults to one predicate.
+            triggered.push((t.kind, trigger_registry.swap_remove(slot).1));
+        }
         Ok(FaultSchedule {
             events: plan.events().to_vec(),
+            triggered,
+            window,
+            rewrite,
+            byz_rng: ChaCha8Rng::seed_from_u64(fault_seed ^ BYZANTINE_SEED_SALT),
+            targets,
             driver,
             next: 0,
         })
     }
 
-    /// `true` while events remain that have not fired yet.
+    /// `true` while anything remains that could still perturb the run:
+    /// unfired step events, unfired triggered events, or a Byzantine window
+    /// that has not elapsed.
     fn pending(&self) -> bool {
-        self.next < self.events.len()
+        self.next < self.events.len() || !self.triggered.is_empty() || self.window.is_some()
     }
 
-    /// Clips a burst target so the next pending event is not overshot (the
-    /// burst still advances by at least one step past `done`).
+    /// Clips a burst target so the next pending event is not overshot and no
+    /// burst straddles a Byzantine window edge (segments are entirely inside
+    /// or entirely outside the window; the burst still advances by at least
+    /// one step past `done`).
     fn clip(&self, done: u64, target: u64) -> u64 {
-        match self.events.get(self.next) {
+        let mut clipped = match self.events.get(self.next) {
             Some(event) => target.min(event.at_step.max(done + 1)),
             None => target,
+        };
+        if let Some(window) = &self.window {
+            if done < window.from_step() {
+                clipped = clipped.min(window.from_step().max(done + 1));
+            } else if done < window.until_step() {
+                clipped = clipped.min(window.until_step());
+            }
+        }
+        clipped
+    }
+
+    /// `true` if a segment starting at step `done` runs inside the Byzantine
+    /// window.  Only valid for clipped segments ([`FaultSchedule::clip`]
+    /// guarantees no segment straddles a window edge).
+    fn byzantine_active(&self, done: u64) -> bool {
+        self.window
+            .as_ref()
+            .is_some_and(|w| done >= w.from_step() && done < w.until_step())
+    }
+
+    /// Applies one fault kind to the simulation's configuration, routing
+    /// targeted kinds through the target predicate.
+    fn inject_kind(&mut self, kind: FaultKind, sim: &mut Simulation<DynProtocol, AnyGraph>) {
+        let Some((corrupt, injector)) = self.driver.as_mut() else {
+            return;
+        };
+        match kind {
+            FaultKind::CorruptTargets { limit } => {
+                let is_target = self
+                    .targets
+                    .as_mut()
+                    .expect("validated at FaultSchedule construction");
+                injector.inject_targeted(
+                    sim.config_mut(),
+                    limit,
+                    |state, agent| is_target(state, agent),
+                    &mut **corrupt,
+                );
+            }
+            kind => {
+                injector.inject(sim.config_mut(), kind, &mut **corrupt);
+            }
         }
     }
 
-    /// Fires every event scheduled at or before step `executed`.  Returns
-    /// `true` if at least one event fired (states were rewritten out-of-band,
-    /// so incremental observers must re-seed).
+    /// Fires every step event scheduled at or before step `executed`, and
+    /// retires the Byzantine window once `executed` passes its end.  Returns
+    /// `true` if anything fired or the window elapsed (states were — or may
+    /// have been — rewritten out-of-band, so incremental observers must
+    /// re-seed).
     fn fire_due(&mut self, executed: u64, sim: &mut Simulation<DynProtocol, AnyGraph>) -> bool {
         let mut fired = false;
-        if let Some((corrupt, injector)) = self.driver.as_mut() {
-            while self.next < self.events.len() && self.events[self.next].at_step <= executed {
-                injector.inject(
-                    sim.config_mut(),
-                    self.events[self.next].kind,
-                    &mut **corrupt,
-                );
-                self.next += 1;
+        while self.next < self.events.len() && self.events[self.next].at_step <= executed {
+            let kind = self.events[self.next].kind;
+            self.next += 1;
+            self.inject_kind(kind, sim);
+            fired = true;
+        }
+        if self
+            .window
+            .as_ref()
+            .is_some_and(|w| executed >= w.until_step())
+        {
+            self.window = None;
+            fired = true;
+        }
+        fired
+    }
+
+    /// Evaluates every unfired trigger predicate against the current
+    /// configuration and fires the coupled faults for those that hold
+    /// (removing them: each triggered event fires at most once).  Called at
+    /// burst boundaries — every stop-check/sample boundary and immediately
+    /// after any step event — right after [`FaultSchedule::fire_due`] and
+    /// *before* the boundary's stop check, so a trigger like "a unique
+    /// leader emerged" corrupts the configuration before convergence is
+    /// declared.  Returns `true` if anything fired.  A plan without
+    /// triggered events returns immediately, and a never-firing predicate
+    /// only reads the configuration — neither perturbs the run.
+    fn fire_triggered(&mut self, sim: &mut Simulation<DynProtocol, AnyGraph>) -> bool {
+        if self.triggered.is_empty() {
+            return false;
+        }
+        let mut fired = false;
+        let mut slot = 0;
+        while slot < self.triggered.len() {
+            if (self.triggered[slot].1)(sim.config().states()) {
+                let (kind, _) = self.triggered.swap_remove(slot);
+                self.inject_kind(kind, sim);
                 fired = true;
+            } else {
+                slot += 1;
             }
         }
         fired
+    }
+
+    /// Advances one step inside an active Byzantine window: the interaction
+    /// executes normally through the observer seam, then each interacting
+    /// agent in the window's set has its post-interaction state rewritten by
+    /// the adversary (from the dedicated Byzantine RNG stream).  Returns
+    /// `true` if a rewrite happened, so incremental observers can re-seed at
+    /// the segment boundary.
+    fn byzantine_step<O: StepObserver<DynProtocol>>(
+        &mut self,
+        sim: &mut Simulation<DynProtocol, AnyGraph>,
+        scheduler: Option<&mut dyn DynScheduler>,
+        observer: &mut O,
+    ) -> Result<bool> {
+        let interaction = match scheduler {
+            None => sim.step_observed(observer),
+            Some(sched) => sim.step_chosen_by_observed(observer, |g, c, rng| {
+                sched.schedule(g, c.states(), rng)
+            })?,
+        };
+        let (Some(window), Some(rewrite)) = (&self.window, self.rewrite.as_mut()) else {
+            return Ok(false);
+        };
+        let mut rewrote = false;
+        for agent in [
+            interaction.initiator().index(),
+            interaction.responder().index(),
+        ] {
+            if window.contains(agent) {
+                let state = rewrite(&mut self.byz_rng, agent, &sim.config()[agent]);
+                sim.config_mut()[agent] = state;
+                rewrote = true;
+            }
+        }
+        Ok(rewrote)
     }
 }
 
@@ -1337,10 +1773,24 @@ fn run_with_faults(
     max_steps: u64,
     faults: &mut FaultSchedule,
 ) -> ConvergenceReport {
-    run_checked_bursts(sim, stop, check_interval, max_steps, faults, |sim, k| {
-        sim.run_steps(k);
-        Ok(())
-    })
+    run_checked_bursts(
+        sim,
+        stop,
+        check_interval,
+        max_steps,
+        faults,
+        |sim, k, byz| {
+            match byz {
+                None => sim.run_steps(k),
+                Some(faults) => {
+                    for _ in 0..k {
+                        faults.byzantine_step(sim, None, &mut NoObserver)?;
+                    }
+                }
+            }
+            Ok(())
+        },
+    )
     .expect("the uniform sampler cannot fail")
 }
 
@@ -1357,31 +1807,55 @@ fn run_scheduled(
     max_steps: u64,
     faults: &mut FaultSchedule,
 ) -> Result<ConvergenceReport> {
-    run_checked_bursts(sim, stop, check_interval, max_steps, faults, |sim, k| {
-        for _ in 0..k {
-            sim.step_chosen_by(|g, c, rng| scheduler.schedule(g, c.states(), rng))?;
-        }
-        Ok(())
-    })
+    run_checked_bursts(
+        sim,
+        stop,
+        check_interval,
+        max_steps,
+        faults,
+        |sim, k, byz| {
+            match byz {
+                None => {
+                    for _ in 0..k {
+                        sim.step_chosen_by(|g, c, rng| scheduler.schedule(g, c.states(), rng))?;
+                    }
+                }
+                Some(faults) => {
+                    for _ in 0..k {
+                        faults.byzantine_step(sim, Some(&mut *scheduler), &mut NoObserver)?;
+                    }
+                }
+            }
+            Ok(())
+        },
+    )
 }
 
 /// The one checked-burst loop behind both erased run paths: an initial stop
-/// check after step-0 fault events, then bursts clipped to the next check
-/// boundary or pending fault event, advanced by `advance(sim, k)` (the
-/// uniform sampler's `run_steps` on the fast path, per-step scheduler
-/// dispatch on the custom path), with fault events fired at their exact
-/// steps and one stop check per boundary and at the budget.
+/// check after step-0 fault events and trigger evaluation, then bursts
+/// clipped to the next check boundary, pending fault event or Byzantine
+/// window edge, advanced by `advance(sim, k, byzantine)` (the uniform
+/// sampler's `run_steps` on the fast path, per-step scheduler dispatch on
+/// the custom path, per-step rewriting via [`FaultSchedule::byzantine_step`]
+/// whenever `byzantine` is `Some`), with fault events fired at their exact
+/// steps, trigger predicates evaluated at every burst boundary, and one stop
+/// check per boundary and at the budget.
 fn run_checked_bursts(
     sim: &mut Simulation<DynProtocol, AnyGraph>,
     stop: &mut DynStop,
     check_interval: u64,
     max_steps: u64,
     faults: &mut FaultSchedule,
-    mut advance: impl FnMut(&mut Simulation<DynProtocol, AnyGraph>, u64) -> Result<()>,
+    mut advance: impl FnMut(
+        &mut Simulation<DynProtocol, AnyGraph>,
+        u64,
+        Option<&mut FaultSchedule>,
+    ) -> Result<()>,
 ) -> Result<ConvergenceReport> {
     const PREDICATE: std::borrow::Cow<'static, str> = std::borrow::Cow::Borrowed("predicate");
     let mut executed = 0u64;
     faults.fire_due(0, sim);
+    faults.fire_triggered(sim);
     if stop(sim.config().states()) {
         return Ok(ConvergenceReport {
             converged_at: Some(sim.steps()),
@@ -1394,9 +1868,15 @@ fn run_checked_bursts(
     while executed < max_steps {
         let next_check = ((executed / check_interval) + 1) * check_interval;
         let target = faults.clip(executed, next_check.min(max_steps));
-        advance(sim, target - executed)?;
+        let byzantine = faults.byzantine_active(executed);
+        advance(
+            sim,
+            target - executed,
+            if byzantine { Some(&mut *faults) } else { None },
+        )?;
         executed = target;
         faults.fire_due(executed, sim);
+        faults.fire_triggered(sim);
         let at_boundary = executed == next_check || executed == max_steps;
         if at_boundary && stop(sim.config().states()) {
             return Ok(ConvergenceReport {
@@ -1494,6 +1974,15 @@ where
     )>,
     #[allow(clippy::type_complexity)]
     corrupt: Option<Arc<dyn Fn(&P, &mut ChaCha8Rng, usize) -> P::State + Send + Sync>>,
+    #[allow(clippy::type_complexity)]
+    targets: Option<Arc<dyn Fn(&P, &P::State, usize) -> bool + Send + Sync>>,
+    #[allow(clippy::type_complexity)]
+    byzantine: Option<Arc<dyn Fn(&P, &mut ChaCha8Rng, usize, &P::State) -> P::State + Send + Sync>>,
+    #[allow(clippy::type_complexity)]
+    triggers: Vec<(
+        String,
+        Arc<dyn Fn(&P, &Configuration<P::State>) -> bool + Send + Sync>,
+    )>,
     plan: Option<PointFn<FaultPlan>>,
     check_interval: PointFn<u64>,
     max_steps: Option<PointFn<u64>>,
@@ -1555,6 +2044,9 @@ where
             init: None,
             stop: None,
             corrupt: None,
+            targets: None,
+            byzantine: None,
+            triggers: Vec::new(),
             plan: None,
             check_interval: Arc::new(|pt| ((pt.n * pt.n / 4) as u64).max(64)),
             max_steps: None,
@@ -1657,6 +2149,56 @@ where
         self
     }
 
+    /// Registers the target predicate consumed by
+    /// [`FaultKind::CorruptTargets`] events: `(protocol, state, agent_index)
+    /// -> is_target`.  A leader predicate with `limit = 1` corrupts *the
+    /// current leader*; a token predicate with a large limit corrupts *every
+    /// token-holder*.  Registering the predicate alone schedules nothing —
+    /// like [`ScenarioBuilder::corruption`], it makes the scenario
+    /// target-ready for plans attached later.  A plan containing a targeted
+    /// event without this predicate reports
+    /// [`PopulationError::MissingTarget`].
+    pub fn fault_targets(
+        mut self,
+        is_target: impl Fn(&P, &P::State, usize) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.targets = Some(Arc::new(is_target));
+        self
+    }
+
+    /// Registers the Byzantine rewrite consumed by an attached
+    /// [`ByzantineWindow`]: `(protocol, rng, agent_index, post_state) ->
+    /// rewritten_state`, applied to each window agent immediately after
+    /// every interaction that touches it while the window is active.  The
+    /// RNG is a dedicated stream derived from the fault seed.  Registering
+    /// the rewrite alone schedules nothing; a plan carrying an active window
+    /// without it reports [`PopulationError::MissingByzantine`].
+    pub fn byzantine(
+        mut self,
+        rewrite: impl Fn(&P, &mut ChaCha8Rng, usize, &P::State) -> P::State + Send + Sync + 'static,
+    ) -> Self {
+        self.byzantine = Some(Arc::new(rewrite));
+        self
+    }
+
+    /// Registers a named trigger predicate for predicate-coupled faults
+    /// ([`FaultPlan::when`]): `(protocol, configuration) -> fire?`, evaluated
+    /// at every burst boundary (stop-check/sample boundaries and immediately
+    /// after step-scheduled fault events) until it first holds, at which
+    /// point the coupled fault fires — before that boundary's stop check —
+    /// and the trigger retires.  Each registered trigger backs at most one
+    /// plan event; register the same name twice to couple two events to one
+    /// predicate.  A plan naming an unregistered trigger reports
+    /// [`PopulationError::UnknownTrigger`].
+    pub fn trigger(
+        mut self,
+        name: impl Into<String>,
+        when: impl Fn(&P, &Configuration<P::State>) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.triggers.push((name.into(), Arc::new(when)));
+        self
+    }
+
     /// Erases the typed pieces and produces the runnable [`Scenario`].
     ///
     /// # Errors
@@ -1676,6 +2218,9 @@ where
         let make_protocol = self.make_protocol;
         let erase = self.erase;
         let corrupt = self.corrupt;
+        let targets = self.targets;
+        let byzantine = self.byzantine;
+        let triggers = self.triggers;
         let prepare = Arc::new(move |pt: &SweepPoint| {
             let protocol = make_protocol(pt);
             let config: Configuration<DynState> = init(&protocol, pt)
@@ -1704,11 +2249,56 @@ where
                     DynState::new(corrupt(&corrupt_protocol, rng, i))
                 }) as Box<dyn FnMut(&mut ChaCha8Rng, usize) -> DynState>
             });
+            let targets_dyn = targets.clone().map(|is_target| {
+                let target_protocol = protocol.clone();
+                Box::new(move |state: &DynState, agent: usize| {
+                    let typed = state.downcast_ref::<P::State>().unwrap_or_else(|| {
+                        panic!(
+                            "state does not belong to protocol {}",
+                            target_protocol.name()
+                        )
+                    });
+                    is_target(&target_protocol, typed, agent)
+                }) as DynTargets
+            });
+            let byzantine_dyn = byzantine.clone().map(|rewrite| {
+                let byz_protocol = protocol.clone();
+                Box::new(
+                    move |rng: &mut ChaCha8Rng, agent: usize, state: &DynState| {
+                        let typed = state.downcast_ref::<P::State>().unwrap_or_else(|| {
+                            panic!("state does not belong to protocol {}", byz_protocol.name())
+                        });
+                        DynState::new(rewrite(&byz_protocol, rng, agent, typed))
+                    },
+                ) as DynByzantine
+            });
+            let triggers_dyn = triggers
+                .iter()
+                .map(|(trigger_name, when)| {
+                    let when = when.clone();
+                    let trigger_protocol = protocol.clone();
+                    // Same reusable typed mirror as the stop criterion: one
+                    // pass over the population per evaluation, no
+                    // allocations in the steady state.
+                    let mut scratch: Vec<P::State> = Vec::new();
+                    let when_dyn = Box::new(move |states: &[DynState]| {
+                        sync_typed_scratch::<P>(&mut scratch, states, trigger_protocol.name());
+                        let config = Configuration::from_states(std::mem::take(&mut scratch));
+                        let verdict = when(&trigger_protocol, &config);
+                        scratch = config.into_states();
+                        verdict
+                    }) as DynStop;
+                    (trigger_name.clone(), when_dyn)
+                })
+                .collect();
             PreparedRun {
                 protocol: erase(protocol),
                 config,
                 stop: stop_dyn,
                 corrupt: corrupt_dyn,
+                targets: targets_dyn,
+                byzantine: byzantine_dyn,
+                triggers: triggers_dyn,
             }
         });
         Ok(Scenario {
@@ -1718,6 +2308,7 @@ where
             scheduler: self.scheduler,
             prepare,
             plan: self.plan,
+            initial: None,
             check_interval: self.check_interval,
             max_steps,
             sim_seed: self.sim_seed,
@@ -2394,6 +2985,308 @@ mod tests {
         // An empty plan needs no corruption function and keeps running.
         let empty = fratricide_scenario().with_fault_plan(FaultPlan::new());
         assert!(empty.try_run(&point).unwrap().converged());
+    }
+
+    #[test]
+    fn targeted_faults_corrupt_the_current_leader() {
+        // Fratricide can only ever demote: once the unique leader is
+        // corrupted away, the population is dead.  A CorruptTargets{limit:1}
+        // event with a leader predicate fired at the convergence boundary
+        // must therefore leave the run unconverged with zero leaders.
+        let base = || {
+            ScenarioBuilder::new("targeted", |_pt: &SweepPoint| Fratricide)
+                .graph(GraphFamily::Complete)
+                .init(|_p, pt| Configuration::uniform(pt.n, true))
+                .stop_when("unique-leader", |p: &Fratricide, c| {
+                    p.has_unique_leader(c.states())
+                })
+                .check_every(|_pt| 1)
+                .step_budget(|_pt| 10_000)
+        };
+        let point = SweepPoint::new(8, 3);
+        let clean = base().build().unwrap().run(&point);
+        assert!(clean.converged());
+        let strike_at = clean.convergence_step();
+        let struck = base()
+            .corruption(|_p, _rng, _i| false)
+            .fault_targets(|p: &Fratricide, s, _agent| p.is_leader(s))
+            .faults(
+                move |_pt| FaultPlan::new().at(strike_at, FaultKind::CorruptTargets { limit: 1 }),
+                |_p, _rng, _i| false,
+            )
+            .build()
+            .unwrap()
+            .run_full(&point);
+        assert!(
+            !struck.report.converged(),
+            "decapitating the unique leader must kill the run"
+        );
+        assert_eq!(struck.sim.count_leaders(), 0);
+    }
+
+    #[test]
+    fn targeted_fault_without_predicate_is_a_typed_error() {
+        let plan = FaultPlan::new().at(5, FaultKind::CorruptTargets { limit: 1 });
+        let scenario = fratricide_scenario(); // corruption-less, target-less
+        let point = SweepPoint::new(8, 3);
+        // Corruption is validated first (events exist), then targets.
+        let ready = ScenarioBuilder::new("ready", |_pt: &SweepPoint| Fratricide)
+            .graph(GraphFamily::Complete)
+            .init(|_p, pt| Configuration::uniform(pt.n, true))
+            .stop_when("unique-leader", |p: &Fratricide, c| {
+                p.has_unique_leader(c.states())
+            })
+            .step_budget(|_pt| 1_000)
+            .corruption(|_p, _rng, _i| true)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            ready.with_fault_plan(plan.clone()).try_run(&point),
+            Err(PopulationError::MissingTarget)
+        ));
+        assert!(matches!(
+            scenario.with_fault_plan(plan).try_run(&point),
+            Err(PopulationError::MissingCorruption)
+        ));
+    }
+
+    #[test]
+    fn triggered_faults_fire_once_when_the_predicate_first_holds() {
+        let base = || {
+            ScenarioBuilder::new("triggered", |_pt: &SweepPoint| Fratricide)
+                .graph(GraphFamily::Complete)
+                .init(|_p, pt| Configuration::uniform(pt.n, true))
+                .stop_when("unique-leader", |p: &Fratricide, c| {
+                    p.has_unique_leader(c.states())
+                })
+                .check_every(|_pt| 1)
+                .step_budget(|_pt| 500_000)
+        };
+        let point = SweepPoint::new(8, 7);
+        let clean = base().build().unwrap().run(&point);
+        assert!(clean.converged());
+        let armed = || {
+            base()
+                .trigger("unique-leader-emerged", |p: &Fratricide, c| {
+                    p.has_unique_leader(c.states())
+                })
+                .faults(
+                    |_pt| FaultPlan::new().when("unique-leader-emerged", FaultKind::CorruptAll),
+                    |_p, _rng, _i| true,
+                )
+                .build()
+                .unwrap()
+        };
+        let struck = armed().run(&point);
+        // The trigger fires at the boundary where the clean run would have
+        // stopped — before that boundary's stop check — so convergence is
+        // pushed strictly past it.  Converging at all proves the trigger
+        // retired after firing (a re-firing trigger would reset forever).
+        assert!(struck.converged());
+        assert!(
+            struck.convergence_step() > clean.convergence_step(),
+            "trigger must delay convergence past step {} (got {})",
+            clean.convergence_step(),
+            struck.convergence_step()
+        );
+        assert_eq!(struck, armed().run(&point), "triggered runs are seeded");
+
+        // The trajectory loop fires the same trigger at its sample
+        // boundaries.  Fratricide alone can only ever demote, so any
+        // increase between consecutive per-step samples proves the trigger
+        // refilled the pool.
+        let budget = 2 * clean.convergence_step() + 100;
+        let traj = armed().leader_trajectory(&point, budget, 1);
+        assert!(
+            traj.windows(2).any(|w| w[1].1 > w[0].1),
+            "the trigger must refill the leader pool: {traj:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_trigger_is_a_typed_error() {
+        let scenario = ScenarioBuilder::new("unregistered", |_pt: &SweepPoint| Fratricide)
+            .graph(GraphFamily::Complete)
+            .init(|_p, pt| Configuration::uniform(pt.n, true))
+            .stop_when("unique-leader", |p: &Fratricide, c| {
+                p.has_unique_leader(c.states())
+            })
+            .step_budget(|_pt| 1_000)
+            .faults(
+                |_pt| FaultPlan::new().when("no-such-trigger", FaultKind::CorruptAll),
+                |_p, _rng, _i| true,
+            )
+            .build()
+            .unwrap();
+        match scenario.try_run(&SweepPoint::new(8, 3)) {
+            Err(PopulationError::UnknownTrigger { name }) => assert_eq!(name, "no-such-trigger"),
+            other => panic!("expected UnknownTrigger, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn never_firing_trigger_keeps_the_run_bit_identical() {
+        let point = SweepPoint::new(8, 3);
+        let plain = fratricide_scenario().run_full(&point);
+        let armed = ScenarioBuilder::new("fratricide", |_pt: &SweepPoint| Fratricide)
+            .graph(GraphFamily::Complete)
+            .init(|_p, pt| Configuration::uniform(pt.n, true))
+            .stop_when("unique-leader", |p: &Fratricide, c| {
+                p.has_unique_leader(c.states())
+            })
+            .check_every(|_pt| 7)
+            .step_budget(|_pt| 500_000)
+            .trigger("never", |_p: &Fratricide, _c| false)
+            .faults(
+                |_pt| FaultPlan::new().when("never", FaultKind::CorruptAll),
+                |_p, _rng, _i| true,
+            )
+            .build()
+            .unwrap()
+            .run_full(&point);
+        assert_eq!(plain.report, armed.report);
+        assert_eq!(plain.sim.config().states(), armed.sim.config().states());
+    }
+
+    #[test]
+    fn byzantine_window_perturbs_the_run_and_then_elapses() {
+        // Every agent is Byzantine and re-promotes itself after every
+        // interaction: while the window is open the population is pinned at
+        // n leaders.  Once the window elapses the war resumes and elects.
+        let windowed = |until: u64| {
+            ScenarioBuilder::new("byzantine", |_pt: &SweepPoint| Fratricide)
+                .graph(GraphFamily::Complete)
+                .init(|_p, pt| Configuration::uniform(pt.n, true))
+                .stop_when("unique-leader", |p: &Fratricide, c| {
+                    p.has_unique_leader(c.states())
+                })
+                .check_every(|_pt| 1)
+                .step_budget(|_pt| 100_000)
+                .byzantine(|_p: &Fratricide, _rng, _agent, _state| true)
+                .faults(
+                    move |pt| {
+                        FaultPlan::new().with_byzantine(ByzantineWindow::new(0..pt.n, 0, until))
+                    },
+                    |_p, _rng, _i| true,
+                )
+                .build()
+                .unwrap()
+        };
+        let point = SweepPoint::new(8, 3);
+        let pinned = windowed(100_000).run_full(&point);
+        assert!(!pinned.report.converged(), "an open window pins n leaders");
+        assert_eq!(pinned.sim.count_leaders(), 8);
+
+        let released = windowed(500).run(&point);
+        assert!(released.converged(), "the war resumes after the window");
+        assert!(released.convergence_step() >= 500);
+
+        // The custom-scheduler loop takes the same per-step Byzantine path;
+        // a boxed random scheduler consumes the RNG identically, so the two
+        // routings agree bit-for-bit.
+        let boxed = windowed(500)
+            .with_scheduler(SchedulerFamily::custom("random-boxed", |_pt, _g| {
+                Box::new(RandomScheduler::new())
+            }))
+            .run(&point);
+        assert_eq!(released, boxed);
+
+        // The trajectory loop observes Byzantine segments incrementally:
+        // with the window pinned open, every sample reports n leaders.
+        let traj = windowed(100_000).leader_trajectory(&point, 5_000, 500);
+        assert!(
+            traj.iter().all(|&(_, l)| l == 8),
+            "window must pin the trajectory at n leaders: {traj:?}"
+        );
+    }
+
+    #[test]
+    fn inert_byzantine_windows_are_dropped_and_stay_bit_identical() {
+        assert!(ByzantineWindow::new([], 0, 1_000).is_inert());
+        assert!(ByzantineWindow::new([3], 5, 5).is_inert());
+        assert!(!ByzantineWindow::new([3], 5, 6).is_inert());
+        let plan = FaultPlan::new().with_byzantine(ByzantineWindow::new([], 0, 1_000));
+        assert!(plan.byzantine().is_none(), "inert windows are dropped");
+        assert!(plan.is_empty(), "a dropped window keeps the fast path");
+
+        let point = SweepPoint::new(8, 3);
+        let plain = fratricide_scenario().run_full(&point);
+        let inert = ScenarioBuilder::new("fratricide", |_pt: &SweepPoint| Fratricide)
+            .graph(GraphFamily::Complete)
+            .init(|_p, pt| Configuration::uniform(pt.n, true))
+            .stop_when("unique-leader", |p: &Fratricide, c| {
+                p.has_unique_leader(c.states())
+            })
+            .check_every(|_pt| 7)
+            .step_budget(|_pt| 500_000)
+            .byzantine(|_p: &Fratricide, _rng, _agent, _state| true)
+            .faults(
+                |_pt| FaultPlan::new().with_byzantine(ByzantineWindow::new([], 0, 1_000)),
+                |_p, _rng, _i| true,
+            )
+            .build()
+            .unwrap()
+            .run_full(&point);
+        assert_eq!(plain.report, inert.report);
+        assert_eq!(plain.sim.config().states(), inert.sim.config().states());
+    }
+
+    #[test]
+    fn byzantine_window_without_rewrite_is_a_typed_error() {
+        let scenario = fratricide_scenario()
+            .with_fault_plan(FaultPlan::new().with_byzantine(ByzantineWindow::new([0, 1], 0, 100)));
+        assert!(matches!(
+            scenario.try_run(&SweepPoint::new(8, 3)),
+            Err(PopulationError::MissingByzantine)
+        ));
+    }
+
+    #[test]
+    fn zero_extent_fault_events_are_rejected() {
+        match FaultPlan::new().try_at(3, FaultKind::CorruptRandomAgents { count: 0 }) {
+            Err(PopulationError::DegenerateFault { at }) => assert!(at.contains("step 3")),
+            other => panic!("expected DegenerateFault, got {other:?}"),
+        }
+        match FaultPlan::new().try_when("boom", FaultKind::CorruptTargets { limit: 0 }) {
+            Err(PopulationError::DegenerateFault { at }) => assert!(at.contains("boom")),
+            other => panic!("expected DegenerateFault, got {other:?}"),
+        }
+        // CorruptAll has no extent knob and CorruptBlock{count: 0} is the
+        // same bug as a zero random count.
+        assert!(FaultPlan::new().try_at(0, FaultKind::CorruptAll).is_ok());
+        assert!(FaultPlan::new()
+            .try_at(0, FaultKind::CorruptBlock { start: 2, count: 0 })
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "extent 0")]
+    fn zero_extent_fault_events_panic_through_the_infallible_builder() {
+        let _ = FaultPlan::new().at(3, FaultKind::CorruptRandomAgents { count: 0 });
+    }
+
+    #[test]
+    fn with_initial_overrides_the_prepared_configuration() {
+        let point = SweepPoint::new(8, 3);
+        let finished = fratricide_scenario().run_full(&point);
+        assert!(finished.report.converged());
+        // Restarting from the converged configuration is instant.
+        let resumed = fratricide_scenario()
+            .with_initial(finished.sim.config().clone())
+            .try_run(&point)
+            .unwrap();
+        assert_eq!(resumed.converged_at, Some(0));
+        assert_eq!(resumed.steps_executed, 0);
+        // A size mismatch is a typed error, not a panic.
+        assert!(matches!(
+            fratricide_scenario()
+                .with_initial(finished.sim.config().clone())
+                .try_run(&SweepPoint::new(10, 3)),
+            Err(PopulationError::ConfigurationSizeMismatch {
+                configuration: 8,
+                graph: 10,
+            })
+        ));
     }
 
     /// A deterministic phase-carrying scheduler for detection tests: cycles
