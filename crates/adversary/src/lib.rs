@@ -63,7 +63,7 @@ pub use faultplan::{
 pub use greedy::{ArcScorer, GreedyAdversary};
 pub use search::{
     worst_case_search, worst_case_search_islands, Candidate, Evaluation, IslandConfig,
-    IslandOutcome, SearchConfig, SearchOutcome, SearchSpace, SpecDomain, WorstCase,
+    IslandOutcome, SearchConfig, SearchOutcome, SearchSpace, SearchStats, SpecDomain, WorstCase,
 };
 pub use spec::SchedulerSpec;
 pub use weighted::WeightedScheduler;

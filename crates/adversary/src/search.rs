@@ -274,6 +274,27 @@ pub struct SearchOutcome {
     /// Total driver evaluations performed (excluding the pre-evaluated
     /// pool).
     pub evaluations: u32,
+    /// Annealing-chain statistics (acceptance behaviour and best-so-far
+    /// trajectory), exposed for telemetry and diagnostics.
+    pub stats: SearchStats,
+}
+
+/// Statistics of one annealing chain.
+///
+/// Purely observational: the chain's proposals, acceptances and
+/// temperature schedule are fixed by the search seed regardless of whether
+/// anyone reads these.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SearchStats {
+    /// Proposals accepted (uphill moves and Metropolis-accepted downhill
+    /// moves).
+    pub accepted: u32,
+    /// Proposals rejected.
+    pub rejected: u32,
+    /// Temperature after the final iteration.
+    pub final_temperature: f64,
+    /// Best-so-far score after each iteration (length = iterations).
+    pub best_trajectory: Vec<u64>,
 }
 
 /// Runs the annealing search.
@@ -342,6 +363,7 @@ where
     // climbing.
     let mut temperature = (best.steps as f64 / 4.0).max(1.0);
     let mut evaluations = 0u32;
+    let mut stats = SearchStats::default();
     for _ in 0..config.iterations {
         let proposal = mutate(&current.candidate, space, &mut rng);
         let eval = evaluate(&proposal);
@@ -351,19 +373,31 @@ where
             rng.gen_bool((-drop / temperature).exp().clamp(0.0, 1.0))
         };
         if accept {
+            stats.accepted += 1;
             current = WorstCase {
                 candidate: proposal,
                 steps: eval.steps,
                 converged: eval.converged,
                 certified: None,
             };
+        } else {
+            stats.rejected += 1;
         }
         if current.steps > best.steps {
             best = current.clone();
         }
+        stats.best_trajectory.push(best.steps);
         temperature = (temperature * config.cooling).max(1.0);
     }
-    SearchOutcome { best, evaluations }
+    stats.final_temperature = temperature;
+    ssle_telemetry::metrics::well_known::SEARCH_EVALUATIONS.add(u64::from(evaluations));
+    ssle_telemetry::metrics::well_known::SEARCH_ACCEPTS.add(u64::from(stats.accepted));
+    ssle_telemetry::metrics::well_known::SEARCH_REJECTS.add(u64::from(stats.rejected));
+    SearchOutcome {
+        best,
+        evaluations,
+        stats,
+    }
 }
 
 /// Parameters of an island search ([`worst_case_search_islands`]).
@@ -453,6 +487,16 @@ where
     let mut evaluations = 0u32;
     for (island, outcome) in outcomes.into_iter().enumerate() {
         evaluations += outcome.evaluations;
+        if ssle_telemetry::enabled() {
+            ssle_telemetry::emit(
+                ssle_telemetry::Event::new("search_island")
+                    .field("island", island)
+                    .count("accepted", u64::from(outcome.stats.accepted))
+                    .count("rejected", u64::from(outcome.stats.rejected))
+                    .count("best_steps", outcome.best.steps)
+                    .field("final_temperature", outcome.stats.final_temperature),
+            );
+        }
         // Strict `>` keeps the lowest island on ties — the merge order is
         // island order, never completion order.
         if merged
@@ -463,6 +507,15 @@ where
         }
     }
     let (best_island, outcome) = merged.expect("at least one island");
+    if ssle_telemetry::enabled() {
+        ssle_telemetry::emit(
+            ssle_telemetry::Event::new("search_summary")
+                .field("islands", config.islands as usize)
+                .count("evaluations", u64::from(evaluations))
+                .count("best_steps", outcome.best.steps)
+                .field("best_island", best_island as usize),
+        );
+    }
     IslandOutcome {
         best: outcome.best,
         best_island,

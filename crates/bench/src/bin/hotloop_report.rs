@@ -28,6 +28,8 @@
 //! --worker        run as a fabric worker (stdin/stdout line protocol)
 //! --out PATH      output file (default: BENCH_hotloop.json)
 //! --json          also print the JSON document to stdout
+//! --telemetry     write an ssle-telemetry/v1 NDJSON trace alongside
+//! --telemetry-out trace file (implies --telemetry)
 //! --help          print usage
 //! ```
 //!
@@ -51,6 +53,10 @@ options:
                  BENCH_hotloop.quick.json under --quick so a local smoke run
                  never clobbers the committed full-mode trajectory)
   --json         also print the JSON document to stdout
+  --telemetry    write an ssle-telemetry/v1 NDJSON trace alongside the
+                 report (default file: hotloop_report.trace.ndjson)
+  --telemetry-out PATH
+                 telemetry trace file (implies --telemetry)
   --help         print this message";
 
 /// Parsed flags of one invocation.
@@ -63,6 +69,8 @@ struct Args {
     fabric: Option<usize>,
     resume: bool,
     cache_dir: Option<String>,
+    telemetry: bool,
+    telemetry_out: Option<String>,
 }
 
 /// Parses the command line.  `Ok(None)` means `--help` was requested.
@@ -84,6 +92,11 @@ where
             "--resume" => out.resume = true,
             "--out" => out.out = Some(value_of("--out", &mut iter)?),
             "--cache-dir" => out.cache_dir = Some(value_of("--cache-dir", &mut iter)?),
+            "--telemetry" => out.telemetry = true,
+            "--telemetry-out" => {
+                out.telemetry_out = Some(value_of("--telemetry-out", &mut iter)?);
+                out.telemetry = true;
+            }
             "--fabric" => match value_of("--fabric", &mut iter)?.parse() {
                 Ok(w) if w >= 1 => out.fabric = Some(w),
                 _ => return Err("--fabric requires a number >= 1".to_string()),
@@ -92,7 +105,7 @@ where
             other => return Err(format!("unknown option {other:?}")),
         }
     }
-    if out.worker && (out.fabric.is_some() || out.json || out.out.is_some()) {
+    if out.worker && (out.fabric.is_some() || out.json || out.out.is_some() || out.telemetry) {
         return Err("--worker is a pure stdin/stdout mode".to_string());
     }
     if (out.resume || out.cache_dir.is_some()) && out.fabric.is_none() {
@@ -123,6 +136,16 @@ fn main() {
         }
         return;
     }
+
+    let trace = ssle_bench::trace::TraceGuard::start(
+        args.telemetry,
+        args.telemetry_out.as_deref(),
+        "hotloop_report",
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
 
     let out = args.out.clone().unwrap_or_else(|| {
         String::from(if args.quick {
@@ -196,6 +219,7 @@ fn main() {
     if args.json {
         println!("{text}");
     }
+    trace.finish();
 }
 
 #[cfg(test)]
@@ -218,6 +242,15 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_out_implies_telemetry() {
+        let args = parse(&["--telemetry"]).unwrap().unwrap();
+        assert!(args.telemetry && args.telemetry_out.is_none());
+        let args = parse(&["--telemetry-out", "t.ndjson"]).unwrap().unwrap();
+        assert!(args.telemetry);
+        assert_eq!(args.telemetry_out.as_deref(), Some("t.ndjson"));
+    }
+
+    #[test]
     fn bad_lines_are_rejected() {
         for bad in [
             vec!["--fabric", "0"],
@@ -225,6 +258,8 @@ mod tests {
             vec!["--resume"],
             vec!["--cache-dir", "/tmp/c"],
             vec!["--worker", "--json"],
+            vec!["--worker", "--telemetry"],
+            vec!["--telemetry-out"],
             vec!["--unknown"],
         ] {
             assert!(parse(&bad).is_err(), "{bad:?} should be rejected");

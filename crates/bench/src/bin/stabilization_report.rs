@@ -43,6 +43,8 @@
 //! --worker        run as a fabric worker (stdin/stdout line protocol)
 //! --out PATH      output file (default: BENCH_stabilization.json)
 //! --json          also print the JSON document to stdout
+//! --telemetry     write an ssle-telemetry/v1 NDJSON trace alongside
+//! --telemetry-out trace file (implies --telemetry)
 //! --help          print usage
 //! ```
 //!
@@ -75,6 +77,10 @@ options:
                  BENCH_stabilization.quick.json under --quick so a local
                  smoke run never clobbers the committed full-mode report)
   --json         also print the JSON document to stdout
+  --telemetry    write an ssle-telemetry/v1 NDJSON trace alongside the
+                 report (default file: stabilization_report.trace.ndjson)
+  --telemetry-out PATH
+                 telemetry trace file (implies --telemetry)
   --help         print this message";
 
 /// Parsed flags of one invocation.
@@ -89,6 +95,8 @@ struct Args {
     fabric: Option<usize>,
     resume: bool,
     cache_dir: Option<String>,
+    telemetry: bool,
+    telemetry_out: Option<String>,
 }
 
 /// Parses the command line.  `Ok(None)` means `--help` was requested.
@@ -110,6 +118,11 @@ where
             "--resume" => out.resume = true,
             "--out" => out.out = Some(value_of("--out", &mut iter)?),
             "--cache-dir" => out.cache_dir = Some(value_of("--cache-dir", &mut iter)?),
+            "--telemetry" => out.telemetry = true,
+            "--telemetry-out" => {
+                out.telemetry_out = Some(value_of("--telemetry-out", &mut iter)?);
+                out.telemetry = true;
+            }
             "--threads" => match value_of("--threads", &mut iter)?.parse() {
                 // 0 would silently clamp to one thread downstream; reject
                 // the degenerate request instead.
@@ -128,7 +141,7 @@ where
             other => return Err(format!("unknown option {other:?}")),
         }
     }
-    if out.worker && (out.fabric.is_some() || out.json || out.out.is_some()) {
+    if out.worker && (out.fabric.is_some() || out.json || out.out.is_some() || out.telemetry) {
         return Err("--worker is a pure stdin/stdout mode; it takes only --threads".to_string());
     }
     if out.resume && out.fabric.is_none() {
@@ -165,6 +178,16 @@ fn main() {
         }
         return;
     }
+
+    let trace = ssle_bench::trace::TraceGuard::start(
+        args.telemetry,
+        args.telemetry_out.as_deref(),
+        "stabilization_report",
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
 
     let out = args.out.clone().unwrap_or_else(|| {
         String::from(if args.quick {
@@ -258,6 +281,7 @@ fn main() {
     if args.json {
         println!("{text}");
     }
+    trace.finish();
 }
 
 #[cfg(test)]
@@ -266,6 +290,15 @@ mod tests {
 
     fn parse(line: &[&str]) -> Result<Option<Args>, String> {
         parse_args(line.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn telemetry_out_implies_telemetry() {
+        let args = parse(&["--telemetry"]).unwrap().unwrap();
+        assert!(args.telemetry && args.telemetry_out.is_none());
+        let args = parse(&["--telemetry-out", "t.ndjson"]).unwrap().unwrap();
+        assert!(args.telemetry);
+        assert_eq!(args.telemetry_out.as_deref(), Some("t.ndjson"));
     }
 
     #[test]
@@ -314,6 +347,8 @@ mod tests {
             vec!["--worker", "--fabric", "2"],
             vec!["--worker", "--json"],
             vec!["--worker", "--out", "f.json"],
+            vec!["--worker", "--telemetry"],
+            vec!["--telemetry-out"],
             vec!["--unknown"],
         ] {
             assert!(parse(&bad).is_err(), "{bad:?} should be rejected");

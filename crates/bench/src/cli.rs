@@ -9,6 +9,8 @@
 //! --seed N           base seed of the sweep grid
 //! --threads N        worker threads of the batch runner
 //! --json             machine-readable JSON on stdout instead of markdown
+//! --telemetry        write an ssle-telemetry/v1 NDJSON trace alongside
+//! --telemetry-out P  trace file (implies --telemetry)
 //! --help             print usage
 //! ```
 
@@ -25,6 +27,9 @@ options:
   --seed N           base seed of the sweep grid
   --threads N        worker threads of the batch runner
   --json             emit machine-readable JSON instead of markdown
+  --telemetry        write an ssle-telemetry/v1 NDJSON trace alongside the
+                     report (default file: <binary>.trace.ndjson)
+  --telemetry-out P  telemetry trace file (implies --telemetry)
   --help             print this message";
 
 /// Why a command line failed to parse.  Typed so callers (and tests) can
@@ -81,6 +86,10 @@ pub struct BenchArgs {
     pub seed: Option<u64>,
     /// `--threads`: explicit worker-thread count.
     pub threads: Option<usize>,
+    /// `--telemetry` (or `--telemetry-out`): write an NDJSON trace.
+    pub telemetry: bool,
+    /// `--telemetry-out`: explicit trace path (implies `--telemetry`).
+    pub telemetry_out: Option<String>,
 }
 
 impl BenchArgs {
@@ -125,8 +134,10 @@ impl BenchArgs {
             };
             // Boolean flags take no value; `--json=false` would otherwise be
             // silently read as `--json`.
-            if matches!(flag.as_str(), "--help" | "-h" | "--full" | "--json")
-                && inline_value.is_some()
+            if matches!(
+                flag.as_str(),
+                "--help" | "-h" | "--full" | "--json" | "--telemetry"
+            ) && inline_value.is_some()
             {
                 return Err(ParseError::malformed(format!(
                     "{flag} does not take a value"
@@ -136,6 +147,11 @@ impl BenchArgs {
                 "--help" | "-h" => return Ok(None),
                 "--full" => out.full = true,
                 "--json" => out.json = true,
+                "--telemetry" => out.telemetry = true,
+                "--telemetry-out" => {
+                    out.telemetry_out = Some(value("--telemetry-out")?);
+                    out.telemetry = true;
+                }
                 "--sizes" => {
                     let raw = value("--sizes")?;
                     let sizes: Result<Vec<usize>, _> = raw
@@ -220,6 +236,17 @@ impl BenchArgs {
             .sizes(&self.sizes())
             .trials(self.trials(), self.seed_or(default_seed))
     }
+
+    /// Installs the telemetry sink when `--telemetry`/`--telemetry-out`
+    /// was given (see [`crate::trace::TraceGuard`]), exiting with a
+    /// diagnostic when the trace file cannot be created.
+    pub fn trace_guard(&self, producer: &str) -> crate::trace::TraceGuard {
+        crate::trace::TraceGuard::start(self.telemetry, self.telemetry_out.as_deref(), producer)
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            })
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +305,20 @@ mod tests {
         assert_eq!(args.sizes(), vec![8, 16]);
         assert_eq!(args.trials(), 2);
         assert_eq!(args.seed_or(0), 5);
+    }
+
+    #[test]
+    fn telemetry_out_implies_telemetry() {
+        let args = parse(&["--telemetry"]);
+        assert!(args.telemetry);
+        assert_eq!(args.telemetry_out, None);
+        let args = parse(&["--telemetry-out", "run.ndjson"]);
+        assert!(args.telemetry, "--telemetry-out must imply --telemetry");
+        assert_eq!(args.telemetry_out.as_deref(), Some("run.ndjson"));
+        let args = parse(&["--telemetry-out=run.ndjson"]);
+        assert_eq!(args.telemetry_out.as_deref(), Some("run.ndjson"));
+        assert!(BenchArgs::try_parse(["--telemetry-out".to_string()]).is_err());
+        assert!(BenchArgs::try_parse(["--telemetry=1".to_string()]).is_err());
     }
 
     #[test]

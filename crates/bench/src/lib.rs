@@ -33,6 +33,7 @@ pub mod hotloop;
 pub mod recovery;
 pub mod report;
 pub mod stabilization;
+pub mod trace;
 
 use population::{
     BatchRunner, BatchSummary, Configuration, ConvergenceReport, Scenario, ScenarioBuilder,

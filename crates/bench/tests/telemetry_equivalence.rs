@@ -1,0 +1,84 @@
+//! The determinism contract of the telemetry layer, pinned at the bench
+//! layer where the Table 1 scenarios are assembled: running a scenario with
+//! an installed telemetry sink produces **bit-identical** reports and final
+//! configurations to the plain run — instrumentation observes the RNG
+//! stream, it never participates in it — and the captured trace is a
+//! schema-valid, complete `ssle-telemetry/v1` stream whose run events match
+//! the runs executed.
+
+use population::SweepPoint;
+use ssle_bench::ProtocolKind;
+use std::sync::{Mutex, OnceLock};
+
+/// Telemetry state (enabled flag, sink, registry) is process-global; tests
+/// that install a sink must not interleave.
+fn serialize() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[test]
+fn instrumented_runs_are_bit_identical_to_plain_runs() {
+    let _guard = serialize();
+    let n = 8;
+    let seed = 3;
+    for kind in ProtocolKind::ALL {
+        let point = SweepPoint::new(n, seed);
+        let plain = kind.scenario().run_full(&point);
+
+        let trace = ssle_telemetry::install_memory("telemetry-equivalence").expect("fresh sink");
+        let instrumented = kind.scenario().run_full(&point);
+        let text = trace.contents();
+        ssle_telemetry::finish().expect("active stream finishes");
+
+        assert_eq!(
+            plain.report,
+            instrumented.report,
+            "{}: an installed telemetry sink perturbed the report",
+            kind.name()
+        );
+        assert_eq!(
+            *plain.sim.config(),
+            *instrumented.sim.config(),
+            "{}: an installed telemetry sink perturbed the final states",
+            kind.name()
+        );
+
+        // The partial stream captured before `finish` is a valid prefix:
+        // exactly one run ran under the sink.
+        let stats = ssle_telemetry::validate_stream(&text).expect("schema-valid prefix");
+        assert!(!stats.complete, "stream_end is only written by finish()");
+        assert_eq!(stats.count("run_start"), 1, "{}", kind.name());
+        assert_eq!(stats.count("run_end"), 1, "{}", kind.name());
+        assert_eq!(stats.count("converged"), 1, "{}", kind.name());
+    }
+}
+
+#[test]
+fn finished_streams_validate_as_complete() {
+    let _guard = serialize();
+    let trace = ssle_telemetry::install_memory("telemetry-equivalence").expect("fresh sink");
+    let point = SweepPoint::new(8, 3);
+    ProtocolKind::Ppl.scenario().run(&point);
+    ProtocolKind::FischerJiang.scenario().run(&point);
+    ssle_telemetry::finish().expect("active stream finishes");
+    let text = trace.contents();
+
+    let stats = ssle_telemetry::validate_stream(&text).expect("schema-valid stream");
+    assert!(stats.complete);
+    assert_eq!(stats.count("stream_start"), 1);
+    assert_eq!(stats.count("stream_end"), 1);
+    assert_eq!(stats.count("run_start"), 2);
+    assert_eq!(stats.count("run_end"), 2);
+    // The digest folds the same stream without error and sees both runs.
+    use analysis::json::JsonValue;
+    let digest = ssle_telemetry::TraceDigest::from_stream(&text).expect("digestible stream");
+    let json = digest.to_json_value();
+    let started = json
+        .get("runs")
+        .and_then(|r| r.get("started"))
+        .and_then(JsonValue::as_str);
+    assert_eq!(started, Some("2"));
+}

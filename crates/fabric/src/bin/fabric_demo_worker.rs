@@ -8,6 +8,9 @@
 //! * `{"mode":"sleep","ms":N,"value":V}` — sleeps N ms, then echoes;
 //! * `{"mode":"error"}` — returns a typed `Failed` error;
 //! * `{"mode":"panic"}` — panics (the worker loop converts it to `Failed`);
+//! * `{"mode":"stderr_crash","lines":N}` — writes N numbered lines to
+//!   stderr, then aborts the process (exercises the coordinator's bounded
+//!   stderr-tail capture);
 //! * any other job kind — `UnknownJob`; any other spec — `BadSpec`.
 //!
 //! Crash injection is inherited from the worker loop: set
@@ -36,6 +39,15 @@ fn handle(job: &str, spec: &JsonValue) -> Result<JsonValue, WorkError> {
                 "value",
                 spec.get("value").cloned().unwrap_or(JsonValue::Null),
             ))
+        }
+        Some("stderr_crash") => {
+            let lines = spec.get("lines").and_then(JsonValue::as_f64).unwrap_or(1.0) as u64;
+            let mut err = std::io::stderr();
+            for i in 0..lines {
+                let _ = writeln!(err, "demo stderr line {i}");
+            }
+            let _ = err.flush();
+            std::process::abort();
         }
         Some("error") => Err(WorkError::Failed {
             detail: "demo error requested".into(),

@@ -94,32 +94,45 @@ impl ResultCache {
 }
 
 /// An append-only progress log for one coordinator run, stored next to the
-/// cache entries.  Lines are standalone JSON objects:
+/// cache entries.  Lines are `ssle-telemetry/v1` events with a
+/// journal-local sequence counter (the journal is a *sidecar* stream — it
+/// never passes through the process-global telemetry sink, so it exists
+/// whether or not telemetry is enabled):
 ///
-/// * `{"event":"start","schema":...,"units":N,"workers":W}` — run manifest;
-/// * `{"event":"unit","key":...,"status":"executed"|"cached"|"failed"}` —
-///   one per finished unit, in completion order.
+/// * `stream_start` — schema marker (producer `fabric-journal`);
+/// * `journal_start` — run manifest (unit and worker counts);
+/// * `journal_unit` — one per finished unit
+///   (`status: "executed"|"cached"|"failed"`), in completion order.
 ///
-/// Advisory only: `--resume` consults the cache, not the journal.
+/// There is deliberately no `stream_end`: the journal's whole purpose is
+/// observability of *interrupted* runs, and the telemetry validator treats
+/// an endless stream as a valid truncated prefix.  Advisory only:
+/// `--resume` consults the cache, not the journal.  Journals written by the
+/// legacy `ssle-fabric/v1` encoding are still readable via
+/// [`read_journal`].
 #[derive(Debug)]
 pub struct RunJournal {
     file: fs::File,
+    seq: u64,
 }
 
 impl RunJournal {
     /// Opens the journal file (truncating any previous run's log) and
-    /// writes the run manifest line.
+    /// writes the stream header plus the run manifest.
     pub fn start(dir: &Path, units: usize, workers: usize) -> Result<Self, WireError> {
         let path = dir.join("journal.ndjson");
         let file = fs::File::create(&path)
             .map_err(|e| WireError::new(format!("creating {}: {e}", path.display())))?;
-        let mut journal = RunJournal { file };
+        let mut journal = RunJournal { file, seq: 0 };
         journal.append(
-            JsonValue::object()
-                .with("event", "start")
-                .with("schema", WIRE_SCHEMA)
-                .with("units", units)
-                .with("workers", workers),
+            ssle_telemetry::Event::new("stream_start")
+                .field("schema", ssle_telemetry::SCHEMA)
+                .field("producer", "fabric-journal"),
+        )?;
+        journal.append(
+            ssle_telemetry::Event::new("journal_start")
+                .count("units", units as u64)
+                .field("workers", workers),
         )?;
         Ok(journal)
     }
@@ -127,20 +140,108 @@ impl RunJournal {
     /// Records one finished unit.
     pub fn unit(&mut self, key: &str, status: &str) -> Result<(), WireError> {
         self.append(
-            JsonValue::object()
-                .with("event", "unit")
-                .with("key", key)
-                .with("status", status),
+            ssle_telemetry::Event::new("journal_unit")
+                .field("key", key)
+                .field("status", status),
         )
     }
 
-    fn append(&mut self, line: JsonValue) -> Result<(), WireError> {
-        writeln!(self.file, "{}", line.to_json())
+    fn append(&mut self, event: ssle_telemetry::Event) -> Result<(), WireError> {
+        let line = event.to_line(self.seq);
+        self.seq += 1;
+        writeln!(self.file, "{line}")
             .map_err(|e| WireError::new(format!("appending to journal: {e}")))?;
         self.file
             .flush()
             .map_err(|e| WireError::new(format!("flushing journal: {e}")))
     }
+}
+
+/// One parsed journal record (encoding-independent view).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// The run manifest.
+    Manifest {
+        /// Total units of the run.
+        units: u64,
+        /// Worker pool size.
+        workers: u64,
+    },
+    /// One finished unit.
+    Unit {
+        /// The unit's content-addressed cache key.
+        key: String,
+        /// `"executed"`, `"cached"` or `"failed"`.
+        status: String,
+    },
+}
+
+/// Reads a `journal.ndjson` written by either encoding: the current
+/// `ssle-telemetry/v1` events (`stream_start`/`journal_start`/
+/// `journal_unit`) or the legacy `ssle-fabric/v1` lines
+/// (`{"event":"start",...}` / `{"event":"unit",...}` with plain-number
+/// counts).
+///
+/// # Errors
+///
+/// Fails on unreadable files, unparsable lines, or unknown event kinds —
+/// a journal is small and fully machine-written, so leniency would only
+/// hide corruption.
+pub fn read_journal(path: &Path) -> Result<Vec<JournalRecord>, WireError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| WireError::new(format!("reading {}: {e}", path.display())))?;
+    let mut records = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        let lineno = index + 1;
+        let value = JsonValue::parse(line)
+            .map_err(|e| WireError::new(format!("journal line {lineno}: {e}")))?;
+        let kind = value
+            .get("event")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| WireError::new(format!("journal line {lineno}: no event kind")))?;
+        // u64s travel as decimal strings in the telemetry encoding and as
+        // plain numbers in the legacy one; accept both.
+        let count = |key: &str| {
+            value
+                .get(key)
+                .and_then(|v| {
+                    v.as_str()
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .or_else(|| v.as_f64().map(|f| f as u64))
+                })
+                .ok_or_else(|| {
+                    WireError::new(format!("journal line {lineno}: missing count {key:?}"))
+                })
+        };
+        match kind {
+            "stream_start" => {} // telemetry-encoding header; no payload
+            "journal_start" | "start" => records.push(JournalRecord::Manifest {
+                units: count("units")?,
+                workers: count("workers")?,
+            }),
+            "journal_unit" | "unit" => {
+                let field = |key: &str| {
+                    value
+                        .get(key)
+                        .and_then(JsonValue::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| {
+                            WireError::new(format!("journal line {lineno}: missing {key:?}"))
+                        })
+                };
+                records.push(JournalRecord::Unit {
+                    key: field("key")?,
+                    status: field("status")?,
+                });
+            }
+            other => {
+                return Err(WireError::new(format!(
+                    "journal line {lineno}: unknown event kind {other:?}"
+                )));
+            }
+        }
+    }
+    Ok(records)
 }
 
 #[cfg(test)]
@@ -205,29 +306,76 @@ mod tests {
     }
 
     #[test]
-    fn journal_records_manifest_and_units() {
+    fn journal_writes_telemetry_events_and_reads_back() {
         let dir = scratch_dir("journal");
         fs::create_dir_all(&dir).unwrap();
         let mut journal = RunJournal::start(&dir, 3, 2).unwrap();
         journal.unit("k1", "executed").unwrap();
         journal.unit("k2", "cached").unwrap();
         drop(journal);
-        let text = fs::read_to_string(dir.join("journal.ndjson")).unwrap();
-        let lines: Vec<JsonValue> = text.lines().map(|l| JsonValue::parse(l).unwrap()).collect();
-        assert_eq!(lines.len(), 3);
+        let path = dir.join("journal.ndjson");
+        let text = fs::read_to_string(&path).unwrap();
+
+        // The journal is a schema-valid (truncated) telemetry stream.
+        let stats = ssle_telemetry::validate_stream(&text).expect("journal validates");
+        assert!(!stats.complete, "journals never write stream_end");
+        assert_eq!(stats.count("journal_start"), 1);
+        assert_eq!(stats.count("journal_unit"), 2);
+
+        // And the compat reader folds it into records.
+        let records = read_journal(&path).unwrap();
         assert_eq!(
-            lines[0].get("event").and_then(JsonValue::as_str),
-            Some("start")
+            records,
+            vec![
+                JournalRecord::Manifest {
+                    units: 3,
+                    workers: 2
+                },
+                JournalRecord::Unit {
+                    key: "k1".into(),
+                    status: "executed".into()
+                },
+                JournalRecord::Unit {
+                    key: "k2".into(),
+                    status: "cached".into()
+                },
+            ]
         );
-        assert_eq!(lines[0].get("units").and_then(JsonValue::as_f64), Some(3.0));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_journals_still_read() {
+        let dir = scratch_dir("journal-legacy");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.ndjson");
+        // The pre-telemetry encoding: plain-number counts, no header.
+        fs::write(
+            &path,
+            concat!(
+                "{\"event\":\"start\",\"schema\":\"ssle-fabric/v1\",\"units\":2,\"workers\":1}\n",
+                "{\"event\":\"unit\",\"key\":\"old\",\"status\":\"failed\"}\n",
+            ),
+        )
+        .unwrap();
+        let records = read_journal(&path).unwrap();
         assert_eq!(
-            lines[1].get("status").and_then(JsonValue::as_str),
-            Some("executed")
+            records,
+            vec![
+                JournalRecord::Manifest {
+                    units: 2,
+                    workers: 1
+                },
+                JournalRecord::Unit {
+                    key: "old".into(),
+                    status: "failed".into()
+                },
+            ]
         );
-        assert_eq!(
-            lines[2].get("status").and_then(JsonValue::as_str),
-            Some("cached")
-        );
+
+        // Corruption is an error, not a silent skip.
+        fs::write(&path, "{\"event\":\"mystery\"}\n").unwrap();
+        assert!(read_journal(&path).is_err());
         let _ = fs::remove_dir_all(&dir);
     }
 }

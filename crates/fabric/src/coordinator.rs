@@ -37,8 +37,8 @@ use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
-use std::sync::Mutex;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use analysis::json::JsonValue;
 
@@ -95,14 +95,43 @@ impl WorkerCommand {
             .args(&self.args)
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
-            // Worker stderr flows through to the operator's terminal.
-            .stderr(Stdio::inherit());
+            // Worker stderr is teed: forwarded to the operator's terminal
+            // line-by-line AND kept in a bounded tail, so a crashed
+            // worker's last words survive into the typed failure instead
+            // of scrolling away (they used to be inherit-only and lost).
+            .stderr(Stdio::piped());
         for (k, v) in &self.envs {
             command.env(k, v);
         }
         command
             .spawn()
             .map_err(|e| WireError::new(format!("spawning {}: {e}", self.program.display())))
+    }
+}
+
+/// Number of trailing stderr lines retained per worker.
+const STDERR_TAIL_LINES: usize = 8;
+
+/// Bounded tail of one worker's stderr, shared with its reader thread.
+#[derive(Clone, Debug, Default)]
+struct StderrTail(Arc<Mutex<VecDeque<String>>>);
+
+impl StderrTail {
+    fn push(&self, line: String) {
+        let mut tail = self.0.lock().unwrap_or_else(|p| p.into_inner());
+        if tail.len() == STDERR_TAIL_LINES {
+            tail.pop_front();
+        }
+        tail.push_back(line);
+    }
+
+    fn snapshot(&self) -> Vec<String> {
+        self.0
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .cloned()
+            .collect()
     }
 }
 
@@ -153,6 +182,9 @@ pub enum UnitFailure {
         attempts: usize,
         /// The last observed failure.
         detail: String,
+        /// The last lines the dying worker wrote to stderr (up to a
+        /// bounded tail), oldest first.  Empty if it died silently.
+        stderr_tail: Vec<String>,
     },
     /// Every attempt ran past the per-unit timeout.
     TimedOut {
@@ -167,11 +199,19 @@ impl std::fmt::Display for UnitFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             UnitFailure::Worker(e) => write!(f, "worker refused unit: {e}"),
-            UnitFailure::Crashed { attempts, detail } => {
+            UnitFailure::Crashed {
+                attempts,
+                detail,
+                stderr_tail,
+            } => {
                 write!(
                     f,
                     "worker crashed on all {attempts} attempts (last: {detail})"
-                )
+                )?;
+                if !stderr_tail.is_empty() {
+                    write!(f, "; stderr tail: {}", stderr_tail.join(" | "))?;
+                }
+                Ok(())
             }
             UnitFailure::TimedOut { attempts, timeout } => write!(
                 f,
@@ -228,6 +268,8 @@ struct LiveWorker {
     child: Child,
     stdin: std::process::ChildStdin,
     lines: Receiver<std::io::Result<String>>,
+    stderr_tail: StderrTail,
+    stderr_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl LiveWorker {
@@ -241,6 +283,10 @@ impl LiveWorker {
             .stdout
             .take()
             .ok_or_else(|| WireError::new("worker stdout not piped"))?;
+        let stderr = child
+            .stderr
+            .take()
+            .ok_or_else(|| WireError::new("worker stderr not piped"))?;
         let (tx, rx) = std::sync::mpsc::channel();
         std::thread::spawn(move || {
             for line in BufReader::new(stdout).lines() {
@@ -249,17 +295,36 @@ impl LiveWorker {
                 }
             }
         });
+        let stderr_tail = StderrTail::default();
+        let tail = stderr_tail.clone();
+        let stderr_thread = std::thread::spawn(move || {
+            // Tee: every line still reaches the operator's terminal (the
+            // old `Stdio::inherit()` behaviour), and the tail keeps the
+            // last few for crash forensics.
+            for line in BufReader::new(stderr).lines().map_while(|l| l.ok()) {
+                eprintln!("{line}");
+                tail.push(line);
+            }
+        });
         Ok(LiveWorker {
             child,
             stdin,
             lines: rx,
+            stderr_tail,
+            stderr_thread: Some(stderr_thread),
         })
     }
 
-    /// Kills and reaps the worker (no zombies).
+    /// Kills and reaps the worker (no zombies), then joins the stderr tee
+    /// so the tail holds everything the worker wrote before dying.  The
+    /// join is bounded: reaping the child closes the pipe's write end, so
+    /// the tee hits EOF.
     fn dispose(mut self) {
         let _ = self.child.kill();
         let _ = self.child.wait();
+        if let Some(handle) = self.stderr_thread.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -268,10 +333,31 @@ enum Attempt {
     /// A parsed, seq-matched result from the worker (typed errors
     /// included — they are final).
     Answered(WorkResult),
-    /// The worker died or corrupted the pipe; it has been disposed.
-    Crashed(String),
+    /// The worker died or corrupted the pipe; it has been disposed.  The
+    /// stderr tail it left behind rides along for the failure report.
+    Crashed {
+        detail: String,
+        stderr_tail: Vec<String>,
+    },
     /// The worker exceeded the unit timeout; it has been disposed.
     TimedOut,
+}
+
+/// Snapshots the worker's stderr tail, disposes it, and builds the crash
+/// attempt.
+fn crash(worker_slot: &mut Option<LiveWorker>, detail: String) -> Attempt {
+    let mut stderr_tail = Vec::new();
+    if let Some(w) = worker_slot.take() {
+        // Snapshot only after dispose: disposal joins the tee thread, so
+        // the tail has drained everything the worker managed to write.
+        let tail = w.stderr_tail.clone();
+        w.dispose();
+        stderr_tail = tail.snapshot();
+    }
+    Attempt::Crashed {
+        detail,
+        stderr_tail,
+    }
 }
 
 /// Sends one unit to a live worker and waits for its answer.  On
@@ -281,41 +367,23 @@ fn dispatch(worker_slot: &mut Option<LiveWorker>, unit: &WorkUnit, timeout: Dura
     let worker = worker_slot.as_mut().expect("dispatch needs a live worker");
     if let Err(e) = writeln!(worker.stdin, "{}", unit.to_line()).and_then(|_| worker.stdin.flush())
     {
-        if let Some(w) = worker_slot.take() {
-            w.dispose();
-        }
-        return Attempt::Crashed(format!("writing unit to worker: {e}"));
+        return crash(worker_slot, format!("writing unit to worker: {e}"));
     }
     match worker.lines.recv_timeout(timeout) {
         Ok(Ok(line)) => match WorkResult::from_line(&line) {
             Ok(result) if result.seq == unit.seq => Attempt::Answered(result),
-            Ok(result) => {
-                if let Some(w) = worker_slot.take() {
-                    w.dispose();
-                }
-                Attempt::Crashed(format!(
+            Ok(result) => crash(
+                worker_slot,
+                format!(
                     "worker answered seq {} for unit seq {}",
                     result.seq, unit.seq
-                ))
-            }
-            Err(e) => {
-                if let Some(w) = worker_slot.take() {
-                    w.dispose();
-                }
-                Attempt::Crashed(format!("unparsable worker output: {e}"))
-            }
+                ),
+            ),
+            Err(e) => crash(worker_slot, format!("unparsable worker output: {e}")),
         },
-        Ok(Err(e)) => {
-            if let Some(w) = worker_slot.take() {
-                w.dispose();
-            }
-            Attempt::Crashed(format!("reading worker output: {e}"))
-        }
+        Ok(Err(e)) => crash(worker_slot, format!("reading worker output: {e}")),
         Err(RecvTimeoutError::Disconnected) => {
-            if let Some(w) = worker_slot.take() {
-                w.dispose();
-            }
-            Attempt::Crashed("worker exited before answering".to_string())
+            crash(worker_slot, "worker exited before answering".to_string())
         }
         Err(RecvTimeoutError::Timeout) => {
             if let Some(w) = worker_slot.take() {
@@ -351,11 +419,18 @@ pub fn run_units(
     let mut pending: Vec<usize> = Vec::new();
     let mut cached = 0usize;
     for (i, unit) in units.iter().enumerate() {
-        let hit = options
+        let lookup = options
             .reuse_cached
             .then_some(options.cache.as_ref())
-            .flatten()
-            .and_then(|c| c.load(&unit.cache_key(), &unit.job));
+            .flatten();
+        let hit = lookup.and_then(|c| c.load(&unit.cache_key(), &unit.job));
+        if lookup.is_some() {
+            if hit.is_some() {
+                ssle_telemetry::metrics::well_known::FABRIC_CACHE_HITS.incr();
+            } else {
+                ssle_telemetry::metrics::well_known::FABRIC_CACHE_MISSES.incr();
+            }
+        }
         match hit {
             Some(payload) => {
                 if let Some(j) = journal.as_mut() {
@@ -380,17 +455,38 @@ pub fn run_units(
         // letting every manager thread discover it independently.
         LiveWorker::spawn(command)?.dispose();
 
+        let run_start = Instant::now();
         std::thread::scope(|scope| {
-            for _ in 0..pool {
-                scope.spawn(|| {
+            // The closures are `move` only to capture their manager index;
+            // everything shared is re-captured by reference here.
+            let (queue, done, journal) = (&queue, &done, &journal);
+            let (executed, restarts) = (&executed, &restarts);
+            for manager in 0..pool {
+                scope.spawn(move || {
                     let mut worker: Option<LiveWorker> = None;
+                    let mut units_run = 0u64;
                     loop {
                         let Some(idx) = queue.lock().unwrap().pop_front() else {
                             break;
                         };
+                        // All units are enqueued before the pool starts, so
+                        // pop time *is* this unit's queue wait.
+                        ssle_telemetry::metrics::well_known::FABRIC_QUEUE_MICROS
+                            .record(run_start.elapsed().as_micros() as u64);
                         let unit = &units[idx];
-                        let outcome =
-                            attempt_unit(command, &mut worker, unit, options, &executed, &restarts);
+                        let unit_start = Instant::now();
+                        let outcome = attempt_unit(
+                            command,
+                            manager,
+                            &mut worker,
+                            unit,
+                            options,
+                            executed,
+                            restarts,
+                        );
+                        let unit_micros = unit_start.elapsed().as_micros() as u64;
+                        ssle_telemetry::metrics::well_known::FABRIC_UNIT_MICROS.record(unit_micros);
+                        units_run += 1;
                         if let (Ok(payload), Some(cache)) = (&outcome, &options.cache) {
                             // A store failure must not discard a computed
                             // result; it only costs a future cache hit.
@@ -404,10 +500,26 @@ pub fn run_units(
                         if let Some(j) = journal.lock().unwrap().as_mut() {
                             let _ = j.unit(&unit.cache_key(), status);
                         }
+                        if ssle_telemetry::enabled() {
+                            ssle_telemetry::emit(
+                                ssle_telemetry::Event::new("fabric_unit")
+                                    .field("unit", idx)
+                                    .field("status", status)
+                                    .field("worker", manager)
+                                    .wall_micros("latency", unit_micros),
+                            );
+                        }
                         done.lock().unwrap().push((idx, outcome));
                     }
                     if let Some(w) = worker.take() {
                         w.dispose();
+                    }
+                    if ssle_telemetry::enabled() {
+                        ssle_telemetry::emit(
+                            ssle_telemetry::Event::new("fabric_worker")
+                                .field("worker", manager)
+                                .count("units", units_run),
+                        );
                     }
                 });
             }
@@ -421,11 +533,24 @@ pub fn run_units(
         .into_iter()
         .map(|s| s.expect("every unit slot filled"))
         .collect();
+    let executed = executed.load(Ordering::SeqCst);
+    let worker_restarts = restarts.load(Ordering::SeqCst);
+    ssle_telemetry::metrics::well_known::FABRIC_EXECUTED.add(executed as u64);
+    if ssle_telemetry::enabled() {
+        ssle_telemetry::emit(
+            ssle_telemetry::Event::new("fabric_summary")
+                .count("executed", executed as u64)
+                .count("cached", cached as u64)
+                .count("worker_restarts", worker_restarts as u64)
+                .field("units", units.len())
+                .field("workers", options.workers),
+        );
+    }
     Ok(FabricOutcome {
         results,
-        executed: executed.load(Ordering::SeqCst),
+        executed,
         cached,
-        worker_restarts: restarts.load(Ordering::SeqCst),
+        worker_restarts,
     })
 }
 
@@ -433,6 +558,7 @@ pub fn run_units(
 /// caller's worker slot (respawning after crashes/timeouts).
 fn attempt_unit(
     command: &WorkerCommand,
+    manager: usize,
     worker: &mut Option<LiveWorker>,
     unit: &WorkUnit,
     options: &CoordinatorOptions,
@@ -441,11 +567,24 @@ fn attempt_unit(
 ) -> Result<JsonValue, UnitFailure> {
     let max_attempts = options.max_attempts.max(1);
     let mut last_crash = String::new();
+    let mut last_tail: Vec<String> = Vec::new();
     let mut timed_out = false;
     for attempt in 1..=max_attempts {
         if worker.is_none() {
             if attempt > 1 {
                 restarts.fetch_add(1, Ordering::SeqCst);
+                if ssle_telemetry::enabled() {
+                    ssle_telemetry::metrics::well_known::FABRIC_RESPAWNS.incr();
+                    let cause = if timed_out { "timeout" } else { "crash" };
+                    let mut event = ssle_telemetry::Event::new("worker_respawn")
+                        .field("worker", manager)
+                        .field("cause", cause)
+                        .field("attempt", attempt);
+                    if !last_tail.is_empty() {
+                        event = event.field("stderr_tail", last_tail.join(" | "));
+                    }
+                    ssle_telemetry::emit(event);
+                }
             }
             match LiveWorker::spawn(command) {
                 Ok(w) => *worker = Some(w),
@@ -461,9 +600,13 @@ fn attempt_unit(
                 // Typed job errors are deterministic: final, no retry.
                 return result.outcome.map_err(UnitFailure::Worker);
             }
-            Attempt::Crashed(detail) => {
+            Attempt::Crashed {
+                detail,
+                stderr_tail,
+            } => {
                 timed_out = false;
                 last_crash = detail;
+                last_tail = stderr_tail;
             }
             Attempt::TimedOut => timed_out = true,
         }
@@ -477,6 +620,7 @@ fn attempt_unit(
         Err(UnitFailure::Crashed {
             attempts: max_attempts,
             detail: last_crash,
+            stderr_tail: last_tail,
         })
     }
 }

@@ -37,7 +37,7 @@ pub mod coordinator;
 pub mod wire;
 pub mod worker;
 
-pub use cache::{ResultCache, RunJournal, DEFAULT_CACHE_DIR};
+pub use cache::{read_journal, JournalRecord, ResultCache, RunJournal, DEFAULT_CACHE_DIR};
 pub use coordinator::{run_units, CoordinatorOptions, FabricOutcome, UnitFailure, WorkerCommand};
 pub use wire::{WireError, WorkError, WorkResult, WorkUnit, WIRE_SCHEMA};
 pub use worker::{worker_loop, CRASH_ONCE_ENV};

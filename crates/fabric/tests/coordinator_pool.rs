@@ -135,6 +135,53 @@ fn a_timed_out_unit_is_killed_and_exhaustion_is_typed() {
 }
 
 #[test]
+fn a_dying_workers_stderr_tail_survives_into_the_typed_failure() {
+    let units = vec![
+        echo_unit(0, "ok"),
+        WorkUnit::new(
+            1,
+            "demo",
+            JsonValue::object()
+                .with("mode", "stderr_crash")
+                .with("lines", 12usize),
+        ),
+    ];
+    let mut options = CoordinatorOptions::new(1);
+    options.max_attempts = 2;
+    let outcome = run_units(&demo_worker(), &units, &options).unwrap();
+    assert!(outcome.results[0].is_ok());
+    match &outcome.results[1] {
+        Err(UnitFailure::Crashed {
+            attempts,
+            stderr_tail,
+            ..
+        }) => {
+            assert_eq!(*attempts, 2);
+            assert!(
+                !stderr_tail.is_empty(),
+                "the dying worker's stderr must be captured"
+            );
+            assert!(
+                stderr_tail.len() <= 8,
+                "the tail is bounded, got {} lines",
+                stderr_tail.len()
+            );
+            assert_eq!(
+                stderr_tail.last().map(String::as_str),
+                Some("demo stderr line 11"),
+                "the tail keeps the *last* lines: {stderr_tail:?}"
+            );
+            let rendered = outcome.results[1].as_ref().unwrap_err().to_string();
+            assert!(
+                rendered.contains("stderr tail"),
+                "Display must surface the tail: {rendered}"
+            );
+        }
+        other => panic!("expected Crashed with stderr tail, got {other:?}"),
+    }
+}
+
+#[test]
 fn nonexistent_worker_program_is_an_infrastructure_error() {
     let command = WorkerCommand::new("/definitely/not/a/real/binary");
     let units = vec![echo_unit(0, "x")];

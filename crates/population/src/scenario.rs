@@ -1059,12 +1059,10 @@ impl Scenario {
     pub fn try_run_full(&self, point: &SweepPoint) -> Result<ScenarioRun> {
         let prepared = self.prepared_run(point)?;
         let graph = self.graph.build(point.n)?;
-        let mut sim = Simulation::new(
-            prepared.protocol,
-            graph,
-            prepared.config,
-            (self.sim_seed)(point),
-        );
+        let sim_seed = (self.sim_seed)(point);
+        let _scope = ssle_telemetry::run_scope(&self.name, point.n as u64, sim_seed);
+        telemetry_run_start();
+        let mut sim = Simulation::new(prepared.protocol, graph, prepared.config, sim_seed);
         let check_interval = (self.check_interval)(point).max(1);
         let max_steps = (self.max_steps)(point);
         let plan = self.plan.as_ref().map(|f| f(point)).unwrap_or_default();
@@ -1109,6 +1107,7 @@ impl Scenario {
             }
         };
         report.criterion = std::borrow::Cow::Owned(self.stop_name.clone());
+        telemetry_run_end(report.steps_executed, report.converged_at.is_some());
         Ok(ScenarioRun { report, sim })
     }
 
@@ -1190,12 +1189,10 @@ impl Scenario {
     ) -> Result<Vec<(u64, usize)>> {
         let prepared = self.prepared_run(point)?;
         let graph = self.graph.build(point.n)?;
-        let mut sim = Simulation::new(
-            prepared.protocol,
-            graph,
-            prepared.config,
-            (self.sim_seed)(point),
-        );
+        let sim_seed = (self.sim_seed)(point);
+        let _scope = ssle_telemetry::run_scope(&self.name, point.n as u64, sim_seed);
+        telemetry_run_start();
+        let mut sim = Simulation::new(prepared.protocol, graph, prepared.config, sim_seed);
         let mut scheduler = match &self.scheduler {
             SchedulerFamily::Random => None,
             SchedulerFamily::Custom { build, .. } => Some(build(point, sim.graph())),
@@ -1264,6 +1261,8 @@ impl Scenario {
                 out.push((done, leaders));
             }
         }
+        // A trajectory run has no stop predicate, so it never "converges".
+        telemetry_run_end(done, false);
         Ok(out)
     }
 
@@ -1358,12 +1357,10 @@ impl Scenario {
     pub fn try_run_detecting(&self, point: &SweepPoint) -> Result<DetectedRun> {
         let prepared = self.prepared_run(point)?;
         let graph = self.graph.build(point.n)?;
-        let mut sim = Simulation::new(
-            prepared.protocol,
-            graph,
-            prepared.config,
-            (self.sim_seed)(point),
-        );
+        let sim_seed = (self.sim_seed)(point);
+        let _scope = ssle_telemetry::run_scope(&self.name, point.n as u64, sim_seed);
+        telemetry_run_start();
+        let mut sim = Simulation::new(prepared.protocol, graph, prepared.config, sim_seed);
         let check_interval = (self.check_interval)(point).max(1);
         let max_steps = (self.max_steps)(point);
         let plan = self.plan.as_ref().map(|f| f(point)).unwrap_or_default();
@@ -1407,6 +1404,7 @@ impl Scenario {
         let mut detector = RecurrenceDetector::new();
         if stop(sim.config().states()) {
             let faults_pending = faults.pending();
+            telemetry_run_end(0, true);
             return Ok(DetectedRun {
                 report: make_report(Some(sim.steps()), 0),
                 recurrence: None,
@@ -1461,6 +1459,14 @@ impl Scenario {
                                 // would.
                                 detector.reset();
                             } else {
+                                if ssle_telemetry::enabled() {
+                                    ssle_telemetry::metrics::well_known::RECURRENCES.incr();
+                                    ssle_telemetry::emit(
+                                        ssle_telemetry::Event::new("recurrence_candidate")
+                                            .count("step", candidate.entry_step)
+                                            .count("period", candidate.period),
+                                    );
+                                }
                                 recurrence = Some(candidate);
                                 executed = sim.steps();
                                 break 'run;
@@ -1481,6 +1487,7 @@ impl Scenario {
             let at_boundary = executed == next_check || executed == max_steps;
             if at_boundary && stop(sim.config().states()) {
                 let faults_pending = faults.pending();
+                telemetry_run_end(executed, true);
                 return Ok(DetectedRun {
                     report: make_report(Some(sim.steps()), executed),
                     recurrence: None,
@@ -1490,6 +1497,7 @@ impl Scenario {
             }
         }
         let faults_pending = faults.pending();
+        telemetry_run_end(executed, false);
         Ok(DetectedRun {
             report: make_report(None, executed),
             recurrence,
@@ -1531,10 +1539,11 @@ const BYZANTINE_SEED_SALT: u64 = 0x42595A41_4E54494E; // "BYZANTIN"
 /// identical steps in all of them.
 struct FaultSchedule {
     events: Vec<FaultEvent>,
-    /// Unfired trigger-coupled events, each paired with its erased predicate
-    /// (resolved from the scenario's trigger registry by name at
-    /// construction).  Drained as they fire: each fires at most once.
-    triggered: Vec<(FaultKind, DynStop)>,
+    /// Unfired trigger-coupled events, each carrying its trigger name (for
+    /// the telemetry event) and its erased predicate (resolved from the
+    /// scenario's trigger registry by name at construction).  Drained as
+    /// they fire: each fires at most once.
+    triggered: Vec<(String, FaultKind, DynStop)>,
     /// The active Byzantine window; cleared once the run passes its end.
     window: Option<ByzantineWindow>,
     rewrite: Option<DynByzantine>,
@@ -1542,6 +1551,19 @@ struct FaultSchedule {
     targets: Option<DynTargets>,
     driver: Option<(DynCorrupt, FaultInjector)>,
     next: usize,
+    /// `true` once the `byzantine_open` telemetry event for the (single)
+    /// window has been emitted.
+    byz_open_emitted: bool,
+}
+
+/// Stable snake_case label of a fault kind for the telemetry stream.
+fn fault_kind_label(kind: FaultKind) -> &'static str {
+    match kind {
+        FaultKind::CorruptRandomAgents { .. } => "corrupt_random_agents",
+        FaultKind::CorruptBlock { .. } => "corrupt_block",
+        FaultKind::CorruptAll => "corrupt_all",
+        FaultKind::CorruptTargets { .. } => "corrupt_targets",
+    }
 }
 
 impl FaultSchedule {
@@ -1597,7 +1619,11 @@ impl FaultSchedule {
             // Each registered trigger predicate backs at most one plan
             // event; re-registering under the same name is how a plan would
             // couple two faults to one predicate.
-            triggered.push((t.kind, trigger_registry.swap_remove(slot).1));
+            triggered.push((
+                t.trigger.clone(),
+                t.kind,
+                trigger_registry.swap_remove(slot).1,
+            ));
         }
         Ok(FaultSchedule {
             events: plan.events().to_vec(),
@@ -1608,6 +1634,7 @@ impl FaultSchedule {
             targets,
             driver,
             next: 0,
+            byz_open_emitted: false,
         })
     }
 
@@ -1652,7 +1679,7 @@ impl FaultSchedule {
         let Some((corrupt, injector)) = self.driver.as_mut() else {
             return;
         };
-        match kind {
+        let corrupted = match kind {
             FaultKind::CorruptTargets { limit } => {
                 let is_target = self
                     .targets
@@ -1663,11 +1690,18 @@ impl FaultSchedule {
                     limit,
                     |state, agent| is_target(state, agent),
                     &mut **corrupt,
-                );
+                )
             }
-            kind => {
-                injector.inject(sim.config_mut(), kind, &mut **corrupt);
-            }
+            kind => injector.inject(sim.config_mut(), kind, &mut **corrupt),
+        };
+        if ssle_telemetry::enabled() {
+            ssle_telemetry::metrics::well_known::FAULTS_FIRED.incr();
+            ssle_telemetry::emit(
+                ssle_telemetry::Event::new("fault_fired")
+                    .count("step", sim.steps())
+                    .field("kind", fault_kind_label(kind))
+                    .count("corrupted", corrupted.len() as u64),
+            );
         }
     }
 
@@ -1691,6 +1725,11 @@ impl FaultSchedule {
         {
             self.window = None;
             fired = true;
+            if ssle_telemetry::enabled() {
+                ssle_telemetry::emit(
+                    ssle_telemetry::Event::new("byzantine_close").count("step", sim.steps()),
+                );
+            }
         }
         fired
     }
@@ -1712,8 +1751,16 @@ impl FaultSchedule {
         let mut fired = false;
         let mut slot = 0;
         while slot < self.triggered.len() {
-            if (self.triggered[slot].1)(sim.config().states()) {
-                let (kind, _) = self.triggered.swap_remove(slot);
+            if (self.triggered[slot].2)(sim.config().states()) {
+                let (name, kind, _) = self.triggered.swap_remove(slot);
+                if ssle_telemetry::enabled() {
+                    ssle_telemetry::metrics::well_known::TRIGGERS_FIRED.incr();
+                    ssle_telemetry::emit(
+                        ssle_telemetry::Event::new("trigger_fired")
+                            .count("step", sim.steps())
+                            .field("trigger", name),
+                    );
+                }
                 self.inject_kind(kind, sim);
                 fired = true;
             } else {
@@ -1735,6 +1782,15 @@ impl FaultSchedule {
         scheduler: Option<&mut dyn DynScheduler>,
         observer: &mut O,
     ) -> Result<bool> {
+        if !self.byz_open_emitted {
+            self.byz_open_emitted = true;
+            if ssle_telemetry::enabled() {
+                ssle_telemetry::metrics::well_known::BYZANTINE_WINDOWS.incr();
+                ssle_telemetry::emit(
+                    ssle_telemetry::Event::new("byzantine_open").count("step", sim.steps()),
+                );
+            }
+        }
         let interaction = match scheduler {
             None => sim.step_observed(observer),
             Some(sched) => sim.step_chosen_by_observed(observer, |g, c, rng| {
@@ -1756,6 +1812,33 @@ impl FaultSchedule {
             }
         }
         Ok(rewrote)
+    }
+}
+
+/// Emits the `run_start` telemetry event and bumps the run counter (a
+/// no-op when telemetry is disabled).  The event's required fields
+/// (`scenario`, `n`, `seed`) come from the caller's active
+/// [`ssle_telemetry::run_scope`], which stamps them onto every event of
+/// the run — adding them here again would duplicate the keys.
+fn telemetry_run_start() {
+    if ssle_telemetry::enabled() {
+        ssle_telemetry::metrics::well_known::RUNS.incr();
+        ssle_telemetry::emit(ssle_telemetry::Event::new("run_start"));
+    }
+}
+
+/// Emits the `run_end` telemetry event, counting converged runs (a no-op
+/// when telemetry is disabled).
+fn telemetry_run_end(steps: u64, converged: bool) {
+    if ssle_telemetry::enabled() {
+        if converged {
+            ssle_telemetry::metrics::well_known::CONVERGED_RUNS.incr();
+        }
+        ssle_telemetry::emit(
+            ssle_telemetry::Event::new("run_end")
+                .count("steps", steps)
+                .field("converged", converged),
+        );
     }
 }
 
@@ -1826,6 +1909,7 @@ fn run_scheduled(
                     }
                 }
             }
+            ssle_telemetry::metrics::well_known::SCHEDULED_STEPS.add(k);
             Ok(())
         },
     )
@@ -1857,6 +1941,11 @@ fn run_checked_bursts(
     faults.fire_due(0, sim);
     faults.fire_triggered(sim);
     if stop(sim.config().states()) {
+        if ssle_telemetry::enabled() {
+            ssle_telemetry::emit(
+                ssle_telemetry::Event::new("converged").count("step", sim.steps()),
+            );
+        }
         return Ok(ConvergenceReport {
             converged_at: Some(sim.steps()),
             steps_executed: 0,
@@ -1879,6 +1968,11 @@ fn run_checked_bursts(
         faults.fire_triggered(sim);
         let at_boundary = executed == next_check || executed == max_steps;
         if at_boundary && stop(sim.config().states()) {
+            if ssle_telemetry::enabled() {
+                ssle_telemetry::emit(
+                    ssle_telemetry::Event::new("converged").count("step", sim.steps()),
+                );
+            }
             return Ok(ConvergenceReport {
                 converged_at: Some(sim.steps()),
                 steps_executed: executed,

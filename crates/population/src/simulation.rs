@@ -299,6 +299,9 @@ impl<P: Protocol, G: InteractionGraph> Simulation<P, G> {
         for _ in 0..k {
             self.step();
         }
+        // One counter update per burst, never per step: the hot loop pays
+        // exactly one relaxed load here when telemetry is disabled.
+        ssle_telemetry::metrics::well_known::HOT_STEPS.add(k);
     }
 
     /// Runs exactly `k` steps under the uniformly random scheduler with an
@@ -307,6 +310,7 @@ impl<P: Protocol, G: InteractionGraph> Simulation<P, G> {
         for _ in 0..k {
             self.step_observed(observer);
         }
+        ssle_telemetry::metrics::well_known::HOT_STEPS.add(k);
     }
 
     /// Applies every interaction of `seq`, in order.
@@ -358,6 +362,11 @@ impl<P: Protocol, G: InteractionGraph> Simulation<P, G> {
                         step: self.steps,
                         criterion: "predicate".into(),
                     });
+                }
+                if ssle_telemetry::enabled() {
+                    ssle_telemetry::emit(
+                        ssle_telemetry::Event::new("converged").count("step", self.steps),
+                    );
                 }
                 return ConvergenceReport {
                     converged_at: Some(self.steps),

@@ -1,0 +1,185 @@
+//! Integration coverage of the observation layer: execution traces toggling
+//! mid-run, agreement between [`population::Trace`] and the incremental
+//! [`population::LeaderCounter`], observer hook ordering through
+//! [`population::Recorded`], and — the case the unit tests cannot reach —
+//! the **fault-boundary resync** of the scenario trajectory loop: a
+//! [`population::FaultKind::CorruptTargets`] strike rewrites states behind
+//! the incremental counter's back, and only the boundary resync keeps the
+//! sampled leader counts truthful afterwards.
+
+use population::prelude::*;
+
+/// Classic pairwise leader elimination: when two leaders meet, the
+/// responder is demoted.  Leadership is never created, which makes every
+/// post-fault leader count below deterministic.
+#[derive(Clone, Debug)]
+struct Fratricide;
+
+impl Protocol for Fratricide {
+    type State = bool;
+    fn interact(&self, initiator: &mut bool, responder: &mut bool) {
+        if *initiator && *responder {
+            *responder = false;
+        }
+    }
+}
+
+impl LeaderElection for Fratricide {
+    fn is_leader(&self, state: &bool) -> bool {
+        *state
+    }
+}
+
+#[test]
+fn tracing_toggles_mid_run_and_records_convergence() {
+    // Disabled by default: running records nothing.
+    let config = Configuration::uniform(8, true);
+    let mut sim = Simulation::new(Fratricide, CompleteGraph::new(8), config, 7);
+    assert!(!sim.trace().is_enabled());
+    sim.run_steps(100);
+    assert!(sim.trace().is_empty());
+
+    // Enabled on a fresh run (8 leaders, so the stop predicate cannot pass
+    // before any step executes): every interaction lands in the trace, and
+    // the first passing stop check appends a convergence event at the
+    // reported step.
+    let config = Configuration::uniform(8, true);
+    let mut sim = Simulation::new(Fratricide, CompleteGraph::new(8), config, 7);
+    sim.set_tracing(true);
+    let report = sim.run_until(|p, c| p.has_unique_leader(c.states()), 16, 100_000);
+    let converged_at = report.converged_at.expect("fratricide converges");
+    let interactions = sim
+        .trace()
+        .events()
+        .iter()
+        .filter(|e| matches!(e, Event::Interaction { .. }))
+        .count() as u64;
+    assert_eq!(interactions, sim.steps());
+    assert_eq!(
+        sim.trace().first_convergence(),
+        Some((converged_at, "predicate"))
+    );
+
+    // Disabled again: further steps leave the trace untouched.
+    sim.set_tracing(false);
+    let len = sim.trace().len();
+    sim.run_steps(50);
+    assert_eq!(sim.trace().len(), len);
+}
+
+#[test]
+fn trace_and_incremental_counter_agree_on_leader_changes() {
+    // `run_tracking_leader_changes` detects changes through the O(1)
+    // LeaderCounter observer and mirrors them into the trace; the two views
+    // must be the same sequence of steps.
+    let config = Configuration::uniform(8, true);
+    let mut sim = Simulation::new(Fratricide, CompleteGraph::new(8), config, 11);
+    sim.set_tracing(true);
+    let changes = sim.run_tracking_leader_changes(500);
+    assert!(
+        !changes.is_empty(),
+        "8 leaders on a complete graph must collide within 500 steps"
+    );
+    assert_eq!(sim.trace().leader_change_steps(), changes);
+    // The final recorded leader set matches a fresh full recount.
+    let last = sim
+        .trace()
+        .events()
+        .iter()
+        .rev()
+        .find_map(|e| match e {
+            Event::LeaderSetChanged { leaders, .. } => Some(leaders.clone()),
+            _ => None,
+        })
+        .expect("changes were recorded");
+    assert_eq!(last, sim.protocol().leader_indices(sim.config().states()));
+}
+
+/// An observer that logs each hook invocation with the states it saw.
+#[derive(Debug, Default)]
+struct Probe {
+    calls: Vec<(&'static str, bool, bool)>,
+}
+
+impl StepObserver<Fratricide> for Probe {
+    fn pre_interaction(&mut self, _: &Fratricide, _: Interaction, a: &bool, b: &bool) {
+        self.calls.push(("pre", *a, *b));
+    }
+    fn post_interaction(&mut self, _: &Fratricide, _: Interaction, a: &bool, b: &bool) {
+        self.calls.push(("post", *a, *b));
+    }
+}
+
+#[test]
+fn observer_hooks_fire_pre_then_post_around_the_transition() {
+    // Two leaders meet: pre must see the original pair, post the demoted
+    // responder — and the Recorded wrapper forwards both hooks while
+    // capturing which interaction ran.
+    let config = Configuration::uniform(2, true);
+    let mut sim = Simulation::new(Fratricide, CompleteGraph::new(2), config, 0);
+    let mut rec = Recorded::new(Probe::default());
+    assert_eq!(rec.last_interaction(), None);
+    sim.apply_observed(Interaction::new(0, 1), &mut rec);
+    assert_eq!(rec.last_interaction(), Some(Interaction::new(0, 1)));
+    assert_eq!(
+        rec.inner().calls,
+        vec![("pre", true, true), ("post", true, false)]
+    );
+    assert_eq!(sim.config().states(), &[true, false]);
+}
+
+/// Builds the strike scenario: a single pre-elected leader (nothing ever
+/// changes under fratricide) and a `CorruptTargets { limit: 1 }` event that
+/// demotes the current leader at `strike_at`.
+fn strike_scenario(strike_at: u64) -> Scenario {
+    ScenarioBuilder::new("strike", |_pt: &SweepPoint| Fratricide)
+        .graph(GraphFamily::Complete)
+        .init(|_p, pt| Configuration::from_fn(pt.n, |i| i == 0))
+        .stop_when("unique-leader", |p: &Fratricide, c| {
+            p.has_unique_leader(c.states())
+        })
+        .step_budget(|_pt| 10_000)
+        .fault_targets(|p: &Fratricide, s, _agent| p.is_leader(s))
+        .faults(
+            move |_pt| FaultPlan::new().at(strike_at, FaultKind::CorruptTargets { limit: 1 }),
+            |_p, _rng, _i| false,
+        )
+        .build()
+        .expect("complete strike scenario")
+}
+
+#[test]
+fn leader_trajectory_resyncs_the_counter_at_the_fault_boundary() {
+    // The trajectory loop counts leaders through the incremental
+    // LeaderCounter, which a targeted strike silently desynchronizes: the
+    // fault rewrites the leader's state out-of-band, so every sample after
+    // the strike would still read 1 without the boundary resync.  The
+    // strike lands at step 30 — *between* the 25-step sample boundaries —
+    // so this also pins the burst-splitting path that fires (and resyncs)
+    // at a non-sample boundary.
+    let traj = strike_scenario(30).leader_trajectory(&SweepPoint::new(8, 3), 100, 25);
+    assert_eq!(traj.first(), Some(&(0, 1)));
+    assert_eq!(traj.last(), Some(&(100, 0)));
+    for &(step, leaders) in &traj {
+        let expected = if step < 30 { 1 } else { 0 };
+        assert_eq!(
+            leaders, expected,
+            "sample at step {step}: a demoted leader must be seen immediately"
+        );
+    }
+    // Both regimes were actually sampled.
+    assert!(traj.iter().any(|&(step, _)| step < 30));
+    assert!(traj.iter().any(|&(step, _)| step >= 30));
+}
+
+#[test]
+fn step_zero_strikes_fire_before_the_initial_stop_check() {
+    // The run path fires due faults at step 0 *before* the initial stop
+    // check, so a pre-elected leader struck at step 0 never yields a
+    // trivial converged-at-0 report: the decapitated population can never
+    // re-elect under fratricide and the run must exhaust its budget with
+    // zero leaders.
+    let run = strike_scenario(0).run_full(&SweepPoint::new(8, 3));
+    assert!(!run.report.converged());
+    assert_eq!(run.sim.count_leaders(), 0);
+}
