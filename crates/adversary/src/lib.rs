@@ -23,6 +23,13 @@
 //!   bounded [`ByzantineWindowSpec`]s) that builds a
 //!   `population::FaultPlan`, so the search can also crash agents mid-run
 //!   and certificates replay through `Scenario`'s fault path;
+//! * serializable **topology descriptions** — [`GraphSpec`] mirrors the
+//!   generated `population::GraphFamily` variants and [`ChurnPlanSpec`] is
+//!   an integer-exact churn schedule that builds a `population::ChurnPlan`,
+//!   so candidates can also replace the interaction graph and churn it
+//!   mid-run; both axes are gated behind [`ChurnDomain`] / [`GraphDomain`]
+//!   (disabled domains keep the proposal RNG stream bit-identical to the
+//!   smaller space, so earlier certificates replay unchanged);
 //! * a **worst-case search engine** ([`worst_case_search`]) — deterministic
 //!   mutation/annealing over initial-condition variants, seeds, scheduler
 //!   parameters and fault plans that maximizes observed stabilization time
@@ -57,8 +64,8 @@ pub mod weighted;
 pub use certify::{certify_livelock, spec_phases, CertifiedLivelock};
 pub use epoch::{EpochPartitionScheduler, FairnessAuditor, FairnessCertificate};
 pub use faultplan::{
-    ByzantineWindowSpec, FaultDomain, FaultEventSpec, FaultPlacementSpec, FaultPlanSpec,
-    TriggeredEventSpec,
+    ByzantineWindowSpec, ChurnDomain, ChurnEventSpec, ChurnKindSpec, ChurnPlanSpec, FaultDomain,
+    FaultEventSpec, FaultPlacementSpec, FaultPlanSpec, GraphDomain, GraphSpec, TriggeredEventSpec,
 };
 pub use greedy::{ArcScorer, GreedyAdversary};
 pub use search::{

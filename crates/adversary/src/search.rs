@@ -24,12 +24,15 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use crate::certify::CertifiedLivelock;
-use crate::faultplan::{FaultDomain, FaultPlanSpec};
+use crate::faultplan::{
+    ChurnDomain, ChurnPlanSpec, FaultDomain, FaultPlanSpec, GraphDomain, GraphSpec,
+};
 use crate::spec::SchedulerSpec;
 
 /// One point of the search space: which initial-condition variant to start
-/// from, the seed driving init + simulation, the scheduler description, and
-/// the mid-run crash schedule.
+/// from, the seed driving init + simulation, the scheduler description, the
+/// mid-run crash schedule, the mid-run churn schedule and an optional
+/// interaction-graph override.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Candidate {
     /// Index into the driver's list of initial-condition variants.
@@ -42,17 +45,25 @@ pub struct Candidate {
     /// The transient-fault schedule to fire mid-run
     /// ([`FaultPlanSpec::none`] for a fault-free run).
     pub faults: FaultPlanSpec,
+    /// The topology-churn schedule to fire mid-run
+    /// ([`ChurnPlanSpec::none`] for a churn-free run).
+    pub churn: ChurnPlanSpec,
+    /// Replaces the driver scenario's interaction-graph family when `Some`
+    /// (`None` keeps the scenario's own topology).
+    pub graph: Option<GraphSpec>,
 }
 
 impl Candidate {
-    /// A fault-free random-scheduler candidate — the shape of every seed
-    /// pool member (variant 0, the uniformly random scheduler, no faults).
+    /// A fault-free, churn-free random-scheduler candidate on the driver
+    /// scenario's own topology — the shape of every seed pool member.
     pub fn baseline(seed: u64) -> Self {
         Candidate {
             variant: 0,
             seed,
             spec: SchedulerSpec::Random,
             faults: FaultPlanSpec::none(),
+            churn: ChurnPlanSpec::none(),
+            graph: None,
         }
     }
 }
@@ -243,6 +254,13 @@ pub struct SearchSpace {
     /// Allowed fault-plan mutations ([`FaultDomain::disabled`] restricts
     /// the search to the fault-free space).
     pub faults: FaultDomain,
+    /// Allowed churn-plan mutations ([`ChurnDomain::disabled`] restricts
+    /// the search to the churn-free space with a bit-identical proposal
+    /// stream).
+    pub churn: ChurnDomain,
+    /// Allowed graph-family mutations ([`GraphDomain::disabled`] keeps
+    /// every candidate on the driver scenario's own topology).
+    pub graph: GraphDomain,
 }
 
 /// Annealing parameters.
@@ -307,8 +325,8 @@ pub struct SearchStats {
 ///
 /// ```
 /// use ssle_adversary::{
-///     worst_case_search, Candidate, Evaluation, FaultDomain, SearchConfig, SearchSpace,
-///     SpecDomain,
+///     worst_case_search, Candidate, ChurnDomain, Evaluation, FaultDomain, GraphDomain,
+///     SearchConfig, SearchSpace, SpecDomain,
 /// };
 ///
 /// // A deterministic toy objective standing in for a scenario run (real
@@ -324,6 +342,8 @@ pub struct SearchStats {
 ///     variants: 1,
 ///     specs: SpecDomain::state_blind(),
 ///     faults: FaultDomain::bursts(1_000, 8),
+///     churn: ChurnDomain::disabled(),
+///     graph: GraphDomain::disabled(),
 /// };
 /// let outcome = worst_case_search(&space, &pool, evaluate, &SearchConfig::default());
 /// // The worst case found is never below the pool maximum (here 102), and
@@ -534,12 +554,16 @@ fn island_seed(seed: u64, island: u32) -> u64 {
 }
 
 /// Proposes a neighbour of `candidate`: a new seed, a different variant, a
-/// scheduler mutation, or a fault-plan mutation.
+/// scheduler mutation, a fault-plan mutation, a churn-plan mutation or a
+/// graph-family mutation.
 fn mutate(candidate: &Candidate, space: &SearchSpace, rng: &mut ChaCha8Rng) -> Candidate {
     let mut next = candidate.clone();
     // The move table: reseed, variant switch (when available), scheduler
-    // mutation ×2 and fault mutation ×2 — the structured axes are richer
-    // than a reseed, so they get the bulk of the mass.
+    // mutation ×2 and fault/churn mutations ×2 — the structured axes are
+    // richer than a reseed, so they get the bulk of the mass.  Disabled
+    // domains contribute no entries, so the proposal stream of the smaller
+    // spaces is bit-identical to what it was before the axes existed
+    // (committed certificates replay unchanged).
     let mut moves: Vec<u8> = vec![0];
     if space.variants > 1 {
         moves.push(1);
@@ -547,6 +571,12 @@ fn mutate(candidate: &Candidate, space: &SearchSpace, rng: &mut ChaCha8Rng) -> C
     moves.extend([2, 2]);
     if space.faults.enabled {
         moves.extend([3, 3]);
+    }
+    if space.churn.enabled {
+        moves.extend([4, 4]);
+    }
+    if space.graph.enabled {
+        moves.push(5);
     }
     match moves[rng.gen_range(0..moves.len())] {
         0 => next.seed = rng.gen(),
@@ -556,7 +586,9 @@ fn mutate(candidate: &Candidate, space: &SearchSpace, rng: &mut ChaCha8Rng) -> C
             next.variant = (next.variant + shift) % space.variants;
         }
         2 => next.spec = space.specs.tweak(&next.spec, rng),
-        _ => next.faults = space.faults.tweak(&next.faults, rng),
+        3 => next.faults = space.faults.tweak(&next.faults, rng),
+        4 => next.churn = space.churn.tweak(&next.churn, rng),
+        _ => next.graph = space.graph.tweak(&next.graph, rng),
     }
     next
 }
@@ -598,6 +630,8 @@ mod tests {
             variants: 3,
             specs: SpecDomain::all(),
             faults: FaultDomain::bursts(256, 8),
+            churn: ChurnDomain::rewirings(256, 4),
+            graph: GraphDomain::generated(4),
         }
     }
 
@@ -702,6 +736,8 @@ mod tests {
             variants: 1,
             specs: SpecDomain::state_blind(),
             faults: FaultDomain::disabled(),
+            churn: ChurnDomain::disabled(),
+            graph: GraphDomain::disabled(),
         };
         let config = SearchConfig {
             iterations: 200,
@@ -718,11 +754,36 @@ mod tests {
                 );
                 assert_eq!(c.variant, 0, "single-variant space never switches");
                 assert!(c.faults.is_empty(), "disabled fault domain stays empty");
+                assert!(c.churn.is_empty(), "disabled churn domain stays empty");
+                assert_eq!(c.graph, None, "disabled graph domain keeps the family");
                 synthetic(c)
             },
             &config,
         );
         assert!(outcome.best.steps >= 10);
+    }
+
+    #[test]
+    fn enabled_churn_and_graph_domains_are_explored() {
+        let config = SearchConfig {
+            iterations: 400,
+            seed: 7,
+            cooling: 0.95,
+        };
+        let mut saw_churn = false;
+        let mut saw_graph = false;
+        worst_case_search(
+            &space(),
+            &pool(),
+            |c| {
+                saw_churn |= !c.churn.is_empty();
+                saw_graph |= c.graph.is_some();
+                synthetic(c)
+            },
+            &config,
+        );
+        assert!(saw_churn, "churn proposals reach the evaluator");
+        assert!(saw_graph, "graph proposals reach the evaluator");
     }
 
     #[test]

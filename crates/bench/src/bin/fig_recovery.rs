@@ -16,9 +16,9 @@
 use analysis::{Summary, Table};
 use population::{DirectedRing, FaultKind, LeaderElection, Simulation};
 use ssle_bench::cli::BenchArgs;
-use ssle_bench::hotloop::HotloopGraph;
 use ssle_bench::recovery;
 use ssle_bench::report::Report;
+use ssle_bench::stabilization::GridGraph;
 use ssle_bench::ProtocolKind;
 use ssle_core::{in_s_pl, perfect_configuration, Params, Ppl};
 
@@ -41,7 +41,7 @@ fn main() {
         .collect();
 
     let runner = args.runner();
-    let graph = HotloopGraph::Ring;
+    let graph = GridGraph::Ring;
     for (ki, kind) in ProtocolKind::ALL.into_iter().enumerate() {
         // The Table 1 step budget of this protocol (the cubic-class
         // baselines get their extra factor) — the same convergence envelope

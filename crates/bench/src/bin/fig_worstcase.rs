@@ -29,12 +29,12 @@
 
 use analysis::Table;
 use ssle_adversary::{
-    worst_case_search_islands, Candidate, Evaluation, FaultDomain, IslandConfig, SearchSpace,
-    SpecDomain,
+    worst_case_search_islands, Candidate, ChurnDomain, Evaluation, FaultDomain, GraphDomain,
+    IslandConfig, SearchSpace, SpecDomain,
 };
 use ssle_bench::cli::BenchArgs;
-use ssle_bench::hotloop::HotloopGraph;
 use ssle_bench::report::Report;
+use ssle_bench::stabilization::GridGraph;
 use ssle_bench::stabilization::{
     dyn_protocol, evaluate_with, leader_delta_scorer, ppl_segment_scorer, rate_curve_with,
     stab_budget, variant_names, ESCALATION_STEP_CEILING, MAX_RATE_MULTIPLIER, RATE_MULTIPLIERS,
@@ -48,7 +48,7 @@ use ssle_bench::ProtocolKind;
 fn evaluate(kind: ProtocolKind, n: usize, budget: u64, candidate: &Candidate) -> Evaluation {
     evaluate_with(
         kind,
-        HotloopGraph::Ring,
+        GridGraph::Ring,
         n,
         budget,
         candidate,
@@ -119,6 +119,8 @@ fn main() {
                 variants: variant_names(kind).len() as u32,
                 specs: SpecDomain::all(),
                 faults: FaultDomain::bursts(budget.saturating_sub(1), n as u32),
+                churn: ChurnDomain::disabled(),
+                graph: GraphDomain::disabled(),
             };
             let outcome = worst_case_search_islands(
                 &space,

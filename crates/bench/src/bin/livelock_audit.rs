@@ -22,7 +22,7 @@
 
 use analysis::json::JsonValue;
 use population::{ExploreLimits, ExploreVerdict, SweepPoint};
-use ssle_bench::hotloop::HotloopGraph;
+use ssle_bench::stabilization::GridGraph;
 use ssle_bench::stabilization::{
     certificate_candidate, certified_from_json, certify_cell, stab_budget, stab_scenario,
     validate_report, ESCALATION_STEP_CEILING,
@@ -59,7 +59,7 @@ fn main() {
     // Part 1: the explorer on a tiny cell, against its known exact result.
     let kind = ProtocolKind::Yokota;
     let n = 4;
-    let scenario = stab_scenario(kind, HotloopGraph::Ring, 0, stab_budget(kind, n, true));
+    let scenario = stab_scenario(kind, GridGraph::Ring, 0, stab_budget(kind, n, true));
     let explored = scenario
         .explore(&SweepPoint::new(n, 0xE6), &ExploreLimits::default())
         .unwrap_or_else(|e| fail(&format!("tiny-cell exploration failed: {e}")));
@@ -114,7 +114,7 @@ fn main() {
             .iter()
             .find(|k| k.key() == key("protocol"))
             .unwrap_or_else(|| fail(&format!("{ctx}: unknown protocol")));
-        let graph = *HotloopGraph::ALL
+        let graph = *GridGraph::ALL
             .iter()
             .find(|g| g.key() == key("graph"))
             .unwrap_or_else(|| fail(&format!("{ctx}: unknown graph")));

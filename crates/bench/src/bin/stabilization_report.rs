@@ -1,5 +1,7 @@
 //! Worst-case stabilization bench report: for the four Table 1 protocols ×
-//! {ring, complete} × n ∈ {64, 256}, measures the mean stabilization time of
+//! the report grid's graphs (ring and complete at n ∈ {64, 256}; the
+//! generated torus and small-world families at the smallest size), measures
+//! the mean stabilization time of
 //! a random-scheduler trial pool, the worst case found by the
 //! `ssle-adversary` island annealing search (over init variants, seeds,
 //! scheduler-zoo parameters and mid-run crash schedules), and the
@@ -49,7 +51,7 @@
 //! ```
 //!
 //! The binary self-validates: after writing, it re-reads the file, parses it
-//! with `analysis::json` and checks it against the `stabilization-bench/v3`
+//! with `analysis::json` and checks it against the `stabilization-bench/v4`
 //! schema — including `worst ≥ mean`, a well-formed adaptive rate curve and
 //! a consistent `certified` field for every cell — exiting non-zero on any
 //! mismatch.

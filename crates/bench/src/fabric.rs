@@ -40,7 +40,7 @@ use ssle_fabric::{run_units, CoordinatorOptions, ResultCache, WorkError, WorkUni
 
 use crate::hotloop::{self, HotloopGraph};
 use crate::recovery;
-use crate::stabilization::{self, RunOptions};
+use crate::stabilization::{self, GridGraph, RunOptions};
 use crate::ProtocolKind;
 
 /// Job kind of one stabilization-grid cell.
@@ -57,8 +57,15 @@ fn protocol_from_key(key: &str) -> Option<ProtocolKind> {
     ProtocolKind::ALL.into_iter().find(|k| k.key() == key)
 }
 
-/// Looks up a graph by its report key.
-fn graph_from_key(key: &str) -> Option<HotloopGraph> {
+/// Looks up a report-grid graph by its report key.
+fn graph_from_key(key: &str) -> Option<GridGraph> {
+    GridGraph::from_key(key)
+}
+
+/// Looks up a hot-loop graph by its report key (the hot-loop grid stays on
+/// the classic ring/complete pair — wall-clock timings want the O(1)
+/// specialised samplers, not the generated families).
+fn hotloop_graph_from_key(key: &str) -> Option<HotloopGraph> {
     HotloopGraph::ALL.into_iter().find(|g| g.key() == key)
 }
 
@@ -68,7 +75,7 @@ fn graph_from_key(key: &str) -> Option<HotloopGraph> {
 /// so the cache key must be too.
 fn stabilization_spec(
     kind: ProtocolKind,
-    graph: HotloopGraph,
+    graph: GridGraph,
     n: usize,
     options: &RunOptions,
 ) -> JsonValue {
@@ -125,7 +132,7 @@ pub fn hotloop_units(quick: bool) -> Vec<WorkUnit> {
 /// (`threads` excluded for the same cache-key reason as above).
 fn recovery_spec(
     kind: ProtocolKind,
-    graph: HotloopGraph,
+    graph: GridGraph,
     n: usize,
     options: &recovery::RunOptions,
 ) -> JsonValue {
@@ -193,14 +200,27 @@ fn spec_bool(spec: &JsonValue, name: &str) -> Result<bool, WorkError> {
         })
 }
 
-fn spec_cell(spec: &JsonValue) -> Result<(ProtocolKind, HotloopGraph, usize), WorkError> {
-    let protocol = spec
-        .get("protocol")
+fn spec_protocol(spec: &JsonValue) -> Result<ProtocolKind, WorkError> {
+    spec.get("protocol")
         .and_then(JsonValue::as_str)
         .and_then(protocol_from_key)
         .ok_or_else(|| WorkError::BadSpec {
             detail: "protocol missing or unknown".to_string(),
-        })?;
+        })
+}
+
+fn spec_n(spec: &JsonValue) -> Result<usize, WorkError> {
+    let n = spec_usize(spec, "n")?;
+    if n < 2 {
+        return Err(WorkError::BadSpec {
+            detail: format!("population size {n} is below the model's minimum of 2"),
+        });
+    }
+    Ok(n)
+}
+
+fn spec_cell(spec: &JsonValue) -> Result<(ProtocolKind, GridGraph, usize), WorkError> {
+    let protocol = spec_protocol(spec)?;
     let graph = spec
         .get("graph")
         .and_then(JsonValue::as_str)
@@ -208,13 +228,19 @@ fn spec_cell(spec: &JsonValue) -> Result<(ProtocolKind, HotloopGraph, usize), Wo
         .ok_or_else(|| WorkError::BadSpec {
             detail: "graph missing or unknown".to_string(),
         })?;
-    let n = spec_usize(spec, "n")?;
-    if n < 2 {
-        return Err(WorkError::BadSpec {
-            detail: format!("population size {n} is below the model's minimum of 2"),
-        });
-    }
-    Ok((protocol, graph, n))
+    Ok((protocol, graph, spec_n(spec)?))
+}
+
+fn spec_hotloop_case(spec: &JsonValue) -> Result<(ProtocolKind, HotloopGraph, usize), WorkError> {
+    let protocol = spec_protocol(spec)?;
+    let graph = spec
+        .get("graph")
+        .and_then(JsonValue::as_str)
+        .and_then(hotloop_graph_from_key)
+        .ok_or_else(|| WorkError::BadSpec {
+            detail: "graph missing or unknown".to_string(),
+        })?;
+    Ok((protocol, graph, spec_n(spec)?))
 }
 
 /// The worker-side handler for [`STABILIZATION_JOB`] units: validates the
@@ -279,7 +305,7 @@ pub fn hotloop_handler() -> impl Fn(&str, &JsonValue) -> Result<JsonValue, WorkE
             return Err(WorkError::UnknownJob { job: job.into() });
         }
         expect_job_schema(spec, hotloop::SCHEMA)?;
-        let (kind, graph, n) = spec_cell(spec)?;
+        let (kind, graph, n) = spec_hotloop_case(spec)?;
         let quick = spec_bool(spec, "quick")?;
         let case = hotloop::run_case(kind, graph, n, quick);
         Ok(hotloop::case_to_json(&case))

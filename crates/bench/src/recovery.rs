@@ -17,7 +17,7 @@
 //! above 1 shows the certified schedule does not just slow convergence from
 //! adversarial inits, it also degrades recovery from *benign* faults.
 //!
-//! The grid is [`crate::ProtocolKind::ALL`] × [`HotloopGraph::ALL`] ×
+//! The grid is [`crate::ProtocolKind::ALL`] × [`GridGraph::ALL`] ×
 //! [`sizes`], every measurement is deterministic per seed (reports are
 //! bit-identical at any thread count), and cells serialize through one
 //! [`cell_to_json`] definition shared with the fabric workers — so
@@ -36,20 +36,28 @@ use population::{
     BatchRunner, Configuration, DynState, FaultKind, FaultPlan, LeaderElection, Scenario,
     SweepPoint,
 };
-use ssle_adversary::SchedulerSpec;
+use ssle_adversary::{GraphSpec, SchedulerSpec};
 use ssle_baselines::{AngluinModK, FischerJiang, FjState, ModKState, YokotaLinear, YokotaState};
 use ssle_core::{InitialCondition, Params, Ppl, PplState};
 
-use crate::hotloop::HotloopGraph;
-use crate::stabilization::{dyn_protocol, leader_delta_scorer, spec_from_json, spec_to_json};
-use crate::stabilization::{stab_budget, SCHEMA as STABILIZATION_SCHEMA};
+use crate::stabilization::{
+    dyn_protocol, graph_spec_from_json, graph_spec_to_json, leader_delta_scorer, spec_from_json,
+    spec_to_json,
+};
+use crate::stabilization::{stab_budget, GridGraph, SCHEMA as STABILIZATION_SCHEMA};
 use crate::{
     angluin_builder, fischer_jiang_builder, ppl_builder, ppl_builder_with_params, yokota_builder,
     ProtocolKind,
 };
 
 /// Schema tag of `BENCH_recovery.json`.
-pub const SCHEMA: &str = "recovery-bench/v1";
+///
+/// **v2** widens the graph axis from the classic ring/complete pair to the
+/// full report grid ([`GridGraph::ALL`], adding the generated torus and
+/// small-world families) and stamps every cell with its structural
+/// `graph_spec` — the exact topology (parameters and seed) the cell ran on,
+/// mirroring stabilization-bench/v4.
+pub const SCHEMA: &str = "recovery-bench/v2";
 
 /// Grid sizes of the tracked full-mode report.
 pub const FULL_SIZES: [usize; 1] = [64];
@@ -217,6 +225,9 @@ pub struct RecoveryCell {
     pub protocol: &'static str,
     /// Graph report key.
     pub graph: &'static str,
+    /// Structural spec of the cell's topology (family parameters and seed),
+    /// mirroring the stabilization grid's per-cell `graph_spec`.
+    pub graph_spec: GraphSpec,
     /// Population size.
     pub n: usize,
     /// Per-replay step budget ([`stab_budget`] of the cell).
@@ -256,7 +267,7 @@ pub struct RecoveryReport {
 /// built **hostile-ready** — a protocol-appropriate uniform corruption
 /// function *and* a leader target predicate, so plans carrying
 /// [`FaultKind::CorruptTargets`] events corrupt the current leader.
-pub fn recovery_scenario(kind: ProtocolKind, graph: HotloopGraph, budget: u64) -> Scenario {
+pub fn recovery_scenario(kind: ProtocolKind, graph: GridGraph, budget: u64) -> Scenario {
     let budget_fn = move |_pt: &SweepPoint| budget;
     match kind {
         ProtocolKind::Ppl => ppl_builder(InitialCondition::ALL[0])
@@ -301,7 +312,7 @@ pub fn recovery_scenario(kind: ProtocolKind, graph: HotloopGraph, budget: u64) -
 /// budget) together with the steps it took (the budget when censored).
 pub fn safe_start(
     kind: ProtocolKind,
-    graph: HotloopGraph,
+    graph: GridGraph,
     n: usize,
     budget: u64,
     seed: u64,
@@ -321,7 +332,7 @@ pub fn safe_start(
 #[allow(clippy::too_many_arguments)]
 pub fn replay(
     kind: ProtocolKind,
-    graph: HotloopGraph,
+    graph: GridGraph,
     n: usize,
     budget: u64,
     safe: &Configuration<DynState>,
@@ -348,7 +359,7 @@ pub fn replay(
 /// [`CERTIFICATE_SIZE`].  `None` when that certificate's scheduler is the
 /// uniformly random one (a hostile pool would just re-measure the uniform
 /// one) or when the artifact carries no such cell.
-pub fn hostile_spec(kind: ProtocolKind, graph: HotloopGraph) -> Option<SchedulerSpec> {
+pub fn hostile_spec(kind: ProtocolKind, graph: GridGraph) -> Option<SchedulerSpec> {
     static HOSTILE: OnceLock<Vec<(String, String, SchedulerSpec)>> = OnceLock::new();
     let table = HOSTILE.get_or_init(|| {
         let Ok(parsed) = JsonValue::parse(STABILIZATION_ARTIFACT) else {
@@ -385,15 +396,12 @@ pub fn hostile_spec(kind: ProtocolKind, graph: HotloopGraph) -> Option<Scheduler
 
 /// The deterministic base seed of one grid cell (a different stream than
 /// the stabilization cells').
-fn cell_seed(kind: ProtocolKind, graph: HotloopGraph, n: usize) -> u64 {
+fn cell_seed(kind: ProtocolKind, graph: GridGraph, n: usize) -> u64 {
     let ki = ProtocolKind::ALL
         .iter()
         .position(|k| *k == kind)
         .unwrap_or(7) as u64;
-    let gi = HotloopGraph::ALL
-        .iter()
-        .position(|g| *g == graph)
-        .unwrap_or(3) as u64;
+    let gi = GridGraph::ALL.iter().position(|g| *g == graph).unwrap_or(3) as u64;
     0x7EC0 ^ (ki << 8) ^ (gi << 16) ^ ((n as u64) << 24)
 }
 
@@ -419,13 +427,17 @@ fn summarize(outcomes: &[(u64, bool)]) -> RecoverySummary {
 
 /// The grid's cell descriptors, **in report order** — shared by [`run`] and
 /// the fabric's work-unit builder, exactly like the stabilization grid.
-pub fn grid_cells(options: &RunOptions) -> Vec<(ProtocolKind, HotloopGraph, usize)> {
+pub fn grid_cells(options: &RunOptions) -> Vec<(ProtocolKind, GridGraph, usize)> {
     ProtocolKind::ALL
         .iter()
         .flat_map(|&kind| {
-            HotloopGraph::ALL
-                .iter()
-                .flat_map(move |&graph| options.sizes.iter().map(move |&n| (kind, graph, n)))
+            GridGraph::ALL.iter().flat_map(move |&graph| {
+                graph
+                    .sizes(&options.sizes)
+                    .iter()
+                    .map(move |&n| (kind, graph, n))
+                    .collect::<Vec<_>>()
+            })
         })
         .collect()
 }
@@ -437,7 +449,7 @@ pub fn grid_cells(options: &RunOptions) -> Vec<(ProtocolKind, HotloopGraph, usiz
 /// cells are bit-identical at any thread count.
 pub fn run_cell(
     kind: ProtocolKind,
-    graph: HotloopGraph,
+    graph: GridGraph,
     n: usize,
     options: &RunOptions,
     runner: &BatchRunner,
@@ -485,6 +497,7 @@ pub fn run_cell(
     RecoveryCell {
         protocol: kind.key(),
         graph: graph.key(),
+        graph_spec: graph.spec(),
         n,
         budget,
         trials: options.trials,
@@ -531,6 +544,7 @@ pub fn cell_to_json(c: &RecoveryCell) -> JsonValue {
     JsonValue::object()
         .with("protocol", c.protocol)
         .with("graph", c.graph)
+        .with("graph_spec", graph_spec_to_json(c.graph_spec))
         .with("n", c.n)
         .with("budget", c.budget as f64)
         .with("trials", c.trials)
@@ -760,6 +774,11 @@ pub fn validate_report(json: &JsonValue) -> Result<(), String> {
         {
             return Err(format!("cell out of grid order (expected {name})"));
         }
+        if cell.get("graph_spec").and_then(graph_spec_from_json) != Some(graph.spec()) {
+            return Err(format!(
+                "{name}: graph_spec missing or disagrees with the grid topology"
+            ));
+        }
         let budget = cell
             .get("budget")
             .and_then(JsonValue::as_f64)
@@ -944,7 +963,7 @@ mod tests {
             .iter()
             .find(|k| k.key() == key("protocol"))
             .unwrap();
-        let graph = *HotloopGraph::ALL
+        let graph = *GridGraph::ALL
             .iter()
             .find(|g| g.key() == key("graph"))
             .unwrap();
@@ -972,7 +991,7 @@ mod tests {
         // cases on the ring for every protocol, so every ring cell of the
         // recovery grid must inherit a hostile scheduler.
         for kind in ProtocolKind::ALL {
-            let spec = hostile_spec(kind, HotloopGraph::Ring);
+            let spec = hostile_spec(kind, GridGraph::Ring);
             assert!(
                 spec.is_some(),
                 "{}: no hostile certificate lifted for the ring",
@@ -988,7 +1007,7 @@ mod tests {
         // must knock the run out of the safe set at step 0 (re-convergence
         // from a leaderless-or-perturbed state takes at least one step).
         let kind = ProtocolKind::Yokota;
-        let graph = HotloopGraph::Ring;
+        let graph = GridGraph::Ring;
         let n = 8;
         let budget = stab_budget(kind, n, true);
         let (safe, _) = safe_start(kind, graph, n, budget, 0x11);
@@ -1017,7 +1036,7 @@ mod tests {
     #[test]
     fn cells_are_deterministic_and_reports_thread_invariant() {
         let kind = ProtocolKind::Yokota;
-        let graph = HotloopGraph::Ring;
+        let graph = GridGraph::Ring;
         let options = tiny_options(1);
         let runner = options.runner();
         let a = run_cell(kind, graph, 8, &options, &runner);
@@ -1038,13 +1057,7 @@ mod tests {
     fn validator_rejects_inconsistent_reports() {
         let options = tiny_options(1);
         let runner = options.runner();
-        let cell = run_cell(
-            ProtocolKind::Yokota,
-            HotloopGraph::Ring,
-            8,
-            &options,
-            &runner,
-        );
+        let cell = run_cell(ProtocolKind::Yokota, GridGraph::Ring, 8, &options, &runner);
         let report = RecoveryReport {
             quick: true,
             trials: options.trials,
@@ -1065,7 +1078,7 @@ mod tests {
             let parsed = JsonValue::parse(&broken).unwrap();
             assert!(validate_report(&parsed).is_err());
         }
-        let broken = text.replacen("recovery-bench/v1", "recovery-bench/v0", 1);
+        let broken = text.replacen("recovery-bench/v2", "recovery-bench/v0", 1);
         let parsed = JsonValue::parse(&broken).unwrap();
         assert!(validate_report(&parsed).unwrap_err().contains("schema"));
     }

@@ -57,12 +57,12 @@
 use std::sync::Arc;
 
 use analysis::json::JsonValue;
-use population::{BatchRunner, ClosureLimits, DynProtocol, Scenario};
+use population::{BatchRunner, ClosureLimits, DynProtocol, GraphFamily, Scenario};
 use population::{LeaderElection, Protocol, SweepPoint};
 use ssle_adversary::{
     certify_livelock, worst_case_search_islands, ArcScorer, Candidate, CertifiedLivelock,
-    Evaluation, FaultDomain, FaultPlanSpec, IslandConfig, IslandOutcome, SchedulerSpec,
-    SearchSpace, SpecDomain,
+    ChurnDomain, ChurnKindSpec, ChurnPlanSpec, Evaluation, FaultDomain, FaultPlanSpec, GraphDomain,
+    GraphSpec, IslandConfig, IslandOutcome, SchedulerSpec, SearchSpace, SpecDomain,
 };
 use ssle_adversary::{ByzantineWindowSpec, FaultEventSpec, FaultPlacementSpec};
 use ssle_baselines::{
@@ -73,7 +73,6 @@ use ssle_baselines::{
 use ssle_core::segments::segments;
 use ssle_core::{InitialCondition, Params, Ppl, PplState};
 
-use crate::hotloop::HotloopGraph;
 use crate::{
     angluin_builder, fischer_jiang_builder, pick_k, ppl_builder, ppl_builder_with_params,
     yokota_builder, ProtocolKind,
@@ -81,20 +80,112 @@ use crate::{
 
 /// Schema identifier of `BENCH_stabilization.json`.
 ///
-/// `v3` (this version) differs from `v2` in three ways: the rate curve is
-/// **adaptive** (each cell's `rate` object carries its own `multipliers`
-/// array — the base [`RATE_MULTIPLIERS`] possibly extended by geometric
-/// escalation), every `worst` certificate carries a `certified` field
-/// (`null`, or a checked livelock certificate with the recurrence entry
-/// step, period, configuration digest, scheduler phase, exhaustive flag and
-/// closure size),
-/// and `epoch_len` in scheduler specs is serialized as an exact decimal
-/// string like every other full-width integer (`as f64` silently rounded
-/// values ≥ 2⁵³ in `v2`).
-pub const SCHEMA: &str = "stabilization-bench/v3";
+/// `v4` (this version) extends `v3` along the topology axis: the grid gains
+/// two **generated** graph families ([`GridGraph::Torus`],
+/// [`GridGraph::SmallWorld`], measured at the small size), every cell
+/// carries a structural `graph_spec` object (the exact
+/// [`ssle_adversary::GraphSpec`] the cell ran on, parameters and family
+/// seed included), and `worst` certificates may carry `churn` (a
+/// [`ChurnPlanSpec`] schedule) and `graph_override` (a topology the search
+/// substituted) objects — both omitted when default, so fixed-topology
+/// certificates keep the exact `v3` shape cell-for-cell.
+///
+/// (`v3` over `v2`: adaptive rate curves with per-cell `multipliers`, the
+/// `certified` livelock field, and exact decimal-string `epoch_len`.)
+pub const SCHEMA: &str = "stabilization-bench/v4";
 
-/// The population sizes of the tracked measurement grid.
+/// The population sizes of the tracked measurement grid.  The classic
+/// graphs run every size; the generated families run the small size only
+/// ([`GridGraph::sizes`]) — their cells exist to probe topology, not
+/// scaling, and the budgets are protocol-bound, not graph-bound.
 pub const SIZES: [usize; 2] = [64, 256];
+
+/// Ring-lattice chords per agent of the tracked small-world cells.
+pub const SMALL_WORLD_K: u16 = 4;
+
+/// Rewiring probability (in thousandths) of the tracked small-world cells.
+pub const SMALL_WORLD_REWIRE_PER_MILLE: u16 = 100;
+
+/// Family seed of the tracked small-world cells.  Part of the grid's
+/// identity: the per-size arc set is a pure function of this seed.
+pub const SMALL_WORLD_SEED: u64 = 0x534D_414C_4C57; // "SMALLW"
+
+/// The topology axis of the tracked report grids: the two classic graphs of
+/// `v3` plus two generated families.  The order is part of the artifact's
+/// identity — [`GridGraph::ALL`] keeps ring and complete at indices 0 and 1,
+/// so the classic cells derive exactly the seeds they had before the
+/// generated families existed (their measurements are unchanged across the
+/// `v3`→`v4` migration).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GridGraph {
+    /// The paper's directed ring.
+    Ring,
+    /// The complete interaction graph.
+    Complete,
+    /// The 2-D wrapped grid (deterministically dimensioned, no seed).
+    Torus,
+    /// A Watts–Strogatz small-world graph at the tracked parameters
+    /// ([`SMALL_WORLD_K`], [`SMALL_WORLD_REWIRE_PER_MILLE`],
+    /// [`SMALL_WORLD_SEED`]).
+    SmallWorld,
+}
+
+impl GridGraph {
+    /// Every grid graph, in report order (ring and complete first — their
+    /// indices seed the classic cells).
+    pub const ALL: [GridGraph; 4] = [
+        GridGraph::Ring,
+        GridGraph::Complete,
+        GridGraph::Torus,
+        GridGraph::SmallWorld,
+    ];
+
+    /// The key used in the JSON report.
+    pub fn key(self) -> &'static str {
+        match self {
+            GridGraph::Ring => "ring",
+            GridGraph::Complete => "complete",
+            GridGraph::Torus => "torus",
+            GridGraph::SmallWorld => "small-world",
+        }
+    }
+
+    /// The grid graph with the given report key, if any.
+    pub fn from_key(key: &str) -> Option<Self> {
+        GridGraph::ALL.into_iter().find(|g| g.key() == key)
+    }
+
+    /// The integer-exact spec of this grid graph — serialized per cell as
+    /// `graph_spec`, so the artifact pins the exact topology (parameters
+    /// and family seed included), not just a family name.
+    pub fn spec(self) -> GraphSpec {
+        match self {
+            GridGraph::Ring => GraphSpec::DirectedRing,
+            GridGraph::Complete => GraphSpec::Complete,
+            GridGraph::Torus => GraphSpec::Torus,
+            GridGraph::SmallWorld => GraphSpec::SmallWorld {
+                k: SMALL_WORLD_K,
+                rewire_per_mille: SMALL_WORLD_REWIRE_PER_MILLE,
+                seed: SMALL_WORLD_SEED,
+            },
+        }
+    }
+
+    /// The corresponding scenario-layer graph family.
+    pub fn family(self) -> GraphFamily {
+        self.spec().family()
+    }
+
+    /// The slice of the configured `sizes` this graph runs: every size for
+    /// the classic graphs, the first (small) size for the generated
+    /// families.
+    pub fn sizes(self, sizes: &[usize]) -> &[usize] {
+        match self {
+            GridGraph::Ring | GridGraph::Complete => sizes,
+            GridGraph::Torus | GridGraph::SmallWorld => &sizes[..sizes.len().min(1)],
+        }
+    }
+}
 
 /// The **base** budget multipliers of the stabilization-rate curve: each
 /// cell's worst-case certificate is replayed with fresh seeds and censored
@@ -162,7 +253,7 @@ pub fn variant_names(kind: ProtocolKind) -> Vec<&'static str> {
 /// Panics if `variant` is out of range for [`variant_names`].
 pub fn stab_scenario(
     kind: ProtocolKind,
-    graph: HotloopGraph,
+    graph: GridGraph,
     variant: usize,
     budget: u64,
 ) -> Scenario {
@@ -278,7 +369,7 @@ pub fn ppl_segment_scorer(n: usize) -> ArcScorer {
 /// `fig_worstcase`'s segment potential for `P_PL`) use [`evaluate_with`].
 pub fn evaluate(
     kind: ProtocolKind,
-    graph: HotloopGraph,
+    graph: GridGraph,
     n: usize,
     budget: u64,
     candidate: &Candidate,
@@ -297,7 +388,7 @@ pub fn evaluate(
 /// fault path every other fault experiment uses.
 pub fn evaluate_with(
     kind: ProtocolKind,
-    graph: HotloopGraph,
+    graph: GridGraph,
     n: usize,
     budget: u64,
     candidate: &Candidate,
@@ -309,6 +400,7 @@ pub fn evaluate_with(
     if !candidate.faults.is_empty() {
         scenario = scenario.with_fault_plan(candidate.faults.plan());
     }
+    scenario = apply_topology(scenario, candidate);
     match scenario.try_run(&SweepPoint::new(n, candidate.seed)) {
         Ok(report) => Evaluation {
             steps: report.converged_at.unwrap_or(budget),
@@ -320,6 +412,21 @@ pub fn evaluate_with(
             converged: false,
         },
     }
+}
+
+/// Attaches a candidate's topology axes to a scenario: the static graph
+/// override ([`Scenario::with_graph`]) and the churn schedule
+/// ([`Scenario::with_churn_plan`]).  Default axes (`graph: None`, empty
+/// churn) leave the scenario untouched, so fixed-topology certificates run
+/// the exact pre-`v4` path.
+fn apply_topology(mut scenario: Scenario, candidate: &Candidate) -> Scenario {
+    if let Some(spec) = candidate.graph {
+        scenario = scenario.with_graph(spec.family());
+    }
+    if !candidate.churn.is_empty() {
+        scenario = scenario.with_churn_plan(candidate.churn.plan());
+    }
+    scenario
 }
 
 /// Attempts to upgrade one cell's censored worst case into a **checked**
@@ -346,7 +453,7 @@ pub fn evaluate_with(
 /// beyond `budget` still proves the censored cell can never converge.
 pub fn certify_cell(
     kind: ProtocolKind,
-    graph: HotloopGraph,
+    graph: GridGraph,
     n: usize,
     budget: u64,
     ceiling: u64,
@@ -364,6 +471,7 @@ pub fn certify_cell(
     if !candidate.faults.is_empty() {
         scenario = scenario.with_fault_plan(candidate.faults.plan());
     }
+    let scenario = apply_topology(scenario, candidate);
     certify_livelock(
         &scenario,
         &candidate.spec,
@@ -396,8 +504,12 @@ pub struct RateCurve {
 pub struct CellResult {
     /// Protocol key ([`ProtocolKind::key`]).
     pub protocol: &'static str,
-    /// Graph key ([`HotloopGraph::key`]).
+    /// Graph key ([`GridGraph::key`]).
     pub graph: &'static str,
+    /// The exact topology of the cell ([`GridGraph::spec`]), serialized
+    /// structurally so the artifact pins parameters and family seed, not
+    /// just a name.
+    pub graph_spec: GraphSpec,
     /// Population size.
     pub n: usize,
     /// Censoring step budget of every run in this cell (rate replays extend
@@ -427,6 +539,15 @@ pub struct CellResult {
     /// worst case is fault-free), serialized structurally like the
     /// scheduler spec.
     pub worst_faults: FaultPlanSpec,
+    /// The worst case's churn schedule ([`ChurnPlanSpec::none`] when the
+    /// worst case ran churn-free — every tracked cell today, since the grid
+    /// search keeps the churn domain disabled).  Serialized only when
+    /// non-empty.
+    pub worst_churn: ChurnPlanSpec,
+    /// The worst case's topology override (`None` when it ran the cell's
+    /// own graph — every tracked cell today).  Serialized only when
+    /// present.
+    pub worst_graph: Option<GraphSpec>,
     /// Which annealing island found the worst case.
     pub best_island: u32,
     /// Search evaluations beyond the pool (islands × iterations).
@@ -518,16 +639,18 @@ pub struct StabilizationReport {
     pub cells: Vec<CellResult>,
 }
 
-/// The deterministic base seed of one grid cell.
-fn cell_seed(kind: ProtocolKind, graph: HotloopGraph, n: usize) -> u64 {
+/// The deterministic base seed of one grid cell.  The graph index comes
+/// from [`GridGraph::ALL`], whose order keeps ring = 0 / complete = 1, so
+/// every classic cell derives exactly its pre-`v4` seed.
+fn cell_seed(kind: ProtocolKind, graph: GridGraph, n: usize) -> u64 {
     let ki = ProtocolKind::ALL
         .iter()
         .position(|k| *k == kind)
         .unwrap_or(7) as u64;
-    let gi = HotloopGraph::ALL
+    let gi = GridGraph::ALL
         .iter()
         .position(|g| *g == graph)
-        .unwrap_or(3) as u64;
+        .expect("every grid graph is in ALL") as u64;
     0x5AB1 ^ (ki << 8) ^ (gi << 16) ^ ((n as u64) << 24)
 }
 
@@ -562,13 +685,17 @@ pub fn run(options: &RunOptions) -> StabilizationReport {
 /// definition of the cell enumeration, shared by [`run`] and the fabric's
 /// work-unit builder so a distributed run assembles its cells in exactly
 /// the order the in-process report emits them.
-pub fn grid_cells(options: &RunOptions) -> Vec<(ProtocolKind, HotloopGraph, usize)> {
+pub fn grid_cells(options: &RunOptions) -> Vec<(ProtocolKind, GridGraph, usize)> {
     ProtocolKind::ALL
         .iter()
         .flat_map(|&kind| {
-            HotloopGraph::ALL
-                .iter()
-                .flat_map(move |&graph| options.sizes.iter().map(move |&n| (kind, graph, n)))
+            GridGraph::ALL.iter().flat_map(move |&graph| {
+                graph
+                    .sizes(&options.sizes)
+                    .iter()
+                    .map(move |&n| (kind, graph, n))
+                    .collect::<Vec<_>>()
+            })
         })
         .collect()
 }
@@ -578,7 +705,7 @@ pub fn grid_cells(options: &RunOptions) -> Vec<(ProtocolKind, HotloopGraph, usiz
 /// case — each stage sharded over the runner.
 pub fn run_cell(
     kind: ProtocolKind,
-    graph: HotloopGraph,
+    graph: GridGraph,
     n: usize,
     options: &RunOptions,
     runner: &BatchRunner,
@@ -606,6 +733,10 @@ pub fn run_cell(
         },
         // Crash schedules must fire within the base budget to matter.
         faults: FaultDomain::bursts(budget.saturating_sub(1), n as u32),
+        // Topology and churn stay fixed per cell: the grid itself is the
+        // topology axis, and mutating it here would change the cell's claim.
+        churn: ChurnDomain::disabled(),
+        graph: GraphDomain::disabled(),
     };
     let search_seed = base ^ 0xFACE;
     let IslandOutcome {
@@ -652,6 +783,7 @@ pub fn run_cell(
     CellResult {
         protocol: kind.key(),
         graph: graph.key(),
+        graph_spec: graph.spec(),
         n,
         budget,
         trials: options.trials,
@@ -664,6 +796,8 @@ pub fn run_cell(
         worst_scheduler: best.candidate.spec.key(),
         worst_spec: best.candidate.spec,
         worst_faults: best.candidate.faults,
+        worst_churn: best.candidate.churn,
+        worst_graph: best.candidate.graph,
         best_island,
         search_evaluations: evaluations,
         search_seed,
@@ -677,7 +811,7 @@ pub fn run_cell(
 #[allow(clippy::too_many_arguments)]
 fn rate_curve(
     kind: ProtocolKind,
-    graph: HotloopGraph,
+    graph: GridGraph,
     n: usize,
     budget: u64,
     worst: &Candidate,
@@ -779,33 +913,40 @@ pub fn rate_curve_with(
 /// worker-returned cell JSON is byte-identical to the in-process one by
 /// construction.
 pub fn cell_to_json(c: &CellResult) -> JsonValue {
+    let mut worst = JsonValue::object()
+        .with("steps", c.worst_steps as f64)
+        .with("converged", c.worst_converged)
+        .with("variant", c.worst_variant)
+        // Seeds are full-width u64s; JSON numbers are f64 and would
+        // silently round any value >= 2^53, so they are serialized as
+        // exact decimal strings.
+        .with("seed", c.worst_seed.to_string().as_str())
+        .with("scheduler", c.worst_scheduler.as_str())
+        .with("spec", spec_to_json(&c.worst_spec))
+        .with("faults", fault_spec_to_json(&c.worst_faults));
+    // The topology axes appear only when the worst case actually used
+    // them, so fixed-topology certificates keep the exact `v3` shape.
+    if !c.worst_churn.is_empty() {
+        worst = worst.with("churn", churn_spec_to_json(&c.worst_churn));
+    }
+    if let Some(graph) = c.worst_graph {
+        worst = worst.with("graph_override", graph_spec_to_json(graph));
+    }
+    let worst = worst
+        .with("search_seed", c.search_seed.to_string().as_str())
+        .with("search_evaluations", c.search_evaluations as usize)
+        .with("best_island", c.best_island as usize)
+        .with("certified", certified_to_json(&c.certified));
     JsonValue::object()
         .with("protocol", c.protocol)
         .with("graph", c.graph)
+        .with("graph_spec", graph_spec_to_json(c.graph_spec))
         .with("n", c.n)
         .with("budget", c.budget as f64)
         .with("trials", c.trials)
         .with("mean_steps", c.mean_steps)
         .with("converged_fraction", c.converged_fraction)
-        .with(
-            "worst",
-            JsonValue::object()
-                .with("steps", c.worst_steps as f64)
-                .with("converged", c.worst_converged)
-                .with("variant", c.worst_variant)
-                // Seeds are full-width u64s; JSON numbers
-                // are f64 and would silently round any
-                // value >= 2^53, so they are serialized
-                // as exact decimal strings.
-                .with("seed", c.worst_seed.to_string().as_str())
-                .with("scheduler", c.worst_scheduler.as_str())
-                .with("spec", spec_to_json(&c.worst_spec))
-                .with("faults", fault_spec_to_json(&c.worst_faults))
-                .with("search_seed", c.search_seed.to_string().as_str())
-                .with("search_evaluations", c.search_evaluations as usize)
-                .with("best_island", c.best_island as usize)
-                .with("certified", certified_to_json(&c.certified)),
-        )
+        .with("worst", worst)
         .with(
             "rate",
             JsonValue::object()
@@ -1178,10 +1319,123 @@ pub fn fault_spec_from_json(json: &JsonValue) -> Option<FaultPlanSpec> {
     Some(spec)
 }
 
+/// Serializes a [`GraphSpec`] structurally: a `family` tag plus the
+/// family's integer parameters.  Family seeds are full-width u64s and
+/// travel as exact decimal strings like every other seed.
+pub fn graph_spec_to_json(spec: GraphSpec) -> JsonValue {
+    let obj = JsonValue::object();
+    match spec {
+        GraphSpec::DirectedRing => obj.with("family", "ring"),
+        GraphSpec::UndirectedRing => obj.with("family", "undirected-ring"),
+        GraphSpec::Complete => obj.with("family", "complete"),
+        GraphSpec::Torus => obj.with("family", "torus"),
+        GraphSpec::SmallWorld {
+            k,
+            rewire_per_mille,
+            seed,
+        } => obj
+            .with("family", "small-world")
+            .with("k", k as usize)
+            .with("rewire_per_mille", rewire_per_mille as usize)
+            .with("seed", seed.to_string().as_str()),
+        GraphSpec::PreferentialAttachment { m, seed } => obj
+            .with("family", "preferential-attachment")
+            .with("m", m as usize)
+            .with("seed", seed.to_string().as_str()),
+        GraphSpec::RandomRegular { degree, seed } => obj
+            .with("family", "random-regular")
+            .with("degree", degree as usize)
+            .with("seed", seed.to_string().as_str()),
+    }
+}
+
+/// Rebuilds a [`GraphSpec`] from its [`graph_spec_to_json`] form.  Every
+/// integer parses exactly or not at all, like the other spec decoders.
+pub fn graph_spec_from_json(json: &JsonValue) -> Option<GraphSpec> {
+    let small =
+        |json: &JsonValue, name: &str| Some(exact_uint(json, name, u16::MAX as u64)? as u16);
+    Some(match json.get("family").and_then(JsonValue::as_str)? {
+        "ring" => GraphSpec::DirectedRing,
+        "undirected-ring" => GraphSpec::UndirectedRing,
+        "complete" => GraphSpec::Complete,
+        "torus" => GraphSpec::Torus,
+        "small-world" => GraphSpec::SmallWorld {
+            k: small(json, "k")?,
+            rewire_per_mille: small(json, "rewire_per_mille").filter(|&p| p <= 1000)?,
+            seed: exact_u64_string(json, "seed")?,
+        },
+        "preferential-attachment" => GraphSpec::PreferentialAttachment {
+            m: small(json, "m")?,
+            seed: exact_u64_string(json, "seed")?,
+        },
+        "random-regular" => GraphSpec::RandomRegular {
+            degree: small(json, "degree")?,
+            seed: exact_u64_string(json, "seed")?,
+        },
+        _ => return None,
+    })
+}
+
+/// Serializes a [`ChurnPlanSpec`] structurally as an array of
+/// `{"at_step": "…", "kind": "…", …}` events (steps as exact decimal
+/// strings, like fault events).
+pub fn churn_spec_to_json(spec: &ChurnPlanSpec) -> JsonValue {
+    JsonValue::Array(
+        spec.events()
+            .iter()
+            .map(|e| {
+                let obj = JsonValue::object().with("at_step", e.at_step.to_string().as_str());
+                match e.kind {
+                    ChurnKindSpec::Rewire { count } => {
+                        obj.with("kind", "rewire").with("count", count as usize)
+                    }
+                    ChurnKindSpec::Partition { blocks } => obj
+                        .with("kind", "partition")
+                        .with("blocks", blocks as usize),
+                    ChurnKindSpec::Heal => obj.with("kind", "heal"),
+                    ChurnKindSpec::Join { count } => {
+                        obj.with("kind", "join").with("count", count as usize)
+                    }
+                    ChurnKindSpec::Leave { count } => {
+                        obj.with("kind", "leave").with("count", count as usize)
+                    }
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Rebuilds a [`ChurnPlanSpec`] from its [`churn_spec_to_json`] form.
+/// Zero extents are rejected here (not just at plan-build time), so a
+/// corrupted artifact fails decoding instead of panicking during replay.
+pub fn churn_spec_from_json(json: &JsonValue) -> Option<ChurnPlanSpec> {
+    let mut spec = ChurnPlanSpec::none();
+    for e in json.as_array()? {
+        let count = |e: &JsonValue| {
+            Some(exact_uint(e, "count", u32::MAX as u64)? as u32).filter(|&c| c > 0)
+        };
+        let kind = match e.get("kind").and_then(JsonValue::as_str)? {
+            "rewire" => ChurnKindSpec::Rewire { count: count(e)? },
+            "partition" => ChurnKindSpec::Partition {
+                blocks: Some(exact_uint(e, "blocks", u32::MAX as u64)? as u32)
+                    .filter(|&b| b >= 2)?,
+            },
+            "heal" => ChurnKindSpec::Heal,
+            "join" => ChurnKindSpec::Join { count: count(e)? },
+            "leave" => ChurnKindSpec::Leave { count: count(e)? },
+            _ => return None,
+        };
+        spec = spec.with_event(exact_u64_string(e, "at_step")?, kind);
+    }
+    Some(spec)
+}
+
 /// Rebuilds the exact worst-case [`Candidate`] of one serialized cell — the
 /// replay half of the certificate contract: feed the result (with the
 /// cell's protocol, graph, n and budget) back into [`evaluate`] and the
-/// step count must match `worst.steps`.
+/// step count must match `worst.steps`.  The topology axes are optional in
+/// the JSON (omitted when default), so `v3`-shaped certificates decode
+/// unchanged.
 pub fn certificate_candidate(kind: ProtocolKind, cell: &JsonValue) -> Option<Candidate> {
     let worst = cell.get("worst")?;
     let variant_name = worst.get("variant").and_then(JsonValue::as_str)?;
@@ -1197,6 +1451,14 @@ pub fn certificate_candidate(kind: ProtocolKind, cell: &JsonValue) -> Option<Can
             .ok()?,
         spec: spec_from_json(worst.get("spec")?)?,
         faults: fault_spec_from_json(worst.get("faults")?)?,
+        churn: match worst.get("churn") {
+            Some(churn) => churn_spec_from_json(churn)?,
+            None => ChurnPlanSpec::none(),
+        },
+        graph: match worst.get("graph_override") {
+            Some(graph) => Some(graph_spec_from_json(graph)?),
+            None => None,
+        },
     })
 }
 
@@ -1235,13 +1497,17 @@ pub fn validate_report(json: &JsonValue) -> Result<(), String> {
         .get("cells")
         .and_then(JsonValue::as_array)
         .ok_or("cells array missing")?;
-    let expected = ProtocolKind::ALL.len() * HotloopGraph::ALL.len() * SIZES.len();
+    let expected: usize = ProtocolKind::ALL.len()
+        * GridGraph::ALL
+            .iter()
+            .map(|g| g.sizes(&SIZES).len())
+            .sum::<usize>();
     if cells.len() != expected {
         return Err(format!("expected {expected} cells, found {}", cells.len()));
     }
     for kind in ProtocolKind::ALL {
-        for graph in HotloopGraph::ALL {
-            for n in SIZES {
+        for graph in GridGraph::ALL {
+            for &n in graph.sizes(&SIZES) {
                 let cell = cells
                     .iter()
                     .find(|c| {
@@ -1250,11 +1516,19 @@ pub fn validate_report(json: &JsonValue) -> Result<(), String> {
                             && c.get("n").and_then(JsonValue::as_f64) == Some(n as f64)
                     })
                     .ok_or_else(|| format!("cell {}/{}/{n} missing", kind.key(), graph.key()))?;
-                validate_cell(
-                    kind,
-                    cell,
-                    &format!("cell {}/{}/{n}", kind.key(), graph.key()),
-                )?;
+                let ctx = format!("cell {}/{}/{n}", kind.key(), graph.key());
+                let spec = cell
+                    .get("graph_spec")
+                    .and_then(graph_spec_from_json)
+                    .ok_or_else(|| format!("{ctx}: graph_spec missing or malformed"))?;
+                if spec != graph.spec() {
+                    return Err(format!(
+                        "{ctx}: graph_spec {} does not match the grid topology {}",
+                        spec.key(),
+                        graph.spec().key()
+                    ));
+                }
+                validate_cell(kind, cell, &ctx)?;
             }
         }
     }
@@ -1312,7 +1586,7 @@ fn validate_cell(kind: ProtocolKind, cell: &JsonValue, ctx: &str) -> Result<(), 
     }
     if certificate_candidate(kind, cell).is_none() {
         return Err(format!(
-            "{ctx}: worst certificate is not rebuildable (variant/seed/spec/faults)"
+            "{ctx}: worst certificate is not rebuildable (variant/seed/spec/faults/churn/graph)"
         ));
     }
     let certified_json = worst
@@ -1488,10 +1762,7 @@ mod tests {
                 .iter()
                 .find(|k| k.key() == key("protocol"))
                 .unwrap();
-            let graph = *HotloopGraph::ALL
-                .iter()
-                .find(|g| g.key() == key("graph"))
-                .unwrap();
+            let graph = GridGraph::from_key(&key("graph")).unwrap();
             let n = cell.get("n").and_then(JsonValue::as_f64).unwrap() as usize;
             let budget = cell.get("budget").and_then(JsonValue::as_f64).unwrap() as u64;
             let candidate = certificate_candidate(kind, cell).expect("candidate rebuilds");
@@ -1538,14 +1809,14 @@ mod tests {
         // A generous budget converges...
         let a = evaluate(
             ProtocolKind::Ppl,
-            HotloopGraph::Ring,
+            GridGraph::Ring,
             12,
             5_000_000,
             &candidate,
         );
         let b = evaluate(
             ProtocolKind::Ppl,
-            HotloopGraph::Ring,
+            GridGraph::Ring,
             12,
             5_000_000,
             &candidate,
@@ -1553,7 +1824,7 @@ mod tests {
         assert_eq!(a, b, "evaluation must be deterministic");
         assert!(a.converged);
         // ... and a one-step budget censors.
-        let censored = evaluate(ProtocolKind::Ppl, HotloopGraph::Ring, 12, 1, &candidate);
+        let censored = evaluate(ProtocolKind::Ppl, GridGraph::Ring, 12, 1, &candidate);
         assert!(!censored.converged);
         assert_eq!(censored.steps, 1);
     }
@@ -1564,7 +1835,7 @@ mod tests {
         // convergence, and the fault-bearing evaluation must stay
         // deterministic — the certificate contract for the third axis.
         let kind = ProtocolKind::Yokota;
-        let graph = HotloopGraph::Ring;
+        let graph = GridGraph::Ring;
         let n = 12;
         let budget = 5_000_000;
         let clean = evaluate(kind, graph, n, budget, &Candidate::baseline(3));
@@ -1618,10 +1889,11 @@ mod tests {
         let cells = ProtocolKind::ALL
             .iter()
             .flat_map(|kind| {
-                HotloopGraph::ALL.iter().flat_map(move |graph| {
-                    SIZES.map(move |n| CellResult {
+                GridGraph::ALL.iter().flat_map(move |graph| {
+                    graph.sizes(&SIZES).iter().map(move |&n| CellResult {
                         protocol: kind.key(),
                         graph: graph.key(),
+                        graph_spec: graph.spec(),
                         n,
                         budget: 1_000_000,
                         trials: 5,
@@ -1640,6 +1912,8 @@ mod tests {
                         },
                         worst_faults: FaultPlanSpec::none()
                             .with_event(9_000, FaultPlacementSpec::Block { start: 3, count: 7 }),
+                        worst_churn: ChurnPlanSpec::none(),
+                        worst_graph: None,
                         best_island: 2,
                         search_evaluations: 20,
                         search_seed: 3,
@@ -1915,7 +2189,7 @@ mod tests {
     #[test]
     fn tiny_cell_search_produces_a_reproducible_certificate() {
         let kind = ProtocolKind::Yokota;
-        let graph = HotloopGraph::Ring;
+        let graph = GridGraph::Ring;
         let n = 8;
         let options = tiny_options(1);
         let runner = options.runner();
@@ -1968,7 +2242,7 @@ mod tests {
     #[test]
     fn explorer_exact_worst_case_is_consistent_with_the_sampled_search() {
         let kind = ProtocolKind::Yokota;
-        let graph = HotloopGraph::Ring;
+        let graph = GridGraph::Ring;
         let n = 4;
         let options = tiny_options(1);
         let budget = stab_budget(kind, n, options.quick);
@@ -2007,6 +2281,76 @@ mod tests {
              bound ({exact_worst_steps})",
             cell.worst_steps
         );
+    }
+
+    /// The generated-family counterpart of the exact-explorer pin: the
+    /// 2×2 torus (`torus_dims(4)`) is the undirected 4-cycle — 8 arcs,
+    /// every lattice direction collapsing pairwise — and the explorer's
+    /// exact numbers on it are deterministic properties of the protocol,
+    /// pinned here so topology regressions in the torus constructor surface
+    /// as a changed state space, not just a changed sample.  The pin also
+    /// records a genuine topology-sensitivity fact: Angluin mod-k
+    /// stabilizes on the 4-cycle (1248 reachable configurations, exact
+    /// worst-case recovery in 2 interactions), while the directed-ring
+    /// Yokota baseline provably does **not** — 21941 of its 143974
+    /// reachable configurations have no path back to the safe set.
+    #[test]
+    fn explorer_pins_the_two_by_two_torus_state_space() {
+        use population::InteractionGraph;
+        let graph = GridGraph::Torus;
+        let n = 4;
+        let built = graph.family().build(n).expect("2x2 torus builds");
+        assert_eq!(built.num_arcs(), 8, "2x2 torus = C4, both directions");
+        let options = tiny_options(1);
+
+        // Angluin mod-k: exact state-space and optimal-recovery pin.
+        let kind = ProtocolKind::AngluinModK;
+        let budget = stab_budget(kind, n, options.quick);
+        let explored = stab_scenario(kind, graph, 0, budget)
+            .explore(
+                &SweepPoint::new(n, 0x7A),
+                &population::ExploreLimits::default(),
+            )
+            .expect("tiny torus cell explores");
+        let population::ExploreVerdict::Stabilizes {
+            exact_worst_steps, ..
+        } = explored.verdict
+        else {
+            panic!("tiny torus cell must stabilize, got {:?}", explored.verdict);
+        };
+        assert_eq!(explored.reachable, 1248);
+        assert_eq!(exact_worst_steps, 2);
+        // The sampled search on the same cell cannot undercut the exact
+        // optimal-recovery bound.
+        let runner = options.runner();
+        let cell = run_cell(kind, graph, n, &options, &runner);
+        assert!(
+            cell.worst_steps >= exact_worst_steps,
+            "sampled worst ({}) cannot undercut the exact bound \
+             ({exact_worst_steps})",
+            cell.worst_steps
+        );
+
+        // Yokota: the 4-ring's exact pin stabilizes (see the neighbouring
+        // test); rerouted onto the undirected 4-cycle the same protocol is
+        // exactly non-stabilizing — the topology axis is load-bearing.
+        let kind = ProtocolKind::Yokota;
+        let explored = stab_scenario(kind, graph, 0, stab_budget(kind, n, true))
+            .explore(
+                &SweepPoint::new(n, 0x7A),
+                &population::ExploreLimits {
+                    max_configs: 1 << 18,
+                },
+            )
+            .expect("tiny torus cell explores");
+        let population::ExploreVerdict::NonStabilizing { doomed, .. } = explored.verdict else {
+            panic!(
+                "yokota on the 2x2 torus must be non-stabilizing, got {:?}",
+                explored.verdict
+            );
+        };
+        assert_eq!(explored.reachable, 143_974);
+        assert_eq!(doomed, 21_941);
     }
 
     /// The adaptive escalation, pinned with synthetic evaluators so each

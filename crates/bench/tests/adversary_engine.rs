@@ -6,10 +6,11 @@
 
 use population::{SchedulerFamily, SweepPoint};
 use ssle_adversary::{
-    worst_case_search, Candidate, EpochPartitionScheduler, Evaluation, FairnessAuditor,
-    FaultDomain, GreedyAdversary, SearchConfig, SearchSpace, SpecDomain, WeightedScheduler,
+    worst_case_search, Candidate, ChurnDomain, EpochPartitionScheduler, Evaluation,
+    FairnessAuditor, FaultDomain, GraphDomain, GreedyAdversary, SearchConfig, SearchSpace,
+    SpecDomain, WeightedScheduler,
 };
-use ssle_bench::hotloop::HotloopGraph;
+use ssle_bench::stabilization::GridGraph;
 use ssle_bench::stabilization::{self, dyn_protocol, leader_delta_scorer};
 use ssle_bench::ProtocolKind;
 
@@ -98,7 +99,7 @@ fn epoch_partition_audits_fairness_on_a_real_run() {
 #[test]
 fn worst_case_certificates_reproduce() {
     let kind = ProtocolKind::Ppl;
-    let graph = HotloopGraph::Ring;
+    let graph = GridGraph::Ring;
     let n = 12;
     let budget = stabilization::stab_budget(kind, n, true);
     let evaluate = |c: &Candidate| stabilization::evaluate(kind, graph, n, budget, c);
@@ -113,6 +114,8 @@ fn worst_case_certificates_reproduce() {
         variants: stabilization::variant_names(kind).len() as u32,
         specs: SpecDomain::all(),
         faults: FaultDomain::bursts(budget.saturating_sub(1), n as u32),
+        churn: ChurnDomain::disabled(),
+        graph: GraphDomain::disabled(),
     };
     let config = SearchConfig {
         iterations: 6,

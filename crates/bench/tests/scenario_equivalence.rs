@@ -449,16 +449,16 @@ fn incremental_leader_tracking_matches_the_recount_reference() {
 #[test]
 fn inert_byzantine_windows_and_triggers_leave_runs_bit_identical() {
     use population::{ByzantineWindow, FaultKind, FaultPlan};
-    use ssle_bench::hotloop::HotloopGraph;
     use ssle_bench::recovery::recovery_scenario;
+    use ssle_bench::stabilization::GridGraph;
 
     for kind in ProtocolKind::ALL {
         for n in SIZES {
             for seed in SEEDS {
                 let pt = SweepPoint::new(n, seed);
                 let budget = kind.trial_budget(n);
-                let plain = recovery_scenario(kind, HotloopGraph::Ring, budget).run_full(&pt);
-                let inert = recovery_scenario(kind, HotloopGraph::Ring, budget)
+                let plain = recovery_scenario(kind, GridGraph::Ring, budget).run_full(&pt);
+                let inert = recovery_scenario(kind, GridGraph::Ring, budget)
                     .with_fault_plan(FaultPlan::new().with_byzantine(ByzantineWindow::new(
                         [],
                         0,
@@ -509,5 +509,77 @@ fn inert_byzantine_windows_and_triggers_leave_runs_bit_identical() {
                 "ppl n={n} seed={seed}: never-firing trigger perturbed the final states"
             );
         }
+    }
+}
+
+/// The static-topology half of the dynamic-topology contract: attaching a
+/// churn plan that never does anything — the empty plan, and a plan whose
+/// only event sits beyond any reachable step — leaves the RNG stream, the
+/// report and the final configuration bit-identical to the plain run for
+/// every Table 1 protocol.  Churn draws from a dedicated RNG stream keyed
+/// by the fire step, so merely *carrying* a plan must be free.
+#[test]
+fn empty_and_unreached_churn_plans_leave_runs_bit_identical() {
+    use population::{ChurnKind, ChurnPlan};
+    for kind in ProtocolKind::ALL {
+        for n in SIZES {
+            for seed in SEEDS {
+                let pt = SweepPoint::new(n, seed);
+                let plain = kind.scenario().run_full(&pt);
+                for (name, plan) in [
+                    ("empty", ChurnPlan::new()),
+                    ("unreached", ChurnPlan::new().at(u64::MAX, ChurnKind::Heal)),
+                ] {
+                    let churned = kind.scenario().with_churn_plan(plan).run_full(&pt);
+                    assert_eq!(
+                        plain.report,
+                        churned.report,
+                        "{} n={n} seed={seed}: {name} churn plan perturbed the report",
+                        kind.key()
+                    );
+                    assert_eq!(
+                        *plain.sim.config(),
+                        *churned.sim.config(),
+                        "{} n={n} seed={seed}: {name} churn plan perturbed the final states",
+                        kind.key()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The dynamic half: runs that *do* churn — an early rewire followed by a
+/// heal — are a deterministic function of the sweep point alone.  Sharding
+/// the same batch over 1 and 4 [`population::BatchRunner`] threads yields
+/// bit-identical reports and final configurations, the thread-invariance
+/// contract every churned report cell relies on.
+#[test]
+fn churned_runs_are_bit_identical_across_thread_counts() {
+    use population::{BatchRunner, ChurnKind, ChurnPlan};
+    let points: Vec<SweepPoint> = SEEDS
+        .iter()
+        .flat_map(|&seed| SIZES.map(|n| SweepPoint::new(n, seed)))
+        .collect();
+    for kind in ProtocolKind::ALL {
+        let run_batch = |threads: usize| {
+            BatchRunner::with_threads(threads).run_map(&points, |pt| {
+                let full = kind
+                    .scenario()
+                    .with_churn_plan(
+                        ChurnPlan::new()
+                            .at(32, ChurnKind::Rewire { count: 2 })
+                            .at(512, ChurnKind::Heal),
+                    )
+                    .run_full(pt);
+                (full.report, full.sim.config().clone())
+            })
+        };
+        assert_eq!(
+            run_batch(1),
+            run_batch(4),
+            "{}: churned batch diverged across thread counts",
+            kind.key()
+        );
     }
 }

@@ -83,6 +83,45 @@ pub enum PopulationError {
         /// The unregistered trigger name.
         name: String,
     },
+    /// An arc connects an agent to itself.  Population-protocol interactions
+    /// are between *distinct* agents (Section 2); a self-loop would either be
+    /// silently unreachable or corrupt the split-borrow interaction step, so
+    /// it is rejected at graph construction time.
+    SelfLoopArc {
+        /// The agent carrying the self-loop.
+        agent: usize,
+    },
+    /// A custom digraph is not weakly connected, so some agents can never
+    /// influence the rest of the population and global stop predicates may be
+    /// unreachable (the run would only end by budget exhaustion).
+    DisconnectedGraph {
+        /// The population size.
+        agents: usize,
+        /// How many agents are reachable from agent 0 in the underlying
+        /// undirected graph.
+        reached: usize,
+    },
+    /// A randomized graph generator exhausted its retry budget without
+    /// producing a simple graph (only possible for adversarially tight
+    /// parameter choices, e.g. random-regular with degree close to `n`).
+    GraphGenerationFailed {
+        /// The family whose generator gave up.
+        family: &'static str,
+    },
+    /// A churn event with extent zero (`count == 0`, or a partition into
+    /// fewer than two blocks) was added to a plan.  Such an event can never
+    /// change the topology, so a plan containing one is always a bug.
+    DegenerateChurn {
+        /// The step the no-op event was scheduled at.
+        at: u64,
+    },
+    /// A churn plan was combined with a scenario feature the churn machinery
+    /// does not support (currently: an active Byzantine window, whose rewrite
+    /// scratch buffers assume a fixed population).
+    ChurnUnsupported {
+        /// The unsupported combination.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for PopulationError {
@@ -148,6 +187,30 @@ impl fmt::Display for PopulationError {
                 f,
                 "plan references the trigger {name:?}, which the scenario never registered: \
                  call `ScenarioBuilder::trigger({name:?}, ..)` before running"
+            ),
+            PopulationError::SelfLoopArc { agent } => write!(
+                f,
+                "arc ({agent}, {agent}) is a self-loop: interactions are between distinct agents"
+            ),
+            PopulationError::DisconnectedGraph { agents, reached } => write!(
+                f,
+                "graph is not weakly connected: only {reached} of {agents} agents are reachable \
+                 from agent 0, so a global stop predicate may be unreachable"
+            ),
+            PopulationError::GraphGenerationFailed { family } => write!(
+                f,
+                "the {family} generator exhausted its retry budget without producing a \
+                 simple graph; relax the parameters (degree/edge count vs population size)"
+            ),
+            PopulationError::DegenerateChurn { at } => write!(
+                f,
+                "churn event at step {at} has extent 0 and can never change the topology: \
+                 a no-op churn event in a plan is always a bug"
+            ),
+            PopulationError::ChurnUnsupported { reason } => write!(
+                f,
+                "churn plan cannot run under {reason}: drop the churn plan or the \
+                 conflicting scenario feature"
             ),
         }
     }
@@ -219,6 +282,27 @@ mod tests {
                     name: "on-elect".to_string(),
                 },
                 "on-elect",
+            ),
+            (PopulationError::SelfLoopArc { agent: 3 }, "self-loop"),
+            (
+                PopulationError::DisconnectedGraph {
+                    agents: 8,
+                    reached: 5,
+                },
+                "weakly connected",
+            ),
+            (
+                PopulationError::GraphGenerationFailed {
+                    family: "random-regular",
+                },
+                "random-regular",
+            ),
+            (PopulationError::DegenerateChurn { at: 10 }, "extent 0"),
+            (
+                PopulationError::ChurnUnsupported {
+                    reason: "a Byzantine window",
+                },
+                "Byzantine",
             ),
         ];
         for (err, needle) in cases {

@@ -8,7 +8,10 @@
 //! arc directions.  Complete graphs and arbitrary arc sets are provided for
 //! tests and for contrasting topologies.
 
-use rand::Rng;
+use std::collections::HashSet;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::agent::AgentId;
@@ -268,8 +271,10 @@ impl ArbitraryGraph {
     ///
     /// # Errors
     ///
-    /// Returns an error if `n < 2`, if the arc list is empty, or if any arc
-    /// references an agent outside `0..n`.
+    /// Returns an error if `n < 2`, if the arc list is empty, if any arc
+    /// references an agent outside `0..n`, or if any arc is a self-loop
+    /// (interactions are between distinct agents, and the simulation's
+    /// split-borrow interaction step relies on it).
     pub fn new(n: usize, arcs: Vec<Interaction>) -> Result<Self> {
         if n < 2 {
             return Err(PopulationError::PopulationTooSmall {
@@ -285,6 +290,11 @@ impl ArbitraryGraph {
                 return Err(PopulationError::AgentOutOfRange {
                     index: a.initiator().index().max(a.responder().index()),
                     population: n,
+                });
+            }
+            if a.initiator() == a.responder() {
+                return Err(PopulationError::SelfLoopArc {
+                    agent: a.initiator().index(),
                 });
             }
         }
@@ -331,6 +341,290 @@ impl InteractionGraph for ArbitraryGraph {
 pub fn ring_neighbors(i: usize, n: usize) -> (AgentId, AgentId) {
     let a = AgentId::new(i % n);
     (a.counter_clockwise_neighbor(n), a.clockwise_neighbor(n))
+}
+
+// ---------------------------------------------------------------------------
+// Generated graph families.
+//
+// Each generator below is a pure function of its arguments: the randomized
+// ones derive a `ChaCha8Rng` from a SplitMix64 scramble of `(seed, n)`, so
+// the same sweep point produces bit-identical arc sets regardless of thread
+// count or evaluation order.  All generators produce simple digraphs (no
+// self-loops, no duplicate arcs) that are strongly connected by construction,
+// so every stop predicate reachable on a ring is reachable here too.
+// ---------------------------------------------------------------------------
+
+/// One round of the SplitMix64 output scramble; used to decorrelate seeds
+/// derived from nearby `(seed, n)` coordinates.
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The RNG seed a generated family uses for population size `n`: a SplitMix64
+/// scramble of the family seed, the size, and a per-family salt.  Exposed so
+/// external spec layers can pin the exact stream a graph was built from.
+pub fn graph_rng_seed(seed: u64, n: usize, salt: u64) -> u64 {
+    splitmix64(
+        seed.wrapping_add(salt)
+            .wrapping_add((n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    )
+}
+
+const SMALL_WORLD_SALT: u64 = 0x534D_414C_4C57_4C44; // "SMALLWLD"
+const PREFERENTIAL_SALT: u64 = 0x5052_4546_4154_5443; // "PREFATTC"
+const REGULAR_SALT: u64 = 0x5245_4755_4C41_5247; // "REGULARG"
+
+/// The grid dimensions `(rows, cols)` used by [`torus`] for `n` agents:
+/// `rows` is the largest divisor of `n` not exceeding `√n`, so the grid is as
+/// close to square as `n` allows.  Prime `n` degenerates to a `1 × n` torus,
+/// i.e. an undirected ring.
+pub fn torus_dims(n: usize) -> (usize, usize) {
+    let mut h = 1;
+    while (h + 1) * (h + 1) <= n {
+        h += 1;
+    }
+    while h > 1 && !n.is_multiple_of(h) {
+        h -= 1;
+    }
+    (h, n / h)
+}
+
+/// A 2-D torus (wrapped grid) over `n` agents with arcs in both directions,
+/// dimensioned by [`torus_dims`].  Deterministic: no randomness is involved.
+///
+/// # Errors
+///
+/// Returns [`PopulationError::PopulationTooSmall`] if `n < 2`.
+pub fn torus(n: usize) -> Result<ArbitraryGraph> {
+    if n < 2 {
+        return Err(PopulationError::PopulationTooSmall {
+            requested: n,
+            minimum: 2,
+        });
+    }
+    let (h, w) = torus_dims(n);
+    let id = |r: usize, c: usize| r * w + c;
+    let mut arcs = Vec::new();
+    for r in 0..h {
+        for c in 0..w {
+            let u = id(r, c);
+            for v in [id(r, (c + 1) % w), id((r + 1) % h, c)] {
+                if u != v {
+                    arcs.push(Interaction::new(u, v));
+                    arcs.push(Interaction::new(v, u));
+                }
+            }
+        }
+    }
+    arcs.sort_unstable_by_key(|a| (a.initiator().index(), a.responder().index()));
+    arcs.dedup();
+    ArbitraryGraph::new(n, arcs)
+}
+
+/// A Watts–Strogatz small-world graph: a ring lattice where every agent is
+/// linked to its `max(1, k/2)` nearest neighbours per side (clamped to avoid
+/// duplicate chords on tiny rings), with each chord of distance `>= 2`
+/// rewired with probability `rewire_per_mille / 1000`.  The distance-1 ring
+/// backbone is never rewired, so the graph stays strongly connected.  Arcs
+/// are emitted in both directions.
+///
+/// # Errors
+///
+/// Returns [`PopulationError::PopulationTooSmall`] if `n < 2`.
+pub fn small_world(n: usize, k: usize, rewire_per_mille: u16, seed: u64) -> Result<ArbitraryGraph> {
+    if n < 2 {
+        return Err(PopulationError::PopulationTooSmall {
+            requested: n,
+            minimum: 2,
+        });
+    }
+    let half = (k / 2).min((n - 1) / 2).max(1);
+    let p = u64::from(rewire_per_mille.min(1000));
+    let mut rng = ChaCha8Rng::seed_from_u64(graph_rng_seed(seed, n, SMALL_WORLD_SALT));
+    // Undirected edge list in deterministic order; `present` mirrors it for
+    // O(1) membership checks (never iterated, so hashing order is harmless).
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n * half);
+    let mut present: HashSet<(usize, usize)> = HashSet::with_capacity(n * half);
+    let key = |a: usize, b: usize| (a.min(b), a.max(b));
+    for i in 0..n {
+        for d in 1..=half {
+            let e = key(i, (i + d) % n);
+            if e.0 != e.1 && present.insert(e) {
+                edges.push(e);
+            }
+        }
+    }
+    for edge in edges.iter_mut() {
+        let (u, v) = *edge;
+        let ring_dist = (v - u).min(n - (v - u));
+        if ring_dist < 2 || rng.gen_range(0..1000) >= p {
+            continue;
+        }
+        for _ in 0..16 {
+            let w = rng.gen_range(0..n);
+            let e = key(u, w);
+            if w != u && !present.contains(&e) {
+                present.remove(&key(u, v));
+                present.insert(e);
+                *edge = e;
+                break;
+            }
+        }
+    }
+    let mut arcs = Vec::with_capacity(2 * edges.len());
+    for (u, v) in edges {
+        arcs.push(Interaction::new(u, v));
+        arcs.push(Interaction::new(v, u));
+    }
+    arcs.sort_unstable_by_key(|a| (a.initiator().index(), a.responder().index()));
+    ArbitraryGraph::new(n, arcs)
+}
+
+/// A Barabási–Albert preferential-attachment graph: a complete core of
+/// `min(m + 1, n)` agents, then each new agent attaches `m` undirected edges
+/// to existing agents chosen proportionally to their degree (with bounded
+/// rejection for duplicates; at least one edge per new agent is guaranteed,
+/// so the graph is connected).  Arcs are emitted in both directions.
+///
+/// # Errors
+///
+/// Returns [`PopulationError::PopulationTooSmall`] if `n < 2`.
+pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> Result<ArbitraryGraph> {
+    if n < 2 {
+        return Err(PopulationError::PopulationTooSmall {
+            requested: n,
+            minimum: 2,
+        });
+    }
+    let m = m.max(1);
+    let core = (m + 1).min(n);
+    let mut rng = ChaCha8Rng::seed_from_u64(graph_rng_seed(seed, n, PREFERENTIAL_SALT));
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    // `targets` holds one entry per edge endpoint, so uniform draws from it
+    // are degree-proportional.
+    let mut targets: Vec<usize> = Vec::new();
+    for u in 0..core {
+        for v in (u + 1)..core {
+            edges.push((u, v));
+            targets.push(u);
+            targets.push(v);
+        }
+    }
+    for t in core..n {
+        let want = m.min(t);
+        let mut chosen: Vec<usize> = Vec::with_capacity(want);
+        let mut attempts = 0;
+        while chosen.len() < want && attempts < 16 * want {
+            attempts += 1;
+            let pick = targets[rng.gen_range(0..targets.len())];
+            if !chosen.contains(&pick) {
+                chosen.push(pick);
+            }
+        }
+        if chosen.is_empty() {
+            chosen.push(t - 1);
+        }
+        for v in chosen {
+            edges.push((v, t));
+            targets.push(v);
+            targets.push(t);
+        }
+    }
+    let mut arcs = Vec::with_capacity(2 * edges.len());
+    for (u, v) in edges {
+        arcs.push(Interaction::new(u, v));
+        arcs.push(Interaction::new(v, u));
+    }
+    arcs.sort_unstable_by_key(|a| (a.initiator().index(), a.responder().index()));
+    ArbitraryGraph::new(n, arcs)
+}
+
+/// A random directed `d`-regular graph built as the union of `d` random
+/// Hamiltonian cycles (each a uniformly shuffled cycle over all agents), so
+/// every agent has out-degree and in-degree exactly `d` and the graph is
+/// strongly connected by construction.  `degree` is clamped to `1..=n-1`.
+/// Cycles that would duplicate an existing arc are redrawn.
+///
+/// # Errors
+///
+/// Returns [`PopulationError::PopulationTooSmall`] if `n < 2`, and
+/// [`PopulationError::GraphGenerationFailed`] if 64 consecutive redraws of a
+/// cycle all collide with already-committed arcs (only possible when `degree`
+/// is close to `n`).
+pub fn random_regular(n: usize, degree: usize, seed: u64) -> Result<ArbitraryGraph> {
+    if n < 2 {
+        return Err(PopulationError::PopulationTooSmall {
+            requested: n,
+            minimum: 2,
+        });
+    }
+    let degree = degree.clamp(1, n - 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(graph_rng_seed(seed, n, REGULAR_SALT));
+    let mut arcs: Vec<Interaction> = Vec::with_capacity(n * degree);
+    let mut present: HashSet<(usize, usize)> = HashSet::with_capacity(n * degree);
+    let mut order: Vec<usize> = (0..n).collect();
+    for _ in 0..degree {
+        let mut committed = false;
+        for _attempt in 0..64 {
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            let collides = (0..n).any(|i| present.contains(&(order[i], order[(i + 1) % n])));
+            if collides {
+                continue;
+            }
+            for i in 0..n {
+                let (u, v) = (order[i], order[(i + 1) % n]);
+                present.insert((u, v));
+                arcs.push(Interaction::new(u, v));
+            }
+            committed = true;
+            break;
+        }
+        if !committed {
+            return Err(PopulationError::GraphGenerationFailed {
+                family: "random-regular",
+            });
+        }
+    }
+    arcs.sort_unstable_by_key(|a| (a.initiator().index(), a.responder().index()));
+    ArbitraryGraph::new(n, arcs)
+}
+
+/// How many agents are reachable from agent 0 when every arc is treated as
+/// undirected.  `n` agents with no arcs yields `min(n, 1)`.
+pub fn weak_reach(n: usize, arcs: &[Interaction]) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let mut adj = vec![Vec::new(); n];
+    for a in arcs {
+        let (i, j) = (a.initiator().index(), a.responder().index());
+        adj[i].push(j);
+        adj[j].push(i);
+    }
+    let mut seen = vec![false; n];
+    seen[0] = true;
+    let mut stack = vec![0];
+    let mut reached = 1;
+    while let Some(u) = stack.pop() {
+        for &v in &adj[u] {
+            if !seen[v] {
+                seen[v] = true;
+                reached += 1;
+                stack.push(v);
+            }
+        }
+    }
+    reached
+}
+
+/// Whether the arc set forms a weakly connected graph over `n` agents.
+pub fn weakly_connected(n: usize, arcs: &[Interaction]) -> bool {
+    weak_reach(n, arcs) == n
 }
 
 #[cfg(test)]
@@ -461,6 +755,156 @@ mod tests {
                 assert_eq!(a.is_arc(i, j), b.is_arc(i, j));
             }
         }
+    }
+
+    #[test]
+    fn self_loops_are_rejected() {
+        let err = ArbitraryGraph::new(3, vec![Interaction::new(0, 1), Interaction::new(2, 2)])
+            .unwrap_err();
+        assert_eq!(err, PopulationError::SelfLoopArc { agent: 2 });
+    }
+
+    fn degrees(g: &ArbitraryGraph) -> (Vec<usize>, Vec<usize>) {
+        let n = g.num_agents();
+        let (mut out_deg, mut in_deg) = (vec![0; n], vec![0; n]);
+        for a in g.arcs() {
+            out_deg[a.initiator().index()] += 1;
+            in_deg[a.responder().index()] += 1;
+        }
+        (out_deg, in_deg)
+    }
+
+    #[test]
+    fn torus_dims_prefer_square() {
+        assert_eq!(torus_dims(16), (4, 4));
+        assert_eq!(torus_dims(12), (3, 4));
+        assert_eq!(torus_dims(6), (2, 3));
+        assert_eq!(torus_dims(7), (1, 7));
+        assert_eq!(torus_dims(2), (1, 2));
+    }
+
+    #[test]
+    fn torus_is_regular_and_connected() {
+        for n in [4, 6, 9, 12, 16, 64] {
+            let g = torus(n).unwrap();
+            assert!(weakly_connected(n, &g.arcs()), "torus n={n} disconnected");
+            let (out_deg, in_deg) = degrees(&g);
+            let (h, w) = torus_dims(n);
+            // Both-direction arcs to the right and down neighbours: degree 4
+            // on a proper torus, collapsing to 2 on a 1-row (ring) or 2-row /
+            // 2-col (doubled edge) torus.
+            let expect = match (h, w) {
+                (1, _) | (_, 1) => 2,
+                (2, 2) => 2,
+                (2, _) | (_, 2) => 3,
+                _ => 4,
+            };
+            for i in 0..n {
+                assert_eq!(out_deg[i], expect, "torus n={n} agent {i} out-degree");
+                assert_eq!(in_deg[i], expect, "torus n={n} agent {i} in-degree");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_two_by_two_is_a_four_cycle() {
+        let g = torus(4).unwrap();
+        assert_eq!(torus_dims(4), (2, 2));
+        assert_eq!(g.num_arcs(), 8);
+        assert!(g.is_arc(0, 1) && g.is_arc(1, 0));
+        assert!(g.is_arc(0, 2) && g.is_arc(2, 0));
+        assert!(!g.is_arc(0, 3));
+    }
+
+    #[test]
+    fn small_world_is_deterministic_and_connected() {
+        for n in [4, 8, 32] {
+            let a = small_world(n, 4, 300, 0xFEED).unwrap();
+            let b = small_world(n, 4, 300, 0xFEED).unwrap();
+            assert_eq!(a, b, "same seed must give identical graphs");
+            let c = small_world(n, 4, 300, 0xFEED + 1).unwrap();
+            if n > 4 {
+                assert_ne!(a, c, "different seed should rewire differently");
+            }
+            assert!(
+                weakly_connected(n, &a.arcs()),
+                "small world n={n} disconnected"
+            );
+            let half = (4usize / 2).min((n - 1) / 2).max(1);
+            assert!(a.num_arcs() <= 2 * n * half);
+            assert!(a.num_arcs() >= 2 * n, "ring backbone must survive");
+        }
+    }
+
+    #[test]
+    fn small_world_keeps_ring_backbone() {
+        let g = small_world(16, 6, 1000, 0xABCD).unwrap();
+        for i in 0..16 {
+            assert!(g.is_arc(i, (i + 1) % 16), "backbone arc {i} missing");
+            assert!(g.is_arc((i + 1) % 16, i), "backbone arc {i} missing");
+        }
+    }
+
+    #[test]
+    fn preferential_attachment_is_deterministic_and_connected() {
+        for n in [4, 8, 32] {
+            let a = preferential_attachment(n, 2, 0xBEEF).unwrap();
+            let b = preferential_attachment(n, 2, 0xBEEF).unwrap();
+            assert_eq!(a, b);
+            assert!(weakly_connected(n, &a.arcs()), "pa n={n} disconnected");
+            // Arc-count bounds: complete core plus up to m per later agent,
+            // two arcs per undirected edge.
+            let core = 3.min(n);
+            let max_edges = core * (core - 1) / 2 + 2 * n.saturating_sub(core);
+            assert!(a.num_arcs() <= 2 * max_edges);
+            assert!(a.num_arcs() >= 2 * (n - 1), "must at least span a tree");
+        }
+    }
+
+    #[test]
+    fn random_regular_has_exact_degree() {
+        for (n, d) in [(4, 2), (8, 3), (16, 4), (5, 1)] {
+            let g = random_regular(n, d, 0x5EED).unwrap();
+            assert_eq!(g, random_regular(n, d, 0x5EED).unwrap());
+            assert!(
+                weakly_connected(n, &g.arcs()),
+                "regular n={n} d={d} disconnected"
+            );
+            let (out_deg, in_deg) = degrees(&g);
+            for i in 0..n {
+                assert_eq!(out_deg[i], d, "n={n} d={d} agent {i} out-degree");
+                assert_eq!(in_deg[i], d, "n={n} d={d} agent {i} in-degree");
+            }
+        }
+    }
+
+    #[test]
+    fn random_regular_clamps_degree() {
+        // degree 0 and degree >= n are clamped into 1..=n-1.
+        let g = random_regular(4, 0, 1).unwrap();
+        let (out_deg, _) = degrees(&g);
+        assert!(out_deg.iter().all(|&d| d == 1));
+        let g = random_regular(3, 9, 1).unwrap();
+        let (out_deg, _) = degrees(&g);
+        assert!(out_deg.iter().all(|&d| d == 2));
+    }
+
+    #[test]
+    fn weak_reach_counts_components() {
+        let arcs = vec![Interaction::new(0, 1), Interaction::new(2, 3)];
+        assert_eq!(weak_reach(4, &arcs), 2);
+        assert!(!weakly_connected(4, &arcs));
+        assert!(weakly_connected(2, &[Interaction::new(1, 0)]));
+    }
+
+    #[test]
+    fn graph_rng_seed_scrambles_coordinates() {
+        let a = graph_rng_seed(1, 8, SMALL_WORLD_SALT);
+        let b = graph_rng_seed(1, 9, SMALL_WORLD_SALT);
+        let c = graph_rng_seed(2, 8, SMALL_WORLD_SALT);
+        let d = graph_rng_seed(1, 8, REGULAR_SALT);
+        assert!(a != b && a != c && a != d);
+        assert_eq!(a, graph_rng_seed(1, 8, SMALL_WORLD_SALT));
     }
 
     #[test]

@@ -107,16 +107,19 @@ pub mod prelude {
     };
     pub use crate::faults::{FaultInjector, FaultKind};
     pub use crate::graph::{
-        ArbitraryGraph, CompleteGraph, DirectedRing, InteractionGraph, UndirectedRing,
+        graph_rng_seed, preferential_attachment, random_regular, ring_neighbors, small_world,
+        torus, torus_dims, weak_reach, weakly_connected, ArbitraryGraph, CompleteGraph,
+        DirectedRing, InteractionGraph, UndirectedRing,
     };
     pub use crate::init::Initializer;
     pub use crate::observer::{LeaderCounter, NoObserver, Recorded, StepObserver};
     pub use crate::protocol::{LeaderElection, LeaderOutput, Protocol};
     pub use crate::recurrence::{ConfigDigest, RecurrenceCandidate, RecurrenceDetector};
     pub use crate::scenario::{
-        downcast_config, AnyGraph, ByzantineWindow, DetectedRun, DynLeaderElection, DynProtocol,
-        DynScheduler, DynState, DynStop, FaultEvent, FaultPlan, GraphFamily, PreparedScenario,
-        Scenario, ScenarioBuilder, ScenarioRun, SchedulerFamily, TriggeredFault,
+        downcast_config, AnyGraph, ByzantineWindow, ChurnEvent, ChurnKind, ChurnPlan, DetectedRun,
+        DynLeaderElection, DynProtocol, DynScheduler, DynState, DynStop, FaultEvent, FaultPlan,
+        GraphFamily, PreparedScenario, Scenario, ScenarioBuilder, ScenarioRun, SchedulerFamily,
+        TriggeredFault,
     };
     pub use crate::schedule::{Interaction, InteractionSeq};
     pub use crate::scheduler::{

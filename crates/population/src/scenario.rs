@@ -76,7 +76,7 @@ use std::any::Any;
 use std::fmt;
 use std::sync::Arc;
 
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use crate::batch::{group_by_size, BatchRunner, BatchSummary, Outcome, TrialOutcome};
@@ -334,6 +334,12 @@ impl LeaderElection for DynProtocol {
 // ---------------------------------------------------------------------------
 
 /// A family of interaction graphs, instantiated per population size.
+///
+/// The generated families (torus, small-world, preferential-attachment,
+/// random-regular) are pure functions of `(their parameters, n)`: the
+/// randomized ones derive a dedicated RNG via
+/// [`crate::graph::graph_rng_seed`], so instantiation is bit-identical at any
+/// thread count and in any evaluation order.
 #[derive(Clone)]
 pub enum GraphFamily {
     /// The paper's directed ring (the default).
@@ -342,6 +348,36 @@ pub enum GraphFamily {
     UndirectedRing,
     /// The complete interaction graph.
     Complete,
+    /// A 2-D wrapped grid dimensioned by [`crate::graph::torus_dims`]
+    /// (deterministic, no seed).
+    Torus,
+    /// A Watts–Strogatz small-world graph (see [`crate::graph::small_world`]).
+    SmallWorld {
+        /// Nearest-neighbour links per agent on the ring lattice (`k/2` per
+        /// side).
+        k: u16,
+        /// Rewiring probability in thousandths (0..=1000).
+        rewire_per_mille: u16,
+        /// Family seed; the per-size RNG stream is derived from it.
+        seed: u64,
+    },
+    /// A Barabási–Albert preferential-attachment graph (see
+    /// [`crate::graph::preferential_attachment`]).
+    PreferentialAttachment {
+        /// Edges attached per new agent.
+        m: u16,
+        /// Family seed; the per-size RNG stream is derived from it.
+        seed: u64,
+    },
+    /// A random directed `d`-regular graph — a union of random Hamiltonian
+    /// cycles, an expander with high probability (see
+    /// [`crate::graph::random_regular`]).
+    RandomRegular {
+        /// Exact out- and in-degree of every agent.
+        degree: u16,
+        /// Family seed; the per-size RNG stream is derived from it.
+        seed: u64,
+    },
     /// An arbitrary graph built by a user closure.
     Custom(Arc<dyn Fn(usize) -> Result<ArbitraryGraph> + Send + Sync>),
 }
@@ -351,7 +387,14 @@ impl GraphFamily {
     ///
     /// # Errors
     ///
-    /// Propagates the graph constructors' errors (e.g. `n < 2`).
+    /// Propagates the graph constructors' errors (e.g. `n < 2`,
+    /// [`PopulationError::SelfLoopArc`] / [`PopulationError::EmptyArcSet`]
+    /// from a custom closure), and rejects a [`GraphFamily::Custom`] graph
+    /// that is not weakly connected with
+    /// [`PopulationError::DisconnectedGraph`] — on a disconnected graph a
+    /// global stop predicate can be unreachable, so the run would only ever
+    /// end by budget exhaustion.  (The generated families are connected by
+    /// construction and skip the check.)
     pub fn build(&self, n: usize) -> Result<AnyGraph> {
         Ok(match self {
             GraphFamily::DirectedRing => AnyGraph::DirectedRing(DirectedRing::new(n)?),
@@ -365,7 +408,34 @@ impl GraphFamily {
                 }
                 AnyGraph::Complete(CompleteGraph::new(n))
             }
-            GraphFamily::Custom(f) => AnyGraph::Arbitrary(f(n)?),
+            GraphFamily::Torus => AnyGraph::Arbitrary(crate::graph::torus(n)?),
+            GraphFamily::SmallWorld {
+                k,
+                rewire_per_mille,
+                seed,
+            } => AnyGraph::Arbitrary(crate::graph::small_world(
+                n,
+                usize::from(*k),
+                *rewire_per_mille,
+                *seed,
+            )?),
+            GraphFamily::PreferentialAttachment { m, seed } => AnyGraph::Arbitrary(
+                crate::graph::preferential_attachment(n, usize::from(*m), *seed)?,
+            ),
+            GraphFamily::RandomRegular { degree, seed } => AnyGraph::Arbitrary(
+                crate::graph::random_regular(n, usize::from(*degree), *seed)?,
+            ),
+            GraphFamily::Custom(f) => {
+                let g = f(n)?;
+                let reached = crate::graph::weak_reach(g.num_agents(), &g.arcs());
+                if reached != g.num_agents() {
+                    return Err(PopulationError::DisconnectedGraph {
+                        agents: g.num_agents(),
+                        reached,
+                    });
+                }
+                AnyGraph::Arbitrary(g)
+            }
         })
     }
 }
@@ -376,6 +446,24 @@ impl fmt::Debug for GraphFamily {
             GraphFamily::DirectedRing => write!(f, "GraphFamily::DirectedRing"),
             GraphFamily::UndirectedRing => write!(f, "GraphFamily::UndirectedRing"),
             GraphFamily::Complete => write!(f, "GraphFamily::Complete"),
+            GraphFamily::Torus => write!(f, "GraphFamily::Torus"),
+            GraphFamily::SmallWorld {
+                k,
+                rewire_per_mille,
+                seed,
+            } => write!(
+                f,
+                "GraphFamily::SmallWorld {{ k: {k}, rewire_per_mille: {rewire_per_mille}, \
+                 seed: {seed} }}"
+            ),
+            GraphFamily::PreferentialAttachment { m, seed } => write!(
+                f,
+                "GraphFamily::PreferentialAttachment {{ m: {m}, seed: {seed} }}"
+            ),
+            GraphFamily::RandomRegular { degree, seed } => write!(
+                f,
+                "GraphFamily::RandomRegular {{ degree: {degree}, seed: {seed} }}"
+            ),
             GraphFamily::Custom(_) => write!(f, "GraphFamily::Custom(..)"),
         }
     }
@@ -838,6 +926,155 @@ impl FaultPlan {
 }
 
 // ---------------------------------------------------------------------------
+// Churn plans
+// ---------------------------------------------------------------------------
+
+/// One kind of mid-run topology change.  The churn analogue of
+/// [`FaultKind`]: faults corrupt *states*, churn rewrites the *graph* (and,
+/// for join/leave, the population itself).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnKind {
+    /// Replaces `count` uniformly chosen arcs with fresh uniformly chosen
+    /// non-duplicate, non-self-loop arcs (bounded rejection per replacement).
+    /// The graph drops to its explicit arc-list representation, so the
+    /// scheduler stream after the event differs from the pristine family's —
+    /// deterministically, from the dedicated churn RNG.
+    Rewire {
+        /// How many arcs to replace.
+        count: u32,
+    },
+    /// Keeps only the arcs internal to one of `blocks` contiguous index
+    /// blocks (block `i` is `i*ceil(n/blocks)..(i+1)*ceil(n/blocks)`),
+    /// forming a network partition.  The partitioned graph is intentionally
+    /// disconnected; stop predicates over the whole population may be
+    /// unreachable until a [`ChurnKind::Heal`] fires.  If no arc survives
+    /// (every arc crosses a block boundary) the run aborts with
+    /// [`PopulationError::EmptyArcSet`].
+    Partition {
+        /// Number of contiguous blocks (at least 2).
+        blocks: u32,
+    },
+    /// Rebuilds the scenario's pristine [`GraphFamily`] graph at the current
+    /// population size, healing any partition and discarding any rewires.
+    Heal,
+    /// Grows the population by `count` agents: the new agents' states are
+    /// produced by the scenario's corruption function (they join in
+    /// *arbitrary* states — the self-stabilization-honest choice) and the
+    /// family graph is rebuilt at the new size.
+    Join {
+        /// How many agents join.
+        count: u32,
+    },
+    /// Shrinks the population by `count` agents (the highest indices leave;
+    /// their slots are compacted away) and rebuilds the family graph at the
+    /// new size.  A leave that would drop the population below 2 aborts the
+    /// run with [`PopulationError::PopulationTooSmall`].
+    Leave {
+        /// How many agents leave.
+        count: u32,
+    },
+}
+
+impl ChurnKind {
+    /// The number of things the event changes, when that is statically
+    /// knowable: arcs for [`ChurnKind::Rewire`], agents for
+    /// [`ChurnKind::Join`] / [`ChurnKind::Leave`], blocks for
+    /// [`ChurnKind::Partition`].  [`ChurnKind::Heal`] returns `None` (its
+    /// extent depends on what happened before it).
+    pub fn extent(self) -> Option<u64> {
+        match self {
+            ChurnKind::Rewire { count }
+            | ChurnKind::Join { count }
+            | ChurnKind::Leave { count } => Some(u64::from(count)),
+            // A 0- or 1-block "partition" keeps the graph intact, so its
+            // effective extent is how far it is beyond one block.
+            ChurnKind::Partition { blocks } => Some(u64::from(blocks.saturating_sub(1))),
+            ChurnKind::Heal => None,
+        }
+    }
+}
+
+/// A topology change scheduled at an explicit step of a scenario run; the
+/// churn analogue of [`FaultEvent`] (same step semantics: the event fires
+/// *before* the step it names, and step 0 fires before the first interaction
+/// and the initial stop check).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// The step before which the change applies.
+    pub at_step: u64,
+    /// The topology change to apply.
+    pub kind: ChurnKind,
+}
+
+/// A declarative schedule of mid-run topology changes, attached to a
+/// scenario with [`ScenarioBuilder::churn`] or post-build with
+/// [`Scenario::with_churn_plan`].  An empty plan keeps the exact fault-free
+/// fast path (pinned bit-identical by `scenario_equivalence`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChurnPlan {
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        ChurnPlan::default()
+    }
+
+    /// Schedules `kind` to fire at `at_step` (builder-style; events are kept
+    /// sorted by step).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-extent kind (`count == 0`, or a partition into fewer
+    /// than two blocks) — a no-op churn event in a plan is always a bug.
+    /// Use [`ChurnPlan::try_at`] to handle it as a typed error instead.
+    pub fn at(self, at_step: u64, kind: ChurnKind) -> Self {
+        self.try_at(at_step, kind).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`ChurnPlan::at`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopulationError::DegenerateChurn`] if `kind` has extent
+    /// zero ([`ChurnKind::extent`]).
+    pub fn try_at(mut self, at_step: u64, kind: ChurnKind) -> Result<Self> {
+        if kind.extent() == Some(0) {
+            return Err(PopulationError::DegenerateChurn { at: at_step });
+        }
+        self.events.push(ChurnEvent { at_step, kind });
+        self.events.sort_by_key(|e| e.at_step);
+        Ok(self)
+    }
+
+    /// The scheduled events, sorted by step.
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// `true` if the plan schedules nothing.  Empty plans keep the
+    /// churn-free fast path.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled churn events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if any event grows the population ([`ChurnKind::Join`]), which
+    /// requires the scenario's corruption function to mint the joining
+    /// agents' states.
+    pub fn has_joins(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.kind, ChurnKind::Join { .. }))
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Scenario and builder
 // ---------------------------------------------------------------------------
 
@@ -864,6 +1101,10 @@ struct PreparedRun {
     config: Configuration<DynState>,
     stop: DynStop,
     corrupt: Option<DynCorrupt>,
+    /// A second, independent instance of the corruption closure, consumed by
+    /// the churn schedule to mint joining agents' states (`corrupt` itself is
+    /// moved into the fault schedule).
+    churn_corrupt: Option<DynCorrupt>,
     targets: Option<DynTargets>,
     byzantine: Option<DynByzantine>,
     triggers: Vec<(String, DynStop)>,
@@ -917,6 +1158,7 @@ pub struct Scenario {
     scheduler: SchedulerFamily,
     prepare: Arc<dyn Fn(&SweepPoint) -> PreparedRun + Send + Sync>,
     plan: Option<PointFn<FaultPlan>>,
+    churn: Option<PointFn<ChurnPlan>>,
     initial: Option<Arc<Configuration<DynState>>>,
     check_interval: PointFn<u64>,
     max_steps: PointFn<u64>,
@@ -932,6 +1174,7 @@ impl fmt::Debug for Scenario {
             .field("graph", &self.graph)
             .field("scheduler", &self.scheduler.name())
             .field("has_fault_plan", &self.plan.is_some())
+            .field("has_churn_plan", &self.churn.is_some())
             .field("has_initial", &self.initial.is_some())
             .finish()
     }
@@ -984,6 +1227,30 @@ impl Scenario {
         self
     }
 
+    /// Returns this scenario with the churn plan replaced by a fixed `plan`
+    /// (the same plan at every sweep point) — the topology-axis sibling of
+    /// [`Scenario::with_fault_plan`], used to replay churn-schedule
+    /// certificates through one experiment definition.
+    ///
+    /// Plans containing [`ChurnKind::Join`] events need the scenario to be
+    /// fault-ready (a corruption function mints the joining agents' states);
+    /// otherwise the fallible run methods report
+    /// [`PopulationError::MissingCorruption`].  An empty `plan` restores the
+    /// churn-free fast path exactly.
+    pub fn with_churn_plan(mut self, plan: ChurnPlan) -> Self {
+        self.churn = Some(Arc::new(move |_pt| plan.clone()));
+        self
+    }
+
+    /// Returns this scenario with the interaction-graph family replaced —
+    /// the static half of the topology axis (the dynamic half is
+    /// [`Scenario::with_churn_plan`]), used to replay worst cases found on
+    /// a generated family through one experiment definition.
+    pub fn with_graph(mut self, graph: GraphFamily) -> Self {
+        self.graph = graph;
+        self
+    }
+
     /// Replaces the prepared initial configuration with a fixed erased
     /// configuration, the same at every sweep point — the hook the recovery
     /// benchmark uses to restart runs from a previously converged *safe*
@@ -997,6 +1264,20 @@ impl Scenario {
     pub fn with_initial(mut self, config: Configuration<DynState>) -> Self {
         self.initial = Some(Arc::new(config));
         self
+    }
+
+    /// Instantiates the churn plan for a point, rejecting the one
+    /// combination the churn machinery does not support: a non-empty churn
+    /// plan alongside an active Byzantine window (the window's agent set and
+    /// rewrite scratch assume a fixed population).
+    fn churn_plan_checked(&self, point: &SweepPoint, plan: &FaultPlan) -> Result<ChurnPlan> {
+        let churn = self.churn.as_ref().map(|f| f(point)).unwrap_or_default();
+        if !churn.is_empty() && plan.byzantine().is_some() {
+            return Err(PopulationError::ChurnUnsupported {
+                reason: "a Byzantine window",
+            });
+        }
+        Ok(churn)
     }
 
     /// Prepares a point and applies the [`Scenario::with_initial`] override.
@@ -1066,13 +1347,14 @@ impl Scenario {
         let check_interval = (self.check_interval)(point).max(1);
         let max_steps = (self.max_steps)(point);
         let plan = self.plan.as_ref().map(|f| f(point)).unwrap_or_default();
+        let churn_plan = self.churn_plan_checked(point, &plan)?;
 
         let mut stop = prepared.stop;
         let mut report = match &self.scheduler {
             // The default fast path: identical to the pre-scheduler code,
             // no per-step indirection (pinned by `scenario_equivalence`).
             SchedulerFamily::Random => {
-                if plan.is_empty() {
+                if plan.is_empty() && churn_plan.is_empty() {
                     sim.run_until(|_p, c| stop(c.states()), check_interval, max_steps)
                 } else {
                     let mut faults = FaultSchedule::new(
@@ -1083,7 +1365,20 @@ impl Scenario {
                         prepared.triggers,
                         (self.fault_seed)(point),
                     )?;
-                    run_with_faults(&mut sim, &mut stop, check_interval, max_steps, &mut faults)
+                    let mut churn = ChurnSchedule::new(
+                        churn_plan,
+                        self.graph.clone(),
+                        prepared.churn_corrupt,
+                        (self.fault_seed)(point),
+                    )?;
+                    run_with_faults(
+                        &mut sim,
+                        &mut stop,
+                        check_interval,
+                        max_steps,
+                        &mut faults,
+                        &mut churn,
+                    )?
                 }
             }
             SchedulerFamily::Custom { build, .. } => {
@@ -1096,6 +1391,12 @@ impl Scenario {
                     prepared.triggers,
                     (self.fault_seed)(point),
                 )?;
+                let mut churn = ChurnSchedule::new(
+                    churn_plan,
+                    self.graph.clone(),
+                    prepared.churn_corrupt,
+                    (self.fault_seed)(point),
+                )?;
                 run_scheduled(
                     &mut sim,
                     &mut *scheduler,
@@ -1103,6 +1404,7 @@ impl Scenario {
                     check_interval,
                     max_steps,
                     &mut faults,
+                    &mut churn,
                 )?
             }
         };
@@ -1197,26 +1499,36 @@ impl Scenario {
             SchedulerFamily::Random => None,
             SchedulerFamily::Custom { build, .. } => Some(build(point, sim.graph())),
         };
+        let plan = self.plan.as_ref().map(|f| f(point)).unwrap_or_default();
+        let churn_plan = self.churn_plan_checked(point, &plan)?;
         let mut faults = FaultSchedule::new(
-            self.plan.as_ref().map(|f| f(point)).unwrap_or_default(),
+            plan,
             prepared.corrupt,
             prepared.targets,
             prepared.byzantine,
             prepared.triggers,
             (self.fault_seed)(point),
         )?;
+        let mut churn = ChurnSchedule::new(
+            churn_plan,
+            self.graph.clone(),
+            prepared.churn_corrupt,
+            (self.fault_seed)(point),
+        )?;
         let sample_every = sample_every.max(1);
         let incremental = !sim.environment_active();
+        churn.fire_due(0, &mut sim)?;
         faults.fire_due(0, &mut sim);
         faults.fire_triggered(&mut sim);
         let mut counter = LeaderCounter::new(sim.protocol(), sim.config().states());
         let mut out = vec![(0u64, counter.count())];
         let mut done = 0u64;
         while done < total_steps {
-            // The next sample boundary, split early if a fault is due first
-            // or a Byzantine window opens or closes mid-burst.
+            // The next sample boundary, split early if a fault or churn
+            // event is due first or a Byzantine window opens or closes
+            // mid-burst.
             let boundary = ((done / sample_every + 1) * sample_every).min(total_steps);
-            let target = faults.clip(done, boundary);
+            let target = churn.clip(done, faults.clip(done, boundary));
             let in_window = faults.byzantine_active(done);
             // Byzantine rewrites mutate states *after* the observer hooks
             // ran, which would silently desynchronize an incremental
@@ -1247,9 +1559,10 @@ impl Scenario {
                 }
             }
             done = target;
+            let churned = churn.fire_due(done, &mut sim)?;
             let fired = faults.fire_due(done, &mut sim);
             let fired = faults.fire_triggered(&mut sim) || fired;
-            if (fired || in_window) && incremental {
+            if (fired || churned || in_window) && incremental {
                 counter.resync(sim.protocol(), sim.config().states());
             }
             if done.is_multiple_of(sample_every) || done == total_steps {
@@ -1364,12 +1677,19 @@ impl Scenario {
         let check_interval = (self.check_interval)(point).max(1);
         let max_steps = (self.max_steps)(point);
         let plan = self.plan.as_ref().map(|f| f(point)).unwrap_or_default();
+        let churn_plan = self.churn_plan_checked(point, &plan)?;
         let mut faults = FaultSchedule::new(
             plan,
             prepared.corrupt,
             prepared.targets,
             prepared.byzantine,
             prepared.triggers,
+            (self.fault_seed)(point),
+        )?;
+        let mut churn = ChurnSchedule::new(
+            churn_plan,
+            self.graph.clone(),
+            prepared.churn_corrupt,
             (self.fault_seed)(point),
         )?;
         let mut scheduler: Box<dyn DynScheduler> = match &self.scheduler {
@@ -1398,12 +1718,13 @@ impl Scenario {
             criterion: std::borrow::Cow::Owned(stop_name.clone()),
         };
 
+        churn.fire_due(0, &mut sim)?;
         faults.fire_due(0, &mut sim);
         faults.fire_triggered(&mut sim);
         let mut digest = ConfigDigest::new(sim.config().states());
         let mut detector = RecurrenceDetector::new();
         if stop(sim.config().states()) {
-            let faults_pending = faults.pending();
+            let faults_pending = faults.pending() || churn.pending();
             telemetry_run_end(0, true);
             return Ok(DetectedRun {
                 report: make_report(Some(sim.steps()), 0),
@@ -1416,7 +1737,7 @@ impl Scenario {
         let mut recurrence = None;
         'run: while executed < max_steps {
             let next_check = ((executed / check_interval) + 1) * check_interval;
-            let target = faults.clip(executed, next_check.min(max_steps));
+            let target = churn.clip(executed, faults.clip(executed, next_check.min(max_steps)));
             // A recurrence confirmed while fault events are still pending
             // proves nothing — a future fault would perturb the cycle — so
             // the detector stays disarmed until the schedule is exhausted
@@ -1426,7 +1747,7 @@ impl Scenario {
             // is segment-constant: `clip` ends every segment at the next
             // fault step or window edge, and events fire only between
             // segments.
-            let armed = detecting && !faults.pending();
+            let armed = detecting && !faults.pending() && !churn.pending();
             let in_window = faults.byzantine_active(executed);
             for _ in executed..target {
                 if in_window {
@@ -1478,15 +1799,16 @@ impl Scenario {
                 }
             }
             executed = target;
+            let churned = churn.fire_due(executed, &mut sim)?;
             let fired = faults.fire_due(executed, &mut sim);
             let fired = faults.fire_triggered(&mut sim) || fired;
-            if fired && detecting {
+            if (fired || churned) && detecting {
                 digest.resync(sim.config().states());
                 detector.reset();
             }
             let at_boundary = executed == next_check || executed == max_steps;
             if at_boundary && stop(sim.config().states()) {
-                let faults_pending = faults.pending();
+                let faults_pending = faults.pending() || churn.pending();
                 telemetry_run_end(executed, true);
                 return Ok(DetectedRun {
                     report: make_report(Some(sim.steps()), executed),
@@ -1496,7 +1818,7 @@ impl Scenario {
                 });
             }
         }
-        let faults_pending = faults.pending();
+        let faults_pending = faults.pending() || churn.pending();
         telemetry_run_end(executed, false);
         Ok(DetectedRun {
             report: make_report(None, executed),
@@ -1518,9 +1840,9 @@ pub struct DetectedRun {
     /// The confirmed recurrence, if one fired before convergence or the
     /// budget.
     pub recurrence: Option<RecurrenceCandidate>,
-    /// `true` if fault events were still pending when the run ended.  A
-    /// pending event means a future fault could still break a detected
-    /// cycle, so certification must be refused.
+    /// `true` if fault or churn events were still pending when the run
+    /// ended.  A pending event means a future fault (or topology change)
+    /// could still break a detected cycle, so certification must be refused.
     pub faults_pending: bool,
     /// The simulation in its final state (erased; downcast the configuration
     /// with [`downcast_config`] for typed inspection).
@@ -1815,6 +2137,212 @@ impl FaultSchedule {
     }
 }
 
+/// Seed salt deriving the dedicated churn RNG stream from the fault seed, so
+/// topology rewiring never perturbs the scheduler, corruption or Byzantine
+/// streams of the run it churns.
+const CHURN_SEED_SALT: u64 = 0x4348_5552_4E50_4C4E; // "CHURNPLN"
+
+/// Stable snake_case label of a churn kind for the telemetry stream.
+fn churn_kind_label(kind: ChurnKind) -> &'static str {
+    match kind {
+        ChurnKind::Rewire { .. } => "rewire",
+        ChurnKind::Partition { .. } => "partition",
+        ChurnKind::Heal => "heal",
+        ChurnKind::Join { .. } => "join",
+        ChurnKind::Leave { .. } => "leave",
+    }
+}
+
+/// The pending half of a churn plan during a run: which topology events are
+/// still due and the machinery that fires them.  The churn sibling of
+/// [`FaultSchedule`]; all erased run loops share it, so topology changes
+/// apply at identical steps in all of them.  An empty schedule is inert: it
+/// clips nothing, fires nothing, and consumes no RNG.
+struct ChurnSchedule {
+    events: Vec<ChurnEvent>,
+    /// The scenario's pristine graph family: [`ChurnKind::Heal`] rebuilds it
+    /// at the current size, join/leave rebuild it at the new size.
+    family: GraphFamily,
+    /// Mints joining agents' states (the scenario's corruption function).
+    corrupt: Option<DynCorrupt>,
+    /// Dedicated RNG stream for rewiring choices and joining states.
+    rng: ChaCha8Rng,
+    next: usize,
+    /// `true` between a fired [`ChurnKind::Partition`] and the next
+    /// [`ChurnKind::Heal`] (controls the `partition_heal` telemetry event).
+    partitioned: bool,
+}
+
+impl ChurnSchedule {
+    /// # Errors
+    ///
+    /// Returns [`PopulationError::MissingCorruption`] if the plan contains
+    /// [`ChurnKind::Join`] events but the scenario registered no corruption
+    /// function — joining agents' states could never be minted.
+    fn new(
+        plan: ChurnPlan,
+        family: GraphFamily,
+        corrupt: Option<DynCorrupt>,
+        fault_seed: u64,
+    ) -> Result<Self> {
+        if plan.has_joins() && corrupt.is_none() {
+            return Err(PopulationError::MissingCorruption);
+        }
+        Ok(ChurnSchedule {
+            events: plan.events().to_vec(),
+            family,
+            corrupt,
+            rng: ChaCha8Rng::seed_from_u64(fault_seed ^ CHURN_SEED_SALT),
+            next: 0,
+            partitioned: false,
+        })
+    }
+
+    /// `true` while topology events remain unfired.
+    fn pending(&self) -> bool {
+        self.next < self.events.len()
+    }
+
+    /// Clips a burst target so the next pending event is not overshot (the
+    /// burst still advances by at least one step past `done`).
+    fn clip(&self, done: u64, target: u64) -> u64 {
+        match self.events.get(self.next) {
+            Some(event) => target.min(event.at_step.max(done + 1)),
+            None => target,
+        }
+    }
+
+    /// Fires every event scheduled at or before step `executed`.  Returns
+    /// `true` if anything fired (the graph — and possibly the population —
+    /// changed, so incremental observers must re-seed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction errors from the fired events:
+    /// [`PopulationError::EmptyArcSet`] when a partition strands every arc,
+    /// [`PopulationError::PopulationTooSmall`] when a leave would drop the
+    /// population below 2, and any error of the family's own constructor at
+    /// the new size.
+    fn fire_due(
+        &mut self,
+        executed: u64,
+        sim: &mut Simulation<DynProtocol, AnyGraph>,
+    ) -> Result<bool> {
+        let mut fired = false;
+        while self.next < self.events.len() && self.events[self.next].at_step <= executed {
+            let kind = self.events[self.next].kind;
+            self.next += 1;
+            self.apply(kind, sim)?;
+            fired = true;
+            if ssle_telemetry::enabled() {
+                ssle_telemetry::emit(
+                    ssle_telemetry::Event::new("churn_fired")
+                        .count("step", sim.steps())
+                        .field("kind", churn_kind_label(kind)),
+                );
+            }
+        }
+        Ok(fired)
+    }
+
+    /// Applies one churn kind to the simulation.
+    fn apply(
+        &mut self,
+        kind: ChurnKind,
+        sim: &mut Simulation<DynProtocol, AnyGraph>,
+    ) -> Result<()> {
+        let n = sim.num_agents();
+        match kind {
+            ChurnKind::Rewire { count } => {
+                let mut arcs = sim.graph().arcs();
+                for _ in 0..count {
+                    let victim = self.rng.gen_range(0..arcs.len());
+                    // Bounded rejection: a replacement that duplicates an
+                    // existing arc is redrawn; if the graph is too dense to
+                    // place one, the arc is left as it was.
+                    for _attempt in 0..16 {
+                        let i = self.rng.gen_range(0..n);
+                        let mut j = self.rng.gen_range(0..n - 1);
+                        if j >= i {
+                            j += 1;
+                        }
+                        let candidate = Interaction::new(i, j);
+                        if !arcs.contains(&candidate) {
+                            arcs[victim] = candidate;
+                            break;
+                        }
+                    }
+                }
+                sim.set_graph(AnyGraph::Arbitrary(ArbitraryGraph::new(n, arcs)?))?;
+            }
+            ChurnKind::Partition { blocks } => {
+                let blocks = (blocks as usize).clamp(2, n);
+                let block_len = n.div_ceil(blocks);
+                let arcs: Vec<Interaction> = sim
+                    .graph()
+                    .arcs()
+                    .into_iter()
+                    .filter(|a| {
+                        a.initiator().index() / block_len == a.responder().index() / block_len
+                    })
+                    .collect();
+                sim.set_graph(AnyGraph::Arbitrary(ArbitraryGraph::new(n, arcs)?))?;
+                self.partitioned = true;
+                if ssle_telemetry::enabled() {
+                    ssle_telemetry::emit(
+                        ssle_telemetry::Event::new("partition_open")
+                            .count("step", sim.steps())
+                            .count("blocks", blocks as u64),
+                    );
+                }
+            }
+            ChurnKind::Heal => {
+                sim.set_graph(self.family.build(n)?)?;
+                if self.partitioned {
+                    self.partitioned = false;
+                    if ssle_telemetry::enabled() {
+                        ssle_telemetry::emit(
+                            ssle_telemetry::Event::new("partition_heal").count("step", sim.steps()),
+                        );
+                    }
+                }
+            }
+            ChurnKind::Join { count } => {
+                let new_n = n + count as usize;
+                let corrupt = self
+                    .corrupt
+                    .as_mut()
+                    .expect("validated at ChurnSchedule construction");
+                let mut states: Vec<DynState> = sim.config().states().to_vec();
+                for agent in n..new_n {
+                    states.push(corrupt(&mut self.rng, agent));
+                }
+                let graph = self.family.build(new_n)?;
+                sim.resize(graph, Configuration::from_states(states))?;
+                // Rebuilding the family graph implicitly healed any
+                // partition (no `partition_heal` event: nothing was open at
+                // the new size).
+                self.partitioned = false;
+            }
+            ChurnKind::Leave { count } => {
+                let new_n = n.saturating_sub(count as usize);
+                if new_n < 2 {
+                    return Err(PopulationError::PopulationTooSmall {
+                        requested: new_n,
+                        minimum: 2,
+                    });
+                }
+                let mut states: Vec<DynState> = sim.config().states().to_vec();
+                states.truncate(new_n);
+                let graph = self.family.build(new_n)?;
+                sim.resize(graph, Configuration::from_states(states))?;
+                self.partitioned = false;
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Emits the `run_start` telemetry event and bumps the run counter (a
 /// no-op when telemetry is disabled).  The event's required fields
 /// (`scenario`, `n`, `seed`) come from the caller's active
@@ -1844,9 +2372,9 @@ fn telemetry_run_end(steps: u64, converged: bool) {
 
 /// The fault-injecting run loop: identical check semantics to
 /// [`Simulation::run_until`] (an initial check, then one check every
-/// `check_interval` steps and at the budget boundary), with fault events
-/// fired at their exact steps.  Events scheduled at step 0 fire before the
-/// initial check.  The random fast path keeps its burst-advance
+/// `check_interval` steps and at the budget boundary), with fault and churn
+/// events fired at their exact steps.  Events scheduled at step 0 fire
+/// before the initial check.  The random fast path keeps its burst-advance
 /// (`run_steps`, no per-step indirection), preserving the bit-identical
 /// pinning in `scenario_equivalence`.
 fn run_with_faults(
@@ -1855,13 +2383,15 @@ fn run_with_faults(
     check_interval: u64,
     max_steps: u64,
     faults: &mut FaultSchedule,
-) -> ConvergenceReport {
+    churn: &mut ChurnSchedule,
+) -> Result<ConvergenceReport> {
     run_checked_bursts(
         sim,
         stop,
         check_interval,
         max_steps,
         faults,
+        churn,
         |sim, k, byz| {
             match byz {
                 None => sim.run_steps(k),
@@ -1874,7 +2404,6 @@ fn run_with_faults(
             Ok(())
         },
     )
-    .expect("the uniform sampler cannot fail")
 }
 
 /// The custom-scheduler run loop: identical check and fault semantics to
@@ -1889,6 +2418,7 @@ fn run_scheduled(
     check_interval: u64,
     max_steps: u64,
     faults: &mut FaultSchedule,
+    churn: &mut ChurnSchedule,
 ) -> Result<ConvergenceReport> {
     run_checked_bursts(
         sim,
@@ -1896,6 +2426,7 @@ fn run_scheduled(
         check_interval,
         max_steps,
         faults,
+        churn,
         |sim, k, byz| {
             match byz {
                 None => {
@@ -1916,9 +2447,9 @@ fn run_scheduled(
 }
 
 /// The one checked-burst loop behind both erased run paths: an initial stop
-/// check after step-0 fault events and trigger evaluation, then bursts
-/// clipped to the next check boundary, pending fault event or Byzantine
-/// window edge, advanced by `advance(sim, k, byzantine)` (the uniform
+/// check after step-0 churn/fault events and trigger evaluation, then bursts
+/// clipped to the next check boundary, pending fault or churn event or
+/// Byzantine window edge, advanced by `advance(sim, k, byzantine)` (the uniform
 /// sampler's `run_steps` on the fast path, per-step scheduler dispatch on
 /// the custom path, per-step rewriting via [`FaultSchedule::byzantine_step`]
 /// whenever `byzantine` is `Some`), with fault events fired at their exact
@@ -1930,6 +2461,7 @@ fn run_checked_bursts(
     check_interval: u64,
     max_steps: u64,
     faults: &mut FaultSchedule,
+    churn: &mut ChurnSchedule,
     mut advance: impl FnMut(
         &mut Simulation<DynProtocol, AnyGraph>,
         u64,
@@ -1938,6 +2470,7 @@ fn run_checked_bursts(
 ) -> Result<ConvergenceReport> {
     const PREDICATE: std::borrow::Cow<'static, str> = std::borrow::Cow::Borrowed("predicate");
     let mut executed = 0u64;
+    churn.fire_due(0, sim)?;
     faults.fire_due(0, sim);
     faults.fire_triggered(sim);
     if stop(sim.config().states()) {
@@ -1956,7 +2489,7 @@ fn run_checked_bursts(
     }
     while executed < max_steps {
         let next_check = ((executed / check_interval) + 1) * check_interval;
-        let target = faults.clip(executed, next_check.min(max_steps));
+        let target = churn.clip(executed, faults.clip(executed, next_check.min(max_steps)));
         let byzantine = faults.byzantine_active(executed);
         advance(
             sim,
@@ -1964,6 +2497,7 @@ fn run_checked_bursts(
             if byzantine { Some(&mut *faults) } else { None },
         )?;
         executed = target;
+        churn.fire_due(executed, sim)?;
         faults.fire_due(executed, sim);
         faults.fire_triggered(sim);
         let at_boundary = executed == next_check || executed == max_steps;
@@ -2078,6 +2612,7 @@ where
         Arc<dyn Fn(&P, &Configuration<P::State>) -> bool + Send + Sync>,
     )>,
     plan: Option<PointFn<FaultPlan>>,
+    churn: Option<PointFn<ChurnPlan>>,
     check_interval: PointFn<u64>,
     max_steps: Option<PointFn<u64>>,
     sim_seed: PointFn<u64>,
@@ -2142,6 +2677,7 @@ where
             byzantine: None,
             triggers: Vec::new(),
             plan: None,
+            churn: None,
             check_interval: Arc::new(|pt| ((pt.n * pt.n / 4) as u64).max(64)),
             max_steps: None,
             sim_seed: Arc::new(|pt| pt.seed),
@@ -2226,6 +2762,22 @@ where
     ) -> Self {
         self.plan = Some(Arc::new(plan));
         self.corrupt = Some(Arc::new(corrupt));
+        self
+    }
+
+    /// Attaches a churn plan: `plan` schedules mid-run topology changes
+    /// (edge rewiring, partition/heal, agent join/leave) for a point.  Plans
+    /// containing [`ChurnKind::Join`] events additionally need a corruption
+    /// function ([`ScenarioBuilder::corruption`] or
+    /// [`ScenarioBuilder::faults`]) to mint the joining agents' states;
+    /// without one the run reports
+    /// [`PopulationError::MissingCorruption`].  An empty plan keeps the
+    /// churn-free fast path exactly.
+    pub fn churn(
+        mut self,
+        plan: impl Fn(&SweepPoint) -> ChurnPlan + Send + Sync + 'static,
+    ) -> Self {
+        self.churn = Some(Arc::new(plan));
         self
     }
 
@@ -2343,6 +2895,15 @@ where
                     DynState::new(corrupt(&corrupt_protocol, rng, i))
                 }) as Box<dyn FnMut(&mut ChaCha8Rng, usize) -> DynState>
             });
+            // A second, independent instance for the churn schedule: the
+            // first is moved into the fault schedule, and both draw from
+            // their own RNG streams anyway.
+            let churn_corrupt_dyn = corrupt.clone().map(|corrupt| {
+                let corrupt_protocol = protocol.clone();
+                Box::new(move |rng: &mut ChaCha8Rng, i: usize| {
+                    DynState::new(corrupt(&corrupt_protocol, rng, i))
+                }) as Box<dyn FnMut(&mut ChaCha8Rng, usize) -> DynState>
+            });
             let targets_dyn = targets.clone().map(|is_target| {
                 let target_protocol = protocol.clone();
                 Box::new(move |state: &DynState, agent: usize| {
@@ -2390,6 +2951,7 @@ where
                 config,
                 stop: stop_dyn,
                 corrupt: corrupt_dyn,
+                churn_corrupt: churn_corrupt_dyn,
                 targets: targets_dyn,
                 byzantine: byzantine_dyn,
                 triggers: triggers_dyn,
@@ -2402,6 +2964,7 @@ where
             scheduler: self.scheduler,
             prepare,
             plan: self.plan,
+            churn: self.churn,
             initial: None,
             check_interval: self.check_interval,
             max_steps,
@@ -3584,5 +4147,460 @@ mod tests {
             ),
             Err(PopulationError::OracleUnsupported { .. })
         ));
+    }
+
+    // -- generated graph families and churn ---------------------------------
+
+    /// The fratricide scenario made churn-ready: a corruption function mints
+    /// joining agents' states (every joiner is a leader), no plan scheduled.
+    fn churn_ready_fratricide() -> Scenario {
+        ScenarioBuilder::new("fratricide", |_pt: &SweepPoint| Fratricide)
+            .graph(GraphFamily::Complete)
+            .init(|_p, pt| Configuration::uniform(pt.n, true))
+            .stop_when("unique-leader", |p: &Fratricide, c| {
+                p.has_unique_leader(c.states())
+            })
+            .check_every(|_pt| 7)
+            .step_budget(|_pt| 500_000)
+            .corruption(|_p, _rng, _i| true)
+            .build()
+            .unwrap()
+    }
+
+    /// Max-consensus spreads the largest id along arcs in both directions,
+    /// so it converges on *any* weakly connected digraph — unlike
+    /// fratricide, whose leaders can only fight across an arc and therefore
+    /// deadlock on sparse graphs.  The all-equal stop criterion exercises
+    /// every generated family.
+    #[derive(Clone, Debug)]
+    struct MaxConsensus;
+    impl Protocol for MaxConsensus {
+        type State = u32;
+        fn interact(&self, i: &mut u32, r: &mut u32) {
+            let m = (*i).max(*r);
+            *i = m;
+            *r = m;
+        }
+    }
+
+    #[test]
+    fn generated_graph_families_run_deterministically() {
+        let families = [
+            GraphFamily::Torus,
+            GraphFamily::SmallWorld {
+                k: 4,
+                rewire_per_mille: 200,
+                seed: 7,
+            },
+            GraphFamily::PreferentialAttachment { m: 2, seed: 7 },
+            GraphFamily::RandomRegular { degree: 3, seed: 7 },
+        ];
+        for family in families {
+            let build = {
+                let family = family.clone();
+                move || {
+                    let family = family.clone();
+                    ScenarioBuilder::for_protocol("generated", |_pt: &SweepPoint| MaxConsensus)
+                        .graph(family)
+                        .init(|_p, pt| Configuration::from_fn(pt.n, |i| i as u32))
+                        .stop_when("all-equal", |_p: &MaxConsensus, c| {
+                            c.states().windows(2).all(|w| w[0] == w[1])
+                        })
+                        .check_every(|_pt| 7)
+                        .step_budget(|_pt| 500_000)
+                        .build()
+                        .unwrap()
+                }
+            };
+            let point = SweepPoint::new(16, 3);
+            let a = build().run_full(&point);
+            let b = build().run_full(&point);
+            assert_eq!(a.report, b.report, "{family:?} runs are deterministic");
+            assert_eq!(a.sim.config().states(), b.sim.config().states());
+            assert!(a.report.converged(), "{family:?} must reach consensus");
+        }
+    }
+
+    #[test]
+    fn churn_plan_accessors_and_degenerate_events() {
+        let plan = ChurnPlan::new()
+            .at(10, ChurnKind::Heal)
+            .at(0, ChurnKind::Rewire { count: 2 });
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.events()[0].at_step, 0, "events are sorted by step");
+        assert!(!plan.has_joins());
+        assert!(ChurnPlan::new()
+            .at(1, ChurnKind::Join { count: 1 })
+            .has_joins());
+        assert!(ChurnPlan::new().is_empty());
+        assert_eq!(ChurnKind::Heal.extent(), None);
+        assert_eq!(ChurnKind::Partition { blocks: 3 }.extent(), Some(2));
+        assert_eq!(ChurnKind::Rewire { count: 5 }.extent(), Some(5));
+        for kind in [
+            ChurnKind::Rewire { count: 0 },
+            ChurnKind::Partition { blocks: 1 },
+            ChurnKind::Partition { blocks: 0 },
+            ChurnKind::Join { count: 0 },
+            ChurnKind::Leave { count: 0 },
+        ] {
+            assert!(
+                matches!(
+                    ChurnPlan::new().try_at(7, kind),
+                    Err(PopulationError::DegenerateChurn { at: 7 })
+                ),
+                "{kind:?} has extent 0 and must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_churn_plan_keeps_the_fast_path() {
+        let point = SweepPoint::new(8, 3);
+        let clean = fratricide_scenario().run_full(&point);
+        let empty = fratricide_scenario()
+            .with_churn_plan(ChurnPlan::new())
+            .run_full(&point);
+        assert_eq!(
+            clean.report, empty.report,
+            "an empty plan keeps the fast path"
+        );
+        assert_eq!(clean.sim.config().states(), empty.sim.config().states());
+    }
+
+    #[test]
+    fn with_churn_plan_matches_a_builder_scheduled_plan() {
+        let plan = ChurnPlan::new().at(20, ChurnKind::Rewire { count: 3 });
+        let point = SweepPoint::new(8, 5);
+        let scheduled = {
+            let plan = plan.clone();
+            ScenarioBuilder::new("fratricide", |_pt: &SweepPoint| Fratricide)
+                .graph(GraphFamily::Complete)
+                .init(|_p, pt| Configuration::uniform(pt.n, true))
+                .stop_when("unique-leader", |p: &Fratricide, c| {
+                    p.has_unique_leader(c.states())
+                })
+                .check_every(|_pt| 7)
+                .step_budget(|_pt| 500_000)
+                .corruption(|_p, _rng, _i| true)
+                .churn(move |_pt| plan.clone())
+                .build()
+                .unwrap()
+                .run(&point)
+        };
+        let attached = churn_ready_fratricide().with_churn_plan(plan).run(&point);
+        assert_eq!(scheduled, attached);
+    }
+
+    #[test]
+    fn churned_runs_are_deterministic() {
+        // Two rewires on a complete graph: every replacement candidate
+        // duplicates an existing arc, so the arc set survives — but the
+        // graph drops to its explicit representation and the scheduler
+        // stream changes.  The run must stay seed-deterministic.
+        let plan = ChurnPlan::new()
+            .at(5, ChurnKind::Rewire { count: 4 })
+            .at(50, ChurnKind::Rewire { count: 4 });
+        let point = SweepPoint::new(16, 9);
+        let a = churn_ready_fratricide()
+            .with_churn_plan(plan.clone())
+            .run_full(&point);
+        let b = churn_ready_fratricide()
+            .with_churn_plan(plan)
+            .run_full(&point);
+        assert_eq!(a.report, b.report, "churned runs are seed-deterministic");
+        assert_eq!(a.sim.config().states(), b.sim.config().states());
+        assert!(a.report.converged());
+    }
+
+    #[test]
+    fn rewire_changes_ring_topology_deterministically() {
+        let plan = ChurnPlan::new().at(0, ChurnKind::Rewire { count: 2 });
+        let build = || {
+            ScenarioBuilder::new("rewired-ring", |_pt: &SweepPoint| Fratricide)
+                .init(|_p, pt| Configuration::uniform(pt.n, true))
+                .stop_when("unique-leader", |p: &Fratricide, c| {
+                    p.has_unique_leader(c.states())
+                })
+                .check_every(|_pt| 7)
+                .step_budget(|_pt| 500_000)
+                .build()
+                .unwrap()
+        };
+        let point = SweepPoint::new(12, 4);
+        let a = build().with_churn_plan(plan.clone()).run_full(&point);
+        let b = build().with_churn_plan(plan).run_full(&point);
+        let ring: Vec<Interaction> = DirectedRing::new(12).unwrap().arcs();
+        assert_eq!(a.sim.graph().arcs(), b.sim.graph().arcs());
+        assert_ne!(
+            a.sim.graph().arcs(),
+            ring,
+            "a step-0 rewire must replace ring arcs"
+        );
+        assert_eq!(
+            a.sim.graph().arcs().len(),
+            ring.len(),
+            "arc count is preserved"
+        );
+        assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn partition_blocks_global_convergence_until_heal() {
+        // A 2-block partition of the complete graph leaves each block with
+        // at least one leader that fratricide can never eliminate from the
+        // other block, so the global unique-leader predicate is unreachable
+        // until the heal restores the full topology.
+        let heal_at = 2_000;
+        let plan = ChurnPlan::new()
+            .at(0, ChurnKind::Partition { blocks: 2 })
+            .at(heal_at, ChurnKind::Heal);
+        let report = churn_ready_fratricide()
+            .with_churn_plan(plan)
+            .run(&SweepPoint::new(8, 2));
+        assert!(report.converged());
+        assert!(
+            report.convergence_step() >= heal_at,
+            "converged at {} while partitioned",
+            report.convergence_step()
+        );
+    }
+
+    #[test]
+    fn join_and_leave_resize_the_population() {
+        // A never-true stop criterion keeps the run alive past both events
+        // (converged runs stop firing their remaining churn, like fault
+        // plans do).
+        let plan = ChurnPlan::new()
+            .at(100, ChurnKind::Join { count: 4 })
+            .at(2_000, ChurnKind::Leave { count: 2 });
+        let build = || {
+            ScenarioBuilder::new("resizing", |_pt: &SweepPoint| Fratricide)
+                .graph(GraphFamily::Complete)
+                .init(|_p, pt| Configuration::uniform(pt.n, false))
+                .stop_when("never", |_p: &Fratricide, _c| false)
+                .check_every(|_pt| 7)
+                .step_budget(|_pt| 5_000)
+                .corruption(|_p, _rng, _i| true)
+                .build()
+                .unwrap()
+        };
+        let point = SweepPoint::new(8, 6);
+        let a = build()
+            .with_churn_plan(plan.clone())
+            .try_run_full(&point)
+            .unwrap();
+        let b = build().with_churn_plan(plan).try_run_full(&point).unwrap();
+        assert_eq!(a.sim.config().len(), 10, "8 + 4 joined - 2 left");
+        assert_eq!(a.sim.num_agents(), 10);
+        assert_eq!(
+            a.sim.stats().num_agents(),
+            10,
+            "stats resize with the population"
+        );
+        assert!(!a.report.converged());
+        assert_eq!(a.report.steps_executed, 5_000);
+        assert_eq!(a.report, b.report, "resizing runs are seed-deterministic");
+        assert_eq!(a.sim.config().states(), b.sim.config().states());
+    }
+
+    #[test]
+    fn join_without_corruption_is_a_typed_error() {
+        // Joining agents' states are minted by the corruption function; a
+        // join plan on a scenario that never set one must surface
+        // MissingCorruption from every fallible entry point, like fault
+        // plans do.
+        let plan = ChurnPlan::new().at(5, ChurnKind::Join { count: 1 });
+        let not_ready = fratricide_scenario().with_churn_plan(plan);
+        let point = SweepPoint::new(8, 3);
+        assert!(matches!(
+            not_ready.try_run(&point),
+            Err(PopulationError::MissingCorruption)
+        ));
+        assert!(matches!(
+            not_ready.try_leader_trajectory(&point, 100, 10),
+            Err(PopulationError::MissingCorruption)
+        ));
+        assert!(matches!(
+            not_ready.try_run_detecting(&point),
+            Err(PopulationError::MissingCorruption)
+        ));
+        // Rewire/partition/leave plans need no corruption function.
+        let rewire = fratricide_scenario()
+            .with_churn_plan(ChurnPlan::new().at(5, ChurnKind::Rewire { count: 1 }));
+        assert!(rewire.try_run(&point).is_ok());
+    }
+
+    #[test]
+    fn churn_under_a_byzantine_window_is_rejected() {
+        let scenario = ScenarioBuilder::new("byz-churn", |_pt: &SweepPoint| Fratricide)
+            .graph(GraphFamily::Complete)
+            .init(|_p, pt| Configuration::uniform(pt.n, true))
+            .stop_when("unique-leader", |p: &Fratricide, c| {
+                p.has_unique_leader(c.states())
+            })
+            .check_every(|_pt| 7)
+            .step_budget(|_pt| 100_000)
+            .faults(
+                |_pt| FaultPlan::new().with_byzantine(ByzantineWindow::new([0], 0, 100)),
+                |_p, _rng, _i| true,
+            )
+            .byzantine(|_p, _rng, _i, s| *s)
+            .churn(|_pt| ChurnPlan::new().at(5, ChurnKind::Heal))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            scenario.try_run(&SweepPoint::new(8, 1)),
+            Err(PopulationError::ChurnUnsupported {
+                reason: "a Byzantine window"
+            })
+        ));
+    }
+
+    #[test]
+    fn partition_stranding_every_arc_is_a_typed_error() {
+        // Every arc of this custom digraph crosses the 2-block boundary, so
+        // the partition leaves an empty arc set — a typed error, not a hang.
+        let scenario = ScenarioBuilder::new("crossing", |_pt: &SweepPoint| Fratricide)
+            .graph(GraphFamily::Custom(Arc::new(|_n| {
+                ArbitraryGraph::new(
+                    4,
+                    vec![
+                        Interaction::new(0, 2),
+                        Interaction::new(2, 1),
+                        Interaction::new(1, 3),
+                        Interaction::new(3, 0),
+                    ],
+                )
+            })))
+            .init(|_p, pt| Configuration::uniform(pt.n, true))
+            .stop_when("unique-leader", |p: &Fratricide, c| {
+                p.has_unique_leader(c.states())
+            })
+            .check_every(|_pt| 7)
+            .step_budget(|_pt| 100_000)
+            .build()
+            .unwrap()
+            .with_churn_plan(ChurnPlan::new().at(10, ChurnKind::Partition { blocks: 2 }));
+        assert!(matches!(
+            scenario.try_run(&SweepPoint::new(4, 0)),
+            Err(PopulationError::EmptyArcSet)
+        ));
+    }
+
+    #[test]
+    fn leave_below_two_agents_is_a_typed_error() {
+        let plan = ChurnPlan::new().at(10, ChurnKind::Leave { count: 3 });
+        let err = churn_ready_fratricide()
+            .with_churn_plan(plan)
+            .try_run(&SweepPoint::new(4, 0))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PopulationError::PopulationTooSmall {
+                    requested: 1,
+                    minimum: 2
+                }
+            ),
+            "expected PopulationTooSmall, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn disconnected_custom_graphs_are_rejected() {
+        // Regression: a disconnected custom digraph used to run until budget
+        // exhaustion (the global stop predicate is unreachable); it must be
+        // rejected at build time with a typed error.
+        let family = GraphFamily::Custom(Arc::new(|_n| {
+            ArbitraryGraph::new(
+                4,
+                vec![
+                    Interaction::new(0, 1),
+                    Interaction::new(1, 0),
+                    Interaction::new(2, 3),
+                    Interaction::new(3, 2),
+                ],
+            )
+        }));
+        assert!(matches!(
+            family.build(4),
+            Err(PopulationError::DisconnectedGraph {
+                agents: 4,
+                reached: 2
+            })
+        ));
+        let scenario = ScenarioBuilder::new("split", |_pt: &SweepPoint| Fratricide)
+            .graph(family)
+            .init(|_p, pt| Configuration::uniform(pt.n, true))
+            .stop_when("unique-leader", |p: &Fratricide, c| {
+                p.has_unique_leader(c.states())
+            })
+            .check_every(|_pt| 7)
+            .step_budget(|_pt| 100_000)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            scenario.try_run(&SweepPoint::new(4, 0)),
+            Err(PopulationError::DisconnectedGraph { .. })
+        ));
+    }
+
+    #[test]
+    fn leader_trajectory_applies_the_churn_plan() {
+        // Partition before the first interaction, heal at a non-boundary
+        // step: the sample grid must be preserved and the partition must be
+        // visible as two surviving leaders (one per block) until the heal.
+        let plan = ChurnPlan::new()
+            .at(0, ChurnKind::Partition { blocks: 2 })
+            .at(4_500, ChurnKind::Heal);
+        let traj = churn_ready_fratricide()
+            .with_churn_plan(plan)
+            .leader_trajectory(&SweepPoint::new(8, 3), 20_000, 1_000);
+        assert_eq!(
+            traj.iter().map(|&(s, _)| s).collect::<Vec<_>>(),
+            (0..=20u64).map(|i| i * 1_000).collect::<Vec<_>>()
+        );
+        assert_eq!(traj[0].1, 8);
+        // While partitioned each block burns down to exactly one leader.
+        assert_eq!(traj[3].1, 2, "trajectory: {traj:?}");
+        assert_eq!(traj[4].1, 2, "trajectory: {traj:?}");
+        // After the heal the war burns back down to one.
+        assert_eq!(traj.last().unwrap().1, 1, "trajectory: {traj:?}");
+    }
+
+    #[test]
+    fn detection_runs_under_churn() {
+        // Smoke: the recurrence-detecting path resyncs its digest across a
+        // churn boundary and still converges with nothing pending.  The
+        // rewire fires at step 0 — fratricide on a complete graph converges
+        // long before any later step, which would leave the event pending.
+        let plan = ChurnPlan::new().at(0, ChurnKind::Rewire { count: 2 });
+        let detected = churn_ready_fratricide()
+            .with_churn_plan(plan)
+            .try_run_detecting(&SweepPoint::new(8, 4))
+            .unwrap();
+        assert!(detected.report.converged());
+        assert!(detected.recurrence.is_none());
+        assert!(!detected.faults_pending);
+    }
+
+    #[test]
+    fn custom_scheduler_runs_honour_churn_plans() {
+        use crate::scheduler::RandomScheduler;
+        // The partition/heal gate from the fast-path test must hold through
+        // the DynScheduler loop too.
+        let heal_at = 2_000;
+        let plan = ChurnPlan::new()
+            .at(0, ChurnKind::Partition { blocks: 2 })
+            .at(heal_at, ChurnKind::Heal);
+        let report = churn_ready_fratricide()
+            .with_scheduler(SchedulerFamily::custom("random-boxed", |_pt, _g| {
+                Box::new(RandomScheduler::new())
+            }))
+            .with_churn_plan(plan)
+            .run(&SweepPoint::new(8, 2));
+        assert!(report.converged());
+        assert!(report.convergence_step() >= heal_at);
     }
 }

@@ -129,6 +129,47 @@ impl<P: Protocol, G: InteractionGraph> Simulation<P, G> {
         &mut self.config
     }
 
+    /// Replaces the interaction graph with a same-sized one, keeping the
+    /// configuration and all counters.  This is the substrate for topology
+    /// churn (edge rewiring, partition/heal events).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopulationError::ConfigurationSizeMismatch`] if the new
+    /// graph's agent count differs from the current configuration's length.
+    pub fn set_graph(&mut self, graph: G) -> Result<()> {
+        if graph.num_agents() != self.config.len() {
+            return Err(PopulationError::ConfigurationSizeMismatch {
+                configuration: self.config.len(),
+                graph: graph.num_agents(),
+            });
+        }
+        self.graph = graph;
+        Ok(())
+    }
+
+    /// Replaces both the graph and the configuration, resizing the per-agent
+    /// statistics buffers (counts of surviving agents are preserved; the step
+    /// counter keeps running).  This is the substrate for agent join/leave
+    /// churn.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopulationError::ConfigurationSizeMismatch`] if the graph
+    /// and configuration disagree on the number of agents.
+    pub fn resize(&mut self, graph: G, config: Configuration<P::State>) -> Result<()> {
+        if graph.num_agents() != config.len() {
+            return Err(PopulationError::ConfigurationSizeMismatch {
+                configuration: config.len(),
+                graph: graph.num_agents(),
+            });
+        }
+        self.stats.resize(config.len());
+        self.graph = graph;
+        self.config = config;
+        Ok(())
+    }
+
     /// Number of steps executed so far.
     pub fn steps(&self) -> u64 {
         self.steps

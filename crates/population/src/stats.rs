@@ -90,6 +90,16 @@ impl RunStats {
             .unwrap_or(0)
     }
 
+    /// Resizes the per-agent counters to a population of `n` agents,
+    /// preserving counts for agents that survive.  Used by churn events:
+    /// joining agents start with zero counts, leaving agents (always the
+    /// highest indices) drop theirs.  `steps` is unaffected.
+    pub fn resize(&mut self, n: usize) {
+        self.interactions_per_agent.resize(n, 0);
+        self.initiator_counts.resize(n, 0);
+        self.responder_counts.resize(n, 0);
+    }
+
     /// Resets all counters, keeping the population size.
     pub fn reset(&mut self) {
         self.steps = 0;
@@ -135,6 +145,21 @@ mod tests {
         assert_eq!(s.steps(), 0);
         assert_eq!(s.num_agents(), 3);
         assert_eq!(s.interactions_of(0), 0);
+    }
+
+    #[test]
+    fn resize_preserves_surviving_counts() {
+        let mut s = RunStats::new(3);
+        s.record_interaction(0, 2);
+        s.resize(5);
+        assert_eq!(s.num_agents(), 5);
+        assert_eq!(s.interactions_of(0), 1);
+        assert_eq!(s.interactions_of(4), 0);
+        assert_eq!(s.steps(), 1);
+        s.resize(2);
+        assert_eq!(s.num_agents(), 2);
+        assert_eq!(s.interactions_of(0), 1);
+        assert_eq!(s.steps(), 1);
     }
 
     #[test]

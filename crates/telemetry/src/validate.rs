@@ -43,6 +43,9 @@ const TAXONOMY: &[(&str, &[(&str, FieldType)])] = &[
     ("run_end", &[("steps", U64Str), ("converged", Bool)]),
     ("converged", &[("step", U64Str)]),
     ("fault_fired", &[("step", U64Str), ("kind", Str)]),
+    ("churn_fired", &[("step", U64Str), ("kind", Str)]),
+    ("partition_open", &[("step", U64Str), ("blocks", U64Str)]),
+    ("partition_heal", &[("step", U64Str)]),
     ("trigger_fired", &[("step", U64Str), ("trigger", Str)]),
     ("byzantine_open", &[("step", U64Str)]),
     ("byzantine_close", &[("step", U64Str)]),
@@ -266,6 +269,17 @@ mod tests {
                     .field("kind", "corrupt_all"),
             );
             crate::emit(
+                Event::new("churn_fired")
+                    .count("step", 120)
+                    .field("kind", "rewire"),
+            );
+            crate::emit(
+                Event::new("partition_open")
+                    .count("step", 130)
+                    .count("blocks", 2),
+            );
+            crate::emit(Event::new("partition_heal").count("step", 140));
+            crate::emit(
                 Event::new("converged")
                     .count("step", 250)
                     .wall_micros("elapsed", 12),
@@ -278,9 +292,12 @@ mod tests {
         }
         finish().unwrap();
         let stats = validate_stream(&trace.contents()).expect("stream validates");
-        assert_eq!(stats.events, 7);
+        assert_eq!(stats.events, 10);
         assert!(stats.complete);
         assert_eq!(stats.count("fault_fired"), 1);
+        assert_eq!(stats.count("churn_fired"), 1);
+        assert_eq!(stats.count("partition_open"), 1);
+        assert_eq!(stats.count("partition_heal"), 1);
         assert_eq!(stats.count("metrics"), 1);
         assert_eq!(stats.count("nonexistent"), 0);
     }

@@ -17,8 +17,8 @@ use std::sync::Arc;
 use ring_ssle::prelude::*;
 use ring_ssle::ssle_baselines::yokota_linear::{is_safe, YokotaState};
 use ssle_adversary::{
-    worst_case_search, ArcScorer, Candidate, Evaluation, FaultDomain, SchedulerSpec, SearchConfig,
-    SearchSpace, SpecDomain,
+    worst_case_search, ArcScorer, Candidate, ChurnDomain, Evaluation, FaultDomain, GraphDomain,
+    SchedulerSpec, SearchConfig, SearchSpace, SpecDomain,
 };
 
 const N: usize = 32;
@@ -108,6 +108,8 @@ fn main() {
         // This walkthrough keeps the search two-axis (seed x scheduler);
         // the tracked report grid also mutates crash schedules.
         faults: FaultDomain::disabled(),
+        churn: ChurnDomain::disabled(),
+        graph: GraphDomain::disabled(),
     };
     let config = SearchConfig {
         iterations: 12,
